@@ -1,0 +1,266 @@
+(* Benchmark and reproduction harness.
+
+   With no arguments (or "all"): rebuild every table and figure of the
+   paper's evaluation section and then run the per-artifact Bechamel
+   micro-benchmarks.  Individual artifacts: fig7 fig8 tab3 tab4 tab5 tab6
+   tab7 tab8 speed ablate micro.
+
+   PATCHECKO_FAST=1 shrinks the corpus and training so the whole run
+   finishes in seconds (used by CI); the default configuration matches
+   EXPERIMENTS.md. *)
+
+let fast =
+  match Sys.getenv_opt "PATCHECKO_FAST" with
+  | Some ("" | "0") | None -> false
+  | Some _ -> true
+
+let progress msg = Format.eprintf "[patchecko] %s@." msg
+
+let ctx = lazy (Evaluation.Context.build ~fast ~progress ())
+
+let runs =
+  lazy
+    (progress "running the evaluation grid (25 CVEs x 2 devices x 2 references)";
+     Evaluation.Grid.run_all ~progress:(fun _ -> ()) (Lazy.force ctx))
+
+let ppf = Format.std_formatter
+
+let section name f =
+  Format.fprintf ppf "==== %s ====@." name;
+  f ();
+  Format.pp_print_flush ppf ()
+
+(* --- report sections --------------------------------------------------- *)
+
+let fig8 () = Evaluation.Render.fig8 ppf (Lazy.force ctx)
+let fig7 () = Evaluation.Render.fig7 ppf (Lazy.force runs)
+let tab3 () = Evaluation.Render.tab3 ppf (Lazy.force ctx) (Lazy.force runs)
+let tab45 () = Evaluation.Render.tab45 ppf (Lazy.force ctx) (Lazy.force runs)
+let tab6 () = Evaluation.Render.tab6 ppf (Lazy.force runs)
+let tab7 () = Evaluation.Render.tab7 ppf (Lazy.force runs)
+let tab8 () = Evaluation.Render.tab8 ppf (Lazy.force runs)
+let speed () = Evaluation.Render.speed ppf (Lazy.force runs)
+let simcheck () = Evaluation.Render.simcheck ppf (Lazy.force ctx)
+
+let baselines () =
+  Evaluation.Baselines.compare_detection ppf (Lazy.force ctx) (Lazy.force runs)
+
+let ablate () =
+  Evaluation.Ablation.minkowski_p ppf (Lazy.force runs);
+  Evaluation.Ablation.static_vs_hybrid ppf (Lazy.force runs);
+  Evaluation.Ablation.env_count ppf (Lazy.force ctx)
+    ~ks:[ 2; 4; 8 ]
+    ~cve_ids:[ "CVE-2018-9412"; "CVE-2018-9345"; "CVE-2018-9499" ];
+  Evaluation.Ablation.db_build ppf (Lazy.force ctx)
+    ~opts:Minic.Optlevel.[ O0; O1; O2; O3 ]
+    ~cve_ids:
+      [ "CVE-2018-9412"; "CVE-2018-9345"; "CVE-2018-9424"; "CVE-2018-9440" ];
+  let dataset =
+    if fast then Corpus.Dataset.small_config
+    else { Corpus.Dataset.default_config with nlibs = 12 }
+  in
+  Evaluation.Ablation.feature_groups ppf ~dataset ~epochs:(if fast then 3 else 8) ()
+
+(* --- bechamel micro-benchmarks: one Test.make per table/figure --------- *)
+
+let case_study_assets () =
+  let ctx = Lazy.force ctx in
+  let dev =
+    match
+      Evaluation.Context.device_by_name ctx
+        Corpus.Devices.android_things.Corpus.Devices.device_name
+    with
+    | Some d -> d
+    | None -> failwith "missing device"
+  in
+  let truth =
+    match
+      List.find_opt
+        (fun (t : Corpus.Devices.truth) -> t.cve.Corpus.Cves.id = "CVE-2018-9412")
+        dev.Evaluation.Context.truths
+    with
+    | Some t -> t
+    | None -> failwith "missing case-study CVE"
+  in
+  let target =
+    match
+      Loader.Firmware.find_image dev.Evaluation.Context.firmware
+        truth.Corpus.Devices.image_name
+    with
+    | Some img -> img
+    | None -> failwith "missing case-study image"
+  in
+  (ctx, dev, truth, target)
+
+let micro_tests () =
+  let ctx, _dev, truth, target = case_study_assets () in
+  let entry = Evaluation.Context.db_entry ctx "CVE-2018-9412" in
+  let classifier = ctx.Evaluation.Context.classifier in
+  let dyn_config =
+    { ctx.Evaluation.Context.dyn_config with Patchecko.Dynamic_stage.k_envs = 2 }
+  in
+  (* shared precomputed inputs *)
+  let reference = entry.Patchecko.Vulndb.vuln_static in
+  let static_result = Patchecko.Static_stage.scan classifier ~reference target in
+  let dyn =
+    Patchecko.Dynamic_stage.run ~config:dyn_config
+      ~reference:(entry.Patchecko.Vulndb.vuln_image, entry.Patchecko.Vulndb.vuln_findex)
+      ~shape:entry.Patchecko.Vulndb.shape ~target
+      ~candidates:static_result.Patchecko.Static_stage.candidates ()
+  in
+  let train_pairs = Corpus.Dataset.build_pairs Corpus.Dataset.small_config in
+  let normalizer = Nn.Data.fit_normalizer train_pairs in
+  let train_n = Nn.Data.normalize normalizer train_pairs in
+  let env =
+    match dyn.Patchecko.Dynamic_stage.envs with
+    | e :: _ -> e
+    | [] -> Vm.Env.make [ Vm.Env.Vint 1L ]
+  in
+  let open Bechamel in
+  [
+    (* Figure 8: the training loop — one epoch over a small Dataset I *)
+    Test.make ~name:"fig8/train-epoch"
+      (Staged.stage (fun () ->
+           let rng = Util.Prng.create 3L in
+           let model =
+             Nn.Model.create rng ~input:(2 * Staticfeat.Names.count)
+               ~layers:
+                 (Nn.Model.paper_architecture
+                    ~input:(2 * Staticfeat.Names.count))
+           in
+           let config = { Nn.Train.default_config with epochs = 1 } in
+           ignore (Nn.Train.fit ~config model ~train:train_n ~validation:train_n)));
+    (* Figure 7 / detection accuracy: one whole-image static scan *)
+    Test.make ~name:"fig7/static-scan"
+      (Staged.stage (fun () ->
+           ignore (Patchecko.Static_stage.scan classifier ~reference target)));
+    (* Table III: one instrumented execution producing dynamic features *)
+    Test.make ~name:"tab3/dynamic-profile"
+      (Staged.stage (fun () ->
+           ignore
+             (Vm.Exec.run entry.Patchecko.Vulndb.vuln_image
+                entry.Patchecko.Vulndb.vuln_findex env)));
+    (* Table IV: vulnerable-based similarity ranking *)
+    Test.make ~name:"tab4/rank-vulnerable"
+      (Staged.stage (fun () ->
+           ignore
+             (Similarity.Rank.by_distance ~p:3.0
+                ~reference:dyn.Patchecko.Dynamic_stage.reference_profile
+                dyn.Patchecko.Dynamic_stage.profiles)));
+    (* Table V: ranking at a different exponent exercises the same path *)
+    Test.make ~name:"tab5/rank-patched"
+      (Staged.stage (fun () ->
+           ignore
+             (Similarity.Rank.by_distance ~p:2.0
+                ~reference:dyn.Patchecko.Dynamic_stage.reference_profile
+                dyn.Patchecko.Dynamic_stage.profiles)));
+    (* Table VI: the full vulnerable-reference pipeline for one CVE *)
+    Test.make ~name:"tab6/pipeline-vulnerable"
+      (Staged.stage (fun () ->
+           ignore
+             (Patchecko.Pipeline.analyze ~dyn_config
+                ~ground_truth:truth.Corpus.Devices.findex ~classifier
+                ~db_entry:entry ~reference_patched:false ~target ())));
+    (* Table VII: the patched-reference pipeline *)
+    Test.make ~name:"tab7/pipeline-patched"
+      (Staged.stage (fun () ->
+           ignore
+             (Patchecko.Pipeline.analyze ~dyn_config
+                ~ground_truth:truth.Corpus.Devices.findex ~classifier
+                ~db_entry:entry ~reference_patched:true ~target ())));
+    (* Table VIII: the differential engine decision *)
+    Test.make ~name:"tab8/differential"
+      (Staged.stage (fun () ->
+           let evidence =
+             Patchecko.Differential.gather
+               ~vuln:
+                 ( entry.Patchecko.Vulndb.vuln_image,
+                   entry.Patchecko.Vulndb.vuln_findex )
+               ~patched:
+                 ( entry.Patchecko.Vulndb.patched_image,
+                   entry.Patchecko.Vulndb.patched_findex )
+               ~target:(target, truth.Corpus.Devices.findex)
+               ()
+           in
+           ignore (Patchecko.Differential.decide evidence)));
+  ]
+
+let micro () =
+  let open Bechamel in
+  let tests = micro_tests () in
+  let cfg =
+    Benchmark.cfg ~limit:100
+      ~quota:(Time.second (if fast then 0.1 else 0.4))
+      ~kde:None ()
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0
+      ~predictors:[| Measure.run |]
+  in
+  Format.fprintf ppf "Micro-benchmarks (one per table/figure; ns per run)@.";
+  Format.fprintf ppf "%-26s %16s %10s@." "benchmark" "ns/run" "r^2";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
+      let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let estimate =
+            match Analyze.OLS.estimates ols_result with
+            | Some (e :: _) -> e
+            | Some [] | None -> nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols_result with
+            | Some r -> Printf.sprintf "%.4f" r
+            | None -> "-"
+          in
+          Format.fprintf ppf "%-26s %16.1f %10s@." name estimate r2)
+        analyzed)
+    tests;
+  Format.fprintf ppf "@."
+
+let all () =
+  section "Figure 8" fig8;
+  section "Vulnerable-vs-patched similarity" simcheck;
+  section "Tables VI" tab6;
+  section "Table VII" tab7;
+  section "Figure 7" fig7;
+  section "Table III" tab3;
+  section "Tables IV and V" tab45;
+  section "Table VIII" tab8;
+  section "Processing time" speed;
+  section "Baseline comparison" baselines;
+  section "Ablations" ablate;
+  section "Micro-benchmarks" micro
+
+let () =
+  let targets =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as rest) -> rest
+    | _ :: [] | [] -> [ "all" ]
+  in
+  List.iter
+    (fun t ->
+      match t with
+      | "all" -> all ()
+      | "fig8" -> section "Figure 8" fig8
+      | "fig7" -> section "Figure 7" fig7
+      | "tab3" -> section "Table III" tab3
+      | "tab4" | "tab5" | "tab45" -> section "Tables IV and V" tab45
+      | "tab6" -> section "Table VI" tab6
+      | "tab7" -> section "Table VII" tab7
+      | "tab8" -> section "Table VIII" tab8
+      | "speed" -> section "Processing time" speed
+      | "baseline" -> section "Baseline comparison" baselines
+      | "simcheck" -> section "Vulnerable-vs-patched similarity" simcheck
+      | "ablate" -> section "Ablations" ablate
+      | "micro" -> section "Micro-benchmarks" micro
+      | other ->
+        Format.eprintf
+          "unknown target %S (use fig7 fig8 tab3 tab4 tab5 tab6 tab7 tab8 \
+           simcheck speed baseline ablate micro all)@."
+          other;
+        exit 2)
+    targets

@@ -1,0 +1,360 @@
+(* The patchecko command-line tool.
+
+   compile       MinC source -> SFF image
+   inspect       list functions / disassemble / static features
+   verify        structural integrity check of an image
+   run           execute one function in the dynamic engine
+   trace         single-step a function and print its instructions
+   gen-firmware  build a synthetic device firmware file
+   train         train the similarity model and save it to a file
+   scan          hybrid scan of a firmware file for one or all CVEs
+   evaluate      train the model and print its quality summary *)
+
+open Cmdliner
+
+let arch_conv =
+  let parse s =
+    match Isa.Arch.of_string s with
+    | Some a -> Ok a
+    | None -> Error (`Msg (Printf.sprintf "unknown architecture %S" s))
+  in
+  Arg.conv (parse, fun ppf a -> Format.fprintf ppf "%s" (Isa.Arch.to_string a))
+
+let opt_conv =
+  let parse s =
+    match Minic.Optlevel.of_string s with
+    | Some o -> Ok o
+    | None -> Error (`Msg (Printf.sprintf "unknown optimisation level %S" s))
+  in
+  Arg.conv
+    (parse, fun ppf o -> Format.fprintf ppf "%s" (Minic.Optlevel.to_string o))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let b = Bytes.create len in
+  really_input ic b 0 len;
+  close_in ic;
+  Bytes.to_string b
+
+(* --- compile ----------------------------------------------------------- *)
+
+let compile_cmd =
+  let src =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SOURCE.minc")
+  in
+  let output =
+    Arg.(value & opt string "out.sff" & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  let arch =
+    Arg.(value & opt arch_conv Isa.Arch.Arm64 & info [ "arch" ] ~docv:"ARCH")
+  in
+  let level =
+    Arg.(value & opt opt_conv Minic.Optlevel.O2 & info [ "O"; "opt" ] ~docv:"LEVEL")
+  in
+  let strip = Arg.(value & flag & info [ "strip" ] ~doc:"Strip the symbol table.") in
+  let run src output arch level strip =
+    match Minic.Compiler.compile_source ~arch ~opt:level (read_file src) with
+    | img ->
+      let img = if strip then Loader.Image.strip img else img in
+      Loader.Sff.write_image output img;
+      Printf.printf "wrote %s (%d functions, %d code bytes)\n" output
+        (Loader.Image.function_count img)
+        (Loader.Image.total_code_size img);
+      0
+    | exception Minic.Compiler.Compile_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a MinC source file to an SFF image.")
+    Term.(const run $ src $ output $ arch $ level $ strip)
+
+(* --- inspect ------------------------------------------------------------ *)
+
+let inspect_cmd =
+  let image =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"IMAGE.sff")
+  in
+  let disasm =
+    Arg.(value & opt (some int) None & info [ "disasm" ] ~docv:"INDEX")
+  in
+  let features =
+    Arg.(value & opt (some int) None & info [ "features" ] ~docv:"INDEX")
+  in
+  let run image disasm features =
+    let img = Loader.Sff.read_image image in
+    Printf.printf "%s: %s, %d functions, %d data bytes, stripped=%b\n"
+      img.Loader.Image.name
+      (Isa.Arch.to_string img.Loader.Image.arch)
+      (Loader.Image.function_count img)
+      (Bytes.length img.Loader.Image.data)
+      (Loader.Image.is_stripped img);
+    (match disasm with
+    | None -> ()
+    | Some i ->
+      Format.printf "%a" Isa.Disasm.pp (Loader.Image.disassemble img i));
+    (match features with
+    | None -> ()
+    | Some i ->
+      Format.printf "%a" Staticfeat.Extract.pp
+        (Staticfeat.Extract.of_function img i));
+    if disasm = None && features = None then
+      for i = 0 to Loader.Image.function_count img - 1 do
+        let listing = Loader.Image.disassemble img i in
+        Printf.printf "  %4d %-32s %5d bytes %4d instrs\n" i
+          (match Loader.Image.function_name img i with
+          | Some n -> n
+          | None -> "<stripped>")
+          listing.Isa.Disasm.size
+          (Array.length listing.Isa.Disasm.instrs)
+      done;
+    0
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"List or disassemble the functions of an image.")
+    Term.(const run $ image $ disasm $ features)
+
+(* --- run ----------------------------------------------------------------- *)
+
+let run_cmd =
+  let image =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"IMAGE.sff")
+  in
+  let fn = Arg.(value & opt int 0 & info [ "fn" ] ~docv:"INDEX") in
+  let ints =
+    Arg.(value & opt_all int64 [] & info [ "int" ] ~docv:"N" ~doc:"Integer argument.")
+  in
+  let bufs =
+    Arg.(value & opt_all string [] & info [ "buf" ] ~docv:"BYTES" ~doc:"Buffer argument.")
+  in
+  let fuel = Arg.(value & opt int 1_000_000 & info [ "fuel" ] ~docv:"STEPS") in
+  let run image fn ints bufs fuel =
+    let img = Loader.Sff.read_image image in
+    let args =
+      List.map (fun v -> Vm.Env.Vint v) ints
+      @ List.map (fun s -> Vm.Env.buf_of_string s) bufs
+    in
+    let result = Vm.Exec.run ~fuel img fn (Vm.Env.make args) in
+    Printf.printf "%s\n" (Vm.Exec.outcome_to_string result.Vm.Exec.outcome);
+    if result.Vm.Exec.stdout <> "" then
+      Printf.printf "stdout: %s\n" result.Vm.Exec.stdout;
+    Printf.printf "%d instructions executed\n" result.Vm.Exec.instructions;
+    Array.iteri
+      (fun i name -> Printf.printf "  %-28s %g\n" name result.Vm.Exec.features.(i))
+      Vm.Dynfeat.all;
+    0
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute one function in the dynamic analysis engine.")
+    Term.(const run $ image $ fn $ ints $ bufs $ fuel)
+
+(* --- verify ----------------------------------------------------------------- *)
+
+let verify_cmd =
+  let image =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"IMAGE.sff")
+  in
+  let run image =
+    let img = Loader.Sff.read_image image in
+    match Loader.Verify.check img with
+    | [] ->
+      Printf.printf "%s: OK (%d functions verified)\n" img.Loader.Image.name
+        (Loader.Image.function_count img);
+      0
+    | issues ->
+      List.iter
+        (fun issue -> Printf.printf "%s\n" (Loader.Verify.issue_to_string issue))
+        issues;
+      1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Check an image's structural integrity (decode, calls, branches).")
+    Term.(const run $ image)
+
+(* --- trace ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let image =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"IMAGE.sff")
+  in
+  let fn = Arg.(value & opt int 0 & info [ "fn" ] ~docv:"INDEX") in
+  let ints = Arg.(value & opt_all int64 [] & info [ "int" ] ~docv:"N") in
+  let bufs = Arg.(value & opt_all string [] & info [ "buf" ] ~docv:"BYTES") in
+  let limit = Arg.(value & opt int 200 & info [ "limit" ] ~docv:"LINES") in
+  let run image fn ints bufs limit =
+    let img = Loader.Sff.read_image image in
+    let args =
+      List.map (fun v -> Vm.Env.Vint v) ints
+      @ List.map (fun s -> Vm.Env.buf_of_string s) bufs
+    in
+    let result, trace = Vm.Exec.run_traced ~limit img fn (Vm.Env.make args) in
+    List.iter print_endline trace;
+    Printf.printf "%s (%d instructions%s)\n"
+      (Vm.Exec.outcome_to_string result.Vm.Exec.outcome)
+      result.Vm.Exec.instructions
+      (if result.Vm.Exec.instructions > limit then
+         Printf.sprintf "; trace capped at %d lines" limit
+       else "");
+    0
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Single-step a function and print the executed instructions.")
+    Term.(const run $ image $ fn $ ints $ bufs $ limit)
+
+(* --- gen-firmware --------------------------------------------------------- *)
+
+let gen_firmware_cmd =
+  let device =
+    Arg.(
+      value
+      & opt (enum [ ("things", `Things); ("pixel", `Pixel) ]) `Things
+      & info [ "device" ] ~docv:"DEVICE")
+  in
+  let output =
+    Arg.(value & opt string "firmware.sfw" & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  let strip = Arg.(value & flag & info [ "strip" ]) in
+  let run device output strip =
+    let dev =
+      match device with
+      | `Things -> Corpus.Devices.android_things
+      | `Pixel -> Corpus.Devices.pixel2xl
+    in
+    let fw, truths = Corpus.Devices.build_firmware dev in
+    let fw = if strip then Loader.Firmware.strip fw else fw in
+    Loader.Firmware.write output fw;
+    Printf.printf "wrote %s: %s, %d libraries, %d functions, %d CVE sites\n"
+      output fw.Loader.Firmware.device
+      (Array.length fw.Loader.Firmware.images)
+      (Loader.Firmware.total_functions fw)
+      (List.length truths);
+    0
+  in
+  Cmd.v
+    (Cmd.info "gen-firmware" ~doc:"Build a synthetic device firmware file.")
+    Term.(const run $ device $ output $ strip)
+
+(* --- train ------------------------------------------------------------------ *)
+
+let train_cmd =
+  let output =
+    Arg.(value & opt string "classifier.pnn" & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  let fast = Arg.(value & flag & info [ "fast" ]) in
+  let run output fast =
+    let classifier, _, (acc, auc) =
+      Evaluation.Context.train_classifier ~fast ~progress:prerr_endline ()
+    in
+    Nn.Serialize.write_classifier output classifier.Patchecko.Static_stage.model
+      classifier.Patchecko.Static_stage.normalizer;
+    Printf.printf "wrote %s (test accuracy %.4f, AUC %.4f)\n" output acc auc;
+    0
+  in
+  Cmd.v
+    (Cmd.info "train"
+       ~doc:"Train the similarity model and save it for later scans.")
+    Term.(const run $ output $ fast)
+
+(* --- scan ------------------------------------------------------------------ *)
+
+let scan_cmd =
+  let firmware =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FIRMWARE.sfw")
+  in
+  let cve =
+    Arg.(value & opt (some string) None & info [ "cve" ] ~docv:"CVE-ID")
+  in
+  let fast = Arg.(value & flag & info [ "fast" ] ~doc:"Weaker but quicker model.") in
+  let model_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "model" ] ~docv:"FILE"
+          ~doc:"Load a classifier saved by the train command instead of training.")
+  in
+  let max_distance =
+    Arg.(
+      value
+      & opt float 50.0
+      & info [ "max-distance" ] ~docv:"D"
+          ~doc:
+            "Only report matches whose dynamic distance is below this; raise \
+             it to see weak matches.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON findings.") in
+  let run firmware cve fast model_file max_distance json =
+    let fw = Loader.Firmware.strip (Loader.Firmware.read firmware) in
+    let classifier =
+      match model_file with
+      | Some path ->
+        let model, normalizer = Nn.Serialize.read_classifier path in
+        {
+          Patchecko.Static_stage.model;
+          normalizer;
+          threshold = Patchecko.Static_stage.default_threshold;
+        }
+      | None ->
+        let classifier, _, _ =
+          Evaluation.Context.train_classifier ~fast ~progress:prerr_endline ()
+        in
+        classifier
+    in
+    let db = Evaluation.Context.build_db () in
+    let db =
+      match cve with
+      | None -> db
+      | Some id -> (
+        match Patchecko.Vulndb.find db id with
+        | Some e -> Patchecko.Vulndb.create [ e ]
+        | None ->
+          Printf.eprintf "unknown CVE %s\n" id;
+          exit 1)
+    in
+    let findings =
+      Patchecko.Scanner.scan_firmware ~max_distance ~classifier ~db fw
+    in
+    if json then print_string (Patchecko.Scanner.findings_to_json findings)
+    else if findings = [] then print_endline "no findings"
+    else
+      List.iter
+        (fun f -> print_endline (Patchecko.Scanner.finding_to_string f))
+        findings;
+    0
+  in
+  Cmd.v
+    (Cmd.info "scan"
+       ~doc:"Hybrid vulnerability + patch-presence scan of a firmware file.")
+    Term.(const run $ firmware $ cve $ fast $ model_file $ max_distance $ json)
+
+(* --- evaluate --------------------------------------------------------------- *)
+
+let evaluate_cmd =
+  let fast = Arg.(value & flag & info [ "fast" ]) in
+  let run fast =
+    Printf.printf
+      "use `dune exec bench/main.exe` (optionally PATCHECKO_FAST=1) to \
+       reproduce the tables;\nthis subcommand prints the model quality \
+       summary only.\n";
+    let ctx = Evaluation.Context.build ~fast ~progress:prerr_endline () in
+    Format.printf "%a" Evaluation.Render.fig8 ctx;
+    0
+  in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"Train the model and print its quality summary.")
+    Term.(const run $ fast)
+
+let main =
+  Cmd.group
+    (Cmd.info "patchecko" ~version:"1.0.0"
+       ~doc:
+         "Hybrid firmware analysis for known mobile and IoT security \
+          vulnerabilities (DSN 2020 reproduction).")
+    [
+      compile_cmd; inspect_cmd; verify_cmd; run_cmd; trace_cmd;
+      gen_firmware_cmd; train_cmd; scan_cmd; evaluate_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

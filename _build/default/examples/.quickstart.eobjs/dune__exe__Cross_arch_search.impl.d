@@ -1,0 +1,1 @@
+examples/cross_arch_search.ml: Corpus Isa List Loader Minic Patchecko Printf Staticfeat

@@ -1,0 +1,1 @@
+examples/firmware_audit.ml: Array Evaluation List Loader Patchecko Printf Similarity Sys

@@ -1,0 +1,1 @@
+examples/firmware_audit.mli:

@@ -1,0 +1,1 @@
+examples/handwritten_asm.ml: Array Bytes Isa List Loader Option Printf Staticfeat Vm

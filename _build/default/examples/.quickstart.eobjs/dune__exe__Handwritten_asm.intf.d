@@ -1,0 +1,1 @@
+examples/handwritten_asm.mli:

@@ -1,0 +1,1 @@
+examples/patch_check.ml: Corpus Fuzz Isa List Loader Minic Patchecko Printf Similarity String Util Vm

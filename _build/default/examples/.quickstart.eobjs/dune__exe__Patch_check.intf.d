@@ -1,0 +1,1 @@
+examples/patch_check.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cfg Isa Loader Minic Printf Staticfeat Vm

@@ -1,0 +1,1 @@
+lib/baseline/graphmatch.ml: Array Cfg Isa Knn List Loader

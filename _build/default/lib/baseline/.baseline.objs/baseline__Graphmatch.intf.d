@@ -1,0 +1,1 @@
+lib/baseline/graphmatch.mli: Loader

@@ -1,0 +1,1 @@
+lib/baseline/knn.ml: Array List Staticfeat

@@ -1,0 +1,1 @@
+lib/baseline/knn.mli: Loader Util

@@ -1,0 +1,68 @@
+type block_attrs = float array
+
+let block_attributes img fidx =
+  let listing = Loader.Image.disassemble img fidx in
+  let g = Cfg.Graph.build listing in
+  Array.map
+    (fun b ->
+      let count pred =
+        List.fold_left
+          (fun acc ins -> if pred ins then acc + 1 else acc)
+          0
+          (Cfg.Block.instructions b g.Cfg.Graph.listing.Isa.Disasm.instrs)
+      in
+      [|
+        float_of_int (Cfg.Block.instr_count b);
+        float_of_int b.Cfg.Block.byte_size /. 8.0;
+        float_of_int (count Isa.Instr.is_arith);
+        float_of_int (count Isa.Instr.is_call);
+        float_of_int (count Isa.Instr.is_load);
+        float_of_int (count Isa.Instr.is_store);
+        float_of_int (List.length b.Cfg.Block.succs);
+        float_of_int (List.length b.Cfg.Block.preds);
+      |])
+    g.Cfg.Graph.blocks
+
+let attr_distance a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (abs_float (a.(i) -. b.(i)) /. (1.0 +. a.(i) +. b.(i)))
+  done;
+  !acc
+
+(* Greedy bipartite matching: repeatedly take the globally cheapest
+   unmatched pair.  Unmatched leftovers pay a fixed penalty each. *)
+let unmatched_penalty = 4.0
+
+let similarity blocks_a blocks_b =
+  let na = Array.length blocks_a and nb = Array.length blocks_b in
+  if na = 0 || nb = 0 then float_of_int (abs (na - nb)) *. unmatched_penalty
+  else begin
+    let pairs = ref [] in
+    for i = 0 to na - 1 do
+      for j = 0 to nb - 1 do
+        pairs := (attr_distance blocks_a.(i) blocks_b.(j), i, j) :: !pairs
+      done
+    done;
+    let sorted = List.sort compare !pairs in
+    let used_a = Array.make na false and used_b = Array.make nb false in
+    let cost = ref 0.0 in
+    let matched = ref 0 in
+    List.iter
+      (fun (d, i, j) ->
+        if (not used_a.(i)) && not used_b.(j) then begin
+          used_a.(i) <- true;
+          used_b.(j) <- true;
+          cost := !cost +. d;
+          incr matched
+        end)
+      sorted;
+    !cost +. (float_of_int (na + nb - (2 * !matched)) *. unmatched_penalty)
+  end
+
+let rank ~reference img =
+  let n = Loader.Image.function_count img in
+  List.init n (fun i -> (i, similarity reference (block_attributes img i)))
+  |> List.stable_sort (fun (_, a) (_, b) -> compare a b)
+
+let rank_of = Knn.rank_of

@@ -1,0 +1,20 @@
+(** CFG bipartite-matching baseline (the discovRE / Genius style the
+    paper's related work describes): each basic block is summarised by a
+    small attribute vector, two functions are compared by greedily
+    matching their block sets and summing attribute distances, with a
+    penalty for unmatched blocks. *)
+
+type block_attrs = float array
+
+val block_attributes : Loader.Image.t -> int -> block_attrs array
+(** Per-block attributes of one function: instruction count, byte size,
+    arithmetic / call / load / store counts, out-degree, in-degree. *)
+
+val similarity : block_attrs array -> block_attrs array -> float
+(** Matching cost; 0 for identical block multisets, grows with
+    structural difference.  Symmetric. *)
+
+val rank : reference:block_attrs array -> Loader.Image.t -> (int * float) list
+(** Rank every function of the image by matching cost to the reference. *)
+
+val rank_of : int -> (int * float) list -> int option

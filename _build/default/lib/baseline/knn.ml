@@ -1,0 +1,23 @@
+let distance a b =
+  if Array.length a <> Array.length b then invalid_arg "Knn.distance";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc :=
+      !acc
+      +. (abs_float (a.(i) -. b.(i)) /. (1.0 +. abs_float a.(i) +. abs_float b.(i)))
+  done;
+  !acc
+
+let rank ~reference feats =
+  Array.to_list (Array.mapi (fun i f -> (i, distance reference f)) feats)
+  |> List.stable_sort (fun (_, a) (_, b) -> compare a b)
+
+let rank_image ~reference img =
+  rank ~reference (Staticfeat.Extract.of_image img)
+
+let rank_of target ranking =
+  let rec loop k = function
+    | [] -> None
+    | (i, _) :: rest -> if i = target then Some k else loop (k + 1) rest
+  in
+  loop 1 ranking

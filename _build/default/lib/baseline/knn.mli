@@ -1,0 +1,17 @@
+(** Nearest-neighbour baseline over the 48 static features — the
+    embedding-distance approach of the graph-embedding line of work the
+    paper compares against ([17], [41]): no learned pair classifier, just
+    a distance in feature space. *)
+
+val distance : Util.Vec.t -> Util.Vec.t -> float
+(** Scale-normalised per-feature distance (so unbounded features don't
+    dominate). *)
+
+val rank : reference:Util.Vec.t -> Util.Vec.t array -> (int * float) list
+(** Function indices sorted by ascending distance to the reference. *)
+
+val rank_image : reference:Util.Vec.t -> Loader.Image.t -> (int * float) list
+(** Extract features for every function of the image and rank. *)
+
+val rank_of : int -> (int * float) list -> int option
+(** 1-based position of a function index in a ranking. *)

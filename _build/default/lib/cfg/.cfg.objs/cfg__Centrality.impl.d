@@ -1,0 +1,1 @@
+lib/cfg/centrality.ml: Array Block Graph List Queue

@@ -1,0 +1,1 @@
+lib/cfg/centrality.mli: Graph

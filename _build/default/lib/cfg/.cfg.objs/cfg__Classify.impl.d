@@ -1,0 +1,1 @@
+lib/cfg/classify.ml: Array Block Graph Hashtbl List

@@ -1,0 +1,1 @@
+lib/cfg/classify.mli: Block Graph

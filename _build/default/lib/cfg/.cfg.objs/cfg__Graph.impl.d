@@ -1,0 +1,1 @@
+lib/cfg/graph.ml: Array Block Format Isa List

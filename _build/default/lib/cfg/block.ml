@@ -1,0 +1,20 @@
+type t = {
+  id : int;
+  first : int;
+  last : int;
+  offset : int;
+  byte_size : int;
+  succs : int list;
+  preds : int list;
+}
+
+let instr_count t = t.last - t.first + 1
+
+let instructions t instrs =
+  let acc = ref [] in
+  for i = t.last downto t.first do
+    acc := instrs.(i) :: !acc
+  done;
+  !acc
+
+let terminator t instrs = instrs.(t.last)

@@ -1,0 +1,19 @@
+(** Basic blocks of a recovered control-flow graph. *)
+
+type t = {
+  id : int;
+  first : int;  (** index of the first instruction in the listing *)
+  last : int;  (** index of the last instruction (inclusive) *)
+  offset : int;  (** byte offset of the first instruction *)
+  byte_size : int;  (** total encoded size of the block *)
+  succs : int list;  (** successor block ids *)
+  preds : int list;  (** predecessor block ids *)
+}
+
+val instr_count : t -> int
+
+val instructions : t -> 'lbl Isa.Instr.t array -> 'lbl Isa.Instr.t list
+(** The block's instruction slice of a listing. *)
+
+val terminator : t -> 'lbl Isa.Instr.t array -> 'lbl Isa.Instr.t
+(** Last instruction of the block. *)

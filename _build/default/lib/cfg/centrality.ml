@@ -1,0 +1,45 @@
+(* Brandes, "A faster algorithm for betweenness centrality" (2001):
+   one BFS per source accumulating pair dependencies. *)
+let betweenness (g : Graph.t) =
+  let n = Graph.block_count g in
+  let bc = Array.make n 0.0 in
+  let succs = Array.map (fun b -> b.Block.succs) g.blocks in
+  for s = 0 to n - 1 do
+    let dist = Array.make n (-1) in
+    let sigma = Array.make n 0.0 in
+    let preds = Array.make n [] in
+    let order = ref [] in
+    let queue = Queue.create () in
+    dist.(s) <- 0;
+    sigma.(s) <- 1.0;
+    Queue.add s queue;
+    while not (Queue.is_empty queue) do
+      let v = Queue.take queue in
+      order := v :: !order;
+      List.iter
+        (fun w ->
+          if dist.(w) < 0 then begin
+            dist.(w) <- dist.(v) + 1;
+            Queue.add w queue
+          end;
+          if dist.(w) = dist.(v) + 1 then begin
+            sigma.(w) <- sigma.(w) +. sigma.(v);
+            preds.(w) <- v :: preds.(w)
+          end)
+        succs.(v)
+    done;
+    let delta = Array.make n 0.0 in
+    List.iter
+      (fun w ->
+        List.iter
+          (fun v ->
+            delta.(v) <-
+              delta.(v) +. (sigma.(v) /. sigma.(w) *. (1.0 +. delta.(w))))
+          preds.(w);
+        if w <> s then bc.(w) <- bc.(w) +. delta.(w))
+      !order
+  done;
+  bc
+
+let zero_count bc =
+  Array.fold_left (fun acc v -> if abs_float v < 1e-12 then acc + 1 else acc) 0 bc

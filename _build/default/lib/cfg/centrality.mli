@@ -1,0 +1,9 @@
+(** Betweenness centrality of basic blocks (Brandes' algorithm on the
+    unweighted block graph), feeding the four betweenness features and the
+    zero-centrality count of Table I. *)
+
+val betweenness : Graph.t -> float array
+(** One value per block, in block-id order. *)
+
+val zero_count : float array -> int
+(** How many nodes have (near-)zero betweenness. *)

@@ -1,0 +1,72 @@
+type block_class =
+  | Normal
+  | Indjump
+  | Ret
+  | Cndret
+  | Noret
+  | Enoret
+  | Extern
+  | Error
+
+let all = [ Normal; Indjump; Ret; Cndret; Noret; Enoret; Extern; Error ]
+
+let to_string = function
+  | Normal -> "normal"
+  | Indjump -> "indjump"
+  | Ret -> "ret"
+  | Cndret -> "cndret"
+  | Noret -> "noret"
+  | Enoret -> "enoret"
+  | Extern -> "extern"
+  | Error -> "error"
+
+(* A successor block consisting of a lone Ret instruction. *)
+let is_immediate_ret_block (g : Graph.t) id =
+  let b = g.blocks.(id) in
+  Block.instr_count b = 1
+  &&
+  match Block.terminator b g.listing.instrs with
+  | Ret -> true
+  | Nop | Mov _ | Binop _ | Fbinop _ | Neg _ | Not _ | I2f _ | F2i _ | Load _
+  | Store _ | Lea _ | Cmp _ | Fcmp _ | Jmp _ | Jcc _ | Jtable _ | Call _
+  | Push _ | Pop _ | Syscall _ ->
+    false
+
+let classify ?(is_noret_target = fun _ -> false) (g : Graph.t) (b : Block.t) =
+  if List.mem b.id g.falls_off_end then Error
+  else if List.mem b.id g.noret_call_blocks then Noret
+  else begin
+    let external_target =
+      List.find_opt (fun (id, _) -> id = b.id) g.external_targets
+    in
+    let external_class target =
+      if is_noret_target target then Enoret else Extern
+    in
+    match Block.terminator b g.listing.instrs with
+    | Ret -> Ret
+    | Jtable _ -> Indjump
+    | Jmp _ -> (
+      match external_target with
+      | Some (_, target) -> external_class target
+      | None -> Normal)
+    | Jcc _ -> (
+      match external_target with
+      | Some (_, target) -> external_class target
+      | None ->
+        if List.exists (is_immediate_ret_block g) b.succs then Cndret
+        else Normal)
+    | Nop | Mov _ | Binop _ | Fbinop _ | Neg _ | Not _ | I2f _ | F2i _
+    | Load _ | Store _ | Lea _ | Cmp _ | Fcmp _ | Call _ | Push _ | Pop _
+    | Syscall _ ->
+      Normal
+  end
+
+let histogram ?is_noret_target g =
+  let counts = Hashtbl.create 8 in
+  List.iter (fun c -> Hashtbl.replace counts c 0) all;
+  Array.iter
+    (fun b ->
+      let c = classify ?is_noret_target g b in
+      Hashtbl.replace counts c (Hashtbl.find counts c + 1))
+    g.blocks;
+  List.map (fun c -> (c, Hashtbl.find counts c)) all

@@ -1,0 +1,23 @@
+(** Basic-block type classification, matching the fcb_* features of the
+    paper's Table I. *)
+
+type block_class =
+  | Normal  (** falls through or jumps within the function *)
+  | Indjump  (** ends with an indirect (table) jump *)
+  | Ret  (** return block *)
+  | Cndret  (** conditionally reaches an immediate return block *)
+  | Noret  (** terminated by a no-return call *)
+  | Enoret  (** jumps to a no-return target outside the function *)
+  | Extern  (** jumps to a normal target outside the function *)
+  | Error  (** execution passes the function end *)
+
+val classify : ?is_noret_target:(int -> bool) -> Graph.t -> Block.t -> block_class
+(** [is_noret_target off] distinguishes {!Enoret} from {!Extern} for jumps
+    leaving the function at byte target [off]; defaults to never. *)
+
+val histogram : ?is_noret_target:(int -> bool) -> Graph.t -> (block_class * int) list
+(** Count of each class over all blocks (classes with zero count
+    included, in declaration order). *)
+
+val to_string : block_class -> string
+val all : block_class list

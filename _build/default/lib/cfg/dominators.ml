@@ -1,0 +1,119 @@
+type t = {
+  idoms : int array;  (* -1 = undefined / entry *)
+  order : int array;  (* reverse postorder position per block; -1 unreachable *)
+}
+
+(* reverse postorder over the successor relation *)
+let reverse_postorder (g : Graph.t) =
+  let n = Graph.block_count g in
+  let visited = Array.make n false in
+  let out = ref [] in
+  let rec visit b =
+    if not visited.(b) then begin
+      visited.(b) <- true;
+      List.iter visit g.blocks.(b).Block.succs;
+      out := b :: !out
+    end
+  in
+  if n > 0 then visit 0;
+  Array.of_list !out
+
+let compute (g : Graph.t) =
+  let n = Graph.block_count g in
+  let idoms = Array.make n (-1) in
+  let order = Array.make n (-1) in
+  if n > 0 then begin
+    let rpo = reverse_postorder g in
+    Array.iteri (fun pos b -> order.(b) <- pos) rpo;
+    let preds = Array.map (fun b -> b.Block.preds) g.blocks in
+    idoms.(0) <- 0;
+    (* Cooper-Harvey-Kennedy: intersect along the dominator tree in
+       reverse postorder until fixpoint. *)
+    let rec intersect a b =
+      if a = b then a
+      else if order.(a) > order.(b) then intersect idoms.(a) b
+      else intersect a idoms.(b)
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun b ->
+          if b <> 0 then begin
+            let processed =
+              List.filter (fun p -> order.(p) >= 0 && idoms.(p) >= 0) preds.(b)
+            in
+            match processed with
+            | [] -> ()
+            | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idoms.(b) <> new_idom then begin
+                idoms.(b) <- new_idom;
+                changed := true
+              end
+          end)
+        rpo
+    done
+  end;
+  { idoms; order }
+
+let idom t b =
+  if b = 0 then None
+  else if b < 0 || b >= Array.length t.idoms || t.idoms.(b) < 0 then None
+  else Some t.idoms.(b)
+
+let rec dominates t a b =
+  if a = b then true
+  else if b = 0 || b < 0 || b >= Array.length t.idoms || t.idoms.(b) < 0 then
+    false
+  else dominates t a t.idoms.(b)
+
+type loop = {
+  header : int;
+  body : int list;
+  back_edges : (int * int) list;
+}
+
+let natural_loops (g : Graph.t) t =
+  let back_edges = ref [] in
+  Array.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun s -> if dominates t s b.id then back_edges := (b.id, s) :: !back_edges)
+        b.succs)
+    g.blocks;
+  (* group back edges by header; the loop body is everything that reaches
+     a latch without passing through the header *)
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (latch, header) ->
+      let existing =
+        match Hashtbl.find_opt by_header header with Some l -> l | None -> []
+      in
+      Hashtbl.replace by_header header ((latch, header) :: existing))
+    !back_edges;
+  Hashtbl.fold
+    (fun header edges acc ->
+      let in_body = Hashtbl.create 8 in
+      Hashtbl.replace in_body header ();
+      let rec pull b =
+        if not (Hashtbl.mem in_body b) then begin
+          Hashtbl.replace in_body b ();
+          List.iter pull g.blocks.(b).Block.preds
+        end
+      in
+      List.iter (fun (latch, _) -> pull latch) edges;
+      let body =
+        List.sort compare (Hashtbl.fold (fun b () acc -> b :: acc) in_body [])
+      in
+      { header; body; back_edges = edges } :: acc)
+    by_header []
+  |> List.sort (fun a b -> compare a.header b.header)
+
+let loop_depth g t =
+  let n = Graph.block_count g in
+  let depth = Array.make n 0 in
+  List.iter
+    (fun loop -> List.iter (fun b -> depth.(b) <- depth.(b) + 1) loop.body)
+    (natural_loops g t);
+  depth

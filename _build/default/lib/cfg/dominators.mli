@@ -1,0 +1,26 @@
+(** Dominator analysis and natural-loop detection (Cooper-Harvey-Kennedy
+    iterative dominators).  Not part of the 48-feature set, but used by
+    the loop-aware tooling (e.g. the CLI's function reports) and useful to
+    downstream consumers of the CFG library. *)
+
+type t
+
+val compute : Graph.t -> t
+val idom : t -> int -> int option
+(** Immediate dominator of a block ([None] for the entry block and
+    unreachable blocks). *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b]: does block [a] dominate block [b]?  Reflexive. *)
+
+type loop = {
+  header : int;
+  body : int list;  (** blocks of the natural loop, header included *)
+  back_edges : (int * int) list;  (** (latch, header) pairs *)
+}
+
+val natural_loops : Graph.t -> t -> loop list
+(** One entry per loop header, sorted by header id. *)
+
+val loop_depth : Graph.t -> t -> int array
+(** Nesting depth per block (0 = not in any loop). *)

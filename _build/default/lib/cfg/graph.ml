@@ -1,0 +1,155 @@
+type t = {
+  listing : Isa.Disasm.listing;
+  blocks : Block.t array;
+  external_targets : (int * int) list;
+  falls_off_end : int list;
+  noret_call_blocks : int list;
+}
+
+let never _ = false
+
+(* Byte targets of a terminator instruction, within-function only checks
+   happen at edge-construction time. *)
+let branch_targets (ins : int Isa.Instr.t) =
+  match ins with
+  | Jmp t -> [ t ]
+  | Jcc (_, t) -> [ t ]
+  | Jtable (_, ts) -> Array.to_list ts
+  | Nop | Mov _ | Binop _ | Fbinop _ | Neg _ | Not _ | I2f _ | F2i _ | Load _
+  | Store _ | Lea _ | Cmp _ | Fcmp _ | Call _ | Ret | Push _ | Pop _
+  | Syscall _ ->
+    []
+
+let has_fallthrough (ins : int Isa.Instr.t) ~noret =
+  match ins with
+  | Jmp _ | Jtable _ | Ret -> false
+  | Call _ -> not noret
+  | Jcc _ | Nop | Mov _ | Binop _ | Fbinop _ | Neg _ | Not _ | I2f _ | F2i _
+  | Load _ | Store _ | Lea _ | Cmp _ | Fcmp _ | Push _ | Pop _ | Syscall _ ->
+    true
+
+let build ?(is_noret_call = never) (listing : Isa.Disasm.listing) =
+  let n = Array.length listing.instrs in
+  if n = 0 then
+    {
+      listing;
+      blocks = [||];
+      external_targets = [];
+      falls_off_end = [];
+      noret_call_blocks = [];
+    }
+  else begin
+    let is_noret_ins (ins : int Isa.Instr.t) =
+      match ins with
+      | Call idx -> is_noret_call idx
+      | Nop | Mov _ | Binop _ | Fbinop _ | Neg _ | Not _ | I2f _ | F2i _
+      | Load _ | Store _ | Lea _ | Cmp _ | Fcmp _ | Jmp _ | Jcc _ | Jtable _
+      | Ret | Push _ | Pop _ | Syscall _ ->
+        false
+    in
+    let ends_block ins = Isa.Instr.is_terminator ins || is_noret_ins ins in
+    (* 1. leaders *)
+    let leader = Array.make n false in
+    leader.(0) <- true;
+    Array.iteri
+      (fun i ins ->
+        List.iter
+          (fun target ->
+            match Isa.Disasm.index_of_offset listing target with
+            | Some j -> leader.(j) <- true
+            | None -> ())
+          (branch_targets ins);
+        if ends_block ins && i + 1 < n then leader.(i + 1) <- true)
+      listing.instrs;
+    (* 2. partition into blocks *)
+    let starts = ref [] in
+    for i = n - 1 downto 0 do
+      if leader.(i) then starts := i :: !starts
+    done;
+    let starts = Array.of_list !starts in
+    let nb = Array.length starts in
+    let block_of_index = Array.make n 0 in
+    let bounds =
+      Array.mapi
+        (fun b first ->
+          let last = if b + 1 < nb then starts.(b + 1) - 1 else n - 1 in
+          for i = first to last do
+            block_of_index.(i) <- b
+          done;
+          (first, last))
+        starts
+    in
+    (* 3. edges *)
+    let succs = Array.make nb [] in
+    let preds = Array.make nb [] in
+    let external_targets = ref [] in
+    let falls_off_end = ref [] in
+    let noret_call_blocks = ref [] in
+    let add_edge a b =
+      if not (List.mem b succs.(a)) then begin
+        succs.(a) <- b :: succs.(a);
+        preds.(b) <- a :: preds.(b)
+      end
+    in
+    Array.iteri
+      (fun b (_, last) ->
+        let term = listing.instrs.(last) in
+        List.iter
+          (fun target ->
+            match Isa.Disasm.index_of_offset listing target with
+            | Some j -> add_edge b block_of_index.(j)
+            | None -> external_targets := (b, target) :: !external_targets)
+          (branch_targets term);
+        if is_noret_ins term then noret_call_blocks := b :: !noret_call_blocks
+        else if has_fallthrough term ~noret:false then begin
+          if last + 1 < n then add_edge b block_of_index.(last + 1)
+          else falls_off_end := b :: !falls_off_end
+        end)
+      bounds;
+    let blocks =
+      Array.mapi
+        (fun b (first, last) ->
+          let offset = listing.offsets.(first) in
+          let next_offset =
+            if last + 1 < n then listing.offsets.(last + 1) else listing.size
+          in
+          {
+            Block.id = b;
+            first;
+            last;
+            offset;
+            byte_size = next_offset - offset;
+            succs = List.rev succs.(b);
+            preds = List.rev preds.(b);
+          })
+        bounds
+    in
+    {
+      listing;
+      blocks;
+      external_targets = List.rev !external_targets;
+      falls_off_end = List.rev !falls_off_end;
+      noret_call_blocks = List.rev !noret_call_blocks;
+    }
+  end
+
+let block_count t = Array.length t.blocks
+
+let edge_count t =
+  Array.fold_left (fun acc b -> acc + List.length b.Block.succs) 0 t.blocks
+
+let entry t = if Array.length t.blocks > 0 then Some t.blocks.(0) else None
+
+let cyclomatic_complexity t =
+  if block_count t = 0 then 0 else edge_count t - block_count t + 2
+
+let pp ppf t =
+  Array.iter
+    (fun b ->
+      Format.fprintf ppf "B%d [%d..%d] -> %a@." b.Block.id b.Block.first
+        b.Block.last
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           Format.pp_print_int)
+        b.Block.succs)
+    t.blocks

@@ -1,0 +1,30 @@
+(** Control-flow graph recovery from a disassembled function.
+
+    Leaders are the entry instruction, branch targets, and instructions
+    following a terminator or a no-return call; edges follow the usual
+    fallthrough/branch/table rules.  Jumps whose target lies outside the
+    function are kept as "external" successors (recorded separately); a
+    block that runs past the end of the function is flagged — both cases
+    feed the fcb_extern / fcb_error features of Table I. *)
+
+type t = {
+  listing : Isa.Disasm.listing;
+  blocks : Block.t array;
+  external_targets : (int * int) list;
+      (** (block id, out-of-function byte target) pairs *)
+  falls_off_end : int list;  (** ids of blocks running past function end *)
+  noret_call_blocks : int list;
+      (** ids of blocks terminated by a no-return call *)
+}
+
+val build : ?is_noret_call:(int -> bool) -> Isa.Disasm.listing -> t
+(** [is_noret_call idx] says whether call-table entry [idx] never returns
+    (e.g. an [exit]/[abort] import); such calls terminate blocks. *)
+
+val block_count : t -> int
+val edge_count : t -> int
+val entry : t -> Block.t option
+val cyclomatic_complexity : t -> int
+(** Edges - nodes + 2, as in Table I. *)
+
+val pp : Format.formatter -> t -> unit

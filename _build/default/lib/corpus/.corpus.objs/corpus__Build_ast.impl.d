@@ -1,0 +1,1 @@
+lib/corpus/build_ast.ml: Int64 List Minic

@@ -1,0 +1,1 @@
+lib/corpus/build_ast.mli: Minic

@@ -1,0 +1,1 @@
+lib/corpus/cves.ml: Build_ast Fuzz Int64 List Minic String Util

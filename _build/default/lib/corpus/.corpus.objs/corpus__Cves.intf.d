@@ -1,0 +1,1 @@
+lib/corpus/cves.mli: Fuzz Minic

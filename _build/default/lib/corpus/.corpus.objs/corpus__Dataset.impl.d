@@ -1,0 +1,1 @@
+lib/corpus/dataset.ml: Array Cves Genlib Isa List Loader Minic Nn Staticfeat Util

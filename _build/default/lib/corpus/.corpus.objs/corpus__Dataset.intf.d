@@ -1,0 +1,1 @@
+lib/corpus/dataset.mli: Cves Isa Loader Minic Nn

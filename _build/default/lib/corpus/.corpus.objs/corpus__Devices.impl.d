@@ -1,0 +1,1 @@
+lib/corpus/devices.ml: Array Cves Genlib Isa List Loader Minic

@@ -1,0 +1,1 @@
+lib/corpus/devices.mli: Cves Isa Loader Minic

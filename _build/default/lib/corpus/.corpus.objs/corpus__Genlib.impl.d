@@ -1,0 +1,1 @@
+lib/corpus/genlib.ml: Array Build_ast Cves Fuzz Int64 List Minic Printf Templates Util

@@ -1,0 +1,1 @@
+lib/corpus/genlib.mli: Cves Minic

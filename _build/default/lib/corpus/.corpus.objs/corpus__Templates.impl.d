@@ -1,0 +1,1 @@
+lib/corpus/templates.ml: Build_ast Fuzz Int64 List Minic Util

@@ -1,0 +1,1 @@
+lib/corpus/templates.mli: Fuzz Minic Util

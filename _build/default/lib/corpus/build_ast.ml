@@ -1,0 +1,46 @@
+open Minic.Ast
+
+let i n = Eint (Int64.of_int n)
+let i64 n = Eint n
+let v name = Evar name
+let ( +: ) a b = Ebinop (Badd, a, b)
+let ( -: ) a b = Ebinop (Bsub, a, b)
+let ( *: ) a b = Ebinop (Bmul, a, b)
+let ( /: ) a b = Ebinop (Bdiv, a, b)
+let ( %: ) a b = Ebinop (Brem, a, b)
+let ( ^: ) a b = Ebinop (Bxor, a, b)
+let ( &: ) a b = Ebinop (Bandb, a, b)
+let ( |: ) a b = Ebinop (Borb, a, b)
+let ( <<: ) a b = Ebinop (Bshl, a, b)
+let ( >>: ) a b = Ebinop (Bshr, a, b)
+let ( <: ) a b = Ebinop (Blt, a, b)
+let ( <=: ) a b = Ebinop (Ble, a, b)
+let ( >: ) a b = Ebinop (Bgt, a, b)
+let ( >=: ) a b = Ebinop (Bge, a, b)
+let ( =: ) a b = Ebinop (Beq, a, b)
+let ( <>: ) a b = Ebinop (Bne, a, b)
+let ( &&: ) a b = Ebinop (Bland, a, b)
+let ( ||: ) a b = Ebinop (Blor, a, b)
+let idx base index = Eindex (base, index)
+let addr base index = Eaddr (base, index)
+let call name args = Ecall (name, args)
+
+let let_ name ty e = Sdecl (name, ty, Some e)
+let letbuf name elem n = Sarray (name, elem, n)
+let set name e = Sassign (name, e)
+let setidx base index e = Sindexset (base, index, e)
+let if_ cond thens = Sif (cond, thens, [])
+let ifelse cond thens elses = Sif (cond, thens, elses)
+let while_ cond body = Swhile (cond, body)
+let for_ var start bound body = Sfor (var, start, bound, i 1, body)
+let ret e = Sreturn (Some e)
+let ret_void = Sreturn None
+let expr e = Sexpr e
+
+let fn fname params ret body =
+  {
+    fname;
+    params = List.map (fun (pname, pty) -> { pname; pty }) params;
+    ret;
+    body;
+  }

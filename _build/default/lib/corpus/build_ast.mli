@@ -1,0 +1,45 @@
+(** Small combinators for building MinC ASTs programmatically — the
+    corpus generator's vocabulary. *)
+
+open Minic.Ast
+
+val i : int -> expr
+val i64 : int64 -> expr
+val v : string -> expr
+val ( +: ) : expr -> expr -> expr
+val ( -: ) : expr -> expr -> expr
+val ( *: ) : expr -> expr -> expr
+val ( /: ) : expr -> expr -> expr
+val ( %: ) : expr -> expr -> expr
+val ( ^: ) : expr -> expr -> expr
+val ( &: ) : expr -> expr -> expr
+val ( |: ) : expr -> expr -> expr
+val ( <<: ) : expr -> expr -> expr
+val ( >>: ) : expr -> expr -> expr
+val ( <: ) : expr -> expr -> expr
+val ( <=: ) : expr -> expr -> expr
+val ( >: ) : expr -> expr -> expr
+val ( >=: ) : expr -> expr -> expr
+val ( =: ) : expr -> expr -> expr
+val ( <>: ) : expr -> expr -> expr
+val ( &&: ) : expr -> expr -> expr
+val ( ||: ) : expr -> expr -> expr
+val idx : expr -> expr -> expr
+val addr : expr -> expr -> expr
+val call : string -> expr list -> expr
+
+val let_ : string -> ty -> expr -> stmt
+val letbuf : string -> elem -> int -> stmt
+val set : string -> expr -> stmt
+val setidx : expr -> expr -> expr -> stmt
+val if_ : expr -> stmt list -> stmt
+val ifelse : expr -> stmt list -> stmt list -> stmt
+val while_ : expr -> stmt list -> stmt
+val for_ : string -> expr -> expr -> stmt list -> stmt
+(** step 1 *)
+
+val ret : expr -> stmt
+val ret_void : stmt
+val expr : expr -> stmt
+
+val fn : string -> (string * ty) list -> ty -> stmt list -> func

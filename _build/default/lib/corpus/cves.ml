@@ -1,0 +1,311 @@
+open Build_ast
+open Minic.Ast
+
+type t = {
+  id : string;
+  family : string;
+  host_library : int;
+  fname : string;
+  seed : int64;
+  shape : Fuzz.Shape.t;
+  description : string;
+}
+
+let buf_shape : Fuzz.Shape.t = [ Abuf 48; Alen ]
+
+(* --- family 1: the paper's case study ----------------------------------
+   ID3::removeUnsynchronization.  The vulnerable version memmoves the
+   tail of the buffer for every 0xff 0x00 pair; the patch rewrites it as
+   a single read/write pass and adds a final size check. *)
+let remove_unsync _rng ~fname ~patched =
+  if not patched then
+    fn fname
+      [ ("data", Tptr Byte); ("size", Tint) ]
+      Tint
+      [
+        let_ "msize" Tint (v "size");
+        let_ "k" Tint (i 0);
+        while_
+          (v "k" +: i 1 <: v "msize")
+          [
+            if_
+              ((idx (v "data") (v "k") =: i 255)
+              &&: (idx (v "data") (v "k" +: i 1) =: i 0))
+              [
+                expr
+                  (call "memmove"
+                     [
+                       addr (v "data") (v "k" +: i 1);
+                       addr (v "data") (v "k" +: i 2);
+                       v "msize" -: v "k" -: i 2;
+                     ]);
+                set "msize" (v "msize" -: i 1);
+              ];
+            set "k" (v "k" +: i 1);
+          ];
+        ret (v "msize");
+      ]
+  else
+    fn fname
+      [ ("data", Tptr Byte); ("size", Tint) ]
+      Tint
+      [
+        let_ "msize" Tint (v "size");
+        let_ "woff" Tint (i 1);
+        if_ (v "msize" =: i 0) [ ret (i 0) ];
+        for_ "roff" (i 1) (v "msize")
+          [
+            ifelse
+              ((idx (v "data") (v "roff" -: i 1) =: i 255)
+              &&: (idx (v "data") (v "roff") =: i 0))
+              [ Scontinue ]
+              [
+                setidx (v "data") (v "woff") (idx (v "data") (v "roff"));
+                set "woff" (v "woff" +: i 1);
+              ];
+          ];
+        if_ (v "woff" <: v "msize") [ set "msize" (v "woff") ];
+        ret (v "msize");
+      ]
+
+(* --- family 2: missing bounds check on a stack buffer ------------------ *)
+let missing_bounds rng ~fname ~patched =
+  let cap = Util.Prng.choose rng [| 24; 32; 40 |] in
+  let mult = Util.Prng.int_in rng 3 11 in
+  let guard = if patched then [ if_ (v "n" >: i cap) [ set "n" (i cap) ] ] else [] in
+  fn fname
+    [ ("data", Tptr Byte); ("len", Tint) ]
+    Tint
+    ([ letbuf "stage" Byte cap; let_ "n" Tint (v "len") ]
+    @ guard
+    @ [
+        for_ "k" (i 0) (v "n")
+          [ setidx (v "stage") (v "k") ((idx (v "data") (v "k") *: i mult) %: i 251) ];
+        let_ "acc" Tint (i 0);
+        for_ "k" (i 0) (v "n") [ set "acc" (v "acc" +: idx (v "stage") (v "k")) ];
+        ret (v "acc");
+      ])
+
+(* --- family 3: off-by-one loop bound ----------------------------------- *)
+let off_by_one rng ~fname ~patched =
+  let weight = Util.Prng.int_in rng 2 17 in
+  let bound = if patched then v "len" else v "len" +: i 1 in
+  fn fname
+    [ ("data", Tptr Byte); ("len", Tint) ]
+    Tint
+    [
+      let_ "acc" Tint (i 0);
+      let_ "k" Tint (i 0);
+      while_
+        (v "k" <: bound)
+        [
+          set "acc" (v "acc" +: (idx (v "data") (v "k") *: i weight));
+          set "k" (v "k" +: i 1);
+        ];
+      ret (v "acc" %: i 65521);
+    ]
+
+(* --- family 4: unchecked divisor --------------------------------------- *)
+let div_guard rng ~fname ~patched =
+  let base = Util.Prng.int_in rng 100 999 in
+  let divisor = idx (v "data") (i 0) %: i 16 in
+  let body_tail =
+    [
+      let_ "q" Tint ((v "total" +: i base) /: v "d");
+      ret (v "q");
+    ]
+  in
+  let guard =
+    if patched then [ if_ (v "d" =: i 0) [ ret (i 0 -: i 1) ] ] else []
+  in
+  fn fname
+    [ ("data", Tptr Byte); ("len", Tint) ]
+    Tint
+    ([
+       if_ (v "len" <: i 1) [ ret (i 0 -: i 1) ];
+       let_ "total" Tint (i 0);
+       for_ "k" (i 0) (v "len") [ set "total" (v "total" +: idx (v "data") (v "k")) ];
+       let_ "d" Tint divisor;
+     ]
+    @ guard @ body_tail)
+
+(* --- family 5: unchecked TLV record length ----------------------------- *)
+let unchecked_length rng ~fname ~patched =
+  let cap = Util.Prng.choose rng [| 32; 48 |] in
+  let guard =
+    if patched then
+      [ if_ (v "tlen" >: v "len" -: v "pos") [ ret (i 0 -: i 1) ] ]
+    else []
+  in
+  fn fname
+    [ ("data", Tptr Byte); ("len", Tint) ]
+    Tint
+    [
+      letbuf "payload" Byte cap;
+      let_ "pos" Tint (i 0);
+      let_ "out" Tint (i 0);
+      while_
+        (v "pos" +: i 1 <: v "len")
+        ([
+           let_ "tlen" Tint (idx (v "data") (v "pos") %: i cap);
+           set "pos" (v "pos" +: i 1);
+         ]
+        @ guard
+        @ [
+            for_ "j" (i 0) (v "tlen")
+              [
+                if_
+                  (v "pos" +: v "j" <: v "len")
+                  [ setidx (v "payload") (v "j") (idx (v "data") (v "pos" +: v "j")) ];
+              ];
+            for_ "j" (i 0) (v "tlen") [ set "out" (v "out" ^: idx (v "payload") (v "j")) ];
+            set "pos" (v "pos" +: v "tlen" +: i 1);
+          ]);
+      ret (v "out");
+    ]
+
+(* --- family 6: missing increment (DoS / infinite loop) ------------------ *)
+let missing_increment rng ~fname ~patched =
+  let marker = 255 in
+  let bias = Util.Prng.int_in rng 0 9 in
+  let vulnerable_body =
+    [
+      (* on a marker byte the cursor is not advanced: loops forever *)
+      ifelse
+        (idx (v "data") (v "k") =: i marker)
+        [ set "acc" (v "acc" +: i 1) ]
+        [
+          set "acc" (v "acc" +: idx (v "data") (v "k"));
+          set "k" (v "k" +: i 1);
+        ];
+    ]
+  in
+  let patched_body =
+    [
+      ifelse
+        (idx (v "data") (v "k") =: i marker)
+        [ set "acc" (v "acc" +: i 1) ]
+        [ set "acc" (v "acc" +: idx (v "data") (v "k")) ];
+      set "k" (v "k" +: i 1);
+    ]
+  in
+  fn fname
+    [ ("data", Tptr Byte); ("len", Tint) ]
+    Tint
+    [
+      let_ "acc" Tint (i bias);
+      let_ "k" Tint (i 0);
+      while_ (v "k" <: v "len") (if patched then patched_body else vulnerable_body);
+      ret (v "acc");
+    ]
+
+(* --- family 7: single-constant patch (the paper's CVE-2018-9470 miss) -- *)
+let int_clamp rng ~fname ~patched =
+  let mult = Util.Prng.int_in rng 2 6 in
+  let limit = if patched then 1024 else 4096 in
+  fn fname
+    [ ("x", Tint); ("y", Tint) ]
+    Tint
+    [
+      let_ "t" Tint ((v "x" *: i mult) +: v "y");
+      if_ (v "t" >: i limit) [ set "t" (i limit) ];
+      ret (v "t" ^: (v "t" >>: i 3));
+    ]
+
+(* --- family 8: missing zero-length guard before a division ------------- *)
+let null_check rng ~fname ~patched =
+  let bias = Util.Prng.int_in rng 1 31 in
+  let guard = if patched then [ if_ (v "len" =: i 0) [ ret (i 0 -: i 1) ] ] else [] in
+  fn fname
+    [ ("data", Tptr Byte); ("len", Tint) ]
+    Tint
+    (guard
+    @ [
+        let_ "total" Tint (i bias);
+        for_ "k" (i 0) (v "len") [ set "total" (v "total" +: idx (v "data") (v "k")) ];
+        ret (v "total" /: v "len");
+      ])
+
+let families =
+  [
+    ("remove_unsync", remove_unsync);
+    ("missing_bounds", missing_bounds);
+    ("off_by_one", off_by_one);
+    ("div_guard", div_guard);
+    ("unchecked_length", unchecked_length);
+    ("missing_increment", missing_increment);
+    ("int_clamp", int_clamp);
+    ("null_check", null_check);
+  ]
+
+(* Table VI order.  Family assignment keeps the two paper-pinned cases
+   (9412 = the case study, 9470 = the one-integer patch) and cycles the
+   rest. *)
+let specs =
+  [
+    ("CVE-2018-9451", "missing_bounds");
+    ("CVE-2018-9340", "unchecked_length");
+    ("CVE-2017-13232", "off_by_one");
+    ("CVE-2018-9345", "div_guard");
+    ("CVE-2018-9420", "null_check");
+    ("CVE-2017-13210", "missing_bounds");
+    ("CVE-2018-9470", "int_clamp");
+    ("CVE-2017-13209", "unchecked_length");
+    ("CVE-2018-9411", "off_by_one");
+    ("CVE-2017-13252", "div_guard");
+    ("CVE-2017-13253", "null_check");
+    ("CVE-2018-9499", "missing_increment");
+    ("CVE-2018-9424", "missing_bounds");
+    ("CVE-2018-9491", "unchecked_length");
+    ("CVE-2017-13278", "off_by_one");
+    ("CVE-2018-9410", "div_guard");
+    ("CVE-2017-13208", "null_check");
+    ("CVE-2018-9498", "missing_increment");
+    ("CVE-2017-13279", "missing_bounds");
+    ("CVE-2018-9440", "unchecked_length");
+    ("CVE-2018-9427", "off_by_one");
+    ("CVE-2017-13178", "div_guard");
+    ("CVE-2017-13180", "null_check");
+    ("CVE-2018-9412", "remove_unsync");
+    ("CVE-2017-13182", "missing_increment");
+  ]
+
+let shape_of_family family =
+  match family with
+  | "int_clamp" -> ([ Fuzz.Shape.Aint (0L, 2000L); Aint (0L, 500L) ] : Fuzz.Shape.t)
+  | _ -> buf_shape
+
+let description_of_family = function
+  | "remove_unsync" -> "ID3 unsynchronisation removal DoS (memmove loop)"
+  | "missing_bounds" -> "stack buffer write without length clamp"
+  | "off_by_one" -> "loop reads one byte past the buffer"
+  | "div_guard" -> "attacker-controlled divisor unchecked"
+  | "unchecked_length" -> "TLV record length not validated against input size"
+  | "missing_increment" -> "cursor not advanced on marker byte (infinite loop DoS)"
+  | "int_clamp" -> "incorrect clamp constant (patch changes one integer)"
+  | "null_check" -> "missing zero-length guard before division"
+  | f -> f
+
+let all =
+  List.mapi
+    (fun k (id, family) ->
+      {
+        id;
+        family;
+        host_library = k mod 5;
+        fname = "cve_" ^ String.map (fun c -> if c = '-' then '_' else c) id;
+        seed = Int64.of_int (0x5EED + (k * 7919));
+        shape = shape_of_family family;
+        description = description_of_family family;
+      })
+    specs
+
+let find id = List.find_opt (fun c -> c.id = id) all
+
+let func c ~patched =
+  let maker = List.assoc c.family families in
+  let rng = Util.Prng.create c.seed in
+  maker rng ~fname:c.fname ~patched
+
+let vulnerable_func c = func c ~patched:false
+let patched_func c = func c ~patched:true

@@ -1,0 +1,29 @@
+(** The 25 synthetic CVEs, reusing the paper's CVE identifiers (Table VI).
+
+    Each CVE is a (vulnerable, patched) pair of MinC functions generated
+    from one of eight patch families — the patch is a minimal semantic
+    change (bounds check added, memmove loop rewritten, missing increment
+    restored, a single constant changed, ...), with all other
+    rng-derived constants shared, so the pair differs exactly the way a
+    real security patch differs.  CVE-2018-9412 is a faithful port of the
+    paper's ID3 removeUnsynchronization case study; CVE-2018-9470's patch
+    changes one integer — the case the paper's differential engine
+    misclassifies. *)
+
+type t = {
+  id : string;
+  family : string;
+  host_library : int;  (** which corpus library carries this function *)
+  fname : string;
+  seed : int64;  (** shared constants of the pair derive from this *)
+  shape : Fuzz.Shape.t;
+  description : string;
+}
+
+val all : t list
+(** 25 entries, in the paper's Table VI order. *)
+
+val find : string -> t option
+val vulnerable_func : t -> Minic.Ast.func
+val patched_func : t -> Minic.Ast.func
+val func : t -> patched:bool -> Minic.Ast.func

@@ -1,0 +1,102 @@
+type config = {
+  nlibs : int;
+  nfuncs : int;
+  archs : Isa.Arch.t list;
+  opts : Minic.Optlevel.level list;
+  pairs_per_function : int;
+  seed : int64;
+}
+
+let default_config =
+  {
+    nlibs = 24;
+    nfuncs = 26;
+    archs = Isa.Arch.all;
+    opts = Minic.Optlevel.all;
+    pairs_per_function = 6;
+    seed = 0xDA7AL;
+  }
+
+let small_config =
+  {
+    nlibs = 4;
+    nfuncs = 12;
+    archs = Isa.Arch.[ X86; Arm64 ];
+    opts = Minic.Optlevel.[ O1; O2 ];
+    pairs_per_function = 2;
+    seed = 0xDA7AL;
+  }
+
+(* The database reference build: a different architecture and a lower
+   optimisation level than any device firmware, so every lookup crosses
+   configurations.  The build-gap sensitivity is quantified by the
+   db-build ablation (dynamic profiles degrade as the gap widens — see
+   EXPERIMENTS.md). *)
+let db_arch = Isa.Arch.Arm64
+let db_opt = Minic.Optlevel.O1
+
+(* features.(lib).(config).(findex); function indices are identical across
+   configurations of the same library because the compiler preserves
+   function order. *)
+let extract_all config =
+  List.init config.nlibs (fun idx ->
+      let prog = Genlib.generate ~seed:config.seed ~index:idx ~nfuncs:config.nfuncs in
+      let images =
+        Minic.Compiler.compile_matrix ~archs:config.archs ~opts:config.opts prog
+      in
+      List.map
+        (fun (_cfg, img) ->
+          Staticfeat.Extract.of_image (Loader.Image.strip img))
+        images)
+
+let build_pairs config =
+  let rng = Util.Prng.create config.seed in
+  let libs = Array.of_list (List.map Array.of_list (extract_all config)) in
+  let pairs = ref [] in
+  let nconfigs lib = Array.length libs.(lib) in
+  let nfuncs lib = Array.length libs.(lib).(0) in
+  let random_other rng lib fidx =
+    let rec draw () =
+      let l = Util.Prng.int rng (Array.length libs) in
+      let f = Util.Prng.int rng (nfuncs l) in
+      if l = lib && f = fidx then draw () else (l, f)
+    in
+    draw ()
+  in
+  Array.iteri
+    (fun lib configs ->
+      let nf = nfuncs lib in
+      for fidx = 0 to nf - 1 do
+        for _ = 1 to config.pairs_per_function do
+          (* similar: same function, two distinct configurations *)
+          let c1 = Util.Prng.int rng (nconfigs lib) in
+          let c2 =
+            let rec draw () =
+              let c = Util.Prng.int rng (nconfigs lib) in
+              if c = c1 && nconfigs lib > 1 then draw () else c
+            in
+            draw ()
+          in
+          let fa = configs.(c1).(fidx) and fb = configs.(c2).(fidx) in
+          pairs := (Util.Vec.concat fa fb, 1.0) :: !pairs;
+          (* dissimilar: a different function somewhere in the corpus *)
+          let l2, f2 = random_other rng lib fidx in
+          let c3 = Util.Prng.int rng (nconfigs l2) in
+          let fc = libs.(l2).(c3).(f2) in
+          pairs := (Util.Vec.concat fa fc, 0.0) :: !pairs
+        done
+      done)
+    libs;
+  let arr = Array.of_list !pairs in
+  Util.Prng.shuffle rng arr;
+  Nn.Data.make (Array.to_list arr)
+
+let compile_cve ?(arch = db_arch) ?(opt = db_opt) (cve : Cves.t) ~patched =
+  let prog =
+    {
+      Minic.Ast.pname = "cvedb_" ^ cve.fname;
+      globals = [];
+      funcs = [ Cves.func cve ~patched ];
+    }
+  in
+  Minic.Compiler.compile ~arch ~opt prog

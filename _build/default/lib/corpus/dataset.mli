@@ -1,0 +1,36 @@
+(** Dataset builders.
+
+    Dataset I (training): libraries compiled for every (architecture,
+    optimisation) combination; similar pairs are the same function under
+    two different configurations, dissimilar pairs are two different
+    functions.  Pair vectors are the concatenation of the two 48-feature
+    static vectors (96 inputs), labels 1/0.
+
+    Dataset II (vulnerability database sources): one small image per CVE
+    containing just the vulnerable or patched function, compiled at the
+    database reference configuration. *)
+
+type config = {
+  nlibs : int;
+  nfuncs : int;
+  archs : Isa.Arch.t list;
+  opts : Minic.Optlevel.level list;
+  pairs_per_function : int;
+  seed : int64;
+}
+
+val default_config : config
+val small_config : config
+(** Reduced size for tests and quick runs. *)
+
+val build_pairs : config -> Nn.Data.t
+(** Dataset I: balanced similar/dissimilar pairs. *)
+
+val db_arch : Isa.Arch.t
+val db_opt : Minic.Optlevel.level
+
+val compile_cve :
+  ?arch:Isa.Arch.t -> ?opt:Minic.Optlevel.level -> Cves.t -> patched:bool
+  -> Loader.Image.t
+(** Single-CVE reference image (function 0 is the CVE function); keeps
+    its symtab — the database legitimately knows its own functions. *)

@@ -1,0 +1,95 @@
+type device = {
+  device_name : string;
+  arch : Isa.Arch.t;
+  opt : Minic.Optlevel.level;
+  os_version : string;
+  security_patch : string;
+  is_patched : string -> bool;
+}
+
+(* Ground truth of Table VIII (Android Things): 10 of the 25 CVEs are
+   patched. *)
+let things_patched =
+  [
+    "CVE-2017-13232"; "CVE-2017-13210"; "CVE-2017-13209"; "CVE-2017-13252";
+    "CVE-2017-13253"; "CVE-2017-13278"; "CVE-2017-13208"; "CVE-2017-13279";
+    "CVE-2017-13180"; "CVE-2017-13182";
+  ]
+
+(* The Pixel 2 XL image carries an older (07/2017) patch level: only the
+   earliest 2017 issues are fixed. *)
+let pixel_patched =
+  [ "CVE-2017-13208"; "CVE-2017-13209"; "CVE-2017-13210"; "CVE-2017-13232" ]
+
+let android_things =
+  {
+    device_name = "Android Things 1.0";
+    arch = Isa.Arch.Arm32;
+    opt = Minic.Optlevel.O2;
+    os_version = "Android Things 1.0";
+    security_patch = "2018-05";
+    is_patched = (fun id -> List.mem id things_patched);
+  }
+
+let pixel2xl =
+  {
+    device_name = "Google Pixel 2 XL";
+    arch = Isa.Arch.Arm64;
+    opt = Minic.Optlevel.Ofast;
+    os_version = "Android 8.0";
+    security_patch = "2017-07";
+    is_patched = (fun id -> List.mem id pixel_patched);
+  }
+
+let all = [ android_things; pixel2xl ]
+
+type truth = {
+  cve : Cves.t;
+  image_name : string;
+  findex : int;
+  patched : bool;
+}
+
+let cve_lib_count = 5
+
+let build_firmware ?(seed = 0xF1A5L) ?(nlibs = 6) ?(nfuncs_base = 28) device =
+  let nlibs = max nlibs cve_lib_count in
+  let truths = ref [] in
+  let images =
+    Array.init nlibs (fun idx ->
+        (* library sizes vary, echoing the paper's 116..13729 spread *)
+        let nfuncs = nfuncs_base + (idx * 7) in
+        let base = Genlib.generate ~seed ~index:idx ~nfuncs in
+        let hosted =
+          List.filter (fun (c : Cves.t) -> c.host_library = idx) Cves.all
+        in
+        let prog =
+          Genlib.with_cves base
+            (List.map (fun c -> (c, device.is_patched c.Cves.id)) hosted)
+        in
+        let img = Minic.Compiler.compile ~arch:device.arch ~opt:device.opt prog in
+        List.iter
+          (fun (c : Cves.t) ->
+            match Loader.Image.find_function img c.fname with
+            | Some findex ->
+              truths :=
+                {
+                  cve = c;
+                  image_name = prog.Minic.Ast.pname;
+                  findex;
+                  patched = device.is_patched c.id;
+                }
+                :: !truths
+            | None -> ())
+          hosted;
+        img)
+  in
+  let firmware =
+    {
+      Loader.Firmware.device = device.device_name;
+      os_version = device.os_version;
+      security_patch = device.security_patch;
+      images;
+    }
+  in
+  (firmware, List.rev !truths)

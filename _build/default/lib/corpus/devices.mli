@@ -1,0 +1,36 @@
+(** The two evaluation targets — "Android Things 1.0" and "Google Pixel 2
+    XL" — as synthetic devices: an architecture, an optimisation level and
+    a per-CVE patch status.  The Android Things patch map reproduces the
+    ground-truth column of the paper's Table VIII. *)
+
+type device = {
+  device_name : string;
+  arch : Isa.Arch.t;
+  opt : Minic.Optlevel.level;
+  os_version : string;
+  security_patch : string;
+  is_patched : string -> bool;  (** CVE id -> ground truth *)
+}
+
+val android_things : device
+val pixel2xl : device
+val all : device list
+
+type truth = {
+  cve : Cves.t;
+  image_name : string;  (** library image hosting the CVE function *)
+  findex : int;  (** function index inside that image *)
+  patched : bool;
+}
+
+val build_firmware :
+  ?seed:int64 ->
+  ?nlibs:int ->
+  ?nfuncs_base:int ->
+  device ->
+  Loader.Firmware.t * truth list
+(** Compile the device's firmware: the first five libraries host the 25
+    CVE functions (vulnerable or patched per the device's map).  The
+    returned firmware keeps its symbol tables (evaluation ground truth);
+    strip it with {!Loader.Firmware.strip} before handing it to the
+    pipeline, as the paper does with its debug-built Dataset I. *)

@@ -1,0 +1,107 @@
+open Build_ast
+open Minic.Ast
+
+let library_name index = Printf.sprintf "lib%02d" index
+
+(* Functions with the (byte*, int) -> int prototype can be composed by
+   wrappers. *)
+let byte_buf_families =
+  List.filter
+    (fun f -> f.Templates.shape = [ Fuzz.Shape.Abuf 64; Fuzz.Shape.Alen ])
+    Templates.all
+
+let make_globals rng index =
+  let bias = Util.Prng.int_in rng 1 100 in
+  let table =
+    List.init 8 (fun k -> Int64.of_int ((k * Util.Prng.int_in rng 3 17) + bias))
+  in
+  [
+    { gname = "g_counter"; gini = Gint (Int64.of_int bias) };
+    { gname = "g_table"; gini = Gwords (8, table) };
+    {
+      gname = "g_banner";
+      gini = Gbytes (24, Printf.sprintf "lib%02d-build-%d" index bias);
+    };
+  ]
+
+(* Library-local helpers that touch the globals. *)
+let global_helpers rng =
+  let step = Util.Prng.int_in rng 1 7 in
+  [
+    fn "lib_tick" [] Tint
+      [
+        set "g_counter" (v "g_counter" +: i step);
+        ret (v "g_counter");
+      ];
+    fn "lib_lookup"
+      [ ("k", Tint) ]
+      Tint
+      [ ret (idx (v "g_table") (v "k" %: i 8)) ];
+    fn "lib_banner_len" [] Tint [ ret (call "strlen" [ v "g_banner" ]) ];
+  ]
+
+let make_wrapper rng ~fname callees =
+  match callees with
+  | [ a; b ] ->
+    let use_branch = Util.Prng.bool rng in
+    let threshold = Util.Prng.int_in rng 2 40 in
+    if use_branch then
+      fn fname
+        [ ("data", Tptr Byte); ("len", Tint) ]
+        Tint
+        [
+          ifelse
+            (v "len" >: i threshold)
+            [ ret (call a [ v "data"; v "len" ]) ]
+            [ ret (call b [ v "data"; v "len" ]) ];
+        ]
+    else
+      fn fname
+        [ ("data", Tptr Byte); ("len", Tint) ]
+        Tint
+        [
+          let_ "first" Tint (call a [ v "data"; v "len" ]);
+          let_ "second" Tint (call b [ v "data"; v "len" ]);
+          ret (v "first" ^: (v "second" *: i threshold));
+        ]
+  | _ -> invalid_arg "make_wrapper: needs exactly two callees"
+
+let generate ~seed ~index ~nfuncs =
+  let rng = Util.Prng.create (Int64.add seed (Int64.of_int (index * 7907))) in
+  let globals = make_globals rng index in
+  let helpers = global_helpers rng in
+  let n_templates = max 4 (nfuncs - List.length helpers - 3) in
+  let instances = ref [] in
+  let buf_names = ref [] in
+  for k = 0 to n_templates - 1 do
+    let family = Util.Prng.choose rng (Array.of_list Templates.all) in
+    let fname = Printf.sprintf "%s_%s_%d" (library_name index) family.Templates.name k in
+    let func = family.Templates.make rng ~fname in
+    instances := func :: !instances;
+    if List.memq family byte_buf_families then buf_names := fname :: !buf_names
+  done;
+  let wrappers =
+    match !buf_names with
+    | a :: b :: _ ->
+      List.init
+        (min 3 (List.length !buf_names / 2))
+        (fun k ->
+          let pool = Array.of_list !buf_names in
+          let x = if k = 0 then a else Util.Prng.choose rng pool in
+          let y = if k = 0 then b else Util.Prng.choose rng pool in
+          make_wrapper rng
+            ~fname:(Printf.sprintf "%s_wrap_%d" (library_name index) k)
+            [ x; y ])
+    | _ :: [] | [] -> []
+  in
+  {
+    pname = library_name index;
+    globals;
+    funcs = helpers @ List.rev !instances @ wrappers;
+  }
+
+let with_cves prog cve_versions =
+  let extra =
+    List.map (fun (cve, patched) -> Cves.func cve ~patched) cve_versions
+  in
+  { prog with funcs = prog.funcs @ extra }

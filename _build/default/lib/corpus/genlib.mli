@@ -1,0 +1,14 @@
+(** Synthetic library generator — the stand-in for the paper's 100 Android
+    libraries.  Each library draws a set of template-family instances, a
+    few wrapper functions that call them (so call graphs and inlining are
+    exercised), and library-local globals.  Generation is deterministic in
+    the seed. *)
+
+val generate : seed:int64 -> index:int -> nfuncs:int -> Minic.Ast.program
+(** A library named [libNN] with roughly [nfuncs] functions. *)
+
+val with_cves :
+  Minic.Ast.program -> (Cves.t * bool) list -> Minic.Ast.program
+(** Append CVE functions ([true] = patched version) to a library. *)
+
+val library_name : int -> string

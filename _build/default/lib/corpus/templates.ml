@@ -1,0 +1,718 @@
+open Build_ast
+open Minic.Ast
+
+type family = {
+  name : string;
+  make : Util.Prng.t -> fname:string -> Minic.Ast.func;
+  shape : Fuzz.Shape.t;
+}
+
+let byte_buf_shape : Fuzz.Shape.t = [ Abuf 64; Alen ]
+let two_ints_shape : Fuzz.Shape.t = [ Aint (0L, 1000L); Aint (0L, 1000L) ]
+let one_int_shape : Fuzz.Shape.t = [ Aint (0L, 255L) ]
+
+(* 1. checksum / rolling hash over a byte buffer *)
+let checksum rng ~fname =
+  let mult = Util.Prng.choose rng [| 31; 33; 37; 131; 257 |] in
+  let modv = Util.Prng.choose rng [| 1000003; 65521; 262139 |] in
+  let seed = Util.Prng.int_in rng 1 97 in
+  let mix =
+    if Util.Prng.bool rng then v "acc" ^: idx (v "data") (v "k")
+    else v "acc" +: idx (v "data") (v "k")
+  in
+  fn fname
+    [ ("data", Tptr Byte); ("len", Tint) ]
+    Tint
+    [
+      let_ "acc" Tint (i seed);
+      for_ "k" (i 0) (v "len")
+        [ set "acc" (((v "acc" *: i mult) +: mix) %: i modv) ];
+      ret (v "acc");
+    ]
+
+(* 2. fletcher-style dual-accumulator checksum *)
+let fletcher rng ~fname =
+  let modv = Util.Prng.choose rng [| 255; 65535; 251 |] in
+  fn fname
+    [ ("data", Tptr Byte); ("len", Tint) ]
+    Tint
+    [
+      let_ "a" Tint (i (Util.Prng.int_in rng 0 5));
+      let_ "b" Tint (i 0);
+      for_ "k" (i 0) (v "len")
+        [
+          set "a" ((v "a" +: idx (v "data") (v "k")) %: i modv);
+          set "b" ((v "b" +: v "a") %: i modv);
+        ];
+      ret ((v "b" <<: i 16) |: v "a");
+    ]
+
+(* 3. count bytes matching a predicate *)
+let count_matching rng ~fname =
+  let threshold = Util.Prng.int_in rng 32 128 in
+  let also_even = Util.Prng.bool rng in
+  let cond =
+    if also_even then
+      (idx (v "data") (v "k") >: i threshold)
+      &&: ((idx (v "data") (v "k") &: i 1) =: i 0)
+    else idx (v "data") (v "k") >: i threshold
+  in
+  fn fname
+    [ ("data", Tptr Byte); ("len", Tint) ]
+    Tint
+    [
+      let_ "n" Tint (i 0);
+      for_ "k" (i 0) (v "len") [ if_ cond [ set "n" (v "n" +: i 1) ] ];
+      ret (v "n");
+    ]
+
+(* 4. find first occurrence of a marker byte *)
+let find_marker rng ~fname =
+  let marker = Util.Prng.int_in rng 1 255 in
+  fn fname
+    [ ("data", Tptr Byte); ("len", Tint) ]
+    Tint
+    [
+      let_ "k" Tint (i 0);
+      while_
+        (v "k" <: v "len")
+        [
+          if_ (idx (v "data") (v "k") =: i marker) [ ret (v "k") ];
+          set "k" (v "k" +: i 1);
+        ];
+      ret (i 0 -: i 1);
+    ]
+
+(* 5. TLV parser: walk tag/length records, sum payloads of one tag *)
+let tlv_parse rng ~fname =
+  let want = Util.Prng.int_in rng 1 7 in
+  fn fname
+    [ ("data", Tptr Byte); ("len", Tint) ]
+    Tint
+    [
+      let_ "pos" Tint (i 0);
+      let_ "total" Tint (i 0);
+      while_
+        (v "pos" +: i 2 <=: v "len")
+        [
+          let_ "tag" Tint (idx (v "data") (v "pos"));
+          let_ "tlen" Tint (idx (v "data") (v "pos" +: i 1));
+          set "pos" (v "pos" +: i 2);
+          if_ (v "pos" +: v "tlen" >: v "len") [ ret (i 0 -: i 1) ];
+          if_
+            ((v "tag" %: i 8) =: i want)
+            [
+              for_ "j" (i 0) (v "tlen")
+                [ set "total" (v "total" +: idx (v "data") (v "pos" +: v "j")) ];
+            ];
+          set "pos" (v "pos" +: v "tlen");
+        ];
+      ret (v "total");
+    ]
+
+(* 6. RLE-style expansion into a bounded stack buffer *)
+let rle_expand rng ~fname =
+  let cap = Util.Prng.choose rng [| 64; 96; 128 |] in
+  fn fname
+    [ ("data", Tptr Byte); ("len", Tint) ]
+    Tint
+    [
+      letbuf "out" Byte cap;
+      let_ "w" Tint (i 0);
+      let_ "k" Tint (i 0);
+      while_
+        (v "k" +: i 1 <: v "len")
+        [
+          let_ "run" Tint (idx (v "data") (v "k") %: i 9);
+          let_ "value" Tint (idx (v "data") (v "k" +: i 1));
+          for_ "j" (i 0) (v "run")
+            [
+              if_ (v "w" <: i cap)
+                [
+                  setidx (v "out") (v "w") (v "value");
+                  set "w" (v "w" +: i 1);
+                ];
+            ];
+          set "k" (v "k" +: i 2);
+        ];
+      ret (v "w");
+    ]
+
+(* 7. byte histogram peak via a stack table *)
+let histogram_peak rng ~fname =
+  let buckets = Util.Prng.choose rng [| 16; 32; 64 |] in
+  fn fname
+    [ ("data", Tptr Byte); ("len", Tint) ]
+    Tint
+    [
+      letbuf "hist" Word buckets;
+      for_ "k" (i 0) (i buckets) [ setidx (v "hist") (v "k") (i 0) ];
+      for_ "k" (i 0) (v "len")
+        [
+          let_ "b" Tint (idx (v "data") (v "k") %: i buckets);
+          setidx (v "hist") (v "b") (idx (v "hist") (v "b") +: i 1);
+        ];
+      let_ "best" Tint (i 0);
+      for_ "k" (i 0) (i buckets)
+        [ if_ (idx (v "hist") (v "k") >: v "best") [ set "best" (idx (v "hist") (v "k")) ] ];
+      ret (v "best");
+    ]
+
+(* 8. state machine over the input bytes (switch in a loop) *)
+let state_machine rng ~fname =
+  let nstates = Util.Prng.int_in rng 3 5 in
+  let cases =
+    List.init nstates (fun s ->
+        let next = Util.Prng.int rng nstates in
+        let bump = Util.Prng.int_in rng 1 5 in
+        ( Int64.of_int s,
+          [
+            set "score" (v "score" +: (idx (v "data") (v "k") *: i bump));
+            set "state" (i next);
+          ] ))
+  in
+  fn fname
+    [ ("data", Tptr Byte); ("len", Tint) ]
+    Tint
+    [
+      let_ "state" Tint (i 0);
+      let_ "score" Tint (i 0);
+      for_ "k" (i 0) (v "len")
+        [
+          if_ (idx (v "data") (v "k") =: i 0) [ set "state" (i 0) ];
+          Sswitch (v "state", cases, [ set "state" (i 0) ]);
+          set "score" (v "score" %: i 1000000007);
+        ];
+      ret (v "score");
+    ]
+
+(* 9. bubble sort of words copied from bytes, returns median *)
+let sort_median rng ~fname =
+  let cap = Util.Prng.choose rng [| 16; 24; 32 |] in
+  fn fname
+    [ ("data", Tptr Byte); ("len", Tint) ]
+    Tint
+    [
+      letbuf "buf" Word cap;
+      let_ "n" Tint (v "len");
+      if_ (v "n" >: i cap) [ set "n" (i cap) ];
+      for_ "k" (i 0) (v "n") [ setidx (v "buf") (v "k") (idx (v "data") (v "k")) ];
+      for_ "a" (i 0) (v "n")
+        [
+          for_ "b" (i 0) (v "n" -: i 1)
+            [
+              if_
+                (idx (v "buf") (v "b") >: idx (v "buf") (v "b" +: i 1))
+                [
+                  let_ "tmp" Tint (idx (v "buf") (v "b"));
+                  setidx (v "buf") (v "b") (idx (v "buf") (v "b" +: i 1));
+                  setidx (v "buf") (v "b" +: i 1) (v "tmp");
+                ];
+            ];
+        ];
+      if_ (v "n" =: i 0) [ ret (i 0) ];
+      ret (idx (v "buf") (v "n" /: i 2));
+    ]
+
+(* 10. bit tricks: popcount / parity mix of two ints *)
+let bit_mix rng ~fname =
+  let rounds = Util.Prng.int_in rng 2 5 in
+  let shift = Util.Prng.choose rng [| 7; 13; 17; 21 |] in
+  let body =
+    List.concat
+      (List.init rounds (fun _ ->
+           [
+             set "x" (v "x" ^: (v "x" >>: i shift));
+             set "x" ((v "x" *: i 2654435761) &: i64 0xFFFFFFFFL);
+             set "x" (v "x" +: v "y");
+           ]))
+  in
+  fn fname
+    [ ("x", Tint); ("y", Tint) ]
+    Tint
+    (body @ [ ret (v "x") ])
+
+(* 11. popcount loop *)
+let popcount rng ~fname =
+  let use_and = Util.Prng.bool rng in
+  fn fname
+    [ ("x", Tint) ]
+    Tint
+    [
+      let_ "n" Tint (i 0);
+      let_ "w" Tint (v "x" &: i64 0xFFFFFFFFL);
+      while_
+        (v "w" <>: i 0)
+        (if use_and then
+           [ set "w" (v "w" &: (v "w" -: i 1)); set "n" (v "n" +: i 1) ]
+         else
+           [
+             set "n" (v "n" +: (v "w" &: i 1));
+             set "w" (v "w" >>: i 1);
+           ]);
+      ret (v "n");
+    ]
+
+(* 12. polynomial evaluation over an int argument *)
+let poly_eval rng ~fname =
+  let degree = Util.Prng.int_in rng 3 6 in
+  let coeffs = List.init degree (fun _ -> Util.Prng.int_in rng 1 50) in
+  let body =
+    List.concat_map
+      (fun c ->
+        [ set "acc" (((v "acc" *: v "x") +: i c) %: i 1000000007) ])
+      coeffs
+  in
+  fn fname [ ("x", Tint) ] Tint
+    ((let_ "acc" Tint (i 1) :: body) @ [ ret (v "acc") ])
+
+(* 13. float kernel: mean of squares with a scale factor *)
+let float_kernel rng ~fname =
+  let scale = float_of_int (Util.Prng.int_in rng 2 9) /. 4.0 in
+  fn fname
+    [ ("data", Tptr Byte); ("len", Tint) ]
+    Tint
+    [
+      let_ "sum" Tfloat (Efloat 0.0);
+      for_ "k" (i 0) (v "len")
+        [
+          let_ "x" Tfloat (call "int_to_float" [ idx (v "data") (v "k") ]);
+          set "sum" (v "sum" +: (v "x" *: v "x" *: Efloat scale));
+        ];
+      if_ (v "len" >: i 0)
+        [ ret (call "float_to_int" [ v "sum" /: call "int_to_float" [ v "len" ] ]) ];
+      ret (i 0);
+    ]
+
+(* 14. string utility built on imports *)
+let string_probe rng ~fname =
+  let lim = Util.Prng.choose rng [| 16; 32; 48 |] in
+  fn fname
+    [ ("s", Tptr Byte) ]
+    Tint
+    [
+      let_ "n" Tint (call "strlen" [ v "s" ]);
+      if_ (v "n" >: i lim) [ set "n" (i lim) ];
+      let_ "acc" Tint (i 0);
+      for_ "k" (i 0) (v "n") [ set "acc" (v "acc" +: idx (v "s") (v "k")) ];
+      ret (v "acc" *: v "n");
+    ]
+
+(* 15. copy with a transformation, via heap staging *)
+let heap_transform rng ~fname =
+  let delta = Util.Prng.int_in rng 1 16 in
+  fn fname
+    [ ("data", Tptr Byte); ("len", Tint) ]
+    Tint
+    [
+      let_ "n" Tint (v "len");
+      if_ (v "n" >: i 48) [ set "n" (i 48) ];
+      let_ "tmp" (Tptr Byte) (call "alloc_bytes" [ v "n" +: i 1 ]);
+      for_ "k" (i 0) (v "n")
+        [ setidx (v "tmp") (v "k") ((idx (v "data") (v "k") +: i delta) %: i 256) ];
+      let_ "acc" Tint (i 0);
+      for_ "k" (i 0) (v "n") [ set "acc" (v "acc" ^: idx (v "tmp") (v "k")) ];
+      expr (call "free" [ v "tmp" ]);
+      ret (v "acc");
+    ]
+
+(* 16. device poke: reads the MMIO window at a fixed absolute address
+   (the "others" memory-region flavour of Table III) *)
+let device_poke rng ~fname =
+  let off = Util.Prng.int_in rng 0 64 * 8 in
+  let words = Util.Prng.int_in rng 2 6 in
+  fn fname
+    [ ("x", Tint) ]
+    Tint
+    [
+      let_ "reg" (Tptr Word) (call "as_wptr" [ i64 0x4000_0000L +: i off ]);
+      let_ "acc" Tint (v "x");
+      for_ "k" (i 0) (i words)
+        [ set "acc" (v "acc" ^: idx (v "reg") (v "k")) ];
+      ret (v "acc");
+    ]
+
+(* 17. clamp and scale (branchy integer math) *)
+let clamp_scale rng ~fname =
+  let lo = Util.Prng.int_in rng 0 10 in
+  let hi = lo + Util.Prng.int_in rng 20 200 in
+  let mul = Util.Prng.int_in rng 2 9 in
+  fn fname
+    [ ("x", Tint); ("y", Tint) ]
+    Tint
+    [
+      let_ "t" Tint (v "x" +: v "y");
+      if_ (v "t" <: i lo) [ set "t" (i lo) ];
+      if_ (v "t" >: i hi) [ set "t" (i hi) ];
+      ret (v "t" *: i mul);
+    ]
+
+(* 18. dispatcher: dense switch over a code argument *)
+let dispatcher rng ~fname =
+  let ncases = Util.Prng.int_in rng 4 8 in
+  let cases =
+    List.init ncases (fun k ->
+        let r = Util.Prng.int_in rng 1 500 in
+        (Int64.of_int k, [ ret (i (r + (k * 3))) ]))
+  in
+  fn fname
+    [ ("code", Tint) ]
+    Tint
+    [ Sswitch (v "code", cases, [ ret (i 0 -: i 1) ]) ]
+
+(* 19. saturating accumulator with early exit *)
+let saturating_sum rng ~fname =
+  let cap = Util.Prng.int_in rng 500 5000 in
+  fn fname
+    [ ("data", Tptr Byte); ("len", Tint) ]
+    Tint
+    [
+      let_ "acc" Tint (i 0);
+      let_ "k" Tint (i 0);
+      while_
+        (v "k" <: v "len")
+        [
+          set "acc" (v "acc" +: idx (v "data") (v "k"));
+          if_ (v "acc" >: i cap) [ ret (i cap) ];
+          set "k" (v "k" +: i 1);
+        ];
+      ret (v "acc");
+    ]
+
+(* 20. xor cipher into caller-provided buffer (in-place mutation) *)
+let xor_cipher rng ~fname =
+  let key = Util.Prng.int_in rng 1 255 in
+  let rot = Util.Prng.int_in rng 1 7 in
+  fn fname
+    [ ("data", Tptr Byte); ("len", Tint) ]
+    Tint
+    [
+      let_ "k" Tint (i key);
+      for_ "j" (i 0) (v "len")
+        [
+          setidx (v "data") (v "j") (idx (v "data") (v "j") ^: v "k");
+          set "k" (((v "k" <<: i rot) |: (v "k" >>: i (8 - rot))) &: i 255);
+        ];
+      ret (v "k");
+    ]
+
+(* 21. CRC-style table checksum over a global-less inline table *)
+let crc_table rng ~fname =
+  let poly = Util.Prng.choose rng [| 0xEDB88320; 0x82F63B78; 0xA833982B |] in
+  fn fname
+    [ ("data", Tptr Byte); ("len", Tint) ]
+    Tint
+    [
+      let_ "crc" Tint (i64 0xFFFFFFFFL);
+      for_ "k" (i 0) (v "len")
+        [
+          set "crc" (v "crc" ^: idx (v "data") (v "k"));
+          for_ "b" (i 0) (i 8)
+            [
+              ifelse
+                ((v "crc" &: i 1) =: i 1)
+                [ set "crc" ((v "crc" >>: i 1) ^: i poly) ]
+                [ set "crc" (v "crc" >>: i 1) ];
+            ];
+        ];
+      ret (v "crc" &: i64 0xFFFFFFFFL);
+    ]
+
+(* 22. varint (LEB128-style) decoder *)
+let varint_decode rng ~fname =
+  let max_bytes = Util.Prng.int_in rng 4 9 in
+  fn fname
+    [ ("data", Tptr Byte); ("len", Tint) ]
+    Tint
+    [
+      let_ "value" Tint (i 0);
+      let_ "shift" Tint (i 0);
+      let_ "k" Tint (i 0);
+      while_
+        (v "k" <: v "len" &&: (v "k" <: i max_bytes))
+        [
+          let_ "b" Tint (idx (v "data") (v "k"));
+          set "value" (v "value" |: ((v "b" &: i 127) <<: v "shift"));
+          set "shift" (v "shift" +: i 7);
+          set "k" (v "k" +: i 1);
+          if_ ((v "b" &: i 128) =: i 0) [ ret (v "value") ];
+        ];
+      ret (i 0 -: i 1);
+    ]
+
+(* 23. base64-ish encoder length + checksum via an alphabet string *)
+let base64_probe rng ~fname =
+  let alphabet =
+    if Util.Prng.bool rng then
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+    else "./0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+  in
+  fn fname
+    [ ("data", Tptr Byte); ("len", Tint) ]
+    Tint
+    [
+      let_ "acc" Tint (i 0);
+      let_ "k" Tint (i 0);
+      while_
+        (v "k" +: i 2 <: v "len")
+        [
+          let_ "chunk" Tint
+            ((idx (v "data") (v "k") <<: i 16)
+            |: (idx (v "data") (v "k" +: i 1) <<: i 8)
+            |: idx (v "data") (v "k" +: i 2));
+          set "acc"
+            (v "acc" +: idx (Estr alphabet) ((v "chunk" >>: i 18) &: i 63));
+          set "acc" (v "acc" +: idx (Estr alphabet) ((v "chunk" >>: i 12) &: i 63));
+          set "acc" (v "acc" +: idx (Estr alphabet) ((v "chunk" >>: i 6) &: i 63));
+          set "acc" (v "acc" +: idx (Estr alphabet) (v "chunk" &: i 63));
+          set "k" (v "k" +: i 3);
+        ];
+      ret (v "acc");
+    ]
+
+(* 24. UTF-8-style validator: multi-byte sequences with continuation
+   checks *)
+let utf8_validate rng ~fname =
+  let strict = Util.Prng.bool rng in
+  let continuation off =
+    (idx (v "data") (v "k" +: off) &: i 192) =: i 128
+  in
+  fn fname
+    [ ("data", Tptr Byte); ("len", Tint) ]
+    Tint
+    [
+      let_ "count" Tint (i 0);
+      let_ "k" Tint (i 0);
+      while_
+        (v "k" <: v "len")
+        [
+          let_ "b" Tint (idx (v "data") (v "k"));
+          ifelse (v "b" <: i 128)
+            [ set "k" (v "k" +: i 1) ]
+            [
+              ifelse
+                ((v "b" &: i 224) =: i 192 &&: (v "k" +: i 1 <: v "len"))
+                [
+                  ifelse (continuation (i 1))
+                    [ set "k" (v "k" +: i 2) ]
+                    (if strict then [ ret (i 0 -: i 1) ]
+                     else [ set "k" (v "k" +: i 1) ]);
+                ]
+                [
+                  ifelse
+                    ((v "b" &: i 240) =: i 224 &&: (v "k" +: i 2 <: v "len"))
+                    [
+                      ifelse
+                        (continuation (i 1) &&: continuation (i 2))
+                        [ set "k" (v "k" +: i 3) ]
+                        (if strict then [ ret (i 0 -: i 1) ]
+                         else [ set "k" (v "k" +: i 1) ]);
+                    ]
+                    [ set "k" (v "k" +: i 1) ];
+                ];
+            ];
+          set "count" (v "count" +: i 1);
+        ];
+      ret (v "count");
+    ]
+
+(* 25. Luhn-style checksum over digit bytes *)
+let luhn rng ~fname =
+  let modulus = Util.Prng.choose rng [| 10; 11; 13 |] in
+  fn fname
+    [ ("data", Tptr Byte); ("len", Tint) ]
+    Tint
+    [
+      let_ "sum" Tint (i 0);
+      for_ "k" (i 0) (v "len")
+        [
+          let_ "d" Tint (idx (v "data") (v "k") %: i 10);
+          ifelse
+            ((v "k" &: i 1) =: i 1)
+            [
+              let_ "doubled" Tint (v "d" *: i 2);
+              ifelse (v "doubled" >: i 9)
+                [ set "sum" (v "sum" +: v "doubled" -: i 9) ]
+                [ set "sum" (v "sum" +: v "doubled") ];
+            ]
+            [ set "sum" (v "sum" +: v "d") ];
+        ];
+      ret (v "sum" %: i modulus);
+    ]
+
+(* 26. binary search over a heap-built sorted word array *)
+let binary_search rng ~fname =
+  let n = Util.Prng.choose rng [| 16; 32 |] in
+  let stride = Util.Prng.int_in rng 3 9 in
+  fn fname
+    [ ("needle", Tint) ]
+    Tint
+    [
+      let_ "table" (Tptr Word) (call "alloc_words" [ i n ]);
+      for_ "k" (i 0) (i n) [ setidx (v "table") (v "k") (v "k" *: i stride) ];
+      let_ "lo" Tint (i 0);
+      let_ "hi" Tint (i (n - 1));
+      let_ "found" Tint (i 0 -: i 1);
+      while_
+        (v "lo" <=: v "hi")
+        [
+          let_ "mid" Tint ((v "lo" +: v "hi") /: i 2);
+          let_ "x" Tint (idx (v "table") (v "mid"));
+          ifelse (v "x" =: v "needle")
+            [ set "found" (v "mid"); Sbreak ]
+            [
+              ifelse (v "x" <: v "needle")
+                [ set "lo" (v "mid" +: i 1) ]
+                [ set "hi" (v "mid" -: i 1) ];
+            ];
+        ];
+      expr (call "free" [ v "table" ]);
+      ret (v "found");
+    ]
+
+(* 27. moving-average smoothing filter (float) *)
+let moving_average rng ~fname =
+  let window = Util.Prng.int_in rng 2 5 in
+  fn fname
+    [ ("data", Tptr Byte); ("len", Tint) ]
+    Tint
+    [
+      let_ "best" Tfloat (Efloat 0.0);
+      let_ "k" Tint (i 0);
+      while_
+        (v "k" +: i window <=: v "len")
+        [
+          let_ "sum" Tfloat (Efloat 0.0);
+          for_ "j" (i 0) (i window)
+            [
+              set "sum"
+                (v "sum" +: call "int_to_float" [ idx (v "data") (v "k" +: v "j") ]);
+            ];
+          let_ "avg" Tfloat (v "sum" /: Efloat (float_of_int window));
+          if_ (v "avg" >: v "best") [ set "best" (v "avg") ];
+          set "k" (v "k" +: i 1);
+        ];
+      ret (call "float_to_int" [ v "best" ]);
+    ]
+
+(* 28. tiny fixed-size matrix multiply on the stack *)
+let matrix_multiply rng ~fname =
+  let n = Util.Prng.choose rng [| 3; 4 |] in
+  fn fname
+    [ ("data", Tptr Byte); ("len", Tint) ]
+    Tint
+    [
+      letbuf "a" Word (n * n);
+      letbuf "b" Word (n * n);
+      letbuf "c" Word (n * n);
+      for_ "k" (i 0) (i (n * n))
+        [
+          ifelse (v "k" <: v "len")
+            [
+              setidx (v "a") (v "k") (idx (v "data") (v "k"));
+              setidx (v "b") (v "k") (idx (v "data") (v "k") +: i 1);
+            ]
+            [
+              setidx (v "a") (v "k") (i 1);
+              setidx (v "b") (v "k") (i 2);
+            ];
+        ];
+      for_ "r" (i 0) (i n)
+        [
+          for_ "col" (i 0) (i n)
+            [
+              let_ "acc" Tint (i 0);
+              for_ "t" (i 0) (i n)
+                [
+                  set "acc"
+                    (v "acc"
+                    +: (idx (v "a") ((v "r" *: i n) +: v "t")
+                       *: idx (v "b") ((v "t" *: i n) +: v "col")));
+                ];
+              setidx (v "c") ((v "r" *: i n) +: v "col") (v "acc" %: i 1000003);
+            ];
+        ];
+      let_ "out" Tint (i 0);
+      for_ "k" (i 0) (i (n * n)) [ set "out" (v "out" ^: idx (v "c") (v "k")) ];
+      ret (v "out");
+    ]
+
+(* 29. run-length counter: longest run of equal bytes *)
+let longest_run rng ~fname =
+  let tie_break = Util.Prng.bool rng in
+  fn fname
+    [ ("data", Tptr Byte); ("len", Tint) ]
+    Tint
+    [
+      if_ (v "len" =: i 0) [ ret (i 0) ];
+      let_ "best" Tint (i 1);
+      let_ "cur" Tint (i 1);
+      for_ "k" (i 1) (v "len")
+        [
+          ifelse
+            (idx (v "data") (v "k") =: idx (v "data") (v "k" -: i 1))
+            [ set "cur" (v "cur" +: i 1) ]
+            [ set "cur" (i 1) ];
+          (if tie_break then if_ (v "cur" >=: v "best") [ set "best" (v "cur") ]
+           else if_ (v "cur" >: v "best") [ set "best" (v "cur") ]);
+        ];
+      ret (v "best");
+    ]
+
+(* 30. byte-pair frequency pick (nested loop over a small alphabet) *)
+let pair_frequency rng ~fname =
+  let alphabet = Util.Prng.choose rng [| 8; 16 |] in
+  fn fname
+    [ ("data", Tptr Byte); ("len", Tint) ]
+    Tint
+    [
+      letbuf "freq" Word (alphabet * alphabet);
+      for_ "k" (i 0) (i (alphabet * alphabet)) [ setidx (v "freq") (v "k") (i 0) ];
+      for_ "k" (i 1) (v "len")
+        [
+          let_ "a" Tint (idx (v "data") (v "k" -: i 1) %: i alphabet);
+          let_ "b" Tint (idx (v "data") (v "k") %: i alphabet);
+          let_ "slot" Tint ((v "a" *: i alphabet) +: v "b");
+          setidx (v "freq") (v "slot") (idx (v "freq") (v "slot") +: i 1);
+        ];
+      let_ "best" Tint (i 0);
+      for_ "k" (i 0) (i (alphabet * alphabet))
+        [ if_ (idx (v "freq") (v "k") >: v "best") [ set "best" (idx (v "freq") (v "k")) ] ];
+      ret (v "best");
+    ]
+
+let all =
+  [
+    { name = "checksum"; make = checksum; shape = byte_buf_shape };
+    { name = "fletcher"; make = fletcher; shape = byte_buf_shape };
+    { name = "count"; make = count_matching; shape = byte_buf_shape };
+    { name = "find"; make = find_marker; shape = byte_buf_shape };
+    { name = "tlv"; make = tlv_parse; shape = byte_buf_shape };
+    { name = "rle"; make = rle_expand; shape = byte_buf_shape };
+    { name = "hist"; make = histogram_peak; shape = byte_buf_shape };
+    { name = "fsm"; make = state_machine; shape = byte_buf_shape };
+    { name = "sort"; make = sort_median; shape = byte_buf_shape };
+    { name = "bitmix"; make = bit_mix; shape = two_ints_shape };
+    { name = "popcount"; make = popcount; shape = one_int_shape };
+    { name = "poly"; make = poly_eval; shape = one_int_shape };
+    { name = "floatk"; make = float_kernel; shape = byte_buf_shape };
+    { name = "strprobe"; make = string_probe; shape = [ Abuf 48 ] };
+    { name = "heaptx"; make = heap_transform; shape = byte_buf_shape };
+    { name = "devpoke"; make = device_poke; shape = one_int_shape };
+    { name = "clamp"; make = clamp_scale; shape = two_ints_shape };
+    { name = "dispatch"; make = dispatcher; shape = one_int_shape };
+    { name = "satsum"; make = saturating_sum; shape = byte_buf_shape };
+    { name = "xorcipher"; make = xor_cipher; shape = byte_buf_shape };
+    { name = "crc"; make = crc_table; shape = byte_buf_shape };
+    { name = "varint"; make = varint_decode; shape = byte_buf_shape };
+    { name = "base64"; make = base64_probe; shape = byte_buf_shape };
+    { name = "utf8"; make = utf8_validate; shape = byte_buf_shape };
+    { name = "luhn"; make = luhn; shape = byte_buf_shape };
+    { name = "bsearch"; make = binary_search; shape = one_int_shape };
+    { name = "movavg"; make = moving_average; shape = byte_buf_shape };
+    { name = "matmul"; make = matrix_multiply; shape = byte_buf_shape };
+    { name = "runlen"; make = longest_run; shape = byte_buf_shape };
+    { name = "pairfreq"; make = pair_frequency; shape = byte_buf_shape };
+  ]
+
+let find name = List.find_opt (fun f -> f.name = name) all

@@ -1,0 +1,17 @@
+(** Function templates: parameterised generators covering the kinds of
+    code the paper's 100 Android libraries contain (codecs, parsers,
+    checksums, string and maths kernels, state machines, device pokes).
+    Each draw from the generator varies constants, loop shapes and
+    optional branches, so two instances of one family are related but not
+    identical — realistic hard negatives for the similarity model. *)
+
+type family = {
+  name : string;  (** family tag used in generated function names *)
+  make : Util.Prng.t -> fname:string -> Minic.Ast.func;
+  shape : Fuzz.Shape.t;  (** fuzzable prototype of generated instances *)
+}
+
+val all : family list
+(** Every template family. *)
+
+val find : string -> family option

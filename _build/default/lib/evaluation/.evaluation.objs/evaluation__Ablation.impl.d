@@ -1,0 +1,1 @@
+lib/evaluation/ablation.ml: Array Context Corpus Format Grid Int List Loader Minic Nn Patchecko Similarity Staticfeat Util

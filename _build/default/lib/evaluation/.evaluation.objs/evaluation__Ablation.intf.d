@@ -1,0 +1,1 @@
+lib/evaluation/ablation.mli: Context Corpus Format Grid Minic

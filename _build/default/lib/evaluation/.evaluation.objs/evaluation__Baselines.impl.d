@@ -1,0 +1,1 @@
+lib/evaluation/baselines.ml: Array Baseline Context Corpus Format Grid List Loader Patchecko

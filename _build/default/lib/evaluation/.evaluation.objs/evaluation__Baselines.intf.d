@@ -1,0 +1,1 @@
+lib/evaluation/baselines.mli: Context Format Grid

@@ -1,0 +1,1 @@
+lib/evaluation/context.ml: Corpus List Loader Nn Patchecko Printf Staticfeat Util

@@ -1,0 +1,1 @@
+lib/evaluation/context.mli: Corpus Loader Nn Patchecko

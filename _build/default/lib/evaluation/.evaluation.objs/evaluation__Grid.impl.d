@@ -1,0 +1,1 @@
+lib/evaluation/grid.ml: Context Corpus List Loader Option Patchecko Printf Similarity

@@ -1,0 +1,1 @@
+lib/evaluation/grid.mli: Context Corpus Patchecko

@@ -1,0 +1,1 @@
+lib/evaluation/render.ml: Array Context Corpus Format Grid List Nn Option Patchecko Printf Similarity Util Vm

@@ -1,0 +1,1 @@
+lib/evaluation/render.mli: Context Format Grid

@@ -1,0 +1,278 @@
+let unpatched_things runs =
+  List.filter
+    (fun (r : Grid.run) ->
+      r.Grid.device_name
+      = Corpus.Devices.android_things.Corpus.Devices.device_name
+      && not r.Grid.truth.Corpus.Devices.patched)
+    runs
+
+(* --- Minkowski exponent -------------------------------------------------- *)
+
+let rank_with_p (report : Patchecko.Pipeline.report) ~truth_index p =
+  match report.Patchecko.Pipeline.dynamic with
+  | None -> None
+  | Some dyn ->
+    let ranking =
+      Similarity.Rank.by_distance ~p
+        ~reference:dyn.Patchecko.Dynamic_stage.reference_profile
+        dyn.Patchecko.Dynamic_stage.profiles
+    in
+    Similarity.Rank.rank_of ~equal:Int.equal truth_index ranking
+
+let minkowski_p ppf runs =
+  Format.fprintf ppf "Ablation: Minkowski exponent p (rank of true function)@.";
+  Format.fprintf ppf "%-16s %8s %8s %8s@." "CVE" "p=1" "p=2" "p=3";
+  let totals = Array.make 3 0 in
+  let hits = Array.make 3 0 in
+  List.iter
+    (fun (r : Grid.run) ->
+      let truth_index = r.Grid.truth.Corpus.Devices.findex in
+      let ranks =
+        List.map
+          (fun p -> rank_with_p r.Grid.vuln_report ~truth_index p)
+          [ 1.0; 2.0; 3.0 ]
+      in
+      List.iteri
+        (fun k rank ->
+          match rank with
+          | Some rk ->
+            totals.(k) <- totals.(k) + rk;
+            if rk <= 3 then hits.(k) <- hits.(k) + 1
+          | None -> ())
+        ranks;
+      let show = function Some k -> string_of_int k | None -> "-" in
+      match ranks with
+      | [ r1; r2; r3 ] ->
+        Format.fprintf ppf "%-16s %8s %8s %8s@."
+          r.Grid.truth.Corpus.Devices.cve.Corpus.Cves.id (show r1) (show r2)
+          (show r3)
+      | _ -> ())
+    (unpatched_things runs);
+  Format.fprintf ppf "top-3 hits:      %8d %8d %8d@.@." hits.(0) hits.(1) hits.(2)
+
+(* --- static-only vs hybrid ----------------------------------------------- *)
+
+let static_rank (report : Patchecko.Pipeline.report) ~truth_index =
+  let scores = report.Patchecko.Pipeline.static.Patchecko.Static_stage.scores in
+  if truth_index >= Array.length scores then None
+  else begin
+    let my = scores.(truth_index) in
+    let better = ref 0 in
+    Array.iteri (fun i s -> if i <> truth_index && s > my then incr better) scores;
+    Some (!better + 1)
+  end
+
+let static_vs_hybrid ppf runs =
+  Format.fprintf ppf
+    "Ablation: static-only ranking vs hybrid (static+dynamic) ranking@.";
+  Format.fprintf ppf "%-16s %12s %12s@." "CVE" "static-only" "hybrid";
+  let s3 = ref 0 and h3 = ref 0 and n = ref 0 in
+  List.iter
+    (fun (r : Grid.run) ->
+      let truth_index = r.Grid.truth.Corpus.Devices.findex in
+      let s = static_rank r.Grid.vuln_report ~truth_index in
+      let h = r.Grid.vuln_report.Patchecko.Pipeline.true_rank in
+      incr n;
+      (match s with Some k when k <= 3 -> incr s3 | Some _ | None -> ());
+      (match h with Some k when k <= 3 -> incr h3 | Some _ | None -> ());
+      let show = function Some k -> string_of_int k | None -> "-" in
+      Format.fprintf ppf "%-16s %12s %12s@."
+        r.Grid.truth.Corpus.Devices.cve.Corpus.Cves.id (show s) (show h))
+    (unpatched_things runs);
+  if !n > 0 then
+    Format.fprintf ppf "top-3 rate:      %11d%% %11d%%@.@." (100 * !s3 / !n)
+      (100 * !h3 / !n)
+
+(* --- environment count ---------------------------------------------------- *)
+
+let env_count ppf (ctx : Context.t) ~ks ~cve_ids =
+  Format.fprintf ppf "Ablation: number of execution environments K@.";
+  Format.fprintf ppf "%-16s %6s %8s %12s %10s@." "CVE" "K" "rank" "executions"
+    "DA(s)";
+  let dev =
+    match
+      Context.device_by_name ctx
+        Corpus.Devices.android_things.Corpus.Devices.device_name
+    with
+    | Some d -> d
+    | None -> invalid_arg "ablation: missing device"
+  in
+  List.iter
+    (fun cve_id ->
+      match
+        List.find_opt
+          (fun (t : Corpus.Devices.truth) -> t.cve.Corpus.Cves.id = cve_id)
+          dev.Context.truths
+      with
+      | None -> ()
+      | Some truth ->
+        List.iter
+          (fun k ->
+            let dyn_config =
+              { ctx.Context.dyn_config with Patchecko.Dynamic_stage.k_envs = k }
+            in
+            let entry = Context.db_entry ctx cve_id in
+            let target =
+              match
+                Loader.Firmware.find_image dev.Context.firmware
+                  truth.Corpus.Devices.image_name
+              with
+              | Some img -> img
+              | None -> invalid_arg "ablation: missing image"
+            in
+            let report =
+              Patchecko.Pipeline.analyze ~dyn_config
+                ~ground_truth:truth.Corpus.Devices.findex
+                ~classifier:ctx.Context.classifier ~db_entry:entry
+                ~reference_patched:false ~target ()
+            in
+            let rank =
+              match report.Patchecko.Pipeline.true_rank with
+              | Some r -> string_of_int r
+              | None -> "-"
+            in
+            let execs, secs =
+              match report.Patchecko.Pipeline.dynamic with
+              | Some d ->
+                ( d.Patchecko.Dynamic_stage.executions,
+                  d.Patchecko.Dynamic_stage.seconds )
+              | None -> (0, 0.0)
+            in
+            Format.fprintf ppf "%-16s %6d %8s %12d %10.3f@." cve_id k rank
+              execs secs)
+          ks)
+    cve_ids;
+  Format.fprintf ppf "@."
+
+(* --- feature groups -------------------------------------------------------- *)
+
+let feature_group_names =
+  [
+    ("scalars", [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ]);
+    ("block-shape", [ 9; 10; 11; 12; 13; 14; 15; 16; 17; 18; 19 ]);
+    ("block-classes", [ 20; 21; 22; 23; 24; 25; 26; 27 ]);
+    ("instruction-mix", [ 28; 29; 30; 31; 32; 33; 34; 35; 36; 37; 38; 39; 40; 41; 42 ]);
+    ("centrality", [ 43; 44; 45; 46; 47 ]);
+  ]
+
+let mask_pairs (data : Nn.Data.t) indices =
+  let nfeat = Staticfeat.Names.count in
+  let features =
+    Array.map
+      (fun v ->
+        let v = Array.copy v in
+        List.iter
+          (fun j ->
+            v.(j) <- 0.0;
+            v.(j + nfeat) <- 0.0)
+          indices;
+        v)
+      data.Nn.Data.features
+  in
+  { data with Nn.Data.features }
+
+let feature_groups ppf ?dataset ?(epochs = 8) () =
+  let dataset_config =
+    match dataset with Some c -> c | None -> Corpus.Dataset.default_config
+  in
+  Format.fprintf ppf
+    "Ablation: static feature groups (test accuracy with group removed)@.";
+  let pairs = Corpus.Dataset.build_pairs dataset_config in
+  let evaluate masked_indices =
+    let pairs =
+      match masked_indices with
+      | [] -> pairs
+      | indices -> mask_pairs pairs indices
+    in
+    let train, validation, test = Nn.Data.split3 pairs ~train:0.6 ~validation:0.2 in
+    let normalizer = Nn.Data.fit_normalizer train in
+    let train_n = Nn.Data.normalize normalizer train in
+    let val_n = Nn.Data.normalize normalizer validation in
+    let test_n = Nn.Data.normalize normalizer test in
+    let rng = Util.Prng.create 0xBEEFL in
+    let model =
+      Nn.Model.create rng ~input:(2 * Staticfeat.Names.count)
+        ~layers:(Nn.Model.paper_architecture ~input:(2 * Staticfeat.Names.count))
+    in
+    let config = { Nn.Train.default_config with epochs } in
+    let model, _ = Nn.Train.fit ~config model ~train:train_n ~validation:val_n in
+    let predictions =
+      Nn.Model.predict model (Nn.Matrix.of_rows test_n.Nn.Data.features)
+    in
+    Nn.Metrics.accuracy ~predictions ~labels:test_n.Nn.Data.labels ()
+  in
+  let baseline = evaluate [] in
+  Format.fprintf ppf "%-18s %12s %10s@." "group removed" "test acc" "delta";
+  Format.fprintf ppf "%-18s %12.4f %10s@." "(none)" baseline "";
+  List.iter
+    (fun (name, indices) ->
+      let acc = evaluate indices in
+      Format.fprintf ppf "%-18s %12.4f %+10.4f@." name acc (acc -. baseline))
+    feature_group_names;
+  Format.fprintf ppf "@."
+
+(* --- database build configuration ----------------------------------------- *)
+
+let db_build ppf (ctx : Context.t) ~opts ~cve_ids =
+  Format.fprintf ppf
+    "Ablation: vulnerability-database build level (static hit / dynamic rank)@.";
+  Format.fprintf ppf "%-16s" "CVE";
+  List.iter
+    (fun opt -> Format.fprintf ppf " %12s" (Minic.Optlevel.to_string opt))
+    opts;
+  Format.fprintf ppf "@.";
+  let dev =
+    match
+      Context.device_by_name ctx
+        Corpus.Devices.android_things.Corpus.Devices.device_name
+    with
+    | Some d -> d
+    | None -> invalid_arg "ablation: missing device"
+  in
+  List.iter
+    (fun cve_id ->
+      match
+        ( Corpus.Cves.find cve_id,
+          List.find_opt
+            (fun (t : Corpus.Devices.truth) -> t.cve.Corpus.Cves.id = cve_id)
+            dev.Context.truths )
+      with
+      | Some cve, Some truth when not truth.Corpus.Devices.patched ->
+        Format.fprintf ppf "%-16s" cve_id;
+        List.iter
+          (fun opt ->
+            let entry =
+              Patchecko.Vulndb.make_entry ~cve_id ~description:"" ~shape:cve.shape
+                ~vuln:(Corpus.Dataset.compile_cve ~opt cve ~patched:false, 0)
+                ~patched:(Corpus.Dataset.compile_cve ~opt cve ~patched:true, 0)
+            in
+            let target =
+              match
+                Loader.Firmware.find_image dev.Context.firmware
+                  truth.Corpus.Devices.image_name
+              with
+              | Some img -> img
+              | None -> invalid_arg "ablation: missing image"
+            in
+            let report =
+              Patchecko.Pipeline.analyze ~dyn_config:ctx.Context.dyn_config
+                ~ground_truth:truth.Corpus.Devices.findex
+                ~classifier:ctx.Context.classifier ~db_entry:entry
+                ~reference_patched:false ~target ()
+            in
+            let hit =
+              match report.Patchecko.Pipeline.classification with
+              | Some c -> c.Patchecko.Pipeline.tp = 1
+              | None -> false
+            in
+            let rank =
+              match report.Patchecko.Pipeline.true_rank with
+              | Some k -> string_of_int k
+              | None -> "-"
+            in
+            Format.fprintf ppf " %8s/%-3s" (if hit then "hit" else "miss") rank)
+          opts;
+        Format.fprintf ppf "@."
+      | _, _ -> ())
+    cve_ids;
+  Format.fprintf ppf "@."

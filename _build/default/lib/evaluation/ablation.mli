@@ -1,0 +1,32 @@
+(** Ablations of PATCHECKO's design choices (DESIGN.md §5).
+
+    - Minkowski exponent: re-rank the recorded dynamic profiles with
+      p ∈ {1, 2, 3} and compare where the true function lands.
+    - Static-only vs hybrid: rank candidates by the classifier score alone
+      and compare against the dynamic ranking.
+    - Environment count K: re-run the dynamic stage of a CVE subset at
+      several K and report rank/cost.
+    - Feature groups: retrain the model with one group of the 48 static
+      features zeroed out and report the held-out accuracy drop. *)
+
+val minkowski_p : Format.formatter -> Grid.run list -> unit
+val static_vs_hybrid : Format.formatter -> Grid.run list -> unit
+val env_count :
+  Format.formatter -> Context.t -> ks:int list -> cve_ids:string list -> unit
+val feature_groups :
+  Format.formatter -> ?dataset:Corpus.Dataset.config -> ?epochs:int -> unit -> unit
+
+val feature_group_names : (string * int list) list
+(** Named index groups over the 48 static features. *)
+
+val db_build :
+  Format.formatter ->
+  Context.t ->
+  opts:Minic.Optlevel.level list ->
+  cve_ids:string list ->
+  unit
+(** Sensitivity to the vulnerability-database build configuration: rebuild
+    the reference images at several optimisation levels and report static
+    detection (was the true function flagged?) and dynamic rank per level.
+    Shows the dynamic profile's optimisation sensitivity — the reason the
+    default database build is O1. *)

@@ -1,0 +1,86 @@
+let compare_detection ppf (ctx : Context.t) runs =
+  Format.fprintf ppf
+    "Baseline comparison: rank of the true function per method@.";
+  Format.fprintf ppf "%-16s %8s %8s %10s %8s@." "CVE" "kNN" "graph"
+    "NN-static" "hybrid";
+  let top1 = Array.make 4 0 and top3 = Array.make 4 0 in
+  let n = ref 0 in
+  let bump k rank =
+    match rank with
+    | Some 1 ->
+      top1.(k) <- top1.(k) + 1;
+      top3.(k) <- top3.(k) + 1
+    | Some r when r <= 3 -> top3.(k) <- top3.(k) + 1
+    | Some _ | None -> ()
+  in
+  List.iter
+    (fun (r : Grid.run) ->
+      if
+        r.Grid.device_name
+        = Corpus.Devices.android_things.Corpus.Devices.device_name
+        && not r.Grid.truth.Corpus.Devices.patched
+      then begin
+        let truth = r.Grid.truth in
+        let entry = Context.db_entry ctx truth.cve.Corpus.Cves.id in
+        let dev =
+          match Context.device_by_name ctx r.Grid.device_name with
+          | Some d -> d
+          | None -> invalid_arg "baselines: unknown device"
+        in
+        let target =
+          match
+            Loader.Firmware.find_image dev.Context.firmware truth.image_name
+          with
+          | Some img -> img
+          | None -> invalid_arg "baselines: missing image"
+        in
+        incr n;
+        (* 1. feature kNN *)
+        let knn_rank =
+          Baseline.Knn.rank_of truth.findex
+            (Baseline.Knn.rank_image ~reference:entry.Patchecko.Vulndb.vuln_static
+               target)
+        in
+        (* 2. CFG bipartite matching *)
+        let ref_blocks =
+          Baseline.Graphmatch.block_attributes entry.Patchecko.Vulndb.vuln_image
+            entry.Patchecko.Vulndb.vuln_findex
+        in
+        let gm_rank =
+          Baseline.Graphmatch.rank_of truth.findex
+            (Baseline.Graphmatch.rank ~reference:ref_blocks target)
+        in
+        (* 3. learned static stage: rank by classifier score *)
+        let scores =
+          r.Grid.vuln_report.Patchecko.Pipeline.static
+            .Patchecko.Static_stage.scores
+        in
+        let nn_rank =
+          if truth.findex >= Array.length scores then None
+          else begin
+            let my = scores.(truth.findex) in
+            let better = ref 0 in
+            Array.iteri
+              (fun i s -> if i <> truth.findex && s > my then incr better)
+              scores;
+            Some (!better + 1)
+          end
+        in
+        (* 4. full hybrid *)
+        let hybrid_rank = r.Grid.vuln_report.Patchecko.Pipeline.true_rank in
+        bump 0 knn_rank;
+        bump 1 gm_rank;
+        bump 2 nn_rank;
+        bump 3 hybrid_rank;
+        let show = function Some k -> string_of_int k | None -> "-" in
+        Format.fprintf ppf "%-16s %8s %8s %10s %8s@." truth.cve.Corpus.Cves.id
+          (show knn_rank) (show gm_rank) (show nn_rank) (show hybrid_rank)
+      end)
+    runs;
+  if !n > 0 then begin
+    let pct v = 100 * v / !n in
+    Format.fprintf ppf "top-1:           %7d%% %7d%% %9d%% %7d%%@."
+      (pct top1.(0)) (pct top1.(1)) (pct top1.(2)) (pct top1.(3));
+    Format.fprintf ppf "top-3:           %7d%% %7d%% %9d%% %7d%%@.@."
+      (pct top3.(0)) (pct top3.(1)) (pct top3.(2)) (pct top3.(3))
+  end

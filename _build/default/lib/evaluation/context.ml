@@ -1,0 +1,131 @@
+type device_eval = {
+  device : Corpus.Devices.device;
+  named_firmware : Loader.Firmware.t;
+  firmware : Loader.Firmware.t;
+  truths : Corpus.Devices.truth list;
+}
+
+type t = {
+  classifier : Patchecko.Static_stage.classifier;
+  history : Nn.Train.epoch_stats list;
+  test_accuracy : float;
+  test_auc : float;
+  db : Patchecko.Vulndb.t;
+  devices : device_eval list;
+  dyn_config : Patchecko.Dynamic_stage.config;
+}
+
+let build_db () =
+  Patchecko.Vulndb.create
+    (List.map
+       (fun (c : Corpus.Cves.t) ->
+         let vimg = Corpus.Dataset.compile_cve c ~patched:false in
+         let pimg = Corpus.Dataset.compile_cve c ~patched:true in
+         Patchecko.Vulndb.make_entry ~cve_id:c.id ~description:c.description
+           ~shape:c.shape ~vuln:(vimg, 0) ~patched:(pimg, 0))
+       Corpus.Cves.all)
+
+let build_device ?(nlibs = 6) ?(nfuncs_base = 36) device =
+  let named_firmware, truths =
+    Corpus.Devices.build_firmware ~nlibs ~nfuncs_base device
+  in
+  {
+    device;
+    named_firmware;
+    firmware = Loader.Firmware.strip named_firmware;
+    truths;
+  }
+
+let train_classifier ?(fast = false) ?dataset ?epochs ?(progress = fun _ -> ())
+    () =
+  let dataset_config =
+    match dataset with
+    | Some c -> c
+    | None ->
+      if fast then Corpus.Dataset.small_config else Corpus.Dataset.default_config
+  in
+  let epochs = match epochs with Some e -> e | None -> if fast then 4 else 14 in
+  progress "building Dataset I (compile + feature extraction)";
+  let pairs = Corpus.Dataset.build_pairs dataset_config in
+  let train, validation, test = Nn.Data.split3 pairs ~train:0.6 ~validation:0.2 in
+  progress
+    (Printf.sprintf "training on %d pairs (%d validation, %d test)"
+       (Nn.Data.size train) (Nn.Data.size validation) (Nn.Data.size test));
+  let normalizer = Nn.Data.fit_normalizer train in
+  let train_n = Nn.Data.normalize normalizer train in
+  let val_n = Nn.Data.normalize normalizer validation in
+  let test_n = Nn.Data.normalize normalizer test in
+  let rng = Util.Prng.create 0xBEEFL in
+  let model =
+    Nn.Model.create rng ~input:(2 * Staticfeat.Names.count)
+      ~layers:(Nn.Model.paper_architecture ~input:(2 * Staticfeat.Names.count))
+  in
+  let config = { Nn.Train.default_config with epochs } in
+  let model, history =
+    Nn.Train.fit ~config
+      ~progress:(fun s ->
+        progress
+          (Printf.sprintf "epoch %d: loss %.4f acc %.4f (val %.4f)"
+             s.Nn.Train.epoch s.Nn.Train.train_loss s.Nn.Train.train_accuracy
+             s.Nn.Train.val_accuracy))
+      model ~train:train_n ~validation:val_n
+  in
+  let predictions =
+    Nn.Model.predict model (Nn.Matrix.of_rows test_n.Nn.Data.features)
+  in
+  let test_accuracy =
+    Nn.Metrics.accuracy ~predictions ~labels:test_n.Nn.Data.labels ()
+  in
+  let test_auc = Nn.Metrics.auc ~predictions ~labels:test_n.Nn.Data.labels in
+  progress (Printf.sprintf "test accuracy %.4f, AUC %.4f" test_accuracy test_auc);
+  let classifier =
+    {
+      Patchecko.Static_stage.model;
+      normalizer;
+      threshold = Patchecko.Static_stage.default_threshold;
+    }
+  in
+  (classifier, history, (test_accuracy, test_auc))
+
+let build ?(fast = false) ?dataset ?epochs ?(progress = fun _ -> ()) () =
+  let classifier, history, (test_accuracy, test_auc) =
+    train_classifier ~fast ?dataset ?epochs ~progress ()
+  in
+  progress "building vulnerability database (Dataset II)";
+  let db = build_db () in
+  progress "compiling device firmware images (Dataset III)";
+  let nlibs = if fast then 5 else 6 in
+  let nfuncs_base = if fast then 16 else 36 in
+  let devices =
+    List.map (build_device ~nlibs ~nfuncs_base) Corpus.Devices.all
+  in
+  let dyn_config =
+    if fast then
+      { Patchecko.Dynamic_stage.default_config with k_envs = 4; fuel = 100_000 }
+    else Patchecko.Dynamic_stage.default_config
+  in
+  {
+    classifier;
+    history;
+    test_accuracy;
+    test_auc;
+    db;
+    devices;
+    dyn_config;
+  }
+
+let function_name dev ~image fidx =
+  match Loader.Firmware.find_image dev.named_firmware image with
+  | None -> Printf.sprintf "fun_%d" fidx
+  | Some img -> (
+    match Loader.Image.function_name img fidx with
+    | Some name -> name
+    | None -> Printf.sprintf "fun_%d" fidx)
+
+let db_entry t id =
+  match Patchecko.Vulndb.find t.db id with
+  | Some e -> e
+  | None -> raise Not_found
+
+let device_by_name t name =
+  List.find_opt (fun d -> d.device.Corpus.Devices.device_name = name) t.devices

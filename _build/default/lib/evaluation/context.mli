@@ -1,0 +1,54 @@
+(** Shared evaluation context: the trained classifier, the 25-entry
+    vulnerability database and the two device firmwares — everything the
+    per-table experiments consume.  Building it is the expensive part
+    (Dataset I extraction + model training + firmware compilation), so the
+    bench harness builds it once. *)
+
+type device_eval = {
+  device : Corpus.Devices.device;
+  named_firmware : Loader.Firmware.t;  (** with symbol tables *)
+  firmware : Loader.Firmware.t;  (** stripped; what the pipeline sees *)
+  truths : Corpus.Devices.truth list;
+}
+
+type t = {
+  classifier : Patchecko.Static_stage.classifier;
+  history : Nn.Train.epoch_stats list;
+  test_accuracy : float;
+  test_auc : float;
+  db : Patchecko.Vulndb.t;
+  devices : device_eval list;
+  dyn_config : Patchecko.Dynamic_stage.config;
+}
+
+val build :
+  ?fast:bool ->
+  ?dataset:Corpus.Dataset.config ->
+  ?epochs:int ->
+  ?progress:(string -> unit) ->
+  unit ->
+  t
+(** [fast] shrinks the dataset and firmware for tests/CI (minutes →
+    seconds); defaults to the full configuration. *)
+
+val train_classifier :
+  ?fast:bool ->
+  ?dataset:Corpus.Dataset.config ->
+  ?epochs:int ->
+  ?progress:(string -> unit) ->
+  unit ->
+  Patchecko.Static_stage.classifier * Nn.Train.epoch_stats list * (float * float)
+(** Just the similarity model: (classifier, history, (test accuracy,
+    test AUC)).  Pair with {!Nn.Serialize.write_classifier} to ship a
+    trained model. *)
+
+val build_db : unit -> Patchecko.Vulndb.t
+(** Just the 25-entry vulnerability database (Dataset II). *)
+
+val function_name : device_eval -> image:string -> int -> string
+(** Ground-truth name from the named firmware ("fun_N" fallback). *)
+
+val db_entry : t -> string -> Patchecko.Vulndb.entry
+(** Raises [Not_found]. *)
+
+val device_by_name : t -> string -> device_eval option

@@ -1,0 +1,69 @@
+type run = {
+  device_name : string;
+  truth : Corpus.Devices.truth;
+  vuln_report : Patchecko.Pipeline.report;
+  patched_report : Patchecko.Pipeline.report;
+}
+
+let target_image (dev : Context.device_eval) (truth : Corpus.Devices.truth) =
+  match Loader.Firmware.find_image dev.Context.firmware truth.image_name with
+  | Some img -> img
+  | None -> invalid_arg ("grid: missing image " ^ truth.image_name)
+
+let run_cve (ctx : Context.t) (dev : Context.device_eval)
+    (truth : Corpus.Devices.truth) =
+  let entry = Context.db_entry ctx truth.cve.Corpus.Cves.id in
+  let target = target_image dev truth in
+  let analyze reference_patched =
+    Patchecko.Pipeline.analyze ~dyn_config:ctx.dyn_config
+      ~ground_truth:truth.findex ~classifier:ctx.classifier ~db_entry:entry
+      ~reference_patched ~target ()
+  in
+  {
+    device_name = dev.device.Corpus.Devices.device_name;
+    truth;
+    vuln_report = analyze false;
+    patched_report = analyze true;
+  }
+
+let run_device ?(progress = fun _ -> ()) ctx dev =
+  List.map
+    (fun truth ->
+      progress
+        (Printf.sprintf "  %s / %s"
+           dev.Context.device.Corpus.Devices.device_name
+           truth.Corpus.Devices.cve.Corpus.Cves.id);
+      run_cve ctx dev truth)
+    dev.Context.truths
+
+let run_all ?progress ctx =
+  List.concat_map (run_device ?progress ctx) ctx.Context.devices
+
+(* The paper runs the whole search twice — once from the vulnerable
+   reference, once from the patched one — and the differential engine
+   judges whichever located function matches best.  When the two queries
+   locate different functions, the query whose top candidate sits at the
+   smaller dynamic distance wins; when they agree, the differential
+   verdict on that function (already computed in the vulnerable-reference
+   report) is used directly. *)
+let final_verdict run =
+  let top (r : Patchecko.Pipeline.report) =
+    match r.Patchecko.Pipeline.dynamic with
+    | Some d -> (
+      match d.Patchecko.Dynamic_stage.ranking with
+      | best :: _ ->
+        Some (best.Similarity.Rank.candidate, best.Similarity.Rank.distance)
+      | [] -> None)
+    | None -> None
+  in
+  let verdict_of (r : Patchecko.Pipeline.report) =
+    Option.map fst r.Patchecko.Pipeline.verdict
+  in
+  match (top run.vuln_report, top run.patched_report) with
+  | None, None -> None
+  | Some _, None -> verdict_of run.vuln_report
+  | None, Some _ -> verdict_of run.patched_report
+  | Some (fv, dv), Some (fp, dp) ->
+    if fv = fp then verdict_of run.vuln_report
+    else if dv <= dp then verdict_of run.vuln_report
+    else verdict_of run.patched_report

@@ -1,0 +1,23 @@
+(** The evaluation grid: every (device, CVE, reference version) pipeline
+    run, from which every table and figure of §V is derived. *)
+
+type run = {
+  device_name : string;
+  truth : Corpus.Devices.truth;
+  vuln_report : Patchecko.Pipeline.report;  (** vulnerable-reference query *)
+  patched_report : Patchecko.Pipeline.report;  (** patched-reference query *)
+}
+
+val run_cve :
+  Context.t -> Context.device_eval -> Corpus.Devices.truth -> run
+(** Both reference-version queries for one CVE on one device. *)
+
+val run_device : ?progress:(string -> unit) -> Context.t -> Context.device_eval -> run list
+
+val run_all : ?progress:(string -> unit) -> Context.t -> run list
+(** Every device. *)
+
+val final_verdict : run -> Patchecko.Differential.verdict option
+(** The patch-presence decision reported in Table VIII: the
+    vulnerable-reference verdict, falling back to the patched-reference
+    one if that pipeline located nothing. *)

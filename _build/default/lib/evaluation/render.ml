@@ -1,0 +1,243 @@
+let things_runs runs =
+  List.filter
+    (fun r ->
+      r.Grid.device_name
+      = Corpus.Devices.android_things.Corpus.Devices.device_name)
+    runs
+
+let fig8 ppf (ctx : Context.t) =
+  Format.fprintf ppf "Figure 8: deep learning training curves@.";
+  Format.fprintf ppf "%-6s %12s %12s %12s %12s@." "epoch" "train-loss"
+    "train-acc" "val-loss" "val-acc";
+  List.iter
+    (fun (s : Nn.Train.epoch_stats) ->
+      Format.fprintf ppf "%-6d %12.4f %12.4f %12.4f %12.4f@." s.epoch
+        s.train_loss s.train_accuracy s.val_loss s.val_accuracy)
+    ctx.history;
+  Format.fprintf ppf "held-out test: accuracy %.4f, AUC %.4f@.@."
+    ctx.test_accuracy ctx.test_auc
+
+let fp_rate (report : Patchecko.Pipeline.report) =
+  match report.Patchecko.Pipeline.classification with
+  | Some c -> c.Patchecko.Pipeline.fp_rate
+  | None -> 0.0
+
+let fig7 ppf runs =
+  Format.fprintf ppf
+    "Figure 7: false positive rate, vulnerable vs patched reference@.";
+  Format.fprintf ppf "%-16s %-22s %10s %10s@." "CVE" "device" "vuln-ref"
+    "patch-ref";
+  List.iter
+    (fun (r : Grid.run) ->
+      Format.fprintf ppf "%-16s %-22s %9.2f%% %9.2f%%@."
+        r.Grid.truth.Corpus.Devices.cve.Corpus.Cves.id r.Grid.device_name
+        (100.0 *. fp_rate r.Grid.vuln_report)
+        (100.0 *. fp_rate r.Grid.patched_report))
+    runs;
+  Format.fprintf ppf "@."
+
+let case_study_id = "CVE-2018-9412"
+
+let find_case_study runs =
+  List.find_opt
+    (fun r -> r.Grid.truth.Corpus.Devices.cve.Corpus.Cves.id = case_study_id)
+    (things_runs runs)
+
+let tab3 ppf (_ctx : Context.t) runs =
+  Format.fprintf ppf
+    "Table III: dynamic feature profiling of %s candidates (Android Things)@."
+    case_study_id;
+  match find_case_study runs with
+  | None -> Format.fprintf ppf "  (case study CVE missing from grid)@.@."
+  | Some run -> (
+    match run.Grid.vuln_report.Patchecko.Pipeline.dynamic with
+    | None -> Format.fprintf ppf "  (no candidates reached the dynamic stage)@.@."
+    | Some dyn ->
+      Format.fprintf ppf "%-16s" "Candidate";
+      for i = 1 to Vm.Dynfeat.count do
+        Format.fprintf ppf "%6s" (Printf.sprintf "F%d" i)
+      done;
+      Format.fprintf ppf "@.";
+      let print_vec name feats =
+        Format.fprintf ppf "%-16s" name;
+        Array.iter (fun x -> Format.fprintf ppf "%6.0f" x) feats;
+        Format.fprintf ppf "@."
+      in
+      List.iter
+        (fun (fidx, profiles) ->
+          match profiles with
+          | first_env :: _ ->
+            print_vec (Printf.sprintf "candidate_%d" fidx) first_env
+          | [] -> ())
+        dyn.Patchecko.Dynamic_stage.profiles;
+      (match dyn.Patchecko.Dynamic_stage.reference_profile with
+      | first_env :: _ -> print_vec "Vulnerable fn" first_env
+      | [] -> ());
+      Format.fprintf ppf "@.")
+
+let print_ranking ppf (ctx : Context.t) run (report : Patchecko.Pipeline.report)
+    label =
+  Format.fprintf ppf "%s@." label;
+  match report.Patchecko.Pipeline.dynamic with
+  | None -> Format.fprintf ppf "  (no dynamic stage)@.@."
+  | Some dyn ->
+    let dev =
+      match Context.device_by_name ctx run.Grid.device_name with
+      | Some d -> d
+      | None -> invalid_arg "render: unknown device"
+    in
+    Format.fprintf ppf "%-16s %10s  %s@." "Candidate" "Sim" "Ground truth";
+    List.iter
+      (fun (e : int Similarity.Rank.entry) ->
+        Format.fprintf ppf "candidate_%-6d %10.1f  %s@." e.candidate e.distance
+          (Context.function_name dev
+             ~image:run.Grid.truth.Corpus.Devices.image_name e.candidate))
+      (Similarity.Rank.top 10 dyn.Patchecko.Dynamic_stage.ranking);
+    Format.fprintf ppf "@."
+
+let tab45 ppf ctx runs =
+  match find_case_study runs with
+  | None -> Format.fprintf ppf "Tables IV/V: case study CVE missing@.@."
+  | Some run ->
+    print_ranking ppf ctx run run.Grid.vuln_report
+      (Printf.sprintf
+         "Table IV: function similarity for %s (vulnerable-based), top 10"
+         case_study_id);
+    print_ranking ppf ctx run run.Grid.patched_report
+      (Printf.sprintf
+         "Table V: function similarity for %s (patched-based), top 10"
+         case_study_id)
+
+let accuracy_table ppf runs ~title ~select =
+  Format.fprintf ppf "%s@." title;
+  Format.fprintf ppf "%-16s %3s %5s %4s %3s %6s %7s %5s %5s %8s %8s@." "CVE"
+    "TP" "TN" "FP" "FN" "Total" "FP(%)" "Exec" "Rank" "DP(s)" "DA(s)";
+  let fp_sum = ref 0.0 and dp_sum = ref 0.0 and da_sum = ref 0.0 in
+  let n = ref 0 in
+  List.iter
+    (fun (r : Grid.run) ->
+      let report : Patchecko.Pipeline.report = select r in
+      match report.Patchecko.Pipeline.classification with
+      | None -> ()
+      | Some c ->
+        let exec, rank, da =
+          match report.Patchecko.Pipeline.dynamic with
+          | Some d ->
+            ( List.length d.Patchecko.Dynamic_stage.validated,
+              (match report.Patchecko.Pipeline.true_rank with
+              | Some k -> string_of_int k
+              | None -> "N/A"),
+              d.Patchecko.Dynamic_stage.seconds )
+          | None -> (0, "N/A", 0.0)
+        in
+        incr n;
+        fp_sum := !fp_sum +. c.Patchecko.Pipeline.fp_rate;
+        dp_sum := !dp_sum +. report.Patchecko.Pipeline.static.Patchecko.Static_stage.seconds;
+        da_sum := !da_sum +. da;
+        Format.fprintf ppf "%-16s %3d %5d %4d %3d %6d %6.2f%% %5d %5s %8.3f %8.3f@."
+          r.Grid.truth.Corpus.Devices.cve.Corpus.Cves.id
+          c.Patchecko.Pipeline.tp c.Patchecko.Pipeline.tn
+          c.Patchecko.Pipeline.fp c.Patchecko.Pipeline.fn
+          c.Patchecko.Pipeline.total
+          (100.0 *. c.Patchecko.Pipeline.fp_rate)
+          exec rank
+          report.Patchecko.Pipeline.static.Patchecko.Static_stage.seconds da)
+    runs;
+  if !n > 0 then
+    Format.fprintf ppf "%-16s %36s %6.2f%% %11s %8.3f %8.3f@." "Average" ""
+      (100.0 *. !fp_sum /. float_of_int !n)
+      ""
+      (!dp_sum /. float_of_int !n)
+      (!da_sum /. float_of_int !n);
+  Format.fprintf ppf "@."
+
+let tab6 ppf runs =
+  accuracy_table ppf (things_runs runs)
+    ~title:
+      "Table VI: deep learning + dynamic execution accuracy (Android Things, vulnerable-based)"
+    ~select:(fun r -> r.Grid.vuln_report)
+
+let tab7 ppf runs =
+  accuracy_table ppf (things_runs runs)
+    ~title:
+      "Table VII: deep learning + dynamic execution accuracy (Android Things, patched-based)"
+    ~select:(fun r -> r.Grid.patched_report)
+
+let tab8 ppf runs =
+  Format.fprintf ppf "Table VIII: final patch detection results (Android Things)@.";
+  Format.fprintf ppf "%-16s %20s %22s@." "CVE" "PATCHECKO patched?"
+    "Ground truth patched?";
+  let correct = ref 0 and total = ref 0 in
+  List.iter
+    (fun (r : Grid.run) ->
+      let mark = function true -> "Y" | false -> "0" in
+      let predicted =
+        match Grid.final_verdict r with
+        | Some Patchecko.Differential.Patched -> Some true
+        | Some Patchecko.Differential.Vulnerable -> Some false
+        | None -> None
+      in
+      let truth = r.Grid.truth.Corpus.Devices.patched in
+      incr total;
+      (match predicted with
+      | Some p when p = truth -> incr correct
+      | Some _ | None -> ());
+      Format.fprintf ppf "%-16s %20s %22s@."
+        r.Grid.truth.Corpus.Devices.cve.Corpus.Cves.id
+        (match predicted with Some p -> mark p | None -> "?")
+        (mark truth))
+    (things_runs runs);
+  if !total > 0 then
+    Format.fprintf ppf "accuracy: %d/%d (%.0f%%)@.@." !correct !total
+      (100.0 *. float_of_int !correct /. float_of_int !total)
+
+let speed ppf runs =
+  Format.fprintf ppf "Processing time (section V-E)@.";
+  let stats select =
+    let times =
+      List.filter_map
+        (fun (r : Grid.run) -> select r)
+        runs
+    in
+    let arr = Array.of_list times in
+    Util.Stats.min_max_avg_std arr
+  in
+  let smin, smax, savg, _ =
+    stats (fun r ->
+        Some r.Grid.vuln_report.Patchecko.Pipeline.static.Patchecko.Static_stage.seconds)
+  in
+  let dmin, dmax, davg, _ =
+    stats (fun r ->
+        Option.map
+          (fun (d : Patchecko.Dynamic_stage.result) ->
+            d.Patchecko.Dynamic_stage.seconds)
+          r.Grid.vuln_report.Patchecko.Pipeline.dynamic)
+  in
+  Format.fprintf ppf "static stage  (s): min %.4f  max %.4f  avg %.4f@." smin
+    smax savg;
+  Format.fprintf ppf "dynamic stage (s): min %.4f  max %.4f  avg %.4f@.@." dmin
+    dmax davg
+
+let simcheck ppf (ctx : Context.t) =
+  Format.fprintf ppf
+    "Similarity of vulnerable vs patched versions (deep learning model)@.";
+  Format.fprintf ppf "%-16s %12s %10s@." "CVE" "similarity" "similar?";
+  let below = ref 0 and total = ref 0 in
+  List.iter
+    (fun (e : Patchecko.Vulndb.entry) ->
+      let score =
+        Patchecko.Static_stage.pair_score ctx.classifier
+          ~reference:e.Patchecko.Vulndb.vuln_static
+          ~candidate:e.Patchecko.Vulndb.patched_static
+      in
+      incr total;
+      if score < 0.5 then incr below;
+      Format.fprintf ppf "%-16s %12.4f %10s@." e.Patchecko.Vulndb.cve_id score
+        (if score >= 0.5 then "yes" else "NO"))
+    (Patchecko.Vulndb.entries ctx.db);
+  Format.fprintf ppf
+    "%d of %d pairs fall below the similarity threshold — searches driven by@."
+    !below !total;
+  Format.fprintf ppf
+    "the wrong version can miss the target, as the paper observes for \
+     CVE-2018-9345.@.@."

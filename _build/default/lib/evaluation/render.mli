@@ -1,0 +1,36 @@
+(** Plain-text rendering of every table and figure of the paper's §V,
+    from the evaluation grid. *)
+
+val fig8 : Format.formatter -> Context.t -> unit
+(** Training accuracy/loss per epoch (Figure 8) plus held-out test
+    accuracy and AUC. *)
+
+val fig7 : Format.formatter -> Grid.run list -> unit
+(** False-positive rate per CVE, per device, for vulnerable- and
+    patched-reference queries (Figure 7). *)
+
+val tab3 : Format.formatter -> Context.t -> Grid.run list -> unit
+(** Dynamic feature profiling of the CVE-2018-9412 candidates on Android
+    Things (Table III). *)
+
+val tab45 : Format.formatter -> Context.t -> Grid.run list -> unit
+(** Top-10 similarity rankings for CVE-2018-9412, vulnerable- and
+    patched-based (Tables IV and V). *)
+
+val tab6 : Format.formatter -> Grid.run list -> unit
+(** Per-CVE accuracy on Android Things, vulnerable-reference (Table VI). *)
+
+val tab7 : Format.formatter -> Grid.run list -> unit
+(** As Table VI with patched references (Table VII). *)
+
+val tab8 : Format.formatter -> Grid.run list -> unit
+(** Final patch-detection results vs ground truth (Table VIII). *)
+
+val speed : Format.formatter -> Grid.run list -> unit
+(** Stage timing summary (§V-E). *)
+
+val simcheck : Format.formatter -> Context.t -> unit
+(** §V-D's sanity experiment: the model's similarity score between the
+    vulnerable and patched version of each CVE function.  Scores below the
+    0.5 threshold are the pairs a vulnerable-reference search can miss —
+    why Table VII runs the patched reference too. *)

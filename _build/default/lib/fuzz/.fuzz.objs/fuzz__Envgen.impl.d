@@ -1,0 +1,1 @@
+lib/fuzz/envgen.ml: Bytes Char Int64 List Shape Util Vm

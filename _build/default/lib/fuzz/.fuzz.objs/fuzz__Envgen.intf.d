@@ -1,0 +1,1 @@
+lib/fuzz/envgen.mli: Shape Util Vm

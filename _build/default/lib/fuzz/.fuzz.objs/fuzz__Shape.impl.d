@@ -1,0 +1,1 @@
+lib/fuzz/shape.ml: Format List

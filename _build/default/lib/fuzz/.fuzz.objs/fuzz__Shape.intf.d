@@ -1,0 +1,1 @@
+lib/fuzz/shape.mli: Format

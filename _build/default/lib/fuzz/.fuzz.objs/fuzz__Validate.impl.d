@@ -1,0 +1,1 @@
+lib/fuzz/validate.ml: List Vm

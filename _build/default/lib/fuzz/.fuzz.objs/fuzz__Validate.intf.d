@@ -1,0 +1,1 @@
+lib/fuzz/validate.mli: Loader Vm

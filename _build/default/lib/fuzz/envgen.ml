@@ -1,0 +1,84 @@
+let printable rng =
+  Char.chr (Util.Prng.int_in rng 32 126)
+
+let random_buffer rng max_len =
+  let len = Util.Prng.int_in rng 1 (max max_len 1) in
+  let style = Util.Prng.int rng 3 in
+  Bytes.init len (fun i ->
+      match style with
+      | 0 -> printable rng
+      | 1 -> Char.chr (Util.Prng.int rng 256)
+      | _ ->
+        (* structured-ish: runs with 0xff / 0x00 markers, the pattern the
+           ID3 unsynchronisation case study cares about *)
+        if i mod 7 = 3 then '\xff'
+        else if i mod 7 = 4 then '\x00'
+        else printable rng)
+
+let generate rng (shape : Shape.t) =
+  let rec build acc last_buf_len = function
+    | [] -> List.rev acc
+    | Shape.Aint (lo, hi) :: rest ->
+      let span = Int64.sub hi lo in
+      let v =
+        if span <= 0L then lo
+        else Int64.add lo (Int64.rem (Int64.abs (Util.Prng.int64_any rng)) (Int64.add span 1L))
+      in
+      build (Vm.Env.Vint v :: acc) last_buf_len rest
+    | Shape.Afloat (lo, hi) :: rest ->
+      let v = lo +. Util.Prng.float rng (hi -. lo) in
+      build (Vm.Env.Vint (Int64.bits_of_float v) :: acc) last_buf_len rest
+    | Shape.Abuf max_len :: rest ->
+      let b = random_buffer rng max_len in
+      build (Vm.Env.Vbuf b :: acc) (Bytes.length b) rest
+    | Shape.Alen :: rest ->
+      build (Vm.Env.Vint (Int64.of_int last_buf_len) :: acc) last_buf_len rest
+  in
+  Vm.Env.make ~seed:(Util.Prng.int64_any rng) (build [] 0 shape)
+
+let mutate_buffer rng b =
+  let b = Bytes.copy b in
+  let n = Bytes.length b in
+  if n > 0 then begin
+    let mutations = 1 + Util.Prng.int rng 4 in
+    for _ = 1 to mutations do
+      let i = Util.Prng.int rng n in
+      match Util.Prng.int rng 3 with
+      | 0 -> Bytes.set b i (Char.chr (Util.Prng.int rng 256))
+      | 1 ->
+        Bytes.set b i
+          (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Util.Prng.int rng 8)))
+      | _ -> Bytes.set b i (if Util.Prng.bool rng then '\xff' else '\x00')
+    done
+  end;
+  b
+
+let mutate rng (env : Vm.Env.t) =
+  (* jitter one argument; lengths are left alone so buffer/length pairs
+     stay consistent *)
+  let args =
+    List.map
+      (fun v ->
+        match v with
+        | Vm.Env.Vbuf b when Util.Prng.chance rng 0.7 ->
+          Vm.Env.Vbuf (mutate_buffer rng b)
+        | Vm.Env.Vint n when Util.Prng.chance rng 0.2 ->
+          Vm.Env.Vint (Int64.add n (Int64.of_int (Util.Prng.int_in rng (-2) 2)))
+        | Vm.Env.Vint _ | Vm.Env.Vbuf _ -> v)
+      env.Vm.Env.args
+  in
+  { env with Vm.Env.args; seed = Util.Prng.int64_any rng }
+
+let environments rng shape k =
+  let rec loop acc i =
+    if i >= k then List.rev acc
+    else begin
+      let env =
+        match acc with
+        | prev :: _ when i mod 3 = 2 -> mutate rng prev
+        | _ :: _ | [] -> generate rng shape
+      in
+      loop (env :: acc) (i + 1)
+    end
+  in
+  loop [] 0

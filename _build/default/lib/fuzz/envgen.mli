@@ -1,0 +1,15 @@
+(** Generation and mutation of execution environments (the LibFuzzer
+    analog): seeded generation from an argument shape, plus byte-level
+    mutation of existing environments for corpus diversification. *)
+
+val generate : Util.Prng.t -> Shape.t -> Vm.Env.t
+(** Fresh environment respecting the shape (buffer/length consistency:
+    [Alen] arguments equal the actual length of the preceding buffer). *)
+
+val mutate : Util.Prng.t -> Vm.Env.t -> Vm.Env.t
+(** Flip/insert/overwrite bytes of buffer arguments and jitter scalars;
+    never changes the argument count. *)
+
+val environments : Util.Prng.t -> Shape.t -> int -> Vm.Env.t list
+(** [environments rng shape k] yields [k] diverse environments: fresh
+    generations interleaved with mutations of earlier ones. *)

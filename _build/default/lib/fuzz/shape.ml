@@ -1,0 +1,20 @@
+type arg =
+  | Aint of int64 * int64
+  | Afloat of float * float
+  | Abuf of int
+  | Alen
+
+type t = arg list
+
+let pp ppf t =
+  Format.fprintf ppf "[";
+  List.iteri
+    (fun i a ->
+      if i > 0 then Format.fprintf ppf "; ";
+      match a with
+      | Aint (lo, hi) -> Format.fprintf ppf "int[%Ld..%Ld]" lo hi
+      | Afloat (lo, hi) -> Format.fprintf ppf "float[%g..%g]" lo hi
+      | Abuf n -> Format.fprintf ppf "buf[%d]" n
+      | Alen -> Format.fprintf ppf "len")
+    t;
+  Format.fprintf ppf "]"

@@ -1,0 +1,13 @@
+(** Argument shapes: what the fuzzer knows about a CVE function's
+    prototype (the paper runs LibFuzzer against the known vulnerable
+    function, then replays the generated inputs on every candidate). *)
+
+type arg =
+  | Aint of int64 * int64  (** integer in \[lo, hi\] *)
+  | Afloat of float * float
+  | Abuf of int  (** byte buffer of the given maximum length *)
+  | Alen  (** the exact length of the most recent buffer argument *)
+
+type t = arg list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+type report = {
+  survivors : int list;
+  crashed : (int * Vm.Machine.trap) list;
+  executions : int;
+}
+
+let filter_envs ?fuel img fidx envs =
+  List.filter (fun env -> Vm.Exec.survives ?fuel img fidx env) envs
+
+let run ?fuel img ~candidates envs =
+  let executions = ref 0 in
+  let survivors = ref [] in
+  let crashed = ref [] in
+  List.iter
+    (fun fidx ->
+      let rec try_envs = function
+        | [] -> survivors := fidx :: !survivors
+        | env :: rest -> begin
+          incr executions;
+          match (Vm.Exec.run ?fuel img fidx env).outcome with
+          | Vm.Exec.Finished _ | Vm.Exec.Exited _ -> try_envs rest
+          | Vm.Exec.Crashed trap -> crashed := (fidx, trap) :: !crashed
+        end
+      in
+      try_envs envs)
+    candidates;
+  {
+    survivors = List.rev !survivors;
+    crashed = List.rev !crashed;
+    executions = !executions;
+  }

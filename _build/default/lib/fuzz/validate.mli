@@ -1,0 +1,19 @@
+(** Candidate execution validation (the paper's §III-B step): run every
+    candidate function on the environments that work for the reference
+    function and keep only those that survive all of them — crashing
+    candidates are pruned before expensive feature profiling. *)
+
+type report = {
+  survivors : int list;  (** function indices that survived every run *)
+  crashed : (int * Vm.Machine.trap) list;
+      (** first trap seen for each pruned candidate *)
+  executions : int;  (** total runs performed *)
+}
+
+val filter_envs :
+  ?fuel:int -> Loader.Image.t -> int -> Vm.Env.t list -> Vm.Env.t list
+(** Keep the environments under which the given (reference) function runs
+    to completion. *)
+
+val run :
+  ?fuel:int -> Loader.Image.t -> candidates:int list -> Vm.Env.t list -> report

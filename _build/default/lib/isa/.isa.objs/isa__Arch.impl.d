@@ -1,0 +1,1 @@
+lib/isa/arch.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Buffer Encoding Hashtbl Instr List

@@ -1,0 +1,1 @@
+lib/isa/asmparse.ml: Array Asm Buffer Cond Format Instr Int64 List Reg String

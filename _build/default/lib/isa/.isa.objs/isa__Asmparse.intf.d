@@ -1,0 +1,1 @@
+lib/isa/asmparse.mli: Asm Instr

@@ -1,0 +1,1 @@
+lib/isa/disasm.mli: Arch Encoding Format Instr

@@ -1,0 +1,1 @@
+lib/isa/encoding.ml: Arch Array Buffer Bytes Char Cond Format Instr Int64 Reg Util

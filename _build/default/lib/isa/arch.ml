@@ -1,0 +1,21 @@
+type t = X86 | Amd64 | Arm32 | Arm64
+
+let all = [ X86; Amd64; Arm32; Arm64 ]
+
+let to_string = function
+  | X86 -> "x86"
+  | Amd64 -> "amd64"
+  | Arm32 -> "arm32"
+  | Arm64 -> "arm64"
+
+let of_string = function
+  | "x86" -> Some X86
+  | "amd64" -> Some Amd64
+  | "arm32" -> Some Arm32
+  | "arm64" -> Some Arm64
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let equal a b = a = b
+let compare = Stdlib.compare

@@ -1,0 +1,14 @@
+(** Target architectures.
+
+    The paper evaluates cross-platform similarity over x86, amd64, ARM
+    32-bit and ARM 64-bit binaries; we model four machine encodings of the
+    common instruction set (see {!Encoding}). *)
+
+type t = X86 | Amd64 | Arm32 | Arm64
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val compare : t -> t -> int

@@ -1,0 +1,45 @@
+type item = Label of string | Ins of string Instr.t
+
+exception Undefined_label of string
+exception Duplicate_label of string
+
+let layout params items =
+  let table = Hashtbl.create 16 in
+  let offset = ref 0 in
+  List.iter
+    (fun item ->
+      match item with
+      | Label name ->
+        if Hashtbl.mem table name then raise (Duplicate_label name);
+        Hashtbl.add table name !offset
+      | Ins ins ->
+        let sized = Instr.map_label (fun _ -> 0) ins in
+        offset := !offset + Encoding.encoded_size params sized)
+    items;
+  table
+
+let resolve table name =
+  match Hashtbl.find_opt table name with
+  | Some off -> off
+  | None -> raise (Undefined_label name)
+
+let assemble params items =
+  let table = layout params items in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun item ->
+      match item with
+      | Label _ -> ()
+      | Ins ins ->
+        Encoding.encode params buf (Instr.map_label (resolve table) ins))
+    items;
+  Buffer.to_bytes buf
+
+let label_offsets params items =
+  let table = layout params items in
+  List.filter_map
+    (fun item ->
+      match item with
+      | Label name -> Some (name, Hashtbl.find table name)
+      | Ins _ -> None)
+    items

@@ -1,0 +1,17 @@
+(** Two-level assembler: symbolic items with string labels are laid out and
+    encoded to machine bytes for one architecture.
+
+    Branch targets occupy a fixed 4 bytes in every encoding, so layout is
+    single-pass: label offsets computed with placeholder targets are exact. *)
+
+type item = Label of string | Ins of string Instr.t
+
+exception Undefined_label of string
+exception Duplicate_label of string
+
+val assemble : Encoding.params -> item list -> bytes
+(** Encode a function body.  Raises {!Undefined_label} or
+    {!Duplicate_label}. *)
+
+val label_offsets : Encoding.params -> item list -> (string * int) list
+(** Byte offset of each label after layout (mainly for tests). *)

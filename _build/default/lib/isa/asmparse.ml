@@ -1,0 +1,262 @@
+exception Parse_error of int * string
+
+let fail line fmt = Format.kasprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+(* tokens: words, numbers, punctuation , [ ] : ; *)
+let tokenize line text =
+  let tokens = ref [] in
+  let n = String.length text in
+  let i = ref 0 in
+  let is_word c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '.' || c = '@' || c = '#' || c = '-' || c = '+' || c = 'x'
+  in
+  while !i < n do
+    let c = text.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c = ';' then i := n (* comment *)
+    else if c = ',' || c = '[' || c = ']' || c = ':' then begin
+      tokens := String.make 1 c :: !tokens;
+      incr i
+    end
+    else if is_word c then begin
+      let start = !i in
+      while !i < n && is_word text.[!i] do
+        incr i
+      done;
+      tokens := String.sub text start (!i - start) :: !tokens
+    end
+    else fail line "unexpected character %C" c
+  done;
+  List.rev !tokens
+
+let reg_of_token line tok =
+  if tok = "sp" then Reg.sp
+  else if tok = "fp" then Reg.fp
+  else if String.length tok >= 2 && tok.[0] = 'r' then begin
+    match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+    | Some i when i >= 0 && i < Reg.count -> i
+    | Some _ | None -> fail line "bad register %S" tok
+  end
+  else fail line "expected register, got %S" tok
+
+let imm_of_token line tok =
+  if String.length tok >= 1 && tok.[0] = '#' then begin
+    match Int64.of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+    | Some v -> v
+    | None -> fail line "bad immediate %S" tok
+  end
+  else fail line "expected immediate, got %S" tok
+
+let operand_of_token line tok : Instr.operand =
+  if String.length tok >= 1 && tok.[0] = '#' then Imm (imm_of_token line tok)
+  else Reg (reg_of_token line tok)
+
+(* memory operand written as  [ base+off ]  or  [ base-off ]  or [ base ] *)
+let parse_mem line tokens =
+  match tokens with
+  | "[" :: base :: "]" :: rest ->
+    (* base token may embed the offset: "fp-16" / "r3+8" / "fp+0" *)
+    let split_at_sign s =
+      let rec find i =
+        if i >= String.length s then None
+        else if (s.[i] = '+' || s.[i] = '-') && i > 0 then Some i
+        else find (i + 1)
+      in
+      find 0
+    in
+    (match split_at_sign base with
+    | None -> ((reg_of_token line base, 0), rest)
+    | Some i ->
+      let reg = reg_of_token line (String.sub base 0 i) in
+      let off_text = String.sub base i (String.length base - i) in
+      (match int_of_string_opt off_text with
+      | Some off -> ((reg, off), rest)
+      | None -> fail line "bad memory offset %S" off_text))
+  | _ -> fail line "expected memory operand"
+
+let binop_of_mnemonic = function
+  | "add" -> Some Instr.Add
+  | "sub" -> Some Instr.Sub
+  | "mul" -> Some Instr.Mul
+  | "div" -> Some Instr.Div
+  | "rem" -> Some Instr.Rem
+  | "and" -> Some Instr.And
+  | "or" -> Some Instr.Or
+  | "xor" -> Some Instr.Xor
+  | "shl" -> Some Instr.Shl
+  | "shr" -> Some Instr.Shr
+  | _ -> None
+
+let fbinop_of_mnemonic = function
+  | "fadd" -> Some Instr.Fadd
+  | "fsub" -> Some Instr.Fsub
+  | "fmul" -> Some Instr.Fmul
+  | "fdiv" -> Some Instr.Fdiv
+  | _ -> None
+
+let cond_of_mnemonic m =
+  if String.length m >= 2 && m.[0] = 'j' then
+    List.find_opt
+      (fun c -> "j" ^ Cond.to_string c = m)
+      Cond.all
+  else None
+
+let parse_instr_tokens line tokens : string Instr.t =
+  let comma rest =
+    match rest with
+    | "," :: tail -> tail
+    | _ -> fail line "expected ','"
+  in
+  match tokens with
+  | [] -> fail line "empty instruction"
+  | [ "nop" ] -> Nop
+  | [ "ret" ] -> Ret
+  | "mov" :: d :: rest ->
+    let rest = comma rest in
+    (match rest with
+    | [ o ] -> Mov (reg_of_token line d, operand_of_token line o)
+    | _ -> fail line "mov needs two operands")
+  | "neg" :: d :: rest -> (
+    match comma rest with
+    | [ a ] -> Neg (reg_of_token line d, reg_of_token line a)
+    | _ -> fail line "neg needs two registers")
+  | "not" :: d :: rest -> (
+    match comma rest with
+    | [ a ] -> Not (reg_of_token line d, reg_of_token line a)
+    | _ -> fail line "not needs two registers")
+  | "i2f" :: d :: rest -> (
+    match comma rest with
+    | [ a ] -> I2f (reg_of_token line d, reg_of_token line a)
+    | _ -> fail line "i2f needs two registers")
+  | "f2i" :: d :: rest -> (
+    match comma rest with
+    | [ a ] -> F2i (reg_of_token line d, reg_of_token line a)
+    | _ -> fail line "f2i needs two registers")
+  | ("ld" | "ldb") :: d :: rest ->
+    let width : Instr.width = if List.hd tokens = "ld" then W8 else W1 in
+    let rest = comma rest in
+    let (base, off), rest = parse_mem line rest in
+    if rest <> [] then fail line "trailing tokens after load";
+    Load (width, reg_of_token line d, base, off)
+  | ("st" | "stb") :: s :: rest ->
+    let width : Instr.width = if List.hd tokens = "st" then W8 else W1 in
+    let rest = comma rest in
+    let (base, off), rest = parse_mem line rest in
+    if rest <> [] then fail line "trailing tokens after store";
+    Store (width, reg_of_token line s, base, off)
+  | "lea" :: d :: rest -> (
+    match comma rest with
+    | [ addr ] -> (
+      match Int64.of_string_opt addr with
+      | Some v -> Lea (reg_of_token line d, v)
+      | None -> fail line "bad address %S" addr)
+    | _ -> fail line "lea needs a register and an address")
+  | "cmp" :: a :: rest -> (
+    match comma rest with
+    | [ o ] -> Cmp (reg_of_token line a, operand_of_token line o)
+    | _ -> fail line "cmp needs two operands")
+  | "fcmp" :: a :: rest -> (
+    match comma rest with
+    | [ b ] -> Fcmp (reg_of_token line a, reg_of_token line b)
+    | _ -> fail line "fcmp needs two registers")
+  | [ "jmp"; target ] -> Jmp target
+  | "jtab" :: r :: rest -> begin
+    let rest = comma rest in
+    match rest with
+    | "[" :: tail ->
+      let rec targets acc = function
+        | "]" :: [] -> List.rev acc
+        | t :: "]" :: [] -> List.rev (t :: acc)
+        | t :: "," :: more -> targets (t :: acc) more
+        | t :: more -> targets (t :: acc) more
+        | [] -> fail line "unterminated jump table"
+      in
+      Jtable (reg_of_token line r, Array.of_list (targets [] tail))
+    | _ -> fail line "jtab needs a [targets] list"
+  end
+  | [ "call"; target ] ->
+    if String.length target >= 2 && target.[0] = '@' then begin
+      match int_of_string_opt (String.sub target 1 (String.length target - 1)) with
+      | Some idx -> Call idx
+      | None -> fail line "bad call index %S" target
+    end
+    else fail line "call target must be @index"
+  | [ "push"; r ] -> Push (reg_of_token line r)
+  | [ "pop"; r ] -> Pop (reg_of_token line r)
+  | [ "syscall"; n ] -> (
+    match int_of_string_opt n with
+    | Some v -> Syscall v
+    | None -> fail line "bad syscall number %S" n)
+  | mnemonic :: d :: rest -> begin
+    match binop_of_mnemonic mnemonic with
+    | Some op -> begin
+      let rest = comma rest in
+      match rest with
+      | a :: rest -> begin
+        match comma rest with
+        | [ o ] ->
+          Binop (op, reg_of_token line d, reg_of_token line a, operand_of_token line o)
+        | _ -> fail line "%s needs three operands" mnemonic
+      end
+      | [] -> fail line "%s needs three operands" mnemonic
+    end
+    | None -> (
+      match fbinop_of_mnemonic mnemonic with
+      | Some op -> begin
+        let rest = comma rest in
+        match rest with
+        | a :: rest -> begin
+          match comma rest with
+          | [ b ] ->
+            Fbinop (op, reg_of_token line d, reg_of_token line a, reg_of_token line b)
+          | _ -> fail line "%s needs three registers" mnemonic
+        end
+        | [] -> fail line "%s needs three registers" mnemonic
+      end
+      | None -> (
+        match cond_of_mnemonic mnemonic with
+        | Some c -> (
+          match d :: rest with
+          | [ target ] -> Jcc (c, target)
+          | _ -> fail line "%s needs a target" mnemonic)
+        | None -> fail line "unknown mnemonic %S" mnemonic))
+  end
+  | [ other ] -> fail line "unknown instruction %S" other
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  List.concat
+    (List.mapi
+       (fun idx raw ->
+         let line = idx + 1 in
+         let trimmed = String.trim raw in
+         if trimmed = "" || trimmed.[0] = ';' then []
+         else begin
+           match tokenize line trimmed with
+           | [] -> []
+           | [ name; ":" ] -> [ Asm.Label name ]
+           | name :: ":" :: rest when rest <> [] ->
+             [ Asm.Label name; Asm.Ins (parse_instr_tokens line rest) ]
+           | tokens -> [ Asm.Ins (parse_instr_tokens line tokens) ]
+         end)
+       lines)
+
+let parse_instr text =
+  match parse text with
+  | [ Asm.Ins ins ] -> ins
+  | _ -> raise (Parse_error (1, "expected exactly one instruction"))
+
+let print items =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun item ->
+      match item with
+      | Asm.Label name -> Buffer.add_string buf (name ^ ":\n")
+      | Asm.Ins ins ->
+        Buffer.add_string buf
+          ("  " ^ Format.asprintf "%a" (Instr.pp Format.pp_print_string) ins ^ "\n"))
+    items;
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Textual assembly parser — the inverse of {!Instr.pp} with string
+    labels.  One item per line: either a label definition ("loop:") or an
+    instruction ("add r1, r2, #5"); ';' and '#'-at-start comments and blank
+    lines are skipped.  Lets tests and tools write functions by hand and
+    round-trip printed listings. *)
+
+exception Parse_error of int * string
+(** Line number and message. *)
+
+val parse : string -> Asm.item list
+val parse_instr : string -> string Instr.t
+(** A single instruction, no label definitions. *)
+
+val print : Asm.item list -> string
+(** Render items in the accepted syntax ([parse (print items) = items]). *)

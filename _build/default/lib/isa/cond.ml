@@ -1,0 +1,41 @@
+type t = Eq | Ne | Lt | Le | Gt | Ge
+
+let all = [ Eq; Ne; Lt; Le; Gt; Ge ]
+
+let negate = function
+  | Eq -> Ne
+  | Ne -> Eq
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt
+
+let holds c sign =
+  match c with
+  | Eq -> sign = 0
+  | Ne -> sign <> 0
+  | Lt -> sign < 0
+  | Le -> sign <= 0
+  | Gt -> sign > 0
+  | Ge -> sign >= 0
+
+let to_int = function Eq -> 0 | Ne -> 1 | Lt -> 2 | Le -> 3 | Gt -> 4 | Ge -> 5
+
+let of_int = function
+  | 0 -> Some Eq
+  | 1 -> Some Ne
+  | 2 -> Some Lt
+  | 3 -> Some Le
+  | 4 -> Some Gt
+  | 5 -> Some Ge
+  | _ -> None
+
+let to_string = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

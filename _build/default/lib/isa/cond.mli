@@ -1,0 +1,13 @@
+(** Branch conditions over the flags set by [Cmp]/[Fcmp]. *)
+
+type t = Eq | Ne | Lt | Le | Gt | Ge
+
+val all : t list
+val negate : t -> t
+val holds : t -> int -> bool
+(** [holds c sign] where [sign] is the signum of [lhs - rhs]. *)
+
+val to_int : t -> int
+val of_int : int -> t option
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

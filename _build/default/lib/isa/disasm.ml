@@ -1,0 +1,48 @@
+type listing = {
+  arch : Arch.t;
+  instrs : int Instr.t array;
+  offsets : int array;
+  size : int;
+}
+
+let disassemble params code =
+  let size = Bytes.length code in
+  let instrs = ref [] in
+  let offsets = ref [] in
+  let pos = ref 0 in
+  while !pos < size do
+    let ins, next = Encoding.decode params code !pos in
+    instrs := ins :: !instrs;
+    offsets := !pos :: !offsets;
+    pos := next
+  done;
+  {
+    arch = params.Encoding.arch;
+    instrs = Array.of_list (List.rev !instrs);
+    offsets = Array.of_list (List.rev !offsets);
+    size;
+  }
+
+let index_of_offset listing off =
+  (* offsets are sorted; binary search *)
+  let lo = ref 0 and hi = ref (Array.length listing.offsets - 1) in
+  let found = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = listing.offsets.(mid) in
+    if v = off then begin
+      found := Some mid;
+      lo := !hi + 1
+    end
+    else if v < off then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let pp ppf listing =
+  Array.iteri
+    (fun i ins ->
+      Format.fprintf ppf "%4d: %a@." listing.offsets.(i)
+        (Instr.pp (fun ppf off -> Format.fprintf ppf "%d" off))
+        ins)
+    listing.instrs

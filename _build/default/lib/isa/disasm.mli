@@ -1,0 +1,21 @@
+(** Linear-sweep disassembler.
+
+    Stands in for the paper's IDA Pro front end: given the raw bytes of one
+    function it recovers the instruction stream with the byte offset of
+    every instruction, from which CFG recovery and feature extraction
+    proceed. *)
+
+type listing = {
+  arch : Arch.t;
+  instrs : int Instr.t array;  (** decoded instructions in address order *)
+  offsets : int array;  (** byte offset of each instruction *)
+  size : int;  (** total byte size of the function *)
+}
+
+val disassemble : Encoding.params -> bytes -> listing
+(** Raises {!Encoding.Invalid_encoding} on malformed input. *)
+
+val index_of_offset : listing -> int -> int option
+(** Instruction index starting at the given byte offset. *)
+
+val pp : Format.formatter -> listing -> unit

@@ -1,0 +1,440 @@
+type params = {
+  arch : Arch.t;
+  opcode_of : int -> int;
+  logical_of : int -> int;
+  big_endian : bool;
+  prefix : int option;
+  unit_size : int;
+  compact_imm : bool;
+}
+
+exception Invalid_encoding of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Invalid_encoding s)) fmt
+
+(* Logical opcode numbers; each arch permutes them onto the wire. *)
+let op_nop = 0
+and op_mov_reg = 1
+and op_mov_imm = 2
+and op_binop_reg = 3
+and op_binop_imm = 4
+and op_fbinop = 5
+and op_neg = 6
+and op_not = 7
+and op_i2f = 8
+and op_f2i = 9
+and op_load8 = 10
+and op_load1 = 11
+and op_store8 = 12
+and op_store1 = 13
+and op_lea = 14
+and op_cmp_reg = 15
+and op_cmp_imm = 16
+and op_fcmp = 17
+and op_jmp = 18
+and op_jcc = 19
+and op_jtable = 20
+and op_call = 21
+and op_ret = 22
+and op_push = 23
+and op_pop = 24
+and op_syscall = 25
+
+let binop_code : Instr.binop -> int = function
+  | Add -> 0
+  | Sub -> 1
+  | Mul -> 2
+  | Div -> 3
+  | Rem -> 4
+  | And -> 5
+  | Or -> 6
+  | Xor -> 7
+  | Shl -> 8
+  | Shr -> 9
+
+let binop_of_code : int -> Instr.binop = function
+  | 0 -> Add
+  | 1 -> Sub
+  | 2 -> Mul
+  | 3 -> Div
+  | 4 -> Rem
+  | 5 -> And
+  | 6 -> Or
+  | 7 -> Xor
+  | 8 -> Shl
+  | 9 -> Shr
+  | n -> fail "bad binop code %d" n
+
+let fbinop_code : Instr.fbinop -> int = function
+  | Fadd -> 0
+  | Fsub -> 1
+  | Fmul -> 2
+  | Fdiv -> 3
+
+let fbinop_of_code : int -> Instr.fbinop = function
+  | 0 -> Fadd
+  | 1 -> Fsub
+  | 2 -> Fmul
+  | 3 -> Fdiv
+  | n -> fail "bad fbinop code %d" n
+
+(* Per-architecture permutation of the opcode byte, derived from a seeded
+   shuffle so that the four wire formats share no opcode values by
+   accident of layout. *)
+let make_perm seed =
+  let rng = Util.Prng.create seed in
+  let perm = Array.init 256 (fun i -> i) in
+  Util.Prng.shuffle rng perm;
+  let inv = Array.make 256 0 in
+  Array.iteri (fun i v -> inv.(v) <- i) perm;
+  (perm, inv)
+
+let params_of_arch arch =
+  let seed, big_endian, prefix, unit_size, compact_imm =
+    match arch with
+    | Arch.X86 -> (0x8601L, false, None, 1, true)
+    | Arch.Amd64 -> (0x6464L, false, Some 0x66, 1, true)
+    | Arch.Arm32 -> (0x3232L, true, None, 4, true)
+    | Arch.Arm64 -> (0x6446L, false, None, 8, false)
+  in
+  let perm, inv = make_perm seed in
+  {
+    arch;
+    opcode_of = (fun i -> perm.(i));
+    logical_of = (fun i -> inv.(i));
+    big_endian;
+    prefix;
+    unit_size;
+    compact_imm;
+  }
+
+(* --- primitive writers/readers ------------------------------------- *)
+
+let write_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let write_bytes p buf ~len v =
+  (* little- or big-endian [len]-byte two's complement of [v] *)
+  if p.big_endian then
+    for i = len - 1 downto 0 do
+      write_u8 buf (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff)
+    done
+  else
+    for i = 0 to len - 1 do
+      write_u8 buf (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff)
+    done
+
+let read_u8 code pos =
+  if pos >= Bytes.length code then fail "truncated at %d" pos;
+  Char.code (Bytes.get code pos)
+
+let read_bytes p code pos ~len =
+  if pos + len > Bytes.length code then fail "truncated field at %d" pos;
+  let v = ref 0L in
+  if p.big_endian then
+    for i = 0 to len - 1 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (read_u8 code (pos + i)))
+    done
+  else
+    for i = len - 1 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (read_u8 code (pos + i)))
+    done;
+  !v
+
+let sign_extend v bits =
+  let shift = 64 - bits in
+  Int64.shift_right (Int64.shift_left v shift) shift
+
+(* Signed immediates: with [compact_imm] a tag byte selects 1/2/4/8 data
+   bytes; otherwise a fixed 8 bytes. *)
+let write_imm p buf v =
+  if not p.compact_imm then write_bytes p buf ~len:8 v
+  else begin
+    let fits bits =
+      let m = Int64.shift_left 1L (bits - 1) in
+      v >= Int64.neg m && v < m
+    in
+    if fits 8 then begin
+      write_u8 buf 0;
+      write_bytes p buf ~len:1 v
+    end
+    else if fits 16 then begin
+      write_u8 buf 1;
+      write_bytes p buf ~len:2 v
+    end
+    else if fits 32 then begin
+      write_u8 buf 2;
+      write_bytes p buf ~len:4 v
+    end
+    else begin
+      write_u8 buf 3;
+      write_bytes p buf ~len:8 v
+    end
+  end
+
+let read_imm p code pos =
+  if not p.compact_imm then (read_bytes p code pos ~len:8, pos + 8)
+  else begin
+    let tag = read_u8 code pos in
+    let len =
+      match tag with
+      | 0 -> 1
+      | 1 -> 2
+      | 2 -> 4
+      | 3 -> 8
+      | t -> fail "bad imm tag %d at %d" t pos
+    in
+    let raw = read_bytes p code (pos + 1) ~len in
+    (sign_extend raw (8 * len), pos + 1 + len)
+  end
+
+let write_i32 p buf v = write_bytes p buf ~len:4 (Int64.of_int v)
+
+let read_i32 p code pos =
+  let v = sign_extend (read_bytes p code pos ~len:4) 32 in
+  (Int64.to_int v, pos + 4)
+
+let write_u16 p buf v = write_bytes p buf ~len:2 (Int64.of_int v)
+
+let read_u16 p code pos =
+  let v = read_bytes p code pos ~len:2 in
+  (Int64.to_int v, pos + 2)
+
+let check_reg r = if r < 0 || r >= Reg.count then fail "bad register %d" r else r
+
+(* --- instruction encode --------------------------------------------- *)
+
+let encode_body p buf (ins : int Instr.t) =
+  let op logical = write_u8 buf (p.opcode_of logical) in
+  let reg r = write_u8 buf r in
+  match ins with
+  | Nop -> op op_nop
+  | Mov (d, Reg s) ->
+    op op_mov_reg;
+    reg d;
+    reg s
+  | Mov (d, Imm v) ->
+    op op_mov_imm;
+    reg d;
+    write_imm p buf v
+  | Binop (k, d, a, Reg b) ->
+    op op_binop_reg;
+    write_u8 buf (binop_code k);
+    reg d;
+    reg a;
+    reg b
+  | Binop (k, d, a, Imm v) ->
+    op op_binop_imm;
+    write_u8 buf (binop_code k);
+    reg d;
+    reg a;
+    write_imm p buf v
+  | Fbinop (k, d, a, b) ->
+    op op_fbinop;
+    write_u8 buf (fbinop_code k);
+    reg d;
+    reg a;
+    reg b
+  | Neg (d, a) ->
+    op op_neg;
+    reg d;
+    reg a
+  | Not (d, a) ->
+    op op_not;
+    reg d;
+    reg a
+  | I2f (d, a) ->
+    op op_i2f;
+    reg d;
+    reg a
+  | F2i (d, a) ->
+    op op_f2i;
+    reg d;
+    reg a
+  | Load (W8, d, b, off) ->
+    op op_load8;
+    reg d;
+    reg b;
+    write_i32 p buf off
+  | Load (W1, d, b, off) ->
+    op op_load1;
+    reg d;
+    reg b;
+    write_i32 p buf off
+  | Store (W8, s, b, off) ->
+    op op_store8;
+    reg s;
+    reg b;
+    write_i32 p buf off
+  | Store (W1, s, b, off) ->
+    op op_store1;
+    reg s;
+    reg b;
+    write_i32 p buf off
+  | Lea (d, addr) ->
+    op op_lea;
+    reg d;
+    write_imm p buf addr
+  | Cmp (a, Reg b) ->
+    op op_cmp_reg;
+    reg a;
+    reg b
+  | Cmp (a, Imm v) ->
+    op op_cmp_imm;
+    reg a;
+    write_imm p buf v
+  | Fcmp (a, b) ->
+    op op_fcmp;
+    reg a;
+    reg b
+  | Jmp target ->
+    op op_jmp;
+    write_i32 p buf target
+  | Jcc (c, target) ->
+    op op_jcc;
+    write_u8 buf (Cond.to_int c);
+    write_i32 p buf target
+  | Jtable (r, targets) ->
+    op op_jtable;
+    reg r;
+    write_u16 p buf (Array.length targets);
+    Array.iter (fun t -> write_i32 p buf t) targets
+  | Call idx ->
+    op op_call;
+    write_i32 p buf idx
+  | Ret -> op op_ret
+  | Push r ->
+    op op_push;
+    reg r
+  | Pop r ->
+    op op_pop;
+    reg r
+  | Syscall n ->
+    op op_syscall;
+    write_u8 buf n
+
+let encode p buf ins =
+  (match p.prefix with None -> () | Some b -> write_u8 buf b);
+  encode_body p buf ins;
+  if p.unit_size > 1 then begin
+    let rem = Buffer.length buf mod p.unit_size in
+    if rem <> 0 then
+      for _ = 1 to p.unit_size - rem do
+        write_u8 buf 0xEE
+      done
+  end
+
+(* Padding correctness relies on every encoded stream starting at a
+   unit-aligned boundary, which holds because functions are encoded from
+   offset 0 of their own byte array. *)
+
+let decode_body p code pos =
+  let opcode = p.logical_of (read_u8 code pos) in
+  let pos = pos + 1 in
+  let reg at = check_reg (read_u8 code at) in
+  if opcode = op_nop then ((Instr.Nop : int Instr.t), pos)
+  else if opcode = op_mov_reg then (Mov (reg pos, Reg (reg (pos + 1))), pos + 2)
+  else if opcode = op_mov_imm then begin
+    let d = reg pos in
+    let v, pos = read_imm p code (pos + 1) in
+    (Mov (d, Imm v), pos)
+  end
+  else if opcode = op_binop_reg then
+    let k = binop_of_code (read_u8 code pos) in
+    (Binop (k, reg (pos + 1), reg (pos + 2), Reg (reg (pos + 3))), pos + 4)
+  else if opcode = op_binop_imm then begin
+    let k = binop_of_code (read_u8 code pos) in
+    let d = reg (pos + 1) in
+    let a = reg (pos + 2) in
+    let v, pos = read_imm p code (pos + 3) in
+    (Binop (k, d, a, Imm v), pos)
+  end
+  else if opcode = op_fbinop then
+    let k = fbinop_of_code (read_u8 code pos) in
+    (Fbinop (k, reg (pos + 1), reg (pos + 2), reg (pos + 3)), pos + 4)
+  else if opcode = op_neg then (Neg (reg pos, reg (pos + 1)), pos + 2)
+  else if opcode = op_not then (Not (reg pos, reg (pos + 1)), pos + 2)
+  else if opcode = op_i2f then (I2f (reg pos, reg (pos + 1)), pos + 2)
+  else if opcode = op_f2i then (F2i (reg pos, reg (pos + 1)), pos + 2)
+  else if opcode = op_load8 || opcode = op_load1 then begin
+    let w : Instr.width = if opcode = op_load8 then W8 else W1 in
+    let d = reg pos in
+    let b = reg (pos + 1) in
+    let off, pos = read_i32 p code (pos + 2) in
+    (Load (w, d, b, off), pos)
+  end
+  else if opcode = op_store8 || opcode = op_store1 then begin
+    let w : Instr.width = if opcode = op_store8 then W8 else W1 in
+    let s = reg pos in
+    let b = reg (pos + 1) in
+    let off, pos = read_i32 p code (pos + 2) in
+    (Store (w, s, b, off), pos)
+  end
+  else if opcode = op_lea then begin
+    let d = reg pos in
+    let v, pos = read_imm p code (pos + 1) in
+    (Lea (d, v), pos)
+  end
+  else if opcode = op_cmp_reg then (Cmp (reg pos, Reg (reg (pos + 1))), pos + 2)
+  else if opcode = op_cmp_imm then begin
+    let a = reg pos in
+    let v, pos = read_imm p code (pos + 1) in
+    (Cmp (a, Imm v), pos)
+  end
+  else if opcode = op_fcmp then (Fcmp (reg pos, reg (pos + 1)), pos + 2)
+  else if opcode = op_jmp then begin
+    let t, pos = read_i32 p code pos in
+    (Jmp t, pos)
+  end
+  else if opcode = op_jcc then begin
+    let c =
+      match Cond.of_int (read_u8 code pos) with
+      | Some c -> c
+      | None -> fail "bad condition at %d" pos
+    in
+    let t, pos = read_i32 p code (pos + 1) in
+    (Jcc (c, t), pos)
+  end
+  else if opcode = op_jtable then begin
+    let r = reg pos in
+    let n, pos = read_u16 p code (pos + 1) in
+    let targets = Array.make n 0 in
+    let pos = ref pos in
+    for i = 0 to n - 1 do
+      let t, next = read_i32 p code !pos in
+      targets.(i) <- t;
+      pos := next
+    done;
+    (Jtable (r, targets), !pos)
+  end
+  else if opcode = op_call then begin
+    let idx, pos = read_i32 p code pos in
+    (Call idx, pos)
+  end
+  else if opcode = op_ret then (Ret, pos)
+  else if opcode = op_push then (Push (reg pos), pos + 1)
+  else if opcode = op_pop then (Pop (reg pos), pos + 1)
+  else if opcode = op_syscall then (Syscall (read_u8 code pos), pos + 1)
+  else fail "unknown opcode %d at %d" opcode (pos - 1)
+
+let decode p code pos =
+  let pos =
+    match p.prefix with
+    | None -> pos
+    | Some b ->
+      if read_u8 code pos <> b then fail "missing prefix at %d" pos;
+      pos + 1
+  in
+  let ins, next = decode_body p code pos in
+  let next =
+    if p.unit_size > 1 then begin
+      let rem = next mod p.unit_size in
+      if rem = 0 then next else next + (p.unit_size - rem)
+    end
+    else next
+  in
+  (ins, next)
+
+let encoded_size p ins =
+  let buf = Buffer.create 16 in
+  encode p buf ins;
+  Buffer.length buf

@@ -1,0 +1,33 @@
+(** Machine encodings of the common instruction set.
+
+    Each architecture serialises {!Instr.t} with its own opcode map
+    (a seeded permutation), endianness, immediate compaction, optional
+    instruction prefix and alignment unit.  Branch targets are encoded as
+    4-byte function-relative byte offsets in every architecture so that
+    instruction sizes do not depend on label values (single-pass layout in
+    the assembler). *)
+
+type params = {
+  arch : Arch.t;
+  opcode_of : int -> int;  (** logical opcode -> wire opcode *)
+  logical_of : int -> int;  (** inverse map *)
+  big_endian : bool;
+  prefix : int option;  (** mandatory per-instruction prefix byte *)
+  unit_size : int;  (** instructions padded to a multiple of this *)
+  compact_imm : bool;  (** variable-width immediates vs fixed 8 bytes *)
+}
+
+exception Invalid_encoding of string
+(** Raised by {!decode} on malformed byte streams. *)
+
+val params_of_arch : Arch.t -> params
+
+val encode : params -> Buffer.t -> int Instr.t -> unit
+(** Append the encoding of one instruction (targets are byte offsets). *)
+
+val decode : params -> bytes -> int -> int Instr.t * int
+(** [decode p code pos] returns the instruction at [pos] and the offset of
+    the next instruction.  Raises {!Invalid_encoding}. *)
+
+val encoded_size : params -> int Instr.t -> int
+(** Size in bytes of one encoded instruction. *)

@@ -1,0 +1,198 @@
+type operand = Reg of Reg.t | Imm of int64
+
+type binop = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr
+
+type fbinop = Fadd | Fsub | Fmul | Fdiv
+
+type width = W1 | W8
+
+type 'lbl t =
+  | Nop
+  | Mov of Reg.t * operand
+  | Binop of binop * Reg.t * Reg.t * operand
+  | Fbinop of fbinop * Reg.t * Reg.t * Reg.t
+  | Neg of Reg.t * Reg.t
+  | Not of Reg.t * Reg.t
+  | I2f of Reg.t * Reg.t
+  | F2i of Reg.t * Reg.t
+  | Load of width * Reg.t * Reg.t * int
+  | Store of width * Reg.t * Reg.t * int
+  | Lea of Reg.t * int64
+  | Cmp of Reg.t * operand
+  | Fcmp of Reg.t * Reg.t
+  | Jmp of 'lbl
+  | Jcc of Cond.t * 'lbl
+  | Jtable of Reg.t * 'lbl array
+  | Call of int
+  | Ret
+  | Push of Reg.t
+  | Pop of Reg.t
+  | Syscall of int
+
+let map_label f = function
+  | Nop -> Nop
+  | Mov (d, o) -> Mov (d, o)
+  | Binop (op, d, a, o) -> Binop (op, d, a, o)
+  | Fbinop (op, d, a, b) -> Fbinop (op, d, a, b)
+  | Neg (d, a) -> Neg (d, a)
+  | Not (d, a) -> Not (d, a)
+  | I2f (d, a) -> I2f (d, a)
+  | F2i (d, a) -> F2i (d, a)
+  | Load (w, d, b, off) -> Load (w, d, b, off)
+  | Store (w, s, b, off) -> Store (w, s, b, off)
+  | Lea (d, addr) -> Lea (d, addr)
+  | Cmp (a, o) -> Cmp (a, o)
+  | Fcmp (a, b) -> Fcmp (a, b)
+  | Jmp l -> Jmp (f l)
+  | Jcc (c, l) -> Jcc (c, f l)
+  | Jtable (r, ls) -> Jtable (r, Array.map f ls)
+  | Call i -> Call i
+  | Ret -> Ret
+  | Push r -> Push r
+  | Pop r -> Pop r
+  | Syscall n -> Syscall n
+
+let is_arith = function
+  | Binop _ | Neg _ | Not _ -> true
+  | Nop | Mov _ | Fbinop _ | I2f _ | F2i _ | Load _ | Store _ | Lea _ | Cmp _
+  | Fcmp _ | Jmp _ | Jcc _ | Jtable _ | Call _ | Ret | Push _ | Pop _
+  | Syscall _ ->
+    false
+
+let is_arith_fp = function
+  | Fbinop _ | I2f _ | F2i _ -> true
+  | Nop | Mov _ | Binop _ | Neg _ | Not _ | Load _ | Store _ | Lea _ | Cmp _
+  | Fcmp _ | Jmp _ | Jcc _ | Jtable _ | Call _ | Ret | Push _ | Pop _
+  | Syscall _ ->
+    false
+
+let is_branch = function
+  | Jmp _ | Jcc _ | Jtable _ -> true
+  | Nop | Mov _ | Binop _ | Fbinop _ | Neg _ | Not _ | I2f _ | F2i _ | Load _
+  | Store _ | Lea _ | Cmp _ | Fcmp _ | Call _ | Ret | Push _ | Pop _
+  | Syscall _ ->
+    false
+
+let is_call = function
+  | Call _ -> true
+  | Nop | Mov _ | Binop _ | Fbinop _ | Neg _ | Not _ | I2f _ | F2i _ | Load _
+  | Store _ | Lea _ | Cmp _ | Fcmp _ | Jmp _ | Jcc _ | Jtable _ | Ret | Push _
+  | Pop _ | Syscall _ ->
+    false
+
+let is_load = function
+  | Load _ | Pop _ -> true
+  | Nop | Mov _ | Binop _ | Fbinop _ | Neg _ | Not _ | I2f _ | F2i _ | Store _
+  | Lea _ | Cmp _ | Fcmp _ | Jmp _ | Jcc _ | Jtable _ | Call _ | Ret | Push _
+  | Syscall _ ->
+    false
+
+let is_store = function
+  | Store _ | Push _ -> true
+  | Nop | Mov _ | Binop _ | Fbinop _ | Neg _ | Not _ | I2f _ | F2i _ | Load _
+  | Lea _ | Cmp _ | Fcmp _ | Jmp _ | Jcc _ | Jtable _ | Call _ | Ret | Pop _
+  | Syscall _ ->
+    false
+
+let is_terminator = function
+  | Jmp _ | Jcc _ | Jtable _ | Ret -> true
+  | Nop | Mov _ | Binop _ | Fbinop _ | Neg _ | Not _ | I2f _ | F2i _ | Load _
+  | Store _ | Lea _ | Cmp _ | Fcmp _ | Call _ | Push _ | Pop _ | Syscall _ ->
+    false
+
+let constants = function
+  | Mov (_, Imm v) | Binop (_, _, _, Imm v) | Cmp (_, Imm v) -> [ v ]
+  | Nop | Mov (_, Reg _) | Binop (_, _, _, Reg _) | Fbinop _ | Neg _ | Not _
+  | I2f _ | F2i _ | Load _ | Store _ | Lea _ | Cmp (_, Reg _) | Fcmp _ | Jmp _
+  | Jcc _ | Jtable _ | Call _ | Ret | Push _ | Pop _ | Syscall _ ->
+    []
+
+let data_refs = function
+  | Lea (_, addr) -> [ addr ]
+  | Nop | Mov _ | Binop _ | Fbinop _ | Neg _ | Not _ | I2f _ | F2i _ | Load _
+  | Store _ | Cmp _ | Fcmp _ | Jmp _ | Jcc _ | Jtable _ | Call _ | Ret
+  | Push _ | Pop _ | Syscall _ ->
+    []
+
+let binop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+
+let fbinop_name = function
+  | Fadd -> "fadd"
+  | Fsub -> "fsub"
+  | Fmul -> "fmul"
+  | Fdiv -> "fdiv"
+
+let mnemonic = function
+  | Nop -> "nop"
+  | Mov _ -> "mov"
+  | Binop (op, _, _, _) -> binop_name op
+  | Fbinop (op, _, _, _) -> fbinop_name op
+  | Neg _ -> "neg"
+  | Not _ -> "not"
+  | I2f _ -> "i2f"
+  | F2i _ -> "f2i"
+  | Load (W8, _, _, _) -> "ld"
+  | Load (W1, _, _, _) -> "ldb"
+  | Store (W8, _, _, _) -> "st"
+  | Store (W1, _, _, _) -> "stb"
+  | Lea _ -> "lea"
+  | Cmp _ -> "cmp"
+  | Fcmp _ -> "fcmp"
+  | Jmp _ -> "jmp"
+  | Jcc (c, _) -> "j" ^ Cond.to_string c
+  | Jtable _ -> "jtab"
+  | Call _ -> "call"
+  | Ret -> "ret"
+  | Push _ -> "push"
+  | Pop _ -> "pop"
+  | Syscall _ -> "syscall"
+
+let pp_operand ppf = function
+  | Reg r -> Reg.pp ppf r
+  | Imm v -> Format.fprintf ppf "#%Ld" v
+
+let pp pp_lbl ppf t =
+  let p fmt = Format.fprintf ppf fmt in
+  match t with
+  | Nop -> p "nop"
+  | Mov (d, o) -> p "mov %a, %a" Reg.pp d pp_operand o
+  | Binop (op, d, a, o) ->
+    p "%s %a, %a, %a" (binop_name op) Reg.pp d Reg.pp a pp_operand o
+  | Fbinop (op, d, a, b) ->
+    p "%s %a, %a, %a" (fbinop_name op) Reg.pp d Reg.pp a Reg.pp b
+  | Neg (d, a) -> p "neg %a, %a" Reg.pp d Reg.pp a
+  | Not (d, a) -> p "not %a, %a" Reg.pp d Reg.pp a
+  | I2f (d, a) -> p "i2f %a, %a" Reg.pp d Reg.pp a
+  | F2i (d, a) -> p "f2i %a, %a" Reg.pp d Reg.pp a
+  | Load (w, d, b, off) ->
+    p "%s %a, [%a%+d]" (mnemonic (Load (w, d, b, off))) Reg.pp d Reg.pp b off
+  | Store (w, s, b, off) ->
+    p "%s %a, [%a%+d]" (mnemonic (Store (w, s, b, off))) Reg.pp s Reg.pp b off
+  | Lea (d, addr) -> p "lea %a, 0x%Lx" Reg.pp d addr
+  | Cmp (a, o) -> p "cmp %a, %a" Reg.pp a pp_operand o
+  | Fcmp (a, b) -> p "fcmp %a, %a" Reg.pp a Reg.pp b
+  | Jmp l -> p "jmp %a" pp_lbl l
+  | Jcc (c, l) -> p "j%s %a" (Cond.to_string c) pp_lbl l
+  | Jtable (r, ls) ->
+    p "jtab %a, [" Reg.pp r;
+    Array.iteri
+      (fun i l ->
+        if i > 0 then p ", ";
+        pp_lbl ppf l)
+      ls;
+    p "]"
+  | Call i -> p "call @%d" i
+  | Ret -> p "ret"
+  | Push r -> p "push %a" Reg.pp r
+  | Pop r -> p "pop %a" Reg.pp r
+  | Syscall n -> p "syscall %d" n

@@ -1,0 +1,73 @@
+(** The common instruction set.
+
+    Instructions are parametric in the branch-target type ['lbl]: the
+    assembler works over [string t] (symbolic labels) and the disassembler
+    yields [int t] (byte offsets within the enclosing function).  All four
+    architecture encodings serialise this one instruction set with
+    different opcode maps, endianness, immediate widths and alignment, so a
+    function compiled for two architectures has different bytes but
+    round-trips to comparable instruction streams — mirroring how the
+    paper's IDA plugin normalises heterogeneous binaries. *)
+
+type operand = Reg of Reg.t | Imm of int64
+
+type binop = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr
+
+type fbinop = Fadd | Fsub | Fmul | Fdiv
+
+type width = W1 | W8
+(** Byte and 64-bit word memory accesses. *)
+
+type 'lbl t =
+  | Nop
+  | Mov of Reg.t * operand
+  | Binop of binop * Reg.t * Reg.t * operand
+  | Fbinop of fbinop * Reg.t * Reg.t * Reg.t
+      (** Operates on registers holding IEEE-754 bit patterns. *)
+  | Neg of Reg.t * Reg.t
+  | Not of Reg.t * Reg.t
+  | I2f of Reg.t * Reg.t
+  | F2i of Reg.t * Reg.t
+  | Load of width * Reg.t * Reg.t * int  (** [dst <- mem\[base+off\]]. *)
+  | Store of width * Reg.t * Reg.t * int  (** [mem\[base+off\] <- src]. *)
+  | Lea of Reg.t * int64  (** Absolute data-section address. *)
+  | Cmp of Reg.t * operand  (** Sets flags (signed compare). *)
+  | Fcmp of Reg.t * Reg.t
+  | Jmp of 'lbl
+  | Jcc of Cond.t * 'lbl
+  | Jtable of Reg.t * 'lbl array
+      (** Indirect jump through an inline table (switch lowering); the
+          register selects the entry, out-of-range traps. *)
+  | Call of int  (** Index into the image call table. *)
+  | Ret
+  | Push of Reg.t
+  | Pop of Reg.t
+  | Syscall of int
+
+val map_label : ('a -> 'b) -> 'a t -> 'b t
+
+val is_arith : 'lbl t -> bool
+(** Integer arithmetic/logic (Binop, Neg, Not) — the "arithmetic
+    instruction" class of Tables I and II. *)
+
+val is_arith_fp : 'lbl t -> bool
+val is_branch : 'lbl t -> bool
+(** Control transfers other than call/ret. *)
+
+val is_call : 'lbl t -> bool
+val is_load : 'lbl t -> bool
+val is_store : 'lbl t -> bool
+
+val is_terminator : 'lbl t -> bool
+(** Ends a basic block: jumps, conditional jumps, table jumps, returns. *)
+
+val constants : 'lbl t -> int64 list
+(** Immediate constants appearing in the instruction (for the
+    [num_constant] feature). *)
+
+val data_refs : 'lbl t -> int64 list
+(** Absolute data addresses referenced ([Lea]); used for the
+    [num_string] feature. *)
+
+val mnemonic : 'lbl t -> string
+val pp : (Format.formatter -> 'lbl -> unit) -> Format.formatter -> 'lbl t -> unit

@@ -1,0 +1,24 @@
+type t = int
+
+let count = 16
+
+let r i =
+  if i < 0 || i >= count then invalid_arg "Reg.r: out of range";
+  i
+
+let sp = 15
+let fp = 14
+let tmp = 12
+let ret = 0
+let max_args = 6
+
+let arg i =
+  if i < 0 || i >= max_args then invalid_arg "Reg.arg: out of range";
+  i
+
+let name t =
+  if t = sp then "sp"
+  else if t = fp then "fp"
+  else "r" ^ string_of_int t
+
+let pp ppf t = Format.pp_print_string ppf (name t)

@@ -1,0 +1,29 @@
+(** Machine registers.
+
+    Sixteen general-purpose 64-bit registers.  By convention [r0] carries
+    return values, [r0]..[r5] carry the first six arguments, [r6]..[r11]
+    are caller-saved scratch, [r12] is the assembler temporary, [fp]=r14 is
+    the frame pointer and [sp]=r15 the stack pointer. *)
+
+type t = int
+
+val count : int
+val r : int -> t
+(** [r i] for [0 <= i < count]; raises [Invalid_argument] otherwise. *)
+
+val sp : t
+val fp : t
+val tmp : t
+(** Assembler/compiler scratch register (r12). *)
+
+val ret : t
+(** Return-value register (r0). *)
+
+val arg : int -> t
+(** [arg i] is the i-th argument register, [0 <= i <= 5]. *)
+
+val max_args : int
+(** Number of register-passed arguments supported by the ABI. *)
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit

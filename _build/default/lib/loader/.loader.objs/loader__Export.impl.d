@@ -1,0 +1,1 @@
+lib/loader/export.ml: Array Hashtbl Image Isa List Printf Symtab

@@ -1,0 +1,1 @@
+lib/loader/firmware.ml: Array Buffer Bytes Char Image Sff String

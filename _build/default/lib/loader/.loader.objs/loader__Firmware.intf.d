@@ -1,0 +1,1 @@
+lib/loader/firmware.mli: Image

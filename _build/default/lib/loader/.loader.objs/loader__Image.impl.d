@@ -1,0 +1,1 @@
+lib/loader/image.ml: Array Bytes Int64 Isa Symtab

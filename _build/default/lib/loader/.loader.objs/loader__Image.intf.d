@@ -1,0 +1,1 @@
+lib/loader/image.mli: Isa Symtab

@@ -1,0 +1,1 @@
+lib/loader/sff.ml: Array Buffer Bytes Char Format Image Int64 Isa String Symtab

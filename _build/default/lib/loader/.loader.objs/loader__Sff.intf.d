@@ -1,0 +1,1 @@
+lib/loader/sff.mli: Image

@@ -1,0 +1,1 @@
+lib/loader/verify.ml: Array Bytes Image Int64 Isa List Printf

@@ -1,0 +1,1 @@
+lib/loader/verify.mli: Image

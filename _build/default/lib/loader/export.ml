@@ -1,0 +1,81 @@
+type t = {
+  image : Image.t;
+  origin_index : int;
+  included : int array;
+}
+
+(* Internal call targets reachable from one function, found by decoding its
+   code and chasing the call table. *)
+let callees_of_function (img : Image.t) i =
+  let listing = Image.disassemble img i in
+  Array.to_list listing.instrs
+  |> List.filter_map (fun ins ->
+         match ins with
+         | Isa.Instr.Call idx -> (
+           match Image.call_target img idx with
+           | Some (Image.Internal j) -> Some j
+           | Some (Image.Import _) | None -> None)
+         | Isa.Instr.Nop | Mov _ | Binop _ | Fbinop _ | Neg _ | Not _ | I2f _
+         | F2i _ | Load _ | Store _ | Lea _ | Cmp _ | Fcmp _ | Jmp _ | Jcc _
+         | Jtable _ | Ret | Push _ | Pop _ | Syscall _ ->
+           None)
+
+let transitive_closure img root =
+  let visited = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec visit i =
+    if not (Hashtbl.mem visited i) then begin
+      Hashtbl.add visited i ();
+      order := i :: !order;
+      List.iter visit (callees_of_function img i)
+    end
+  in
+  visit root;
+  List.rev !order
+
+let extract (img : Image.t) i =
+  if i < 0 || i >= Image.function_count img then
+    invalid_arg "Export.extract: function index out of range";
+  let included = Array.of_list (transitive_closure img i) in
+  let new_index = Hashtbl.create 16 in
+  Array.iteri (fun ni oi -> Hashtbl.add new_index oi ni) included;
+  (* Rewrite the call table: internal targets now refer to new indices;
+     calls to functions outside the closure cannot occur by construction. *)
+  let calls =
+    Array.map
+      (fun target ->
+        match target with
+        | Image.Import _ -> target
+        | Image.Internal j -> (
+          match Hashtbl.find_opt new_index j with
+          | Some nj -> Image.Internal nj
+          | None -> target))
+      img.calls
+  in
+  let functions = Array.map (fun oi -> img.functions.(oi)) included in
+  let symtab =
+    match img.symtab with
+    | None -> None
+    | Some sym ->
+      let functions =
+        Array.map
+          (fun oi ->
+            match Symtab.function_name sym oi with
+            | Some n -> n
+            | None -> Printf.sprintf "fun_%d" oi)
+          included
+      in
+      Some { sym with Symtab.functions }
+  in
+  let image =
+    {
+      img with
+      Image.name = img.Image.name ^ "!" ^ string_of_int i;
+      functions;
+      calls;
+      symtab;
+    }
+  in
+  { image; origin_index = i; included }
+
+let entry _ = 0

@@ -1,0 +1,21 @@
+(** Function-level export (the LIEF + dlopen/dlsym analog).
+
+    The paper's dynamic engine never loads a whole firmware binary: it
+    exports a single candidate function into a compact executable together
+    with everything it transitively needs.  [extract img i] does exactly
+    that: a new single-purpose image whose function 0 is function [i] of
+    [img], whose function table holds only the transitive internal callees
+    and whose call table is rewritten accordingly.  The data section is
+    shared wholesale (as a mapped library's would be). *)
+
+type t = {
+  image : Image.t;  (** the compact image; entry point is function 0 *)
+  origin_index : int;  (** index of the function in the source image *)
+  included : int array;  (** source indices included, in new-index order *)
+}
+
+val extract : Image.t -> int -> t
+(** Raises [Invalid_argument] if the index is out of range. *)
+
+val entry : t -> int
+(** Entry function index in the exported image (always 0). *)

@@ -1,0 +1,98 @@
+type t = {
+  device : string;
+  os_version : string;
+  security_patch : string;
+  images : Image.t array;
+}
+
+let firmware_magic = "SFW1"
+
+let find_image t name =
+  let found = ref None in
+  Array.iter
+    (fun img -> if img.Image.name = name && !found = None then found := Some img)
+    t.images;
+  !found
+
+let total_functions t =
+  Array.fold_left (fun acc img -> acc + Image.function_count img) 0 t.images
+
+let strip t = { t with images = Array.map Image.strip t.images }
+
+let to_bytes t =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf firmware_magic;
+  let put_str s =
+    let len = String.length s in
+    for i = 0 to 3 do
+      Buffer.add_char buf (Char.chr ((len lsr (8 * i)) land 0xff))
+    done;
+    Buffer.add_string buf s
+  in
+  put_str t.device;
+  put_str t.os_version;
+  put_str t.security_patch;
+  let n = Array.length t.images in
+  for i = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((n lsr (8 * i)) land 0xff))
+  done;
+  Array.iter
+    (fun img ->
+      let b = Sff.image_to_bytes img in
+      put_str (Bytes.to_string b))
+    t.images;
+  Buffer.to_bytes buf
+
+let of_bytes b =
+  let pos = ref 0 in
+  let fail msg = raise (Sff.Corrupt msg) in
+  let get_u8 () =
+    if !pos >= Bytes.length b then fail "firmware truncated";
+    let v = Char.code (Bytes.get b !pos) in
+    incr pos;
+    v
+  in
+  let get_u32 () =
+    let v = ref 0 in
+    for i = 0 to 3 do
+      v := !v lor (get_u8 () lsl (8 * i))
+    done;
+    !v
+  in
+  let get_str () =
+    let len = get_u32 () in
+    if !pos + len > Bytes.length b then fail "firmware string truncated";
+    let s = Bytes.sub_string b !pos len in
+    pos := !pos + len;
+    s
+  in
+  if Bytes.length b < 4 || Bytes.sub_string b 0 4 <> firmware_magic then
+    fail "bad firmware magic";
+  pos := 4;
+  let device = get_str () in
+  let os_version = get_str () in
+  let security_patch = get_str () in
+  let n = get_u32 () in
+  let images =
+    Array.init n (fun _ -> Sff.image_of_bytes (Bytes.of_string (get_str ())))
+  in
+  { device; os_version; security_patch; images }
+
+let write path t =
+  let oc = open_out_bin path in
+  (try output_bytes oc (to_bytes t)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc
+
+let read path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let b = Bytes.create len in
+  (try really_input ic b 0 len
+   with e ->
+     close_in_noerr ic;
+     raise e);
+  close_in ic;
+  of_bytes b

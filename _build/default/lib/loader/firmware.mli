@@ -1,0 +1,20 @@
+(** A firmware image: a named device with an OS version, a security-patch
+    level, and a set of library images (the analog of the paper's
+    Android Things 1.0 and Google Pixel 2 XL targets). *)
+
+type t = {
+  device : string;
+  os_version : string;
+  security_patch : string;  (** e.g. "2018-05" *)
+  images : Image.t array;
+}
+
+val find_image : t -> string -> Image.t option
+val total_functions : t -> int
+val strip : t -> t
+val to_bytes : t -> bytes
+val of_bytes : bytes -> t
+(** Raises {!Sff.Corrupt}. *)
+
+val write : string -> t -> unit
+val read : string -> t

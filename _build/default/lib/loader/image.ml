@@ -1,0 +1,47 @@
+type call_target = Internal of int | Import of string
+
+type t = {
+  name : string;
+  arch : Isa.Arch.t;
+  functions : bytes array;
+  calls : call_target array;
+  data : bytes;
+  data_base : int64;
+  strings : (int64 * int) array;
+  symtab : Symtab.t option;
+}
+
+let data_base_default = 0x10000L
+
+let strip t = { t with symtab = None }
+
+let is_stripped t = t.symtab = None
+
+let function_count t = Array.length t.functions
+
+let function_code t i = t.functions.(i)
+
+let function_name t i =
+  match t.symtab with
+  | None -> None
+  | Some sym -> Symtab.function_name sym i
+
+let find_function t name =
+  match t.symtab with
+  | None -> None
+  | Some sym -> Symtab.find_function sym name
+
+let call_target t i =
+  if i >= 0 && i < Array.length t.calls then Some t.calls.(i) else None
+
+let is_string_addr t addr =
+  Array.exists
+    (fun (base, len) -> addr >= base && addr < Int64.add base (Int64.of_int len))
+    t.strings
+
+let total_code_size t =
+  Array.fold_left (fun acc code -> acc + Bytes.length code) 0 t.functions
+
+let disassemble t i =
+  let params = Isa.Encoding.params_of_arch t.arch in
+  Isa.Disasm.disassemble params t.functions.(i)

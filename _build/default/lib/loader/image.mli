@@ -1,0 +1,45 @@
+(** SFF (Simple Firmware Format) library images.
+
+    An image is the unit the pipeline scans: one shared library compiled
+    for one architecture.  It carries the encoded bytes of every function,
+    a call table (the PLT analog: internal targets by index, imports by
+    name — import names survive stripping, as dynamic linking requires),
+    a data section holding globals and string literals, and optionally a
+    symbol table. *)
+
+type call_target = Internal of int | Import of string
+
+type t = {
+  name : string;
+  arch : Isa.Arch.t;
+  functions : bytes array;  (** encoded code of each function *)
+  calls : call_target array;
+  data : bytes;
+  data_base : int64;  (** virtual address of the data section *)
+  strings : (int64 * int) array;  (** string-literal ranges in data *)
+  symtab : Symtab.t option;
+}
+
+val data_base_default : int64
+
+val strip : t -> t
+(** Remove the symbol table (function and global names); the result is the
+    stripped COTS binary PATCHECKO analyses. *)
+
+val is_stripped : t -> bool
+val function_count : t -> int
+val function_code : t -> int -> bytes
+val function_name : t -> int -> string option
+(** [None] on stripped images or out-of-range indices. *)
+
+val find_function : t -> string -> int option
+val call_target : t -> int -> call_target option
+
+val is_string_addr : t -> int64 -> bool
+(** Does the address fall inside a string-literal range?  Used by the
+    [num_string] static feature. *)
+
+val total_code_size : t -> int
+
+val disassemble : t -> int -> Isa.Disasm.listing
+(** Disassemble function [i] with the image's architecture parameters. *)

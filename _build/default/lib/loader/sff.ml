@@ -1,0 +1,185 @@
+exception Corrupt of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
+
+let image_magic = "SFF1"
+
+(* --- writers --------------------------------------------------------- *)
+
+let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let put_u32 buf v =
+  for i = 0 to 3 do
+    put_u8 buf ((v lsr (8 * i)) land 0xff)
+  done
+
+let put_u64 buf v =
+  for i = 0 to 7 do
+    put_u8 buf (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff)
+  done
+
+let put_str buf s =
+  put_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let put_bytes buf b =
+  put_u32 buf (Bytes.length b);
+  Buffer.add_bytes buf b
+
+(* --- readers --------------------------------------------------------- *)
+
+type cursor = { data : bytes; mutable pos : int }
+
+let get_u8 c =
+  if c.pos >= Bytes.length c.data then fail "truncated at %d" c.pos;
+  let v = Char.code (Bytes.get c.data c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u32 c =
+  let v = ref 0 in
+  for i = 0 to 3 do
+    v := !v lor (get_u8 c lsl (8 * i))
+  done;
+  !v
+
+let get_u64 c =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor !v (Int64.shift_left (Int64.of_int (get_u8 c)) (8 * i))
+  done;
+  !v
+
+let get_str c =
+  let len = get_u32 c in
+  if c.pos + len > Bytes.length c.data then fail "truncated string at %d" c.pos;
+  let s = Bytes.sub_string c.data c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+let get_bytes c =
+  let len = get_u32 c in
+  if c.pos + len > Bytes.length c.data then fail "truncated bytes at %d" c.pos;
+  let b = Bytes.sub c.data c.pos len in
+  c.pos <- c.pos + len;
+  b
+
+(* --- image ----------------------------------------------------------- *)
+
+let arch_tag = function
+  | Isa.Arch.X86 -> 0
+  | Isa.Arch.Amd64 -> 1
+  | Isa.Arch.Arm32 -> 2
+  | Isa.Arch.Arm64 -> 3
+
+let arch_of_tag = function
+  | 0 -> Isa.Arch.X86
+  | 1 -> Isa.Arch.Amd64
+  | 2 -> Isa.Arch.Arm32
+  | 3 -> Isa.Arch.Arm64
+  | t -> fail "bad arch tag %d" t
+
+let put_call buf = function
+  | Image.Internal i ->
+    put_u8 buf 0;
+    put_u32 buf i
+  | Image.Import name ->
+    put_u8 buf 1;
+    put_str buf name
+
+let get_call c =
+  match get_u8 c with
+  | 0 -> Image.Internal (get_u32 c)
+  | 1 -> Image.Import (get_str c)
+  | t -> fail "bad call tag %d" t
+
+let put_symtab buf (sym : Symtab.t) =
+  put_u32 buf (Array.length sym.functions);
+  Array.iter (put_str buf) sym.functions;
+  put_u32 buf (Array.length sym.globals);
+  Array.iter
+    (fun (name, addr) ->
+      put_str buf name;
+      put_u64 buf addr)
+    sym.globals
+
+let get_symtab c : Symtab.t =
+  let nfun = get_u32 c in
+  let functions = Array.init nfun (fun _ -> get_str c) in
+  let nglob = get_u32 c in
+  let globals =
+    Array.init nglob (fun _ ->
+        let name = get_str c in
+        let addr = get_u64 c in
+        (name, addr))
+  in
+  { functions; globals }
+
+let image_to_bytes (img : Image.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf image_magic;
+  put_str buf img.name;
+  put_u8 buf (arch_tag img.arch);
+  put_u64 buf img.data_base;
+  put_bytes buf img.data;
+  put_u32 buf (Array.length img.strings);
+  Array.iter
+    (fun (addr, len) ->
+      put_u64 buf addr;
+      put_u32 buf len)
+    img.strings;
+  put_u32 buf (Array.length img.calls);
+  Array.iter (put_call buf) img.calls;
+  put_u32 buf (Array.length img.functions);
+  Array.iter (put_bytes buf) img.functions;
+  (match img.symtab with
+  | None -> put_u8 buf 0
+  | Some sym ->
+    put_u8 buf 1;
+    put_symtab buf sym);
+  Buffer.to_bytes buf
+
+let image_of_cursor c : Image.t =
+  let magic = Bytes.sub_string c.data c.pos 4 in
+  if magic <> image_magic then fail "bad image magic %S" magic;
+  c.pos <- c.pos + 4;
+  let name = get_str c in
+  let arch = arch_of_tag (get_u8 c) in
+  let data_base = get_u64 c in
+  let data = get_bytes c in
+  let nstr = get_u32 c in
+  let strings =
+    Array.init nstr (fun _ ->
+        let addr = get_u64 c in
+        let len = get_u32 c in
+        (addr, len))
+  in
+  let ncall = get_u32 c in
+  let calls = Array.init ncall (fun _ -> get_call c) in
+  let nfun = get_u32 c in
+  let functions = Array.init nfun (fun _ -> get_bytes c) in
+  let symtab = match get_u8 c with 0 -> None | _ -> Some (get_symtab c) in
+  { name; arch; functions; calls; data; data_base; strings; symtab }
+
+let image_of_bytes b =
+  if Bytes.length b < 4 then fail "too short";
+  image_of_cursor { data = b; pos = 0 }
+
+let write_image path img =
+  let oc = open_out_bin path in
+  (try output_bytes oc (image_to_bytes img)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc
+
+let read_image path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let b = Bytes.create len in
+  (try really_input ic b 0 len
+   with e ->
+     close_in_noerr ic;
+     raise e);
+  close_in ic;
+  image_of_bytes b

@@ -1,0 +1,19 @@
+(** Binary serialisation of SFF images and firmware containers.
+
+    Wire format (little-endian throughout):
+    - image: magic "SFF1", arch tag, call table, data section, string
+      ranges, function bodies, optional symbol table;
+    - firmware: magic "SFW1", device metadata, images.
+
+    Round-tripping is exact, including the stripped/unstripped distinction,
+    so the evaluation can store compiled firmware on disk as the paper
+    stores vendor images. *)
+
+exception Corrupt of string
+
+val image_to_bytes : Image.t -> bytes
+val image_of_bytes : bytes -> Image.t
+(** Raises {!Corrupt}. *)
+
+val write_image : string -> Image.t -> unit
+val read_image : string -> Image.t

@@ -1,0 +1,23 @@
+type t = {
+  functions : string array;
+  globals : (string * int64) array;
+}
+
+let empty = { functions = [||]; globals = [||] }
+
+let function_name t i =
+  if i >= 0 && i < Array.length t.functions then Some t.functions.(i) else None
+
+let find_function t name =
+  let found = ref None in
+  Array.iteri
+    (fun i n -> if n = name && !found = None then found := Some i)
+    t.functions;
+  !found
+
+let global_addr t name =
+  let found = ref None in
+  Array.iter
+    (fun (n, addr) -> if n = name && !found = None then found := Some addr)
+    t.globals;
+  !found

@@ -1,0 +1,17 @@
+(** Symbol table of an SFF image.
+
+    Present only in debug builds: stripping an image removes it.  The
+    evaluation harness keeps a symtab'd copy of every image as ground
+    truth while PATCHECKO itself only ever sees stripped images, mirroring
+    the paper's Dataset I construction ("compiled with a debug flag to
+    establish ground truth, then stripped"). *)
+
+type t = {
+  functions : string array;  (** name of function [i] *)
+  globals : (string * int64) array;  (** global name and data address *)
+}
+
+val empty : t
+val function_name : t -> int -> string option
+val find_function : t -> string -> int option
+val global_addr : t -> string -> int64 option

@@ -1,0 +1,67 @@
+type issue =
+  | Undecodable of int * string
+  | Bad_call_index of int * int
+  | Bad_internal_target of int * int
+  | Branch_out_of_function of int * int
+  | Data_ref_outside_section of int * int64
+
+let check (img : Image.t) =
+  let issues = ref [] in
+  let add i = issues := i :: !issues in
+  let nfun = Image.function_count img in
+  (* call-table slots must point at existing functions *)
+  Array.iteri
+    (fun slot target ->
+      match target with
+      | Image.Internal j when j < 0 || j >= nfun -> add (Bad_internal_target (slot, j))
+      | Image.Internal _ | Image.Import _ -> ())
+    img.calls;
+  let data_end =
+    Int64.add img.data_base (Int64.of_int (Bytes.length img.data))
+  in
+  for fidx = 0 to nfun - 1 do
+    match Image.disassemble img fidx with
+    | exception Isa.Encoding.Invalid_encoding msg -> add (Undecodable (fidx, msg))
+    | listing ->
+      Array.iter
+        (fun (ins : int Isa.Instr.t) ->
+          (match ins with
+          | Call idx ->
+            if Image.call_target img idx = None then add (Bad_call_index (fidx, idx))
+          | Nop | Mov _ | Binop _ | Fbinop _ | Neg _ | Not _ | I2f _ | F2i _
+          | Load _ | Store _ | Lea _ | Cmp _ | Fcmp _ | Jmp _ | Jcc _
+          | Jtable _ | Ret | Push _ | Pop _ | Syscall _ ->
+            ());
+          (match ins with
+          | Jmp t | Jcc (_, t) ->
+            if Isa.Disasm.index_of_offset listing t = None then
+              add (Branch_out_of_function (fidx, t))
+          | Jtable (_, ts) ->
+            Array.iter
+              (fun t ->
+                if Isa.Disasm.index_of_offset listing t = None then
+                  add (Branch_out_of_function (fidx, t)))
+              ts
+          | Nop | Mov _ | Binop _ | Fbinop _ | Neg _ | Not _ | I2f _ | F2i _
+          | Load _ | Store _ | Lea _ | Cmp _ | Fcmp _ | Call _ | Ret | Push _
+          | Pop _ | Syscall _ ->
+            ());
+          List.iter
+            (fun addr ->
+              if addr < img.data_base || addr >= data_end then
+                add (Data_ref_outside_section (fidx, addr)))
+            (Isa.Instr.data_refs ins))
+        listing.Isa.Disasm.instrs
+  done;
+  List.rev !issues
+
+let issue_to_string = function
+  | Undecodable (f, msg) -> Printf.sprintf "function %d: undecodable (%s)" f msg
+  | Bad_call_index (f, idx) ->
+    Printf.sprintf "function %d: call index %d out of table" f idx
+  | Bad_internal_target (slot, j) ->
+    Printf.sprintf "call slot %d: internal target %d out of range" slot j
+  | Branch_out_of_function (f, t) ->
+    Printf.sprintf "function %d: branch target %d outside function" f t
+  | Data_ref_outside_section (f, addr) ->
+    Printf.sprintf "function %d: data reference 0x%Lx outside data section" f addr

@@ -1,0 +1,17 @@
+(** Image integrity verification: every function must decode cleanly,
+    every call-table reference must resolve, every branch must stay inside
+    its function, and data references must land in the data section.  Used
+    by the CLI before analysis and by the test suite as a corpus-wide
+    invariant. *)
+
+type issue =
+  | Undecodable of int * string  (** function index, decoder message *)
+  | Bad_call_index of int * int  (** function index, call index *)
+  | Bad_internal_target of int * int  (** call-table slot, function index *)
+  | Branch_out_of_function of int * int  (** function index, byte target *)
+  | Data_ref_outside_section of int * int64  (** function index, address *)
+
+val check : Image.t -> issue list
+(** Empty list = image is well-formed. *)
+
+val issue_to_string : issue -> string

@@ -1,0 +1,1 @@
+lib/minic/ast.ml: Buffer Char Format List Printf String

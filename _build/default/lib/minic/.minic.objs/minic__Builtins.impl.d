@@ -1,0 +1,1 @@
+lib/minic/builtins.ml: Ast List

@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Array Format Int64 Ir Isa List Printf Regalloc

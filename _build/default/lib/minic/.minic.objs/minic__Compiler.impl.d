@@ -1,0 +1,1 @@
+lib/minic/compiler.ml: Array Ast Codegen Format Hashtbl Ir Isa Layout Lexer List Loader Lower Opt Optlevel Parser Peephole Regalloc Typecheck

@@ -1,0 +1,1 @@
+lib/minic/compiler.mli: Ast Isa Loader Optlevel

@@ -1,0 +1,1 @@
+lib/minic/ir.mli: Format Isa

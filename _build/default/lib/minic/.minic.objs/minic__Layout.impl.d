@@ -1,0 +1,1 @@
+lib/minic/layout.ml: Array Ast Buffer Char Hashtbl Int64 List Loader String

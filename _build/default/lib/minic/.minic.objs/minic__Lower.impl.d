@@ -1,0 +1,1 @@
+lib/minic/lower.ml: Array Ast Builtins Format Int64 Ir Isa Layout List Optlevel

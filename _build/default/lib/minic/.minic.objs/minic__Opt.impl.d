@@ -1,0 +1,1 @@
+lib/minic/opt.ml: Array Float Fun Hashtbl Int64 Ir Isa List Option Optlevel Printf

@@ -1,0 +1,1 @@
+lib/minic/parser.ml: Ast Format Int64 Lexer List

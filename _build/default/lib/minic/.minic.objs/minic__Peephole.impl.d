@@ -1,0 +1,1 @@
+lib/minic/peephole.ml: Isa List

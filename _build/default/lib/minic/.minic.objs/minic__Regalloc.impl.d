@@ -1,0 +1,1 @@
+lib/minic/regalloc.ml: Array Hashtbl Int Ir Isa List Set

@@ -1,0 +1,1 @@
+lib/minic/typecheck.ml: Ast Builtins Format Hashtbl Isa List

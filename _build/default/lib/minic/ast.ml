@@ -1,0 +1,241 @@
+type elem = Byte | Word
+
+type ty = Tint | Tfloat | Tptr of elem | Tvoid
+
+type unop = Uneg | Ubnot
+
+type binop =
+  | Badd
+  | Bsub
+  | Bmul
+  | Bdiv
+  | Brem
+  | Bandb
+  | Borb
+  | Bxor
+  | Bshl
+  | Bshr
+  | Beq
+  | Bne
+  | Blt
+  | Ble
+  | Bgt
+  | Bge
+  | Bland
+  | Blor
+
+type expr =
+  | Eint of int64
+  | Efloat of float
+  | Estr of string
+  | Evar of string
+  | Eindex of expr * expr
+  | Eaddr of expr * expr
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Ecall of string * expr list
+
+type stmt =
+  | Sdecl of string * ty * expr option
+  | Sarray of string * elem * int
+  | Sassign of string * expr
+  | Sindexset of expr * expr * expr
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sfor of string * expr * expr * expr * stmt list
+  | Sswitch of expr * (int64 * stmt list) list * stmt list
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sexpr of expr
+
+type param = { pname : string; pty : ty }
+
+type func = {
+  fname : string;
+  params : param list;
+  ret : ty;
+  body : stmt list;
+}
+
+type ginit =
+  | Gint of int64
+  | Gfloat of float
+  | Gbytes of int * string
+  | Gwords of int * int64 list
+
+type global = { gname : string; gini : ginit }
+
+type program = { pname : string; globals : global list; funcs : func list }
+
+let ty_to_string = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tptr Byte -> "byte*"
+  | Tptr Word -> "word*"
+  | Tvoid -> "void"
+
+let binop_to_string = function
+  | Badd -> "+"
+  | Bsub -> "-"
+  | Bmul -> "*"
+  | Bdiv -> "/"
+  | Brem -> "%"
+  | Bandb -> "&"
+  | Borb -> "|"
+  | Bxor -> "^"
+  | Bshl -> "<<"
+  | Bshr -> ">>"
+  | Beq -> "=="
+  | Bne -> "!="
+  | Blt -> "<"
+  | Ble -> "<="
+  | Bgt -> ">"
+  | Bge -> ">="
+  | Bland -> "&&"
+  | Blor -> "||"
+
+(* Binding strength for parenthesisation when pretty-printing. *)
+let binop_prec = function
+  | Bmul | Bdiv | Brem -> 7
+  | Badd | Bsub -> 6
+  | Bshl | Bshr -> 5
+  | Blt | Ble | Bgt | Bge -> 4
+  | Beq | Bne -> 3
+  | Bandb | Bxor | Borb -> 2
+  | Bland -> 1
+  | Blor -> 0
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 32 || Char.code c > 126 ->
+        Buffer.add_string buf (Printf.sprintf "\\x%02x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec pp_expr ?(prec = -1) ppf e =
+  let p fmt = Format.fprintf ppf fmt in
+  match e with
+  | Eint v -> p "%Ld" v
+  | Efloat v -> p "%h" v
+  | Estr s -> p "\"%s\"" (escape_string s)
+  | Evar name -> p "%s" name
+  | Eindex (base, idx) ->
+    p "%a[%a]" (pp_expr ~prec:10) base (pp_expr ~prec:(-1)) idx
+  | Eaddr (base, idx) ->
+    p "&%a[%a]" (pp_expr ~prec:10) base (pp_expr ~prec:(-1)) idx
+  | Eunop (Uneg, e) -> p "-%a" (pp_expr ~prec:9) e
+  | Eunop (Ubnot, e) -> p "~%a" (pp_expr ~prec:9) e
+  | Ebinop (op, a, b) ->
+    let my = binop_prec op in
+    if my < prec then
+      p "(%a %s %a)" (pp_expr ~prec:my) a (binop_to_string op)
+        (pp_expr ~prec:(my + 1)) b
+    else
+      p "%a %s %a" (pp_expr ~prec:my) a (binop_to_string op)
+        (pp_expr ~prec:(my + 1)) b
+  | Ecall (name, args) ->
+    p "%s(" name;
+    List.iteri
+      (fun i a ->
+        if i > 0 then p ", ";
+        pp_expr ~prec:(-1) ppf a)
+      args;
+    p ")"
+
+let rec pp_stmt ppf s =
+  let p fmt = Format.fprintf ppf fmt in
+  match s with
+  | Sdecl (name, ty, None) -> p "var %s: %s;" name (ty_to_string ty)
+  | Sdecl (name, ty, Some e) ->
+    p "var %s: %s = %a;" name (ty_to_string ty) (pp_expr ~prec:(-1)) e
+  | Sarray (name, Byte, n) -> p "var %s: byte[%d];" name n
+  | Sarray (name, Word, n) -> p "var %s: word[%d];" name n
+  | Sassign (name, e) -> p "%s = %a;" name (pp_expr ~prec:(-1)) e
+  | Sindexset (base, idx, e) ->
+    p "%a[%a] = %a;" (pp_expr ~prec:10) base (pp_expr ~prec:(-1)) idx
+      (pp_expr ~prec:(-1)) e
+  | Sif (cond, thens, []) ->
+    p "@[<v 2>if (%a) {%a@]@,}" (pp_expr ~prec:(-1)) cond pp_body thens
+  | Sif (cond, thens, elses) ->
+    p "@[<v 2>if (%a) {%a@]@,@[<v 2>} else {%a@]@,}" (pp_expr ~prec:(-1)) cond
+      pp_body thens pp_body elses
+  | Swhile (cond, body) ->
+    p "@[<v 2>while (%a) {%a@]@,}" (pp_expr ~prec:(-1)) cond pp_body body
+  | Sfor (v, start, bound, step, body) ->
+    p "@[<v 2>for (%s = %a; %s < %a; %s = %s + %a) {%a@]@,}" v
+      (pp_expr ~prec:(-1)) start v (pp_expr ~prec:(-1)) bound v v
+      (pp_expr ~prec:(-1)) step pp_body body
+  | Sswitch (e, cases, default) ->
+    p "@[<v 2>switch (%a) {" (pp_expr ~prec:(-1)) e;
+    List.iter
+      (fun (v, body) -> p "@,@[<v 2>case %Ld: {%a@]@,}" v pp_body body)
+      cases;
+    p "@,@[<v 2>default: {%a@]@,}" pp_body default;
+    p "@]@,}"
+  | Sreturn None -> p "return;"
+  | Sreturn (Some e) -> p "return %a;" (pp_expr ~prec:(-1)) e
+  | Sbreak -> p "break;"
+  | Scontinue -> p "continue;"
+  | Sexpr e -> p "%a;" (pp_expr ~prec:(-1)) e
+
+and pp_body ppf body =
+  List.iter (fun s -> Format.fprintf ppf "@,%a" pp_stmt s) body
+
+let pp_param ppf { pname; pty } =
+  Format.fprintf ppf "%s: %s" pname (ty_to_string pty)
+
+let pp_func ppf f =
+  Format.fprintf ppf "@[<v 2>fn %s(" f.fname;
+  List.iteri
+    (fun i par ->
+      if i > 0 then Format.fprintf ppf ", ";
+      pp_param ppf par)
+    f.params;
+  Format.fprintf ppf ")";
+  (match f.ret with
+  | Tvoid -> ()
+  | ty -> Format.fprintf ppf ": %s" (ty_to_string ty));
+  Format.fprintf ppf " {%a@]@,}" pp_body f.body
+
+let pp_global ppf { gname; gini } =
+  match gini with
+  | Gint v -> Format.fprintf ppf "global %s: int = %Ld;" gname v
+  | Gfloat v -> Format.fprintf ppf "global %s: float = %h;" gname v
+  | Gbytes (size, init) ->
+    if init = "" then Format.fprintf ppf "global %s: byte[%d];" gname size
+    else
+      Format.fprintf ppf "global %s: byte[%d] = \"%s\";" gname size
+        (escape_string init)
+  | Gwords (size, init) ->
+    if init = [] then Format.fprintf ppf "global %s: word[%d];" gname size
+    else begin
+      Format.fprintf ppf "global %s: word[%d] = {" gname size;
+      List.iteri
+        (fun i v ->
+          if i > 0 then Format.fprintf ppf ", ";
+          Format.fprintf ppf "%Ld" v)
+        init;
+      Format.fprintf ppf "};"
+    end
+
+let pp_program ppf prog =
+  Format.fprintf ppf "@[<v 0>lib %s;@,@," prog.pname;
+  List.iter (fun g -> Format.fprintf ppf "%a@," pp_global g) prog.globals;
+  if prog.globals <> [] then Format.fprintf ppf "@,";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "%a@," pp_func f)
+    prog.funcs;
+  Format.fprintf ppf "@]"
+
+let program_to_string prog = Format.asprintf "%a" pp_program prog

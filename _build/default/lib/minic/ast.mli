@@ -1,0 +1,87 @@
+(** Abstract syntax of MinC, the small procedural language standing in for
+    the C/C++ sources of the paper's 100 Android libraries.
+
+    MinC has 64-bit integers, doubles, byte and word arrays (stack, global
+    or heap-allocated), the usual control flow including [switch], calls to
+    library-internal functions, libc-like imports and raw syscall
+    intrinsics.  Programs are compiled by {!Compiler} to SFF images for any
+    of the four architectures at six optimisation levels. *)
+
+type elem = Byte | Word
+
+type ty = Tint | Tfloat | Tptr of elem | Tvoid
+
+type unop = Uneg | Ubnot  (** arithmetic negation, bitwise not *)
+
+type binop =
+  | Badd
+  | Bsub
+  | Bmul
+  | Bdiv
+  | Brem
+  | Bandb
+  | Borb
+  | Bxor
+  | Bshl
+  | Bshr
+  | Beq
+  | Bne
+  | Blt
+  | Ble
+  | Bgt
+  | Bge
+  | Bland  (** short-circuit and *)
+  | Blor  (** short-circuit or *)
+
+type expr =
+  | Eint of int64
+  | Efloat of float
+  | Estr of string  (** string literal; value is its data address *)
+  | Evar of string  (** local, parameter or global *)
+  | Eindex of expr * expr  (** [base\[idx\]]; width from base type *)
+  | Eaddr of expr * expr  (** [&base\[idx\]] *)
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Ecall of string * expr list
+
+type stmt =
+  | Sdecl of string * ty * expr option  (** [var x: ty = e;] *)
+  | Sarray of string * elem * int  (** [var buf: byte\[64\];] stack array *)
+  | Sassign of string * expr
+  | Sindexset of expr * expr * expr  (** [base\[idx\] = e;] *)
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sfor of string * expr * expr * expr * stmt list
+      (** [for (i = e0; i < e1; i = i + e2)] — counted loop with
+          var, start, bound (exclusive), step; eligible for unrolling *)
+  | Sswitch of expr * (int64 * stmt list) list * stmt list
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sexpr of expr
+
+type param = { pname : string; pty : ty }
+
+type func = {
+  fname : string;
+  params : param list;
+  ret : ty;
+  body : stmt list;
+}
+
+type ginit =
+  | Gint of int64
+  | Gfloat of float
+  | Gbytes of int * string  (** size; initial prefix bytes *)
+  | Gwords of int * int64 list  (** size in words; initial prefix *)
+
+type global = { gname : string; gini : ginit }
+
+type program = { pname : string; globals : global list; funcs : func list }
+
+val ty_to_string : ty -> string
+val pp_program : Format.formatter -> program -> unit
+(** Render back to concrete MinC syntax; [Parser.parse] of the output
+    yields an equal AST. *)
+
+val program_to_string : program -> string

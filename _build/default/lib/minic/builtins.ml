@@ -1,0 +1,48 @@
+type signature = { args : Ast.ty list; ret : Ast.ty }
+
+open Ast
+
+let imports =
+  [
+    ("memcpy", { args = [ Tptr Byte; Tptr Byte; Tint ]; ret = Tvoid });
+    ("memmove", { args = [ Tptr Byte; Tptr Byte; Tint ]; ret = Tvoid });
+    ("memset", { args = [ Tptr Byte; Tint; Tint ]; ret = Tvoid });
+    ("memcmp", { args = [ Tptr Byte; Tptr Byte; Tint ]; ret = Tint });
+    ("strlen", { args = [ Tptr Byte ]; ret = Tint });
+    ("strcmp", { args = [ Tptr Byte; Tptr Byte ]; ret = Tint });
+    ("alloc_bytes", { args = [ Tint ]; ret = Tptr Byte });
+    ("alloc_words", { args = [ Tint ]; ret = Tptr Word });
+    ("free", { args = [ Tptr Byte ]; ret = Tvoid });
+    ("print_int", { args = [ Tint ]; ret = Tvoid });
+    ("print_str", { args = [ Tptr Byte ]; ret = Tvoid });
+    ("fsqrt", { args = [ Tfloat ]; ret = Tfloat });
+    ("fabs", { args = [ Tfloat ]; ret = Tfloat });
+    ("ffloor", { args = [ Tfloat ]; ret = Tfloat });
+    ("exit", { args = [ Tint ]; ret = Tvoid });
+    ("abort", { args = []; ret = Tvoid });
+    ("panic", { args = [ Tptr Byte ]; ret = Tvoid });
+  ]
+
+let import_signature name = List.assoc_opt name imports
+
+let noret = [ "exit"; "abort"; "panic" ]
+
+let syscalls =
+  [
+    ("sys_read", (0, { args = [ Tint; Tptr Byte; Tint ]; ret = Tint }));
+    ("sys_write", (1, { args = [ Tint; Tptr Byte; Tint ]; ret = Tint }));
+    ("sys_time", (2, { args = []; ret = Tint }));
+    ("sys_getpid", (3, { args = []; ret = Tint }));
+  ]
+
+let syscall_signature name = List.assoc_opt name syscalls
+
+let intrinsics =
+  [
+    ("int_to_float", { args = [ Tint ]; ret = Tfloat });
+    ("float_to_int", { args = [ Tfloat ]; ret = Tint });
+    ("as_ptr", { args = [ Tint ]; ret = Tptr Byte });
+    ("as_wptr", { args = [ Tint ]; ret = Tptr Word });
+  ]
+
+let intrinsic_signature name = List.assoc_opt name intrinsics

@@ -1,0 +1,27 @@
+(** The MinC runtime interface: libc-like imports (resolved through the
+    image call table and implemented by the VM runtime) and raw syscall
+    intrinsics (compiled to [Syscall] instructions inline). *)
+
+type signature = { args : Ast.ty list; ret : Ast.ty }
+
+val imports : (string * signature) list
+(** Name and signature of every import, e.g. memcpy, strlen, malloc. *)
+
+val import_signature : string -> signature option
+
+val noret : string list
+(** Imports that never return (exit, abort, panic). *)
+
+val syscalls : (string * (int * signature)) list
+(** Intrinsics compiled to [Syscall n]: sys_read, sys_write, sys_time,
+    sys_getpid. *)
+
+val syscall_signature : string -> (int * signature) option
+
+val intrinsics : (string * signature) list
+(** Pure compiler intrinsics lowered to single instructions:
+    int_to_float, float_to_int, and the unchecked pointer casts
+    as_ptr/as_wptr (an integer reinterpreted as an address — how device
+    code reaches fixed MMIO windows). *)
+
+val intrinsic_signature : string -> signature option

@@ -1,0 +1,221 @@
+exception Codegen_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Codegen_error s)) fmt
+
+let scratch1 = Isa.Reg.tmp (* r12 *)
+let scratch2 = 13
+
+(* fp-relative byte offset of each slot: slot k occupies
+   [fp - off(k) - size(k), fp - off(k)). *)
+let slot_offsets sizes =
+  let n = Array.length sizes in
+  let offs = Array.make n 0 in
+  let cum = ref 0 in
+  for k = 0 to n - 1 do
+    cum := !cum + sizes.(k);
+    offs.(k) <- - !cum
+  done;
+  (offs, !cum)
+
+type ctx = {
+  loc : Regalloc.location array;
+  offs : int array;
+  mutable items : Isa.Asm.item list;  (* reversed *)
+}
+
+let emit ctx ins = ctx.items <- Isa.Asm.Ins ins :: ctx.items
+let label ctx name = ctx.items <- Isa.Asm.Label name :: ctx.items
+
+let slot_off ctx s =
+  if s < 0 || s >= Array.length ctx.offs then fail "bad slot %d" s
+  else ctx.offs.(s)
+
+(* Register currently holding vreg [v], loading from its slot into
+   [scratch] when spilled. *)
+let read ctx v ~scratch =
+  match ctx.loc.(v) with
+  | Regalloc.Preg r -> r
+  | Regalloc.Pslot s ->
+    emit ctx (Isa.Instr.Load (W8, scratch, Isa.Reg.fp, slot_off ctx s));
+    scratch
+
+(* Register codegen may write vreg [v]'s result into. *)
+let write_reg ctx v ~scratch =
+  match ctx.loc.(v) with Regalloc.Preg r -> r | Regalloc.Pslot _ -> scratch
+
+(* Store the result register back when [v] lives in a slot. *)
+let write_back ctx v reg =
+  match ctx.loc.(v) with
+  | Regalloc.Preg r -> if r <> reg then emit ctx (Isa.Instr.Mov (r, Reg reg))
+  | Regalloc.Pslot s ->
+    emit ctx (Isa.Instr.Store (W8, reg, Isa.Reg.fp, slot_off ctx s))
+
+let operand ctx (o : Ir.operand) ~scratch : Isa.Instr.operand =
+  match o with
+  | Ir.Oimm v -> Imm v
+  | Ir.Ovreg v -> Reg (read ctx v ~scratch)
+
+let block_label i = Printf.sprintf "B%d" i
+let ret_label = "Lret"
+
+let gen_ins ctx call_index (ins : Ir.ins) =
+  match ins with
+  | Ir.Imov (d, o) ->
+    let o = operand ctx o ~scratch:scratch1 in
+    let rd = write_reg ctx d ~scratch:scratch1 in
+    emit ctx (Isa.Instr.Mov (rd, o));
+    write_back ctx d rd
+  | Ir.Ibin (op, d, a, o) ->
+    let ra = read ctx a ~scratch:scratch1 in
+    let o = operand ctx o ~scratch:scratch2 in
+    let rd = write_reg ctx d ~scratch:scratch1 in
+    emit ctx (Isa.Instr.Binop (op, rd, ra, o));
+    write_back ctx d rd
+  | Ir.Ifbin (op, d, a, b) ->
+    let ra = read ctx a ~scratch:scratch1 in
+    let rb = read ctx b ~scratch:scratch2 in
+    let rd = write_reg ctx d ~scratch:scratch1 in
+    emit ctx (Isa.Instr.Fbinop (op, rd, ra, rb));
+    write_back ctx d rd
+  | Ir.Ineg (d, a) ->
+    let ra = read ctx a ~scratch:scratch1 in
+    let rd = write_reg ctx d ~scratch:scratch1 in
+    emit ctx (Isa.Instr.Neg (rd, ra));
+    write_back ctx d rd
+  | Ir.Inot (d, a) ->
+    let ra = read ctx a ~scratch:scratch1 in
+    let rd = write_reg ctx d ~scratch:scratch1 in
+    emit ctx (Isa.Instr.Not (rd, ra));
+    write_back ctx d rd
+  | Ir.Ii2f (d, a) ->
+    let ra = read ctx a ~scratch:scratch1 in
+    let rd = write_reg ctx d ~scratch:scratch1 in
+    emit ctx (Isa.Instr.I2f (rd, ra));
+    write_back ctx d rd
+  | Ir.If2i (d, a) ->
+    let ra = read ctx a ~scratch:scratch1 in
+    let rd = write_reg ctx d ~scratch:scratch1 in
+    emit ctx (Isa.Instr.F2i (rd, ra));
+    write_back ctx d rd
+  | Ir.Iload (w, d, addr, off) ->
+    let raddr = read ctx addr ~scratch:scratch1 in
+    let rd = write_reg ctx d ~scratch:scratch2 in
+    emit ctx (Isa.Instr.Load (w, rd, raddr, off));
+    write_back ctx d rd
+  | Ir.Istore (w, src, addr, off) ->
+    let rsrc = read ctx src ~scratch:scratch1 in
+    let raddr = read ctx addr ~scratch:scratch2 in
+    emit ctx (Isa.Instr.Store (w, rsrc, raddr, off))
+  | Ir.Ilea_slot (d, slot) ->
+    let rd = write_reg ctx d ~scratch:scratch1 in
+    emit ctx
+      (Isa.Instr.Binop
+         (Add, rd, Isa.Reg.fp, Imm (Int64.of_int (slot_off ctx slot))));
+    write_back ctx d rd
+  | Ir.Ilea_data (d, addr) ->
+    let rd = write_reg ctx d ~scratch:scratch1 in
+    emit ctx (Isa.Instr.Lea (rd, addr));
+    write_back ctx d rd
+  | Ir.Icall (dst, callee, args) ->
+    if List.length args > Isa.Reg.max_args then
+      fail "call with too many arguments";
+    List.iteri
+      (fun i a ->
+        match ctx.loc.(a) with
+        | Regalloc.Preg r -> emit ctx (Isa.Instr.Mov (Isa.Reg.arg i, Reg r))
+        | Regalloc.Pslot s ->
+          emit ctx (Isa.Instr.Load (W8, Isa.Reg.arg i, Isa.Reg.fp, slot_off ctx s)))
+      args;
+    emit ctx (Isa.Instr.Call (call_index callee));
+    (match dst with None -> () | Some d -> write_back ctx d Isa.Reg.ret)
+  | Ir.Isyscall (dst, n, args) ->
+    if List.length args > Isa.Reg.max_args then
+      fail "syscall with too many arguments";
+    List.iteri
+      (fun i a ->
+        match ctx.loc.(a) with
+        | Regalloc.Preg r -> emit ctx (Isa.Instr.Mov (Isa.Reg.arg i, Reg r))
+        | Regalloc.Pslot s ->
+          emit ctx (Isa.Instr.Load (W8, Isa.Reg.arg i, Isa.Reg.fp, slot_off ctx s)))
+      args;
+    emit ctx (Isa.Instr.Syscall n);
+    (match dst with None -> () | Some d -> write_back ctx d Isa.Reg.ret)
+
+let gen_term ctx (f : Ir.fundef) bid (term : Ir.terminator) =
+  let fallthrough target = target = bid + 1 && target < Array.length f.blocks in
+  let jmp_unless_fallthrough target =
+    if not (fallthrough target) then emit ctx (Isa.Instr.Jmp (block_label target))
+  in
+  match term with
+  | Ir.Tjmp b -> jmp_unless_fallthrough b
+  | Ir.Tbr (c, v, o, bthen, belse) ->
+    let rv = read ctx v ~scratch:scratch1 in
+    let o = operand ctx o ~scratch:scratch2 in
+    emit ctx (Isa.Instr.Cmp (rv, o));
+    if fallthrough belse then
+      emit ctx (Isa.Instr.Jcc (c, block_label bthen))
+    else if fallthrough bthen then
+      emit ctx (Isa.Instr.Jcc (Isa.Cond.negate c, block_label belse))
+    else begin
+      emit ctx (Isa.Instr.Jcc (c, block_label bthen));
+      emit ctx (Isa.Instr.Jmp (block_label belse))
+    end
+  | Ir.Tfbr (c, a, b, bthen, belse) ->
+    let ra = read ctx a ~scratch:scratch1 in
+    let rb = read ctx b ~scratch:scratch2 in
+    emit ctx (Isa.Instr.Fcmp (ra, rb));
+    if fallthrough belse then
+      emit ctx (Isa.Instr.Jcc (c, block_label bthen))
+    else if fallthrough bthen then
+      emit ctx (Isa.Instr.Jcc (Isa.Cond.negate c, block_label belse))
+    else begin
+      emit ctx (Isa.Instr.Jcc (c, block_label bthen));
+      emit ctx (Isa.Instr.Jmp (block_label belse))
+    end
+  | Ir.Tswitch (v, targets, _default) ->
+    let rv = read ctx v ~scratch:scratch1 in
+    emit ctx (Isa.Instr.Jtable (rv, Array.map block_label targets))
+  | Ir.Tret None ->
+    if bid <> Array.length f.blocks - 1 then
+      emit ctx (Isa.Instr.Jmp ret_label)
+  | Ir.Tret (Some v) ->
+    (match ctx.loc.(v) with
+    | Regalloc.Preg r ->
+      if r <> Isa.Reg.ret then emit ctx (Isa.Instr.Mov (Isa.Reg.ret, Reg r))
+    | Regalloc.Pslot s ->
+      emit ctx (Isa.Instr.Load (W8, Isa.Reg.ret, Isa.Reg.fp, slot_off ctx s)));
+    if bid <> Array.length f.blocks - 1 then
+      emit ctx (Isa.Instr.Jmp ret_label)
+  | Ir.Tunreachable -> ()
+
+let generate ~call_index (assignment : Regalloc.assignment) (f : Ir.fundef) =
+  let offs, frame = slot_offsets assignment.slot_sizes in
+  let ctx = { loc = assignment.locations; offs; items = [] } in
+  (* prologue *)
+  emit ctx (Isa.Instr.Push Isa.Reg.fp);
+  emit ctx (Isa.Instr.Mov (Isa.Reg.fp, Reg Isa.Reg.sp));
+  if frame > 0 then
+    emit ctx
+      (Isa.Instr.Binop (Sub, Isa.Reg.sp, Isa.Reg.sp, Imm (Int64.of_int frame)));
+  (* home the incoming arguments *)
+  List.iteri
+    (fun i v ->
+      match ctx.loc.(v) with
+      | Regalloc.Preg r ->
+        if r <> Isa.Reg.arg i then emit ctx (Isa.Instr.Mov (r, Reg (Isa.Reg.arg i)))
+      | Regalloc.Pslot s ->
+        emit ctx (Isa.Instr.Store (W8, Isa.Reg.arg i, Isa.Reg.fp, slot_off ctx s)))
+    f.param_vregs;
+  (* body *)
+  Array.iteri
+    (fun bid (blk : Ir.block) ->
+      label ctx (block_label bid);
+      List.iter (gen_ins ctx call_index) blk.body;
+      gen_term ctx f bid blk.term)
+    f.blocks;
+  (* shared epilogue *)
+  label ctx ret_label;
+  emit ctx (Isa.Instr.Mov (Isa.Reg.sp, Reg Isa.Reg.fp));
+  emit ctx (Isa.Instr.Pop Isa.Reg.fp);
+  emit ctx Isa.Instr.Ret;
+  List.rev ctx.items

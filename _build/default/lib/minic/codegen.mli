@@ -1,0 +1,15 @@
+(** Code generation: allocated IR to symbolic assembly.
+
+    Emits the standard frame (push fp / mov fp,sp / sub sp), moves incoming
+    arguments from r0..r5 to their homes, lowers each IR block under its
+    label, and routes every return through a single shared epilogue.
+    The call-table mapping from callee to index is provided by the
+    {!Compiler} linker. *)
+
+exception Codegen_error of string
+
+val generate :
+  call_index:(Ir.callee -> int) ->
+  Regalloc.assignment ->
+  Ir.fundef ->
+  Isa.Asm.item list

@@ -1,0 +1,118 @@
+exception Compile_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Compile_error s)) fmt
+
+(* Deterministic call-table construction: entries in order of first
+   appearance across functions in program order. *)
+let build_call_table (prog : Ast.program) (fundefs : Ir.fundef list) =
+  let fun_index = Hashtbl.create 16 in
+  List.iteri
+    (fun i (f : Ast.func) -> Hashtbl.replace fun_index f.fname i)
+    prog.Ast.funcs;
+  let entries = ref [] in
+  let index_of = Hashtbl.create 16 in
+  let intern (callee : Ir.callee) =
+    let key =
+      match callee with
+      | Ir.Cinternal n -> "i:" ^ n
+      | Ir.Cimport n -> "e:" ^ n
+    in
+    if not (Hashtbl.mem index_of key) then begin
+      let target =
+        match callee with
+        | Ir.Cinternal n -> (
+          match Hashtbl.find_opt fun_index n with
+          | Some i -> Loader.Image.Internal i
+          | None -> fail "undefined internal function %s" n)
+        | Ir.Cimport n -> Loader.Image.Import n
+      in
+      Hashtbl.replace index_of key (List.length !entries);
+      entries := target :: !entries
+    end
+  in
+  List.iter
+    (fun (f : Ir.fundef) ->
+      Array.iter
+        (fun (blk : Ir.block) ->
+          List.iter
+            (fun (ins : Ir.ins) ->
+              match ins with
+              | Icall (_, callee, _) -> intern callee
+              | Imov _ | Ibin _ | Ifbin _ | Ineg _ | Inot _ | Ii2f _ | If2i _
+              | Iload _ | Istore _ | Ilea_slot _ | Ilea_data _ | Isyscall _ ->
+                ())
+            blk.body)
+        f.blocks)
+    fundefs;
+  let calls = Array.of_list (List.rev !entries) in
+  let call_index (callee : Ir.callee) =
+    let key =
+      match callee with
+      | Ir.Cinternal n -> "i:" ^ n
+      | Ir.Cimport n -> "e:" ^ n
+    in
+    Hashtbl.find index_of key
+  in
+  (calls, call_index)
+
+let compile ~arch ~opt (prog : Ast.program) =
+  (try Typecheck.check_program prog
+   with Typecheck.Type_error msg -> fail "type error: %s" msg);
+  let opts = Optlevel.of_level opt in
+  let layout = Layout.create prog in
+  let fundefs =
+    try List.map (Lower.lower_function prog layout opts) prog.Ast.funcs
+    with Lower.Unsupported msg -> fail "lowering: %s" msg
+  in
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun (f : Ir.fundef) -> Hashtbl.replace by_name f.name f) fundefs;
+  let resolve name = Hashtbl.find_opt by_name name in
+  List.iter (Opt.run opts ~resolve) fundefs;
+  let calls, call_index = build_call_table prog fundefs in
+  let params = Isa.Encoding.params_of_arch arch in
+  let functions =
+    List.map
+      (fun (f : Ir.fundef) ->
+        let assignment = Regalloc.allocate ~spill_all:opts.spill_all f in
+        let items =
+          try Codegen.generate ~call_index assignment f
+          with Codegen.Codegen_error msg -> fail "%s: %s" f.name msg
+        in
+        let items = if opts.peephole then Peephole.run items else items in
+        try Isa.Asm.assemble params items with
+        | Isa.Asm.Undefined_label l -> fail "%s: undefined label %s" f.name l
+        | Isa.Asm.Duplicate_label l -> fail "%s: duplicate label %s" f.name l)
+      fundefs
+  in
+  let data, strings, global_syms = Layout.finish layout in
+  let symtab =
+    {
+      Loader.Symtab.functions =
+        Array.of_list (List.map (fun (f : Ast.func) -> f.fname) prog.Ast.funcs);
+      globals = global_syms;
+    }
+  in
+  {
+    Loader.Image.name = prog.Ast.pname;
+    arch;
+    functions = Array.of_list functions;
+    calls;
+    data;
+    data_base = Loader.Image.data_base_default;
+    strings;
+    symtab = Some symtab;
+  }
+
+let compile_source ~arch ~opt src =
+  let prog =
+    try Parser.parse src with
+    | Parser.Parse_error (line, msg) -> fail "parse error at line %d: %s" line msg
+    | Lexer.Lex_error (line, msg) -> fail "lex error at line %d: %s" line msg
+  in
+  compile ~arch ~opt prog
+
+let compile_matrix ~archs ~opts prog =
+  List.concat_map
+    (fun arch ->
+      List.map (fun opt -> ((arch, opt), compile ~arch ~opt prog)) opts)
+    archs

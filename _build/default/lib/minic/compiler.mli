@@ -1,0 +1,22 @@
+(** The MinC compiler driver: typecheck, lay out data, lower, optimise,
+    allocate registers, generate code per function and link everything
+    into an SFF image with a populated call table and symbol table (strip
+    the image afterwards for the PATCHECKO analysis path). *)
+
+exception Compile_error of string
+
+val compile :
+  arch:Isa.Arch.t -> opt:Optlevel.level -> Ast.program -> Loader.Image.t
+(** Raises {!Compile_error} (wrapping type/lowering/codegen failures). *)
+
+val compile_source :
+  arch:Isa.Arch.t -> opt:Optlevel.level -> string -> Loader.Image.t
+(** Parse then {!compile}. *)
+
+val compile_matrix :
+  archs:Isa.Arch.t list ->
+  opts:Optlevel.level list ->
+  Ast.program ->
+  ((Isa.Arch.t * Optlevel.level) * Loader.Image.t) list
+(** Every (architecture, optimisation level) combination, as used to build
+    the paper's Dataset I. *)

@@ -1,0 +1,182 @@
+type vreg = int
+
+type operand = Ovreg of vreg | Oimm of int64
+
+type callee = Cinternal of string | Cimport of string
+
+type ins =
+  | Imov of vreg * operand
+  | Ibin of Isa.Instr.binop * vreg * vreg * operand
+  | Ifbin of Isa.Instr.fbinop * vreg * vreg * vreg
+  | Ineg of vreg * vreg
+  | Inot of vreg * vreg
+  | Ii2f of vreg * vreg
+  | If2i of vreg * vreg
+  | Iload of Isa.Instr.width * vreg * vreg * int
+  | Istore of Isa.Instr.width * vreg * vreg * int
+  | Ilea_slot of vreg * int
+  | Ilea_data of vreg * int64
+  | Icall of vreg option * callee * vreg list
+  | Isyscall of vreg option * int * vreg list
+
+type terminator =
+  | Tjmp of int
+  | Tbr of Isa.Cond.t * vreg * operand * int * int
+  | Tfbr of Isa.Cond.t * vreg * vreg * int * int
+  | Tswitch of vreg * int array * int
+  | Tret of vreg option
+  | Tunreachable
+
+type block = { mutable body : ins list; mutable term : terminator }
+
+type fundef = {
+  name : string;
+  nparams : int;
+  param_vregs : vreg list;
+  mutable nvregs : int;
+  mutable blocks : block array;
+  mutable slot_sizes : int array;
+}
+
+let defs = function
+  | Imov (d, _)
+  | Ibin (_, d, _, _)
+  | Ifbin (_, d, _, _)
+  | Ineg (d, _)
+  | Inot (d, _)
+  | Ii2f (d, _)
+  | If2i (d, _)
+  | Iload (_, d, _, _)
+  | Ilea_slot (d, _)
+  | Ilea_data (d, _) ->
+    [ d ]
+  | Istore _ -> []
+  | Icall (Some d, _, _) | Isyscall (Some d, _, _) -> [ d ]
+  | Icall (None, _, _) | Isyscall (None, _, _) -> []
+
+let operand_uses = function Ovreg v -> [ v ] | Oimm _ -> []
+
+let uses = function
+  | Imov (_, o) -> operand_uses o
+  | Ibin (_, _, a, o) -> a :: operand_uses o
+  | Ifbin (_, _, a, b) -> [ a; b ]
+  | Ineg (_, a) | Inot (_, a) | Ii2f (_, a) | If2i (_, a) -> [ a ]
+  | Iload (_, _, addr, _) -> [ addr ]
+  | Istore (_, src, addr, _) -> [ src; addr ]
+  | Ilea_slot _ | Ilea_data _ -> []
+  | Icall (_, _, args) | Isyscall (_, _, args) -> args
+
+let term_uses = function
+  | Tjmp _ | Tunreachable | Tret None -> []
+  | Tbr (_, v, o, _, _) -> v :: operand_uses o
+  | Tfbr (_, a, b, _, _) -> [ a; b ]
+  | Tswitch (v, _, _) -> [ v ]
+  | Tret (Some v) -> [ v ]
+
+let successors = function
+  | Tjmp b -> [ b ]
+  | Tbr (_, _, _, b1, b2) | Tfbr (_, _, _, b1, b2) -> [ b1; b2 ]
+  | Tswitch (_, targets, default) -> default :: Array.to_list targets
+  | Tret _ | Tunreachable -> []
+
+let map_successors f = function
+  | Tjmp b -> Tjmp (f b)
+  | Tbr (c, v, o, b1, b2) -> Tbr (c, v, o, f b1, f b2)
+  | Tfbr (c, a, b, b1, b2) -> Tfbr (c, a, b, f b1, f b2)
+  | Tswitch (v, targets, default) ->
+    Tswitch (v, Array.map f targets, f default)
+  | (Tret _ | Tunreachable) as t -> t
+
+let has_side_effect = function
+  | Istore _ | Icall _ | Isyscall _ -> true
+  | Imov _ | Ibin _ | Ifbin _ | Ineg _ | Inot _ | Ii2f _ | If2i _ | Iload _
+  | Ilea_slot _ | Ilea_data _ ->
+    false
+
+let fresh_vreg f =
+  let v = f.nvregs in
+  f.nvregs <- v + 1;
+  v
+
+let add_slot f size =
+  let id = Array.length f.slot_sizes in
+  f.slot_sizes <- Array.append f.slot_sizes [| size |];
+  id
+
+let instruction_count f =
+  Array.fold_left (fun acc b -> acc + List.length b.body + 1) 0 f.blocks
+
+let pp_operand ppf = function
+  | Ovreg v -> Format.fprintf ppf "v%d" v
+  | Oimm i -> Format.fprintf ppf "#%Ld" i
+
+let pp_callee ppf = function
+  | Cinternal name -> Format.fprintf ppf "%s" name
+  | Cimport name -> Format.fprintf ppf "@%s" name
+
+let pp_ins ppf ins =
+  let p fmt = Format.fprintf ppf fmt in
+  match ins with
+  | Imov (d, o) -> p "v%d <- %a" d pp_operand o
+  | Ibin (op, d, a, o) ->
+    p "v%d <- %s v%d, %a" d (Isa.Instr.mnemonic (Binop (op, 0, 0, Reg 0))) a
+      pp_operand o
+  | Ifbin (op, d, a, b) ->
+    p "v%d <- %s v%d, v%d" d (Isa.Instr.mnemonic (Fbinop (op, 0, 0, 0))) a b
+  | Ineg (d, a) -> p "v%d <- neg v%d" d a
+  | Inot (d, a) -> p "v%d <- not v%d" d a
+  | Ii2f (d, a) -> p "v%d <- i2f v%d" d a
+  | If2i (d, a) -> p "v%d <- f2i v%d" d a
+  | Iload (W8, d, a, off) -> p "v%d <- ld [v%d%+d]" d a off
+  | Iload (W1, d, a, off) -> p "v%d <- ldb [v%d%+d]" d a off
+  | Istore (W8, s, a, off) -> p "st v%d, [v%d%+d]" s a off
+  | Istore (W1, s, a, off) -> p "stb v%d, [v%d%+d]" s a off
+  | Ilea_slot (d, slot) -> p "v%d <- slot %d" d slot
+  | Ilea_data (d, addr) -> p "v%d <- data 0x%Lx" d addr
+  | Icall (dst, callee, args) ->
+    (match dst with Some d -> p "v%d <- " d | None -> ());
+    p "call %a(" pp_callee callee;
+    List.iteri
+      (fun i a ->
+        if i > 0 then p ", ";
+        p "v%d" a)
+      args;
+    p ")"
+  | Isyscall (dst, n, args) ->
+    (match dst with Some d -> p "v%d <- " d | None -> ());
+    p "syscall %d(" n;
+    List.iteri
+      (fun i a ->
+        if i > 0 then p ", ";
+        p "v%d" a)
+      args;
+    p ")"
+
+let pp_term ppf term =
+  let p fmt = Format.fprintf ppf fmt in
+  match term with
+  | Tjmp b -> p "jmp B%d" b
+  | Tbr (c, v, o, b1, b2) ->
+    p "br %s v%d, %a ? B%d : B%d" (Isa.Cond.to_string c) v pp_operand o b1 b2
+  | Tfbr (c, a, b, b1, b2) ->
+    p "fbr %s v%d, v%d ? B%d : B%d" (Isa.Cond.to_string c) a b b1 b2
+  | Tswitch (v, targets, default) ->
+    p "switch v%d [" v;
+    Array.iteri
+      (fun i t ->
+        if i > 0 then p " ";
+        p "B%d" t)
+      targets;
+    p "] default B%d" default
+  | Tret None -> p "ret"
+  | Tret (Some v) -> p "ret v%d" v
+  | Tunreachable -> p "unreachable"
+
+let pp_fundef ppf f =
+  Format.fprintf ppf "fn %s (%d params, %d vregs)@." f.name f.nparams f.nvregs;
+  Array.iteri
+    (fun i b ->
+      Format.fprintf ppf "B%d:@." i;
+      List.iter (fun ins -> Format.fprintf ppf "  %a@." pp_ins ins) b.body;
+      Format.fprintf ppf "  %a@." pp_term b.term)
+    f.blocks

@@ -1,0 +1,63 @@
+(** Intermediate representation: virtual-register three-address code over
+    explicit basic blocks.  Produced by {!Lower}, transformed by {!Opt},
+    consumed by {!Codegen}. *)
+
+type vreg = int
+
+type operand = Ovreg of vreg | Oimm of int64
+
+type callee = Cinternal of string | Cimport of string
+
+type ins =
+  | Imov of vreg * operand
+  | Ibin of Isa.Instr.binop * vreg * vreg * operand
+  | Ifbin of Isa.Instr.fbinop * vreg * vreg * vreg
+  | Ineg of vreg * vreg
+  | Inot of vreg * vreg
+  | Ii2f of vreg * vreg
+  | If2i of vreg * vreg
+  | Iload of Isa.Instr.width * vreg * vreg * int
+  | Istore of Isa.Instr.width * vreg * vreg * int
+      (** [Istore (w, src, addr, off)] *)
+  | Ilea_slot of vreg * int  (** address of stack slot *)
+  | Ilea_data of vreg * int64  (** absolute data-section address *)
+  | Icall of vreg option * callee * vreg list
+  | Isyscall of vreg option * int * vreg list
+
+type terminator =
+  | Tjmp of int
+  | Tbr of Isa.Cond.t * vreg * operand * int * int
+      (** compare-and-branch: then-block, else-block *)
+  | Tfbr of Isa.Cond.t * vreg * vreg * int * int
+  | Tswitch of vreg * int array * int
+      (** normalised jump table and (unreachable) default *)
+  | Tret of vreg option
+  | Tunreachable  (** after a no-return call *)
+
+type block = { mutable body : ins list; mutable term : terminator }
+
+type fundef = {
+  name : string;
+  nparams : int;
+  param_vregs : vreg list;
+  mutable nvregs : int;
+  mutable blocks : block array;
+  mutable slot_sizes : int array;  (** byte size of each stack slot *)
+}
+
+val defs : ins -> vreg list
+val uses : ins -> vreg list
+val term_uses : terminator -> vreg list
+val successors : terminator -> int list
+val map_successors : (int -> int) -> terminator -> terminator
+
+val has_side_effect : ins -> bool
+(** Calls, syscalls and stores; everything else is removable when its
+    definitions are dead. *)
+
+val fresh_vreg : fundef -> vreg
+val add_slot : fundef -> int -> int
+(** [add_slot f size] returns the new slot's id. *)
+
+val instruction_count : fundef -> int
+val pp_fundef : Format.formatter -> fundef -> unit

@@ -1,0 +1,80 @@
+type t = {
+  base : int64;
+  buf : Buffer.t;
+  globals : (string, int64) Hashtbl.t;
+  global_order : string list ref;
+  strings : (string, int64) Hashtbl.t;
+  string_ranges : (int64 * int) list ref;
+}
+
+let align8 buf =
+  while Buffer.length buf mod 8 <> 0 do
+    Buffer.add_char buf '\000'
+  done
+
+let add_u64 buf v =
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+  done
+
+let create ?(base = Loader.Image.data_base_default) (prog : Ast.program) =
+  let t =
+    {
+      base;
+      buf = Buffer.create 1024;
+      globals = Hashtbl.create 16;
+      global_order = ref [];
+      strings = Hashtbl.create 16;
+      string_ranges = ref [];
+    }
+  in
+  List.iter
+    (fun (g : Ast.global) ->
+      align8 t.buf;
+      let addr = Int64.add base (Int64.of_int (Buffer.length t.buf)) in
+      Hashtbl.replace t.globals g.gname addr;
+      t.global_order := g.gname :: !(t.global_order);
+      match g.gini with
+      | Ast.Gint v -> add_u64 t.buf v
+      | Ast.Gfloat f -> add_u64 t.buf (Int64.bits_of_float f)
+      | Ast.Gbytes (size, init) ->
+        let n = String.length init in
+        (* byte arrays with a text initialiser behave like string data;
+           record them so the num_string feature sees references to them *)
+        if n > 0 then t.string_ranges := (addr, size) :: !(t.string_ranges);
+        Buffer.add_string t.buf init;
+        for _ = n to size - 1 do
+          Buffer.add_char t.buf '\000'
+        done
+      | Ast.Gwords (size, init) ->
+        List.iter (add_u64 t.buf) init;
+        for _ = List.length init to size - 1 do
+          add_u64 t.buf 0L
+        done)
+    prog.Ast.globals;
+  t
+
+let global_addr t name = Hashtbl.find t.globals name
+
+let intern_string t s =
+  match Hashtbl.find_opt t.strings s with
+  | Some addr -> addr
+  | None ->
+    align8 t.buf;
+    let addr = Int64.add t.base (Int64.of_int (Buffer.length t.buf)) in
+    Buffer.add_string t.buf s;
+    Buffer.add_char t.buf '\000';
+    Hashtbl.replace t.strings s addr;
+    t.string_ranges := (addr, String.length s + 1) :: !(t.string_ranges);
+    addr
+
+let finish t =
+  let data = Buffer.to_bytes t.buf in
+  let strings = Array.of_list (List.rev !(t.string_ranges)) in
+  let globals =
+    Array.of_list
+      (List.rev_map (fun name -> (name, Hashtbl.find t.globals name))
+         !(t.global_order))
+  in
+  (data, strings, globals)

@@ -1,0 +1,15 @@
+(** Data-section layout: assigns addresses to globals at creation and
+    interns string literals on demand during lowering; [finish] produces
+    the final data bytes, string ranges and the global symbol list. *)
+
+type t
+
+val create : ?base:int64 -> Ast.program -> t
+val global_addr : t -> string -> int64
+(** Raises [Not_found] for unknown globals. *)
+
+val intern_string : t -> string -> int64
+(** Address of a NUL-terminated copy of the literal; deduplicated. *)
+
+val finish : t -> bytes * (int64 * int) array * (string * int64) array
+(** (data section, string ranges, global symbols). *)

@@ -1,0 +1,209 @@
+type token =
+  | Tident of string
+  | Tint_lit of int64
+  | Tfloat_lit of float
+  | Tstring_lit of string
+  | Tkw of string
+  | Tpunct of string
+  | Teof
+
+exception Lex_error of int * string
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line_no : int;
+  mutable lookahead : token option;
+}
+
+let keywords =
+  [
+    "lib"; "global"; "fn"; "var"; "if"; "else"; "while"; "for"; "switch";
+    "case"; "default"; "return"; "break"; "continue"; "int"; "float"; "byte";
+    "word"; "void";
+  ]
+
+let of_string src = { src; pos = 0; line_no = 1; lookahead = None }
+
+let fail t fmt = Format.kasprintf (fun s -> raise (Lex_error (t.line_no, s))) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let peek_char t = if t.pos < String.length t.src then Some t.src.[t.pos] else None
+
+let advance t =
+  (match peek_char t with Some '\n' -> t.line_no <- t.line_no + 1 | _ -> ());
+  t.pos <- t.pos + 1
+
+let rec skip_ws t =
+  match peek_char t with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance t;
+    skip_ws t
+  | Some '/' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '/' ->
+    while peek_char t <> None && peek_char t <> Some '\n' do
+      advance t
+    done;
+    skip_ws t
+  | Some _ | None -> ()
+
+let lex_ident t =
+  let start = t.pos in
+  while (match peek_char t with Some c -> is_ident c | None -> false) do
+    advance t
+  done;
+  let s = String.sub t.src start (t.pos - start) in
+  if List.mem s keywords then Tkw s else Tident s
+
+(* Numbers: decimal or 0x hex integers; floats only in OCaml hex-float
+   notation (as emitted by the pretty-printer) or simple decimal-point
+   form. *)
+let lex_number t =
+  let start = t.pos in
+  if
+    peek_char t = Some '0'
+    && t.pos + 1 < String.length t.src
+    && (t.src.[t.pos + 1] = 'x' || t.src.[t.pos + 1] = 'X')
+  then begin
+    advance t;
+    advance t;
+    let hstart = t.pos in
+    while
+      match peek_char t with
+      | Some c -> is_hex c || c = '.' || c = 'p' || c = '+' || c = '-'
+      | None -> false
+    do
+      advance t
+    done;
+    let text = String.sub t.src start (t.pos - start) in
+    let digits = String.sub t.src hstart (t.pos - hstart) in
+    if String.contains digits '.' || String.contains digits 'p' then
+      match float_of_string_opt text with
+      | Some f -> Tfloat_lit f
+      | None -> fail t "bad hex float %S" text
+    else begin
+      match Int64.of_string_opt text with
+      | Some v -> Tint_lit v
+      | None -> fail t "bad hex integer %S" text
+    end
+  end
+  else begin
+    while (match peek_char t with Some c -> is_digit c | None -> false) do
+      advance t
+    done;
+    let is_float =
+      peek_char t = Some '.'
+      && t.pos + 1 < String.length t.src
+      && is_digit t.src.[t.pos + 1]
+    in
+    if is_float then begin
+      advance t;
+      while (match peek_char t with Some c -> is_digit c | None -> false) do
+        advance t
+      done;
+      let text = String.sub t.src start (t.pos - start) in
+      Tfloat_lit (float_of_string text)
+    end
+    else begin
+      let text = String.sub t.src start (t.pos - start) in
+      match Int64.of_string_opt text with
+      | Some v -> Tint_lit v
+      | None -> fail t "bad integer %S" text
+    end
+  end
+
+let lex_string t =
+  advance t;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek_char t with
+    | None -> fail t "unterminated string"
+    | Some '"' -> advance t
+    | Some '\\' -> begin
+      advance t;
+      (match peek_char t with
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some 't' -> Buffer.add_char buf '\t'
+      | Some '\\' -> Buffer.add_char buf '\\'
+      | Some '"' -> Buffer.add_char buf '"'
+      | Some 'x' ->
+        advance t;
+        let h1 = match peek_char t with Some c -> c | None -> fail t "bad \\x" in
+        advance t;
+        let h2 = match peek_char t with Some c -> c | None -> fail t "bad \\x" in
+        let v = int_of_string (Printf.sprintf "0x%c%c" h1 h2) in
+        Buffer.add_char buf (Char.chr v)
+      | Some c -> fail t "bad escape \\%c" c
+      | None -> fail t "unterminated escape");
+      advance t;
+      loop ()
+    end
+    | Some c ->
+      Buffer.add_char buf c;
+      advance t;
+      loop ()
+  in
+  loop ();
+  Tstring_lit (Buffer.contents buf)
+
+let two_char_puncts =
+  [ "=="; "!="; "<="; ">="; "<<"; ">>"; "&&"; "||" ]
+
+let lex_punct t =
+  let c1 = t.src.[t.pos] in
+  let two =
+    if t.pos + 1 < String.length t.src then
+      Printf.sprintf "%c%c" c1 t.src.[t.pos + 1]
+    else ""
+  in
+  if List.mem two two_char_puncts then begin
+    advance t;
+    advance t;
+    Tpunct two
+  end
+  else begin
+    advance t;
+    Tpunct (String.make 1 c1)
+  end
+
+let lex_token t =
+  skip_ws t;
+  match peek_char t with
+  | None -> Teof
+  | Some c when is_ident_start c -> lex_ident t
+  | Some c when is_digit c -> lex_number t
+  | Some '"' -> lex_string t
+  | Some
+      ( '(' | ')' | '{' | '}' | '[' | ']' | ';' | ':' | ',' | '=' | '+' | '-'
+      | '*' | '/' | '%' | '&' | '|' | '^' | '~' | '<' | '>' | '!' ) ->
+    lex_punct t
+  | Some c -> fail t "unexpected character %C" c
+
+let peek t =
+  match t.lookahead with
+  | Some tok -> tok
+  | None ->
+    let tok = lex_token t in
+    t.lookahead <- Some tok;
+    tok
+
+let next t =
+  match t.lookahead with
+  | Some tok ->
+    t.lookahead <- None;
+    tok
+  | None -> lex_token t
+
+let line t = t.line_no
+
+let token_to_string = function
+  | Tident s -> Printf.sprintf "identifier %S" s
+  | Tint_lit v -> Printf.sprintf "integer %Ld" v
+  | Tfloat_lit f -> Printf.sprintf "float %g" f
+  | Tstring_lit s -> Printf.sprintf "string %S" s
+  | Tkw s -> Printf.sprintf "keyword %S" s
+  | Tpunct s -> Printf.sprintf "%S" s
+  | Teof -> "end of input"

@@ -1,0 +1,23 @@
+(** Hand-written lexer for MinC source text. *)
+
+type token =
+  | Tident of string
+  | Tint_lit of int64
+  | Tfloat_lit of float
+  | Tstring_lit of string
+  | Tkw of string  (** lib, global, fn, var, if, else, while, for, switch,
+                       case, default, return, break, continue, int, float,
+                       byte, word, void *)
+  | Tpunct of string  (** operators and delimiters *)
+  | Teof
+
+exception Lex_error of int * string
+(** Line number and message. *)
+
+type t
+
+val of_string : string -> t
+val peek : t -> token
+val next : t -> token
+val line : t -> int
+val token_to_string : token -> string

@@ -1,0 +1,654 @@
+exception Unsupported of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+type binding =
+  | Bvreg of Ir.vreg * Ast.ty
+  | Bslot of int * Ast.ty  (* scalar local kept in a stack slot (O0) *)
+  | Barray of int * Ast.elem  (* stack array; value is the slot address *)
+
+(* Growable basic-block builder over Ir.block. *)
+type bblock = { mutable body_rev : Ir.ins list; mutable term : Ir.terminator option }
+
+type ctx = {
+  prog : Ast.program;
+  layout : Layout.t;
+  opts : Optlevel.options;
+  fname : string;
+  mutable nvregs : int;
+  mutable blocks : bblock array;
+  mutable slot_sizes : int list;  (* reversed *)
+  mutable nslots : int;
+  mutable cur : int;
+  mutable env : (string * binding) list;
+  mutable loop_stack : (int * int) list;  (* (break target, continue target) *)
+}
+
+let fresh ctx =
+  let v = ctx.nvregs in
+  ctx.nvregs <- v + 1;
+  v
+
+let new_block ctx =
+  let id = Array.length ctx.blocks in
+  ctx.blocks <-
+    Array.append ctx.blocks [| { body_rev = []; term = None } |];
+  id
+
+let new_slot ctx size =
+  let id = ctx.nslots in
+  ctx.nslots <- id + 1;
+  ctx.slot_sizes <- size :: ctx.slot_sizes;
+  id
+
+let emit ctx ins =
+  let b = ctx.blocks.(ctx.cur) in
+  match b.term with
+  | None -> b.body_rev <- ins :: b.body_rev
+  | Some _ -> ()  (* unreachable code after return/break: drop *)
+
+let set_term ctx term =
+  let b = ctx.blocks.(ctx.cur) in
+  match b.term with None -> b.term <- Some term | Some _ -> ()
+
+let terminated ctx = ctx.blocks.(ctx.cur).term <> None
+
+let switch_to ctx id = ctx.cur <- id
+
+let mov_const ctx v =
+  let d = fresh ctx in
+  emit ctx (Ir.Imov (d, Ir.Oimm v));
+  d
+
+(* --- name resolution ------------------------------------------------- *)
+
+let find_global ctx name =
+  List.find_opt (fun (g : Ast.global) -> g.gname = name) ctx.prog.Ast.globals
+
+let global_binding ctx (g : Ast.global) =
+  let addr = Layout.global_addr ctx.layout g.gname in
+  match g.gini with
+  | Ast.Gint _ -> `Scalar (addr, Ast.Tint)
+  | Ast.Gfloat _ -> `Scalar (addr, Ast.Tfloat)
+  | Ast.Gbytes _ -> `Array (addr, Ast.Byte)
+  | Ast.Gwords _ -> `Array (addr, Ast.Word)
+
+(* --- operator mapping ------------------------------------------------- *)
+
+let int_binop : Ast.binop -> Isa.Instr.binop option = function
+  | Badd -> Some Add
+  | Bsub -> Some Sub
+  | Bmul -> Some Mul
+  | Bdiv -> Some Div
+  | Brem -> Some Rem
+  | Bandb -> Some And
+  | Borb -> Some Or
+  | Bxor -> Some Xor
+  | Bshl -> Some Shl
+  | Bshr -> Some Shr
+  | Beq | Bne | Blt | Ble | Bgt | Bge | Bland | Blor -> None
+
+let float_binop : Ast.binop -> Isa.Instr.fbinop option = function
+  | Badd -> Some Fadd
+  | Bsub -> Some Fsub
+  | Bmul -> Some Fmul
+  | Bdiv -> Some Fdiv
+  | Brem | Bandb | Borb | Bxor | Bshl | Bshr | Beq | Bne | Blt | Ble | Bgt
+  | Bge | Bland | Blor ->
+    None
+
+let cmp_cond : Ast.binop -> Isa.Cond.t option = function
+  | Beq -> Some Eq
+  | Bne -> Some Ne
+  | Blt -> Some Lt
+  | Ble -> Some Le
+  | Bgt -> Some Gt
+  | Bge -> Some Ge
+  | Badd | Bsub | Bmul | Bdiv | Brem | Bandb | Borb | Bxor | Bshl | Bshr
+  | Bland | Blor ->
+    None
+
+(* --- expressions ------------------------------------------------------ *)
+
+let rec lower_expr ctx (e : Ast.expr) : Ir.vreg * Ast.ty =
+  match e with
+  | Eint v -> (mov_const ctx v, Tint)
+  | Efloat f -> (mov_const ctx (Int64.bits_of_float f), Tfloat)
+  | Estr s ->
+    let addr = Layout.intern_string ctx.layout s in
+    let d = fresh ctx in
+    emit ctx (Ir.Ilea_data (d, addr));
+    (d, Tptr Byte)
+  | Evar name -> lower_var ctx name
+  | Eindex (base, idx) ->
+    let addr, off, width, _elem = lower_address ctx base idx in
+    let d = fresh ctx in
+    emit ctx (Ir.Iload (width, d, addr, off));
+    (d, Tint)
+  | Eaddr (base, idx) ->
+    let addr, off, _width, elem = lower_address ctx base idx in
+    if off = 0 then (addr, Tptr elem)
+    else begin
+      let d = fresh ctx in
+      emit ctx (Ir.Ibin (Add, d, addr, Ir.Oimm (Int64.of_int off)));
+      (d, Tptr elem)
+    end
+  | Eunop (Uneg, e) ->
+    let v, _ = lower_expr ctx e in
+    let d = fresh ctx in
+    emit ctx (Ir.Ineg (d, v));
+    (d, Tint)
+  | Eunop (Ubnot, e) ->
+    let v, _ = lower_expr ctx e in
+    let d = fresh ctx in
+    emit ctx (Ir.Inot (d, v));
+    (d, Tint)
+  | Ebinop ((Bland | Blor), _, _) | Ebinop ((Beq | Bne | Blt | Ble | Bgt | Bge), _, _)
+    ->
+    lower_bool_value ctx e
+  | Ebinop (op, a, b) -> begin
+    let va, ta = lower_expr ctx a in
+    match ta with
+    | Tfloat -> begin
+      match float_binop op with
+      | Some fop -> begin
+        (* Ofast: division by a non-zero constant becomes multiplication
+           by its reciprocal. *)
+        match (fop, b, ctx.opts.fast_float) with
+        | Isa.Instr.Fdiv, Ast.Efloat c, true when c <> 0.0 ->
+          let vb = mov_const ctx (Int64.bits_of_float (1.0 /. c)) in
+          let d = fresh ctx in
+          emit ctx (Ir.Ifbin (Fmul, d, va, vb));
+          (d, Tfloat)
+        | _, _, _ ->
+          let vb, _ = lower_expr ctx b in
+          let d = fresh ctx in
+          emit ctx (Ir.Ifbin (fop, d, va, vb));
+          (d, Tfloat)
+      end
+      | None -> fail "%s: bad float operator" ctx.fname
+    end
+    | Tint | Tptr _ | Tvoid -> begin
+      match int_binop op with
+      | Some iop -> begin
+        let d = fresh ctx in
+        match b with
+        | Ast.Eint c ->
+          emit ctx (Ir.Ibin (iop, d, va, Ir.Oimm c));
+          (d, ta)
+        | Ast.Efloat _ | Ast.Estr _ | Ast.Evar _ | Ast.Eindex _ | Ast.Eaddr _
+        | Ast.Eunop _ | Ast.Ebinop _ | Ast.Ecall _ ->
+          let vb, _ = lower_expr ctx b in
+          emit ctx (Ir.Ibin (iop, d, va, Ir.Ovreg vb));
+          (d, ta)
+      end
+      | None -> fail "%s: bad int operator" ctx.fname
+    end
+  end
+  | Ecall (name, args) -> lower_call ctx name args ~need_result:true
+
+and lower_var ctx name =
+  match List.assoc_opt name ctx.env with
+  | Some (Bvreg (v, ty)) -> (v, ty)
+  | Some (Bslot (slot, ty)) ->
+    let addr = fresh ctx in
+    emit ctx (Ir.Ilea_slot (addr, slot));
+    let d = fresh ctx in
+    emit ctx (Ir.Iload (W8, d, addr, 0));
+    (d, ty)
+  | Some (Barray (slot, elem)) ->
+    let d = fresh ctx in
+    emit ctx (Ir.Ilea_slot (d, slot));
+    (d, Tptr elem)
+  | None -> (
+    match find_global ctx name with
+    | None -> fail "%s: unknown variable %s" ctx.fname name
+    | Some g -> (
+      match global_binding ctx g with
+      | `Scalar (addr, ty) ->
+        let a = fresh ctx in
+        emit ctx (Ir.Ilea_data (a, addr));
+        let d = fresh ctx in
+        emit ctx (Ir.Iload (W8, d, a, 0));
+        (d, ty)
+      | `Array (addr, elem) ->
+        let d = fresh ctx in
+        emit ctx (Ir.Ilea_data (d, addr));
+        (d, Tptr elem)))
+
+(* Address of base[idx]: returns (address vreg, static byte offset, width,
+   element kind).  Constant indices fold into the static offset. *)
+and lower_address ctx base idx =
+  let vbase, tbase = lower_expr ctx base in
+  let elem =
+    match tbase with
+    | Tptr e -> e
+    | Tint | Tfloat | Tvoid -> fail "%s: indexing a non-pointer" ctx.fname
+  in
+  let width : Isa.Instr.width = match elem with Ast.Byte -> W1 | Ast.Word -> W8 in
+  let scale = match elem with Ast.Byte -> 1 | Ast.Word -> 8 in
+  match idx with
+  | Ast.Eint c -> (vbase, Int64.to_int c * scale, width, elem)
+  | Ast.Efloat _ | Ast.Estr _ | Ast.Evar _ | Ast.Eindex _ | Ast.Eaddr _
+  | Ast.Eunop _ | Ast.Ebinop _ | Ast.Ecall _ ->
+    let vidx, _ = lower_expr ctx idx in
+    let scaled =
+      if scale = 1 then vidx
+      else begin
+        let s = fresh ctx in
+        emit ctx (Ir.Ibin (Shl, s, vidx, Ir.Oimm 3L));
+        s
+      end
+    in
+    let addr = fresh ctx in
+    emit ctx (Ir.Ibin (Add, addr, vbase, Ir.Ovreg scaled));
+    (addr, 0, width, elem)
+
+(* Comparison / logical expression used as a value: materialise 0/1. *)
+and lower_bool_value ctx e =
+  let d = fresh ctx in
+  let btrue = new_block ctx in
+  let bfalse = new_block ctx in
+  let join = new_block ctx in
+  lower_cond ctx e ~ktrue:btrue ~kfalse:bfalse;
+  switch_to ctx btrue;
+  emit ctx (Ir.Imov (d, Ir.Oimm 1L));
+  set_term ctx (Ir.Tjmp join);
+  switch_to ctx bfalse;
+  emit ctx (Ir.Imov (d, Ir.Oimm 0L));
+  set_term ctx (Ir.Tjmp join);
+  switch_to ctx join;
+  (d, Ast.Tint)
+
+(* Lower a condition directly to branches. *)
+and lower_cond ctx (e : Ast.expr) ~ktrue ~kfalse =
+  match e with
+  | Ebinop (Bland, a, b) ->
+    let mid = new_block ctx in
+    lower_cond ctx a ~ktrue:mid ~kfalse;
+    switch_to ctx mid;
+    lower_cond ctx b ~ktrue ~kfalse
+  | Ebinop (Blor, a, b) ->
+    let mid = new_block ctx in
+    lower_cond ctx a ~ktrue ~kfalse:mid;
+    switch_to ctx mid;
+    lower_cond ctx b ~ktrue ~kfalse
+  | Ebinop (op, a, b) when cmp_cond op <> None -> begin
+    let cond = match cmp_cond op with Some c -> c | None -> assert false in
+    let va, ta = lower_expr ctx a in
+    match ta with
+    | Tfloat ->
+      let vb, _ = lower_expr ctx b in
+      set_term ctx (Ir.Tfbr (cond, va, vb, ktrue, kfalse))
+    | Tint | Tptr _ | Tvoid -> begin
+      match b with
+      | Ast.Eint c -> set_term ctx (Ir.Tbr (cond, va, Ir.Oimm c, ktrue, kfalse))
+      | Ast.Efloat _ | Ast.Estr _ | Ast.Evar _ | Ast.Eindex _ | Ast.Eaddr _
+      | Ast.Eunop _ | Ast.Ebinop _ | Ast.Ecall _ ->
+        let vb, _ = lower_expr ctx b in
+        set_term ctx (Ir.Tbr (cond, va, Ir.Ovreg vb, ktrue, kfalse))
+    end
+  end
+  | Eint v ->
+    (* constant condition folds to an unconditional jump *)
+    set_term ctx (Ir.Tjmp (if v <> 0L then ktrue else kfalse))
+  | Efloat _ | Estr _ | Evar _ | Eindex _ | Eaddr _ | Eunop _ | Ebinop _
+  | Ecall _ ->
+    let v, _ = lower_expr ctx e in
+    set_term ctx (Ir.Tbr (Ne, v, Ir.Oimm 0L, ktrue, kfalse))
+
+and lower_call ctx name args ~need_result =
+  (* compiler intrinsics *)
+  match (name, args) with
+  | "int_to_float", [ a ] ->
+    let v, _ = lower_expr ctx a in
+    let d = fresh ctx in
+    emit ctx (Ir.Ii2f (d, v));
+    (d, Tfloat)
+  | "float_to_int", [ a ] ->
+    let v, _ = lower_expr ctx a in
+    let d = fresh ctx in
+    emit ctx (Ir.If2i (d, v));
+    (d, Tint)
+  | "as_ptr", [ a ] ->
+    let v, _ = lower_expr ctx a in
+    (v, Tptr Byte)
+  | "as_wptr", [ a ] ->
+    let v, _ = lower_expr ctx a in
+    (v, Tptr Word)
+  | "alloc_words", [ n ] ->
+    let vn, _ = lower_expr ctx n in
+    let bytes = fresh ctx in
+    emit ctx (Ir.Ibin (Shl, bytes, vn, Ir.Oimm 3L));
+    let d = fresh ctx in
+    emit ctx (Ir.Icall (Some d, Ir.Cimport "malloc", [ bytes ]));
+    (d, Tptr Word)
+  | "alloc_bytes", [ n ] ->
+    let vn, _ = lower_expr ctx n in
+    let d = fresh ctx in
+    emit ctx (Ir.Icall (Some d, Ir.Cimport "malloc", [ vn ]));
+    (d, Tptr Byte)
+  | _, _ -> (
+    match Builtins.syscall_signature name with
+    | Some (num, sg) ->
+      let vargs = List.map (fun a -> fst (lower_expr ctx a)) args in
+      let dst = if sg.Builtins.ret = Ast.Tvoid then None else Some (fresh ctx) in
+      emit ctx (Ir.Isyscall (dst, num, vargs));
+      let d = match dst with Some d -> d | None -> mov_const ctx 0L in
+      (d, sg.Builtins.ret)
+    | None -> (
+      let vargs = List.map (fun a -> fst (lower_expr ctx a)) args in
+      match Builtins.import_signature name with
+      | Some sg ->
+        let dst =
+          if sg.Builtins.ret = Ast.Tvoid then None else Some (fresh ctx)
+        in
+        emit ctx (Ir.Icall (dst, Ir.Cimport name, vargs));
+        if List.mem name Builtins.noret then set_term ctx Ir.Tunreachable;
+        let d = match dst with Some d -> d | None -> mov_const ctx 0L in
+        (d, sg.Builtins.ret)
+      | None -> (
+        match
+          List.find_opt (fun (f : Ast.func) -> f.fname = name) ctx.prog.Ast.funcs
+        with
+        | Some f ->
+          ignore need_result;
+          let dst = if f.ret = Ast.Tvoid then None else Some (fresh ctx) in
+          emit ctx (Ir.Icall (dst, Ir.Cinternal name, vargs));
+          let d = match dst with Some d -> d | None -> mov_const ctx 0L in
+          (d, f.ret)
+        | None -> fail "%s: call to unknown function %s" ctx.fname name)))
+
+(* --- statements ------------------------------------------------------- *)
+
+let assign_binding ctx name value =
+  match List.assoc_opt name ctx.env with
+  | Some (Bvreg (v, _)) -> emit ctx (Ir.Imov (v, Ir.Ovreg value))
+  | Some (Bslot (slot, _)) ->
+    let addr = fresh ctx in
+    emit ctx (Ir.Ilea_slot (addr, slot));
+    emit ctx (Ir.Istore (W8, value, addr, 0))
+  | Some (Barray _) -> fail "%s: cannot assign to array %s" ctx.fname name
+  | None -> (
+    match find_global ctx name with
+    | None -> fail "%s: unknown variable %s" ctx.fname name
+    | Some g -> (
+      match global_binding ctx g with
+      | `Scalar (gaddr, _) ->
+        let addr = fresh ctx in
+        emit ctx (Ir.Ilea_data (addr, gaddr));
+        emit ctx (Ir.Istore (W8, value, addr, 0))
+      | `Array _ -> fail "%s: cannot assign to array %s" ctx.fname name))
+
+let declare_scalar ctx name ty init_vreg =
+  if ctx.opts.locals_in_slots then begin
+    let slot = new_slot ctx 8 in
+    ctx.env <- (name, Bslot (slot, ty)) :: ctx.env;
+    match init_vreg with
+    | None -> ()
+    | Some v ->
+      let addr = fresh ctx in
+      emit ctx (Ir.Ilea_slot (addr, slot));
+      emit ctx (Ir.Istore (W8, v, addr, 0))
+  end
+  else begin
+    let home = fresh ctx in
+    ctx.env <- (name, Bvreg (home, ty)) :: ctx.env;
+    match init_vreg with
+    | None -> ()
+    | Some v -> emit ctx (Ir.Imov (home, Ir.Ovreg v))
+  end
+
+let rec stmt_has_jump (s : Ast.stmt) =
+  match s with
+  | Sbreak | Scontinue | Sreturn _ -> true
+  | Sif (_, a, b) -> List.exists stmt_has_jump a || List.exists stmt_has_jump b
+  | Sswitch (_, cases, default) ->
+    List.exists (fun (_, body) -> List.exists stmt_has_jump body) cases
+    || List.exists stmt_has_jump default
+  | Sdecl _ | Sarray _ | Sassign _ | Sindexset _ | Sexpr _ -> false
+  | Swhile _ | Sfor _ -> false
+(* nested loops capture their own break/continue *)
+
+let rec lower_stmt ctx (s : Ast.stmt) =
+  if not (terminated ctx) then begin
+    match s with
+    | Sdecl (name, ty, init) ->
+      let init_vreg =
+        match init with
+        | None -> None
+        | Some e -> Some (fst (lower_expr ctx e))
+      in
+      declare_scalar ctx name ty init_vreg
+    | Sarray (name, elem, n) ->
+      let size = n * (match elem with Ast.Byte -> 1 | Ast.Word -> 8) in
+      let size = (size + 7) / 8 * 8 in
+      let slot = new_slot ctx size in
+      ctx.env <- (name, Barray (slot, elem)) :: ctx.env
+    | Sassign (name, e) ->
+      let v, _ = lower_expr ctx e in
+      assign_binding ctx name v
+    | Sindexset (base, idx, e) ->
+      let v, _ = lower_expr ctx e in
+      let addr, off, width, _ = lower_address ctx base idx in
+      emit ctx (Ir.Istore (width, v, addr, off))
+    | Sif (cond, thens, elses) ->
+      let bthen = new_block ctx in
+      let belse = new_block ctx in
+      let join = new_block ctx in
+      lower_cond ctx cond ~ktrue:bthen ~kfalse:belse;
+      switch_to ctx bthen;
+      lower_body ctx thens;
+      set_term ctx (Ir.Tjmp join);
+      switch_to ctx belse;
+      lower_body ctx elses;
+      set_term ctx (Ir.Tjmp join);
+      switch_to ctx join
+    | Swhile (cond, body) ->
+      let head = new_block ctx in
+      let bbody = new_block ctx in
+      let exit = new_block ctx in
+      set_term ctx (Ir.Tjmp head);
+      switch_to ctx head;
+      lower_cond ctx cond ~ktrue:bbody ~kfalse:exit;
+      switch_to ctx bbody;
+      ctx.loop_stack <- (exit, head) :: ctx.loop_stack;
+      lower_body ctx body;
+      ctx.loop_stack <- List.tl ctx.loop_stack;
+      set_term ctx (Ir.Tjmp head);
+      switch_to ctx exit
+    | Sfor (v, start, bound, step, body) -> lower_for ctx v start bound step body
+    | Sswitch (e, cases, default) -> lower_switch ctx e cases default
+    | Sreturn None -> set_term ctx (Ir.Tret None)
+    | Sreturn (Some e) ->
+      let v, _ = lower_expr ctx e in
+      set_term ctx (Ir.Tret (Some v))
+    | Sbreak -> begin
+      match ctx.loop_stack with
+      | (brk, _) :: _ -> set_term ctx (Ir.Tjmp brk)
+      | [] -> fail "%s: break outside loop" ctx.fname
+    end
+    | Scontinue -> begin
+      match ctx.loop_stack with
+      | (_, cont) :: _ -> set_term ctx (Ir.Tjmp cont)
+      | [] -> fail "%s: continue outside loop" ctx.fname
+    end
+    | Sexpr e -> ignore (lower_expr ctx e)
+  end
+
+and lower_body ctx body =
+  let saved = ctx.env in
+  List.iter (lower_stmt ctx) body;
+  ctx.env <- saved
+
+and lower_for ctx v start bound step body =
+  (* Full unrolling of small constant-trip-count loops without control
+     transfers out of the body (O3/Ofast). *)
+  let unrollable =
+    match (start, bound, step) with
+    | Ast.Eint s, Ast.Eint b, Ast.Eint st
+      when ctx.opts.unroll_limit > 0 && st > 0L
+           && not (List.exists stmt_has_jump body) ->
+      let trip =
+        Int64.to_int
+          (Int64.div (Int64.add (Int64.sub b s) (Int64.sub st 1L)) st)
+      in
+      if trip >= 0 && trip <= ctx.opts.unroll_limit then Some (s, st, trip)
+      else None
+    | _, _, _ -> None
+  in
+  match unrollable with
+  | Some (s, st, trip) ->
+    let saved = ctx.env in
+    let home = fresh ctx in
+    ctx.env <- (v, Bvreg (home, Ast.Tint)) :: ctx.env;
+    for k = 0 to trip - 1 do
+      let value = Int64.add s (Int64.mul (Int64.of_int k) st) in
+      emit ctx (Ir.Imov (home, Ir.Oimm value));
+      List.iter (lower_stmt ctx) body
+    done;
+    ctx.env <- saved
+  | None ->
+    let saved = ctx.env in
+    let vstart, _ = lower_expr ctx start in
+    declare_scalar ctx v Ast.Tint (Some vstart);
+    let head = new_block ctx in
+    let bbody = new_block ctx in
+    let bstep = new_block ctx in
+    let exit = new_block ctx in
+    set_term ctx (Ir.Tjmp head);
+    switch_to ctx head;
+    lower_cond ctx
+      (Ast.Ebinop (Ast.Blt, Ast.Evar v, bound))
+      ~ktrue:bbody ~kfalse:exit;
+    switch_to ctx bbody;
+    ctx.loop_stack <- (exit, bstep) :: ctx.loop_stack;
+    lower_body ctx body;
+    ctx.loop_stack <- List.tl ctx.loop_stack;
+    set_term ctx (Ir.Tjmp bstep);
+    switch_to ctx bstep;
+    let vstep, _ =
+      lower_expr ctx (Ast.Ebinop (Ast.Badd, Ast.Evar v, step))
+    in
+    assign_binding ctx v vstep;
+    set_term ctx (Ir.Tjmp head);
+    switch_to ctx exit;
+    ctx.env <- saved
+
+and lower_switch ctx e cases default =
+  let v, _ = lower_expr ctx e in
+  let join = new_block ctx in
+  let bdefault = new_block ctx in
+  let case_blocks = List.map (fun (value, body) -> (value, new_block ctx, body)) cases in
+  let ncases = List.length cases in
+  let values = List.map (fun (value, _, _) -> value) case_blocks in
+  let dense =
+    ncases >= 3
+    &&
+    let lo = List.fold_left min (List.hd values) values in
+    let hi = List.fold_left max (List.hd values) values in
+    let span = Int64.to_int (Int64.sub hi lo) + 1 in
+    span <= (2 * ncases) + 8 && span <= 512
+  in
+  if ctx.opts.use_jtable && dense then begin
+    let lo = List.fold_left min (List.hd values) values in
+    let hi = List.fold_left max (List.hd values) values in
+    let span = Int64.to_int (Int64.sub hi lo) + 1 in
+    let norm = fresh ctx in
+    emit ctx (Ir.Ibin (Sub, norm, v, Ir.Oimm lo));
+    let bcheck = new_block ctx in
+    set_term ctx (Ir.Tbr (Lt, norm, Ir.Oimm 0L, bdefault, bcheck));
+    switch_to ctx bcheck;
+    let btable = new_block ctx in
+    set_term ctx
+      (Ir.Tbr (Gt, norm, Ir.Oimm (Int64.of_int (span - 1)), bdefault, btable));
+    switch_to ctx btable;
+    let table = Array.make span bdefault in
+    List.iter
+      (fun (value, blk, _) ->
+        table.(Int64.to_int (Int64.sub value lo)) <- blk)
+      case_blocks;
+    set_term ctx (Ir.Tswitch (norm, table, bdefault))
+  end
+  else begin
+    (* compare chain *)
+    List.iter
+      (fun (value, blk, _) ->
+        let next = new_block ctx in
+        set_term ctx (Ir.Tbr (Eq, v, Ir.Oimm value, blk, next));
+        switch_to ctx next)
+      case_blocks;
+    set_term ctx (Ir.Tjmp bdefault)
+  end;
+  List.iter
+    (fun (_, blk, body) ->
+      switch_to ctx blk;
+      lower_body ctx body;
+      set_term ctx (Ir.Tjmp join))
+    case_blocks;
+  switch_to ctx bdefault;
+  lower_body ctx default;
+  set_term ctx (Ir.Tjmp join);
+  switch_to ctx join
+
+(* --- function --------------------------------------------------------- *)
+
+let lower_function prog layout opts (f : Ast.func) =
+  let ctx =
+    {
+      prog;
+      layout;
+      opts;
+      fname = f.fname;
+      nvregs = 0;
+      blocks = [||];
+      slot_sizes = [];
+      nslots = 0;
+      cur = 0;
+      env = [];
+      loop_stack = [];
+    }
+  in
+  let entry = new_block ctx in
+  switch_to ctx entry;
+  (* parameters arrive in the first nparams vregs *)
+  let param_vregs =
+    List.map (fun (_ : Ast.param) -> fresh ctx) f.params
+  in
+  List.iter2
+    (fun (p : Ast.param) v ->
+      if ctx.opts.locals_in_slots then begin
+        let slot = new_slot ctx 8 in
+        ctx.env <- (p.pname, Bslot (slot, p.pty)) :: ctx.env;
+        let addr = fresh ctx in
+        emit ctx (Ir.Ilea_slot (addr, slot));
+        emit ctx (Ir.Istore (W8, v, addr, 0))
+      end
+      else ctx.env <- (p.pname, Bvreg (v, p.pty)) :: ctx.env)
+    f.params param_vregs;
+  List.iter (lower_stmt ctx) f.body;
+  (* implicit return *)
+  if not (terminated ctx) then begin
+    match f.ret with
+    | Ast.Tvoid -> set_term ctx (Ir.Tret None)
+    | Ast.Tint | Ast.Tfloat | Ast.Tptr _ ->
+      let z = mov_const ctx 0L in
+      set_term ctx (Ir.Tret (Some z))
+  end;
+  let blocks =
+    Array.map
+      (fun b ->
+        {
+          Ir.body = List.rev b.body_rev;
+          term = (match b.term with Some t -> t | None -> Ir.Tret None);
+        })
+      ctx.blocks
+  in
+  {
+    Ir.name = f.fname;
+    nparams = List.length f.params;
+    param_vregs;
+    nvregs = ctx.nvregs;
+    blocks;
+    slot_sizes = Array.of_list (List.rev ctx.slot_sizes);
+  }

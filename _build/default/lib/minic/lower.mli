@@ -1,0 +1,12 @@
+(** Lowering from checked MinC ASTs to {!Ir} function definitions.
+
+    Optimisation-level knobs consulted here: [locals_in_slots] (O0 keeps
+    scalar locals in stack slots), [unroll_limit] (full unrolling of small
+    constant-trip-count [for] loops), [use_jtable] (dense switches become
+    jump tables), [fast_float] (float division by a constant becomes a
+    multiply). *)
+
+exception Unsupported of string
+
+val lower_function :
+  Ast.program -> Layout.t -> Optlevel.options -> Ast.func -> Ir.fundef

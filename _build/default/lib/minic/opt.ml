@@ -1,0 +1,769 @@
+(* --- constant folding + copy propagation (block-local) ---------------- *)
+
+type abstract = Const of int64 | Copy of Ir.vreg
+
+let eval_binop (op : Isa.Instr.binop) a b =
+  match op with
+  | Add -> Some (Int64.add a b)
+  | Sub -> Some (Int64.sub a b)
+  | Mul -> Some (Int64.mul a b)
+  | Div -> if b = 0L then None else Some (Int64.div a b)
+  | Rem -> if b = 0L then None else Some (Int64.rem a b)
+  | And -> Some (Int64.logand a b)
+  | Or -> Some (Int64.logor a b)
+  | Xor -> Some (Int64.logxor a b)
+  | Shl ->
+    let s = Int64.to_int b land 63 in
+    Some (Int64.shift_left a s)
+  | Shr ->
+    let s = Int64.to_int b land 63 in
+    Some (Int64.shift_right_logical a s)
+
+let eval_fbinop (op : Isa.Instr.fbinop) a b =
+  let fa = Int64.float_of_bits a and fb = Int64.float_of_bits b in
+  let r =
+    match op with
+    | Fadd -> fa +. fb
+    | Fsub -> fa -. fb
+    | Fmul -> fa *. fb
+    | Fdiv -> fa /. fb
+  in
+  Int64.bits_of_float r
+
+let fold_constants (f : Ir.fundef) =
+  Array.iter
+    (fun (blk : Ir.block) ->
+      let env : (Ir.vreg, abstract) Hashtbl.t = Hashtbl.create 16 in
+      (* invalidate every fact about [d] and every copy of [d] *)
+      let kill d =
+        Hashtbl.remove env d;
+        let stale =
+          Hashtbl.fold
+            (fun v a acc ->
+              match a with Copy s when s = d -> v :: acc | Copy _ | Const _ -> acc)
+            env []
+        in
+        List.iter (Hashtbl.remove env) stale
+      in
+      let resolve_vreg v =
+        match Hashtbl.find_opt env v with Some (Copy w) -> w | Some (Const _) | None -> v
+      in
+      let const_of v =
+        match Hashtbl.find_opt env v with Some (Const c) -> Some c | Some (Copy _) | None -> None
+      in
+      let resolve_operand (o : Ir.operand) =
+        match o with
+        | Ir.Oimm _ -> o
+        | Ir.Ovreg v -> (
+          match Hashtbl.find_opt env v with
+          | Some (Const c) -> Ir.Oimm c
+          | Some (Copy w) -> Ir.Ovreg w
+          | None -> o)
+      in
+      let rewrite (ins : Ir.ins) : Ir.ins =
+        match ins with
+        | Imov (d, o) -> begin
+          let o = resolve_operand o in
+          kill d;
+          (match o with
+          | Ir.Oimm c -> Hashtbl.replace env d (Const c)
+          | Ir.Ovreg s -> if s <> d then Hashtbl.replace env d (Copy s));
+          Imov (d, o)
+        end
+        | Ibin (op, d, a, o) -> begin
+          let a = resolve_vreg a in
+          let o = resolve_operand o in
+          let folded =
+            match (const_of a, o) with
+            | Some ca, Ir.Oimm cb -> eval_binop op ca cb
+            | Some _, Ir.Ovreg _ | None, _ -> None
+          in
+          kill d;
+          match folded with
+          | Some c ->
+            Hashtbl.replace env d (Const c);
+            Imov (d, Ir.Oimm c)
+          | None -> Ibin (op, d, a, o)
+        end
+        | Ifbin (op, d, a, b) -> begin
+          let a = resolve_vreg a and b = resolve_vreg b in
+          let folded =
+            match (const_of a, const_of b) with
+            | Some ca, Some cb -> Some (eval_fbinop op ca cb)
+            | Some _, None | None, Some _ | None, None -> None
+          in
+          kill d;
+          match folded with
+          | Some c ->
+            Hashtbl.replace env d (Const c);
+            Imov (d, Ir.Oimm c)
+          | None -> Ifbin (op, d, a, b)
+        end
+        | Ineg (d, a) -> begin
+          let a = resolve_vreg a in
+          let folded = const_of a in
+          kill d;
+          match folded with
+          | Some c ->
+            let r = Int64.neg c in
+            Hashtbl.replace env d (Const r);
+            Imov (d, Ir.Oimm r)
+          | None -> Ineg (d, a)
+        end
+        | Inot (d, a) -> begin
+          let a = resolve_vreg a in
+          let folded = const_of a in
+          kill d;
+          match folded with
+          | Some c ->
+            let r = Int64.lognot c in
+            Hashtbl.replace env d (Const r);
+            Imov (d, Ir.Oimm r)
+          | None -> Inot (d, a)
+        end
+        | Ii2f (d, a) -> begin
+          let a = resolve_vreg a in
+          let folded = const_of a in
+          kill d;
+          match folded with
+          | Some c ->
+            let r = Int64.bits_of_float (Int64.to_float c) in
+            Hashtbl.replace env d (Const r);
+            Imov (d, Ir.Oimm r)
+          | None -> Ii2f (d, a)
+        end
+        | If2i (d, a) -> begin
+          let a = resolve_vreg a in
+          let folded = const_of a in
+          kill d;
+          match folded with
+          | Some c ->
+            let fv = Int64.float_of_bits c in
+            let r =
+              if Float.is_nan fv then 0L else Int64.of_float fv
+            in
+            Hashtbl.replace env d (Const r);
+            Imov (d, Ir.Oimm r)
+          | None -> If2i (d, a)
+        end
+        | Iload (w, d, addr, off) ->
+          let addr = resolve_vreg addr in
+          kill d;
+          Iload (w, d, addr, off)
+        | Istore (w, src, addr, off) ->
+          Istore (w, resolve_vreg src, resolve_vreg addr, off)
+        | Ilea_slot (d, slot) ->
+          kill d;
+          Ilea_slot (d, slot)
+        | Ilea_data (d, a) ->
+          kill d;
+          Ilea_data (d, a)
+        | Icall (dst, callee, args) ->
+          let args = List.map resolve_vreg args in
+          (match dst with Some d -> kill d | None -> ());
+          Icall (dst, callee, args)
+        | Isyscall (dst, n, args) ->
+          let args = List.map resolve_vreg args in
+          (match dst with Some d -> kill d | None -> ());
+          Isyscall (dst, n, args)
+      in
+      blk.body <- List.map rewrite blk.body;
+      blk.term <-
+        (match blk.term with
+        | Tbr (c, v, o, b1, b2) -> begin
+          let v = resolve_vreg v in
+          let o = resolve_operand o in
+          match (const_of v, o) with
+          | Some cv, Ir.Oimm co ->
+            let sign = compare cv co in
+            Ir.Tjmp (if Isa.Cond.holds c sign then b1 else b2)
+          | Some _, Ir.Ovreg _ | None, _ -> Tbr (c, v, o, b1, b2)
+        end
+        | Tfbr (c, a, b, b1, b2) -> begin
+          let a = resolve_vreg a and b = resolve_vreg b in
+          match (const_of a, const_of b) with
+          | Some ca, Some cb ->
+            let fa = Int64.float_of_bits ca and fb = Int64.float_of_bits cb in
+            let sign = compare fa fb in
+            Ir.Tjmp (if Isa.Cond.holds c sign then b1 else b2)
+          | Some _, None | None, Some _ | None, None -> Tfbr (c, a, b, b1, b2)
+        end
+        | Tswitch (v, targets, default) -> begin
+          let v = resolve_vreg v in
+          match const_of v with
+          | Some c ->
+            let i = Int64.to_int c in
+            if i >= 0 && i < Array.length targets then Ir.Tjmp targets.(i)
+            else Ir.Tjmp default
+          | None -> Tswitch (v, targets, default)
+        end
+        | Tret (Some v) -> Tret (Some (resolve_vreg v))
+        | (Tjmp _ | Tret None | Tunreachable) as t -> t))
+    f.blocks
+
+(* --- strength reduction ----------------------------------------------- *)
+
+let log2_exact v =
+  if v <= 0L then None
+  else begin
+    let rec loop k =
+      if k > 62 then None
+      else if Int64.shift_left 1L k = v then Some k
+      else loop (k + 1)
+    in
+    loop 0
+  end
+
+let strength_reduce (f : Ir.fundef) =
+  Array.iter
+    (fun (blk : Ir.block) ->
+      blk.body <-
+        List.map
+          (fun (ins : Ir.ins) : Ir.ins ->
+            match ins with
+            | Ibin (Mul, d, a, Oimm c) ->
+              if c = 0L then Imov (d, Oimm 0L)
+              else if c = 1L then Imov (d, Ovreg a)
+              else begin
+                match log2_exact c with
+                | Some k -> Ibin (Shl, d, a, Oimm (Int64.of_int k))
+                | None -> ins
+              end
+            | Ibin ((Add | Sub | Shl | Shr | Or | Xor), d, a, Oimm 0L) ->
+              Imov (d, Ovreg a)
+            | Ibin (And, d, _, Oimm 0L) -> Imov (d, Oimm 0L)
+            | Ibin (Div, d, a, Oimm 1L) -> Imov (d, Ovreg a)
+            | Ibin (Rem, d, _, Oimm 1L) -> Imov (d, Oimm 0L)
+            | Ibin _ | Imov _ | Ifbin _ | Ineg _ | Inot _ | Ii2f _ | If2i _
+            | Iload _ | Istore _ | Ilea_slot _ | Ilea_data _ | Icall _
+            | Isyscall _ ->
+              ins)
+          blk.body)
+    f.blocks
+
+(* --- common-subexpression elimination (block-local) -------------------- *)
+
+let cse (f : Ir.fundef) =
+  Array.iter
+    (fun (blk : Ir.block) ->
+      let version : (Ir.vreg, int) Hashtbl.t = Hashtbl.create 16 in
+      let ver v = match Hashtbl.find_opt version v with Some k -> k | None -> 0 in
+      let bump v = Hashtbl.replace version v (ver v + 1) in
+      let table : (string, Ir.vreg) Hashtbl.t = Hashtbl.create 16 in
+      let operand_key (o : Ir.operand) =
+        match o with
+        | Oimm c -> Printf.sprintf "#%Ld" c
+        | Ovreg v -> Printf.sprintf "v%d.%d" v (ver v)
+      in
+      let key_of (ins : Ir.ins) =
+        match ins with
+        | Ibin (op, _, a, o) ->
+          Some
+            (Printf.sprintf "bin:%s:v%d.%d:%s"
+               (Isa.Instr.mnemonic (Binop (op, 0, 0, Reg 0)))
+               a (ver a) (operand_key o))
+        | Ifbin (op, _, a, b) ->
+          Some
+            (Printf.sprintf "fbin:%s:v%d.%d:v%d.%d"
+               (Isa.Instr.mnemonic (Fbinop (op, 0, 0, 0)))
+               a (ver a) b (ver b))
+        | Ineg (_, a) -> Some (Printf.sprintf "neg:v%d.%d" a (ver a))
+        | Inot (_, a) -> Some (Printf.sprintf "not:v%d.%d" a (ver a))
+        | Ii2f (_, a) -> Some (Printf.sprintf "i2f:v%d.%d" a (ver a))
+        | If2i (_, a) -> Some (Printf.sprintf "f2i:v%d.%d" a (ver a))
+        | Ilea_slot (_, s) -> Some (Printf.sprintf "slot:%d" s)
+        | Ilea_data (_, a) -> Some (Printf.sprintf "data:%Ld" a)
+        | Imov _ | Iload _ | Istore _ | Icall _ | Isyscall _ -> None
+      in
+      blk.body <-
+        List.map
+          (fun (ins : Ir.ins) : Ir.ins ->
+            let replacement =
+              match key_of ins with
+              | None -> None
+              | Some key -> (
+                match Hashtbl.find_opt table key with
+                | Some v -> (
+                  match Ir.defs ins with [ d ] -> Some (Ir.Imov (d, Ir.Ovreg v)) | _ -> None)
+                | None -> (
+                  match Ir.defs ins with
+                  | [ d ] ->
+                    Hashtbl.replace table key d;
+                    None
+                  | _ -> None))
+            in
+            let out = match replacement with Some r -> r | None -> ins in
+            List.iter bump (Ir.defs out);
+            out)
+          blk.body)
+    f.blocks
+
+(* --- dead-code elimination --------------------------------------------- *)
+
+let dce (f : Ir.fundef) =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let live = Hashtbl.create 64 in
+    let mark v = Hashtbl.replace live v () in
+    Array.iter
+      (fun (blk : Ir.block) -> List.iter mark (Ir.term_uses blk.term))
+      f.blocks;
+    (* fixpoint: uses of live-defining and effectful instructions are live *)
+    let stable = ref false in
+    while not !stable do
+      stable := true;
+      Array.iter
+        (fun (blk : Ir.block) ->
+          List.iter
+            (fun ins ->
+              let needed =
+                Ir.has_side_effect ins
+                || List.exists (Hashtbl.mem live) (Ir.defs ins)
+              in
+              if needed then
+                List.iter
+                  (fun v ->
+                    if not (Hashtbl.mem live v) then begin
+                      mark v;
+                      stable := false
+                    end)
+                  (Ir.uses ins))
+            blk.body)
+        f.blocks
+    done;
+    Array.iter
+      (fun (blk : Ir.block) ->
+        let before = List.length blk.body in
+        blk.body <-
+          List.filter
+            (fun ins ->
+              Ir.has_side_effect ins
+              || List.exists (Hashtbl.mem live) (Ir.defs ins))
+            blk.body;
+        if List.length blk.body <> before then changed := true)
+      f.blocks
+  done
+
+(* --- CFG simplification ------------------------------------------------ *)
+
+let simplify_cfg (f : Ir.fundef) =
+  let n = Array.length f.blocks in
+  if n > 0 then begin
+    (* 1. thread through empty forwarding blocks *)
+    let forward = Array.init n (fun i -> i) in
+    let rec chase seen i =
+      let blk = f.blocks.(i) in
+      if blk.body = [] && not (List.mem i seen) then begin
+        match blk.term with
+        | Ir.Tjmp j -> chase (i :: seen) j
+        | Ir.Tbr _ | Tfbr _ | Tswitch _ | Tret _ | Tunreachable -> i
+      end
+      else i
+    in
+    for i = 0 to n - 1 do
+      forward.(i) <- chase [] i
+    done;
+    Array.iter
+      (fun (blk : Ir.block) ->
+        blk.term <- Ir.map_successors (fun j -> forward.(j)) blk.term)
+      f.blocks;
+    (* collapse branches whose arms coincide *)
+    Array.iter
+      (fun (blk : Ir.block) ->
+        match blk.term with
+        | Ir.Tbr (_, _, _, a, b) when a = b -> blk.term <- Ir.Tjmp a
+        | Ir.Tfbr (_, _, _, a, b) when a = b -> blk.term <- Ir.Tjmp a
+        | Ir.Tjmp _ | Tbr _ | Tfbr _ | Tswitch _ | Tret _ | Tunreachable -> ())
+      f.blocks;
+    (* 2. merge straight-line pairs; only reachable blocks count as
+       predecessors (threaded-out forwarders still carry stale edges) *)
+    let entry_target = forward.(0) in
+    let reachable_now = Array.make n false in
+    let rec mark i =
+      if not reachable_now.(i) then begin
+        reachable_now.(i) <- true;
+        List.iter mark (Ir.successors f.blocks.(i).term)
+      end
+    in
+    mark entry_target;
+    let pred_count = Array.make n 0 in
+    Array.iteri
+      (fun i (blk : Ir.block) ->
+        if reachable_now.(i) then
+          List.iter
+            (fun s -> pred_count.(s) <- pred_count.(s) + 1)
+            (Ir.successors blk.term))
+      f.blocks;
+    pred_count.(entry_target) <- pred_count.(entry_target) + 1;
+    let merged = ref true in
+    while !merged do
+      merged := false;
+      Array.iteri
+        (fun i (blk : Ir.block) ->
+          match blk.term with
+          | Ir.Tjmp j
+            when reachable_now.(i) && j <> i && pred_count.(j) = 1
+                 && j <> entry_target ->
+            let target = f.blocks.(j) in
+            blk.body <- blk.body @ target.body;
+            blk.term <- target.term;
+            target.body <- [];
+            target.term <- Ir.Tunreachable;
+            reachable_now.(j) <- false;
+            pred_count.(j) <- 0;
+            merged := true
+          | Ir.Tjmp _ | Tbr _ | Tfbr _ | Tswitch _ | Tret _ | Tunreachable -> ())
+        f.blocks
+    done;
+    (* 3. drop unreachable blocks and renumber *)
+    let reachable = Array.make n false in
+    let rec visit i =
+      if not reachable.(i) then begin
+        reachable.(i) <- true;
+        List.iter visit (Ir.successors f.blocks.(i).term)
+      end
+    in
+    visit entry_target;
+    let remap = Array.make n (-1) in
+    let kept = ref [] in
+    let next = ref 0 in
+    (* keep the (possibly forwarded) entry block first *)
+    let order =
+      entry_target :: List.filter (fun i -> i <> entry_target) (List.init n Fun.id)
+    in
+    List.iter
+      (fun i ->
+        if reachable.(i) then begin
+          remap.(i) <- !next;
+          incr next;
+          kept := i :: !kept
+        end)
+      order;
+    let kept = Array.of_list (List.rev !kept) in
+    let blocks =
+      Array.map
+        (fun i ->
+          let blk = f.blocks.(i) in
+          {
+            Ir.body = blk.body;
+            term = Ir.map_successors (fun j -> remap.(j)) blk.term;
+          })
+        kept
+    in
+    f.blocks <- blocks
+  end
+
+(* --- inlining ----------------------------------------------------------- *)
+
+let is_leaf (g : Ir.fundef) =
+  Array.for_all
+    (fun (blk : Ir.block) ->
+      List.for_all
+        (fun (ins : Ir.ins) ->
+          match ins with
+          | Icall (_, Ir.Cinternal _, _) -> false
+          | Icall (_, Ir.Cimport _, _) | Imov _ | Ibin _ | Ifbin _ | Ineg _
+          | Inot _ | Ii2f _ | If2i _ | Iload _ | Istore _ | Ilea_slot _
+          | Ilea_data _ | Isyscall _ ->
+            true)
+        blk.body)
+    g.blocks
+
+(* Inline small leaf callees.  The callee's blocks are appended with vreg,
+   slot and block-id offsets; its returns become jumps to the continuation
+   block holding the instructions that followed the call. *)
+let inline_calls ~limit ~resolve (f : Ir.fundef) =
+  if limit > 0 then begin
+    let work = ref (Array.to_list (Array.mapi (fun i _ -> i) f.blocks)) in
+    while !work <> [] do
+      let bid = List.hd !work in
+      work := List.tl !work;
+      let blk = f.blocks.(bid) in
+      let rec find_site before after =
+        match after with
+        | [] -> None
+        | (Ir.Icall (dst, Ir.Cinternal gname, args) as site) :: rest -> (
+          match resolve gname with
+          | Some g
+            when g.Ir.name <> f.Ir.name
+                 && Ir.instruction_count g <= limit
+                 && is_leaf g ->
+            Some (List.rev before, dst, g, args, rest)
+          | Some _ | None -> find_site (site :: before) rest)
+        | ins :: rest -> find_site (ins :: before) rest
+      in
+      match find_site [] blk.body with
+      | None -> ()
+      | Some (prefix, dst, g, args, suffix) ->
+        let voff = f.nvregs in
+        f.nvregs <- f.nvregs + g.Ir.nvregs;
+        let soff = Array.length f.slot_sizes in
+        f.slot_sizes <- Array.append f.slot_sizes g.Ir.slot_sizes;
+        let boff = Array.length f.blocks in
+        let cont = boff + Array.length g.Ir.blocks in
+        let shift_ins (ins : Ir.ins) : Ir.ins =
+          let sv v = v + voff in
+          match ins with
+          | Imov (d, Ovreg s) -> Imov (sv d, Ovreg (sv s))
+          | Imov (d, (Oimm _ as o)) -> Imov (sv d, o)
+          | Ibin (op, d, a, Ovreg b) -> Ibin (op, sv d, sv a, Ovreg (sv b))
+          | Ibin (op, d, a, (Oimm _ as o)) -> Ibin (op, sv d, sv a, o)
+          | Ifbin (op, d, a, b) -> Ifbin (op, sv d, sv a, sv b)
+          | Ineg (d, a) -> Ineg (sv d, sv a)
+          | Inot (d, a) -> Inot (sv d, sv a)
+          | Ii2f (d, a) -> Ii2f (sv d, sv a)
+          | If2i (d, a) -> If2i (sv d, sv a)
+          | Iload (w, d, a, off) -> Iload (w, sv d, sv a, off)
+          | Istore (w, s, a, off) -> Istore (w, sv s, sv a, off)
+          | Ilea_slot (d, slot) -> Ilea_slot (sv d, slot + soff)
+          | Ilea_data (d, a) -> Ilea_data (sv d, a)
+          | Icall (dst, callee, args) ->
+            Icall (Option.map sv dst, callee, List.map sv args)
+          | Isyscall (dst, n, args) ->
+            Isyscall (Option.map sv dst, n, List.map sv args)
+        in
+        let callee_blocks =
+          Array.map
+            (fun (gb : Ir.block) ->
+              let sv v = v + voff in
+              let body = List.map shift_ins gb.body in
+              let term =
+                match gb.term with
+                | Ir.Tret _ -> Ir.Tjmp cont
+                | Ir.Tjmp b -> Ir.Tjmp (b + boff)
+                | Ir.Tbr (c, v, Ir.Ovreg o, b1, b2) ->
+                  Ir.Tbr (c, sv v, Ir.Ovreg (sv o), b1 + boff, b2 + boff)
+                | Ir.Tbr (c, v, (Ir.Oimm _ as o), b1, b2) ->
+                  Ir.Tbr (c, sv v, o, b1 + boff, b2 + boff)
+                | Ir.Tfbr (c, a, b, b1, b2) ->
+                  Ir.Tfbr (c, sv a, sv b, b1 + boff, b2 + boff)
+                | Ir.Tswitch (v, targets, default) ->
+                  Ir.Tswitch
+                    (sv v, Array.map (fun b -> b + boff) targets, default + boff)
+                | Ir.Tunreachable -> Ir.Tunreachable
+              in
+              (* append the return-value move when needed *)
+              let body =
+                match (gb.term, dst) with
+                | Ir.Tret (Some v), Some d ->
+                  body @ [ Ir.Imov (d, Ir.Ovreg (sv v)) ]
+                | _, _ -> body
+              in
+              { Ir.body; term })
+            g.Ir.blocks
+        in
+        let cont_block = { Ir.body = suffix; term = blk.term } in
+        (* argument moves into the callee's parameter vregs *)
+        let arg_moves =
+          List.map2
+            (fun pv a -> Ir.Imov (pv + voff, Ir.Ovreg a))
+            g.Ir.param_vregs args
+        in
+        blk.body <- prefix @ arg_moves;
+        blk.term <- Ir.Tjmp boff;
+        f.blocks <- Array.concat [ f.blocks; callee_blocks; [| cont_block |] ];
+        (* revisit this block (it may contain no further calls) and scan the
+           continuation for more call sites *)
+        work := cont :: !work
+    done
+  end
+
+(* --- loop-invariant code motion -------------------------------------------- *)
+
+(* Iterative dominators over IR blocks (Cooper-Harvey-Kennedy). *)
+let ir_dominators (f : Ir.fundef) =
+  let n = Array.length f.blocks in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun i (blk : Ir.block) ->
+      List.iter (fun s -> preds.(s) <- i :: preds.(s)) (Ir.successors blk.term))
+    f.blocks;
+  let order = Array.make n (-1) in
+  let rpo = ref [] in
+  let visited = Array.make n false in
+  let rec visit b =
+    if not visited.(b) then begin
+      visited.(b) <- true;
+      List.iter visit (Ir.successors f.blocks.(b).term);
+      rpo := b :: !rpo
+    end
+  in
+  if n > 0 then visit 0;
+  let rpo = Array.of_list !rpo in
+  Array.iteri (fun pos b -> order.(b) <- pos) rpo;
+  let idoms = Array.make n (-1) in
+  if n > 0 then begin
+    idoms.(0) <- 0;
+    let rec intersect a b =
+      if a = b then a
+      else if order.(a) > order.(b) then intersect idoms.(a) b
+      else intersect a idoms.(b)
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun b ->
+          if b <> 0 then begin
+            let ready =
+              List.filter (fun p -> order.(p) >= 0 && idoms.(p) >= 0) preds.(b)
+            in
+            match ready with
+            | [] -> ()
+            | first :: rest ->
+              let d = List.fold_left intersect first rest in
+              if idoms.(b) <> d then begin
+                idoms.(b) <- d;
+                changed := true
+              end
+          end)
+        rpo
+    done
+  end;
+  let rec dominates a b =
+    a = b || (b <> 0 && idoms.(b) >= 0 && dominates a idoms.(b))
+  in
+  (preds, dominates)
+
+(* Hoisting safety: pure, cannot trap (so no Div/Rem — speculating one in
+   the preheader could fault where the loop body would not have) and not
+   a load (memory may change inside the loop). *)
+let hoistable (ins : Ir.ins) =
+  match ins with
+  | Imov (_, Oimm _)
+  | Ibin ((Add | Sub | Mul | And | Or | Xor | Shl | Shr), _, _, _)
+  | Ifbin _ | Ineg _ | Inot _ | Ii2f _ | If2i _ | Ilea_slot _ | Ilea_data _ ->
+    true
+  | Imov (_, Ovreg _)
+  | Ibin ((Div | Rem), _, _, _)
+  | Iload _ | Istore _ | Icall _ | Isyscall _ ->
+    false
+
+let licm (f : Ir.fundef) =
+  let n = Array.length f.blocks in
+  if n > 1 then begin
+    let preds, dominates = ir_dominators f in
+    (* definition counts over the whole function: hoisting is only safe
+       for vregs with a single definition (no SSA here) *)
+    let def_count = Hashtbl.create 64 in
+    Array.iter
+      (fun (blk : Ir.block) ->
+        List.iter
+          (fun ins ->
+            List.iter
+              (fun d ->
+                Hashtbl.replace def_count d
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt def_count d)))
+              (Ir.defs ins))
+          blk.body)
+      f.blocks;
+    List.iter (fun p -> Hashtbl.replace def_count p 99) f.param_vregs;
+    (* loop headers via back edges *)
+    let headers = Hashtbl.create 4 in
+    Array.iteri
+      (fun b (blk : Ir.block) ->
+        List.iter
+          (fun s -> if s <> 0 && dominates s b then Hashtbl.replace headers s ())
+          (Ir.successors blk.term))
+      f.blocks;
+    let extra_blocks = ref [] in
+    let next_block = ref n in
+    Hashtbl.iter
+      (fun header () ->
+        (* loop body: header plus the pred-closure of its latches *)
+        let in_body = Hashtbl.create 8 in
+        Hashtbl.replace in_body header ();
+        let rec pull b =
+          if not (Hashtbl.mem in_body b) then begin
+            Hashtbl.replace in_body b ();
+            List.iter pull preds.(b)
+          end
+        in
+        Array.iteri
+          (fun b (blk : Ir.block) ->
+            if List.mem header (Ir.successors blk.term) && dominates header b
+            then pull b)
+          f.blocks;
+        (* vregs defined inside the loop *)
+        let defined_inside = Hashtbl.create 16 in
+        Hashtbl.iter
+          (fun b () ->
+            List.iter
+              (fun ins ->
+                List.iter
+                  (fun d -> Hashtbl.replace defined_inside d ())
+                  (Ir.defs ins))
+              f.blocks.(b).body)
+          in_body;
+        (* iterate: an instruction is invariant when every use is defined
+           outside the loop or by an already-hoisted instruction *)
+        let hoisted = ref [] in
+        let hoisted_defs = Hashtbl.create 8 in
+        let changed = ref true in
+        while !changed do
+          changed := false;
+          Hashtbl.iter
+            (fun b () ->
+              let blk = f.blocks.(b) in
+              let keep, moved =
+                List.partition
+                  (fun ins ->
+                    not
+                      (hoistable ins
+                      && (match Ir.defs ins with
+                         | [ d ] -> Hashtbl.find_opt def_count d = Some 1
+                         | _ -> false)
+                      && List.for_all
+                           (fun u ->
+                             (not (Hashtbl.mem defined_inside u))
+                             || Hashtbl.mem hoisted_defs u)
+                           (Ir.uses ins)))
+                  blk.body
+              in
+              if moved <> [] then begin
+                changed := true;
+                blk.body <- keep;
+                List.iter
+                  (fun ins ->
+                    List.iter
+                      (fun d -> Hashtbl.replace hoisted_defs d ())
+                      (Ir.defs ins))
+                  moved;
+                hoisted := !hoisted @ moved
+              end)
+            in_body
+        done;
+        if !hoisted <> [] then begin
+          (* preheader: every non-loop predecessor of the header is
+             redirected to it *)
+          let pre = !next_block in
+          incr next_block;
+          extra_blocks := { Ir.body = !hoisted; term = Ir.Tjmp header } :: !extra_blocks;
+          Array.iteri
+            (fun b (blk : Ir.block) ->
+              if not (Hashtbl.mem in_body b) then
+                blk.term <-
+                  Ir.map_successors (fun s -> if s = header then pre else s) blk.term)
+            f.blocks
+        end)
+      headers;
+    if !extra_blocks <> [] then
+      f.blocks <- Array.append f.blocks (Array.of_list (List.rev !extra_blocks))
+  end
+
+let run (opts : Optlevel.options) ~resolve (f : Ir.fundef) =
+  inline_calls ~limit:opts.inline_limit ~resolve f;
+  if opts.licm then begin
+    (* clean copies first so invariants are visible, then hoist *)
+    if opts.fold then fold_constants f;
+    licm f
+  end;
+  for _ = 1 to 2 do
+    if opts.fold then fold_constants f;
+    if opts.cse then cse f;
+    if opts.strength then strength_reduce f;
+    if opts.fold then fold_constants f;
+    if opts.dce then dce f;
+    if opts.simplify then simplify_cfg f
+  done

@@ -1,0 +1,19 @@
+(** IR optimisation passes.  All passes mutate the fundef in place.
+
+    [run] applies the passes selected by the options in a fixed order:
+    inlining (callee lookup via [resolve]), then two rounds of constant
+    folding / copy propagation, CSE, strength reduction, dead-code
+    elimination and CFG simplification. *)
+
+val fold_constants : Ir.fundef -> unit
+val strength_reduce : Ir.fundef -> unit
+val cse : Ir.fundef -> unit
+val dce : Ir.fundef -> unit
+val simplify_cfg : Ir.fundef -> unit
+val inline_calls : limit:int -> resolve:(string -> Ir.fundef option) -> Ir.fundef -> unit
+val licm : Ir.fundef -> unit
+(** Loop-invariant code motion: hoists pure, non-trapping, single-definition
+    computations whose operands are loop-invariant into a fresh preheader. *)
+
+val run :
+  Optlevel.options -> resolve:(string -> Ir.fundef option) -> Ir.fundef -> unit

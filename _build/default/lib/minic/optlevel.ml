@@ -1,0 +1,109 @@
+type level = O0 | O1 | O2 | O3 | Oz | Ofast
+
+type options = {
+  fold : bool;
+  dce : bool;
+  cse : bool;
+  simplify : bool;
+  strength : bool;
+  inline_limit : int;
+  unroll_limit : int;
+  fast_float : bool;
+  locals_in_slots : bool;
+  spill_all : bool;
+  use_jtable : bool;
+  peephole : bool;
+  licm : bool;
+}
+
+let all = [ O0; O1; O2; O3; Oz; Ofast ]
+
+let base =
+  {
+    fold = false;
+    dce = false;
+    cse = false;
+    simplify = false;
+    strength = false;
+    inline_limit = 0;
+    unroll_limit = 0;
+    fast_float = false;
+    locals_in_slots = false;
+    spill_all = false;
+    use_jtable = false;
+    peephole = false;
+    licm = false;
+  }
+
+let of_level = function
+  | O0 -> { base with locals_in_slots = true; spill_all = true }
+  | O1 -> { base with fold = true; dce = true; simplify = true; peephole = true }
+  | O2 ->
+    {
+      base with
+      fold = true;
+      dce = true;
+      cse = true;
+      simplify = true;
+      strength = true;
+      inline_limit = 16;
+      use_jtable = true;
+      peephole = true;
+    }
+  | O3 ->
+    {
+      base with
+      fold = true;
+      dce = true;
+      cse = true;
+      simplify = true;
+      strength = true;
+      inline_limit = 48;
+      unroll_limit = 8;
+      use_jtable = true;
+      peephole = true;
+      licm = true;
+    }
+  | Oz ->
+    {
+      base with
+      fold = true;
+      dce = true;
+      cse = true;
+      simplify = true;
+      strength = true;
+      use_jtable = true;
+      peephole = true;
+    }
+  | Ofast ->
+    {
+      base with
+      fold = true;
+      dce = true;
+      cse = true;
+      simplify = true;
+      strength = true;
+      inline_limit = 48;
+      unroll_limit = 8;
+      use_jtable = true;
+      fast_float = true;
+      peephole = true;
+      licm = true;
+    }
+
+let to_string = function
+  | O0 -> "O0"
+  | O1 -> "O1"
+  | O2 -> "O2"
+  | O3 -> "O3"
+  | Oz -> "Oz"
+  | Ofast -> "Ofast"
+
+let of_string = function
+  | "O0" -> Some O0
+  | "O1" -> Some O1
+  | "O2" -> Some O2
+  | "O3" -> Some O3
+  | "Oz" -> Some Oz
+  | "Ofast" -> Some Ofast
+  | _ -> None

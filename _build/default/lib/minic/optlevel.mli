@@ -1,0 +1,25 @@
+(** Optimisation levels mirroring the paper's Clang configurations
+    (O0, O1, O2, O3, Oz, Ofast) as concrete pass/knob selections. *)
+
+type level = O0 | O1 | O2 | O3 | Oz | Ofast
+
+type options = {
+  fold : bool;  (** block-local constant folding and copy propagation *)
+  dce : bool;  (** dead-code elimination *)
+  cse : bool;  (** block-local common-subexpression elimination *)
+  simplify : bool;  (** CFG simplification (jump threading, merging) *)
+  strength : bool;  (** strength reduction and algebraic identities *)
+  inline_limit : int;  (** max callee IR size to inline; 0 disables *)
+  unroll_limit : int;  (** max constant trip count to fully unroll; 0 off *)
+  fast_float : bool;  (** Ofast: divide-by-constant as multiply *)
+  locals_in_slots : bool;  (** O0: scalar locals live in stack slots *)
+  spill_all : bool;  (** O0: no register allocation *)
+  use_jtable : bool;  (** lower dense switches to jump tables *)
+  peephole : bool;  (** post-codegen peephole cleanup *)
+  licm : bool;  (** loop-invariant code motion (O3/Ofast) *)
+}
+
+val all : level list
+val of_level : level -> options
+val to_string : level -> string
+val of_string : string -> level option

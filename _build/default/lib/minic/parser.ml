@@ -1,0 +1,465 @@
+exception Parse_error of int * string
+
+type state = { lx : Lexer.t }
+
+let fail st fmt =
+  Format.kasprintf (fun s -> raise (Parse_error (Lexer.line st.lx, s))) fmt
+
+let expect_punct st p =
+  match Lexer.next st.lx with
+  | Lexer.Tpunct q when q = p -> ()
+  | tok -> fail st "expected %S, got %s" p (Lexer.token_to_string tok)
+
+let expect_kw st kw =
+  match Lexer.next st.lx with
+  | Lexer.Tkw k when k = kw -> ()
+  | tok -> fail st "expected keyword %S, got %s" kw (Lexer.token_to_string tok)
+
+let expect_ident st =
+  match Lexer.next st.lx with
+  | Lexer.Tident name -> name
+  | tok -> fail st "expected identifier, got %s" (Lexer.token_to_string tok)
+
+let accept_punct st p =
+  match Lexer.peek st.lx with
+  | Lexer.Tpunct q when q = p ->
+    ignore (Lexer.next st.lx);
+    true
+  | _ -> false
+
+let accept_kw st kw =
+  match Lexer.peek st.lx with
+  | Lexer.Tkw k when k = kw ->
+    ignore (Lexer.next st.lx);
+    true
+  | _ -> false
+
+(* Types: int | float | byte* | word* | void; bare byte/word only occur in
+   array declarations which are handled separately. *)
+let parse_ty st =
+  match Lexer.next st.lx with
+  | Lexer.Tkw "int" -> Ast.Tint
+  | Lexer.Tkw "float" -> Ast.Tfloat
+  | Lexer.Tkw "void" -> Ast.Tvoid
+  | Lexer.Tkw "byte" ->
+    expect_punct st "*";
+    Ast.Tptr Ast.Byte
+  | Lexer.Tkw "word" ->
+    expect_punct st "*";
+    Ast.Tptr Ast.Word
+  | tok -> fail st "expected type, got %s" (Lexer.token_to_string tok)
+
+(* --- expressions: precedence climbing ------------------------------- *)
+
+let binop_of_punct = function
+  | "*" -> Some (Ast.Bmul, 7)
+  | "/" -> Some (Ast.Bdiv, 7)
+  | "%" -> Some (Ast.Brem, 7)
+  | "+" -> Some (Ast.Badd, 6)
+  | "-" -> Some (Ast.Bsub, 6)
+  | "<<" -> Some (Ast.Bshl, 5)
+  | ">>" -> Some (Ast.Bshr, 5)
+  | "<" -> Some (Ast.Blt, 4)
+  | "<=" -> Some (Ast.Ble, 4)
+  | ">" -> Some (Ast.Bgt, 4)
+  | ">=" -> Some (Ast.Bge, 4)
+  | "==" -> Some (Ast.Beq, 3)
+  | "!=" -> Some (Ast.Bne, 3)
+  | "&" -> Some (Ast.Bandb, 2)
+  | "^" -> Some (Ast.Bxor, 2)
+  | "|" -> Some (Ast.Borb, 2)
+  | "&&" -> Some (Ast.Bland, 1)
+  | "||" -> Some (Ast.Blor, 0)
+  | _ -> None
+
+let rec parse_expr_prec st min_prec =
+  let lhs = parse_unary st in
+  climb st lhs min_prec
+
+and climb st lhs min_prec =
+  match Lexer.peek st.lx with
+  | Lexer.Tpunct p -> (
+    match binop_of_punct p with
+    | Some (op, prec) when prec >= min_prec ->
+      ignore (Lexer.next st.lx);
+      let rhs = parse_expr_prec st (prec + 1) in
+      climb st (Ast.Ebinop (op, lhs, rhs)) min_prec
+    | Some _ | None -> lhs)
+  | Lexer.Tident _ | Lexer.Tint_lit _ | Lexer.Tfloat_lit _ | Lexer.Tstring_lit _
+  | Lexer.Tkw _ | Lexer.Teof ->
+    lhs
+
+and parse_unary st =
+  match Lexer.peek st.lx with
+  | Lexer.Tpunct "-" ->
+    ignore (Lexer.next st.lx);
+    Ast.Eunop (Ast.Uneg, parse_unary st)
+  | Lexer.Tpunct "~" ->
+    ignore (Lexer.next st.lx);
+    Ast.Eunop (Ast.Ubnot, parse_unary st)
+  | Lexer.Tpunct "&" ->
+    ignore (Lexer.next st.lx);
+    let base = parse_postfix st in
+    (match base with
+    | Ast.Eindex (b, i) -> Ast.Eaddr (b, i)
+    | Ast.Eint _ | Ast.Efloat _ | Ast.Estr _ | Ast.Evar _ | Ast.Eaddr _
+    | Ast.Eunop _ | Ast.Ebinop _ | Ast.Ecall _ ->
+      fail st "& applies only to an indexed expression")
+  | Lexer.Tident _ | Lexer.Tint_lit _ | Lexer.Tfloat_lit _ | Lexer.Tstring_lit _
+  | Lexer.Tpunct _ | Lexer.Tkw _ | Lexer.Teof ->
+    parse_postfix st
+
+and parse_postfix st =
+  let base = parse_primary st in
+  parse_indexes st base
+
+and parse_indexes st base =
+  if accept_punct st "[" then begin
+    let idx = parse_expr_prec st 0 in
+    expect_punct st "]";
+    parse_indexes st (Ast.Eindex (base, idx))
+  end
+  else base
+
+and parse_primary st =
+  match Lexer.next st.lx with
+  | Lexer.Tint_lit v -> Ast.Eint v
+  | Lexer.Tfloat_lit f -> Ast.Efloat f
+  | Lexer.Tstring_lit s -> Ast.Estr s
+  | Lexer.Tident name ->
+    if accept_punct st "(" then begin
+      let args = parse_args st in
+      Ast.Ecall (name, args)
+    end
+    else Ast.Evar name
+  | Lexer.Tpunct "(" ->
+    let e = parse_expr_prec st 0 in
+    expect_punct st ")";
+    e
+  | tok -> fail st "expected expression, got %s" (Lexer.token_to_string tok)
+
+and parse_args st =
+  if accept_punct st ")" then []
+  else begin
+    let rec loop acc =
+      let e = parse_expr_prec st 0 in
+      if accept_punct st "," then loop (e :: acc)
+      else begin
+        expect_punct st ")";
+        List.rev (e :: acc)
+      end
+    in
+    loop []
+  end
+
+let parse_expression st = parse_expr_prec st 0
+
+(* --- statements ------------------------------------------------------ *)
+
+let rec parse_stmt st =
+  match Lexer.peek st.lx with
+  | Lexer.Tkw "var" -> parse_var st
+  | Lexer.Tkw "if" -> parse_if st
+  | Lexer.Tkw "while" -> parse_while st
+  | Lexer.Tkw "for" -> parse_for st
+  | Lexer.Tkw "switch" -> parse_switch st
+  | Lexer.Tkw "return" ->
+    ignore (Lexer.next st.lx);
+    if accept_punct st ";" then Ast.Sreturn None
+    else begin
+      let e = parse_expression st in
+      expect_punct st ";";
+      Ast.Sreturn (Some e)
+    end
+  | Lexer.Tkw "break" ->
+    ignore (Lexer.next st.lx);
+    expect_punct st ";";
+    Ast.Sbreak
+  | Lexer.Tkw "continue" ->
+    ignore (Lexer.next st.lx);
+    expect_punct st ";";
+    Ast.Scontinue
+  | Lexer.Tident _ | Lexer.Tint_lit _ | Lexer.Tfloat_lit _ | Lexer.Tstring_lit _
+  | Lexer.Tpunct _ | Lexer.Tkw _ | Lexer.Teof ->
+    parse_assign_or_expr st
+
+and parse_var st =
+  expect_kw st "var";
+  let name = expect_ident st in
+  expect_punct st ":";
+  match Lexer.peek st.lx with
+  | Lexer.Tkw ("byte" | "word") -> begin
+    let elem_kw = Lexer.next st.lx in
+    let elem =
+      match elem_kw with
+      | Lexer.Tkw "byte" -> Ast.Byte
+      | Lexer.Tkw "word" -> Ast.Word
+      | _ -> assert false
+    in
+    match Lexer.peek st.lx with
+    | Lexer.Tpunct "[" ->
+      ignore (Lexer.next st.lx);
+      let size =
+        match Lexer.next st.lx with
+        | Lexer.Tint_lit v -> Int64.to_int v
+        | tok -> fail st "expected array size, got %s" (Lexer.token_to_string tok)
+      in
+      expect_punct st "]";
+      expect_punct st ";";
+      Ast.Sarray (name, elem, size)
+    | Lexer.Tpunct "*" ->
+      ignore (Lexer.next st.lx);
+      let init = if accept_punct st "=" then Some (parse_expression st) else None in
+      expect_punct st ";";
+      Ast.Sdecl (name, Ast.Tptr elem, init)
+    | tok -> fail st "expected [ or * after %s" (Lexer.token_to_string tok)
+  end
+  | Lexer.Tkw _ | Lexer.Tident _ | Lexer.Tint_lit _ | Lexer.Tfloat_lit _
+  | Lexer.Tstring_lit _ | Lexer.Tpunct _ | Lexer.Teof ->
+    let ty = parse_ty st in
+    let init = if accept_punct st "=" then Some (parse_expression st) else None in
+    expect_punct st ";";
+    Ast.Sdecl (name, ty, init)
+
+and parse_if st =
+  expect_kw st "if";
+  expect_punct st "(";
+  let cond = parse_expression st in
+  expect_punct st ")";
+  let thens = parse_block st in
+  let elses =
+    if accept_kw st "else" then begin
+      match Lexer.peek st.lx with
+      | Lexer.Tkw "if" -> [ parse_if st ]
+      | Lexer.Tpunct "{" -> parse_block st
+      | tok -> fail st "expected block or if after else, got %s" (Lexer.token_to_string tok)
+    end
+    else []
+  in
+  Ast.Sif (cond, thens, elses)
+
+and parse_while st =
+  expect_kw st "while";
+  expect_punct st "(";
+  let cond = parse_expression st in
+  expect_punct st ")";
+  let body = parse_block st in
+  Ast.Swhile (cond, body)
+
+(* for (v = start; v < bound; v = v + step) { ... } *)
+and parse_for st =
+  expect_kw st "for";
+  expect_punct st "(";
+  let v = expect_ident st in
+  expect_punct st "=";
+  let start = parse_expression st in
+  expect_punct st ";";
+  let v2 = expect_ident st in
+  if v2 <> v then fail st "for-loop condition must test %s" v;
+  expect_punct st "<";
+  let bound = parse_expression st in
+  expect_punct st ";";
+  let v3 = expect_ident st in
+  if v3 <> v then fail st "for-loop step must update %s" v;
+  expect_punct st "=";
+  let v4 = expect_ident st in
+  if v4 <> v then fail st "for-loop step must be %s = %s + e" v v;
+  expect_punct st "+";
+  let step = parse_expression st in
+  expect_punct st ")";
+  let body = parse_block st in
+  Ast.Sfor (v, start, bound, step, body)
+
+and parse_switch st =
+  expect_kw st "switch";
+  expect_punct st "(";
+  let e = parse_expression st in
+  expect_punct st ")";
+  expect_punct st "{";
+  let cases = ref [] in
+  let default = ref [] in
+  let rec loop () =
+    if accept_kw st "case" then begin
+      let v =
+        match Lexer.next st.lx with
+        | Lexer.Tint_lit v -> v
+        | Lexer.Tpunct "-" -> (
+          match Lexer.next st.lx with
+          | Lexer.Tint_lit v -> Int64.neg v
+          | tok -> fail st "expected case value, got %s" (Lexer.token_to_string tok))
+        | tok -> fail st "expected case value, got %s" (Lexer.token_to_string tok)
+      in
+      expect_punct st ":";
+      let body = parse_block st in
+      cases := (v, body) :: !cases;
+      loop ()
+    end
+    else if accept_kw st "default" then begin
+      expect_punct st ":";
+      default := parse_block st;
+      loop ()
+    end
+    else expect_punct st "}"
+  in
+  loop ();
+  Ast.Sswitch (e, List.rev !cases, !default)
+
+and parse_assign_or_expr st =
+  let e = parse_expression st in
+  match Lexer.peek st.lx with
+  | Lexer.Tpunct "=" -> begin
+    ignore (Lexer.next st.lx);
+    let rhs = parse_expression st in
+    expect_punct st ";";
+    match e with
+    | Ast.Evar name -> Ast.Sassign (name, rhs)
+    | Ast.Eindex (base, idx) -> Ast.Sindexset (base, idx, rhs)
+    | Ast.Eint _ | Ast.Efloat _ | Ast.Estr _ | Ast.Eaddr _ | Ast.Eunop _
+    | Ast.Ebinop _ | Ast.Ecall _ ->
+      fail st "left-hand side must be a variable or index"
+  end
+  | Lexer.Tpunct ";" ->
+    ignore (Lexer.next st.lx);
+    Ast.Sexpr e
+  | tok -> fail st "expected = or ;, got %s" (Lexer.token_to_string tok)
+
+and parse_block st =
+  expect_punct st "{";
+  let rec loop acc =
+    if accept_punct st "}" then List.rev acc else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+(* --- top level ------------------------------------------------------- *)
+
+let parse_param st =
+  let pname = expect_ident st in
+  expect_punct st ":";
+  let pty = parse_ty st in
+  { Ast.pname; pty }
+
+let parse_func st =
+  expect_kw st "fn";
+  let fname = expect_ident st in
+  expect_punct st "(";
+  let params =
+    if accept_punct st ")" then []
+    else begin
+      let rec loop acc =
+        let p = parse_param st in
+        if accept_punct st "," then loop (p :: acc)
+        else begin
+          expect_punct st ")";
+          List.rev (p :: acc)
+        end
+      in
+      loop []
+    end
+  in
+  let ret = if accept_punct st ":" then parse_ty st else Ast.Tvoid in
+  let body = parse_block st in
+  { Ast.fname; params; ret; body }
+
+let parse_global st =
+  expect_kw st "global";
+  let gname = expect_ident st in
+  expect_punct st ":";
+  match Lexer.next st.lx with
+  | Lexer.Tkw "int" ->
+    expect_punct st "=";
+    let v =
+      match Lexer.next st.lx with
+      | Lexer.Tint_lit v -> v
+      | Lexer.Tpunct "-" -> (
+        match Lexer.next st.lx with
+        | Lexer.Tint_lit v -> Int64.neg v
+        | tok -> fail st "expected integer, got %s" (Lexer.token_to_string tok))
+      | tok -> fail st "expected integer, got %s" (Lexer.token_to_string tok)
+    in
+    expect_punct st ";";
+    { Ast.gname; gini = Ast.Gint v }
+  | Lexer.Tkw "float" ->
+    expect_punct st "=";
+    let v =
+      match Lexer.next st.lx with
+      | Lexer.Tfloat_lit f -> f
+      | Lexer.Tint_lit v -> Int64.to_float v
+      | tok -> fail st "expected float, got %s" (Lexer.token_to_string tok)
+    in
+    expect_punct st ";";
+    { Ast.gname; gini = Ast.Gfloat v }
+  | Lexer.Tkw "byte" ->
+    expect_punct st "[";
+    let size =
+      match Lexer.next st.lx with
+      | Lexer.Tint_lit v -> Int64.to_int v
+      | tok -> fail st "expected size, got %s" (Lexer.token_to_string tok)
+    in
+    expect_punct st "]";
+    let init =
+      if accept_punct st "=" then begin
+        match Lexer.next st.lx with
+        | Lexer.Tstring_lit s -> s
+        | tok -> fail st "expected string, got %s" (Lexer.token_to_string tok)
+      end
+      else ""
+    in
+    expect_punct st ";";
+    { Ast.gname; gini = Ast.Gbytes (size, init) }
+  | Lexer.Tkw "word" ->
+    expect_punct st "[";
+    let size =
+      match Lexer.next st.lx with
+      | Lexer.Tint_lit v -> Int64.to_int v
+      | tok -> fail st "expected size, got %s" (Lexer.token_to_string tok)
+    in
+    expect_punct st "]";
+    let init =
+      if accept_punct st "=" then begin
+        expect_punct st "{";
+        let rec loop acc =
+          match Lexer.next st.lx with
+          | Lexer.Tint_lit v ->
+            if accept_punct st "," then loop (v :: acc)
+            else begin
+              expect_punct st "}";
+              List.rev (v :: acc)
+            end
+          | tok -> fail st "expected integer, got %s" (Lexer.token_to_string tok)
+        in
+        loop []
+      end
+      else []
+    in
+    expect_punct st ";";
+    { Ast.gname; gini = Ast.Gwords (size, init) }
+  | tok -> fail st "expected global type, got %s" (Lexer.token_to_string tok)
+
+let parse src =
+  let st = { lx = Lexer.of_string src } in
+  expect_kw st "lib";
+  let pname = expect_ident st in
+  expect_punct st ";";
+  let globals = ref [] in
+  let funcs = ref [] in
+  let rec loop () =
+    match Lexer.peek st.lx with
+    | Lexer.Teof -> ()
+    | Lexer.Tkw "global" ->
+      globals := parse_global st :: !globals;
+      loop ()
+    | Lexer.Tkw "fn" ->
+      funcs := parse_func st :: !funcs;
+      loop ()
+    | tok -> fail st "expected global or fn, got %s" (Lexer.token_to_string tok)
+  in
+  loop ();
+  { Ast.pname; globals = List.rev !globals; funcs = List.rev !funcs }
+
+let parse_expr src =
+  let st = { lx = Lexer.of_string src } in
+  let e = parse_expression st in
+  (match Lexer.peek st.lx with
+  | Lexer.Teof -> ()
+  | tok -> fail st "trailing input: %s" (Lexer.token_to_string tok));
+  e

@@ -1,0 +1,11 @@
+(** Recursive-descent parser for MinC.
+
+    The grammar is exactly what {!Ast.pp_program} emits, so
+    [parse (Ast.program_to_string p)] reproduces [p]. *)
+
+exception Parse_error of int * string
+(** Line number and message. *)
+
+val parse : string -> Ast.program
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (used by tests). *)

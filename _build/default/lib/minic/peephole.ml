@@ -1,0 +1,39 @@
+let is_noop_ins (ins : string Isa.Instr.t) =
+  match ins with
+  | Mov (d, Reg s) -> d = s
+  | Binop ((Add | Sub | Or | Xor | Shl | Shr), d, a, Imm 0L) -> d = a
+  | Nop -> true
+  | Mov (_, Imm _) | Binop _ | Fbinop _ | Neg _ | Not _ | I2f _ | F2i _
+  | Load _ | Store _ | Lea _ | Cmp _ | Fcmp _ | Jmp _ | Jcc _ | Jtable _
+  | Call _ | Ret | Push _ | Pop _ | Syscall _ ->
+    false
+
+(* does the item list start with labels followed by [target]? *)
+let rec jump_lands_next target (items : Isa.Asm.item list) =
+  match items with
+  | Isa.Asm.Label l :: rest -> l = target || jump_lands_next target rest
+  | Isa.Asm.Ins _ :: _ | [] -> false
+
+let rec rewrite (items : Isa.Asm.item list) =
+  match items with
+  | [] -> []
+  | Isa.Asm.Ins ins :: rest when is_noop_ins ins -> rewrite rest
+  | Isa.Asm.Ins (Jmp target) :: rest when jump_lands_next target rest ->
+    rewrite rest
+  | Isa.Asm.Ins (Push a) :: Isa.Asm.Ins (Pop b) :: rest when a = b ->
+    rewrite rest
+  | Isa.Asm.Ins (Store (W8, src, base, off))
+    :: Isa.Asm.Ins (Load (W8, dst, base', off'))
+    :: rest
+    when base = base' && off = off' && src = dst ->
+    (* the stored value is still in [src]; keep the store, drop the
+       reload *)
+    Isa.Asm.Ins (Store (W8, src, base, off)) :: rewrite rest
+  | item :: rest -> item :: rewrite rest
+
+let run items =
+  let rec fixpoint items =
+    let next = rewrite items in
+    if List.length next = List.length items then next else fixpoint next
+  in
+  fixpoint items

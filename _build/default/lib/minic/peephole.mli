@@ -1,0 +1,7 @@
+(** Peephole optimisation over symbolic assembly (O1 and above):
+    self-moves, arithmetic no-ops, jumps to the immediately following
+    label, adjacent push/pop of the same register, and reloads of a value
+    just stored to the same stack slot. *)
+
+val run : Isa.Asm.item list -> Isa.Asm.item list
+(** Iterates to a fixpoint; semantics-preserving. *)

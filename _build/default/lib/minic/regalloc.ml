@@ -1,0 +1,168 @@
+type location = Preg of Isa.Reg.t | Pslot of int
+
+type assignment = {
+  locations : location array;
+  slot_sizes : int array;
+}
+
+let allocatable = [ 6; 7; 8; 9; 10; 11 ]
+
+type interval = {
+  vreg : int;
+  mutable lo : int;
+  mutable hi : int;
+}
+
+(* Linear positions: block i instructions occupy a contiguous range;
+   the terminator counts as one position. *)
+let linearise (f : Ir.fundef) =
+  let starts = Array.make (Array.length f.blocks) 0 in
+  let pos = ref 0 in
+  Array.iteri
+    (fun i (blk : Ir.block) ->
+      starts.(i) <- !pos;
+      pos := !pos + List.length blk.body + 1)
+    f.blocks;
+  (starts, !pos)
+
+module Iset = Set.Make (Int)
+
+let block_use_def (blk : Ir.block) =
+  let use = ref Iset.empty and def = ref Iset.empty in
+  List.iter
+    (fun ins ->
+      List.iter
+        (fun v -> if not (Iset.mem v !def) then use := Iset.add v !use)
+        (Ir.uses ins);
+      List.iter (fun v -> def := Iset.add v !def) (Ir.defs ins))
+    blk.body;
+  List.iter
+    (fun v -> if not (Iset.mem v !def) then use := Iset.add v !use)
+    (Ir.term_uses blk.term);
+  (!use, !def)
+
+let liveness (f : Ir.fundef) =
+  let n = Array.length f.blocks in
+  let use_def = Array.map block_use_def f.blocks in
+  let live_in = Array.make n Iset.empty in
+  let live_out = Array.make n Iset.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let out =
+        List.fold_left
+          (fun acc s -> Iset.union acc live_in.(s))
+          Iset.empty
+          (Ir.successors f.blocks.(i).term)
+      in
+      let use, def = use_def.(i) in
+      let inn = Iset.union use (Iset.diff out def) in
+      if not (Iset.equal out live_out.(i)) || not (Iset.equal inn live_in.(i))
+      then begin
+        live_out.(i) <- out;
+        live_in.(i) <- inn;
+        changed := true
+      end
+    done
+  done;
+  (live_in, live_out)
+
+let build_intervals (f : Ir.fundef) =
+  let starts, total = linearise f in
+  let live_in, live_out = liveness f in
+  let table : (int, interval) Hashtbl.t = Hashtbl.create 64 in
+  let touch v pos =
+    match Hashtbl.find_opt table v with
+    | Some iv ->
+      if pos < iv.lo then iv.lo <- pos;
+      if pos > iv.hi then iv.hi <- pos
+    | None -> Hashtbl.replace table v { vreg = v; lo = pos; hi = pos }
+  in
+  (* parameters are defined at entry *)
+  List.iter (fun v -> touch v 0) f.param_vregs;
+  let calls = ref [] in
+  Array.iteri
+    (fun i (blk : Ir.block) ->
+      let base = starts.(i) in
+      let block_end = base + List.length blk.body in
+      Iset.iter (fun v -> touch v base) live_in.(i);
+      Iset.iter (fun v -> touch v block_end) live_out.(i);
+      List.iteri
+        (fun k ins ->
+          let pos = base + k in
+          List.iter (fun v -> touch v pos) (Ir.uses ins);
+          List.iter (fun v -> touch v pos) (Ir.defs ins);
+          match ins with
+          | Ir.Icall _ | Ir.Isyscall _ -> calls := pos :: !calls
+          | Ir.Imov _ | Ibin _ | Ifbin _ | Ineg _ | Inot _ | Ii2f _ | If2i _
+          | Iload _ | Istore _ | Ilea_slot _ | Ilea_data _ ->
+            ())
+        blk.body;
+      List.iter (fun v -> touch v block_end) (Ir.term_uses blk.term))
+    f.blocks;
+  let intervals =
+    Hashtbl.fold (fun _ iv acc -> iv :: acc) table []
+    |> List.sort (fun a b -> compare (a.lo, a.vreg) (b.lo, b.vreg))
+  in
+  (intervals, List.rev !calls, total)
+
+let crosses_call calls iv =
+  List.exists (fun c -> iv.lo < c && iv.hi > c) calls
+
+let allocate ~spill_all (f : Ir.fundef) =
+  let locations = Array.make (max f.nvregs 1) (Pslot (-1)) in
+  let slot_sizes = ref (Array.to_list f.slot_sizes) in
+  let nslots = ref (Array.length f.slot_sizes) in
+  let new_spill () =
+    let id = !nslots in
+    incr nslots;
+    slot_sizes := !slot_sizes @ [ 8 ];
+    id
+  in
+  let intervals, calls, _total = build_intervals f in
+  if spill_all then
+    List.iter (fun iv -> locations.(iv.vreg) <- Pslot (new_spill ())) intervals
+  else begin
+    let active : (interval * Isa.Reg.t) list ref = ref [] in
+    let free = ref allocatable in
+    List.iter
+      (fun iv ->
+        (* expire finished intervals *)
+        let still, done_ =
+          List.partition (fun (a, _) -> a.hi >= iv.lo) !active
+        in
+        active := still;
+        List.iter (fun (_, r) -> free := r :: !free) done_;
+        if crosses_call calls iv then
+          locations.(iv.vreg) <- Pslot (new_spill ())
+        else begin
+          match !free with
+          | r :: rest ->
+            free := rest;
+            locations.(iv.vreg) <- Preg r;
+            active := (iv, r) :: !active
+          | [] ->
+            (* spill the active interval ending last *)
+            let victim, vr =
+              List.fold_left
+                (fun (bi, br) (a, r) -> if a.hi > bi.hi then (a, r) else (bi, br))
+                (iv, -1) !active
+            in
+            if vr >= 0 && victim.hi > iv.hi then begin
+              locations.(victim.vreg) <- Pslot (new_spill ());
+              active := (iv, vr) :: List.filter (fun (a, _) -> a != victim) !active;
+              locations.(iv.vreg) <- Preg vr
+            end
+            else locations.(iv.vreg) <- Pslot (new_spill ())
+        end)
+      intervals
+  end;
+  (* vregs with no occurrences (e.g. unused parameters) still need a home *)
+  Array.iteri
+    (fun v loc ->
+      match loc with
+      | Pslot -1 -> locations.(v) <- Pslot (new_spill ())
+      | Pslot _ | Preg _ -> ())
+    locations;
+  { locations; slot_sizes = Array.of_list !slot_sizes }

@@ -1,0 +1,18 @@
+(** Register allocation.
+
+    Linear scan over liveness-derived intervals.  Allocatable registers
+    are r6..r11 only — r0..r5 stay free for the calling convention, r12
+    and r13 are codegen scratch — and any interval live across a call is
+    assigned a stack slot (there are no callee-saved registers).  With
+    [spill_all] (O0) every vreg gets a slot. *)
+
+type location = Preg of Isa.Reg.t | Pslot of int
+
+type assignment = {
+  locations : location array;  (** indexed by vreg *)
+  slot_sizes : int array;  (** original slots extended with spill slots *)
+}
+
+val allocatable : Isa.Reg.t list
+
+val allocate : spill_all:bool -> Ir.fundef -> assignment

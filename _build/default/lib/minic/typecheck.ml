@@ -1,0 +1,256 @@
+exception Type_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+type env = {
+  prog : Ast.program;
+  fname : string;
+  ret : Ast.ty;
+  mutable vars : (string * Ast.ty) list;  (** params + locals, innermost first *)
+}
+
+let global_type (g : Ast.global) =
+  match g.gini with
+  | Ast.Gint _ -> Ast.Tint
+  | Ast.Gfloat _ -> Ast.Tfloat
+  | Ast.Gbytes _ -> Ast.Tptr Ast.Byte
+  | Ast.Gwords _ -> Ast.Tptr Ast.Word
+
+let find_global prog name =
+  List.find_opt (fun (g : Ast.global) -> g.gname = name) prog.Ast.globals
+
+let find_function prog name =
+  List.find_opt (fun (f : Ast.func) -> f.fname = name) prog.Ast.funcs
+
+let var_type env name =
+  match List.assoc_opt name env.vars with
+  | Some ty -> Some ty
+  | None -> (
+    match find_global env.prog name with
+    | Some g -> Some (global_type g)
+    | None -> None)
+
+let callee_signature env name : Builtins.signature =
+  match find_function env.prog name with
+  | Some f ->
+    { Builtins.args = List.map (fun p -> p.Ast.pty) f.params; ret = f.ret }
+  | None -> (
+    match Builtins.import_signature name with
+    | Some s -> s
+    | None -> (
+      match Builtins.syscall_signature name with
+      | Some (_, s) -> s
+      | None -> (
+        match Builtins.intrinsic_signature name with
+        | Some s -> s
+        | None -> fail "%s: call to unknown function %s" env.fname name)))
+
+let is_numeric = function
+  | Ast.Tint | Ast.Tfloat -> true
+  | Ast.Tptr _ | Ast.Tvoid -> false
+
+let rec expr_type env (e : Ast.expr) : Ast.ty =
+  match e with
+  | Eint _ -> Tint
+  | Efloat _ -> Tfloat
+  | Estr _ -> Tptr Byte
+  | Evar name -> (
+    match var_type env name with
+    | Some ty -> ty
+    | None -> fail "%s: unknown variable %s" env.fname name)
+  | Eindex (base, idx) -> begin
+    (match expr_type env idx with
+    | Tint -> ()
+    | ty -> fail "%s: index must be int, got %s" env.fname (Ast.ty_to_string ty));
+    match expr_type env base with
+    | Tptr Byte -> Tint  (* bytes load as zero-extended ints *)
+    | Tptr Word -> Tint
+    | ty -> fail "%s: cannot index %s" env.fname (Ast.ty_to_string ty)
+  end
+  | Eaddr (base, idx) -> begin
+    (match expr_type env idx with
+    | Tint -> ()
+    | ty -> fail "%s: index must be int, got %s" env.fname (Ast.ty_to_string ty));
+    match expr_type env base with
+    | Tptr elem -> Tptr elem
+    | ty -> fail "%s: cannot take address into %s" env.fname (Ast.ty_to_string ty)
+  end
+  | Eunop (_, e) -> begin
+    match expr_type env e with
+    | Tint -> Tint
+    | ty -> fail "%s: unary operator needs int, got %s" env.fname (Ast.ty_to_string ty)
+  end
+  | Ebinop (op, a, b) -> begin
+    let ta = expr_type env a in
+    let tb = expr_type env b in
+    match op with
+    | Badd | Bsub | Bmul | Bdiv -> begin
+      match (ta, tb) with
+      | Tint, Tint -> Tint
+      | Tfloat, Tfloat -> Tfloat
+      | _, _ ->
+        fail "%s: arithmetic needs matching numeric types (%s vs %s)" env.fname
+          (Ast.ty_to_string ta) (Ast.ty_to_string tb)
+    end
+    | Brem | Bandb | Borb | Bxor | Bshl | Bshr -> begin
+      match (ta, tb) with
+      | Tint, Tint -> Tint
+      | _, _ ->
+        fail "%s: bitwise/shift needs ints (%s vs %s)" env.fname
+          (Ast.ty_to_string ta) (Ast.ty_to_string tb)
+    end
+    | Beq | Bne | Blt | Ble | Bgt | Bge ->
+      if ta = tb && (is_numeric ta || (match ta with Tptr _ -> true | _ -> false))
+      then Tint
+      else
+        fail "%s: comparison needs matching types (%s vs %s)" env.fname
+          (Ast.ty_to_string ta) (Ast.ty_to_string tb)
+    | Bland | Blor -> begin
+      match (ta, tb) with
+      | Tint, Tint -> Tint
+      | _, _ -> fail "%s: logical operator needs ints" env.fname
+    end
+  end
+  | Ecall (name, args) ->
+    let sg = callee_signature env name in
+    if List.length args <> List.length sg.args then
+      fail "%s: %s expects %d arguments, got %d" env.fname name
+        (List.length sg.args) (List.length args);
+    List.iter2
+      (fun arg expected ->
+        let actual = expr_type env arg in
+        (* byte* plays the role of void*: any pointer converts to it *)
+        let compatible =
+          actual = expected
+          ||
+          match (expected, actual) with
+          | Ast.Tptr Ast.Byte, Ast.Tptr _ -> true
+          | (Ast.Tint | Ast.Tfloat | Ast.Tvoid | Ast.Tptr _), _ -> false
+        in
+        if not compatible then
+          fail "%s: argument of %s has type %s, expected %s" env.fname name
+            (Ast.ty_to_string actual) (Ast.ty_to_string expected))
+      args sg.args;
+    sg.ret
+
+let rec check_stmt env ~in_loop (s : Ast.stmt) =
+  match s with
+  | Sdecl (name, ty, init) ->
+    (match ty with
+    | Tvoid -> fail "%s: variable %s cannot be void" env.fname name
+    | Tint | Tfloat | Tptr _ -> ());
+    (match init with
+    | None -> ()
+    | Some e ->
+      let te = expr_type env e in
+      if te <> ty then
+        fail "%s: initialiser of %s has type %s, expected %s" env.fname name
+          (Ast.ty_to_string te) (Ast.ty_to_string ty));
+    env.vars <- (name, ty) :: env.vars
+  | Sarray (name, elem, size) ->
+    if size <= 0 then fail "%s: array %s must have positive size" env.fname name;
+    env.vars <- (name, Ast.Tptr elem) :: env.vars
+  | Sassign (name, e) -> begin
+    match var_type env name with
+    | None -> fail "%s: assignment to unknown variable %s" env.fname name
+    | Some ty ->
+      let te = expr_type env e in
+      if te <> ty then
+        fail "%s: assigning %s to %s of type %s" env.fname (Ast.ty_to_string te)
+          name (Ast.ty_to_string ty)
+  end
+  | Sindexset (base, idx, e) -> begin
+    (match expr_type env idx with
+    | Tint -> ()
+    | ty -> fail "%s: index must be int, got %s" env.fname (Ast.ty_to_string ty));
+    (match expr_type env base with
+    | Tptr _ -> ()
+    | ty -> fail "%s: cannot index %s" env.fname (Ast.ty_to_string ty));
+    match expr_type env e with
+    | Tint -> ()
+    | ty -> fail "%s: stored value must be int, got %s" env.fname (Ast.ty_to_string ty)
+  end
+  | Sif (cond, thens, elses) ->
+    check_cond env cond;
+    check_body env ~in_loop thens;
+    check_body env ~in_loop elses
+  | Swhile (cond, body) ->
+    check_cond env cond;
+    check_body env ~in_loop:true body
+  | Sfor (v, start, bound, step, body) ->
+    (match expr_type env start with
+    | Tint -> ()
+    | ty -> fail "%s: for start must be int, got %s" env.fname (Ast.ty_to_string ty));
+    (match expr_type env bound with
+    | Tint -> ()
+    | ty -> fail "%s: for bound must be int, got %s" env.fname (Ast.ty_to_string ty));
+    (match expr_type env step with
+    | Tint -> ()
+    | ty -> fail "%s: for step must be int, got %s" env.fname (Ast.ty_to_string ty));
+    let saved = env.vars in
+    env.vars <- (v, Ast.Tint) :: env.vars;
+    check_body env ~in_loop:true body;
+    env.vars <- saved
+  | Sswitch (e, cases, default) ->
+    (match expr_type env e with
+    | Tint -> ()
+    | ty -> fail "%s: switch needs int, got %s" env.fname (Ast.ty_to_string ty));
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun (v, body) ->
+        if Hashtbl.mem seen v then fail "%s: duplicate case %Ld" env.fname v;
+        Hashtbl.add seen v ();
+        check_body env ~in_loop body)
+      cases;
+    check_body env ~in_loop default
+  | Sreturn None ->
+    if env.ret <> Ast.Tvoid then
+      fail "%s: return without value in non-void function" env.fname
+  | Sreturn (Some e) ->
+    let te = expr_type env e in
+    if te <> env.ret then
+      fail "%s: returning %s, expected %s" env.fname (Ast.ty_to_string te)
+        (Ast.ty_to_string env.ret)
+  | Sbreak -> if not in_loop then fail "%s: break outside loop" env.fname
+  | Scontinue -> if not in_loop then fail "%s: continue outside loop" env.fname
+  | Sexpr e -> ignore (expr_type env e)
+
+and check_cond env cond =
+  match expr_type env cond with
+  | Tint -> ()
+  | ty -> fail "%s: condition must be int, got %s" env.fname (Ast.ty_to_string ty)
+
+and check_body env ~in_loop body =
+  (* Declarations are scoped to the enclosing block. *)
+  let saved = env.vars in
+  List.iter (check_stmt env ~in_loop) body;
+  env.vars <- saved
+
+let env_of_function prog (f : Ast.func) =
+  {
+    prog;
+    fname = f.fname;
+    ret = f.ret;
+    vars = List.map (fun (p : Ast.param) -> (p.pname, p.pty)) f.params;
+  }
+
+let check_function prog (f : Ast.func) =
+  if List.length f.params > Isa.Reg.max_args then
+    fail "%s: too many parameters (max %d)" f.fname Isa.Reg.max_args;
+  let env = env_of_function prog f in
+  check_body env ~in_loop:false f.body
+
+let check_program prog =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (g : Ast.global) ->
+      if Hashtbl.mem seen g.gname then fail "duplicate global %s" g.gname;
+      Hashtbl.add seen g.gname ())
+    prog.Ast.globals;
+  let seen_f = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ast.func) ->
+      if Hashtbl.mem seen_f f.fname then fail "duplicate function %s" f.fname;
+      Hashtbl.add seen_f f.fname ())
+    prog.Ast.funcs;
+  List.iter (check_function prog) prog.Ast.funcs

@@ -1,0 +1,18 @@
+(** Static semantics of MinC.
+
+    Checks name resolution, arity and types of every function in a
+    program against locals, globals, other program functions, imports,
+    syscall intrinsics and compiler intrinsics.  Lowering assumes a
+    checked program and reuses {!expr_type}. *)
+
+exception Type_error of string
+
+type env
+(** Typing context for one function body. *)
+
+val check_program : Ast.program -> unit
+(** Raises {!Type_error} with a descriptive message. *)
+
+val env_of_function : Ast.program -> Ast.func -> env
+val expr_type : env -> Ast.expr -> Ast.ty
+(** Type of a well-formed expression; raises {!Type_error} otherwise. *)

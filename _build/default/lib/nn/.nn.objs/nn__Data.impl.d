@@ -1,0 +1,1 @@
+lib/nn/data.ml: Array Fun List Matrix Util

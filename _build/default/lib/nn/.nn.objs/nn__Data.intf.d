@@ -1,0 +1,1 @@
+lib/nn/data.mli: Matrix Util

@@ -1,0 +1,1 @@
+lib/nn/model.ml: Activation Array Layer List Loss Matrix Optimizer

@@ -1,0 +1,1 @@
+lib/nn/serialize.ml: Activation Array Buffer Bytes Char Data Format Int64 List Matrix Model

@@ -1,0 +1,1 @@
+lib/nn/serialize.mli: Data Model

@@ -1,0 +1,1 @@
+lib/nn/train.ml: Data List Loss Matrix Metrics Model Util

@@ -1,0 +1,1 @@
+lib/nn/train.mli: Data Model

@@ -1,0 +1,27 @@
+type t = Relu | Sigmoid | Tanh | Identity
+
+let sigmoid x = 1.0 /. (1.0 +. exp (-.x))
+
+let apply t x =
+  match t with
+  | Relu -> if x > 0.0 then x else 0.0
+  | Sigmoid -> sigmoid x
+  | Tanh -> tanh x
+  | Identity -> x
+
+let derivative t x =
+  match t with
+  | Relu -> if x > 0.0 then 1.0 else 0.0
+  | Sigmoid ->
+    let s = sigmoid x in
+    s *. (1.0 -. s)
+  | Tanh ->
+    let th = tanh x in
+    1.0 -. (th *. th)
+  | Identity -> 1.0
+
+let to_string = function
+  | Relu -> "relu"
+  | Sigmoid -> "sigmoid"
+  | Tanh -> "tanh"
+  | Identity -> "identity"

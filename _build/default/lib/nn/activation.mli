@@ -1,0 +1,10 @@
+(** Activation functions and their derivatives (as functions of the
+    pre-activation input). *)
+
+type t = Relu | Sigmoid | Tanh | Identity
+
+val apply : t -> float -> float
+val derivative : t -> float -> float
+(** Derivative at the pre-activation value. *)
+
+val to_string : t -> string

@@ -1,0 +1,72 @@
+type t = { features : Util.Vec.t array; labels : float array }
+
+let make pairs =
+  {
+    features = Array.of_list (List.map fst pairs);
+    labels = Array.of_list (List.map snd pairs);
+  }
+
+let size t = Array.length t.labels
+
+let shuffle rng t =
+  let idx = Array.init (size t) Fun.id in
+  Util.Prng.shuffle rng idx;
+  {
+    features = Array.map (fun i -> t.features.(i)) idx;
+    labels = Array.map (fun i -> t.labels.(i)) idx;
+  }
+
+let slice t lo hi =
+  {
+    features = Array.sub t.features lo (hi - lo);
+    labels = Array.sub t.labels lo (hi - lo);
+  }
+
+let split3 t ~train ~validation =
+  let n = size t in
+  let ntrain = int_of_float (float_of_int n *. train) in
+  let nval = int_of_float (float_of_int n *. validation) in
+  (slice t 0 ntrain, slice t ntrain (ntrain + nval), slice t (ntrain + nval) n)
+
+let batches t batch_size =
+  let n = size t in
+  let rec loop start acc =
+    if start >= n then List.rev acc
+    else begin
+      let stop = min (start + batch_size) n in
+      let feats = Matrix.of_rows (Array.sub t.features start (stop - start)) in
+      let labels = Array.sub t.labels start (stop - start) in
+      loop stop ((feats, labels) :: acc)
+    end
+  in
+  loop 0 []
+
+type normalizer = { means : Util.Vec.t; stds : Util.Vec.t }
+
+let fit_normalizer t =
+  let n = size t in
+  if n = 0 then invalid_arg "Data.fit_normalizer: empty dataset";
+  let dim = Array.length t.features.(0) in
+  let means = Array.make dim 0.0 in
+  Array.iter (fun v -> Array.iteri (fun j x -> means.(j) <- means.(j) +. x) v) t.features;
+  Array.iteri (fun j s -> means.(j) <- s /. float_of_int n) means;
+  let vars = Array.make dim 0.0 in
+  Array.iter
+    (fun v ->
+      Array.iteri
+        (fun j x -> vars.(j) <- vars.(j) +. ((x -. means.(j)) *. (x -. means.(j))))
+        v)
+    t.features;
+  let stds =
+    Array.map (fun v -> max (sqrt (v /. float_of_int n)) 1e-9) vars
+  in
+  { means; stds }
+
+let normalize_vec nz v =
+  Array.mapi (fun j x -> (x -. nz.means.(j)) /. nz.stds.(j)) v
+
+let normalize nz t = { t with features = Array.map (normalize_vec nz) t.features }
+
+let normalizer_stats nz = (nz.means, nz.stds)
+
+let normalizer_of_stats ~means ~stds = { means; stds }

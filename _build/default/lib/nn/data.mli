@@ -1,0 +1,28 @@
+(** Labelled datasets of feature vectors: shuffling, splitting, batching
+    and z-score normalisation (fit on the training split, apply
+    everywhere, exactly as the paper's pipeline requires to avoid test
+    leakage). *)
+
+type t = { features : Util.Vec.t array; labels : float array }
+
+val make : (Util.Vec.t * float) list -> t
+val size : t -> int
+val shuffle : Util.Prng.t -> t -> t
+
+val split3 : t -> train:float -> validation:float -> t * t * t
+(** Fractions of the whole; the remainder is the test split (the paper
+    uses 60/20/20). *)
+
+val batches : t -> int -> (Matrix.t * Util.Vec.t) list
+(** Mini-batches of (features, labels); the last batch may be smaller. *)
+
+type normalizer
+
+val fit_normalizer : t -> normalizer
+val normalize : normalizer -> t -> t
+val normalize_vec : normalizer -> Util.Vec.t -> Util.Vec.t
+val normalizer_stats : normalizer -> Util.Vec.t * Util.Vec.t
+(** (means, standard deviations). *)
+
+val normalizer_of_stats : means:Util.Vec.t -> stds:Util.Vec.t -> normalizer
+(** Rebuild a normalizer from persisted statistics. *)

@@ -1,0 +1,41 @@
+type t = {
+  weights : Matrix.t;
+  bias : Util.Vec.t;
+  activation : Activation.t;
+}
+
+type cache = { input : Matrix.t; pre : Matrix.t }
+
+let create rng ~inputs ~outputs activation =
+  let scale = sqrt (2.0 /. float_of_int inputs) in
+  {
+    weights = Matrix.init inputs outputs (fun _ _ -> Util.Prng.gaussian rng *. scale);
+    bias = Util.Vec.zeros outputs;
+    activation;
+  }
+
+let forward t input =
+  let pre = Matrix.add_row_vector (Matrix.matmul input t.weights) t.bias in
+  let out = Matrix.map (Activation.apply t.activation) pre in
+  (out, { input; pre })
+
+type gradients = { gw : Matrix.t; gb : Util.Vec.t; ginput : Matrix.t }
+
+let backward t cache dout =
+  (* dpre = dout ⊙ act'(pre) *)
+  let dpre =
+    Matrix.map2
+      (fun d p -> d *. Activation.derivative t.activation p)
+      dout cache.pre
+  in
+  let gw = Matrix.matmul_transpose_a cache.input dpre in
+  let gb = Matrix.col_sums dpre in
+  let ginput = Matrix.matmul_transpose_b dpre t.weights in
+  { gw; gb; ginput }
+
+let apply_update t dw db =
+  {
+    t with
+    weights = Matrix.map2 ( +. ) t.weights dw;
+    bias = Util.Vec.add t.bias db;
+  }

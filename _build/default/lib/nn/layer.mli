@@ -1,0 +1,26 @@
+(** One dense layer (weights, bias, activation) with forward and backward
+    passes over mini-batches. *)
+
+type t = {
+  weights : Matrix.t;  (** (in × out) *)
+  bias : Util.Vec.t;  (** (out) *)
+  activation : Activation.t;
+}
+
+type cache
+(** Forward-pass intermediates needed by backward. *)
+
+val create : Util.Prng.t -> inputs:int -> outputs:int -> Activation.t -> t
+(** He-initialised weights, zero bias. *)
+
+val forward : t -> Matrix.t -> Matrix.t * cache
+(** Batch (n × in) to batch (n × out). *)
+
+type gradients = { gw : Matrix.t; gb : Util.Vec.t; ginput : Matrix.t }
+
+val backward : t -> cache -> Matrix.t -> gradients
+(** [backward t cache dout] with [dout] the loss gradient at the layer's
+    output. *)
+
+val apply_update : t -> Matrix.t -> Util.Vec.t -> t
+(** Add weight/bias deltas (as produced by an optimiser step). *)

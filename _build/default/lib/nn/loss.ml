@@ -1,0 +1,22 @@
+let eps = 1e-7
+
+let clamp p = max eps (min (1.0 -. eps) p)
+
+let bce ~predictions ~labels =
+  let n = Array.length predictions in
+  if n = 0 || n <> Array.length labels then invalid_arg "Loss.bce: mismatch";
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    let p = clamp predictions.(i) in
+    let y = labels.(i) in
+    total := !total -. ((y *. log p) +. ((1.0 -. y) *. log (1.0 -. p)))
+  done;
+  !total /. float_of_int n
+
+let bce_gradient ~predictions ~labels =
+  let n = Array.length predictions in
+  if n = 0 || n <> Array.length labels then invalid_arg "Loss.bce_gradient: mismatch";
+  Array.init n (fun i ->
+      let p = clamp predictions.(i) in
+      let y = labels.(i) in
+      ((p -. y) /. (p *. (1.0 -. p))) /. float_of_int n)

@@ -1,0 +1,8 @@
+(** Binary cross-entropy over sigmoid outputs. *)
+
+val bce : predictions:Util.Vec.t -> labels:Util.Vec.t -> float
+(** Mean BCE; predictions are post-sigmoid probabilities, clamped away
+    from 0/1 for stability. *)
+
+val bce_gradient : predictions:Util.Vec.t -> labels:Util.Vec.t -> Util.Vec.t
+(** d(mean BCE)/d(prediction), same clamping. *)

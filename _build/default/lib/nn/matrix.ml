@@ -1,0 +1,107 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols = { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let init rows cols f =
+  let data = Array.make (rows * cols) 0.0 in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      data.((i * cols) + j) <- f i j
+    done
+  done;
+  { rows; cols; data }
+
+let of_rows rows_arr =
+  let rows = Array.length rows_arr in
+  if rows = 0 then create 0 0
+  else begin
+    let cols = Array.length rows_arr.(0) in
+    init rows cols (fun i j -> rows_arr.(i).(j))
+  end
+
+let get m i j = m.data.((i * m.cols) + j)
+let set m i j v = m.data.((i * m.cols) + j) <- v
+
+let row m i = Array.sub m.data (i * m.cols) m.cols
+
+let copy m = { m with data = Array.copy m.data }
+
+let matmul a b =
+  if a.cols <> b.rows then invalid_arg "Matrix.matmul: dimension mismatch";
+  let out = create a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.((i * a.cols) + k) in
+      if aik <> 0.0 then begin
+        let arow = i * b.cols in
+        let brow = k * b.cols in
+        for j = 0 to b.cols - 1 do
+          out.data.(arow + j) <- out.data.(arow + j) +. (aik *. b.data.(brow + j))
+        done
+      end
+    done
+  done;
+  out
+
+let matmul_transpose_a a b =
+  (* (aᵀ b) : a is (n×r), result (r × b.cols); requires a.rows = b.rows *)
+  if a.rows <> b.rows then invalid_arg "Matrix.matmul_transpose_a: mismatch";
+  let out = create a.cols b.cols in
+  for k = 0 to a.rows - 1 do
+    for i = 0 to a.cols - 1 do
+      let aki = a.data.((k * a.cols) + i) in
+      if aki <> 0.0 then begin
+        let orow = i * b.cols in
+        let brow = k * b.cols in
+        for j = 0 to b.cols - 1 do
+          out.data.(orow + j) <- out.data.(orow + j) +. (aki *. b.data.(brow + j))
+        done
+      end
+    done
+  done;
+  out
+
+let matmul_transpose_b a b =
+  (* (a bᵀ) : requires a.cols = b.cols; result (a.rows × b.rows) *)
+  if a.cols <> b.cols then invalid_arg "Matrix.matmul_transpose_b: mismatch";
+  let out = create a.rows b.rows in
+  for i = 0 to a.rows - 1 do
+    for j = 0 to b.rows - 1 do
+      let acc = ref 0.0 in
+      let arow = i * a.cols and brow = j * b.cols in
+      for k = 0 to a.cols - 1 do
+        acc := !acc +. (a.data.(arow + k) *. b.data.(brow + k))
+      done;
+      out.data.((i * b.rows) + j) <- !acc
+    done
+  done;
+  out
+
+let add_row_vector m v =
+  if Array.length v <> m.cols then invalid_arg "Matrix.add_row_vector: mismatch";
+  let out = copy m in
+  for i = 0 to m.rows - 1 do
+    for j = 0 to m.cols - 1 do
+      out.data.((i * m.cols) + j) <- out.data.((i * m.cols) + j) +. v.(j)
+    done
+  done;
+  out
+
+let map f m = { m with data = Array.map f m.data }
+
+let map2 f a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Matrix.map2: mismatch";
+  { a with data = Array.map2 f a.data b.data }
+
+let col_sums m =
+  let out = Array.make m.cols 0.0 in
+  for i = 0 to m.rows - 1 do
+    for j = 0 to m.cols - 1 do
+      out.(j) <- out.(j) +. m.data.((i * m.cols) + j)
+    done
+  done;
+  out
+
+let scale k m = map (fun x -> k *. x) m
+
+let frobenius m = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 m.data)

@@ -1,0 +1,30 @@
+(** Dense row-major float matrices — the minimal linear algebra the
+    network needs (the TensorFlow substitute's kernel layer). *)
+
+type t = { rows : int; cols : int; data : float array }
+
+val create : int -> int -> t
+val init : int -> int -> (int -> int -> float) -> t
+val of_rows : Util.Vec.t array -> t
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val row : t -> int -> Util.Vec.t
+val copy : t -> t
+
+val matmul : t -> t -> t
+(** [matmul a b] with [a.cols = b.rows]; raises otherwise. *)
+
+val matmul_transpose_a : t -> t -> t
+(** aᵀ·b without materialising the transpose. *)
+
+val matmul_transpose_b : t -> t -> t
+(** a·bᵀ without materialising the transpose. *)
+
+val add_row_vector : t -> Util.Vec.t -> t
+(** Broadcast-add a bias row to every row. *)
+
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+val col_sums : t -> Util.Vec.t
+val scale : float -> t -> t
+val frobenius : t -> float

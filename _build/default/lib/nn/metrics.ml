@@ -1,0 +1,63 @@
+type confusion = { tp : int; tn : int; fp : int; fn : int }
+
+let confusion ?(threshold = 0.5) ~predictions ~labels () =
+  let tp = ref 0 and tn = ref 0 and fp = ref 0 and fn = ref 0 in
+  Array.iteri
+    (fun i p ->
+      let predicted = p >= threshold in
+      let actual = labels.(i) >= 0.5 in
+      match (predicted, actual) with
+      | true, true -> incr tp
+      | false, false -> incr tn
+      | true, false -> incr fp
+      | false, true -> incr fn)
+    predictions;
+  { tp = !tp; tn = !tn; fp = !fp; fn = !fn }
+
+let accuracy ?threshold ~predictions ~labels () =
+  let c = confusion ?threshold ~predictions ~labels () in
+  let total = c.tp + c.tn + c.fp + c.fn in
+  if total = 0 then 0.0 else float_of_int (c.tp + c.tn) /. float_of_int total
+
+let false_positive_rate c =
+  let denom = c.fp + c.tn in
+  if denom = 0 then 0.0 else float_of_int c.fp /. float_of_int denom
+
+(* Exact AUC via the rank-sum (Mann-Whitney U) statistic with average
+   ranks for ties. *)
+let auc ~predictions ~labels =
+  let n = Array.length predictions in
+  if n = 0 || n <> Array.length labels then invalid_arg "Metrics.auc: mismatch";
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> compare predictions.(a) predictions.(b)) order;
+  let ranks = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while
+      !j + 1 < n && predictions.(order.(!j + 1)) = predictions.(order.(!i))
+    do
+      incr j
+    done;
+    let avg_rank = float_of_int (!i + !j + 2) /. 2.0 in
+    for k = !i to !j do
+      ranks.(order.(k)) <- avg_rank
+    done;
+    i := !j + 1
+  done;
+  let pos = ref 0 and rank_sum = ref 0.0 in
+  Array.iteri
+    (fun k y ->
+      if y >= 0.5 then begin
+        incr pos;
+        rank_sum := !rank_sum +. ranks.(k)
+      end)
+    labels;
+  let npos = !pos and nneg = n - !pos in
+  if npos = 0 || nneg = 0 then 0.5
+  else begin
+    let u =
+      !rank_sum -. (float_of_int npos *. float_of_int (npos + 1) /. 2.0)
+    in
+    u /. (float_of_int npos *. float_of_int nneg)
+  end

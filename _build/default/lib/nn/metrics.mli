@@ -1,0 +1,13 @@
+(** Classifier quality metrics: accuracy at a threshold, ROC AUC (exact,
+    rank-based) and the confusion counts behind Tables VI/VII. *)
+
+type confusion = { tp : int; tn : int; fp : int; fn : int }
+
+val confusion :
+  ?threshold:float -> predictions:Util.Vec.t -> labels:Util.Vec.t -> unit -> confusion
+val accuracy :
+  ?threshold:float -> predictions:Util.Vec.t -> labels:Util.Vec.t -> unit -> float
+val false_positive_rate : confusion -> float
+val auc : predictions:Util.Vec.t -> labels:Util.Vec.t -> float
+(** Mann-Whitney formulation with tie correction; 0.5 when a class is
+    absent. *)

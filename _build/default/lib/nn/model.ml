@@ -1,0 +1,94 @@
+type slot = {
+  layer : Layer.t;
+  opt_w : Optimizer.state;
+  opt_b : Optimizer.state;
+}
+
+type t = { slots : slot list; input : int }
+
+let paper_architecture ~input =
+  [
+    (input, Activation.Relu);
+    (64, Activation.Relu);
+    (32, Activation.Relu);
+    (16, Activation.Relu);
+    (8, Activation.Relu);
+    (1, Activation.Sigmoid);
+  ]
+
+let create rng ~input ~layers =
+  let _, slots =
+    List.fold_left
+      (fun (fan_in, acc) (size, activation) ->
+        let layer = Layer.create rng ~inputs:fan_in ~outputs:size activation in
+        let opt_w = Optimizer.create Optimizer.default_adam ~rows:fan_in ~cols:size in
+        let opt_b = Optimizer.create Optimizer.default_adam ~rows:1 ~cols:size in
+        (size, { layer; opt_w; opt_b } :: acc))
+      (input, []) layers
+  in
+  { slots = List.rev slots; input }
+
+let layer_sizes t =
+  List.map (fun s -> s.layer.Layer.weights.Matrix.cols) t.slots
+
+let forward_all t batch =
+  let out, caches =
+    List.fold_left
+      (fun (x, caches) slot ->
+        let y, cache = Layer.forward slot.layer x in
+        (y, cache :: caches))
+      (batch, []) t.slots
+  in
+  (out, caches)
+
+let predict t batch =
+  let out, _ = forward_all t batch in
+  Array.init out.Matrix.rows (fun i -> Matrix.get out i 0)
+
+let predict_one t v =
+  (predict t (Matrix.of_rows [| v |])).(0)
+
+let train_batch t batch labels =
+  let out, caches = forward_all t batch in
+  let predictions = Array.init out.Matrix.rows (fun i -> Matrix.get out i 0) in
+  let loss = Loss.bce ~predictions ~labels in
+  let dpred = Loss.bce_gradient ~predictions ~labels in
+  let dout = Matrix.init out.Matrix.rows 1 (fun i _ -> dpred.(i)) in
+  (* backward through the reversed layer list (caches are already
+     innermost-last) *)
+  let rev_slots = List.rev t.slots in
+  let _, updated_rev =
+    List.fold_left2
+      (fun (dout, acc) slot cache ->
+        let grads = Layer.backward slot.layer cache dout in
+        let dw = Optimizer.step slot.opt_w grads.Layer.gw in
+        let db = Optimizer.step_vec slot.opt_b grads.Layer.gb in
+        let layer = Layer.apply_update slot.layer dw db in
+        (grads.Layer.ginput, { slot with layer } :: acc))
+      (dout, []) rev_slots caches
+  in
+  ({ t with slots = updated_rev }, loss)
+
+let export t =
+  ( t.input,
+    List.map
+      (fun s -> (s.layer.Layer.weights, s.layer.Layer.bias, s.layer.Layer.activation))
+      t.slots )
+
+let import ~input layers =
+  let slots =
+    List.map
+      (fun (weights, bias, activation) ->
+        let layer = { Layer.weights; bias; activation } in
+        let opt_w =
+          Optimizer.create Optimizer.default_adam ~rows:weights.Matrix.rows
+            ~cols:weights.Matrix.cols
+        in
+        let opt_b =
+          Optimizer.create Optimizer.default_adam ~rows:1
+            ~cols:(Array.length bias)
+        in
+        { layer; opt_w; opt_b })
+      layers
+  in
+  { slots; input }

@@ -1,0 +1,30 @@
+(** The sequential model: the paper's 6-layer network over 96-dimensional
+    inputs (a pair of 48-feature static vectors), sigmoid output giving
+    the probability that the two functions come from the same source. *)
+
+type t
+
+val paper_architecture : input:int -> (int * Activation.t) list
+(** The 6-layer stack used throughout: 96→64→32→16→8→1 with ReLU hidden
+    layers and a sigmoid head. *)
+
+val create :
+  Util.Prng.t -> input:int -> layers:(int * Activation.t) list -> t
+
+val layer_sizes : t -> int list
+
+val predict : t -> Matrix.t -> Util.Vec.t
+(** Batch of inputs to per-row probabilities. *)
+
+val predict_one : t -> Util.Vec.t -> float
+
+val train_batch : t -> Matrix.t -> Util.Vec.t -> t * float
+(** One optimisation step on a mini-batch; returns the updated model and
+    the batch loss.  The optimiser state is threaded inside [t]. *)
+
+val export : t -> int * (Matrix.t * Util.Vec.t * Activation.t) list
+(** (input width, per-layer weights/bias/activation) — for persistence. *)
+
+val import : input:int -> (Matrix.t * Util.Vec.t * Activation.t) list -> t
+(** Rebuild a model from exported parameters.  Optimiser state is fresh,
+    so resuming training restarts Adam's moments; inference is exact. *)

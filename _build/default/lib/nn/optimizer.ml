@@ -1,0 +1,36 @@
+type algo = Sgd of float | Adam of adam_config
+and adam_config = { lr : float; beta1 : float; beta2 : float; eps : float }
+
+let default_adam = Adam { lr = 1e-3; beta1 = 0.9; beta2 = 0.999; eps = 1e-8 }
+
+type state = {
+  algo : algo;
+  m : float array;  (* first moment *)
+  v : float array;  (* second moment *)
+  mutable t : int;
+}
+
+let create algo ~rows ~cols =
+  let n = max (rows * cols) 1 in
+  { algo; m = Array.make n 0.0; v = Array.make n 0.0; t = 0 }
+
+let step_flat state (g : float array) =
+  match state.algo with
+  | Sgd lr -> Array.map (fun x -> -.lr *. x) g
+  | Adam { lr; beta1; beta2; eps } ->
+    state.t <- state.t + 1;
+    let t = float_of_int state.t in
+    let bc1 = 1.0 -. (beta1 ** t) in
+    let bc2 = 1.0 -. (beta2 ** t) in
+    Array.mapi
+      (fun i gi ->
+        state.m.(i) <- (beta1 *. state.m.(i)) +. ((1.0 -. beta1) *. gi);
+        state.v.(i) <- (beta2 *. state.v.(i)) +. ((1.0 -. beta2) *. gi *. gi);
+        let mhat = state.m.(i) /. bc1 in
+        let vhat = state.v.(i) /. bc2 in
+        -.lr *. mhat /. (sqrt vhat +. eps))
+      g
+
+let step state (g : Matrix.t) = { g with Matrix.data = step_flat state g.Matrix.data }
+
+let step_vec state g = step_flat state g

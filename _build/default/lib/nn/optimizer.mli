@@ -1,0 +1,16 @@
+(** Parameter-update rules.  Each layer owns one optimiser state per
+    tensor; [step] maps a gradient to a delta to add to the parameters. *)
+
+type algo = Sgd of float  (** learning rate *) | Adam of adam_config
+and adam_config = { lr : float; beta1 : float; beta2 : float; eps : float }
+
+val default_adam : algo
+
+type state
+
+val create : algo -> rows:int -> cols:int -> state
+val step : state -> Matrix.t -> Matrix.t
+(** Delta for a matrix-shaped parameter. *)
+
+val step_vec : state -> Util.Vec.t -> Util.Vec.t
+(** Delta for a vector-shaped parameter (uses row 0 of the state). *)

@@ -1,0 +1,166 @@
+exception Corrupt of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
+
+let model_magic = "PNN1"
+let normalizer_magic = "PNZ1"
+let classifier_magic = "PCL1"
+
+(* --- primitives ------------------------------------------------------- *)
+
+let put_u32 buf v =
+  for i = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let put_f64 buf v =
+  let bits = Int64.bits_of_float v in
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff))
+  done
+
+let put_vec buf v =
+  put_u32 buf (Array.length v);
+  Array.iter (put_f64 buf) v
+
+type cursor = { data : bytes; mutable pos : int }
+
+let get_u8 c =
+  if c.pos >= Bytes.length c.data then fail "truncated at %d" c.pos;
+  let v = Char.code (Bytes.get c.data c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u32 c =
+  let v = ref 0 in
+  for i = 0 to 3 do
+    v := !v lor (get_u8 c lsl (8 * i))
+  done;
+  !v
+
+let get_f64 c =
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits := Int64.logor !bits (Int64.shift_left (Int64.of_int (get_u8 c)) (8 * i))
+  done;
+  Int64.float_of_bits !bits
+
+let get_vec c =
+  let n = get_u32 c in
+  if n > 100_000_000 then fail "implausible vector length %d" n;
+  Array.init n (fun _ -> get_f64 c)
+
+let expect_magic c magic =
+  if c.pos + 4 > Bytes.length c.data then fail "missing magic";
+  let got = Bytes.sub_string c.data c.pos 4 in
+  if got <> magic then fail "bad magic %S (wanted %S)" got magic;
+  c.pos <- c.pos + 4
+
+(* --- activations -------------------------------------------------------- *)
+
+let activation_tag : Activation.t -> int = function
+  | Relu -> 0
+  | Sigmoid -> 1
+  | Tanh -> 2
+  | Identity -> 3
+
+let activation_of_tag : int -> Activation.t = function
+  | 0 -> Relu
+  | 1 -> Sigmoid
+  | 2 -> Tanh
+  | 3 -> Identity
+  | t -> fail "bad activation tag %d" t
+
+(* --- model --------------------------------------------------------------- *)
+
+let put_model buf model =
+  let input, layers = Model.export model in
+  Buffer.add_string buf model_magic;
+  put_u32 buf input;
+  put_u32 buf (List.length layers);
+  List.iter
+    (fun ((w : Matrix.t), bias, activation) ->
+      Buffer.add_char buf (Char.chr (activation_tag activation));
+      put_u32 buf w.Matrix.rows;
+      put_u32 buf w.Matrix.cols;
+      Array.iter (put_f64 buf) w.Matrix.data;
+      put_vec buf bias)
+    layers
+
+let get_model c =
+  expect_magic c model_magic;
+  let input = get_u32 c in
+  let nlayers = get_u32 c in
+  if nlayers > 1000 then fail "implausible layer count %d" nlayers;
+  let layers =
+    List.init nlayers (fun _ ->
+        let activation = activation_of_tag (get_u8 c) in
+        let rows = get_u32 c in
+        let cols = get_u32 c in
+        if rows * cols > 100_000_000 then fail "implausible matrix size";
+        let data = Array.init (rows * cols) (fun _ -> get_f64 c) in
+        let w = { Matrix.rows; cols; data } in
+        let bias = get_vec c in
+        if Array.length bias <> cols then fail "bias/width mismatch";
+        (w, bias, activation))
+  in
+  Model.import ~input layers
+
+let model_to_bytes model =
+  let buf = Buffer.create 4096 in
+  put_model buf model;
+  Buffer.to_bytes buf
+
+let model_of_bytes b = get_model { data = b; pos = 0 }
+
+(* --- normalizer ------------------------------------------------------------ *)
+
+let put_normalizer buf nz =
+  let means, stds = Data.normalizer_stats nz in
+  Buffer.add_string buf normalizer_magic;
+  put_vec buf means;
+  put_vec buf stds
+
+let get_normalizer c =
+  expect_magic c normalizer_magic;
+  let means = get_vec c in
+  let stds = get_vec c in
+  if Array.length means <> Array.length stds then fail "means/stds mismatch";
+  Data.normalizer_of_stats ~means ~stds
+
+let normalizer_to_bytes nz =
+  let buf = Buffer.create 1024 in
+  put_normalizer buf nz;
+  Buffer.to_bytes buf
+
+let normalizer_of_bytes b = get_normalizer { data = b; pos = 0 }
+
+(* --- combined classifier file ----------------------------------------------- *)
+
+let write_classifier path model nz =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf classifier_magic;
+  put_model buf model;
+  put_normalizer buf nz;
+  let oc = open_out_bin path in
+  (try Buffer.output_buffer oc buf
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc
+
+let read_classifier path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let b = Bytes.create len in
+  (try really_input ic b 0 len
+   with e ->
+     close_in_noerr ic;
+     raise e);
+  close_in ic;
+  let c = { data = b; pos = 0 } in
+  expect_magic c classifier_magic;
+  let model = get_model c in
+  let nz = get_normalizer c in
+  (model, nz)

@@ -1,0 +1,18 @@
+(** Binary persistence of trained models and normalizers, so a classifier
+    trained once can be shipped with the vulnerability database instead of
+    being retrained per scan.  Little-endian, magic-tagged, exact float
+    round trip (IEEE-754 bit patterns). *)
+
+exception Corrupt of string
+
+val model_to_bytes : Model.t -> bytes
+val model_of_bytes : bytes -> Model.t
+(** Raises {!Corrupt}. *)
+
+val normalizer_to_bytes : Data.normalizer -> bytes
+val normalizer_of_bytes : bytes -> Data.normalizer
+
+val write_classifier : string -> Model.t -> Data.normalizer -> unit
+(** Both artifacts in one file. *)
+
+val read_classifier : string -> Model.t * Data.normalizer

@@ -1,0 +1,46 @@
+type epoch_stats = {
+  epoch : int;
+  train_loss : float;
+  train_accuracy : float;
+  val_loss : float;
+  val_accuracy : float;
+}
+
+type config = {
+  epochs : int;
+  batch_size : int;
+  seed : int64;
+}
+
+let default_config = { epochs = 10; batch_size = 64; seed = 77L }
+
+let evaluate model (data : Data.t) =
+  if Data.size data = 0 then (0.0, 0.0)
+  else begin
+    let feats = Matrix.of_rows data.Data.features in
+    let predictions = Model.predict model feats in
+    let loss = Loss.bce ~predictions ~labels:data.Data.labels in
+    let acc = Metrics.accuracy ~predictions ~labels:data.Data.labels () in
+    (loss, acc)
+  end
+
+let fit ?(config = default_config) ?(progress = fun _ -> ()) model ~train ~validation =
+  let rng = Util.Prng.create config.seed in
+  let rec epoch_loop model history e =
+    if e > config.epochs then (model, List.rev history)
+    else begin
+      let shuffled = Data.shuffle rng train in
+      let model, _ =
+        List.fold_left
+          (fun (model, _) (batch, labels) -> Model.train_batch model batch labels)
+          (model, 0.0)
+          (Data.batches shuffled config.batch_size)
+      in
+      let train_loss, train_accuracy = evaluate model train in
+      let val_loss, val_accuracy = evaluate model validation in
+      let stats = { epoch = e; train_loss; train_accuracy; val_loss; val_accuracy } in
+      progress stats;
+      epoch_loop model (stats :: history) (e + 1)
+    end
+  in
+  epoch_loop model [] 1

@@ -1,0 +1,29 @@
+(** Training loop with per-epoch history — the data behind the paper's
+    Figure 8 (training accuracy and loss curves). *)
+
+type epoch_stats = {
+  epoch : int;
+  train_loss : float;
+  train_accuracy : float;
+  val_loss : float;
+  val_accuracy : float;
+}
+
+type config = {
+  epochs : int;
+  batch_size : int;
+  seed : int64;
+}
+
+val default_config : config
+
+val fit :
+  ?config:config ->
+  ?progress:(epoch_stats -> unit) ->
+  Model.t ->
+  train:Data.t ->
+  validation:Data.t ->
+  Model.t * epoch_stats list
+
+val evaluate : Model.t -> Data.t -> float * float
+(** (loss, accuracy) over a dataset. *)

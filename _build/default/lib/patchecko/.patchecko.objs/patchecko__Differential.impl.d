@@ -1,0 +1,1 @@
+lib/patchecko/differential.ml: Array Cfg Isa List Loader Staticfeat

@@ -1,0 +1,1 @@
+lib/patchecko/differential.mli: Loader Util

@@ -1,0 +1,1 @@
+lib/patchecko/dynamic_stage.ml: Fuzz List Similarity Sys Util Vm

@@ -1,0 +1,1 @@
+lib/patchecko/dynamic_stage.mli: Fuzz Loader Similarity Util Vm

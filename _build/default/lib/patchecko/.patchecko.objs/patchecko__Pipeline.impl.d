@@ -1,0 +1,1 @@
+lib/patchecko/pipeline.ml: Differential Dynamic_stage Int List Loader Option Similarity Static_stage Vm Vulndb

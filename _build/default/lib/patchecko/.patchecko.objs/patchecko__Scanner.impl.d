@@ -1,0 +1,1 @@
+lib/patchecko/scanner.ml: Array Buffer Char Differential Dynamic_stage List Loader Printf Similarity Static_stage String Vulndb

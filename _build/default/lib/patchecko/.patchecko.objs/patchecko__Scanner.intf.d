@@ -1,0 +1,1 @@
+lib/patchecko/scanner.mli: Differential Dynamic_stage Loader Static_stage Vulndb

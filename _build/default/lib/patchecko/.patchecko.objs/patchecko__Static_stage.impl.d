@@ -1,0 +1,1 @@
+lib/patchecko/static_stage.ml: Array Loader Nn Staticfeat Sys Util

@@ -1,0 +1,1 @@
+lib/patchecko/static_stage.mli: Loader Nn Util

@@ -1,0 +1,1 @@
+lib/patchecko/vulndb.ml: Fuzz List Loader Staticfeat Util

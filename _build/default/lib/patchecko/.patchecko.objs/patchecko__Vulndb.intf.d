@@ -1,0 +1,1 @@
+lib/patchecko/vulndb.mli: Fuzz Loader Util

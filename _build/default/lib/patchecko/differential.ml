@@ -1,0 +1,107 @@
+type verdict = Patched | Vulnerable
+
+type evidence = {
+  static_to_vuln : float;
+  static_to_patched : float;
+  dynamic_to_vuln : float option;
+  dynamic_to_patched : float option;
+  signature_to_vuln : float;
+  signature_to_patched : float;
+}
+
+(* Per-feature relative difference so large-magnitude features (function
+   size) don't drown small ones (block-class counts). *)
+let static_distance a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Differential.static_distance";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (abs_float (a.(i) -. b.(i)) /. (1.0 +. abs_float a.(i) +. abs_float b.(i)))
+  done;
+  !acc /. float_of_int (Array.length a)
+
+let import_calls img fidx =
+  let listing = Loader.Image.disassemble img fidx in
+  Array.to_list listing.Isa.Disasm.instrs
+  |> List.filter_map (fun (ins : int Isa.Instr.t) ->
+         match ins with
+         | Call idx -> (
+           match Loader.Image.call_target img idx with
+           | Some (Loader.Image.Import name) -> Some name
+           | Some (Loader.Image.Internal _) | None -> None)
+         | Nop | Mov _ | Binop _ | Fbinop _ | Neg _ | Not _ | I2f _ | F2i _
+         | Load _ | Store _ | Lea _ | Cmp _ | Fcmp _ | Jmp _ | Jcc _
+         | Jtable _ | Ret | Push _ | Pop _ | Syscall _ ->
+           None)
+  |> List.sort compare
+
+(* Jaccard distance over multisets represented as sorted lists. *)
+let multiset_jaccard a b =
+  let rec inter_union inter union a b =
+    match (a, b) with
+    | [], rest | rest, [] -> (inter, union + List.length rest)
+    | x :: xs, y :: ys ->
+      if x = y then inter_union (inter + 1) (union + 1) xs ys
+      else if x < y then inter_union inter (union + 1) xs (y :: ys)
+      else inter_union inter (union + 1) (x :: xs) ys
+  in
+  let inter, union = inter_union 0 0 a b in
+  if union = 0 then 0.0 else 1.0 -. (float_of_int inter /. float_of_int union)
+
+let cfg_shape img fidx =
+  let listing = Loader.Image.disassemble img fidx in
+  let g = Cfg.Graph.build listing in
+  ( float_of_int (Cfg.Graph.block_count g),
+    float_of_int (Cfg.Graph.edge_count g),
+    float_of_int (Cfg.Graph.cyclomatic_complexity g) )
+
+let rel a b = abs_float (a -. b) /. (1.0 +. abs_float a +. abs_float b)
+
+let signature_distance (img_a, ia) (img_b, ib) =
+  let imports_a = import_calls img_a ia and imports_b = import_calls img_b ib in
+  let ba, ea, ca = cfg_shape img_a ia in
+  let bb, eb, cb = cfg_shape img_b ib in
+  let shape = (rel ba bb +. rel ea eb +. rel ca cb) /. 3.0 in
+  (multiset_jaccard imports_a imports_b +. shape) /. 2.0
+
+let gather ~vuln:(vimg, vidx) ~patched:(pimg, pidx) ~target:(timg, tidx)
+    ?dynamic () =
+  let sv = Staticfeat.Extract.of_function vimg vidx in
+  let sp = Staticfeat.Extract.of_function pimg pidx in
+  let st = Staticfeat.Extract.of_function timg tidx in
+  let dynamic_to_vuln, dynamic_to_patched =
+    match dynamic with
+    | Some (dv, dp) -> (Some dv, Some dp)
+    | None -> (None, None)
+  in
+  {
+    static_to_vuln = static_distance st sv;
+    static_to_patched = static_distance st sp;
+    dynamic_to_vuln;
+    dynamic_to_patched;
+    signature_to_vuln = signature_distance (timg, tidx) (vimg, vidx);
+    signature_to_patched = signature_distance (timg, tidx) (pimg, pidx);
+  }
+
+let decide e =
+  let channel a b = if a +. b <= 0.0 then 0.5 else a /. (a +. b) in
+  let channels =
+    [
+      channel e.static_to_vuln e.static_to_patched;
+      channel e.signature_to_vuln e.signature_to_patched;
+    ]
+    @ (match (e.dynamic_to_vuln, e.dynamic_to_patched) with
+      | Some dv, Some dp -> [ channel dv dp ]
+      | Some _, None | None, Some _ | None, None -> [])
+  in
+  (* each channel is the share of distance pointing away from the
+     vulnerable reference: > 0.5 ⇒ the target sits closer to the patch *)
+  let away_from_vuln =
+    List.fold_left ( +. ) 0.0 channels /. float_of_int (List.length channels)
+  in
+  if away_from_vuln > 0.5 then (Patched, away_from_vuln)
+  else (Vulnerable, 1.0 -. away_from_vuln)
+
+let verdict_to_string = function
+  | Patched -> "patched"
+  | Vulnerable -> "vulnerable"

@@ -1,0 +1,45 @@
+(** Stage 3: the differential engine (patch presence detection).
+
+    Given the located target function, compare it against the vulnerable
+    and the patched reference along three channels — static feature
+    distance, dynamic semantic similarity scores, and a differential
+    signature built from CFG topology plus the set of library calls (the
+    paper's j___aeabi_memmove evidence) — and decide which version the
+    target is. *)
+
+type verdict = Patched | Vulnerable
+
+type evidence = {
+  static_to_vuln : float;
+  static_to_patched : float;
+  dynamic_to_vuln : float option;  (** averaged Minkowski distance *)
+  dynamic_to_patched : float option;
+  signature_to_vuln : float;
+  signature_to_patched : float;
+}
+
+val static_distance : Util.Vec.t -> Util.Vec.t -> float
+(** Scale-normalised per-feature distance of two 48-feature vectors. *)
+
+val import_calls : Loader.Image.t -> int -> string list
+(** Sorted multiset of import names the function calls. *)
+
+val signature_distance : Loader.Image.t * int -> Loader.Image.t * int -> float
+(** Jaccard distance of import multisets plus normalised CFG-shape
+    (blocks, edges, cyclomatic complexity) difference. *)
+
+val gather :
+  vuln:Loader.Image.t * int ->
+  patched:Loader.Image.t * int ->
+  target:Loader.Image.t * int ->
+  ?dynamic:(float * float) ->
+  unit ->
+  evidence
+(** [dynamic] is (distance to vulnerable profile, distance to patched
+    profile) when the dynamic stage ran. *)
+
+val decide : evidence -> verdict * float
+(** Verdict plus a confidence in (0.5, 1\]: the margin between the two
+    combined scores. *)
+
+val verdict_to_string : verdict -> string

@@ -1,0 +1,57 @@
+type config = {
+  k_envs : int;
+  fuel : int;
+  seed : int64;
+  p : float;
+}
+
+let default_config = { k_envs = 8; fuel = 200_000; seed = 0xD15EA5EL; p = 3.0 }
+
+type result = {
+  envs : Vm.Env.t list;
+  envs_used : int;
+  validated : int list;
+  ranking : int Similarity.Rank.entry list;
+  reference_profile : Util.Vec.t list;
+  profiles : (int * Util.Vec.t list) list;
+  executions : int;
+  seconds : float;
+}
+
+let profile ~fuel img fidx envs =
+  List.map (fun env -> (Vm.Exec.run ~fuel img fidx env).Vm.Exec.features) envs
+
+let run ?(config = default_config) ~reference:(ref_img, ref_idx) ~shape ~target
+    ~candidates () =
+  let start = Sys.time () in
+  let rng = Util.Prng.create config.seed in
+  (* over-generate, then keep environments the reference survives *)
+  let raw_envs = Fuzz.Envgen.environments rng shape (config.k_envs * 2) in
+  let envs =
+    let ok = Fuzz.Validate.filter_envs ~fuel:config.fuel ref_img ref_idx raw_envs in
+    let rec take n = function
+      | [] -> []
+      | e :: rest -> if n = 0 then [] else e :: take (n - 1) rest
+    in
+    take config.k_envs ok
+  in
+  let report = Fuzz.Validate.run ~fuel:config.fuel target ~candidates envs in
+  let reference_profile = profile ~fuel:config.fuel ref_img ref_idx envs in
+  let profiles =
+    List.map
+      (fun fidx -> (fidx, profile ~fuel:config.fuel target fidx envs))
+      report.Fuzz.Validate.survivors
+  in
+  let ranking =
+    Similarity.Rank.by_distance ~p:config.p ~reference:reference_profile profiles
+  in
+  {
+    envs;
+    envs_used = List.length envs;
+    validated = report.Fuzz.Validate.survivors;
+    ranking;
+    reference_profile;
+    profiles;
+    executions = report.Fuzz.Validate.executions;
+    seconds = Sys.time () -. start;
+  }

@@ -1,0 +1,36 @@
+(** Stage 2: dynamic pruning and ranking.
+
+    Fuzz K execution environments for the CVE reference function, keep the
+    environments it survives, validate every candidate on them (crashers
+    are pruned), profile the survivors' 21 dynamic features per
+    environment, and rank by averaged Minkowski distance to the
+    reference's profile. *)
+
+type config = {
+  k_envs : int;  (** environments to fuzz *)
+  fuel : int;  (** per-run instruction budget *)
+  seed : int64;
+  p : float;  (** Minkowski exponent *)
+}
+
+val default_config : config
+
+type result = {
+  envs : Vm.Env.t list;  (** the shared environments actually used *)
+  envs_used : int;
+  validated : int list;  (** candidates surviving execution validation *)
+  ranking : int Similarity.Rank.entry list;  (** ascending distance *)
+  reference_profile : Util.Vec.t list;  (** per-env features of the CVE fn *)
+  profiles : (int * Util.Vec.t list) list;  (** per-candidate profiles *)
+  executions : int;  (** candidate validation runs performed *)
+  seconds : float;
+}
+
+val run :
+  ?config:config ->
+  reference:Loader.Image.t * int ->
+  shape:Fuzz.Shape.t ->
+  target:Loader.Image.t ->
+  candidates:int list ->
+  unit ->
+  result

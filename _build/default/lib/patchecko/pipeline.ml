@@ -1,0 +1,121 @@
+type classification = {
+  tp : int;
+  tn : int;
+  fp : int;
+  fn : int;
+  total : int;
+  fp_rate : float;
+}
+
+type report = {
+  cve_id : string;
+  reference_patched : bool;
+  static : Static_stage.result;
+  classification : classification option;
+  dynamic : Dynamic_stage.result option;
+  true_rank : int option;
+  located : int option;
+  verdict : (Differential.verdict * float) option;
+}
+
+let classify ~candidates ~total ~ground_truth =
+  let flagged_true = List.mem ground_truth candidates in
+  let tp = if flagged_true then 1 else 0 in
+  let fn = 1 - tp in
+  let fp = List.length candidates - tp in
+  let tn = total - tp - fn - fp in
+  let negatives = fp + tn in
+  let fp_rate =
+    if negatives = 0 then 0.0 else float_of_int fp /. float_of_int negatives
+  in
+  { tp; tn; fp; fn; total; fp_rate }
+
+(* Dynamic distances of the located function to BOTH reference versions,
+   over the environments of the main dynamic run (both references must
+   survive them). *)
+let dual_dynamic_distances ~config ~(db_entry : Vulndb.entry)
+    ~(dynamic : Dynamic_stage.result) located =
+  match List.assoc_opt located dynamic.Dynamic_stage.profiles with
+  | None -> None
+  | Some target_profile ->
+    let envs = dynamic.Dynamic_stage.envs in
+    let fuel = config.Dynamic_stage.fuel in
+    let profile img fidx =
+      if
+        List.for_all (fun env -> Vm.Exec.survives ~fuel img fidx env) envs
+      then
+        Some
+          (List.map
+             (fun env -> (Vm.Exec.run ~fuel img fidx env).Vm.Exec.features)
+             envs)
+      else None
+    in
+    let vp = profile db_entry.Vulndb.vuln_image db_entry.Vulndb.vuln_findex in
+    let pp =
+      profile db_entry.Vulndb.patched_image db_entry.Vulndb.patched_findex
+    in
+    (match (vp, pp) with
+    | Some vp, Some pp ->
+      let p = config.Dynamic_stage.p in
+      Some
+        ( Similarity.Score.averaged ~p vp target_profile,
+          Similarity.Score.averaged ~p pp target_profile )
+    | Some _, None | None, Some _ | None, None -> None)
+
+let analyze ?(dyn_config = Dynamic_stage.default_config) ?ground_truth
+    ~classifier ~(db_entry : Vulndb.entry) ~reference_patched ~target () =
+  let reference = Vulndb.reference_static db_entry ~patched:reference_patched in
+  let static = Static_stage.scan classifier ~reference target in
+  let total = Loader.Image.function_count target in
+  let classification =
+    Option.map
+      (fun g -> classify ~candidates:static.Static_stage.candidates ~total ~ground_truth:g)
+      ground_truth
+  in
+  let dynamic =
+    match static.Static_stage.candidates with
+    | [] -> None
+    | candidates ->
+      Some
+        (Dynamic_stage.run ~config:dyn_config
+           ~reference:(Vulndb.reference_image db_entry ~patched:reference_patched)
+           ~shape:db_entry.Vulndb.shape ~target ~candidates ())
+  in
+  let ranking =
+    match dynamic with Some d -> d.Dynamic_stage.ranking | None -> []
+  in
+  let true_rank =
+    match ground_truth with
+    | None -> None
+    | Some g -> Similarity.Rank.rank_of ~equal:Int.equal g ranking
+  in
+  let located =
+    match ranking with
+    | [] -> None
+    | best :: _ -> Some best.Similarity.Rank.candidate
+  in
+  let verdict =
+    match (located, dynamic) with
+    | Some fidx, Some dyn ->
+      let dyn_scores =
+        dual_dynamic_distances ~config:dyn_config ~db_entry ~dynamic:dyn fidx
+      in
+      let evidence =
+        Differential.gather
+          ~vuln:(db_entry.Vulndb.vuln_image, db_entry.Vulndb.vuln_findex)
+          ~patched:(db_entry.Vulndb.patched_image, db_entry.Vulndb.patched_findex)
+          ~target:(target, fidx) ?dynamic:dyn_scores ()
+      in
+      Some (Differential.decide evidence)
+    | None, _ | _, None -> None
+  in
+  {
+    cve_id = db_entry.Vulndb.cve_id;
+    reference_patched;
+    static;
+    classification;
+    dynamic;
+    true_rank;
+    located;
+    verdict;
+  }

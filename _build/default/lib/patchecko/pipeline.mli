@@ -1,0 +1,37 @@
+(** The full PATCHECKO pipeline for one CVE against one target image:
+    static scan → dynamic prune/rank → differential patch verdict — the
+    per-row computation behind Tables VI, VII and VIII. *)
+
+type classification = {
+  tp : int;
+  tn : int;
+  fp : int;
+  fn : int;
+  total : int;
+  fp_rate : float;
+}
+
+type report = {
+  cve_id : string;
+  reference_patched : bool;  (** which reference version drove the query *)
+  static : Static_stage.result;
+  classification : classification option;  (** needs ground truth *)
+  dynamic : Dynamic_stage.result option;  (** absent when no candidates *)
+  true_rank : int option;  (** rank of the ground-truth function *)
+  located : int option;  (** top-ranked candidate *)
+  verdict : (Differential.verdict * float) option;
+      (** differential decision on the located function *)
+}
+
+val analyze :
+  ?dyn_config:Dynamic_stage.config ->
+  ?ground_truth:int ->
+  classifier:Static_stage.classifier ->
+  db_entry:Vulndb.entry ->
+  reference_patched:bool ->
+  target:Loader.Image.t ->
+  unit ->
+  report
+
+val classify :
+  candidates:int list -> total:int -> ground_truth:int -> classification

@@ -1,0 +1,95 @@
+type finding = {
+  cve_id : string;
+  description : string;
+  image : string;
+  findex : int;
+  distance : float;
+  verdict : Differential.verdict;
+  confidence : float;
+}
+
+let scan_image ~dyn_config ~max_distance ~classifier (entry : Vulndb.entry)
+    (image : Loader.Image.t) =
+  let static =
+    Static_stage.scan classifier ~reference:entry.Vulndb.vuln_static image
+  in
+  match static.Static_stage.candidates with
+  | [] -> None
+  | candidates -> (
+    let dyn =
+      Dynamic_stage.run ~config:dyn_config
+        ~reference:(entry.Vulndb.vuln_image, entry.Vulndb.vuln_findex)
+        ~shape:entry.Vulndb.shape ~target:image ~candidates ()
+    in
+    match dyn.Dynamic_stage.ranking with
+    | [] -> None
+    | best :: _ when best.Similarity.Rank.distance > max_distance -> None
+    | best :: _ ->
+      let evidence =
+        Differential.gather
+          ~vuln:(entry.Vulndb.vuln_image, entry.Vulndb.vuln_findex)
+          ~patched:(entry.Vulndb.patched_image, entry.Vulndb.patched_findex)
+          ~target:(image, best.Similarity.Rank.candidate)
+          ()
+      in
+      let verdict, confidence = Differential.decide evidence in
+      Some
+        {
+          cve_id = entry.Vulndb.cve_id;
+          description = entry.Vulndb.description;
+          image = image.Loader.Image.name;
+          findex = best.Similarity.Rank.candidate;
+          distance = best.Similarity.Rank.distance;
+          verdict;
+          confidence;
+        })
+
+let scan_firmware ?(dyn_config = Dynamic_stage.default_config)
+    ?(max_distance = 50.0) ~classifier ~db (fw : Loader.Firmware.t) =
+  List.concat_map
+    (fun entry ->
+      Array.to_list fw.Loader.Firmware.images
+      |> List.filter_map (scan_image ~dyn_config ~max_distance ~classifier entry))
+    (Vulndb.entries db)
+
+let finding_to_string f =
+  Printf.sprintf "%-16s %-10s function %-4d distance %8.1f  %s (%.2f)" f.cve_id
+    f.image f.findex f.distance
+    (Differential.verdict_to_string f.verdict)
+    f.confidence
+
+(* minimal JSON string escaping: the fields we emit are ASCII identifiers
+   and free-text descriptions *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 32 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let findings_to_json findings =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  {\"cve\": \"%s\", \"description\": \"%s\", \"image\": \"%s\", \
+            \"function\": %d, \"distance\": %.3f, \"verdict\": \"%s\", \
+            \"confidence\": %.3f}"
+           (json_escape f.cve_id) (json_escape f.description)
+           (json_escape f.image) f.findex f.distance
+           (Differential.verdict_to_string f.verdict)
+           f.confidence))
+    findings;
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+(** Whole-firmware scanning — the deployment entry point.
+
+    For every database entry and every library image of the firmware, run
+    the hybrid pipeline (vulnerable reference) and report the located
+    function with its differential verdict.  Matches whose dynamic
+    distance exceeds [max_distance] are suppressed (weak matches are
+    almost always the static stage's false positives surviving on
+    benign behaviour). *)
+
+type finding = {
+  cve_id : string;
+  description : string;
+  image : string;  (** library image name *)
+  findex : int;  (** located function index *)
+  distance : float;  (** dynamic similarity distance (smaller = closer) *)
+  verdict : Differential.verdict;
+  confidence : float;
+}
+
+val scan_firmware :
+  ?dyn_config:Dynamic_stage.config ->
+  ?max_distance:float ->
+  classifier:Static_stage.classifier ->
+  db:Vulndb.t ->
+  Loader.Firmware.t ->
+  finding list
+(** Findings in (CVE, image) order.  [max_distance] defaults to 50. *)
+
+val finding_to_string : finding -> string
+val findings_to_json : finding list -> string
+(** Machine-readable report (a small hand-rolled JSON emitter — no
+    external dependency). *)

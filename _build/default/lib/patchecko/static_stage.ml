@@ -1,0 +1,32 @@
+type classifier = {
+  model : Nn.Model.t;
+  normalizer : Nn.Data.normalizer;
+  threshold : float;
+}
+
+let default_threshold = 0.5
+
+type result = {
+  candidates : int list;
+  scores : float array;
+  seconds : float;
+}
+
+let pair_score clf ~reference ~candidate =
+  let input = Nn.Data.normalize_vec clf.normalizer (Util.Vec.concat reference candidate) in
+  Nn.Model.predict_one clf.model input
+
+let scan clf ~reference img =
+  let start = Sys.time () in
+  let n = Loader.Image.function_count img in
+  let rows =
+    Array.init n (fun i ->
+        let feats = Staticfeat.Extract.of_function img i in
+        Nn.Data.normalize_vec clf.normalizer (Util.Vec.concat reference feats))
+  in
+  let scores = Nn.Model.predict clf.model (Nn.Matrix.of_rows rows) in
+  let candidates = ref [] in
+  for i = n - 1 downto 0 do
+    if scores.(i) >= clf.threshold then candidates := i :: !candidates
+  done;
+  { candidates = !candidates; scores; seconds = Sys.time () -. start }

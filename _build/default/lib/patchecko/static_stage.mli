@@ -1,0 +1,27 @@
+(** Stage 1: deep-learning candidate selection.
+
+    Every function of the (stripped) target image is paired with the CVE
+    reference vector; the trained similarity model scores each pair, and
+    functions above the threshold become dynamic-stage candidates. *)
+
+type classifier = {
+  model : Nn.Model.t;
+  normalizer : Nn.Data.normalizer;
+  threshold : float;
+}
+
+val default_threshold : float
+
+type result = {
+  candidates : int list;  (** function indices flagged as similar *)
+  scores : float array;  (** per-function similarity probabilities *)
+  seconds : float;
+}
+
+val scan : classifier -> reference:Util.Vec.t -> Loader.Image.t -> result
+
+val pair_score :
+  classifier -> reference:Util.Vec.t -> candidate:Util.Vec.t -> float
+(** Probability the two feature vectors come from the same source — also
+    used to compare a vulnerable reference against its patched version
+    (§V-D's similarity check). *)

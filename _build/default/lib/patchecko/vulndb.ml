@@ -1,0 +1,38 @@
+type entry = {
+  cve_id : string;
+  description : string;
+  vuln_image : Loader.Image.t;
+  vuln_findex : int;
+  patched_image : Loader.Image.t;
+  patched_findex : int;
+  vuln_static : Util.Vec.t;
+  patched_static : Util.Vec.t;
+  shape : Fuzz.Shape.t;
+}
+
+type t = entry list
+
+let create entries = entries
+let entries t = t
+let find t id = List.find_opt (fun e -> e.cve_id = id) t
+let size = List.length
+
+let make_entry ~cve_id ~description ~shape ~vuln:(vimg, vidx)
+    ~patched:(pimg, pidx) =
+  {
+    cve_id;
+    description;
+    vuln_image = vimg;
+    vuln_findex = vidx;
+    patched_image = pimg;
+    patched_findex = pidx;
+    vuln_static = Staticfeat.Extract.of_function vimg vidx;
+    patched_static = Staticfeat.Extract.of_function pimg pidx;
+    shape;
+  }
+
+let reference_static e ~patched = if patched then e.patched_static else e.vuln_static
+
+let reference_image e ~patched =
+  if patched then (e.patched_image, e.patched_findex)
+  else (e.vuln_image, e.vuln_findex)

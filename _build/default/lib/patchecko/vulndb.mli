@@ -1,0 +1,35 @@
+(** The vulnerability database (the paper's Dataset II): per CVE, the
+    static feature vectors of the vulnerable and patched reference
+    functions, the compact reference images to execute them from, and the
+    fuzzable prototype. *)
+
+type entry = {
+  cve_id : string;
+  description : string;
+  vuln_image : Loader.Image.t;
+  vuln_findex : int;
+  patched_image : Loader.Image.t;
+  patched_findex : int;
+  vuln_static : Util.Vec.t;
+  patched_static : Util.Vec.t;
+  shape : Fuzz.Shape.t;
+}
+
+type t
+
+val create : entry list -> t
+val entries : t -> entry list
+val find : t -> string -> entry option
+val size : t -> int
+
+val make_entry :
+  cve_id:string ->
+  description:string ->
+  shape:Fuzz.Shape.t ->
+  vuln:Loader.Image.t * int ->
+  patched:Loader.Image.t * int ->
+  entry
+(** Computes the static feature vectors from the images. *)
+
+val reference_static : entry -> patched:bool -> Util.Vec.t
+val reference_image : entry -> patched:bool -> Loader.Image.t * int

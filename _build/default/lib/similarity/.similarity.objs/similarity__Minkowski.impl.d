@@ -1,0 +1,1 @@
+lib/similarity/minkowski.ml: Array

@@ -1,0 +1,1 @@
+lib/similarity/rank.ml: List Score

@@ -1,0 +1,1 @@
+lib/similarity/rank.mli: Util

@@ -1,0 +1,1 @@
+lib/similarity/score.ml: List Minkowski

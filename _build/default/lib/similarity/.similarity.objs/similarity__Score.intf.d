@@ -1,0 +1,1 @@
+lib/similarity/score.mli: Util

@@ -1,0 +1,11 @@
+let default_p = 3.0
+
+let distance ?(p = default_p) x y =
+  if Array.length x <> Array.length y then
+    invalid_arg "Minkowski.distance: dimension mismatch";
+  if p <= 0.0 then invalid_arg "Minkowski.distance: p must be positive";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (abs_float (x.(i) -. y.(i)) ** p)
+  done;
+  !acc ** (1.0 /. p)

@@ -1,0 +1,8 @@
+(** Minkowski distance (equation 1 of the paper); the paper fixes p = 3,
+    generalising Manhattan (p=1) and Euclidean (p=2). *)
+
+val distance : ?p:float -> Util.Vec.t -> Util.Vec.t -> float
+(** Raises [Invalid_argument] on dimension mismatch or p <= 0. *)
+
+val default_p : float
+(** 3.0 *)

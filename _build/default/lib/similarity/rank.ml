@@ -1,0 +1,24 @@
+type 'a entry = { candidate : 'a; distance : float }
+
+let by_distance ?p ~reference candidates =
+  let k = List.length reference in
+  candidates
+  |> List.filter_map (fun (candidate, feats) ->
+         if List.length feats <> k || k = 0 then None
+         else Some { candidate; distance = Score.averaged ?p reference feats })
+  |> List.stable_sort (fun a b -> compare a.distance b.distance)
+
+let rank_of ~equal x entries =
+  let rec loop i = function
+    | [] -> None
+    | { candidate; _ } :: rest ->
+      if equal candidate x then Some i else loop (i + 1) rest
+  in
+  loop 1 entries
+
+let top n entries =
+  let rec take i = function
+    | [] -> []
+    | x :: rest -> if i >= n then [] else x :: take (i + 1) rest
+  in
+  take 0 entries

@@ -1,0 +1,19 @@
+(** Candidate ranking by averaged dynamic-feature distance (the output of
+    the paper's Figure 5 / Tables IV-V). *)
+
+type 'a entry = { candidate : 'a; distance : float }
+
+val by_distance :
+  ?p:float ->
+  reference:Util.Vec.t list ->
+  ('a * Util.Vec.t list) list ->
+  'a entry list
+(** [by_distance ~reference candidates] scores each candidate's
+    per-environment feature vectors against the reference function's and
+    sorts ascending (best match first).  Candidates whose environment list
+    length differs from the reference are skipped. *)
+
+val rank_of : equal:('a -> 'a -> bool) -> 'a -> 'a entry list -> int option
+(** 1-based position of a candidate. *)
+
+val top : int -> 'a entry list -> 'a entry list

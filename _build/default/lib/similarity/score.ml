@@ -1,0 +1,10 @@
+let pair ?p x y = Minkowski.distance ?p x y
+
+let averaged ?p fs gs =
+  let n = List.length fs in
+  if n = 0 || n <> List.length gs then
+    invalid_arg "Score.averaged: environment lists must align";
+  let total =
+    List.fold_left2 (fun acc f g -> acc +. Minkowski.distance ?p f g) 0.0 fs gs
+  in
+  total /. float_of_int n

@@ -1,0 +1,10 @@
+(** Function semantic similarity (equation 2): the Minkowski distance of
+    two dynamic feature vectors, averaged over the K execution
+    environments both functions were run in.  Smaller is more similar. *)
+
+val pair : ?p:float -> Util.Vec.t -> Util.Vec.t -> float
+(** Distance for a single environment. *)
+
+val averaged : ?p:float -> Util.Vec.t list -> Util.Vec.t list -> float
+(** [averaged fs gs] averages the per-environment distances; the lists are
+    index-aligned by environment and must have equal non-zero length. *)

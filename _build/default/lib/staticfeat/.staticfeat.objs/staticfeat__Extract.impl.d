@@ -1,0 +1,1 @@
+lib/staticfeat/extract.ml: Array Cfg Format Int Int64 Isa List Loader Names Set Util

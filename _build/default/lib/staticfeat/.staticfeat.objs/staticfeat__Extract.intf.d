@@ -1,0 +1,1 @@
+lib/staticfeat/extract.mli: Format Loader Util

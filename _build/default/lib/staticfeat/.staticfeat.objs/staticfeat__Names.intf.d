@@ -1,0 +1,1 @@
+lib/staticfeat/names.mli:

@@ -1,0 +1,193 @@
+let fun_flag_noret = 1
+let fun_flag_frame = 2
+let fun_flag_leaf = 4
+
+let noret_imports = [ "exit"; "abort"; "panic" ]
+
+module I64set = Set.Make (Int64)
+module Iset = Set.Make (Int)
+
+let is_noret_call img idx =
+  match Loader.Image.call_target img idx with
+  | Some (Loader.Image.Import name) -> List.mem name noret_imports
+  | Some (Loader.Image.Internal _) | None -> false
+
+(* size_local: frame allocation found in the prologue, i.e. the first
+   [sub sp, sp, #n] before any control transfer. *)
+let local_size (instrs : int Isa.Instr.t array) =
+  let n = Array.length instrs in
+  let rec scan i =
+    if i >= n then 0
+    else begin
+      match instrs.(i) with
+      | Binop (Sub, d, a, Imm v) when d = Isa.Reg.sp && a = Isa.Reg.sp ->
+        Int64.to_int v
+      | ins -> if Isa.Instr.is_terminator ins then 0 else scan (i + 1)
+    end
+  in
+  scan 0
+
+let uses_frame_pointer (instrs : int Isa.Instr.t array) =
+  Array.exists
+    (fun (ins : int Isa.Instr.t) ->
+      match ins with
+      | Push r | Pop r -> r = Isa.Reg.fp
+      | Mov (d, Reg s) -> d = Isa.Reg.fp || s = Isa.Reg.fp
+      | Load (_, _, b, _) | Store (_, _, b, _) -> b = Isa.Reg.fp
+      | Nop | Mov (_, Imm _) | Binop _ | Fbinop _ | Neg _ | Not _ | I2f _
+      | F2i _ | Lea _ | Cmp _ | Fcmp _ | Jmp _ | Jcc _ | Jtable _ | Call _
+      | Ret | Syscall _ ->
+        false)
+    instrs
+
+let per_block_counts (g : Cfg.Graph.t) pred =
+  Array.map
+    (fun b ->
+      List.fold_left
+        (fun acc ins -> if pred ins then acc + 1 else acc)
+        0
+        (Cfg.Block.instructions b g.listing.instrs))
+    g.blocks
+
+let of_function img i =
+  let listing = Loader.Image.disassemble img i in
+  let g = Cfg.Graph.build ~is_noret_call:(is_noret_call img) listing in
+  let instrs = listing.instrs in
+  (* constants and string references *)
+  let constants =
+    Array.fold_left
+      (fun acc ins ->
+        List.fold_left (fun acc v -> I64set.add v acc) acc (Isa.Instr.constants ins))
+      I64set.empty instrs
+  in
+  let string_refs, _data_refs =
+    Array.fold_left
+      (fun (strs, datas) ins ->
+        List.fold_left
+          (fun (strs, datas) addr ->
+            if Loader.Image.is_string_addr img addr then
+              (I64set.add addr strs, datas)
+            else (strs, I64set.add addr datas))
+          (strs, datas) (Isa.Instr.data_refs ins))
+      (I64set.empty, I64set.empty)
+      instrs
+  in
+  (* call and code references *)
+  let call_indices =
+    Array.fold_left
+      (fun acc (ins : int Isa.Instr.t) ->
+        match ins with
+        | Call idx -> Iset.add idx acc
+        | Nop | Mov _ | Binop _ | Fbinop _ | Neg _ | Not _ | I2f _ | F2i _
+        | Load _ | Store _ | Lea _ | Cmp _ | Fcmp _ | Jmp _ | Jcc _ | Jtable _
+        | Ret | Push _ | Pop _ | Syscall _ ->
+          acc)
+      Iset.empty instrs
+  in
+  let num_import =
+    Iset.fold
+      (fun idx acc ->
+        match Loader.Image.call_target img idx with
+        | Some (Loader.Image.Import _) -> acc + 1
+        | Some (Loader.Image.Internal _) | None -> acc)
+      call_indices 0
+  in
+  let branch_targets =
+    Array.fold_left
+      (fun acc (ins : int Isa.Instr.t) ->
+        match ins with
+        | Jmp t | Jcc (_, t) -> Iset.add t acc
+        | Jtable (_, ts) -> Array.fold_left (fun a t -> Iset.add t a) acc ts
+        | Nop | Mov _ | Binop _ | Fbinop _ | Neg _ | Not _ | I2f _ | F2i _
+        | Load _ | Store _ | Lea _ | Cmp _ | Fcmp _ | Call _ | Ret | Push _
+        | Pop _ | Syscall _ ->
+          acc)
+      Iset.empty instrs
+  in
+  let num_ox = Iset.cardinal branch_targets + Iset.cardinal call_indices in
+  let num_cx =
+    Array.fold_left
+      (fun acc ins -> if Isa.Instr.is_call ins then acc + 1 else acc)
+      0 instrs
+  in
+  (* flags *)
+  let classes = Cfg.Classify.histogram g in
+  let class_count c = List.assoc c classes in
+  let flag =
+    (if class_count Cfg.Classify.Noret > 0 then fun_flag_noret else 0)
+    lor (if uses_frame_pointer instrs then fun_flag_frame else 0)
+    lor if num_cx = 0 then fun_flag_leaf else 0
+  in
+  (* per-block statistics *)
+  let instr_counts = Array.map Cfg.Block.instr_count g.blocks in
+  let byte_sizes = Array.map (fun b -> b.Cfg.Block.byte_size) g.blocks in
+  let i_min, i_max, i_avg, i_std = Util.Stats.of_ints instr_counts in
+  let s_min, s_max, s_avg, s_std = Util.Stats.of_ints byte_sizes in
+  let call_b = per_block_counts g Isa.Instr.is_call in
+  let arith_b = per_block_counts g Isa.Instr.is_arith in
+  let fp_b = per_block_counts g Isa.Instr.is_arith_fp in
+  let c_min, c_max, c_avg, c_std = Util.Stats.of_ints call_b in
+  let a_min, a_max, a_avg, a_std = Util.Stats.of_ints arith_b in
+  let f_min, f_max, f_avg, f_std = Util.Stats.of_ints fp_b in
+  let sum arr = Array.fold_left ( + ) 0 arr in
+  let bc = Cfg.Centrality.betweenness g in
+  let b_min, b_max, b_avg, b_std = Util.Stats.min_max_avg_std bc in
+  let f = float_of_int in
+  [|
+    f (I64set.cardinal constants);
+    f (I64set.cardinal string_refs);
+    f (Array.length instrs);
+    f (local_size instrs);
+    f flag;
+    f num_import;
+    f num_ox;
+    f num_cx;
+    f listing.size;
+    i_min;
+    i_max;
+    i_avg;
+    i_std;
+    s_min;
+    s_max;
+    s_avg;
+    s_std;
+    f (Cfg.Graph.block_count g);
+    f (Cfg.Graph.edge_count g);
+    f (Cfg.Graph.cyclomatic_complexity g);
+    f (class_count Cfg.Classify.Normal);
+    f (class_count Cfg.Classify.Indjump);
+    f (class_count Cfg.Classify.Ret);
+    f (class_count Cfg.Classify.Cndret);
+    f (class_count Cfg.Classify.Noret);
+    f (class_count Cfg.Classify.Enoret);
+    f (class_count Cfg.Classify.Extern);
+    f (class_count Cfg.Classify.Error);
+    c_min;
+    c_max;
+    c_avg;
+    c_std;
+    f (sum call_b);
+    a_min;
+    a_max;
+    a_avg;
+    a_std;
+    f (sum arith_b);
+    f_min;
+    f_max;
+    f_avg;
+    f_std;
+    f (sum fp_b);
+    b_min;
+    b_max;
+    b_avg;
+    b_std;
+    f (Cfg.Centrality.zero_count bc);
+  |]
+
+let of_image img =
+  Array.init (Loader.Image.function_count img) (fun i -> of_function img i)
+
+let pp ppf v =
+  Array.iteri
+    (fun i name -> Format.fprintf ppf "%-22s %g@." name v.(i))
+    Names.all

@@ -1,0 +1,20 @@
+(** Static feature extraction: one 48-element vector per function
+    (Table I), computed from the disassembly and recovered CFG of a
+    stripped image — never from source or symbols. *)
+
+val of_function : Loader.Image.t -> int -> Util.Vec.t
+(** Features of function [i] of the image. *)
+
+val of_image : Loader.Image.t -> Util.Vec.t array
+(** Features of every function, index-aligned with the function table. *)
+
+val fun_flag_noret : int
+val fun_flag_frame : int
+val fun_flag_leaf : int
+(** Bit values composing the [fun_flag] feature. *)
+
+val noret_imports : string list
+(** Import names treated as no-return (terminate basic blocks). *)
+
+val pp : Format.formatter -> Util.Vec.t -> unit
+(** Named rendering of a feature vector. *)

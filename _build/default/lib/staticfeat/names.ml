@@ -1,0 +1,58 @@
+let all =
+  [|
+    "num_constant";
+    "num_string";
+    "num_inst";
+    "size_local";
+    "fun_flag";
+    "num_import";
+    "num_ox";
+    "num_cx";
+    "size_fun";
+    "min_i_b";
+    "max_i_b";
+    "avg_i_b";
+    "std_i_b";
+    "min_s_b";
+    "max_s_b";
+    "avg_s_b";
+    "std_s_b";
+    "num_bb";
+    "num_edge";
+    "cyclomatic_complexity";
+    "fcb_normal";
+    "fcb_indjump";
+    "fcb_ret";
+    "fcb_cndret";
+    "fcb_noret";
+    "fcb_enoret";
+    "fcb_extern";
+    "fcb_error";
+    "min_call_b";
+    "max_call_b";
+    "avg_call_b";
+    "std_call_b";
+    "sum_call_b";
+    "min_arith_b";
+    "max_arith_b";
+    "avg_arith_b";
+    "std_arith_b";
+    "sum_arith_b";
+    "min_arith_fp_b";
+    "max_arith_fp_b";
+    "avg_arith_fp_b";
+    "std_arith_fp_b";
+    "sum_arith_fp_b";
+    "min_betweeness_cent";
+    "max_betweeness_cent";
+    "avg_betweeness_cent";
+    "std_betweeness_cent";
+    "betweeness_cent_zero";
+  |]
+
+let count = Array.length all
+
+let index name =
+  let found = ref None in
+  Array.iteri (fun i n -> if n = name && !found = None then found := Some i) all;
+  !found

@@ -1,0 +1,11 @@
+(** Canonical order and names of the 48 static function features
+    (Table I of the paper). *)
+
+val count : int
+(** 48. *)
+
+val all : string array
+(** Feature names, index-aligned with the vectors produced by
+    {!Extract}. *)
+
+val index : string -> int option

@@ -1,0 +1,70 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 finaliser: state advances by the golden gamma, output is the
+   mixed value.  Reference: Steele, Lea & Flood, "Fast splittable
+   pseudorandom number generators". *)
+let next64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = create (next64 t)
+
+let int t bound =
+  assert (bound > 0);
+  let v = Int64.to_int (Int64.shift_right_logical (next64 t) 2) in
+  v mod bound
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let int64_any t = next64 t
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (next64 t) 11) in
+  bound *. (v /. 9007199254740992.0)
+
+let gaussian t =
+  let rec draw () =
+    let u1 = float t 1.0 in
+    if u1 <= 1e-12 then draw () else u1
+  in
+  let u1 = draw () in
+  let u2 = float t 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let chance t p = float t 1.0 < p
+
+let choose t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let choose_list t l =
+  match l with
+  | [] -> invalid_arg "Prng.choose_list: empty list"
+  | _ :: _ -> List.nth l (int t (List.length l))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample t k arr =
+  assert (k <= Array.length arr);
+  let pool = Array.copy arr in
+  shuffle t pool;
+  Array.sub pool 0 k

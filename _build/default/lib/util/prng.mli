@@ -1,0 +1,56 @@
+(** Deterministic pseudo-random number generation.
+
+    Every randomised component of the reproduction (corpus generation,
+    dataset pairing, fuzzing, weight initialisation) draws from an explicit
+    generator state so that experiments are reproducible bit-for-bit from a
+    seed.  The core generator is splitmix64. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] makes a fresh generator. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent generator and advances
+    [t]; used to give sub-tasks their own streams. *)
+
+val next64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in \[0, bound); [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in \[lo, hi\] inclusive; requires
+    [lo <= hi]. *)
+
+val int64_any : t -> int64
+(** Uniform over all 64-bit values. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in \[0, bound). *)
+
+val gaussian : t -> float
+(** Standard normal via Box-Muller. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val choose_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val sample : t -> int -> 'a array -> 'a array
+(** [sample t k arr] draws [k] distinct elements (k <= length). *)

@@ -1,0 +1,19 @@
+type 'a scored = { item : 'a; score : float }
+
+let rank pairs =
+  let scored = List.map (fun (item, score) -> { item; score }) pairs in
+  List.stable_sort (fun a b -> compare a.score b.score) scored
+
+let position ~equal x ranked =
+  let rec loop i = function
+    | [] -> None
+    | { item; _ } :: rest -> if equal item x then Some i else loop (i + 1) rest
+  in
+  loop 1 ranked
+
+let top n ranked =
+  let rec take i = function
+    | [] -> []
+    | x :: rest -> if i >= n then [] else x :: take (i + 1) rest
+  in
+  take 0 ranked

@@ -1,0 +1,17 @@
+(** Ranking of scored candidates (smaller score = better match).
+
+    The dynamic stage of the paper produces a ranked list of
+    (candidate, similarity distance) pairs; this module sorts, ranks and
+    answers "at which position does the true function land" queries used by
+    Tables IV-VII. *)
+
+type 'a scored = { item : 'a; score : float }
+
+val rank : ('a * float) list -> 'a scored list
+(** Sorted ascending by score; stable for equal scores. *)
+
+val position : equal:('a -> 'a -> bool) -> 'a -> 'a scored list -> int option
+(** 1-based rank of the first matching item, if present. *)
+
+val top : int -> 'a scored list -> 'a scored list
+(** First [n] entries (fewer if the list is shorter). *)

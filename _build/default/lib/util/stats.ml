@@ -1,0 +1,47 @@
+let min_max_avg_std xs =
+  let n = Array.length xs in
+  if n = 0 then (0.0, 0.0, 0.0, 0.0)
+  else begin
+    let mn = ref xs.(0) and mx = ref xs.(0) and sum = ref 0.0 in
+    Array.iter
+      (fun x ->
+        if x < !mn then mn := x;
+        if x > !mx then mx := x;
+        sum := !sum +. x)
+      xs;
+    let mean = !sum /. float_of_int n in
+    let var = ref 0.0 in
+    Array.iter (fun x -> var := !var +. ((x -. mean) *. (x -. mean))) xs;
+    (!mn, !mx, mean, sqrt (!var /. float_of_int n))
+  end
+
+let of_ints xs = min_max_avg_std (Array.map float_of_int xs)
+
+let mean xs =
+  let _, _, m, _ = min_max_avg_std xs in
+  m
+
+let std xs =
+  let _, _, _, s = min_max_avg_std xs in
+  s
+
+let median xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    if n mod 2 = 1 then sorted.(n / 2)
+    else (sorted.((n / 2) - 1) +. sorted.(n / 2)) /. 2.0
+  end
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    let idx = max 0 (min (n - 1) (rank - 1)) in
+    sorted.(idx)
+  end

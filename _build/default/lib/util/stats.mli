@@ -1,0 +1,23 @@
+(** Descriptive statistics over integer and float samples.
+
+    Table I and Table II of the paper summarise per-basic-block and
+    per-trace observations as min / max / average / standard deviation;
+    this module centralises those reductions. *)
+
+val min_max_avg_std : float array -> float * float * float * float
+(** [(min, max, mean, population std)] of a sample; all zero when empty. *)
+
+val of_ints : int array -> float * float * float * float
+(** Same as {!min_max_avg_std} on integer samples. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 when empty. *)
+
+val std : float array -> float
+(** Population standard deviation; 0 when empty. *)
+
+val median : float array -> float
+(** Median (average of middle two for even lengths); 0 when empty. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in \[0,100\], nearest-rank; 0 when empty. *)

@@ -1,0 +1,58 @@
+type t = float array
+
+let zeros n = Array.make n 0.0
+
+let of_ints = Array.map float_of_int
+
+let concat a b = Array.append a b
+
+let check_len a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vec: dimension mismatch"
+
+let map2 f a b =
+  check_len a b;
+  Array.map2 f a b
+
+let add a b = map2 ( +. ) a b
+let sub a b = map2 ( -. ) a b
+let scale k = Array.map (fun x -> k *. x)
+
+let dot a b =
+  check_len a b;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm2 a = sqrt (dot a a)
+
+let l1_distance a b =
+  check_len a b;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. abs_float (a.(i) -. b.(i))
+  done;
+  !acc
+
+let l2_distance a b = norm2 (sub a b)
+
+let equal ?(eps = 1e-9) a b =
+  Array.length a = Array.length b
+  && begin
+       let ok = ref true in
+       for i = 0 to Array.length a - 1 do
+         if abs_float (a.(i) -. b.(i)) > eps then ok := false
+       done;
+       !ok
+     end
+
+let pp ppf v =
+  Format.fprintf ppf "[";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf ppf "; ";
+      Format.fprintf ppf "%g" x)
+    v;
+  Format.fprintf ppf "]"

@@ -1,0 +1,26 @@
+(** Dense float vectors used for feature vectors throughout the pipeline. *)
+
+type t = float array
+
+val zeros : int -> t
+val of_ints : int array -> t
+
+val concat : t -> t -> t
+(** Concatenation, used to build the 96-element NN input from two
+    48-feature vectors. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val dot : t -> t -> float
+val norm2 : t -> float
+
+val l1_distance : t -> t -> float
+val l2_distance : t -> t -> float
+
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val equal : ?eps:float -> t -> t -> bool
+(** Component-wise equality within [eps] (default 1e-9). *)
+
+val pp : Format.formatter -> t -> unit

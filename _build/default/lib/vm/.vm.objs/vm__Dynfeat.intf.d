@@ -1,0 +1,1 @@
+lib/vm/dynfeat.mli:

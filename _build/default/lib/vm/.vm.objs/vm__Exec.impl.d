@@ -1,0 +1,1 @@
+lib/vm/exec.ml: Array Format Isa List Machine Printf Runtime Trace Util

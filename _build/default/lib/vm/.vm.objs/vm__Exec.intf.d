@@ -1,0 +1,1 @@
+lib/vm/exec.mli: Env Loader Machine Util

@@ -1,0 +1,1 @@
+lib/vm/machine.ml: Array Buffer Bytes Char Env Float Hashtbl Int64 Isa List Loader Printf Region Trace

@@ -1,0 +1,1 @@
+lib/vm/region.ml: Bytes Int64 Loader

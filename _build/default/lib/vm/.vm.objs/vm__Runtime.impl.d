@@ -1,0 +1,1 @@
+lib/vm/runtime.ml: Array Int64 Isa Machine String

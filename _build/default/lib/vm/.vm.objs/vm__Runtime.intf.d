@@ -1,0 +1,1 @@
+lib/vm/runtime.mli: Machine

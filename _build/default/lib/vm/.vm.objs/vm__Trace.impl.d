@@ -1,0 +1,1 @@
+lib/vm/trace.ml: Array Hashtbl Isa List Region Util

@@ -1,0 +1,1 @@
+lib/vm/trace.mli: Isa Region Util

@@ -1,0 +1,31 @@
+let all =
+  [|
+    "binary_defined_fun_call_num";
+    "min_stack_depth";
+    "max_stack_depth";
+    "avg_stack_depth";
+    "std_stack_depth";
+    "instruction_num";
+    "unique_instruction_num";
+    "call_instruction_num";
+    "arithmetic_instruction_num";
+    "branch_instruction_num";
+    "load_instruction_num";
+    "store_instruction_num";
+    "max_branch_frequency";
+    "max_arith_frequency";
+    "mem_heap_access";
+    "mem_stack_access";
+    "mem_lib_access";
+    "mem_anon_access";
+    "mem_others_access";
+    "library_call_num";
+    "syscall_num";
+  |]
+
+let count = Array.length all
+
+let index name =
+  let found = ref None in
+  Array.iteri (fun i n -> if n = name && !found = None then found := Some i) all;
+  !found

@@ -1,0 +1,7 @@
+(** Canonical order and names of the 21 dynamic features (Table II). *)
+
+val count : int
+(** 21. *)
+
+val all : string array
+val index : string -> int option

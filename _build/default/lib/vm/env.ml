@@ -1,0 +1,28 @@
+type value =
+  | Vint of int64
+  | Vbuf of bytes
+
+type t = {
+  args : value list;
+  global_patches : (int64 * bytes) list;
+  stdin : bytes;
+  seed : int64;
+}
+
+let make ?(global_patches = []) ?(stdin = Bytes.empty) ?(seed = 1L) args =
+  if List.length args > Isa.Reg.max_args then
+    invalid_arg "Env.make: too many arguments";
+  { args; global_patches; stdin; seed }
+
+let buf_of_string s = Vbuf (Bytes.of_string s)
+
+let pp ppf t =
+  Format.fprintf ppf "env(seed=%Ld, args=[" t.seed;
+  List.iteri
+    (fun i v ->
+      if i > 0 then Format.fprintf ppf "; ";
+      match v with
+      | Vint n -> Format.fprintf ppf "%Ld" n
+      | Vbuf b -> Format.fprintf ppf "buf[%d]" (Bytes.length b))
+    t.args;
+  Format.fprintf ppf "])"

@@ -1,0 +1,27 @@
+(** Execution environments for single-function runs.
+
+    An environment fixes everything the paper's dynamic engine fixes: the
+    concrete argument values (scalars or input buffers mapped into an
+    anonymous region), optional overrides of global state in the data
+    section, a stdin byte stream for [sys_read], and a deterministic seed
+    for the MMIO window.  Running the same function in the same
+    environment is fully deterministic. *)
+
+type value =
+  | Vint of int64
+  | Vbuf of bytes  (** mapped into the anonymous region; the argument
+                       receives its address *)
+
+type t = {
+  args : value list;  (** at most {!Isa.Reg.max_args} *)
+  global_patches : (int64 * bytes) list;
+      (** (data-section address, replacement bytes) *)
+  stdin : bytes;
+  seed : int64;
+}
+
+val make : ?global_patches:(int64 * bytes) list -> ?stdin:bytes -> ?seed:int64
+  -> value list -> t
+
+val buf_of_string : string -> value
+val pp : Format.formatter -> t -> unit

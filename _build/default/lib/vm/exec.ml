@@ -1,0 +1,57 @@
+type outcome =
+  | Finished of int64
+  | Exited of int
+  | Crashed of Machine.trap
+
+type result = {
+  outcome : outcome;
+  features : Util.Vec.t;
+  stdout : string;
+  instructions : int;
+}
+
+let run_machine m fidx =
+  let outcome =
+    match Machine.call_function m ~handler:Runtime.dispatch fidx with
+    | () -> Finished (Machine.regs m).(Isa.Reg.ret)
+    | exception Machine.Trap trap -> Crashed trap
+    | exception Machine.Exit_program code -> Exited code
+    | exception Isa.Encoding.Invalid_encoding msg ->
+      Crashed (Machine.Import_error ("invalid encoding: " ^ msg))
+  in
+  let trace = Machine.trace m in
+  {
+    outcome;
+    features = Trace.features trace;
+    stdout = Machine.stdout_contents m;
+    instructions = Trace.instructions_executed trace;
+  }
+
+let run ?fuel img fidx env = run_machine (Machine.create ?fuel img env) fidx
+
+let run_traced ?fuel ?(limit = 10_000) img fidx env =
+  let lines = ref [] in
+  let count = ref 0 in
+  let on_instr ~fidx ~pc ins =
+    if !count < limit then begin
+      incr count;
+      lines :=
+        Format.asprintf "f%d+%d: %a" fidx pc
+          (Isa.Instr.pp Format.pp_print_int)
+          ins
+        :: !lines
+    end
+  in
+  let m = Machine.create ?fuel ~on_instr img env in
+  let result = run_machine m fidx in
+  (result, List.rev !lines)
+
+let survives ?fuel img fidx env =
+  match (run ?fuel img fidx env).outcome with
+  | Finished _ | Exited _ -> true
+  | Crashed _ -> false
+
+let outcome_to_string = function
+  | Finished v -> Printf.sprintf "finished (r0=%Ld)" v
+  | Exited code -> Printf.sprintf "exited (%d)" code
+  | Crashed trap -> "crashed: " ^ Machine.trap_to_string trap

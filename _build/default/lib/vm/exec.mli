@@ -1,0 +1,32 @@
+(** Top-level dynamic execution: run one function of an image in one
+    execution environment and collect the outcome plus the 21 dynamic
+    features of Table II. *)
+
+type outcome =
+  | Finished of int64  (** returned normally; payload is r0 *)
+  | Exited of int  (** called exit() *)
+  | Crashed of Machine.trap
+
+type result = {
+  outcome : outcome;
+  features : Util.Vec.t;  (** 21 dynamic features *)
+  stdout : string;
+  instructions : int;  (** total instructions executed *)
+}
+
+val run : ?fuel:int -> Loader.Image.t -> int -> Env.t -> result
+(** [run img fidx env]: never raises on guest misbehaviour — traps become
+    [Crashed]. *)
+
+val run_traced :
+  ?fuel:int -> ?limit:int -> Loader.Image.t -> int -> Env.t
+  -> result * string list
+(** Like {!run} but also returns a rendered instruction trace (function
+    index, offset, instruction), capped at [limit] lines (default
+    10_000). *)
+
+val survives : ?fuel:int -> Loader.Image.t -> int -> Env.t -> bool
+(** Did the run finish or exit normally (no trap)?  This is the
+    candidate-validation predicate of the paper's dynamic stage. *)
+
+val outcome_to_string : outcome -> string

@@ -1,0 +1,367 @@
+type trap =
+  | Mem_fault of int64
+  | Div_by_zero
+  | Step_limit
+  | Call_depth_exceeded
+  | Jump_out_of_range of int
+  | Jtable_out_of_range of int64
+  | Unknown_import of string
+  | Import_error of string
+  | Aborted of string
+
+exception Trap of trap
+exception Exit_program of int
+
+type t = {
+  image : Loader.Image.t;
+  regs : int64 array;
+  mutable flags : int;
+  regions : Region.t list;
+  mutable heap_next : int;
+  stdout_buf : Buffer.t;
+  stdin : bytes;
+  mutable stdin_pos : int;
+  trace : Trace.t;
+  mutable fuel : int;
+  mutable depth : int;
+  listings : (int, Isa.Disasm.listing) Hashtbl.t;
+  params : Isa.Encoding.params;
+  on_instr : fidx:int -> pc:int -> int Isa.Instr.t -> unit;
+}
+
+let default_fuel = 1_000_000
+let max_depth = 200
+
+let mmio_pattern seed i =
+  (* deterministic per-byte content of the "others" window *)
+  let v =
+    Int64.mul (Int64.add seed (Int64.of_int i)) 0x9E3779B97F4A7C15L
+  in
+  Int64.to_int (Int64.shift_right_logical v 56) land 0xff
+
+let create ?(fuel = default_fuel) ?(on_instr = fun ~fidx:_ ~pc:_ _ -> ())
+    (image : Loader.Image.t) (env : Env.t) =
+  (* lib region: copy of the image data section plus patches *)
+  let data = Bytes.copy image.data in
+  List.iter
+    (fun (addr, patch) ->
+      let off = Int64.to_int (Int64.sub addr image.data_base) in
+      if off < 0 || off + Bytes.length patch > Bytes.length data then
+        invalid_arg "Machine.create: global patch out of range";
+      Bytes.blit patch 0 data off (Bytes.length patch))
+    env.Env.global_patches;
+  let lib = { Region.kind = Rlib; base = image.data_base; data } in
+  let heap =
+    { Region.kind = Rheap; base = Region.heap_base; data = Bytes.make Region.heap_size '\000' }
+  in
+  let stack =
+    {
+      Region.kind = Rstack;
+      base = Int64.sub Region.stack_top (Int64.of_int Region.stack_size);
+      data = Bytes.make Region.stack_size '\000';
+    }
+  in
+  let mmio_data =
+    Bytes.init Region.mmio_size (fun i -> Char.chr (mmio_pattern env.Env.seed i))
+  in
+  let mmio = { Region.kind = Rothers; base = Region.mmio_base; data = mmio_data } in
+  (* anon region: concatenated argument buffers, 16-byte aligned slices *)
+  let total_anon =
+    List.fold_left
+      (fun acc v ->
+        match v with
+        | Env.Vint _ -> acc
+        | Env.Vbuf b -> acc + ((Bytes.length b + 31) / 16 * 16))
+      0 env.Env.args
+  in
+  let anon_data = Bytes.make (max total_anon 16) '\000' in
+  let regs = Array.make Isa.Reg.count 0L in
+  regs.(Isa.Reg.sp) <- Region.stack_top;
+  let off = ref 0 in
+  List.iteri
+    (fun i v ->
+      match v with
+      | Env.Vint n -> regs.(Isa.Reg.arg i) <- n
+      | Env.Vbuf b ->
+        Bytes.blit b 0 anon_data !off (Bytes.length b);
+        regs.(Isa.Reg.arg i) <- Int64.add Region.anon_base (Int64.of_int !off);
+        off := !off + ((Bytes.length b + 31) / 16 * 16))
+    env.Env.args;
+  let anon = { Region.kind = Ranon; base = Region.anon_base; data = anon_data } in
+  {
+    image;
+    regs;
+    flags = 0;
+    regions = [ stack; lib; anon; heap; mmio ];
+    heap_next = 0;
+    stdout_buf = Buffer.create 64;
+    stdin = env.Env.stdin;
+    stdin_pos = 0;
+    trace = Trace.create ();
+    fuel;
+    depth = 1;
+    listings = Hashtbl.create 16;
+    params = Isa.Encoding.params_of_arch image.arch;
+    on_instr;
+  }
+
+let regs t = t.regs
+let trace t = t.trace
+let stdout_contents t = Buffer.contents t.stdout_buf
+let image t = t.image
+
+let find_region t addr ~len =
+  let rec search = function
+    | [] -> raise (Trap (Mem_fault addr))
+    | r :: rest ->
+      if
+        Region.contains r addr
+        && Region.contains r (Int64.add addr (Int64.of_int (len - 1)))
+      then r
+      else search rest
+  in
+  search t.regions
+
+(* --- uncounted accesses (runtime/builtins) --------------------------- *)
+
+let read_u8 t addr =
+  let r = find_region t addr ~len:1 in
+  Char.code (Bytes.get r.data (Region.offset r addr))
+
+let write_u8 t addr v =
+  let r = find_region t addr ~len:1 in
+  Bytes.set r.data (Region.offset r addr) (Char.chr (v land 0xff))
+
+let read_u64 t addr =
+  let r = find_region t addr ~len:8 in
+  Bytes.get_int64_le r.data (Region.offset r addr)
+
+let write_u64 t addr v =
+  let r = find_region t addr ~len:8 in
+  Bytes.set_int64_le r.data (Region.offset r addr) v
+
+let read_cstring t addr =
+  let buf = Buffer.create 16 in
+  let rec loop a =
+    let c = read_u8 t a in
+    if c <> 0 then begin
+      Buffer.add_char buf (Char.chr c);
+      if Buffer.length buf > 65536 then raise (Trap (Import_error "unterminated string"))
+      else loop (Int64.add a 1L)
+    end
+  in
+  loop addr;
+  Buffer.contents buf
+
+let read_stdin t n =
+  let available = Bytes.length t.stdin - t.stdin_pos in
+  let take = min n (max available 0) in
+  let out = Bytes.sub t.stdin t.stdin_pos take in
+  t.stdin_pos <- t.stdin_pos + take;
+  out
+
+let print_string t s = Buffer.add_string t.stdout_buf s
+
+let malloc t size =
+  let aligned = (max size 1 + 15) / 16 * 16 in
+  if t.heap_next + aligned > Region.heap_size then
+    raise (Trap (Import_error "out of heap"));
+  let addr = Int64.add Region.heap_base (Int64.of_int t.heap_next) in
+  t.heap_next <- t.heap_next + aligned;
+  addr
+
+let free _t _addr = ()
+
+(* --- counted accesses (instruction-level) ----------------------------- *)
+
+let load t width addr =
+  match (width : Isa.Instr.width) with
+  | W1 ->
+    let r = find_region t addr ~len:1 in
+    Trace.record_mem_access t.trace r.kind;
+    Int64.of_int (Char.code (Bytes.get r.data (Region.offset r addr)))
+  | W8 ->
+    let r = find_region t addr ~len:8 in
+    Trace.record_mem_access t.trace r.kind;
+    Bytes.get_int64_le r.data (Region.offset r addr)
+
+let store t width addr v =
+  match (width : Isa.Instr.width) with
+  | W1 ->
+    let r = find_region t addr ~len:1 in
+    Trace.record_mem_access t.trace r.kind;
+    Bytes.set r.data (Region.offset r addr) (Char.chr (Int64.to_int v land 0xff))
+  | W8 ->
+    let r = find_region t addr ~len:8 in
+    Trace.record_mem_access t.trace r.kind;
+    Bytes.set_int64_le r.data (Region.offset r addr) v
+
+(* --- ALU ---------------------------------------------------------------- *)
+
+let exec_binop (op : Isa.Instr.binop) a b =
+  match op with
+  | Add -> Int64.add a b
+  | Sub -> Int64.sub a b
+  | Mul -> Int64.mul a b
+  | Div -> if b = 0L then raise (Trap Div_by_zero) else Int64.div a b
+  | Rem -> if b = 0L then raise (Trap Div_by_zero) else Int64.rem a b
+  | And -> Int64.logand a b
+  | Or -> Int64.logor a b
+  | Xor -> Int64.logxor a b
+  | Shl -> Int64.shift_left a (Int64.to_int b land 63)
+  | Shr -> Int64.shift_right_logical a (Int64.to_int b land 63)
+
+let exec_fbinop (op : Isa.Instr.fbinop) a b =
+  let fa = Int64.float_of_bits a and fb = Int64.float_of_bits b in
+  let r =
+    match op with
+    | Fadd -> fa +. fb
+    | Fsub -> fa -. fb
+    | Fmul -> fa *. fb
+    | Fdiv -> fa /. fb
+  in
+  Int64.bits_of_float r
+
+(* --- interpreter --------------------------------------------------------- *)
+
+let listing_of t fidx =
+  match Hashtbl.find_opt t.listings fidx with
+  | Some l -> l
+  | None ->
+    let l = Isa.Disasm.disassemble t.params (Loader.Image.function_code t.image fidx) in
+    Hashtbl.replace t.listings fidx l;
+    l
+
+let syscall t n =
+  let reg i = t.regs.(Isa.Reg.arg i) in
+  match n with
+  | 0 ->
+    (* read(fd, buf, n) *)
+    let buf = reg 1 and len = Int64.to_int (reg 2) in
+    let data = read_stdin t len in
+    Bytes.iteri
+      (fun i c -> write_u8 t (Int64.add buf (Int64.of_int i)) (Char.code c))
+      data;
+    t.regs.(Isa.Reg.ret) <- Int64.of_int (Bytes.length data)
+  | 1 ->
+    (* write(fd, buf, n) *)
+    let buf = reg 1 and len = Int64.to_int (reg 2) in
+    let b = Buffer.create len in
+    for i = 0 to len - 1 do
+      Buffer.add_char b (Char.chr (read_u8 t (Int64.add buf (Int64.of_int i))))
+    done;
+    Buffer.add_buffer t.stdout_buf b;
+    t.regs.(Isa.Reg.ret) <- Int64.of_int len
+  | 2 -> t.regs.(Isa.Reg.ret) <- 1_600_000_000L  (* deterministic clock *)
+  | 3 -> t.regs.(Isa.Reg.ret) <- 4242L
+  | _ -> t.regs.(Isa.Reg.ret) <- Int64.minus_one
+
+let rec call_function t ~handler fidx =
+  if t.depth >= max_depth then raise (Trap Call_depth_exceeded);
+  t.depth <- t.depth + 1;
+  Trace.record_depth t.trace t.depth;
+  let listing = listing_of t fidx in
+  let instrs = listing.Isa.Disasm.instrs in
+  let n = Array.length instrs in
+  let jump_to off =
+    match Isa.Disasm.index_of_offset listing off with
+    | Some i -> i
+    | None -> raise (Trap (Jump_out_of_range off))
+  in
+  let rec step pc =
+    if pc < 0 || pc >= n then raise (Trap (Jump_out_of_range pc));
+    if t.fuel <= 0 then raise (Trap Step_limit);
+    t.fuel <- t.fuel - 1;
+    let ins = instrs.(pc) in
+    t.on_instr ~fidx ~pc ins;
+    Trace.record_instr t.trace ~fidx ~pc ins;
+    let operand (o : Isa.Instr.operand) =
+      match o with Reg r -> t.regs.(r) | Imm v -> v
+    in
+    match ins with
+    | Nop -> step (pc + 1)
+    | Mov (d, o) ->
+      t.regs.(d) <- operand o;
+      step (pc + 1)
+    | Binop (op, d, a, o) ->
+      t.regs.(d) <- exec_binop op t.regs.(a) (operand o);
+      step (pc + 1)
+    | Fbinop (op, d, a, b) ->
+      t.regs.(d) <- exec_fbinop op t.regs.(a) t.regs.(b);
+      step (pc + 1)
+    | Neg (d, a) ->
+      t.regs.(d) <- Int64.neg t.regs.(a);
+      step (pc + 1)
+    | Not (d, a) ->
+      t.regs.(d) <- Int64.lognot t.regs.(a);
+      step (pc + 1)
+    | I2f (d, a) ->
+      t.regs.(d) <- Int64.bits_of_float (Int64.to_float t.regs.(a));
+      step (pc + 1)
+    | F2i (d, a) ->
+      let f = Int64.float_of_bits t.regs.(a) in
+      t.regs.(d) <- (if Float.is_nan f then 0L else Int64.of_float f);
+      step (pc + 1)
+    | Load (w, d, b, off) ->
+      t.regs.(d) <- load t w (Int64.add t.regs.(b) (Int64.of_int off));
+      step (pc + 1)
+    | Store (w, s, b, off) ->
+      store t w (Int64.add t.regs.(b) (Int64.of_int off)) t.regs.(s);
+      step (pc + 1)
+    | Lea (d, addr) ->
+      t.regs.(d) <- addr;
+      step (pc + 1)
+    | Cmp (a, o) ->
+      t.flags <- compare t.regs.(a) (operand o);
+      step (pc + 1)
+    | Fcmp (a, b) ->
+      t.flags <-
+        compare (Int64.float_of_bits t.regs.(a)) (Int64.float_of_bits t.regs.(b));
+      step (pc + 1)
+    | Jmp off -> step (jump_to off)
+    | Jcc (c, off) ->
+      if Isa.Cond.holds c t.flags then step (jump_to off) else step (pc + 1)
+    | Jtable (r, offs) ->
+      let idx = t.regs.(r) in
+      if idx < 0L || idx >= Int64.of_int (Array.length offs) then
+        raise (Trap (Jtable_out_of_range idx))
+      else step (jump_to offs.(Int64.to_int idx))
+    | Call idx -> begin
+      match Loader.Image.call_target t.image idx with
+      | Some (Loader.Image.Internal j) ->
+        Trace.record_internal_call t.trace;
+        call_function t ~handler j;
+        step (pc + 1)
+      | Some (Loader.Image.Import name) ->
+        Trace.record_library_call t.trace;
+        handler t name;
+        step (pc + 1)
+      | None -> raise (Trap (Import_error (Printf.sprintf "bad call index %d" idx)))
+    end
+    | Ret -> ()
+    | Push r ->
+      t.regs.(Isa.Reg.sp) <- Int64.sub t.regs.(Isa.Reg.sp) 8L;
+      store t W8 t.regs.(Isa.Reg.sp) t.regs.(r);
+      step (pc + 1)
+    | Pop r ->
+      t.regs.(r) <- load t W8 t.regs.(Isa.Reg.sp);
+      t.regs.(Isa.Reg.sp) <- Int64.add t.regs.(Isa.Reg.sp) 8L;
+      step (pc + 1)
+    | Syscall num ->
+      Trace.record_syscall t.trace;
+      syscall t num;
+      step (pc + 1)
+  in
+  step 0;
+  t.depth <- t.depth - 1
+
+let trap_to_string = function
+  | Mem_fault addr -> Printf.sprintf "memory fault at 0x%Lx" addr
+  | Div_by_zero -> "division by zero"
+  | Step_limit -> "step limit exceeded (possible infinite loop)"
+  | Call_depth_exceeded -> "call depth exceeded"
+  | Jump_out_of_range off -> Printf.sprintf "jump out of range (%d)" off
+  | Jtable_out_of_range v -> Printf.sprintf "jump table index out of range (%Ld)" v
+  | Unknown_import name -> "unknown import " ^ name
+  | Import_error msg -> "import error: " ^ msg
+  | Aborted msg -> "aborted: " ^ msg

@@ -1,0 +1,62 @@
+(** The emulated machine: registers, flags, memory regions, trace hooks
+    and the interpreter loop.
+
+    A machine executes one exported function per run (the DLL-injection
+    analog): arguments are placed in r0..r5, the callee runs to
+    completion, and everything it did is recorded in the {!Trace}.
+    Determinism: same image + same {!Env} ⇒ identical trace. *)
+
+type trap =
+  | Mem_fault of int64
+  | Div_by_zero
+  | Step_limit  (** fuel exhausted — the infinite-loop verdict *)
+  | Call_depth_exceeded
+  | Jump_out_of_range of int
+  | Jtable_out_of_range of int64
+  | Unknown_import of string
+  | Import_error of string
+  | Aborted of string
+
+exception Trap of trap
+exception Exit_program of int
+
+type t
+
+val create :
+  ?fuel:int ->
+  ?on_instr:(fidx:int -> pc:int -> int Isa.Instr.t -> unit) ->
+  Loader.Image.t ->
+  Env.t ->
+  t
+(** Build the address space: image data (with environment patches) as the
+    lib region, fresh heap/stack, argument buffers in the anon region and
+    a seeded MMIO window as "others".  [on_instr] is invoked before each
+    executed instruction (the gdb-style single-step hook the CLI's trace
+    command uses). *)
+
+val regs : t -> int64 array
+val trace : t -> Trace.t
+val stdout_contents : t -> string
+val image : t -> Loader.Image.t
+
+(* Memory access for the runtime (not counted as instruction-level
+   accesses). *)
+val read_u8 : t -> int64 -> int
+val write_u8 : t -> int64 -> int -> unit
+val read_u64 : t -> int64 -> int64
+val write_u64 : t -> int64 -> int64 -> unit
+val read_cstring : t -> int64 -> string
+(** NUL-terminated string at the address; raises {!Trap} on faults. *)
+
+val read_stdin : t -> int -> bytes
+(** Consume up to [n] bytes of the environment's stdin stream. *)
+
+val print_string : t -> string -> unit
+val malloc : t -> int -> int64
+val free : t -> int64 -> unit
+
+val call_function : t -> handler:(t -> string -> unit) -> int -> unit
+(** Execute function [i] of the image to completion; [handler] implements
+    imports.  Raises {!Trap} or {!Exit_program}. *)
+
+val trap_to_string : trap -> string

@@ -1,0 +1,28 @@
+type kind = Rlib | Rheap | Rstack | Ranon | Rothers
+
+type t = {
+  kind : kind;
+  base : int64;
+  data : bytes;
+}
+
+let lib_base = Loader.Image.data_base_default
+let heap_base = 0x0100_0000L
+let heap_size = 1 lsl 20
+let anon_base = 0x2000_0000L
+let mmio_base = 0x4000_0000L
+let mmio_size = 4096
+let stack_top = 0x7000_0000L
+let stack_size = 1 lsl 18
+
+let contains t addr =
+  addr >= t.base && addr < Int64.add t.base (Int64.of_int (Bytes.length t.data))
+
+let offset t addr = Int64.to_int (Int64.sub addr t.base)
+
+let kind_to_string = function
+  | Rlib -> "lib"
+  | Rheap -> "heap"
+  | Rstack -> "stack"
+  | Ranon -> "anon"
+  | Rothers -> "others"

@@ -1,0 +1,28 @@
+(** Virtual memory regions of the emulated process.
+
+    The classification mirrors what the paper reads out of
+    /proc/pid/maps: heap, stack, mapped library (our image data section),
+    anonymous mappings (fuzzer-provided input buffers) and "others" (a
+    small MMIO-like window some device code pokes). *)
+
+type kind = Rlib | Rheap | Rstack | Ranon | Rothers
+
+type t = {
+  kind : kind;
+  base : int64;
+  data : bytes;
+}
+
+val lib_base : int64  (** = {!Loader.Image.data_base_default} *)
+
+val heap_base : int64
+val heap_size : int
+val anon_base : int64
+val mmio_base : int64
+val mmio_size : int
+val stack_top : int64
+val stack_size : int
+
+val contains : t -> int64 -> bool
+val offset : t -> int64 -> int
+val kind_to_string : kind -> string

@@ -1,0 +1,77 @@
+let names =
+  [
+    "memcpy"; "memmove"; "memset"; "memcmp"; "strlen"; "strcmp"; "malloc";
+    "free"; "print_int"; "print_str"; "fsqrt"; "fabs"; "ffloor"; "exit";
+    "abort"; "panic";
+  ]
+
+let arg m i = (Machine.regs m).(Isa.Reg.arg i)
+let set_ret m v = (Machine.regs m).(Isa.Reg.ret) <- v
+
+let copy_bytes m ~dst ~src n =
+  (* memmove semantics: buffer through an OCaml array, so overlapping
+     ranges behave as if copied via a temporary *)
+  let tmp =
+    Array.init n (fun i -> Machine.read_u8 m (Int64.add src (Int64.of_int i)))
+  in
+  Array.iteri
+    (fun i v -> Machine.write_u8 m (Int64.add dst (Int64.of_int i)) v)
+    tmp
+
+let forward_copy m ~dst ~src n =
+  (* memcpy: byte-at-a-time forward copy (undefined for overlap, like the
+     real thing — here it just smears) *)
+  for i = 0 to n - 1 do
+    Machine.write_u8 m
+      (Int64.add dst (Int64.of_int i))
+      (Machine.read_u8 m (Int64.add src (Int64.of_int i)))
+  done
+
+let float_arg m i = Int64.float_of_bits (arg m i)
+let set_float_ret m f = set_ret m (Int64.bits_of_float f)
+
+let dispatch m name =
+  match name with
+  | "memcpy" ->
+    forward_copy m ~dst:(arg m 0) ~src:(arg m 1) (Int64.to_int (arg m 2))
+  | "memmove" ->
+    copy_bytes m ~dst:(arg m 0) ~src:(arg m 1) (Int64.to_int (arg m 2))
+  | "memset" ->
+    let dst = arg m 0 and v = Int64.to_int (arg m 1) in
+    let n = Int64.to_int (arg m 2) in
+    for i = 0 to n - 1 do
+      Machine.write_u8 m (Int64.add dst (Int64.of_int i)) v
+    done
+  | "memcmp" ->
+    let a = arg m 0 and b = arg m 1 in
+    let n = Int64.to_int (arg m 2) in
+    let rec loop i =
+      if i >= n then 0
+      else begin
+        let ca = Machine.read_u8 m (Int64.add a (Int64.of_int i)) in
+        let cb = Machine.read_u8 m (Int64.add b (Int64.of_int i)) in
+        if ca <> cb then compare ca cb else loop (i + 1)
+      end
+    in
+    set_ret m (Int64.of_int (loop 0))
+  | "strlen" ->
+    set_ret m (Int64.of_int (String.length (Machine.read_cstring m (arg m 0))))
+  | "strcmp" ->
+    let a = Machine.read_cstring m (arg m 0) in
+    let b = Machine.read_cstring m (arg m 1) in
+    set_ret m (Int64.of_int (compare a b))
+  | "malloc" -> set_ret m (Machine.malloc m (Int64.to_int (arg m 0)))
+  | "free" -> Machine.free m (arg m 0)
+  | "print_int" -> Machine.print_string m (Int64.to_string (arg m 0))
+  | "print_str" -> Machine.print_string m (Machine.read_cstring m (arg m 0))
+  | "fsqrt" -> set_float_ret m (sqrt (float_arg m 0))
+  | "fabs" -> set_float_ret m (abs_float (float_arg m 0))
+  | "ffloor" -> set_float_ret m (floor (float_arg m 0))
+  | "exit" -> raise (Machine.Exit_program (Int64.to_int (arg m 0)))
+  | "abort" -> raise (Machine.Trap (Machine.Aborted "abort"))
+  | "panic" ->
+    let msg =
+      try Machine.read_cstring m (arg m 0) with Machine.Trap _ -> "panic"
+    in
+    raise (Machine.Trap (Machine.Aborted msg))
+  | other -> raise (Machine.Trap (Machine.Unknown_import other))

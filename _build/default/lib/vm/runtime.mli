@@ -1,0 +1,13 @@
+(** Implementations of the libc-like imports (the VM-side half of
+    {!Minic.Builtins}).  Arguments arrive in r0..r5, results return in r0;
+    builtin-internal memory traffic is not counted as instruction-level
+    accesses, matching trace collection at the binary's own instructions
+    only. *)
+
+val dispatch : Machine.t -> string -> unit
+(** Raises [Machine.Trap (Unknown_import _)] for names outside the
+    runtime, [Machine.Exit_program] for [exit], and
+    [Machine.Trap (Aborted _)] for [abort]/[panic]. *)
+
+val names : string list
+(** Every import the runtime implements. *)

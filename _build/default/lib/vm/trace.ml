@@ -1,0 +1,109 @@
+type t = {
+  mutable internal_calls : int;
+  mutable depth_samples : int list;
+  mutable instr_count : int;
+  unique : (int * int, int) Hashtbl.t;  (** (fidx, pc) -> executions *)
+  mutable call_count : int;
+  mutable arith_count : int;
+  mutable branch_count : int;
+  mutable load_count : int;
+  mutable store_count : int;
+  branch_freq : (int * int, int) Hashtbl.t;
+  arith_freq : (int * int, int) Hashtbl.t;
+  mutable heap_access : int;
+  mutable stack_access : int;
+  mutable lib_access : int;
+  mutable anon_access : int;
+  mutable others_access : int;
+  mutable lib_calls : int;
+  mutable syscalls : int;
+}
+
+let create () =
+  {
+    internal_calls = 0;
+    depth_samples = [];
+    instr_count = 0;
+    unique = Hashtbl.create 256;
+    call_count = 0;
+    arith_count = 0;
+    branch_count = 0;
+    load_count = 0;
+    store_count = 0;
+    branch_freq = Hashtbl.create 64;
+    arith_freq = Hashtbl.create 64;
+    heap_access = 0;
+    stack_access = 0;
+    lib_access = 0;
+    anon_access = 0;
+    others_access = 0;
+    lib_calls = 0;
+    syscalls = 0;
+  }
+
+let bump table key =
+  let v = match Hashtbl.find_opt table key with Some v -> v | None -> 0 in
+  Hashtbl.replace table key (v + 1)
+
+let record_instr t ~fidx ~pc ins =
+  t.instr_count <- t.instr_count + 1;
+  let key = (fidx, pc) in
+  bump t.unique key;
+  if Isa.Instr.is_call ins then t.call_count <- t.call_count + 1;
+  if Isa.Instr.is_arith ins then begin
+    t.arith_count <- t.arith_count + 1;
+    bump t.arith_freq key
+  end;
+  if Isa.Instr.is_branch ins then begin
+    t.branch_count <- t.branch_count + 1;
+    bump t.branch_freq key
+  end;
+  if Isa.Instr.is_load ins then t.load_count <- t.load_count + 1;
+  if Isa.Instr.is_store ins then t.store_count <- t.store_count + 1
+
+let record_depth t d = t.depth_samples <- d :: t.depth_samples
+
+let record_internal_call t = t.internal_calls <- t.internal_calls + 1
+let record_library_call t = t.lib_calls <- t.lib_calls + 1
+let record_syscall t = t.syscalls <- t.syscalls + 1
+
+let record_mem_access t kind =
+  match kind with
+  | Region.Rheap -> t.heap_access <- t.heap_access + 1
+  | Region.Rstack -> t.stack_access <- t.stack_access + 1
+  | Region.Rlib -> t.lib_access <- t.lib_access + 1
+  | Region.Ranon -> t.anon_access <- t.anon_access + 1
+  | Region.Rothers -> t.others_access <- t.others_access + 1
+
+let instructions_executed t = t.instr_count
+
+let max_freq table =
+  Hashtbl.fold (fun _ v acc -> max v acc) table 0
+
+let features t =
+  let depths = Array.of_list (List.map float_of_int t.depth_samples) in
+  let dmin, dmax, davg, dstd = Util.Stats.min_max_avg_std depths in
+  let f = float_of_int in
+  [|
+    f t.internal_calls;
+    dmin;
+    dmax;
+    davg;
+    dstd;
+    f t.instr_count;
+    f (Hashtbl.length t.unique);
+    f t.call_count;
+    f t.arith_count;
+    f t.branch_count;
+    f t.load_count;
+    f t.store_count;
+    f (max_freq t.branch_freq);
+    f (max_freq t.arith_freq);
+    f t.heap_access;
+    f t.stack_access;
+    f t.lib_access;
+    f t.anon_access;
+    f t.others_access;
+    f t.lib_calls;
+    f t.syscalls;
+  |]

@@ -1,0 +1,21 @@
+(** Trace accumulator: the dynamic engine streams per-instruction and
+    per-event observations in; [features] reduces them to the 21-element
+    vector of Table II. *)
+
+type t
+
+val create : unit -> t
+
+val record_instr : t -> fidx:int -> pc:int -> int Isa.Instr.t -> unit
+(** Called once per executed instruction with its address. *)
+
+val record_depth : t -> int -> unit
+(** Sample of the call-stack depth. *)
+
+val record_internal_call : t -> unit
+val record_library_call : t -> unit
+val record_syscall : t -> unit
+val record_mem_access : t -> Region.kind -> unit
+
+val instructions_executed : t -> int
+val features : t -> Util.Vec.t

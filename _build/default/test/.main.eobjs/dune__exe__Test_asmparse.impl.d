@@ -1,0 +1,1 @@
+test/test_asmparse.ml: Alcotest Array Bytes Corpus Format Isa List Loader Minic Printf Vm

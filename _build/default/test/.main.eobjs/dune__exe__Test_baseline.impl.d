@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Baseline Corpus Isa Loader Minic Printf Staticfeat

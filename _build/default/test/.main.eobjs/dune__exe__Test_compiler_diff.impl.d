@@ -1,0 +1,1 @@
+test/test_compiler_diff.ml: Alcotest Corpus Fuzz Int64 Isa List Minic Printf QCheck QCheck_alcotest Util Vm

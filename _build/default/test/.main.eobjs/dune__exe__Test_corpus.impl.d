@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Array Bytes Corpus Fuzz List Loader Minic Nn Staticfeat Util Vm

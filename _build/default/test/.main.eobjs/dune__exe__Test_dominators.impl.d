@@ -1,0 +1,1 @@
+test/test_dominators.ml: Alcotest Array Cfg Corpus Isa List Loader Minic

@@ -1,0 +1,1 @@
+test/test_evaluation.ml: Alcotest Array Buffer Evaluation Format Lazy List Loader Patchecko

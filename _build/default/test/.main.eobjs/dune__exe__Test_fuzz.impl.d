@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Bytes Fuzz Int64 Isa List Minic Util Vm

@@ -1,0 +1,1 @@
+test/test_loader.ml: Alcotest Array Bytes Corpus Filename Int64 Isa Loader Minic QCheck QCheck_alcotest Sys Vm

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Array Isa List Loader Minic Printf

@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array List Nn Printf Util

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array List Minic

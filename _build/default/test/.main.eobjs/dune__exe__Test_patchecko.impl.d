@@ -1,0 +1,1 @@
+test/test_patchecko.ml: Alcotest Array Corpus Fun Isa List Loader Minic Nn Patchecko Similarity Staticfeat String Util

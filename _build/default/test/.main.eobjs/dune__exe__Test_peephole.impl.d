@@ -1,0 +1,1 @@
+test/test_peephole.ml: Alcotest Bytes Corpus Int64 Isa List Loader Minic QCheck QCheck_alcotest Util

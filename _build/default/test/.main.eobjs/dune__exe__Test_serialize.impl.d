@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Array Bytes Filename List Nn Sys Util

@@ -1,0 +1,1 @@
+test/test_similarity.ml: Alcotest Array Gen List QCheck QCheck_alcotest Similarity String

@@ -1,0 +1,1 @@
+test/test_staticfeat.ml: Alcotest Array Corpus Float Hashtbl Int64 Isa Loader Minic QCheck QCheck_alcotest Staticfeat

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Char Int64 Isa Lazy List Loader Minic Printf String Util Vm

@@ -1,0 +1,1 @@
+test/test_vm_details.ml: Alcotest Array Bytes Isa List Loader Minic Option String Vm

@@ -1,0 +1,25 @@
+let () =
+  Alcotest.run "patchecko"
+    [
+      ("util", Test_util.suite);
+      ("isa", Test_isa.suite);
+      ("asmparse", Test_asmparse.suite);
+      ("loader", Test_loader.suite);
+      ("cfg", Test_cfg.suite);
+      ("dominators", Test_dominators.suite);
+      ("minic", Test_minic.suite);
+      ("opt", Test_opt.suite);
+      ("peephole", Test_peephole.suite);
+      ("vm", Test_vm.suite);
+      ("vm-details", Test_vm_details.suite);
+      ("staticfeat", Test_staticfeat.suite);
+      ("nn", Test_nn.suite);
+      ("serialize", Test_serialize.suite);
+      ("similarity", Test_similarity.suite);
+      ("baseline", Test_baseline.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("corpus", Test_corpus.suite);
+      ("patchecko", Test_patchecko.suite);
+      ("compiler-diff", Test_compiler_diff.suite);
+      ("evaluation", Test_evaluation.suite);
+    ]

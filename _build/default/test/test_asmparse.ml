@@ -1,0 +1,116 @@
+(* Textual assembly: parse, print, round-trip, and end-to-end execution of
+   a handwritten function. *)
+
+let simple_program =
+  {|
+; compute r0 = r0 * 2 + 1
+  push fp
+  mov fp, sp
+  mul r6, r0, #2
+  add r0, r6, #1
+  mov sp, fp
+  pop fp
+  ret
+|}
+
+let parses_simple () =
+  let items = Isa.Asmparse.parse simple_program in
+  Alcotest.(check int) "seven instructions" 7 (List.length items)
+
+let print_parse_roundtrip () =
+  let items = Isa.Asmparse.parse simple_program in
+  let printed = Isa.Asmparse.print items in
+  Alcotest.(check bool) "round trip" true (Isa.Asmparse.parse printed = items)
+
+let labels_and_branches () =
+  let items =
+    Isa.Asmparse.parse
+      {|
+loop:
+  cmp r1, #10
+  jge done
+  add r1, r1, #1
+  jmp loop
+done:
+  ret
+|}
+  in
+  (match items with
+  | Isa.Asm.Label "loop" :: _ -> ()
+  | _ -> Alcotest.fail "label missing");
+  Alcotest.(check bool) "round trip" true
+    (Isa.Asmparse.parse (Isa.Asmparse.print items) = items)
+
+let memory_operands () =
+  (match Isa.Asmparse.parse_instr "ld r3, [fp-16]" with
+  | Load (W8, 3, base, -16) when base = Isa.Reg.fp -> ()
+  | _ -> Alcotest.fail "bad load parse");
+  match Isa.Asmparse.parse_instr "stb r2, [r5+8]" with
+  | Store (W1, 2, 5, 8) -> ()
+  | _ -> Alcotest.fail "bad store parse"
+
+let jump_tables () =
+  match Isa.Asmparse.parse_instr "jtab r2, [a, b, c]" with
+  | Jtable (2, targets) ->
+    Alcotest.(check (array string)) "targets" [| "a"; "b"; "c" |] targets
+  | _ -> Alcotest.fail "bad jtab parse"
+
+let rejects_garbage () =
+  (match Isa.Asmparse.parse "frobnicate r1" with
+  | exception Isa.Asmparse.Parse_error (1, _) -> ()
+  | _ -> Alcotest.fail "unknown mnemonic accepted");
+  match Isa.Asmparse.parse "mov r99, #1" with
+  | exception Isa.Asmparse.Parse_error (1, _) -> ()
+  | _ -> Alcotest.fail "bad register accepted"
+
+let handwritten_function_executes () =
+  let items = Isa.Asmparse.parse simple_program in
+  let params = Isa.Encoding.params_of_arch Isa.Arch.Arm64 in
+  let code = Isa.Asm.assemble params items in
+  let img =
+    {
+      Loader.Image.name = "handwritten";
+      arch = Isa.Arch.Arm64;
+      functions = [| code |];
+      calls = [||];
+      data = Bytes.empty;
+      data_base = Loader.Image.data_base_default;
+      strings = [||];
+      symtab = None;
+    }
+  in
+  match (Vm.Exec.run img 0 (Vm.Env.make [ Vm.Env.Vint 20L ])).Vm.Exec.outcome with
+  | Vm.Exec.Finished 41L -> ()
+  | other -> Alcotest.failf "expected 41, got %s" (Vm.Exec.outcome_to_string other)
+
+(* round-trip every instruction produced by disassembling a compiled
+   corpus function: pp -> parse must be the identity on label-free text *)
+let roundtrip_disassembly () =
+  let prog = Corpus.Genlib.generate ~seed:0xA5A5L ~index:0 ~nfuncs:10 in
+  let img = Minic.Compiler.compile ~arch:Isa.Arch.X86 ~opt:Minic.Optlevel.O1 prog in
+  for fidx = 0 to min 4 (Loader.Image.function_count img - 1) do
+    let listing = Loader.Image.disassemble img fidx in
+    Array.iter
+      (fun ins ->
+        (* render with symbolic labels so the parser can read it back *)
+        let sym = Isa.Instr.map_label (fun off -> Printf.sprintf "L%d" off) ins in
+        let text = Format.asprintf "%a" (Isa.Instr.pp Format.pp_print_string) sym in
+        match Isa.Asmparse.parse_instr text with
+        | parsed ->
+          if parsed <> sym then Alcotest.failf "round-trip failed for %S" text
+        | exception Isa.Asmparse.Parse_error (_, msg) ->
+          Alcotest.failf "cannot parse %S: %s" text msg)
+      listing.Isa.Disasm.instrs
+  done
+
+let suite =
+  [
+    Alcotest.test_case "parses-simple" `Quick parses_simple;
+    Alcotest.test_case "print-parse-roundtrip" `Quick print_parse_roundtrip;
+    Alcotest.test_case "labels-and-branches" `Quick labels_and_branches;
+    Alcotest.test_case "memory-operands" `Quick memory_operands;
+    Alcotest.test_case "jump-tables" `Quick jump_tables;
+    Alcotest.test_case "rejects-garbage" `Quick rejects_garbage;
+    Alcotest.test_case "handwritten-executes" `Quick handwritten_function_executes;
+    Alcotest.test_case "roundtrip-disassembly" `Quick roundtrip_disassembly;
+  ]

@@ -1,0 +1,97 @@
+(* The kNN and CFG-matching baseline comparators. *)
+
+let sample_image arch opt =
+  let prog = Corpus.Genlib.generate ~seed:0xBA5EL ~index:0 ~nfuncs:14 in
+  Minic.Compiler.compile ~arch ~opt prog
+
+let knn_self_distance_zero () =
+  let img = sample_image Isa.Arch.X86 Minic.Optlevel.O1 in
+  let feats = Staticfeat.Extract.of_image img in
+  Array.iter
+    (fun f ->
+      Alcotest.(check (float 1e-9)) "d(x,x)=0" 0.0 (Baseline.Knn.distance f f))
+    feats
+
+let knn_finds_same_function_across_configs () =
+  let a = sample_image Isa.Arch.X86 Minic.Optlevel.O1 in
+  let b = sample_image Isa.Arch.Arm64 Minic.Optlevel.O2 in
+  (* for most functions, the same index in the other build is the nearest *)
+  let feats_a = Staticfeat.Extract.of_image a in
+  let hits = ref 0 in
+  Array.iteri
+    (fun i f ->
+      match Baseline.Knn.rank_image ~reference:f b with
+      | (best, _) :: _ when best = i -> incr hits
+      | _ -> ())
+    feats_a;
+  Alcotest.(check bool)
+    (Printf.sprintf "%d/%d top-1 hits" !hits (Array.length feats_a))
+    true
+    (!hits * 3 >= Array.length feats_a * 2)
+
+let knn_rank_of () =
+  Alcotest.(check (option int)) "found" (Some 2)
+    (Baseline.Knn.rank_of 9 [ (3, 0.1); (9, 0.2); (1, 0.3) ]);
+  Alcotest.(check (option int)) "missing" None
+    (Baseline.Knn.rank_of 7 [ (3, 0.1) ])
+
+let graphmatch_self_zero () =
+  let img = sample_image Isa.Arch.Arm32 Minic.Optlevel.O2 in
+  for i = 0 to min 5 (Loader.Image.function_count img - 1) do
+    let blocks = Baseline.Graphmatch.block_attributes img i in
+    Alcotest.(check (float 1e-9)) "self cost 0" 0.0
+      (Baseline.Graphmatch.similarity blocks blocks)
+  done
+
+let graphmatch_symmetric () =
+  let img = sample_image Isa.Arch.Arm32 Minic.Optlevel.O2 in
+  let a = Baseline.Graphmatch.block_attributes img 0 in
+  let b = Baseline.Graphmatch.block_attributes img 1 in
+  Alcotest.(check (float 1e-9)) "symmetric"
+    (Baseline.Graphmatch.similarity a b)
+    (Baseline.Graphmatch.similarity b a)
+
+let graphmatch_penalises_size_difference () =
+  let img = sample_image Isa.Arch.Arm32 Minic.Optlevel.O0 in
+  (* find two functions with very different block counts *)
+  let attrs =
+    Array.init (Loader.Image.function_count img) (fun i ->
+        Baseline.Graphmatch.block_attributes img i)
+  in
+  let sizes = Array.map Array.length attrs in
+  let small = ref 0 and big = ref 0 in
+  Array.iteri
+    (fun i n ->
+      if n < sizes.(!small) then small := i;
+      if n > sizes.(!big) then big := i)
+    sizes;
+  if sizes.(!big) > sizes.(!small) then
+    Alcotest.(check bool) "different shapes cost more than self" true
+      (Baseline.Graphmatch.similarity attrs.(!small) attrs.(!big) > 0.0)
+
+let graphmatch_ranks_same_function () =
+  let a = sample_image Isa.Arch.X86 Minic.Optlevel.O1 in
+  let b = sample_image Isa.Arch.Arm64 Minic.Optlevel.O1 in
+  let hits = ref 0 in
+  let n = Loader.Image.function_count a in
+  for i = 0 to n - 1 do
+    let reference = Baseline.Graphmatch.block_attributes a i in
+    match Baseline.Graphmatch.rank ~reference b with
+    | (best, _) :: _ when best = i -> incr hits
+    | _ -> ()
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "%d/%d top-1" !hits n)
+    true
+    (!hits * 3 >= n * 2)
+
+let suite =
+  [
+    Alcotest.test_case "knn-self-zero" `Quick knn_self_distance_zero;
+    Alcotest.test_case "knn-cross-config" `Quick knn_finds_same_function_across_configs;
+    Alcotest.test_case "knn-rank-of" `Quick knn_rank_of;
+    Alcotest.test_case "graphmatch-self-zero" `Quick graphmatch_self_zero;
+    Alcotest.test_case "graphmatch-symmetric" `Quick graphmatch_symmetric;
+    Alcotest.test_case "graphmatch-size-penalty" `Quick graphmatch_penalises_size_difference;
+    Alcotest.test_case "graphmatch-cross-config" `Quick graphmatch_ranks_same_function;
+  ]

@@ -1,0 +1,151 @@
+(* CFG recovery: block splitting, edges, classification, centrality. *)
+
+let params = Isa.Encoding.params_of_arch Isa.Arch.X86
+
+let listing_of items =
+  Isa.Disasm.disassemble params (Isa.Asm.assemble params items)
+
+(* if/else diamond:
+     B0: cmp, jcc Lelse
+     B1: ..., jmp Lend
+     B2 (Lelse): ...
+     B3 (Lend): ret *)
+let diamond : Isa.Asm.item list =
+  [
+    Ins (Cmp (0, Imm 0L));
+    Ins (Jcc (Isa.Cond.Eq, "else"));
+    Ins (Mov (1, Imm 1L));
+    Ins (Jmp "end");
+    Label "else";
+    Ins (Mov (1, Imm 2L));
+    Label "end";
+    Ins Ret;
+  ]
+
+let diamond_structure () =
+  let g = Cfg.Graph.build (listing_of diamond) in
+  Alcotest.(check int) "blocks" 4 (Cfg.Graph.block_count g);
+  Alcotest.(check int) "edges" 4 (Cfg.Graph.edge_count g);
+  Alcotest.(check int) "cyclomatic" 2 (Cfg.Graph.cyclomatic_complexity g);
+  (* entry has two successors *)
+  match Cfg.Graph.entry g with
+  | Some b -> Alcotest.(check int) "entry succs" 2 (List.length b.Cfg.Block.succs)
+  | None -> Alcotest.fail "no entry"
+
+let loop_structure () =
+  let items : Isa.Asm.item list =
+    [
+      Label "head";
+      Ins (Cmp (0, Imm 10L));
+      Ins (Jcc (Isa.Cond.Ge, "exit"));
+      Ins (Binop (Add, 0, 0, Imm 1L));
+      Ins (Jmp "head");
+      Label "exit";
+      Ins Ret;
+    ]
+  in
+  let g = Cfg.Graph.build (listing_of items) in
+  Alcotest.(check int) "blocks" 3 (Cfg.Graph.block_count g);
+  (* back edge present: body block's successor is the head *)
+  let body = g.Cfg.Graph.blocks.(1) in
+  Alcotest.(check bool) "back edge" true (List.mem 0 body.Cfg.Block.succs)
+
+let classify_ret_and_cndret () =
+  let items : Isa.Asm.item list =
+    [
+      Ins (Cmp (0, Imm 0L));
+      Ins (Jcc (Isa.Cond.Eq, "quick"));
+      Ins (Mov (1, Imm 5L));
+      Ins Ret;
+      Label "quick";
+      Ins Ret;
+    ]
+  in
+  let g = Cfg.Graph.build (listing_of items) in
+  let classes = List.map (Cfg.Classify.classify g) (Array.to_list g.Cfg.Graph.blocks) in
+  Alcotest.(check bool) "has cndret" true (List.mem Cfg.Classify.Cndret classes);
+  Alcotest.(check bool) "has ret" true (List.mem Cfg.Classify.Ret classes)
+
+let classify_indjump () =
+  let items : Isa.Asm.item list =
+    [
+      Ins (Jtable (0, [| "a"; "b" |]));
+      Label "a";
+      Ins Ret;
+      Label "b";
+      Ins Ret;
+    ]
+  in
+  let g = Cfg.Graph.build (listing_of items) in
+  Alcotest.(check bool) "indjump classified" true
+    (List.exists
+       (fun b -> Cfg.Classify.classify g b = Cfg.Classify.Indjump)
+       (Array.to_list g.Cfg.Graph.blocks));
+  (* jtable produced two successors *)
+  Alcotest.(check int) "two successors" 2
+    (List.length g.Cfg.Graph.blocks.(0).Cfg.Block.succs)
+
+let classify_noret_call () =
+  (* a call flagged no-return terminates its block with Noret class *)
+  let items : Isa.Asm.item list =
+    [ Ins (Mov (0, Imm 1L)); Ins (Call 7); Ins (Mov (0, Imm 2L)); Ins Ret ]
+  in
+  let listing = listing_of items in
+  let g = Cfg.Graph.build ~is_noret_call:(fun idx -> idx = 7) listing in
+  Alcotest.(check int) "split at noret call" 2 (Cfg.Graph.block_count g);
+  Alcotest.(check bool) "noret class" true
+    (Cfg.Classify.classify g g.Cfg.Graph.blocks.(0) = Cfg.Classify.Noret)
+
+let classify_error_falloff () =
+  (* no terminator at the end: execution passes the function end *)
+  let items : Isa.Asm.item list = [ Ins (Mov (0, Imm 1L)) ] in
+  let g = Cfg.Graph.build (listing_of items) in
+  Alcotest.(check bool) "error class" true
+    (Cfg.Classify.classify g g.Cfg.Graph.blocks.(0) = Cfg.Classify.Error)
+
+let classify_extern_jump () =
+  (* jump beyond the function body *)
+  let items : Isa.Asm.item list = [ Ins (Jmp "far"); Label "far" ] in
+  (* "far" is at the very end = function size, i.e. outside *)
+  let g = Cfg.Graph.build (listing_of items) in
+  let c = Cfg.Classify.classify g g.Cfg.Graph.blocks.(0) in
+  Alcotest.(check string) "extern" "extern" (Cfg.Classify.to_string c);
+  let c2 =
+    Cfg.Classify.classify ~is_noret_target:(fun _ -> true) g
+      g.Cfg.Graph.blocks.(0)
+  in
+  Alcotest.(check string) "enoret" "enoret" (Cfg.Classify.to_string c2)
+
+let centrality_diamond () =
+  let g = Cfg.Graph.build (listing_of diamond) in
+  let bc = Cfg.Centrality.betweenness g in
+  (* the two middle blocks lie on one shortest path each; entry/exit on none *)
+  Alcotest.(check (float 1e-9)) "entry zero" 0.0 bc.(0);
+  Alcotest.(check bool) "middles positive" true (bc.(1) > 0.0 && bc.(2) > 0.0);
+  Alcotest.(check int) "zero count" 2 (Cfg.Centrality.zero_count bc)
+
+let histogram_sums_to_blocks () =
+  let g = Cfg.Graph.build (listing_of diamond) in
+  let total =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 (Cfg.Classify.histogram g)
+  in
+  Alcotest.(check int) "histogram total" (Cfg.Graph.block_count g) total
+
+let empty_function () =
+  let g = Cfg.Graph.build (listing_of []) in
+  Alcotest.(check int) "no blocks" 0 (Cfg.Graph.block_count g);
+  Alcotest.(check int) "cyclomatic" 0 (Cfg.Graph.cyclomatic_complexity g)
+
+let suite =
+  [
+    Alcotest.test_case "diamond-structure" `Quick diamond_structure;
+    Alcotest.test_case "loop-structure" `Quick loop_structure;
+    Alcotest.test_case "classify-ret-cndret" `Quick classify_ret_and_cndret;
+    Alcotest.test_case "classify-indjump" `Quick classify_indjump;
+    Alcotest.test_case "classify-noret-call" `Quick classify_noret_call;
+    Alcotest.test_case "classify-error" `Quick classify_error_falloff;
+    Alcotest.test_case "classify-extern" `Quick classify_extern_jump;
+    Alcotest.test_case "centrality-diamond" `Quick centrality_diamond;
+    Alcotest.test_case "histogram-total" `Quick histogram_sums_to_blocks;
+    Alcotest.test_case "empty-function" `Quick empty_function;
+  ]

@@ -1,0 +1,107 @@
+(* Differential testing of the compiler: every template-family instance
+   must behave identically at every (architecture, optimisation level)
+   pair — same outcome, same return value, same stdout — on fuzzed
+   environments accepted by the O0 build.  This is the property the whole
+   reproduction rests on: dynamic features may differ across levels, but
+   semantics may not. *)
+
+let archs = Isa.Arch.[ X86; Arm64 ]
+let opts = Minic.Optlevel.all
+
+let outcomes_agree (a : Vm.Exec.outcome) (b : Vm.Exec.outcome) =
+  match (a, b) with
+  | Vm.Exec.Finished x, Vm.Exec.Finished y -> x = y
+  | Vm.Exec.Exited x, Vm.Exec.Exited y -> x = y
+  | Vm.Exec.Crashed _, Vm.Exec.Crashed _ ->
+    (* both crash: accept (the trap kind may legitimately differ when an
+       optimisation reorders the first faulting operation) *)
+    true
+  | Vm.Exec.Finished _, (Vm.Exec.Exited _ | Vm.Exec.Crashed _)
+  | Vm.Exec.Exited _, (Vm.Exec.Finished _ | Vm.Exec.Crashed _)
+  | Vm.Exec.Crashed _, (Vm.Exec.Finished _ | Vm.Exec.Exited _) ->
+    false
+
+let check_family (family : Corpus.Templates.family) seed =
+  let rng = Util.Prng.create (Int64.of_int seed) in
+  let func = family.Corpus.Templates.make rng ~fname:"probe" in
+  let prog = { Minic.Ast.pname = "diff"; globals = []; funcs = [ func ] } in
+  let images =
+    List.concat_map
+      (fun arch ->
+        List.map
+          (fun opt ->
+            ((arch, opt), Minic.Compiler.compile ~arch ~opt prog))
+          opts)
+      archs
+  in
+  let env_rng = Util.Prng.create (Int64.of_int (seed * 31)) in
+  let envs = Fuzz.Envgen.environments env_rng family.Corpus.Templates.shape 3 in
+  let _, reference_img = List.hd images in
+  List.for_all
+    (fun env ->
+      let fuel = 150_000 in
+      let reference = Vm.Exec.run ~fuel reference_img 0 env in
+      List.for_all
+        (fun ((arch, opt), img) ->
+          let r = Vm.Exec.run ~fuel img 0 env in
+          let ok =
+            outcomes_agree reference.Vm.Exec.outcome r.Vm.Exec.outcome
+            && reference.Vm.Exec.stdout = r.Vm.Exec.stdout
+          in
+          if not ok then
+            Printf.eprintf "divergence: %s seed=%d %s/%s: %s vs %s\n%!"
+              family.Corpus.Templates.name seed (Isa.Arch.to_string arch)
+              (Minic.Optlevel.to_string opt)
+              (Vm.Exec.outcome_to_string reference.Vm.Exec.outcome)
+              (Vm.Exec.outcome_to_string r.Vm.Exec.outcome);
+          ok)
+        images)
+    envs
+
+let prop_family family =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "diff-%s" family.Corpus.Templates.name)
+    ~count:5
+    QCheck.(int_range 1 10_000)
+    (fun seed -> check_family family seed)
+
+(* the CVE pairs also must agree across configurations *)
+let cve_cross_level () =
+  List.iter
+    (fun id ->
+      match Corpus.Cves.find id with
+      | None -> Alcotest.failf "missing %s" id
+      | Some c ->
+        List.iter
+          (fun patched ->
+            let images =
+              List.map
+                (fun opt ->
+                  Corpus.Dataset.compile_cve ~arch:Isa.Arch.Arm32 ~opt c ~patched)
+                opts
+            in
+            let rng = Util.Prng.create 0xC0DEL in
+            let envs = Fuzz.Envgen.environments rng c.Corpus.Cves.shape 4 in
+            List.iter
+              (fun env ->
+                let outcomes =
+                  List.map
+                    (fun img -> (Vm.Exec.run ~fuel:100_000 img 0 env).Vm.Exec.outcome)
+                    images
+                in
+                match outcomes with
+                | first :: rest ->
+                  List.iter
+                    (fun o ->
+                      Alcotest.(check bool)
+                        (Printf.sprintf "%s patched=%b agrees" id patched)
+                        true (outcomes_agree first o))
+                    rest
+                | [] -> ())
+              envs)
+          [ false; true ])
+    [ "CVE-2018-9412"; "CVE-2018-9470"; "CVE-2018-9340"; "CVE-2017-13208" ]
+
+let suite =
+  List.map (fun f -> QCheck_alcotest.to_alcotest (prop_family f)) Corpus.Templates.all
+  @ [ Alcotest.test_case "cve-cross-level" `Quick cve_cross_level ]

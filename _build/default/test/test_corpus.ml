@@ -1,0 +1,171 @@
+(* Corpus generation: libraries, CVE pairs, devices, dataset builder. *)
+
+let library_generation_deterministic () =
+  let a = Corpus.Genlib.generate ~seed:1L ~index:3 ~nfuncs:20 in
+  let b = Corpus.Genlib.generate ~seed:1L ~index:3 ~nfuncs:20 in
+  Alcotest.(check bool) "same program" true (a = b);
+  let c = Corpus.Genlib.generate ~seed:2L ~index:3 ~nfuncs:20 in
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let libraries_typecheck () =
+  for idx = 0 to 7 do
+    let prog = Corpus.Genlib.generate ~seed:99L ~index:idx ~nfuncs:24 in
+    Minic.Typecheck.check_program prog
+  done
+
+let libraries_parse_roundtrip () =
+  let prog = Corpus.Genlib.generate ~seed:5L ~index:1 ~nfuncs:18 in
+  let printed = Minic.Ast.program_to_string prog in
+  let reparsed = Minic.Parser.parse printed in
+  Alcotest.(check bool) "round trip" true (prog = reparsed)
+
+let cve_count_and_ids () =
+  Alcotest.(check int) "25 CVEs" 25 (List.length Corpus.Cves.all);
+  let ids = List.map (fun (c : Corpus.Cves.t) -> c.id) Corpus.Cves.all in
+  Alcotest.(check bool) "case study present" true
+    (List.mem "CVE-2018-9412" ids);
+  let uniq = List.sort_uniq compare ids in
+  Alcotest.(check int) "ids unique" 25 (List.length uniq)
+
+let cve_pair_minimal_diff () =
+  (* the vulnerable and patched versions share their name and signature *)
+  List.iter
+    (fun (c : Corpus.Cves.t) ->
+      let v = Corpus.Cves.vulnerable_func c in
+      let p = Corpus.Cves.patched_func c in
+      Alcotest.(check string) "same name" v.Minic.Ast.fname p.Minic.Ast.fname;
+      Alcotest.(check bool) "same params" true
+        (v.Minic.Ast.params = p.Minic.Ast.params);
+      Alcotest.(check bool) "bodies differ" true
+        (v.Minic.Ast.body <> p.Minic.Ast.body))
+    Corpus.Cves.all
+
+let cve_pairs_compile_and_run () =
+  (* spot-check three families end to end *)
+  List.iter
+    (fun id ->
+      match Corpus.Cves.find id with
+      | None -> Alcotest.failf "missing %s" id
+      | Some c ->
+        let vimg = Corpus.Dataset.compile_cve c ~patched:false in
+        let pimg = Corpus.Dataset.compile_cve c ~patched:true in
+        let rng = Util.Prng.create 31L in
+        let envs = Fuzz.Envgen.environments rng c.shape 6 in
+        let ok = Fuzz.Validate.filter_envs pimg 0 envs in
+        Alcotest.(check bool) (id ^ " patched survives sth") true (ok <> []);
+        ignore vimg)
+    [ "CVE-2018-9412"; "CVE-2018-9470"; "CVE-2018-9499" ]
+
+let missing_increment_dos () =
+  (* the DoS family: an input with the marker byte hangs the vulnerable
+     version but not the patched one *)
+  let c =
+    match Corpus.Cves.find "CVE-2018-9499" with
+    | Some c -> c
+    | None -> Alcotest.fail "missing CVE"
+  in
+  let vimg = Corpus.Dataset.compile_cve c ~patched:false in
+  let pimg = Corpus.Dataset.compile_cve c ~patched:true in
+  let evil = Vm.Env.make [ Vm.Env.Vbuf (Bytes.make 4 '\xff'); Vm.Env.Vint 4L ] in
+  (match (Vm.Exec.run ~fuel:50_000 vimg 0 evil).Vm.Exec.outcome with
+  | Vm.Exec.Crashed Vm.Machine.Step_limit -> ()
+  | other ->
+    Alcotest.failf "vulnerable should hang, got %s" (Vm.Exec.outcome_to_string other));
+  match (Vm.Exec.run ~fuel:50_000 pimg 0 evil).Vm.Exec.outcome with
+  | Vm.Exec.Finished _ -> ()
+  | other ->
+    Alcotest.failf "patched should finish, got %s" (Vm.Exec.outcome_to_string other)
+
+let case_study_semantics () =
+  (* removeUnsynchronization: both versions strip 0x00 after 0xff; on a
+     clean buffer both return the input size *)
+  let c =
+    match Corpus.Cves.find "CVE-2018-9412" with
+    | Some c -> c
+    | None -> Alcotest.fail "missing CVE"
+  in
+  let vimg = Corpus.Dataset.compile_cve c ~patched:false in
+  let pimg = Corpus.Dataset.compile_cve c ~patched:true in
+  let clean = Vm.Env.make [ Vm.Env.buf_of_string "abcdef"; Vm.Env.Vint 6L ] in
+  let run img = (Vm.Exec.run img 0 clean).Vm.Exec.outcome in
+  (match (run vimg, run pimg) with
+  | Vm.Exec.Finished a, Vm.Exec.Finished b ->
+    Alcotest.(check int64) "clean input: same size" a b;
+    Alcotest.(check int64) "size preserved" 6L a
+  | a, b ->
+    Alcotest.failf "unexpected: %s / %s" (Vm.Exec.outcome_to_string a)
+      (Vm.Exec.outcome_to_string b));
+  (* with an unsynchronisation pair, both shrink the buffer by one *)
+  let dirty =
+    Vm.Env.make
+      [ Vm.Env.Vbuf (Bytes.of_string "ab\xff\x00cd"); Vm.Env.Vint 6L ]
+  in
+  match
+    ( (Vm.Exec.run vimg 0 dirty).Vm.Exec.outcome,
+      (Vm.Exec.run pimg 0 dirty).Vm.Exec.outcome )
+  with
+  | Vm.Exec.Finished a, Vm.Exec.Finished b ->
+    Alcotest.(check int64) "both shrink" 5L a;
+    Alcotest.(check int64) "patched agrees" 5L b
+  | a, b ->
+    Alcotest.failf "unexpected: %s / %s" (Vm.Exec.outcome_to_string a)
+      (Vm.Exec.outcome_to_string b)
+
+let devices_ground_truth () =
+  let things = Corpus.Devices.android_things in
+  Alcotest.(check bool) "13232 patched on Things" true
+    (things.Corpus.Devices.is_patched "CVE-2017-13232");
+  Alcotest.(check bool) "9412 unpatched on Things" false
+    (things.Corpus.Devices.is_patched "CVE-2018-9412");
+  let patched_count =
+    List.length
+      (List.filter
+         (fun (c : Corpus.Cves.t) -> things.Corpus.Devices.is_patched c.id)
+         Corpus.Cves.all)
+  in
+  Alcotest.(check int) "10 of 25 patched (Table VIII)" 10 patched_count
+
+let firmware_contains_cves () =
+  let fw, truths =
+    Corpus.Devices.build_firmware ~nlibs:5 ~nfuncs_base:12
+      Corpus.Devices.android_things
+  in
+  Alcotest.(check int) "25 truth entries" 25 (List.length truths);
+  List.iter
+    (fun (t : Corpus.Devices.truth) ->
+      match Loader.Firmware.find_image fw t.image_name with
+      | None -> Alcotest.failf "image %s missing" t.image_name
+      | Some img ->
+        Alcotest.(check (option string))
+          (t.cve.Corpus.Cves.id ^ " at index")
+          (Some t.cve.Corpus.Cves.fname)
+          (Loader.Image.function_name img t.findex))
+    truths
+
+let dataset_balanced () =
+  let data = Corpus.Dataset.build_pairs Corpus.Dataset.small_config in
+  let n = Nn.Data.size data in
+  Alcotest.(check bool) "non-empty" true (n > 50);
+  let positives =
+    Array.fold_left (fun acc l -> if l > 0.5 then acc + 1 else acc) 0
+      data.Nn.Data.labels
+  in
+  Alcotest.(check int) "balanced" n (2 * positives);
+  (* pair vectors have 96 entries *)
+  Alcotest.(check int) "pair width" (2 * Staticfeat.Names.count)
+    (Array.length data.Nn.Data.features.(0))
+
+let suite =
+  [
+    Alcotest.test_case "library-deterministic" `Quick library_generation_deterministic;
+    Alcotest.test_case "libraries-typecheck" `Quick libraries_typecheck;
+    Alcotest.test_case "library-parse-roundtrip" `Quick libraries_parse_roundtrip;
+    Alcotest.test_case "cve-count-ids" `Quick cve_count_and_ids;
+    Alcotest.test_case "cve-minimal-diff" `Quick cve_pair_minimal_diff;
+    Alcotest.test_case "cve-compile-run" `Quick cve_pairs_compile_and_run;
+    Alcotest.test_case "missing-increment-dos" `Quick missing_increment_dos;
+    Alcotest.test_case "case-study-semantics" `Quick case_study_semantics;
+    Alcotest.test_case "devices-ground-truth" `Quick devices_ground_truth;
+    Alcotest.test_case "firmware-contains-cves" `Quick firmware_contains_cves;
+    Alcotest.test_case "dataset-balanced" `Quick dataset_balanced;
+  ]

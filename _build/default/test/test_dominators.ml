@@ -1,0 +1,92 @@
+(* Dominator analysis and natural-loop detection. *)
+
+let params = Isa.Encoding.params_of_arch Isa.Arch.X86
+
+let graph_of items =
+  Cfg.Graph.build (Isa.Disasm.disassemble params (Isa.Asm.assemble params items))
+
+let diamond : Isa.Asm.item list =
+  [
+    Ins (Cmp (0, Imm 0L));
+    Ins (Jcc (Isa.Cond.Eq, "else"));
+    Ins (Mov (1, Imm 1L));
+    Ins (Jmp "end");
+    Label "else";
+    Ins (Mov (1, Imm 2L));
+    Label "end";
+    Ins Ret;
+  ]
+
+let diamond_idoms () =
+  let g = graph_of diamond in
+  let d = Cfg.Dominators.compute g in
+  (* blocks: 0 entry, 1 then, 2 else, 3 join *)
+  Alcotest.(check (option int)) "entry" None (Cfg.Dominators.idom d 0);
+  Alcotest.(check (option int)) "then" (Some 0) (Cfg.Dominators.idom d 1);
+  Alcotest.(check (option int)) "else" (Some 0) (Cfg.Dominators.idom d 2);
+  Alcotest.(check (option int)) "join dominated by entry" (Some 0)
+    (Cfg.Dominators.idom d 3);
+  Alcotest.(check bool) "entry dominates all" true
+    (List.for_all (Cfg.Dominators.dominates d 0) [ 0; 1; 2; 3 ]);
+  Alcotest.(check bool) "then does not dominate join" false
+    (Cfg.Dominators.dominates d 1 3)
+
+let loop_items : Isa.Asm.item list =
+  [
+    Ins (Mov (0, Imm 0L));
+    Label "head";
+    Ins (Cmp (0, Imm 10L));
+    Ins (Jcc (Isa.Cond.Ge, "exit"));
+    Ins (Binop (Add, 0, 0, Imm 1L));
+    Ins (Jmp "head");
+    Label "exit";
+    Ins Ret;
+  ]
+
+let natural_loop_found () =
+  let g = graph_of loop_items in
+  let d = Cfg.Dominators.compute g in
+  let loops = Cfg.Dominators.natural_loops g d in
+  Alcotest.(check int) "one loop" 1 (List.length loops);
+  match loops with
+  | [ loop ] ->
+    Alcotest.(check int) "header is the test block" 1 loop.Cfg.Dominators.header;
+    Alcotest.(check bool) "body has the latch" true
+      (List.length loop.Cfg.Dominators.body >= 2);
+    let depth = Cfg.Dominators.loop_depth g d in
+    Alcotest.(check int) "header depth 1" 1 depth.(loop.Cfg.Dominators.header);
+    Alcotest.(check int) "entry depth 0" 0 depth.(0)
+  | _ -> Alcotest.fail "expected exactly one loop"
+
+let straight_line_no_loops () =
+  let g = graph_of [ Ins (Mov (0, Imm 1L)); Ins Ret ] in
+  let d = Cfg.Dominators.compute g in
+  Alcotest.(check int) "no loops" 0 (List.length (Cfg.Dominators.natural_loops g d))
+
+(* on compiled corpus functions the dominator invariants hold everywhere *)
+let invariants_on_corpus () =
+  let prog = Corpus.Genlib.generate ~seed:0xD0D0L ~index:2 ~nfuncs:14 in
+  let img = Minic.Compiler.compile ~arch:Isa.Arch.Arm64 ~opt:Minic.Optlevel.O2 prog in
+  for fidx = 0 to Loader.Image.function_count img - 1 do
+    let g = Cfg.Graph.build (Loader.Image.disassemble img fidx) in
+    let d = Cfg.Dominators.compute g in
+    Array.iter
+      (fun (b : Cfg.Block.t) ->
+        (* entry dominates every reachable block; idom dominates its node *)
+        match Cfg.Dominators.idom d b.id with
+        | None -> ()
+        | Some parent ->
+          Alcotest.(check bool) "idom dominates" true
+            (Cfg.Dominators.dominates d parent b.id);
+          Alcotest.(check bool) "entry dominates" true
+            (Cfg.Dominators.dominates d 0 b.id))
+      g.Cfg.Graph.blocks
+  done
+
+let suite =
+  [
+    Alcotest.test_case "diamond-idoms" `Quick diamond_idoms;
+    Alcotest.test_case "natural-loop" `Quick natural_loop_found;
+    Alcotest.test_case "straight-line" `Quick straight_line_no_loops;
+    Alcotest.test_case "invariants-on-corpus" `Quick invariants_on_corpus;
+  ]

@@ -1,0 +1,78 @@
+(* The evaluation harness end to end in its fast configuration: context
+   building, one grid run, every renderer.  Numbers are weak at this size
+   (that is what PATCHECKO_FAST trades away); the test checks shapes and
+   that nothing raises. *)
+
+let ctx = lazy (Evaluation.Context.build ~fast:true ())
+
+let context_shapes () =
+  let ctx = Lazy.force ctx in
+  Alcotest.(check int) "25 db entries" 25
+    (Patchecko.Vulndb.size ctx.Evaluation.Context.db);
+  Alcotest.(check int) "two devices" 2 (List.length ctx.Evaluation.Context.devices);
+  Alcotest.(check bool) "history recorded" true
+    (ctx.Evaluation.Context.history <> []);
+  List.iter
+    (fun dev ->
+      Alcotest.(check int) "25 truths" 25 (List.length dev.Evaluation.Context.truths);
+      Alcotest.(check bool) "firmware stripped" true
+        (Array.for_all Loader.Image.is_stripped
+           dev.Evaluation.Context.firmware.Loader.Firmware.images);
+      Alcotest.(check bool) "named firmware keeps symbols" true
+        (not
+           (Array.exists Loader.Image.is_stripped
+              dev.Evaluation.Context.named_firmware.Loader.Firmware.images)))
+    ctx.Evaluation.Context.devices
+
+let grid_and_renderers () =
+  let ctx = Lazy.force ctx in
+  let dev = List.hd ctx.Evaluation.Context.devices in
+  let truth = List.hd dev.Evaluation.Context.truths in
+  let run = Evaluation.Grid.run_cve ctx dev truth in
+  (* classifications exist and are consistent *)
+  (match run.Evaluation.Grid.vuln_report.Patchecko.Pipeline.classification with
+  | Some c ->
+    Alcotest.(check int) "tp+tn+fp+fn = total" c.Patchecko.Pipeline.total
+      (c.Patchecko.Pipeline.tp + c.Patchecko.Pipeline.tn
+      + c.Patchecko.Pipeline.fp + c.Patchecko.Pipeline.fn)
+  | None -> Alcotest.fail "classification missing");
+  (* renderers run without raising on a one-run grid *)
+  let runs = [ run ] in
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  Evaluation.Render.fig8 ppf ctx;
+  Evaluation.Render.fig7 ppf runs;
+  Evaluation.Render.tab6 ppf runs;
+  Evaluation.Render.tab7 ppf runs;
+  Evaluation.Render.tab8 ppf runs;
+  Evaluation.Render.speed ppf runs;
+  Evaluation.Render.simcheck ppf ctx;
+  Evaluation.Ablation.minkowski_p ppf runs;
+  Evaluation.Ablation.static_vs_hybrid ppf runs;
+  Evaluation.Baselines.compare_detection ppf ctx runs;
+  Format.pp_print_flush ppf ();
+  Alcotest.(check bool) "report text produced" true (Buffer.length buf > 500)
+
+let final_verdict_prefers_better_match () =
+  let ctx = Lazy.force ctx in
+  let dev = List.hd ctx.Evaluation.Context.devices in
+  List.iter
+    (fun truth ->
+      let run = Evaluation.Grid.run_cve ctx dev truth in
+      (* the verdict, when present, is one of the two legal values — and
+         when neither query located anything it is None *)
+      match Evaluation.Grid.final_verdict run with
+      | Some Patchecko.Differential.Patched
+      | Some Patchecko.Differential.Vulnerable
+      | None ->
+        ())
+    (match dev.Evaluation.Context.truths with
+    | a :: b :: _ -> [ a; b ]
+    | l -> l)
+
+let suite =
+  [
+    Alcotest.test_case "context-shapes" `Quick context_shapes;
+    Alcotest.test_case "grid-and-renderers" `Quick grid_and_renderers;
+    Alcotest.test_case "final-verdict" `Quick final_verdict_prefers_better_match;
+  ]

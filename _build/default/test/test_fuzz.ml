@@ -1,0 +1,100 @@
+(* Environment generation/mutation and execution validation. *)
+
+let shape : Fuzz.Shape.t = [ Abuf 32; Alen; Aint (0L, 100L) ]
+
+let generation_respects_shape () =
+  let rng = Util.Prng.create 3L in
+  for _ = 1 to 50 do
+    let env = Fuzz.Envgen.generate rng shape in
+    match env.Vm.Env.args with
+    | [ Vm.Env.Vbuf b; Vm.Env.Vint len; Vm.Env.Vint x ] ->
+      Alcotest.(check bool) "len matches buffer" true
+        (Int64.to_int len = Bytes.length b);
+      Alcotest.(check bool) "buffer within max" true (Bytes.length b <= 32);
+      Alcotest.(check bool) "int in range" true (x >= 0L && x <= 100L)
+    | _ -> Alcotest.fail "wrong argument shape"
+  done
+
+let generation_deterministic () =
+  let e1 = Fuzz.Envgen.generate (Util.Prng.create 9L) shape in
+  let e2 = Fuzz.Envgen.generate (Util.Prng.create 9L) shape in
+  Alcotest.(check bool) "same env from same seed" true
+    (e1.Vm.Env.args = e2.Vm.Env.args)
+
+let mutation_preserves_arity () =
+  let rng = Util.Prng.create 5L in
+  let env = Fuzz.Envgen.generate rng shape in
+  let mutated = Fuzz.Envgen.mutate rng env in
+  Alcotest.(check int) "same arity"
+    (List.length env.Vm.Env.args)
+    (List.length mutated.Vm.Env.args)
+
+let environments_count () =
+  let rng = Util.Prng.create 1L in
+  Alcotest.(check int) "k environments" 10
+    (List.length (Fuzz.Envgen.environments rng shape 10))
+
+let crashing_candidates_pruned () =
+  let src =
+    {|
+lib fz;
+fn safe(data: byte*, len: int): int {
+  var acc: int = 0;
+  for (k = 0; k < len; k = k + 1) {
+    acc = acc + data[k];
+  }
+  return acc;
+}
+fn crasher(data: byte*, len: int): int {
+  return data[0] / (data[1] % 1);
+}
+fn hang(data: byte*, len: int): int {
+  while (1) {
+  }
+  return 0;
+}
+|}
+  in
+  let img = Minic.Compiler.compile_source ~arch:Isa.Arch.X86 ~opt:Minic.Optlevel.O1 src in
+  let rng = Util.Prng.create 17L in
+  let envs = Fuzz.Envgen.environments rng [ Fuzz.Shape.Abuf 16; Alen ] 4 in
+  let report =
+    Fuzz.Validate.run ~fuel:20_000 img ~candidates:[ 0; 1; 2 ] envs
+  in
+  Alcotest.(check (list int)) "only safe survives" [ 0 ]
+    report.Fuzz.Validate.survivors;
+  Alcotest.(check int) "two crashed" 2 (List.length report.Fuzz.Validate.crashed);
+  Alcotest.(check bool) "executions counted" true
+    (report.Fuzz.Validate.executions >= 3)
+
+let filter_envs_keeps_surviving () =
+  let src =
+    {|
+lib fz2;
+fn picky(data: byte*, len: int): int {
+  if (data[0] > 128) {
+    abort();
+  }
+  return len;
+}
+|}
+  in
+  let img = Minic.Compiler.compile_source ~arch:Isa.Arch.X86 ~opt:Minic.Optlevel.O1 src in
+  let rng = Util.Prng.create 23L in
+  let envs = Fuzz.Envgen.environments rng [ Fuzz.Shape.Abuf 16; Alen ] 30 in
+  let kept = Fuzz.Validate.filter_envs img 0 envs in
+  Alcotest.(check bool) "some filtered" true (List.length kept < 30);
+  List.iter
+    (fun env ->
+      Alcotest.(check bool) "kept env survives" true (Vm.Exec.survives img 0 env))
+    kept
+
+let suite =
+  [
+    Alcotest.test_case "generation-shape" `Quick generation_respects_shape;
+    Alcotest.test_case "generation-deterministic" `Quick generation_deterministic;
+    Alcotest.test_case "mutation-arity" `Quick mutation_preserves_arity;
+    Alcotest.test_case "environments-count" `Quick environments_count;
+    Alcotest.test_case "crashers-pruned" `Quick crashing_candidates_pruned;
+    Alcotest.test_case "filter-envs" `Quick filter_envs_keeps_surviving;
+  ]

@@ -1,0 +1,208 @@
+(* Round-trip and layout tests for the instruction encodings. *)
+
+let sample_instrs : int Isa.Instr.t list =
+  [
+    Nop;
+    Mov (3, Reg 4);
+    Mov (0, Imm 42L);
+    Mov (1, Imm (-1L));
+    Mov (2, Imm 0x123456789ABCDEFL);
+    Binop (Add, 1, 2, Reg 3);
+    Binop (Sub, 4, 5, Imm 100L);
+    Binop (Mul, 6, 7, Imm (-7L));
+    Binop (Shl, 8, 9, Imm 3L);
+    Fbinop (Fmul, 1, 2, 3);
+    Neg (1, 2);
+    Not (3, 4);
+    I2f (5, 6);
+    F2i (7, 8);
+    Load (W8, 1, 14, -16);
+    Load (W1, 2, 3, 0);
+    Store (W8, 4, 15, 8);
+    Store (W1, 5, 6, 1024);
+    Lea (7, 0x10000L);
+    Cmp (1, Reg 2);
+    Cmp (3, Imm 0L);
+    Fcmp (4, 5);
+    Jmp 128;
+    Jcc (Isa.Cond.Ne, 4);
+    Jtable (2, [| 0; 8; 16; 24 |]);
+    Call 3;
+    Ret;
+    Push 14;
+    Pop 14;
+    Syscall 1;
+  ]
+
+let instr_testable =
+  let pp ppf i = Isa.Instr.pp Format.pp_print_int ppf i in
+  Alcotest.testable pp ( = )
+
+let roundtrip_arch arch () =
+  let params = Isa.Encoding.params_of_arch arch in
+  let buf = Buffer.create 256 in
+  List.iter (Isa.Encoding.encode params buf) sample_instrs;
+  let code = Buffer.to_bytes buf in
+  let listing = Isa.Disasm.disassemble params code in
+  Alcotest.(check int)
+    "instruction count" (List.length sample_instrs)
+    (Array.length listing.instrs);
+  List.iteri
+    (fun i expected ->
+      Alcotest.check instr_testable
+        (Printf.sprintf "instr %d" i)
+        expected listing.instrs.(i))
+    sample_instrs
+
+let encodings_differ () =
+  let encode arch =
+    let params = Isa.Encoding.params_of_arch arch in
+    let buf = Buffer.create 256 in
+    List.iter (Isa.Encoding.encode params buf) sample_instrs;
+    Buffer.to_bytes buf
+  in
+  let all = List.map encode Isa.Arch.all in
+  let rec distinct = function
+    | [] -> true
+    | x :: rest -> (not (List.mem x rest)) && distinct rest
+  in
+  Alcotest.(check bool) "four distinct byte streams" true (distinct all)
+
+let arm64_alignment () =
+  let params = Isa.Encoding.params_of_arch Isa.Arch.Arm64 in
+  let buf = Buffer.create 64 in
+  List.iter (Isa.Encoding.encode params buf) sample_instrs;
+  Alcotest.(check int) "8-byte aligned" 0 (Buffer.length buf mod 8)
+
+let asm_labels () =
+  let params = Isa.Encoding.params_of_arch Isa.Arch.X86 in
+  let items : Isa.Asm.item list =
+    [
+      Label "start";
+      Ins (Mov (0, Imm 1L));
+      Ins (Jmp "end");
+      Label "mid";
+      Ins (Binop (Add, 0, 0, Imm 1L));
+      Label "end";
+      Ins Ret;
+    ]
+  in
+  let code = Isa.Asm.assemble params items in
+  let listing = Isa.Disasm.disassemble params code in
+  (* the jmp targets the byte offset of "end" *)
+  let offsets = Isa.Asm.label_offsets params items in
+  let end_off = List.assoc "end" offsets in
+  match listing.instrs.(1) with
+  | Jmp target -> Alcotest.(check int) "jmp resolves to end" end_off target
+  | _ -> Alcotest.fail "expected jmp"
+
+let asm_undefined_label () =
+  let params = Isa.Encoding.params_of_arch Isa.Arch.X86 in
+  Alcotest.check_raises "undefined label" (Isa.Asm.Undefined_label "nowhere")
+    (fun () -> ignore (Isa.Asm.assemble params [ Ins (Jmp "nowhere") ]))
+
+let asm_duplicate_label () =
+  let params = Isa.Encoding.params_of_arch Isa.Arch.X86 in
+  Alcotest.check_raises "duplicate label" (Isa.Asm.Duplicate_label "a")
+    (fun () -> ignore (Isa.Asm.assemble params [ Label "a"; Label "a" ]))
+
+let decode_garbage () =
+  let params = Isa.Encoding.params_of_arch Isa.Arch.Amd64 in
+  (* missing mandatory prefix byte *)
+  let bad = Bytes.make 4 '\x00' in
+  match Isa.Disasm.disassemble params bad with
+  | exception Isa.Encoding.Invalid_encoding _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_encoding"
+
+let cond_negate_involutive () =
+  List.iter
+    (fun c ->
+      Alcotest.(check string)
+        "negate twice"
+        (Isa.Cond.to_string c)
+        (Isa.Cond.to_string (Isa.Cond.negate (Isa.Cond.negate c))))
+    Isa.Cond.all
+
+let cond_negation_semantics () =
+  List.iter
+    (fun c ->
+      List.iter
+        (fun sign ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s vs neg at %d" (Isa.Cond.to_string c) sign)
+            (Isa.Cond.holds c sign)
+            (not (Isa.Cond.holds (Isa.Cond.negate c) sign)))
+        [ -1; 0; 1 ])
+    Isa.Cond.all
+
+(* Property: any single instruction round-trips on any architecture. *)
+let arbitrary_instr =
+  let open QCheck.Gen in
+  let reg = int_range 0 15 in
+  let operand =
+    oneof
+      [
+        map (fun r -> Isa.Instr.Reg r) reg;
+        map (fun v -> Isa.Instr.Imm v) int64;
+      ]
+  in
+  let binop =
+    oneofl
+      [
+        Isa.Instr.Add; Sub; Mul; Div; Rem; And; Or; Xor; Shl; Shr;
+      ]
+  in
+  let gen : int Isa.Instr.t QCheck.Gen.t =
+    oneof
+      [
+        return Isa.Instr.Nop;
+        map2 (fun d o -> Isa.Instr.Mov (d, o)) reg operand;
+        map3 (fun op (d, a) o -> Isa.Instr.Binop (op, d, a, o)) binop (pair reg reg) operand;
+        map3 (fun d b off -> Isa.Instr.Load (W8, d, b, off)) reg reg (int_range (-4096) 4096);
+        map3 (fun s b off -> Isa.Instr.Store (W1, s, b, off)) reg reg (int_range (-4096) 4096);
+        map (fun t -> Isa.Instr.Jmp (t * 4)) (int_range 0 1000);
+        map (fun i -> Isa.Instr.Call i) (int_range 0 1000);
+        return Isa.Instr.Ret;
+        map (fun r -> Isa.Instr.Push r) reg;
+        map (fun n -> Isa.Instr.Syscall n) (int_range 0 255);
+      ]
+  in
+  QCheck.make gen
+
+let prop_roundtrip arch =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "roundtrip-%s" (Isa.Arch.to_string arch))
+    ~count:500 arbitrary_instr (fun ins ->
+      let params = Isa.Encoding.params_of_arch arch in
+      let buf = Buffer.create 32 in
+      Isa.Encoding.encode params buf ins;
+      let code = Buffer.to_bytes buf in
+      let decoded, _ = Isa.Encoding.decode params code 0 in
+      decoded = ins)
+
+let suite =
+  let roundtrips =
+    List.map
+      (fun arch ->
+        Alcotest.test_case
+          (Printf.sprintf "roundtrip-%s" (Isa.Arch.to_string arch))
+          `Quick (roundtrip_arch arch))
+      Isa.Arch.all
+  in
+  let props =
+    List.map
+      (fun arch -> QCheck_alcotest.to_alcotest (prop_roundtrip arch))
+      Isa.Arch.all
+  in
+  roundtrips
+  @ [
+      Alcotest.test_case "encodings-differ" `Quick encodings_differ;
+      Alcotest.test_case "arm64-alignment" `Quick arm64_alignment;
+      Alcotest.test_case "asm-labels" `Quick asm_labels;
+      Alcotest.test_case "asm-undefined-label" `Quick asm_undefined_label;
+      Alcotest.test_case "asm-duplicate-label" `Quick asm_duplicate_label;
+      Alcotest.test_case "decode-garbage" `Quick decode_garbage;
+      Alcotest.test_case "cond-negate-involutive" `Quick cond_negate_involutive;
+      Alcotest.test_case "cond-negation-semantics" `Quick cond_negation_semantics;
+    ]
+  @ props

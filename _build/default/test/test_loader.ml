@@ -1,0 +1,140 @@
+(* SFF image/firmware serialisation round trips, stripping, export. *)
+
+let sample_image () =
+  let src =
+    {|
+lib ldr;
+global g: int = 9;
+fn leaf(x: int): int { return x * 2; }
+fn caller(x: int): int { return leaf(x) + g; }
+fn noisy(s: byte*): int { print_str(s); return strlen(s); }
+|}
+  in
+  Minic.Compiler.compile_source ~arch:Isa.Arch.Amd64 ~opt:Minic.Optlevel.O1 src
+
+let image_roundtrip () =
+  let img = sample_image () in
+  let bytes = Loader.Sff.image_to_bytes img in
+  let back = Loader.Sff.image_of_bytes bytes in
+  Alcotest.(check string) "name" img.Loader.Image.name back.Loader.Image.name;
+  Alcotest.(check int) "functions"
+    (Loader.Image.function_count img)
+    (Loader.Image.function_count back);
+  Alcotest.(check bool) "identical bytes" true
+    (Loader.Sff.image_to_bytes back = bytes);
+  Alcotest.(check (option string)) "symtab survives" (Some "leaf")
+    (Loader.Image.function_name back 0)
+
+let stripped_roundtrip () =
+  let img = Loader.Image.strip (sample_image ()) in
+  let back = Loader.Sff.image_of_bytes (Loader.Sff.image_to_bytes img) in
+  Alcotest.(check bool) "still stripped" true (Loader.Image.is_stripped back)
+
+let corrupt_rejected () =
+  (match Loader.Sff.image_of_bytes (Bytes.of_string "XXXX") with
+  | exception Loader.Sff.Corrupt _ -> ()
+  | _ -> Alcotest.fail "bad magic accepted");
+  let good = Loader.Sff.image_to_bytes (sample_image ()) in
+  let truncated = Bytes.sub good 0 (Bytes.length good / 2) in
+  match Loader.Sff.image_of_bytes truncated with
+  | exception Loader.Sff.Corrupt _ -> ()
+  | _ -> Alcotest.fail "truncated image accepted"
+
+let firmware_roundtrip () =
+  let fw =
+    {
+      Loader.Firmware.device = "testdev";
+      os_version = "1.0";
+      security_patch = "2018-05";
+      images = [| sample_image (); Loader.Image.strip (sample_image ()) |];
+    }
+  in
+  let back = Loader.Firmware.of_bytes (Loader.Firmware.to_bytes fw) in
+  Alcotest.(check string) "device" fw.Loader.Firmware.device
+    back.Loader.Firmware.device;
+  Alcotest.(check int) "images" 2 (Array.length back.Loader.Firmware.images);
+  Alcotest.(check int) "functions" (Loader.Firmware.total_functions fw)
+    (Loader.Firmware.total_functions back)
+
+let firmware_file_io () =
+  let fw =
+    {
+      Loader.Firmware.device = "filedev";
+      os_version = "1.0";
+      security_patch = "none";
+      images = [| sample_image () |];
+    }
+  in
+  let path = Filename.temp_file "patchecko" ".sfw" in
+  Loader.Firmware.write path fw;
+  let back = Loader.Firmware.read path in
+  Sys.remove path;
+  Alcotest.(check string) "device" "filedev" back.Loader.Firmware.device
+
+let export_closure () =
+  let img = sample_image () in
+  let caller_idx =
+    match Loader.Image.find_function img "caller" with
+    | Some i -> i
+    | None -> Alcotest.fail "caller missing"
+  in
+  let exported = Loader.Export.extract img caller_idx in
+  (* caller + leaf *)
+  Alcotest.(check int) "closure size" 2
+    (Loader.Image.function_count exported.Loader.Export.image);
+  Alcotest.(check int) "entry" 0 (Loader.Export.entry exported);
+  (* the export still runs and computes the same value *)
+  let env = Vm.Env.make [ Vm.Env.Vint 5L ] in
+  let direct = Vm.Exec.run img caller_idx env in
+  let via_export = Vm.Exec.run exported.Loader.Export.image 0 env in
+  match (direct.Vm.Exec.outcome, via_export.Vm.Exec.outcome) with
+  | Vm.Exec.Finished a, Vm.Exec.Finished b ->
+    Alcotest.(check int64) "same result" a b
+  | a, b ->
+    Alcotest.failf "unexpected outcomes %s / %s"
+      (Vm.Exec.outcome_to_string a) (Vm.Exec.outcome_to_string b)
+
+let export_leaf_only () =
+  let img = sample_image () in
+  let exported = Loader.Export.extract img 0 in
+  Alcotest.(check int) "leaf exports alone" 1
+    (Loader.Image.function_count exported.Loader.Export.image)
+
+let is_string_addr () =
+  let img = sample_image () in
+  (* the compiler interned no string literal here except none; check a
+     clearly-out-of-range address *)
+  Alcotest.(check bool) "OOB is not string" false
+    (Loader.Image.is_string_addr img 1L)
+
+let suite =
+  [
+    Alcotest.test_case "image-roundtrip" `Quick image_roundtrip;
+    Alcotest.test_case "stripped-roundtrip" `Quick stripped_roundtrip;
+    Alcotest.test_case "corrupt-rejected" `Quick corrupt_rejected;
+    Alcotest.test_case "firmware-roundtrip" `Quick firmware_roundtrip;
+    Alcotest.test_case "firmware-file-io" `Quick firmware_file_io;
+    Alcotest.test_case "export-closure" `Quick export_closure;
+    Alcotest.test_case "export-leaf-only" `Quick export_leaf_only;
+    Alcotest.test_case "is-string-addr" `Quick is_string_addr;
+  ]
+
+(* Property: every compiled corpus library round-trips through SFF
+   byte-exactly, stripped or not. *)
+let sff_roundtrip_property =
+  QCheck.Test.make ~name:"sff-roundtrip-random-libraries" ~count:12
+    QCheck.(pair (int_range 0 10_000) bool)
+    (fun (seed, strip) ->
+      let prog =
+        Corpus.Genlib.generate ~seed:(Int64.of_int seed) ~index:0 ~nfuncs:10
+      in
+      let img =
+        Minic.Compiler.compile ~arch:Isa.Arch.Arm32 ~opt:Minic.Optlevel.O2 prog
+      in
+      let img = if strip then Loader.Image.strip img else img in
+      let bytes = Loader.Sff.image_to_bytes img in
+      let back = Loader.Sff.image_of_bytes bytes in
+      Loader.Sff.image_to_bytes back = bytes
+      && Loader.Verify.check back = [])
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest sff_roundtrip_property ]

@@ -1,0 +1,183 @@
+(* Parser round-trips and compiler smoke tests. *)
+
+let sample_source =
+  {|
+lib demo;
+
+global counter: int = 7;
+global table: word[4] = {1, 2, 3, 4};
+global msg: byte[16] = "hello";
+
+fn add(a: int, b: int): int {
+  return a + b;
+}
+
+fn checksum(data: byte*, len: int): int {
+  var acc: int = 0;
+  for (i = 0; i < len; i = i + 1) {
+    acc = acc ^ (data[i] * 31 + i);
+  }
+  return acc;
+}
+
+fn classify(v: int): int {
+  switch (v) {
+    case 0: { return 10; }
+    case 1: { return 20; }
+    case 2: { return 30; }
+    case 5: { return 60; }
+    default: { return 0; }
+  }
+}
+
+fn sum_table(): int {
+  var total: int = 0;
+  var i: int = 0;
+  while (i < 4) {
+    total = total + table[i];
+    i = i + 1;
+  }
+  counter = counter + 1;
+  return total;
+}
+
+fn hypot2(x: float, y: float): float {
+  return x * x + y * y;
+}
+|}
+
+let parse_roundtrip () =
+  let prog = Minic.Parser.parse sample_source in
+  let printed = Minic.Ast.program_to_string prog in
+  let reparsed = Minic.Parser.parse printed in
+  Alcotest.(check bool) "pp/parse round-trip" true (prog = reparsed)
+
+let typecheck_ok () = Minic.Typecheck.check_program (Minic.Parser.parse sample_source)
+
+let typecheck_rejects src msg =
+  match Minic.Typecheck.check_program (Minic.Parser.parse src) with
+  | exception Minic.Typecheck.Type_error _ -> ()
+  | () -> Alcotest.fail msg
+
+let typecheck_unknown_var () =
+  typecheck_rejects {|
+lib t;
+fn f(): int { return nosuch; }
+|} "unknown variable accepted"
+
+let typecheck_bad_call_arity () =
+  typecheck_rejects
+    {|
+lib t;
+fn g(a: int): int { return a; }
+fn f(): int { return g(1, 2); }
+|}
+    "bad arity accepted"
+
+let typecheck_float_int_mix () =
+  typecheck_rejects
+    {|
+lib t;
+fn f(x: float): float { return x + 1; }
+|}
+    "float+int accepted"
+
+let typecheck_break_outside_loop () =
+  typecheck_rejects {|
+lib t;
+fn f() { break; }
+|} "stray break accepted"
+
+let compile_all_configs () =
+  let prog = Minic.Parser.parse sample_source in
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun opt ->
+          let img = Minic.Compiler.compile ~arch ~opt prog in
+          Alcotest.(check int)
+            (Printf.sprintf "%s/%s function count" (Isa.Arch.to_string arch)
+               (Minic.Optlevel.to_string opt))
+            5
+            (Loader.Image.function_count img);
+          (* every function disassembles cleanly *)
+          for i = 0 to Loader.Image.function_count img - 1 do
+            let listing = Loader.Image.disassemble img i in
+            Alcotest.(check bool)
+              "non-empty function" true
+              (Array.length listing.instrs > 0)
+          done)
+        Minic.Optlevel.all)
+    Isa.Arch.all
+
+let o0_larger_than_o2 () =
+  let prog = Minic.Parser.parse sample_source in
+  let size opt =
+    Loader.Image.total_code_size
+      (Minic.Compiler.compile ~arch:Isa.Arch.Arm64 ~opt prog)
+  in
+  Alcotest.(check bool)
+    "O0 code is larger than O2 code" true
+    (size Minic.Optlevel.O0 > size Minic.Optlevel.O2)
+
+let cross_arch_same_stream () =
+  (* the same program at the same level decodes to the same instruction
+     stream on every architecture (only the bytes differ); branch targets
+     are byte offsets, so normalise them to instruction indices first *)
+  let prog = Minic.Parser.parse sample_source in
+  let normalise listing =
+    Array.map
+      (Isa.Instr.map_label (fun off ->
+           match Isa.Disasm.index_of_offset listing off with
+           | Some i -> i
+           | None -> -1))
+      listing.Isa.Disasm.instrs
+  in
+  let streams =
+    List.map
+      (fun arch ->
+        let img = Minic.Compiler.compile ~arch ~opt:Minic.Optlevel.O1 prog in
+        Array.to_list
+          (Array.init (Loader.Image.function_count img) (fun i ->
+               normalise (Loader.Image.disassemble img i))))
+      Isa.Arch.all
+  in
+  match streams with
+  | first :: rest ->
+    List.iter
+      (fun s -> Alcotest.(check bool) "same decoded stream" true (s = first))
+      rest
+  | [] -> Alcotest.fail "no architectures"
+
+let strip_removes_names () =
+  let prog = Minic.Parser.parse sample_source in
+  let img = Minic.Compiler.compile ~arch:Isa.Arch.X86 ~opt:Minic.Optlevel.O1 prog in
+  Alcotest.(check bool) "has symtab" false (Loader.Image.is_stripped img);
+  let stripped = Loader.Image.strip img in
+  Alcotest.(check bool) "stripped" true (Loader.Image.is_stripped stripped);
+  Alcotest.(check (option string)) "no names" None
+    (Loader.Image.function_name stripped 0);
+  Alcotest.(check (option string))
+    "names in debug image" (Some "add")
+    (Loader.Image.function_name img 0)
+
+let parse_error_line () =
+  match Minic.Parser.parse "lib t;\nfn f( {" with
+  | exception Minic.Parser.Parse_error (line, _) ->
+    Alcotest.(check int) "error line" 2 line
+  | _ -> Alcotest.fail "expected parse error"
+
+let suite =
+  [
+    Alcotest.test_case "parse-roundtrip" `Quick parse_roundtrip;
+    Alcotest.test_case "typecheck-ok" `Quick typecheck_ok;
+    Alcotest.test_case "typecheck-unknown-var" `Quick typecheck_unknown_var;
+    Alcotest.test_case "typecheck-bad-arity" `Quick typecheck_bad_call_arity;
+    Alcotest.test_case "typecheck-float-int-mix" `Quick typecheck_float_int_mix;
+    Alcotest.test_case "typecheck-stray-break" `Quick typecheck_break_outside_loop;
+    Alcotest.test_case "compile-all-configs" `Quick compile_all_configs;
+    Alcotest.test_case "O0-larger-than-O2" `Quick o0_larger_than_o2;
+    Alcotest.test_case "cross-arch-same-stream" `Quick cross_arch_same_stream;
+    Alcotest.test_case "strip-removes-names" `Quick strip_removes_names;
+    Alcotest.test_case "parse-error-line" `Quick parse_error_line;
+  ]

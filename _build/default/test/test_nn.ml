@@ -1,0 +1,155 @@
+(* Neural network: matrix algebra, gradient checking, training on
+   separable data, metrics. *)
+
+let mat_of l = Nn.Matrix.of_rows (Array.of_list (List.map Array.of_list l))
+
+let matmul_basics () =
+  let a = mat_of [ [ 1.0; 2.0 ]; [ 3.0; 4.0 ] ] in
+  let b = mat_of [ [ 5.0; 6.0 ]; [ 7.0; 8.0 ] ] in
+  let c = Nn.Matrix.matmul a b in
+  Alcotest.(check (float 1e-9)) "c00" 19.0 (Nn.Matrix.get c 0 0);
+  Alcotest.(check (float 1e-9)) "c01" 22.0 (Nn.Matrix.get c 0 1);
+  Alcotest.(check (float 1e-9)) "c10" 43.0 (Nn.Matrix.get c 1 0);
+  Alcotest.(check (float 1e-9)) "c11" 50.0 (Nn.Matrix.get c 1 1)
+
+let transpose_variants_agree () =
+  let rng = Util.Prng.create 5L in
+  let a = Nn.Matrix.init 4 3 (fun _ _ -> Util.Prng.gaussian rng) in
+  let b = Nn.Matrix.init 4 5 (fun _ _ -> Util.Prng.gaussian rng) in
+  (* aᵀ·b computed directly vs via explicit transpose *)
+  let at = Nn.Matrix.init 3 4 (fun i j -> Nn.Matrix.get a j i) in
+  let direct = Nn.Matrix.matmul_transpose_a a b in
+  let via = Nn.Matrix.matmul at b in
+  Alcotest.(check bool) "transpose_a agrees" true
+    (Util.Vec.equal ~eps:1e-9 direct.Nn.Matrix.data via.Nn.Matrix.data);
+  let c = Nn.Matrix.init 6 3 (fun _ _ -> Util.Prng.gaussian rng) in
+  let bt_rows = Nn.Matrix.init 2 3 (fun _ _ -> Util.Prng.gaussian rng) in
+  let btt = Nn.Matrix.init 3 2 (fun i j -> Nn.Matrix.get bt_rows j i) in
+  let direct2 = Nn.Matrix.matmul_transpose_b c bt_rows in
+  let via2 = Nn.Matrix.matmul c btt in
+  Alcotest.(check bool) "transpose_b agrees" true
+    (Util.Vec.equal ~eps:1e-9 direct2.Nn.Matrix.data via2.Nn.Matrix.data)
+
+let activations () =
+  Alcotest.(check (float 1e-9)) "relu+" 3.0 (Nn.Activation.apply Relu 3.0);
+  Alcotest.(check (float 1e-9)) "relu-" 0.0 (Nn.Activation.apply Relu (-3.0));
+  Alcotest.(check (float 1e-9)) "sigmoid(0)" 0.5 (Nn.Activation.apply Sigmoid 0.0);
+  Alcotest.(check (float 1e-6)) "sigmoid'(0)" 0.25
+    (Nn.Activation.derivative Sigmoid 0.0)
+
+(* finite-difference gradient check on a tiny 2-layer network *)
+let gradient_check () =
+  let rng = Util.Prng.create 11L in
+  let layer = Nn.Layer.create rng ~inputs:3 ~outputs:2 Nn.Activation.Tanh in
+  let x = Nn.Matrix.init 4 3 (fun _ _ -> Util.Prng.gaussian rng) in
+  (* scalar loss = sum of outputs; d(loss)/d(out) = ones *)
+  let loss l =
+    let out, _ = Nn.Layer.forward l x in
+    Array.fold_left ( +. ) 0.0 out.Nn.Matrix.data
+  in
+  let _, cache = Nn.Layer.forward layer x in
+  let dout = Nn.Matrix.init 4 2 (fun _ _ -> 1.0) in
+  let grads = Nn.Layer.backward layer cache dout in
+  (* check dW numerically at a few coordinates *)
+  let eps = 1e-5 in
+  List.iter
+    (fun (i, j) ->
+      let bump delta =
+        let w = Nn.Matrix.copy layer.Nn.Layer.weights in
+        Nn.Matrix.set w i j (Nn.Matrix.get w i j +. delta);
+        loss { layer with Nn.Layer.weights = w }
+      in
+      let numeric = (bump eps -. bump (-.eps)) /. (2.0 *. eps) in
+      let analytic = Nn.Matrix.get grads.Nn.Layer.gw i j in
+      Alcotest.(check (float 1e-3))
+        (Printf.sprintf "dW[%d,%d]" i j)
+        numeric analytic)
+    [ (0, 0); (1, 1); (2, 0) ]
+
+let trains_on_separable_data () =
+  let rng = Util.Prng.create 21L in
+  (* two gaussian blobs in 4d *)
+  let sample label =
+    let center = if label > 0.5 then 2.0 else -2.0 in
+    (Array.init 4 (fun _ -> center +. Util.Prng.gaussian rng), label)
+  in
+  let pairs =
+    List.init 400 (fun i -> sample (if i mod 2 = 0 then 1.0 else 0.0))
+  in
+  let data = Nn.Data.make pairs in
+  let train, validation, test = Nn.Data.split3 data ~train:0.6 ~validation:0.2 in
+  let model =
+    Nn.Model.create rng ~input:4
+      ~layers:[ (8, Nn.Activation.Relu); (1, Nn.Activation.Sigmoid) ]
+  in
+  let config = { Nn.Train.default_config with epochs = 20; batch_size = 16 } in
+  let model, history = Nn.Train.fit ~config model ~train ~validation in
+  let predictions = Nn.Model.predict model (Nn.Matrix.of_rows test.Nn.Data.features) in
+  let acc = Nn.Metrics.accuracy ~predictions ~labels:test.Nn.Data.labels () in
+  Alcotest.(check bool) "test accuracy > 0.95" true (acc > 0.95);
+  Alcotest.(check int) "history length" 20 (List.length history);
+  (* loss decreased *)
+  let first = List.hd history and last = List.nth history 19 in
+  Alcotest.(check bool) "loss decreased" true
+    (last.Nn.Train.train_loss < first.Nn.Train.train_loss)
+
+let normalizer_zscore () =
+  let data =
+    Nn.Data.make [ ([| 0.0; 10.0 |], 0.0); ([| 2.0; 20.0 |], 1.0) ]
+  in
+  let nz = Nn.Data.fit_normalizer data in
+  let n = Nn.Data.normalize_vec nz [| 1.0; 15.0 |] in
+  Alcotest.(check (float 1e-9)) "centered 0" 0.0 n.(0);
+  Alcotest.(check (float 1e-9)) "centered 1" 0.0 n.(1);
+  let means, stds = Nn.Data.normalizer_stats nz in
+  Alcotest.(check (float 1e-9)) "mean" 1.0 means.(0);
+  Alcotest.(check (float 1e-9)) "std" 1.0 stds.(0)
+
+let auc_metric () =
+  let predictions = [| 0.9; 0.8; 0.3; 0.1 |] in
+  let labels = [| 1.0; 1.0; 0.0; 0.0 |] in
+  Alcotest.(check (float 1e-9)) "perfect AUC" 1.0 (Nn.Metrics.auc ~predictions ~labels);
+  let inverted = [| 0.1; 0.2; 0.8; 0.9 |] in
+  Alcotest.(check (float 1e-9)) "inverted AUC" 0.0
+    (Nn.Metrics.auc ~predictions:inverted ~labels);
+  let random = [| 0.5; 0.5; 0.5; 0.5 |] in
+  Alcotest.(check (float 1e-9)) "ties AUC" 0.5 (Nn.Metrics.auc ~predictions:random ~labels)
+
+let confusion_counts () =
+  let predictions = [| 0.9; 0.2; 0.8; 0.4 |] in
+  let labels = [| 1.0; 1.0; 0.0; 0.0 |] in
+  let c = Nn.Metrics.confusion ~predictions ~labels () in
+  Alcotest.(check int) "tp" 1 c.Nn.Metrics.tp;
+  Alcotest.(check int) "fn" 1 c.Nn.Metrics.fn;
+  Alcotest.(check int) "fp" 1 c.Nn.Metrics.fp;
+  Alcotest.(check int) "tn" 1 c.Nn.Metrics.tn;
+  Alcotest.(check (float 1e-9)) "fpr" 0.5 (Nn.Metrics.false_positive_rate c)
+
+let bce_gradient_direction () =
+  (* gradient is negative when the prediction is below the label *)
+  let g = Nn.Loss.bce_gradient ~predictions:[| 0.2 |] ~labels:[| 1.0 |] in
+  Alcotest.(check bool) "pushes up" true (g.(0) < 0.0);
+  let g2 = Nn.Loss.bce_gradient ~predictions:[| 0.8 |] ~labels:[| 0.0 |] in
+  Alcotest.(check bool) "pushes down" true (g2.(0) > 0.0)
+
+let paper_architecture_shape () =
+  let layers = Nn.Model.paper_architecture ~input:96 in
+  Alcotest.(check int) "6 layers" 6 (List.length layers);
+  let rng = Util.Prng.create 1L in
+  let model = Nn.Model.create rng ~input:96 ~layers in
+  Alcotest.(check (list int)) "sizes" [ 96; 64; 32; 16; 8; 1 ]
+    (Nn.Model.layer_sizes model)
+
+let suite =
+  [
+    Alcotest.test_case "matmul-basics" `Quick matmul_basics;
+    Alcotest.test_case "transpose-variants" `Quick transpose_variants_agree;
+    Alcotest.test_case "activations" `Quick activations;
+    Alcotest.test_case "gradient-check" `Quick gradient_check;
+    Alcotest.test_case "trains-separable" `Quick trains_on_separable_data;
+    Alcotest.test_case "normalizer" `Quick normalizer_zscore;
+    Alcotest.test_case "auc" `Quick auc_metric;
+    Alcotest.test_case "confusion" `Quick confusion_counts;
+    Alcotest.test_case "bce-gradient" `Quick bce_gradient_direction;
+    Alcotest.test_case "paper-architecture" `Quick paper_architecture_shape;
+  ]

@@ -1,0 +1,279 @@
+(* Unit tests of individual IR optimisation passes on hand-built
+   functions (the compiler-diff suite covers whole-pipeline semantics). *)
+
+let mk_fundef ?(nparams = 0) ?(param_vregs = []) ~nvregs blocks =
+  {
+    Minic.Ir.name = "t";
+    nparams;
+    param_vregs;
+    nvregs;
+    blocks = Array.of_list blocks;
+    slot_sizes = [||];
+  }
+
+let block body term = { Minic.Ir.body; term }
+
+let count_ins (f : Minic.Ir.fundef) =
+  Array.fold_left (fun acc (b : Minic.Ir.block) -> acc + List.length b.body) 0 f.blocks
+
+let fold_constants () =
+  (* v0=2; v1=3; v2=v0+v1; ret v2  ==> ret 5 via mov *)
+  let f =
+    mk_fundef ~nvregs:3
+      [
+        block
+          [
+            Minic.Ir.Imov (0, Oimm 2L);
+            Minic.Ir.Imov (1, Oimm 3L);
+            Minic.Ir.Ibin (Add, 2, 0, Ovreg 1);
+          ]
+          (Minic.Ir.Tret (Some 2));
+      ]
+  in
+  Minic.Opt.fold_constants f;
+  let has_fold =
+    List.exists
+      (fun ins -> ins = Minic.Ir.Imov (2, Minic.Ir.Oimm 5L))
+      f.Minic.Ir.blocks.(0).body
+  in
+  Alcotest.(check bool) "addition folded" true has_fold
+
+let fold_branch () =
+  (* constant compare folds the branch to a jump *)
+  let f =
+    mk_fundef ~nvregs:1
+      [
+        block [ Minic.Ir.Imov (0, Oimm 7L) ] (Minic.Ir.Tbr (Gt, 0, Oimm 3L, 1, 2));
+        block [] (Minic.Ir.Tret (Some 0));
+        block [] (Minic.Ir.Tret None);
+      ]
+  in
+  Minic.Opt.fold_constants f;
+  (match f.Minic.Ir.blocks.(0).term with
+  | Minic.Ir.Tjmp 1 -> ()
+  | _ -> Alcotest.fail "branch not folded to then-target")
+
+let dce_removes_dead () =
+  let f =
+    mk_fundef ~nvregs:3
+      [
+        block
+          [
+            Minic.Ir.Imov (0, Oimm 1L);
+            Minic.Ir.Imov (1, Oimm 2L);  (* dead *)
+            Minic.Ir.Ibin (Mul, 2, 1, Oimm 0L);  (* dead *)
+          ]
+          (Minic.Ir.Tret (Some 0));
+      ]
+  in
+  Minic.Opt.dce f;
+  Alcotest.(check int) "only the live mov remains" 1 (count_ins f)
+
+let dce_keeps_side_effects () =
+  let f =
+    mk_fundef ~nvregs:2
+      [
+        block
+          [
+            Minic.Ir.Imov (0, Oimm 1L);
+            Minic.Ir.Icall (Some 1, Minic.Ir.Cimport "print_int", [ 0 ]);
+          ]
+          (Minic.Ir.Tret None);
+      ]
+  in
+  Minic.Opt.dce f;
+  Alcotest.(check int) "call and its argument kept" 2 (count_ins f)
+
+let strength_reduction () =
+  let f =
+    mk_fundef ~nvregs:4
+      [
+        block
+          [
+            Minic.Ir.Ibin (Mul, 1, 0, Oimm 8L);
+            Minic.Ir.Ibin (Mul, 2, 0, Oimm 1L);
+            Minic.Ir.Ibin (Add, 3, 0, Oimm 0L);
+          ]
+          (Minic.Ir.Tret (Some 1));
+      ]
+  in
+  Minic.Opt.strength_reduce f;
+  (match f.Minic.Ir.blocks.(0).body with
+  | [ Minic.Ir.Ibin (Shl, 1, 0, Oimm 3L); Minic.Ir.Imov (2, Ovreg 0);
+      Minic.Ir.Imov (3, Ovreg 0) ] ->
+    ()
+  | _ -> Alcotest.fail "strength reduction did not rewrite as expected")
+
+let cse_reuses () =
+  let f =
+    mk_fundef ~nvregs:4 ~nparams:1 ~param_vregs:[ 0 ]
+      [
+        block
+          [
+            Minic.Ir.Ibin (Add, 1, 0, Oimm 5L);
+            Minic.Ir.Ibin (Add, 2, 0, Oimm 5L);  (* same expression *)
+            Minic.Ir.Ibin (Mul, 3, 1, Ovreg 2);
+          ]
+          (Minic.Ir.Tret (Some 3));
+      ]
+  in
+  Minic.Opt.cse f;
+  (match f.Minic.Ir.blocks.(0).body with
+  | [ _; Minic.Ir.Imov (2, Ovreg 1); _ ] -> ()
+  | _ -> Alcotest.fail "second computation not replaced by a move")
+
+let cse_respects_redefinition () =
+  let f =
+    mk_fundef ~nvregs:4 ~nparams:1 ~param_vregs:[ 0 ]
+      [
+        block
+          [
+            Minic.Ir.Ibin (Add, 1, 0, Oimm 5L);
+            Minic.Ir.Imov (0, Oimm 9L);  (* v0 changes! *)
+            Minic.Ir.Ibin (Add, 2, 0, Oimm 5L);
+          ]
+          (Minic.Ir.Tret (Some 2));
+      ]
+  in
+  Minic.Opt.cse f;
+  (match f.Minic.Ir.blocks.(0).body with
+  | [ _; _; Minic.Ir.Ibin (Add, 2, 0, Oimm 5L) ] -> ()
+  | _ -> Alcotest.fail "stale expression reused after redefinition")
+
+let simplify_threads_jumps () =
+  let f =
+    mk_fundef ~nvregs:1
+      [
+        block [ Minic.Ir.Imov (0, Oimm 1L) ] (Minic.Ir.Tjmp 1);
+        block [] (Minic.Ir.Tjmp 2);  (* empty forwarder *)
+        block [] (Minic.Ir.Tret (Some 0));
+      ]
+  in
+  Minic.Opt.simplify_cfg f;
+  (* the forwarder disappears and blocks merge *)
+  Alcotest.(check int) "single block" 1 (Array.length f.Minic.Ir.blocks);
+  (match f.Minic.Ir.blocks.(0).term with
+  | Minic.Ir.Tret (Some 0) -> ()
+  | _ -> Alcotest.fail "terminator not merged")
+
+let simplify_drops_unreachable () =
+  let f =
+    mk_fundef ~nvregs:1
+      [
+        block [] (Minic.Ir.Tret None);
+        block [ Minic.Ir.Imov (0, Oimm 9L) ] (Minic.Ir.Tret (Some 0));
+        (* unreachable *)
+      ]
+  in
+  Minic.Opt.simplify_cfg f;
+  Alcotest.(check int) "unreachable dropped" 1 (Array.length f.Minic.Ir.blocks)
+
+let inline_splices_leaf () =
+  let leaf =
+    mk_fundef ~nvregs:2 ~nparams:1 ~param_vregs:[ 0 ]
+      [
+        block [ Minic.Ir.Ibin (Add, 1, 0, Oimm 1L) ] (Minic.Ir.Tret (Some 1));
+      ]
+  in
+  let caller =
+    mk_fundef ~nvregs:2
+      [
+        block
+          [
+            Minic.Ir.Imov (0, Oimm 41L);
+            Minic.Ir.Icall (Some 1, Minic.Ir.Cinternal "leaf", [ 0 ]);
+          ]
+          (Minic.Ir.Tret (Some 1));
+      ]
+  in
+  let leaf = { leaf with Minic.Ir.name = "leaf" } in
+  let caller = { caller with Minic.Ir.name = "caller" } in
+  Minic.Opt.inline_calls ~limit:10
+    ~resolve:(fun n -> if n = "leaf" then Some leaf else None)
+    caller;
+  (* no internal call remains *)
+  let has_call =
+    Array.exists
+      (fun (b : Minic.Ir.block) ->
+        List.exists
+          (fun ins ->
+            match ins with
+            | Minic.Ir.Icall (_, Minic.Ir.Cinternal _, _) -> true
+            | _ -> false)
+          b.body)
+      caller.Minic.Ir.blocks
+  in
+  Alcotest.(check bool) "call inlined away" false has_call;
+  Alcotest.(check bool) "blocks spliced" true
+    (Array.length caller.Minic.Ir.blocks > 1)
+
+let licm_hoists_invariant () =
+  (* B0 -> B1(header): v2 = v0*3 (invariant, single def); loop back via
+     B2; exit B3 *)
+  let f =
+    mk_fundef ~nvregs:5 ~nparams:1 ~param_vregs:[ 0 ]
+      [
+        block [ Minic.Ir.Imov (1, Oimm 0L) ] (Minic.Ir.Tjmp 1);
+        block
+          [
+            Minic.Ir.Ibin (Mul, 2, 0, Oimm 3L);  (* invariant *)
+            Minic.Ir.Ibin (Add, 3, 1, Ovreg 2);
+            Minic.Ir.Imov (1, Ovreg 3);
+          ]
+          (Minic.Ir.Tbr (Lt, 1, Oimm 100L, 1, 2));
+        block [] (Minic.Ir.Tret (Some 1));
+      ]
+  in
+  Minic.Opt.licm f;
+  (* a preheader appeared and the invariant left the loop body *)
+  Alcotest.(check int) "preheader added" 4 (Array.length f.Minic.Ir.blocks);
+  let header_has_mul =
+    List.exists
+      (fun ins ->
+        match ins with Minic.Ir.Ibin (Mul, _, _, _) -> true | _ -> false)
+      f.Minic.Ir.blocks.(1).body
+  in
+  Alcotest.(check bool) "multiply hoisted out of header" false header_has_mul;
+  let pre = f.Minic.Ir.blocks.(3) in
+  Alcotest.(check bool) "preheader holds it" true
+    (List.exists
+       (fun ins ->
+         match ins with Minic.Ir.Ibin (Mul, 2, 0, _) -> true | _ -> false)
+       pre.Minic.Ir.body);
+  (* entry now jumps to the preheader, latch still targets the header *)
+  (match f.Minic.Ir.blocks.(0).term with
+  | Minic.Ir.Tjmp 3 -> ()
+  | _ -> Alcotest.fail "entry not redirected to preheader");
+  match f.Minic.Ir.blocks.(1).term with
+  | Minic.Ir.Tbr (_, _, _, 1, 2) -> ()
+  | _ -> Alcotest.fail "back edge must keep targeting the header"
+
+let licm_leaves_loop_variant () =
+  let f =
+    mk_fundef ~nvregs:3 ~nparams:1 ~param_vregs:[ 0 ]
+      [
+        block [ Minic.Ir.Imov (1, Oimm 0L) ] (Minic.Ir.Tjmp 1);
+        block
+          [ Minic.Ir.Ibin (Add, 1, 1, Oimm 1L) ]  (* multi-def: stays *)
+          (Minic.Ir.Tbr (Lt, 1, Oimm 10L, 1, 2));
+        block [] (Minic.Ir.Tret (Some 1));
+      ]
+  in
+  Minic.Opt.licm f;
+  Alcotest.(check int) "no preheader" 3 (Array.length f.Minic.Ir.blocks)
+
+let suite =
+  [
+    Alcotest.test_case "licm-hoists" `Quick licm_hoists_invariant;
+    Alcotest.test_case "licm-variant-stays" `Quick licm_leaves_loop_variant;
+    Alcotest.test_case "fold-constants" `Quick fold_constants;
+    Alcotest.test_case "fold-branch" `Quick fold_branch;
+    Alcotest.test_case "dce-removes-dead" `Quick dce_removes_dead;
+    Alcotest.test_case "dce-keeps-side-effects" `Quick dce_keeps_side_effects;
+    Alcotest.test_case "strength-reduction" `Quick strength_reduction;
+    Alcotest.test_case "cse-reuses" `Quick cse_reuses;
+    Alcotest.test_case "cse-redefinition" `Quick cse_respects_redefinition;
+    Alcotest.test_case "simplify-threads" `Quick simplify_threads_jumps;
+    Alcotest.test_case "simplify-unreachable" `Quick simplify_drops_unreachable;
+    Alcotest.test_case "inline-leaf" `Quick inline_splices_leaf;
+  ]

@@ -1,0 +1,230 @@
+(* The PATCHECKO pipeline: vulndb, stages, differential engine. *)
+
+let case_cve () =
+  match Corpus.Cves.find "CVE-2018-9412" with
+  | Some c -> c
+  | None -> Alcotest.fail "case-study CVE missing"
+
+let db_entry () =
+  let c = case_cve () in
+  Patchecko.Vulndb.make_entry ~cve_id:c.id ~description:c.description
+    ~shape:c.shape
+    ~vuln:(Corpus.Dataset.compile_cve c ~patched:false, 0)
+    ~patched:(Corpus.Dataset.compile_cve c ~patched:true, 0)
+
+let vulndb_entry_features () =
+  let e = db_entry () in
+  Alcotest.(check int) "48 static features" 48
+    (Array.length e.Patchecko.Vulndb.vuln_static);
+  Alcotest.(check bool) "vulnerable and patched features differ" true
+    (e.Patchecko.Vulndb.vuln_static <> e.Patchecko.Vulndb.patched_static)
+
+let vulndb_lookup () =
+  let e = db_entry () in
+  let db = Patchecko.Vulndb.create [ e ] in
+  Alcotest.(check int) "size" 1 (Patchecko.Vulndb.size db);
+  Alcotest.(check bool) "find hit" true
+    (Patchecko.Vulndb.find db "CVE-2018-9412" <> None);
+  Alcotest.(check bool) "find miss" true
+    (Patchecko.Vulndb.find db "CVE-0000-0000" = None)
+
+let classification_counts () =
+  let c =
+    Patchecko.Pipeline.classify ~candidates:[ 3; 7; 9 ] ~total:100
+      ~ground_truth:7
+  in
+  Alcotest.(check int) "tp" 1 c.Patchecko.Pipeline.tp;
+  Alcotest.(check int) "fp" 2 c.Patchecko.Pipeline.fp;
+  Alcotest.(check int) "fn" 0 c.Patchecko.Pipeline.fn;
+  Alcotest.(check int) "tn" 97 c.Patchecko.Pipeline.tn;
+  let miss =
+    Patchecko.Pipeline.classify ~candidates:[ 3 ] ~total:100 ~ground_truth:7
+  in
+  Alcotest.(check int) "miss fn" 1 miss.Patchecko.Pipeline.fn;
+  Alcotest.(check int) "miss tp" 0 miss.Patchecko.Pipeline.tp
+
+let differential_separates_versions () =
+  let c = case_cve () in
+  let vuln = Corpus.Dataset.compile_cve c ~patched:false in
+  let patched = Corpus.Dataset.compile_cve c ~patched:true in
+  (* a patched target compiled differently *)
+  let target_patched =
+    Loader.Image.strip
+      (Corpus.Dataset.compile_cve ~arch:Isa.Arch.X86 ~opt:Minic.Optlevel.O2 c
+         ~patched:true)
+  in
+  let e =
+    Patchecko.Differential.gather ~vuln:(vuln, 0) ~patched:(patched, 0)
+      ~target:(target_patched, 0) ()
+  in
+  let verdict, confidence = Patchecko.Differential.decide e in
+  Alcotest.(check string) "patched target detected" "patched"
+    (Patchecko.Differential.verdict_to_string verdict);
+  Alcotest.(check bool) "confidence > 0.5" true (confidence > 0.5);
+  (* and the vulnerable target the other way *)
+  let target_vuln =
+    Loader.Image.strip
+      (Corpus.Dataset.compile_cve ~arch:Isa.Arch.X86 ~opt:Minic.Optlevel.O2 c
+         ~patched:false)
+  in
+  let e2 =
+    Patchecko.Differential.gather ~vuln:(vuln, 0) ~patched:(patched, 0)
+      ~target:(target_vuln, 0) ()
+  in
+  let verdict2, _ = Patchecko.Differential.decide e2 in
+  Alcotest.(check string) "vulnerable target detected" "vulnerable"
+    (Patchecko.Differential.verdict_to_string verdict2)
+
+let import_evidence () =
+  (* the paper's memmove evidence: the vulnerable version imports
+     memmove, the patched one does not *)
+  let c = case_cve () in
+  let vuln = Corpus.Dataset.compile_cve c ~patched:false in
+  let patched = Corpus.Dataset.compile_cve c ~patched:true in
+  Alcotest.(check (list string)) "vulnerable imports memmove" [ "memmove" ]
+    (Patchecko.Differential.import_calls vuln 0);
+  Alcotest.(check (list string)) "patched imports nothing" []
+    (Patchecko.Differential.import_calls patched 0)
+
+let dynamic_stage_ranks_true_function () =
+  let c = case_cve () in
+  let entry = db_entry () in
+  (* target: a small library containing the vulnerable function among
+     distractors, different arch/opt *)
+  let base = Corpus.Genlib.generate ~seed:77L ~index:0 ~nfuncs:10 in
+  let prog = Corpus.Genlib.with_cves base [ (c, false) ] in
+  let target =
+    Loader.Image.strip
+      (Minic.Compiler.compile ~arch:Isa.Arch.Arm32 ~opt:Minic.Optlevel.O2 prog)
+  in
+  let truth =
+    match
+      Minic.Compiler.compile ~arch:Isa.Arch.Arm32 ~opt:Minic.Optlevel.O2 prog
+      |> fun img -> Loader.Image.find_function img c.fname
+    with
+    | Some i -> i
+    | None -> Alcotest.fail "CVE function missing from target"
+  in
+  let all_candidates =
+    List.init (Loader.Image.function_count target) Fun.id
+  in
+  let result =
+    Patchecko.Dynamic_stage.run
+      ~config:
+        { Patchecko.Dynamic_stage.default_config with k_envs = 4; fuel = 100_000 }
+      ~reference:(entry.Patchecko.Vulndb.vuln_image, 0)
+      ~shape:c.shape ~target ~candidates:all_candidates ()
+  in
+  Alcotest.(check bool) "environments found" true (result.Patchecko.Dynamic_stage.envs_used > 0);
+  (* validation never grows the candidate set (whether it prunes depends
+     on which template instances the generated library drew) *)
+  Alcotest.(check bool) "validation is a filter" true
+    (List.length result.Patchecko.Dynamic_stage.validated
+    <= List.length all_candidates);
+  match result.Patchecko.Dynamic_stage.ranking with
+  | [] -> Alcotest.fail "empty ranking"
+  | best :: _ ->
+    Alcotest.(check int) "true function ranked first" truth
+      best.Similarity.Rank.candidate
+
+let static_stage_flags_reference_itself () =
+  (* sanity: with a permissive threshold the scan returns a superset that
+     contains genuinely similar functions and scores are probabilities *)
+  let c = case_cve () in
+  let entry = db_entry () in
+  let rng = Util.Prng.create 13L in
+  let model =
+    Nn.Model.create rng ~input:(2 * Staticfeat.Names.count)
+      ~layers:(Nn.Model.paper_architecture ~input:(2 * Staticfeat.Names.count))
+  in
+  let data =
+    Nn.Data.make [ (Array.make (2 * Staticfeat.Names.count) 1.0, 1.0) ]
+  in
+  let classifier =
+    {
+      Patchecko.Static_stage.model;
+      normalizer = Nn.Data.fit_normalizer data;
+      threshold = 0.0;
+    }
+  in
+  let target = Loader.Image.strip (Corpus.Dataset.compile_cve c ~patched:false) in
+  let result =
+    Patchecko.Static_stage.scan classifier
+      ~reference:entry.Patchecko.Vulndb.vuln_static target
+  in
+  Alcotest.(check int) "all flagged at threshold 0"
+    (Loader.Image.function_count target)
+    (List.length result.Patchecko.Static_stage.candidates);
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "probability" true (s >= 0.0 && s <= 1.0))
+    result.Patchecko.Static_stage.scores
+
+let suite =
+  [
+    Alcotest.test_case "vulndb-features" `Quick vulndb_entry_features;
+    Alcotest.test_case "vulndb-lookup" `Quick vulndb_lookup;
+    Alcotest.test_case "classification-counts" `Quick classification_counts;
+    Alcotest.test_case "differential-separates" `Quick differential_separates_versions;
+    Alcotest.test_case "import-evidence" `Quick import_evidence;
+    Alcotest.test_case "dynamic-stage-ranks" `Quick dynamic_stage_ranks_true_function;
+    Alcotest.test_case "static-stage-scan" `Quick static_stage_flags_reference_itself;
+  ]
+
+let scanner_finds_planted_cve () =
+  let c = case_cve () in
+  let entry = db_entry () in
+  let db = Patchecko.Vulndb.create [ entry ] in
+  (* firmware with two libraries: one clean, one carrying the CVE *)
+  let clean = Corpus.Genlib.generate ~seed:5L ~index:1 ~nfuncs:10 in
+  let dirty =
+    Corpus.Genlib.with_cves
+      (Corpus.Genlib.generate ~seed:6L ~index:2 ~nfuncs:10)
+      [ (c, false) ]
+  in
+  let compile prog =
+    Loader.Image.strip
+      (Minic.Compiler.compile ~arch:Isa.Arch.Arm32 ~opt:Minic.Optlevel.O2 prog)
+  in
+  let fw =
+    {
+      Loader.Firmware.device = "testdev";
+      os_version = "1";
+      security_patch = "none";
+      images = [| compile clean; compile dirty |];
+    }
+  in
+  (* a permissive classifier: every function is a candidate; the dynamic
+     stage and distance cutoff must isolate the real site *)
+  let rng = Util.Prng.create 2L in
+  let model =
+    Nn.Model.create rng ~input:(2 * Staticfeat.Names.count)
+      ~layers:(Nn.Model.paper_architecture ~input:(2 * Staticfeat.Names.count))
+  in
+  let dummy = Nn.Data.make [ (Array.make (2 * Staticfeat.Names.count) 1.0, 1.0) ] in
+  let classifier =
+    { Patchecko.Static_stage.model; normalizer = Nn.Data.fit_normalizer dummy;
+      threshold = 0.0 }
+  in
+  let findings =
+    Patchecko.Scanner.scan_firmware ~max_distance:10.0 ~classifier ~db fw
+  in
+  (match findings with
+  | [ f ] ->
+    Alcotest.(check string) "cve id" "CVE-2018-9412" f.Patchecko.Scanner.cve_id;
+    Alcotest.(check string) "image" (compile dirty).Loader.Image.name
+      f.Patchecko.Scanner.image;
+    Alcotest.(check string) "verdict" "vulnerable"
+      (Patchecko.Differential.verdict_to_string f.Patchecko.Scanner.verdict)
+  | other -> Alcotest.failf "expected one finding, got %d" (List.length other));
+  (* JSON output contains the id *)
+  let json = Patchecko.Scanner.findings_to_json findings in
+  let contains ~needle haystack =
+    let n = String.length needle and h = String.length haystack in
+    let rec loop i = i + n <= h && (String.sub haystack i n = needle || loop (i + 1)) in
+    loop 0
+  in
+  Alcotest.(check bool) "json mentions cve" true
+    (contains ~needle:"CVE-2018-9412" json)
+
+let suite = suite @ [ Alcotest.test_case "scanner" `Quick scanner_finds_planted_cve ]

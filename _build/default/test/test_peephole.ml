@@ -1,0 +1,152 @@
+(* Peephole rewrites and image integrity verification. *)
+
+let removes_self_moves () =
+  let items : Isa.Asm.item list =
+    [ Ins (Mov (1, Reg 1)); Ins (Mov (1, Imm 5L)); Ins Ret ]
+  in
+  let out = Minic.Peephole.run items in
+  Alcotest.(check int) "self-move dropped" 2 (List.length out)
+
+let removes_arith_noop () =
+  let items : Isa.Asm.item list =
+    [ Ins (Binop (Add, 3, 3, Imm 0L)); Ins (Binop (Add, 3, 4, Imm 0L)); Ins Ret ]
+  in
+  let out = Minic.Peephole.run items in
+  (* add r3, r3, #0 dropped; add r3, r4, #0 kept (it moves r4 into r3) *)
+  Alcotest.(check int) "only the no-op dropped" 2 (List.length out)
+
+let removes_jump_to_next () =
+  let items : Isa.Asm.item list =
+    [ Ins (Jmp "next"); Label "next"; Ins Ret ]
+  in
+  let out = Minic.Peephole.run items in
+  Alcotest.(check int) "jump dropped" 2 (List.length out)
+
+let keeps_jump_elsewhere () =
+  let items : Isa.Asm.item list =
+    [ Ins (Jmp "far"); Label "next"; Ins (Mov (0, Imm 1L)); Label "far"; Ins Ret ]
+  in
+  let out = Minic.Peephole.run items in
+  Alcotest.(check int) "kept" 5 (List.length out)
+
+let removes_push_pop_pair () =
+  let items : Isa.Asm.item list = [ Ins (Push 5); Ins (Pop 5); Ins Ret ] in
+  Alcotest.(check int) "pair dropped" 1 (List.length (Minic.Peephole.run items));
+  let different : Isa.Asm.item list = [ Ins (Push 5); Ins (Pop 6); Ins Ret ] in
+  Alcotest.(check int) "different regs kept" 3
+    (List.length (Minic.Peephole.run different))
+
+let removes_store_reload () =
+  let items : Isa.Asm.item list =
+    [
+      Ins (Store (W8, 4, Isa.Reg.fp, -16));
+      Ins (Load (W8, 4, Isa.Reg.fp, -16));
+      Ins Ret;
+    ]
+  in
+  let out = Minic.Peephole.run items in
+  Alcotest.(check int) "reload dropped" 2 (List.length out);
+  (* different register: reload must stay *)
+  let different : Isa.Asm.item list =
+    [
+      Ins (Store (W8, 4, Isa.Reg.fp, -16));
+      Ins (Load (W8, 5, Isa.Reg.fp, -16));
+      Ins Ret;
+    ]
+  in
+  Alcotest.(check int) "different reg kept" 3
+    (List.length (Minic.Peephole.run different))
+
+let oz_smaller_than_o1 () =
+  (* with peephole everywhere, higher levels still shrink code *)
+  let prog = Corpus.Genlib.generate ~seed:0xFEEDL ~index:1 ~nfuncs:16 in
+  let size opt =
+    Loader.Image.total_code_size
+      (Minic.Compiler.compile ~arch:Isa.Arch.X86 ~opt prog)
+  in
+  Alcotest.(check bool) "O0 > Oz" true
+    (size Minic.Optlevel.O0 > size Minic.Optlevel.Oz)
+
+let verify_clean_corpus () =
+  for idx = 0 to 3 do
+    let prog = Corpus.Genlib.generate ~seed:0xABCL ~index:idx ~nfuncs:20 in
+    List.iter
+      (fun opt ->
+        let img = Minic.Compiler.compile ~arch:Isa.Arch.Arm32 ~opt prog in
+        Alcotest.(check (list string)) "no issues" []
+          (List.map Loader.Verify.issue_to_string (Loader.Verify.check img)))
+      Minic.Optlevel.all
+  done
+
+let verify_catches_corruption () =
+  let src = {|
+lib v;
+fn f(x: int): int { return f(x - 1) + 1; }
+|} in
+  let img = Minic.Compiler.compile_source ~arch:Isa.Arch.X86 ~opt:Minic.Optlevel.O1 src in
+  (* corrupt the call table: internal target out of range *)
+  let bad = { img with Loader.Image.calls = [| Loader.Image.Internal 99 |] } in
+  Alcotest.(check bool) "bad internal target detected" true
+    (List.exists
+       (fun i ->
+         match i with
+         | Loader.Verify.Bad_internal_target _ -> true
+         | Loader.Verify.Undecodable _ | Bad_call_index _
+         | Branch_out_of_function _ | Data_ref_outside_section _ ->
+           false)
+       (Loader.Verify.check bad));
+  (* corrupt the code bytes *)
+  let garbled =
+    {
+      img with
+      Loader.Image.functions = [| Bytes.make 7 '\xAA' |];
+    }
+  in
+  Alcotest.(check bool) "garbage detected" true
+    (Loader.Verify.check garbled <> [])
+
+let suite =
+  [
+    Alcotest.test_case "self-moves" `Quick removes_self_moves;
+    Alcotest.test_case "arith-noop" `Quick removes_arith_noop;
+    Alcotest.test_case "jump-to-next" `Quick removes_jump_to_next;
+    Alcotest.test_case "jump-elsewhere" `Quick keeps_jump_elsewhere;
+    Alcotest.test_case "push-pop-pair" `Quick removes_push_pop_pair;
+    Alcotest.test_case "store-reload" `Quick removes_store_reload;
+    Alcotest.test_case "oz-smaller" `Quick oz_smaller_than_o1;
+    Alcotest.test_case "verify-clean-corpus" `Quick verify_clean_corpus;
+    Alcotest.test_case "verify-catches-corruption" `Quick verify_catches_corruption;
+  ]
+
+(* Property: peephole is idempotent — a second pass changes nothing. *)
+let peephole_idempotent =
+  QCheck.Test.make ~name:"peephole-idempotent" ~count:20
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      (* representative instruction pattern with randomly sprinkled
+         self-moves; one pass must reach the fixpoint *)
+      let rng = Util.Prng.create (Int64.of_int (seed + 17)) in
+      let base : Isa.Asm.item list =
+        [
+          Ins (Isa.Instr.Push Isa.Reg.fp);
+          Ins (Mov (Isa.Reg.fp, Reg Isa.Reg.sp));
+          Ins (Mov (1, Imm 5L));
+          Ins (Binop (Add, 2, 1, Imm 1L));
+          Label "x";
+          Ins (Jmp "x2");
+          Label "x2";
+          Ins Ret;
+        ]
+      in
+      let noisy =
+        List.concat_map
+          (fun item ->
+            if Util.Prng.chance rng 0.4 then
+              [ Isa.Asm.Ins (Isa.Instr.Mov (3, Reg 3)); item ]
+            else [ item ])
+          base
+      in
+      let once = Minic.Peephole.run noisy in
+      Minic.Peephole.run once = once)
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest peephole_idempotent ]

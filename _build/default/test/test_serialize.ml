@@ -1,0 +1,86 @@
+(* Model / normalizer persistence round trips. *)
+
+let make_model () =
+  let rng = Util.Prng.create 0x51AL in
+  Nn.Model.create rng ~input:8
+    ~layers:
+      [ (6, Nn.Activation.Relu); (4, Nn.Activation.Tanh); (1, Nn.Activation.Sigmoid) ]
+
+let model_roundtrip_exact () =
+  let model = make_model () in
+  let back = Nn.Serialize.model_of_bytes (Nn.Serialize.model_to_bytes model) in
+  (* identical predictions bit for bit on random inputs *)
+  let rng = Util.Prng.create 9L in
+  for _ = 1 to 50 do
+    let x = Array.init 8 (fun _ -> Util.Prng.gaussian rng) in
+    Alcotest.(check (float 0.0)) "identical prediction"
+      (Nn.Model.predict_one model x)
+      (Nn.Model.predict_one back x)
+  done
+
+let normalizer_roundtrip () =
+  let data =
+    Nn.Data.make [ ([| 1.0; 5.0 |], 0.0); ([| 3.0; 9.0 |], 1.0) ]
+  in
+  let nz = Nn.Data.fit_normalizer data in
+  let back =
+    Nn.Serialize.normalizer_of_bytes (Nn.Serialize.normalizer_to_bytes nz)
+  in
+  let v = [| 2.5; 7.0 |] in
+  Alcotest.(check bool) "identical normalisation" true
+    (Util.Vec.equal ~eps:0.0 (Nn.Data.normalize_vec nz v)
+       (Nn.Data.normalize_vec back v))
+
+let classifier_file_roundtrip () =
+  let model = make_model () in
+  let data = Nn.Data.make [ (Array.make 8 1.0, 1.0); (Array.make 8 3.0, 0.0) ] in
+  let nz = Nn.Data.fit_normalizer data in
+  let path = Filename.temp_file "patchecko" ".pnn" in
+  Nn.Serialize.write_classifier path model nz;
+  let model', nz' = Nn.Serialize.read_classifier path in
+  Sys.remove path;
+  let x = Array.init 8 float_of_int in
+  Alcotest.(check (float 0.0)) "prediction preserved"
+    (Nn.Model.predict_one model (Nn.Data.normalize_vec nz x))
+    (Nn.Model.predict_one model' (Nn.Data.normalize_vec nz' x))
+
+let corrupt_rejected () =
+  (match Nn.Serialize.model_of_bytes (Bytes.of_string "JUNKJUNK") with
+  | exception Nn.Serialize.Corrupt _ -> ()
+  | _ -> Alcotest.fail "junk accepted");
+  let good = Nn.Serialize.model_to_bytes (make_model ()) in
+  let truncated = Bytes.sub good 0 (Bytes.length good - 9) in
+  match Nn.Serialize.model_of_bytes truncated with
+  | exception Nn.Serialize.Corrupt _ -> ()
+  | _ -> Alcotest.fail "truncation accepted"
+
+let trained_model_survives () =
+  (* train briefly, persist, and check accuracy is unchanged *)
+  let rng = Util.Prng.create 12L in
+  let sample label =
+    let c = if label > 0.5 then 1.5 else -1.5 in
+    (Array.init 4 (fun _ -> c +. Util.Prng.gaussian rng), label)
+  in
+  let pairs = List.init 200 (fun i -> sample (if i mod 2 = 0 then 1.0 else 0.0)) in
+  let data = Nn.Data.make pairs in
+  let model =
+    Nn.Model.create rng ~input:4
+      ~layers:[ (6, Nn.Activation.Relu); (1, Nn.Activation.Sigmoid) ]
+  in
+  let config = { Nn.Train.default_config with epochs = 10; batch_size = 16 } in
+  let model, _ = Nn.Train.fit ~config model ~train:data ~validation:data in
+  let back = Nn.Serialize.model_of_bytes (Nn.Serialize.model_to_bytes model) in
+  let acc m =
+    let p = Nn.Model.predict m (Nn.Matrix.of_rows data.Nn.Data.features) in
+    Nn.Metrics.accuracy ~predictions:p ~labels:data.Nn.Data.labels ()
+  in
+  Alcotest.(check (float 0.0)) "accuracy preserved" (acc model) (acc back)
+
+let suite =
+  [
+    Alcotest.test_case "model-roundtrip" `Quick model_roundtrip_exact;
+    Alcotest.test_case "normalizer-roundtrip" `Quick normalizer_roundtrip;
+    Alcotest.test_case "classifier-file" `Quick classifier_file_roundtrip;
+    Alcotest.test_case "corrupt-rejected" `Quick corrupt_rejected;
+    Alcotest.test_case "trained-model-survives" `Quick trained_model_survives;
+  ]

@@ -1,0 +1,72 @@
+(* Minkowski distance and candidate ranking. *)
+
+let minkowski_known () =
+  let a = [| 0.0; 0.0 |] and b = [| 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "p=1" 7.0 (Similarity.Minkowski.distance ~p:1.0 a b);
+  Alcotest.(check (float 1e-9)) "p=2" 5.0 (Similarity.Minkowski.distance ~p:2.0 a b);
+  Alcotest.(check (float 1e-6)) "p=3"
+    ((27.0 +. 64.0) ** (1.0 /. 3.0))
+    (Similarity.Minkowski.distance ~p:3.0 a b);
+  Alcotest.(check (float 0.0)) "default p" 3.0 Similarity.Minkowski.default_p
+
+let minkowski_errors () =
+  (match Similarity.Minkowski.distance [| 1.0 |] [| 1.0; 2.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "dimension mismatch accepted");
+  match Similarity.Minkowski.distance ~p:0.0 [| 1.0 |] [| 1.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "p=0 accepted"
+
+(* metric properties on random vectors *)
+let metric_properties =
+  let vec = QCheck.(list_of_size (Gen.return 5) (float_range (-100.) 100.)) in
+  QCheck.Test.make ~name:"minkowski-metric" ~count:300
+    QCheck.(pair vec vec)
+    (fun (a, b) ->
+      let a = Array.of_list a and b = Array.of_list b in
+      let d = Similarity.Minkowski.distance a b in
+      let d_sym = Similarity.Minkowski.distance b a in
+      let d_self = Similarity.Minkowski.distance a a in
+      d >= 0.0 && abs_float (d -. d_sym) < 1e-9 && d_self < 1e-9)
+
+let averaged_score () =
+  let fs = [ [| 0.0 |]; [| 0.0 |] ] in
+  let gs = [ [| 2.0 |]; [| 4.0 |] ] in
+  Alcotest.(check (float 1e-9)) "mean of distances" 3.0
+    (Similarity.Score.averaged ~p:2.0 fs gs)
+
+let averaged_misaligned () =
+  match Similarity.Score.averaged [ [| 1.0 |] ] [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "misaligned env lists accepted"
+
+let ranking () =
+  let reference = [ [| 0.0; 0.0 |] ] in
+  let candidates =
+    [ ("far", [ [| 10.0; 10.0 |] ]); ("near", [ [| 1.0; 0.0 |] ]);
+      ("mid", [ [| 3.0; 0.0 |] ]) ]
+  in
+  let ranked = Similarity.Rank.by_distance ~reference candidates in
+  Alcotest.(check (list string)) "order" [ "near"; "mid"; "far" ]
+    (List.map (fun e -> e.Similarity.Rank.candidate) ranked);
+  Alcotest.(check (option int)) "rank_of mid" (Some 2)
+    (Similarity.Rank.rank_of ~equal:String.equal "mid" ranked);
+  Alcotest.(check int) "top 2" 2 (List.length (Similarity.Rank.top 2 ranked))
+
+let ranking_skips_misaligned () =
+  let reference = [ [| 0.0 |]; [| 0.0 |] ] in
+  let candidates = [ ("bad", [ [| 1.0 |] ]); ("good", [ [| 1.0 |]; [| 2.0 |] ]) ] in
+  let ranked = Similarity.Rank.by_distance ~reference candidates in
+  Alcotest.(check (list string)) "only aligned" [ "good" ]
+    (List.map (fun e -> e.Similarity.Rank.candidate) ranked)
+
+let suite =
+  [
+    Alcotest.test_case "minkowski-known" `Quick minkowski_known;
+    Alcotest.test_case "minkowski-errors" `Quick minkowski_errors;
+    QCheck_alcotest.to_alcotest metric_properties;
+    Alcotest.test_case "averaged-score" `Quick averaged_score;
+    Alcotest.test_case "averaged-misaligned" `Quick averaged_misaligned;
+    Alcotest.test_case "ranking" `Quick ranking;
+    Alcotest.test_case "ranking-misaligned" `Quick ranking_skips_misaligned;
+  ]

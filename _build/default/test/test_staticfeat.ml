@@ -1,0 +1,120 @@
+(* The 48-feature extractor of Table I. *)
+
+let image_of src arch opt = Minic.Compiler.compile_source ~arch ~opt src
+
+let src =
+  {|
+lib sf;
+global msg: byte[8] = "hiya";
+fn looper(data: byte*, len: int): int {
+  var acc: int = 3;
+  for (k = 0; k < len; k = k + 1) {
+    acc = acc ^ data[k] + 11;
+  }
+  if (acc > 100) {
+    print_str(msg);
+  }
+  return acc;
+}
+fn leaf(x: int): int { return x + 1; }
+fn quitter(x: int): int {
+  if (x < 0) {
+    abort();
+  }
+  return x;
+}
+fn floaty(x: float): float { return x * 0.5 + 2.0; }
+|}
+
+let get img i name =
+  let v = Staticfeat.Extract.of_function img i in
+  match Staticfeat.Names.index name with
+  | Some k -> v.(k)
+  | None -> Alcotest.failf "no feature %s" name
+
+let feature_count () =
+  Alcotest.(check int) "48 features" 48 Staticfeat.Names.count;
+  let img = image_of src Isa.Arch.X86 Minic.Optlevel.O1 in
+  Alcotest.(check int) "vector length" 48
+    (Array.length (Staticfeat.Extract.of_function img 0))
+
+let names_unique () =
+  let seen = Hashtbl.create 48 in
+  Array.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " unique") false (Hashtbl.mem seen n);
+      Hashtbl.add seen n ())
+    Staticfeat.Names.all
+
+let looper_features () =
+  let img = image_of src Isa.Arch.Arm64 Minic.Optlevel.O1 in
+  Alcotest.(check bool) "has blocks" true (get img 0 "num_bb" >= 4.0);
+  Alcotest.(check bool) "has edges" true (get img 0 "num_edge" >= 4.0);
+  Alcotest.(check (float 0.0)) "one import (print_str)" 1.0 (get img 0 "num_import");
+  Alcotest.(check bool) "string reference found" true (get img 0 "num_string" >= 1.0);
+  Alcotest.(check bool) "arithmetic present" true (get img 0 "sum_arith_b" > 0.0);
+  Alcotest.(check bool) "cyclomatic >= 2" true
+    (get img 0 "cyclomatic_complexity" >= 2.0)
+
+let leaf_flag () =
+  let img = image_of src Isa.Arch.X86 Minic.Optlevel.O1 in
+  let flag = int_of_float (get img 1 "fun_flag") in
+  Alcotest.(check bool) "leaf bit" true (flag land Staticfeat.Extract.fun_flag_leaf <> 0)
+
+let noret_flag () =
+  let img = image_of src Isa.Arch.X86 Minic.Optlevel.O1 in
+  let flag = int_of_float (get img 2 "fun_flag") in
+  Alcotest.(check bool) "noret bit" true
+    (flag land Staticfeat.Extract.fun_flag_noret <> 0);
+  Alcotest.(check bool) "fcb_noret counted" true (get img 2 "fcb_noret" >= 1.0)
+
+let fp_features () =
+  let img = image_of src Isa.Arch.X86 Minic.Optlevel.O1 in
+  Alcotest.(check bool) "float arithmetic counted" true
+    (get img 3 "sum_arith_fp_b" > 0.0);
+  Alcotest.(check (float 0.0)) "looper has no fp" 0.0 (get img 0 "sum_arith_fp_b")
+
+let o0_has_larger_frame () =
+  let o0 = image_of src Isa.Arch.X86 Minic.Optlevel.O0 in
+  let o2 = image_of src Isa.Arch.X86 Minic.Optlevel.O2 in
+  Alcotest.(check bool) "O0 locals bigger" true
+    (get o0 0 "size_local" > get o2 0 "size_local")
+
+let size_matches_listing () =
+  let img = image_of src Isa.Arch.Arm32 Minic.Optlevel.O2 in
+  let listing = Loader.Image.disassemble img 0 in
+  Alcotest.(check (float 0.0)) "size_fun" (float_of_int listing.Isa.Disasm.size)
+    (get img 0 "size_fun");
+  Alcotest.(check (float 0.0)) "num_inst"
+    (float_of_int (Array.length listing.Isa.Disasm.instrs))
+    (get img 0 "num_inst")
+
+(* Property: every feature is finite and non-negative except none. *)
+let features_finite =
+  QCheck.Test.make ~name:"features-finite" ~count:20
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let prog =
+        Corpus.Genlib.generate ~seed:(Int64.of_int seed) ~index:0 ~nfuncs:8
+      in
+      let img = Minic.Compiler.compile ~arch:Isa.Arch.X86 ~opt:Minic.Optlevel.O1 prog in
+      let ok = ref true in
+      for i = 0 to Loader.Image.function_count img - 1 do
+        Array.iter
+          (fun x -> if not (Float.is_finite x) then ok := false)
+          (Staticfeat.Extract.of_function img i)
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "feature-count" `Quick feature_count;
+    Alcotest.test_case "names-unique" `Quick names_unique;
+    Alcotest.test_case "looper-features" `Quick looper_features;
+    Alcotest.test_case "leaf-flag" `Quick leaf_flag;
+    Alcotest.test_case "noret-flag" `Quick noret_flag;
+    Alcotest.test_case "fp-features" `Quick fp_features;
+    Alcotest.test_case "o0-frame" `Quick o0_has_larger_frame;
+    Alcotest.test_case "size-matches-listing" `Quick size_matches_listing;
+    QCheck_alcotest.to_alcotest features_finite;
+  ]

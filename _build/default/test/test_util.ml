@@ -1,0 +1,90 @@
+(* PRNG determinism, statistics, vectors and ranking helpers. *)
+
+let prng_deterministic () =
+  let a = Util.Prng.create 42L in
+  let b = Util.Prng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Util.Prng.next64 a) (Util.Prng.next64 b)
+  done
+
+let prng_split_independent () =
+  let a = Util.Prng.create 42L in
+  let c = Util.Prng.split a in
+  let xs = List.init 50 (fun _ -> Util.Prng.next64 a) in
+  let ys = List.init 50 (fun _ -> Util.Prng.next64 c) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let prng_bounds =
+  QCheck.Test.make ~name:"prng-int-in-bounds" ~count:500
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      let rng = Util.Prng.create (Int64.of_int (a + (b * 1000))) in
+      let v = Util.Prng.int_in rng lo hi in
+      v >= lo && v <= hi)
+
+let prng_shuffle_permutes () =
+  let rng = Util.Prng.create 7L in
+  let arr = Array.init 100 Fun.id in
+  let orig = Array.copy arr in
+  Util.Prng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "same multiset" true (sorted = orig);
+  Alcotest.(check bool) "actually shuffled" true (arr <> orig)
+
+let stats_basics () =
+  let mn, mx, avg, std = Util.Stats.min_max_avg_std [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "min" 1.0 mn;
+  Alcotest.(check (float 1e-9)) "max" 4.0 mx;
+  Alcotest.(check (float 1e-9)) "avg" 2.5 avg;
+  Alcotest.(check (float 1e-9)) "std" (sqrt 1.25) std
+
+let stats_empty () =
+  let mn, mx, avg, std = Util.Stats.min_max_avg_std [||] in
+  Alcotest.(check (float 0.0)) "all zero" 0.0 (mn +. mx +. avg +. std)
+
+let stats_median () =
+  Alcotest.(check (float 1e-9)) "odd" 3.0 (Util.Stats.median [| 5.0; 3.0; 1.0 |]);
+  Alcotest.(check (float 1e-9)) "even" 2.5 (Util.Stats.median [| 4.0; 1.0; 2.0; 3.0 |])
+
+let stats_std_nonneg =
+  QCheck.Test.make ~name:"std-nonnegative" ~count:200
+    QCheck.(list (float_range (-1000.) 1000.))
+    (fun l -> Util.Stats.std (Array.of_list l) >= 0.0)
+
+let vec_ops () =
+  let a = [| 1.0; 2.0; 3.0 |] and b = [| 4.0; 5.0; 6.0 |] in
+  Alcotest.(check (float 1e-9)) "dot" 32.0 (Util.Vec.dot a b);
+  Alcotest.(check (float 1e-9)) "l1" 9.0 (Util.Vec.l1_distance a b);
+  Alcotest.(check bool) "concat" true
+    (Util.Vec.concat a b = [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0 |]);
+  Alcotest.(check bool) "add" true (Util.Vec.add a b = [| 5.0; 7.0; 9.0 |])
+
+let vec_mismatch () =
+  match Util.Vec.dot [| 1.0 |] [| 1.0; 2.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected dimension mismatch"
+
+let ranking_order () =
+  let ranked = Util.Ranking.rank [ ("a", 3.0); ("b", 1.0); ("c", 2.0) ] in
+  Alcotest.(check (list string)) "sorted" [ "b"; "c"; "a" ]
+    (List.map (fun e -> e.Util.Ranking.item) ranked);
+  Alcotest.(check (option int)) "position" (Some 3)
+    (Util.Ranking.position ~equal:String.equal "a" ranked);
+  Alcotest.(check int) "top" 2 (List.length (Util.Ranking.top 2 ranked))
+
+let suite =
+  [
+    Alcotest.test_case "prng-deterministic" `Quick prng_deterministic;
+    Alcotest.test_case "prng-split" `Quick prng_split_independent;
+    QCheck_alcotest.to_alcotest prng_bounds;
+    Alcotest.test_case "prng-shuffle" `Quick prng_shuffle_permutes;
+    Alcotest.test_case "stats-basics" `Quick stats_basics;
+    Alcotest.test_case "stats-empty" `Quick stats_empty;
+    Alcotest.test_case "stats-median" `Quick stats_median;
+    QCheck_alcotest.to_alcotest stats_std_nonneg;
+    Alcotest.test_case "vec-ops" `Quick vec_ops;
+    Alcotest.test_case "vec-mismatch" `Quick vec_mismatch;
+    Alcotest.test_case "ranking-order" `Quick ranking_order;
+  ]

@@ -1,0 +1,293 @@
+(* End-to-end: compile MinC, execute in the VM, check semantics are
+   preserved across architectures and optimisation levels. *)
+
+let source =
+  {|
+lib vmtest;
+
+global counter: int = 5;
+global bias: word[4] = {10, 20, 30, 40};
+
+fn fib(n: int): int {
+  if (n < 2) {
+    return n;
+  }
+  return fib(n - 1) + fib(n - 2);
+}
+
+fn checksum(data: byte*, len: int): int {
+  var acc: int = 7;
+  for (i = 0; i < len; i = i + 1) {
+    acc = acc * 31 + data[i];
+    acc = acc % 1000003;
+  }
+  return acc;
+}
+
+fn classify(v: int): int {
+  switch (v) {
+    case 0: { return 100; }
+    case 1: { return 200; }
+    case 2: { return 300; }
+    case 3: { return 400; }
+    default: { return 0 - 1; }
+  }
+}
+
+fn bump(): int {
+  counter = counter + 1;
+  return counter;
+}
+
+fn table_sum(): int {
+  var total: int = 0;
+  for (i = 0; i < 4; i = i + 1) {
+    total = total + bias[i];
+  }
+  return total;
+}
+
+fn scale(x: float): float {
+  return x * 2.5 + 1.0;
+}
+
+fn buffer_play(n: int): int {
+  var buf: byte[32];
+  memset(buf, 0, 32);
+  var i: int = 0;
+  while (i < n) {
+    buf[i] = i * 3;
+    i = i + 1;
+  }
+  return checksum(buf, n);
+}
+
+fn shout(msg: byte*): int {
+  print_str(msg);
+  print_str("!");
+  return strlen(msg);
+}
+
+fn divide(a: int, b: int): int {
+  return a / b;
+}
+
+fn maybe_quit(code: int): int {
+  if (code > 0) {
+    exit(code);
+  }
+  return 7;
+}
+
+fn heap_dance(n: int): int {
+  var p: word* = alloc_words(n);
+  for (i = 0; i < n; i = i + 1) {
+    p[i] = i * i;
+  }
+  var total: int = 0;
+  for (i = 0; i < n; i = i + 1) {
+    total = total + p[i];
+  }
+  free(p);
+  return total;
+}
+
+fn spin() {
+  while (1) {
+  }
+}
+
+fn echo(buf: byte*, n: int): int {
+  return sys_write(1, buf, n);
+}
+|}
+
+let prog = Minic.Parser.parse source
+
+let images =
+  lazy
+    (List.concat_map
+       (fun arch ->
+         List.map
+           (fun opt ->
+             ((arch, opt), Minic.Compiler.compile ~arch ~opt prog))
+           Minic.Optlevel.all)
+       Isa.Arch.all)
+
+let run_named img name env =
+  match Loader.Image.find_function img name with
+  | Some i -> Vm.Exec.run img i env
+  | None -> Alcotest.failf "function %s not found" name
+
+let check_everywhere name env expected =
+  List.iter
+    (fun ((arch, opt), img) ->
+      let r = run_named img name env in
+      match r.Vm.Exec.outcome with
+      | Vm.Exec.Finished v ->
+        Alcotest.(check int64)
+          (Printf.sprintf "%s %s/%s" name (Isa.Arch.to_string arch)
+             (Minic.Optlevel.to_string opt))
+          expected v
+      | other ->
+        Alcotest.failf "%s %s/%s: %s" name (Isa.Arch.to_string arch)
+          (Minic.Optlevel.to_string opt)
+          (Vm.Exec.outcome_to_string other))
+    (Lazy.force images)
+
+let fib_everywhere () =
+  check_everywhere "fib" (Vm.Env.make [ Vm.Env.Vint 10L ]) 55L
+
+let checksum_everywhere () =
+  let data = "The quick brown fox" in
+  let env =
+    Vm.Env.make [ Vm.Env.buf_of_string data; Vint (Int64.of_int (String.length data)) ]
+  in
+  (* reference computation *)
+  let expected =
+    let acc = ref 7L in
+    String.iter
+      (fun c ->
+        acc := Int64.add (Int64.mul !acc 31L) (Int64.of_int (Char.code c));
+        acc := Int64.rem !acc 1000003L)
+      data;
+    !acc
+  in
+  check_everywhere "checksum" env expected
+
+let switch_everywhere () =
+  check_everywhere "classify" (Vm.Env.make [ Vint 2L ]) 300L;
+  check_everywhere "classify" (Vm.Env.make [ Vint 9L ]) (-1L)
+
+let globals_everywhere () =
+  check_everywhere "bump" (Vm.Env.make []) 6L;
+  check_everywhere "table_sum" (Vm.Env.make []) 100L
+
+let float_everywhere () =
+  List.iter
+    (fun ((arch, opt), img) ->
+      let env = Vm.Env.make [ Vm.Env.Vint (Int64.bits_of_float 4.0) ] in
+      let r = run_named img "scale" env in
+      match r.Vm.Exec.outcome with
+      | Vm.Exec.Finished bits ->
+        Alcotest.(check (float 1e-9))
+          (Printf.sprintf "scale %s/%s" (Isa.Arch.to_string arch)
+             (Minic.Optlevel.to_string opt))
+          11.0
+          (Int64.float_of_bits bits)
+      | other -> Alcotest.failf "scale: %s" (Vm.Exec.outcome_to_string other))
+    (Lazy.force images)
+
+let stack_buffers_everywhere () =
+  check_everywhere "buffer_play" (Vm.Env.make [ Vint 8L ]) (
+    let acc = ref 7L in
+    for i = 0 to 7 do
+      acc := Int64.add (Int64.mul !acc 31L) (Int64.of_int (i * 3));
+      acc := Int64.rem !acc 1000003L
+    done;
+    !acc)
+
+let heap_everywhere () =
+  (* sum of squares 0..9 = 285 *)
+  check_everywhere "heap_dance" (Vm.Env.make [ Vint 10L ]) 285L
+
+let stdout_capture () =
+  let _, img = List.hd (Lazy.force images) in
+  let r = run_named img "shout" (Vm.Env.make [ Vm.Env.buf_of_string "hey\000" ]) in
+  Alcotest.(check string) "stdout" "hey!" r.Vm.Exec.stdout;
+  match r.Vm.Exec.outcome with
+  | Vm.Exec.Finished v -> Alcotest.(check int64) "strlen" 3L v
+  | other -> Alcotest.failf "shout: %s" (Vm.Exec.outcome_to_string other)
+
+let crash_on_div_zero () =
+  let _, img = List.hd (Lazy.force images) in
+  let r = run_named img "divide" (Vm.Env.make [ Vint 10L; Vint 0L ]) in
+  match r.Vm.Exec.outcome with
+  | Vm.Exec.Crashed Vm.Machine.Div_by_zero -> ()
+  | other -> Alcotest.failf "expected div-by-zero, got %s" (Vm.Exec.outcome_to_string other)
+
+let crash_on_wild_pointer () =
+  let _, img = List.hd (Lazy.force images) in
+  (* checksum with a bogus buffer address *)
+  let r = run_named img "checksum" (Vm.Env.make [ Vint 0xDEAD0000L; Vint 4L ]) in
+  match r.Vm.Exec.outcome with
+  | Vm.Exec.Crashed (Vm.Machine.Mem_fault _) -> ()
+  | other -> Alcotest.failf "expected fault, got %s" (Vm.Exec.outcome_to_string other)
+
+let exit_detected () =
+  let _, img = List.hd (Lazy.force images) in
+  let r = run_named img "maybe_quit" (Vm.Env.make [ Vint 3L ]) in
+  (match r.Vm.Exec.outcome with
+  | Vm.Exec.Exited 3 -> ()
+  | other -> Alcotest.failf "expected exit 3, got %s" (Vm.Exec.outcome_to_string other));
+  let r2 = run_named img "maybe_quit" (Vm.Env.make [ Vint 0L ]) in
+  match r2.Vm.Exec.outcome with
+  | Vm.Exec.Finished 7L -> ()
+  | other -> Alcotest.failf "expected 7, got %s" (Vm.Exec.outcome_to_string other)
+
+let infinite_loop_detected () =
+  let _, img = List.hd (Lazy.force images) in
+  let r =
+    match Loader.Image.find_function img "spin" with
+    | Some i -> Vm.Exec.run ~fuel:10_000 img i (Vm.Env.make [])
+    | None -> Alcotest.fail "spin not found"
+  in
+  match r.Vm.Exec.outcome with
+  | Vm.Exec.Crashed Vm.Machine.Step_limit -> ()
+  | other -> Alcotest.failf "expected step limit, got %s" (Vm.Exec.outcome_to_string other)
+
+let syscall_write () =
+  let _, img = List.hd (Lazy.force images) in
+  let r = run_named img "echo" (Vm.Env.make [ Vm.Env.buf_of_string "abc"; Vint 3L ]) in
+  Alcotest.(check string) "syscall stdout" "abc" r.Vm.Exec.stdout;
+  let feats = r.Vm.Exec.features in
+  (match Vm.Dynfeat.index "syscall_num" with
+  | Some i -> Alcotest.(check (float 0.0)) "one syscall" 1.0 feats.(i)
+  | None -> Alcotest.fail "no syscall feature")
+
+let dynamic_features_sane () =
+  let _, img = List.hd (Lazy.force images) in
+  let env = Vm.Env.make [ Vm.Env.Vint 10L ] in
+  let r = run_named img "fib" env in
+  let feats = r.Vm.Exec.features in
+  Alcotest.(check int) "21 features" Vm.Dynfeat.count (Array.length feats);
+  let get name =
+    match Vm.Dynfeat.index name with
+    | Some i -> feats.(i)
+    | None -> Alcotest.failf "missing feature %s" name
+  in
+  Alcotest.(check bool) "instructions > 0" true (get "instruction_num" > 0.0);
+  Alcotest.(check bool)
+    "unique <= total" true
+    (get "unique_instruction_num" <= get "instruction_num");
+  (* fib(10) calls fib 176 times follow-on: at least many internal calls *)
+  Alcotest.(check bool) "internal calls > 100" true
+    (get "binary_defined_fun_call_num" > 100.0);
+  Alcotest.(check bool) "max depth >= 10" true (get "max_stack_depth" >= 10.0)
+
+let deterministic_trace () =
+  let _, img = List.hd (Lazy.force images) in
+  let env = Vm.Env.make [ Vm.Env.buf_of_string "abcdefgh"; Vint 8L ] in
+  let r1 = run_named img "checksum" env in
+  let r2 = run_named img "checksum" env in
+  Alcotest.(check bool) "same features" true
+    (Util.Vec.equal r1.Vm.Exec.features r2.Vm.Exec.features)
+
+let suite =
+  [
+    Alcotest.test_case "fib-everywhere" `Quick fib_everywhere;
+    Alcotest.test_case "checksum-everywhere" `Quick checksum_everywhere;
+    Alcotest.test_case "switch-everywhere" `Quick switch_everywhere;
+    Alcotest.test_case "globals-everywhere" `Quick globals_everywhere;
+    Alcotest.test_case "float-everywhere" `Quick float_everywhere;
+    Alcotest.test_case "stack-buffers-everywhere" `Quick stack_buffers_everywhere;
+    Alcotest.test_case "heap-everywhere" `Quick heap_everywhere;
+    Alcotest.test_case "stdout-capture" `Quick stdout_capture;
+    Alcotest.test_case "crash-div-zero" `Quick crash_on_div_zero;
+    Alcotest.test_case "crash-wild-pointer" `Quick crash_on_wild_pointer;
+    Alcotest.test_case "exit-detected" `Quick exit_detected;
+    Alcotest.test_case "infinite-loop-detected" `Quick infinite_loop_detected;
+    Alcotest.test_case "syscall-write" `Quick syscall_write;
+    Alcotest.test_case "dynamic-features-sane" `Quick dynamic_features_sane;
+    Alcotest.test_case "deterministic-trace" `Quick deterministic_trace;
+  ]

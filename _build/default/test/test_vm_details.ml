@@ -1,0 +1,147 @@
+(* VM corner cases: memory regions, MMIO determinism, global patches,
+   stdin, call depth, traced runs. *)
+
+let compile src = Minic.Compiler.compile_source ~arch:Isa.Arch.Arm64 ~opt:Minic.Optlevel.O1 src
+
+let mmio_region_counted () =
+  let src =
+    {|
+lib mm;
+fn poke(x: int): int {
+  var reg: word* = as_wptr(1073741824);
+  return x ^ reg[0] ^ reg[1];
+}
+|}
+  in
+  let img = compile src in
+  let r = Vm.Exec.run img 0 (Vm.Env.make [ Vm.Env.Vint 5L ]) in
+  (match r.Vm.Exec.outcome with
+  | Vm.Exec.Finished _ -> ()
+  | other -> Alcotest.failf "mmio read failed: %s" (Vm.Exec.outcome_to_string other));
+  let idx name = Option.get (Vm.Dynfeat.index name) in
+  Alcotest.(check (float 0.0)) "two others accesses" 2.0
+    r.Vm.Exec.features.(idx "mem_others_access");
+  (* deterministic across runs with the same seed *)
+  let r2 = Vm.Exec.run img 0 (Vm.Env.make [ Vm.Env.Vint 5L ]) in
+  Alcotest.(check bool) "deterministic mmio" true
+    (r.Vm.Exec.outcome = r2.Vm.Exec.outcome);
+  (* different seed, different window content *)
+  let r3 = Vm.Exec.run img 0 (Vm.Env.make ~seed:99L [ Vm.Env.Vint 5L ]) in
+  Alcotest.(check bool) "seeded mmio differs" true
+    (r.Vm.Exec.outcome <> r3.Vm.Exec.outcome)
+
+let region_classification () =
+  let src =
+    {|
+lib rg;
+global g: int = 1;
+fn touch(buf: byte*): int {
+  var local: word[2];
+  local[0] = 5;
+  var h: word* = alloc_words(2);
+  h[0] = 7;
+  g = g + 1;
+  return local[0] + h[0] + buf[0] + g;
+}
+|}
+  in
+  let img = compile src in
+  let r = Vm.Exec.run img 0 (Vm.Env.make [ Vm.Env.buf_of_string "A" ]) in
+  let idx name = Option.get (Vm.Dynfeat.index name) in
+  let f = r.Vm.Exec.features in
+  Alcotest.(check bool) "stack touched" true (f.(idx "mem_stack_access") > 0.0);
+  Alcotest.(check bool) "heap touched" true (f.(idx "mem_heap_access") > 0.0);
+  Alcotest.(check bool) "lib (globals) touched" true (f.(idx "mem_lib_access") > 0.0);
+  Alcotest.(check bool) "anon (input buffer) touched" true
+    (f.(idx "mem_anon_access") > 0.0)
+
+let global_patch_applied () =
+  let src = {|
+lib gp;
+global knob: int = 10;
+fn get(): int { return knob; }
+|} in
+  let img = compile src in
+  let plain = Vm.Exec.run img 0 (Vm.Env.make []) in
+  (match plain.Vm.Exec.outcome with
+  | Vm.Exec.Finished 10L -> ()
+  | other -> Alcotest.failf "expected 10, got %s" (Vm.Exec.outcome_to_string other));
+  (* patch the global through the environment *)
+  let addr =
+    match img.Loader.Image.symtab with
+    | Some sym -> Option.get (Loader.Symtab.global_addr sym "knob")
+    | None -> Alcotest.fail "missing symtab"
+  in
+  let patch = Bytes.create 8 in
+  Bytes.set_int64_le patch 0 77L;
+  let env = Vm.Env.make ~global_patches:[ (addr, patch) ] [] in
+  match (Vm.Exec.run img 0 env).Vm.Exec.outcome with
+  | Vm.Exec.Finished 77L -> ()
+  | other -> Alcotest.failf "expected 77, got %s" (Vm.Exec.outcome_to_string other)
+
+let stdin_consumed () =
+  let src =
+    {|
+lib si;
+fn slurp(): int {
+  var buf: byte[16];
+  var n: int = sys_read(0, buf, 16);
+  var acc: int = 0;
+  for (k = 0; k < n; k = k + 1) {
+    acc = acc + buf[k];
+  }
+  return acc;
+}
+|}
+  in
+  let img = compile src in
+  let env = Vm.Env.make ~stdin:(Bytes.of_string "AB") [] in
+  match (Vm.Exec.run img 0 env).Vm.Exec.outcome with
+  | Vm.Exec.Finished v -> Alcotest.(check int64) "sum of AB" 131L v
+  | other -> Alcotest.failf "unexpected %s" (Vm.Exec.outcome_to_string other)
+
+let deep_recursion_trapped () =
+  let src = {|
+lib dr;
+fn dig(n: int): int { return dig(n + 1); }
+|} in
+  let img = compile src in
+  match (Vm.Exec.run img 0 (Vm.Env.make [ Vm.Env.Vint 0L ])).Vm.Exec.outcome with
+  | Vm.Exec.Crashed Vm.Machine.Call_depth_exceeded -> ()
+  | other -> Alcotest.failf "expected depth trap, got %s" (Vm.Exec.outcome_to_string other)
+
+let traced_run () =
+  let src = {|
+lib tr;
+fn three(): int { return 1 + 2; }
+|} in
+  let img = compile src in
+  let result, lines = Vm.Exec.run_traced img 0 (Vm.Env.make []) in
+  Alcotest.(check int) "one line per instruction" result.Vm.Exec.instructions
+    (List.length lines);
+  Alcotest.(check bool) "trace mentions ret" true
+    (List.exists (fun l -> String.length l >= 3 && String.sub l (String.length l - 3) 3 = "ret") lines);
+  (* cap respected *)
+  let _, capped = Vm.Exec.run_traced ~limit:2 img 0 (Vm.Env.make []) in
+  Alcotest.(check int) "capped" 2 (List.length capped)
+
+let null_pointer_faults () =
+  let src = {|
+lib np;
+fn deref(p: word*): int { return p[0]; }
+|} in
+  let img = compile src in
+  match (Vm.Exec.run img 0 (Vm.Env.make [ Vm.Env.Vint 0L ])).Vm.Exec.outcome with
+  | Vm.Exec.Crashed (Vm.Machine.Mem_fault 0L) -> ()
+  | other -> Alcotest.failf "expected null fault, got %s" (Vm.Exec.outcome_to_string other)
+
+let suite =
+  [
+    Alcotest.test_case "mmio-region" `Quick mmio_region_counted;
+    Alcotest.test_case "region-classification" `Quick region_classification;
+    Alcotest.test_case "global-patch" `Quick global_patch_applied;
+    Alcotest.test_case "stdin" `Quick stdin_consumed;
+    Alcotest.test_case "deep-recursion" `Quick deep_recursion_trapped;
+    Alcotest.test_case "traced-run" `Quick traced_run;
+    Alcotest.test_case "null-fault" `Quick null_pointer_faults;
+  ]
