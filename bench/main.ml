@@ -61,6 +61,62 @@ let ablate () =
   in
   Evaluation.Ablation.feature_groups ppf ~dataset ~epochs:(if fast then 3 else 8) ()
 
+(* --- scanpar: parallel whole-firmware scan, 1 domain vs N ------------- *)
+
+let scanpar () =
+  let ctx = Lazy.force ctx in
+  let dev =
+    match ctx.Evaluation.Context.devices with
+    | d :: _ -> d
+    | [] -> failwith "scanpar: no devices"
+  in
+  let fw = dev.Evaluation.Context.firmware in
+  let classifier = ctx.Evaluation.Context.classifier in
+  let db = ctx.Evaluation.Context.db in
+  let dyn_config = ctx.Evaluation.Context.dyn_config in
+  let time_with domains =
+    Parallel.Pool.set_default_size domains;
+    Staticfeat.Cache.clear ();
+    let t0 = Util.Clock.now () in
+    let findings =
+      Patchecko.Scanner.scan_firmware ~dyn_config ~classifier ~db fw
+    in
+    (Util.Clock.since t0, findings)
+  in
+  let saved = Parallel.Pool.domain_count () in
+  let ndomains =
+    let r = Domain.recommended_domain_count () in
+    if r >= 2 then r else 4
+  in
+  let seconds_1, findings_1 = time_with 1 in
+  let seconds_n, findings_n = time_with ndomains in
+  Parallel.Pool.set_default_size saved;
+  let identical =
+    Patchecko.Scanner.findings_to_json findings_1
+    = Patchecko.Scanner.findings_to_json findings_n
+  in
+  let speedup = if seconds_n > 0.0 then seconds_1 /. seconds_n else 0.0 in
+  let summary =
+    Printf.sprintf
+      "{\"bench\": \"scanpar\", \"device\": \"%s\", \"images\": %d, \
+       \"functions\": %d, \"cves\": %d, \"findings\": %d, \"seconds_1\": \
+       %.4f, \"domains\": %d, \"seconds_n\": %.4f, \"speedup\": %.3f, \
+       \"identical\": %b}"
+      fw.Loader.Firmware.device
+      (Array.length fw.Loader.Firmware.images)
+      (Loader.Firmware.total_functions fw)
+      (Patchecko.Vulndb.size db)
+      (List.length findings_1) seconds_1 ndomains seconds_n speedup identical
+  in
+  Format.fprintf ppf "%s@." summary;
+  let oc = open_out "BENCH_scan.json" in
+  output_string oc (summary ^ "\n");
+  close_out oc;
+  if not identical then
+    Format.eprintf
+      "[patchecko] WARNING: findings differ between 1 and %d domains@."
+      ndomains
+
 (* --- bechamel micro-benchmarks: one Test.make per table/figure --------- *)
 
 let case_study_assets () =
@@ -232,6 +288,7 @@ let all () =
   section "Table VIII" tab8;
   section "Processing time" speed;
   section "Baseline comparison" baselines;
+  section "Parallel scan" scanpar;
   section "Ablations" ablate;
   section "Micro-benchmarks" micro
 
@@ -253,6 +310,7 @@ let () =
       | "tab7" -> section "Table VII" tab7
       | "tab8" -> section "Table VIII" tab8
       | "speed" -> section "Processing time" speed
+      | "scanpar" -> section "Parallel scan" scanpar
       | "baseline" -> section "Baseline comparison" baselines
       | "simcheck" -> section "Vulnerable-vs-patched similarity" simcheck
       | "ablate" -> section "Ablations" ablate
@@ -260,7 +318,7 @@ let () =
       | other ->
         Format.eprintf
           "unknown target %S (use fig7 fig8 tab3 tab4 tab5 tab6 tab7 tab8 \
-           simcheck speed baseline ablate micro all)@."
+           simcheck speed scanpar baseline ablate micro all)@."
           other;
         exit 2)
     targets

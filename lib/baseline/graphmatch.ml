@@ -62,7 +62,10 @@ let similarity blocks_a blocks_b =
 
 let rank ~reference img =
   let n = Loader.Image.function_count img in
-  List.init n (fun i -> (i, similarity reference (block_attributes img i)))
+  let sims = Array.make n 0.0 in
+  Parallel.Pool.parallel_for n (fun i ->
+      sims.(i) <- similarity reference (block_attributes img i));
+  List.init n (fun i -> (i, sims.(i)))
   |> List.stable_sort (fun (_, a) (_, b) -> compare a b)
 
 let rank_of = Knn.rank_of

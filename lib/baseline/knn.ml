@@ -13,7 +13,7 @@ let rank ~reference feats =
   |> List.stable_sort (fun (_, a) (_, b) -> compare a b)
 
 let rank_image ~reference img =
-  rank ~reference (Staticfeat.Extract.of_image img)
+  rank ~reference (Staticfeat.Cache.features img)
 
 let rank_of target ranking =
   let rec loop k = function

@@ -37,7 +37,44 @@ let run_device ?(progress = fun _ -> ()) ctx dev =
     dev.Context.truths
 
 let run_all ?progress ctx =
-  List.concat_map (run_device ?progress ctx) ctx.Context.devices
+  (* pre-extract the features of every targeted image once (parallel
+     within each image) so the parallel cells below only read the cache *)
+  List.iter
+    (fun (dev : Context.device_eval) ->
+      List.iter
+        (fun (truth : Corpus.Devices.truth) ->
+          ignore (Staticfeat.Cache.features (target_image dev truth)))
+        dev.Context.truths)
+    ctx.Context.devices;
+  let cells =
+    Array.of_list
+      (List.concat_map
+         (fun (dev : Context.device_eval) ->
+           List.map (fun truth -> (dev, truth)) dev.Context.truths)
+         ctx.Context.devices)
+  in
+  let progress_mutex = Mutex.create () in
+  let note dev truth =
+    match progress with
+    | None -> ()
+    | Some f ->
+      Mutex.lock progress_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock progress_mutex)
+        (fun () ->
+          f
+            (Printf.sprintf "  %s / %s"
+               dev.Context.device.Corpus.Devices.device_name
+               truth.Corpus.Devices.cve.Corpus.Cves.id))
+  in
+  (* every (device, CVE) cell runs both reference queries independently;
+     cell order (and so every derived table) matches the sequential run *)
+  Parallel.Pool.map_array ~chunk:1
+    (fun (dev, truth) ->
+      note dev truth;
+      run_cve ctx dev truth)
+    cells
+  |> Array.to_list
 
 (* The paper runs the whole search twice — once from the vulnerable
    reference, once from the patched one — and the differential engine

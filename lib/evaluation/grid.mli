@@ -15,7 +15,9 @@ val run_cve :
 val run_device : ?progress:(string -> unit) -> Context.t -> Context.device_eval -> run list
 
 val run_all : ?progress:(string -> unit) -> Context.t -> run list
-(** Every device. *)
+(** Every device.  Cells run in parallel on the default domain pool
+    (each cell is deterministic, so results match the sequential order);
+    [progress] is serialised behind a mutex. *)
 
 val final_verdict : run -> Patchecko.Differential.verdict option
 (** The patch-presence decision reported in Table VIII: the

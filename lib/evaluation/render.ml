@@ -192,7 +192,7 @@ let tab8 ppf runs =
       (100.0 *. float_of_int !correct /. float_of_int !total)
 
 let speed ppf runs =
-  Format.fprintf ppf "Processing time (section V-E)@.";
+  Format.fprintf ppf "Processing time (section V-E; wall-clock seconds)@.";
   let stats select =
     let times =
       List.filter_map

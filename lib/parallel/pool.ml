@@ -1,0 +1,220 @@
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work_cv : Condition.t;  (** a new job generation is available *)
+  done_cv : Condition.t;  (** all workers finished the generation *)
+  mutable job : (unit -> unit) option;
+  mutable generation : int;
+  mutable active : int;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Set while a domain executes a pool job: parallel combinators invoked
+   from inside one run sequentially instead of deadlocking on the pool. *)
+let in_job : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let worker t =
+  let last = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mutex;
+    while (not t.stop) && t.generation = !last do
+      Condition.wait t.work_cv t.mutex
+    done;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      running := false
+    end
+    else begin
+      last := t.generation;
+      let job = match t.job with Some f -> f | None -> ignore in
+      Mutex.unlock t.mutex;
+      Domain.DLS.set in_job true;
+      (* jobs trap their own exceptions; this is a last-resort guard so a
+         worker never dies and leaves [active] unbalanced *)
+      (try job () with _ -> ());
+      Domain.DLS.set in_job false;
+      Mutex.lock t.mutex;
+      t.active <- t.active - 1;
+      if t.active = 0 then Condition.broadcast t.done_cv;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let create n =
+  let size = max 1 n in
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      job = None;
+      generation = 0;
+      active = 0;
+      stop = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let size t = t.size
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.stop then Mutex.unlock t.mutex
+  else begin
+    t.stop <- true;
+    Condition.broadcast t.work_cv;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+(* Publish [work] to every worker, run the caller's share, wait for all
+   workers to finish the generation.  [work] must pull iterations from a
+   shared counter and must not raise. *)
+let run_job t work =
+  Mutex.lock t.mutex;
+  t.generation <- t.generation + 1;
+  t.job <- Some work;
+  t.active <- List.length t.workers;
+  Condition.broadcast t.work_cv;
+  Mutex.unlock t.mutex;
+  Domain.DLS.set in_job true;
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.DLS.set in_job false;
+      Mutex.lock t.mutex;
+      while t.active > 0 do
+        Condition.wait t.done_cv t.mutex
+      done;
+      t.job <- None;
+      Mutex.unlock t.mutex)
+    work
+
+(* ------------------------------------------------------------------ *)
+(* default pool                                                        *)
+
+let env_size () =
+  match Sys.getenv_opt "PATCHECKO_DOMAINS" with
+  | None | Some "" -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some (min n 128)
+    | Some _ | None -> None)
+
+let default_size =
+  ref
+    (match env_size () with
+    | Some n -> n
+    | None -> Domain.recommended_domain_count ())
+
+let default_pool : t option ref = ref None
+let default_mutex = Mutex.create ()
+
+let domain_count () = !default_size
+
+let default () =
+  Mutex.lock default_mutex;
+  let p =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+      let p = create !default_size in
+      default_pool := Some p;
+      p
+  in
+  Mutex.unlock default_mutex;
+  p
+
+let set_default_size n =
+  Mutex.lock default_mutex;
+  (match !default_pool with Some p -> shutdown p | None -> ());
+  default_pool := None;
+  default_size := max 1 n;
+  Mutex.unlock default_mutex
+
+let () =
+  at_exit (fun () ->
+      match !default_pool with Some p -> shutdown p | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* combinators                                                         *)
+
+let resolve = function Some p -> p | None -> default ()
+
+let default_chunk t n =
+  (* a few chunks per domain so tail imbalance stays small *)
+  max 1 ((n + (t.size * 4) - 1) / (t.size * 4))
+
+let sequential_for n body =
+  for i = 0 to n - 1 do
+    body i
+  done
+
+let parallel_for ?pool ?chunk n body =
+  if n > 0 then begin
+    let t = resolve pool in
+    if t.size <= 1 || n = 1 || Domain.DLS.get in_job then sequential_for n body
+    else begin
+      let chunk =
+        match chunk with Some c -> max 1 c | None -> default_chunk t n
+      in
+      let nchunks = (n + chunk - 1) / chunk in
+      let next = Atomic.make 0 in
+      let error = Atomic.make None in
+      let work () =
+        let running = ref true in
+        while !running do
+          let c = Atomic.fetch_and_add next 1 in
+          if c >= nchunks || Option.is_some (Atomic.get error) then
+            running := false
+          else begin
+            let lo = c * chunk in
+            let hi = min n (lo + chunk) in
+            try
+              for i = lo to hi - 1 do
+                body i
+              done
+            with e -> ignore (Atomic.compare_and_set error None (Some e))
+          end
+        done
+      in
+      run_job t work;
+      match Atomic.get error with Some e -> raise e | None -> ()
+    end
+  end
+
+let map_array ?pool ?chunk f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    (* seed the result array with element 0, computed by the caller *)
+    let out = Array.make n (f arr.(0)) in
+    parallel_for ?pool ?chunk (n - 1) (fun i -> out.(i + 1) <- f arr.(i + 1));
+    out
+  end
+
+let map_reduce ?pool ?chunk ~map ~reduce zero arr =
+  let n = Array.length arr in
+  if n = 0 then zero
+  else begin
+    let t = resolve pool in
+    let chunk =
+      match chunk with Some c -> max 1 c | None -> default_chunk t n
+    in
+    let nchunks = (n + chunk - 1) / chunk in
+    let partial = Array.make nchunks zero in
+    parallel_for ?pool ~chunk:1 nchunks (fun c ->
+        let lo = c * chunk in
+        let hi = min n (lo + chunk) in
+        let acc = ref zero in
+        for i = lo to hi - 1 do
+          acc := reduce !acc (map arr.(i))
+        done;
+        partial.(c) <- !acc);
+    Array.fold_left reduce zero partial
+  end

@@ -1,0 +1,57 @@
+(** Fixed-size domain pool for data-parallel loops.
+
+    A pool owns [size - 1] worker domains (the calling domain is the
+    remaining participant).  Work is distributed by chunk from a shared
+    counter, but every combinator writes results by index, so the output
+    is identical whatever the domain count or scheduling — the whole
+    pipeline relies on this for reproducibility.
+
+    The default pool is sized from the [PATCHECKO_DOMAINS] environment
+    variable, falling back to [Domain.recommended_domain_count ()].  At
+    size 1 (or when called from inside a pool job — nesting is safe)
+    every combinator degrades to the plain sequential loop. *)
+
+type t
+
+val create : int -> t
+(** [create n] builds a pool of [n] total domains ([n - 1] spawned
+    workers).  [n] is clamped to at least 1. *)
+
+val shutdown : t -> unit
+(** Stop and join the workers.  Idempotent.  The pool must be idle. *)
+
+val size : t -> int
+
+val domain_count : unit -> int
+(** Size the default pool has (or will have when first used). *)
+
+val set_default_size : int -> unit
+(** Replace the default pool with one of the given size (shutting down
+    the old one).  Intended for benchmarks and tests that compare domain
+    counts; must not be called while a parallel job is running. *)
+
+val default : unit -> t
+(** The lazily-created shared pool. *)
+
+val parallel_for : ?pool:t -> ?chunk:int -> int -> (int -> unit) -> unit
+(** [parallel_for n body] runs [body i] for [0 <= i < n].  Iterations
+    are claimed in chunks ([chunk] indices at a time; a heuristic
+    granularity by default, [~chunk:1] for heavyweight bodies).  The
+    body must only write state disjoint per index.  The first exception
+    raised by any iteration is re-raised after all workers stop. *)
+
+val map_array : ?pool:t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]; element order is preserved. *)
+
+val map_reduce :
+  ?pool:t ->
+  ?chunk:int ->
+  map:('a -> 'b) ->
+  reduce:('b -> 'b -> 'b) ->
+  'b ->
+  'a array ->
+  'b
+(** [map_reduce ~map ~reduce zero arr] folds [reduce] over [map x] for
+    every element.  [reduce] must be associative with identity [zero];
+    per-chunk partials are combined in index order, so the result is
+    deterministic. *)

@@ -66,9 +66,9 @@ let signature_distance (img_a, ia) (img_b, ib) =
 
 let gather ~vuln:(vimg, vidx) ~patched:(pimg, pidx) ~target:(timg, tidx)
     ?dynamic () =
-  let sv = Staticfeat.Extract.of_function vimg vidx in
-  let sp = Staticfeat.Extract.of_function pimg pidx in
-  let st = Staticfeat.Extract.of_function timg tidx in
+  let sv = Staticfeat.Cache.feature vimg vidx in
+  let sp = Staticfeat.Cache.feature pimg pidx in
+  let st = Staticfeat.Cache.feature timg tidx in
   let dynamic_to_vuln, dynamic_to_patched =
     match dynamic with
     | Some (dv, dp) -> (Some dv, Some dp)

@@ -23,7 +23,7 @@ let profile ~fuel img fidx envs =
 
 let run ?(config = default_config) ~reference:(ref_img, ref_idx) ~shape ~target
     ~candidates () =
-  let start = Sys.time () in
+  let start = Util.Clock.now () in
   let rng = Util.Prng.create config.seed in
   (* over-generate, then keep environments the reference survives *)
   let raw_envs = Fuzz.Envgen.environments rng shape (config.k_envs * 2) in
@@ -53,5 +53,5 @@ let run ?(config = default_config) ~reference:(ref_img, ref_idx) ~shape ~target
     reference_profile;
     profiles;
     executions = report.Fuzz.Validate.executions;
-    seconds = Sys.time () -. start;
+    seconds = Util.Clock.since start;
   }

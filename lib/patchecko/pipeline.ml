@@ -65,7 +65,10 @@ let dual_dynamic_distances ~config ~(db_entry : Vulndb.entry)
 let analyze ?(dyn_config = Dynamic_stage.default_config) ?ground_truth
     ~classifier ~(db_entry : Vulndb.entry) ~reference_patched ~target () =
   let reference = Vulndb.reference_static db_entry ~patched:reference_patched in
-  let static = Static_stage.scan classifier ~reference target in
+  let static =
+    Static_stage.scan ~features:(Staticfeat.Cache.features target) classifier
+      ~reference target
+  in
   let total = Loader.Image.function_count target in
   let classification =
     Option.map

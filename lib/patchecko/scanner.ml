@@ -11,7 +11,8 @@ type finding = {
 let scan_image ~dyn_config ~max_distance ~classifier (entry : Vulndb.entry)
     (image : Loader.Image.t) =
   let static =
-    Static_stage.scan classifier ~reference:entry.Vulndb.vuln_static image
+    Static_stage.scan ~features:(Staticfeat.Cache.features image) classifier
+      ~reference:entry.Vulndb.vuln_static image
   in
   match static.Static_stage.candidates with
   | [] -> None
@@ -46,11 +47,24 @@ let scan_image ~dyn_config ~max_distance ~classifier (entry : Vulndb.entry)
 
 let scan_firmware ?(dyn_config = Dynamic_stage.default_config)
     ?(max_distance = 50.0) ~classifier ~db (fw : Loader.Firmware.t) =
-  List.concat_map
-    (fun entry ->
-      Array.to_list fw.Loader.Firmware.images
-      |> List.filter_map (scan_image ~dyn_config ~max_distance ~classifier entry))
-    (Vulndb.entries db)
+  let images = fw.Loader.Firmware.images in
+  (* fill the feature cache once per image up front (each extraction is
+     itself parallel), then fan the (CVE entry × image) grid out over
+     the domain pool; every cell is independent and deterministic, and
+     results are collected in (CVE, image) order *)
+  Array.iter (fun img -> ignore (Staticfeat.Cache.features img)) images;
+  let cells =
+    Array.concat
+      (List.map
+         (fun entry -> Array.map (fun img -> (entry, img)) images)
+         (Vulndb.entries db))
+  in
+  Parallel.Pool.map_array ~chunk:1
+    (fun (entry, image) ->
+      scan_image ~dyn_config ~max_distance ~classifier entry image)
+    cells
+  |> Array.to_list
+  |> List.filter_map Fun.id
 
 let finding_to_string f =
   Printf.sprintf "%-16s %-10s function %-4d distance %8.1f  %s (%.2f)" f.cve_id

@@ -24,7 +24,10 @@ val scan_firmware :
   db:Vulndb.t ->
   Loader.Firmware.t ->
   finding list
-(** Findings in (CVE, image) order.  [max_distance] defaults to 50. *)
+(** Findings in (CVE, image) order.  [max_distance] defaults to 50.
+    The (entry × image) grid is scanned in parallel on the default
+    domain pool after the per-image static features are cached once;
+    findings are identical whatever the domain count. *)
 
 val finding_to_string : finding -> string
 val findings_to_json : finding list -> string

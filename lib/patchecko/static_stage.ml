@@ -16,17 +16,32 @@ let pair_score clf ~reference ~candidate =
   let input = Nn.Data.normalize_vec clf.normalizer (Util.Vec.concat reference candidate) in
   Nn.Model.predict_one clf.model input
 
-let scan clf ~reference img =
-  let start = Sys.time () in
-  let n = Loader.Image.function_count img in
-  let rows =
-    Array.init n (fun i ->
-        let feats = Staticfeat.Extract.of_function img i in
-        Nn.Data.normalize_vec clf.normalizer (Util.Vec.concat reference feats))
+(* Rows are scored in fixed-size batches distributed over the domain
+   pool.  The network's forward pass is row-independent, so batched
+   scoring produces bit-identical probabilities to one whole-image
+   matrix, whatever the domain count. *)
+let score_batch = 32
+
+let scan ?features clf ~reference img =
+  let start = Util.Clock.now () in
+  let feats =
+    match features with Some f -> f | None -> Staticfeat.Cache.features img
   in
-  let scores = Nn.Model.predict clf.model (Nn.Matrix.of_rows rows) in
+  let n = Array.length feats in
+  let scores = Array.make n 0.0 in
+  let nbatches = (n + score_batch - 1) / score_batch in
+  Parallel.Pool.parallel_for ~chunk:1 nbatches (fun b ->
+      let lo = b * score_batch in
+      let len = min score_batch (n - lo) in
+      let rows =
+        Array.init len (fun k ->
+            Nn.Data.normalize_vec clf.normalizer
+              (Util.Vec.concat reference feats.(lo + k)))
+      in
+      let batch_scores = Nn.Model.predict clf.model (Nn.Matrix.of_rows rows) in
+      Array.blit batch_scores 0 scores lo len);
   let candidates = ref [] in
   for i = n - 1 downto 0 do
     if scores.(i) >= clf.threshold then candidates := i :: !candidates
   done;
-  { candidates = !candidates; scores; seconds = Sys.time () -. start }
+  { candidates = !candidates; scores; seconds = Util.Clock.since start }

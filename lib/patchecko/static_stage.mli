@@ -15,10 +15,21 @@ val default_threshold : float
 type result = {
   candidates : int list;  (** function indices flagged as similar *)
   scores : float array;  (** per-function similarity probabilities *)
-  seconds : float;
+  seconds : float;  (** wall-clock seconds *)
 }
 
-val scan : classifier -> reference:Util.Vec.t -> Loader.Image.t -> result
+val scan :
+  ?features:Util.Vec.t array ->
+  classifier ->
+  reference:Util.Vec.t ->
+  Loader.Image.t ->
+  result
+(** Score every function of the image against the reference vector.
+    [?features] supplies the image's (index-aligned) static features —
+    normally {!Staticfeat.Cache.features}, which is also the default —
+    so repeated scans of one image against many CVE references never
+    re-extract.  Scoring is batched across the domain pool; candidates
+    and scores are identical whatever the domain count. *)
 
 val pair_score :
   classifier -> reference:Util.Vec.t -> candidate:Util.Vec.t -> float

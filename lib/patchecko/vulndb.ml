@@ -26,8 +26,8 @@ let make_entry ~cve_id ~description ~shape ~vuln:(vimg, vidx)
     vuln_findex = vidx;
     patched_image = pimg;
     patched_findex = pidx;
-    vuln_static = Staticfeat.Extract.of_function vimg vidx;
-    patched_static = Staticfeat.Extract.of_function pimg pidx;
+    vuln_static = Staticfeat.Cache.feature vimg vidx;
+    patched_static = Staticfeat.Cache.feature pimg pidx;
     shape;
   }
 

@@ -1,0 +1,78 @@
+(* Per-image static-feature cache.
+
+   The pipeline scores every firmware function against every CVE
+   reference, so without memoisation the 48-feature extraction of every
+   function re-runs once per database entry.  Keying by physical image
+   identity (images are built once and shared by reference) makes the
+   extraction happen exactly once per image.
+
+   The [Pending] state lets concurrent scanners of the same image block
+   until the first one finishes instead of extracting twice; the
+   computing domain itself never blocks, so there is no deadlock even
+   when the computation happens on a pool worker. *)
+
+module H = Hashtbl.Make (struct
+  type t = Loader.Image.t
+
+  let equal = ( == )
+
+  (* structural hash is consistent with physical equality *)
+  let hash (img : Loader.Image.t) = Hashtbl.hash img
+end)
+
+type state = Ready of Util.Vec.t array | Pending
+
+let mutex = Mutex.create ()
+let filled = Condition.create ()
+let table : state H.t = H.create 64
+let hit_count = Atomic.make 0
+let miss_count = Atomic.make 0
+
+let rec features img =
+  Mutex.lock mutex;
+  match H.find_opt table img with
+  | Some (Ready v) ->
+    Mutex.unlock mutex;
+    Atomic.incr hit_count;
+    v
+  | Some Pending ->
+    Condition.wait filled mutex;
+    Mutex.unlock mutex;
+    features img
+  | None ->
+    H.replace table img Pending;
+    Mutex.unlock mutex;
+    Atomic.incr miss_count;
+    let v =
+      try Extract.of_image img
+      with e ->
+        Mutex.lock mutex;
+        H.remove table img;
+        Condition.broadcast filled;
+        Mutex.unlock mutex;
+        raise e
+    in
+    Mutex.lock mutex;
+    H.replace table img (Ready v);
+    Condition.broadcast filled;
+    Mutex.unlock mutex;
+    v
+
+let feature img i = (features img).(i)
+
+let clear () =
+  Mutex.lock mutex;
+  H.reset table;
+  Mutex.unlock mutex
+
+let cached_images () =
+  Mutex.lock mutex;
+  let n = H.length table in
+  Mutex.unlock mutex;
+  n
+
+let stats () = (Atomic.get hit_count, Atomic.get miss_count)
+
+let reset_stats () =
+  Atomic.set hit_count 0;
+  Atomic.set miss_count 0

@@ -1,0 +1,29 @@
+(** Per-image static-feature cache.
+
+    Memoises {!Extract.of_image} by physical image identity so that
+    every function's 48-feature vector is extracted exactly once per
+    image, however many CVE references it is scored against.  Shared by
+    the static stage, the whole-firmware scanner, the vulnerability
+    database and the kNN baseline.  Safe to use from pool domains.
+
+    The returned arrays are the cached values themselves: callers must
+    not mutate them. *)
+
+val features : Loader.Image.t -> Util.Vec.t array
+(** Feature table of the image, index-aligned with its function table.
+    Extracted (in parallel) on first request, served from the cache
+    afterwards. *)
+
+val feature : Loader.Image.t -> int -> Util.Vec.t
+(** [feature img i] = [(features img).(i)]. *)
+
+val clear : unit -> unit
+(** Drop every cached image (for tests/benchmarks; call only while no
+    scan is running). *)
+
+val cached_images : unit -> int
+
+val stats : unit -> int * int
+(** [(hits, misses)] since the last {!reset_stats}. *)
+
+val reset_stats : unit -> unit

@@ -1,3 +1,12 @@
+(* Extraction counter: lets tests assert the per-image cache really
+   removes redundant work (at most one extraction per (image, function)
+   during a whole-firmware scan).  Atomic — extraction runs on pool
+   domains. *)
+let extractions = Atomic.make 0
+
+let extraction_count () = Atomic.get extractions
+let reset_extraction_count () = Atomic.set extractions 0
+
 let fun_flag_noret = 1
 let fun_flag_frame = 2
 let fun_flag_leaf = 4
@@ -50,6 +59,7 @@ let per_block_counts (g : Cfg.Graph.t) pred =
     g.blocks
 
 let of_function img i =
+  Atomic.incr extractions;
   let listing = Loader.Image.disassemble img i in
   let g = Cfg.Graph.build ~is_noret_call:(is_noret_call img) listing in
   let instrs = listing.instrs in
@@ -112,7 +122,9 @@ let of_function img i =
   in
   (* flags *)
   let classes = Cfg.Classify.histogram g in
-  let class_count c = List.assoc c classes in
+  let class_count c =
+    match List.assoc_opt c classes with Some n -> n | None -> 0
+  in
   let flag =
     (if class_count Cfg.Classify.Noret > 0 then fun_flag_noret else 0)
     lor (if uses_frame_pointer instrs then fun_flag_frame else 0)
@@ -185,7 +197,10 @@ let of_function img i =
   |]
 
 let of_image img =
-  Array.init (Loader.Image.function_count img) (fun i -> of_function img i)
+  let n = Loader.Image.function_count img in
+  let out = Array.make n [||] in
+  Parallel.Pool.parallel_for n (fun i -> out.(i) <- of_function img i);
+  out
 
 let pp ppf v =
   Array.iteri

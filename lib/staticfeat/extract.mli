@@ -6,7 +6,14 @@ val of_function : Loader.Image.t -> int -> Util.Vec.t
 (** Features of function [i] of the image. *)
 
 val of_image : Loader.Image.t -> Util.Vec.t array
-(** Features of every function, index-aligned with the function table. *)
+(** Features of every function, index-aligned with the function table.
+    Functions are extracted in parallel on the default domain pool. *)
+
+val extraction_count : unit -> int
+(** Number of [of_function] invocations since the last reset — a hook
+    for tests asserting the feature cache removes redundant work. *)
+
+val reset_extraction_count : unit -> unit
 
 val fun_flag_noret : int
 val fun_flag_frame : int

@@ -1,0 +1,7 @@
+(* Wall-clock timing.  [Sys.time] measures CPU time, which over-reports
+   under parallel execution (every domain's cycles add up); stage
+   timings must use elapsed real time instead. *)
+
+let now () = Unix.gettimeofday ()
+
+let since start = now () -. start

@@ -1,0 +1,11 @@
+(** Wall-clock timing for stage/benchmark measurements.
+
+    [Sys.time] returns processor time, which counts every domain's
+    cycles and so over-reports elapsed time under parallel execution;
+    these helpers report real elapsed seconds. *)
+
+val now : unit -> float
+(** Current wall-clock time in seconds (epoch-based). *)
+
+val since : float -> float
+(** [since t0] is the elapsed wall-clock seconds from [t0 = now ()]. *)

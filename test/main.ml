@@ -2,6 +2,7 @@ let () =
   Alcotest.run "patchecko"
     [
       ("util", Test_util.suite);
+      ("parallel", Test_parallel.suite);
       ("isa", Test_isa.suite);
       ("asmparse", Test_asmparse.suite);
       ("loader", Test_loader.suite);

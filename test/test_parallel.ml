@@ -1,0 +1,223 @@
+(* The domain pool, and end-to-end determinism across domain counts. *)
+
+let with_domains n f =
+  let saved = Parallel.Pool.domain_count () in
+  Parallel.Pool.set_default_size n;
+  Fun.protect ~finally:(fun () -> Parallel.Pool.set_default_size saved) f
+
+let map_array_matches_sequential () =
+  let input = Array.init 1000 (fun i -> i - 500) in
+  let f x = (x * x) - (3 * x) + 7 in
+  let expected = Array.map f input in
+  with_domains 4 (fun () ->
+      Alcotest.(check (array int))
+        "default chunking" expected
+        (Parallel.Pool.map_array f input);
+      Alcotest.(check (array int))
+        "chunk 1" expected
+        (Parallel.Pool.map_array ~chunk:1 f input);
+      Alcotest.(check (array int))
+        "chunk 97" expected
+        (Parallel.Pool.map_array ~chunk:97 f input));
+  with_domains 1 (fun () ->
+      Alcotest.(check (array int))
+        "sequential fallback" expected
+        (Parallel.Pool.map_array f input))
+
+let parallel_for_covers_all_indices () =
+  with_domains 4 (fun () ->
+      let n = 517 in
+      let out = Array.make n 0 in
+      Parallel.Pool.parallel_for n (fun i -> out.(i) <- i + 1);
+      Array.iteri
+        (fun i v -> if v <> i + 1 then Alcotest.failf "index %d not written" i)
+        out;
+      (* empty and single-element ranges *)
+      Parallel.Pool.parallel_for 0 (fun _ -> Alcotest.fail "body on empty");
+      let hit = ref 0 in
+      Parallel.Pool.parallel_for 1 (fun _ -> incr hit);
+      Alcotest.(check int) "single iteration" 1 !hit)
+
+let map_reduce_sums () =
+  let input = Array.init 777 (fun i -> i) in
+  let expected = Array.fold_left ( + ) 0 input in
+  with_domains 4 (fun () ->
+      Alcotest.(check int)
+        "sum" expected
+        (Parallel.Pool.map_reduce ~map:Fun.id ~reduce:( + ) 0 input);
+      Alcotest.(check int)
+        "sum chunk 7" expected
+        (Parallel.Pool.map_reduce ~chunk:7 ~map:Fun.id ~reduce:( + ) 0 input);
+      Alcotest.(check int)
+        "empty" 0
+        (Parallel.Pool.map_reduce ~map:Fun.id ~reduce:( + ) 0 [||]))
+
+let exceptions_propagate () =
+  with_domains 4 (fun () ->
+      Alcotest.check_raises "map_array re-raises" (Failure "boom") (fun () ->
+          ignore
+            (Parallel.Pool.map_array
+               (fun x -> if x = 123 then failwith "boom" else x)
+               (Array.init 500 Fun.id)));
+      (* the pool survives the failed job *)
+      Alcotest.(check (array int))
+        "pool usable after exception"
+        (Array.init 100 (fun i -> 2 * i))
+        (Parallel.Pool.map_array (fun x -> 2 * x) (Array.init 100 Fun.id)))
+
+let nested_use_is_safe () =
+  with_domains 4 (fun () ->
+      let inner i =
+        Parallel.Pool.map_reduce ~map:Fun.id ~reduce:( + ) 0
+          (Array.init 50 (fun k -> i + k))
+      in
+      let got = Parallel.Pool.map_array ~chunk:1 inner (Array.init 8 Fun.id) in
+      let expected = Array.init 8 inner in
+      Alcotest.(check (array int)) "nested matches flat" expected got)
+
+let explicit_pool () =
+  let pool = Parallel.Pool.create 3 in
+  Alcotest.(check int) "size" 3 (Parallel.Pool.size pool);
+  let input = Array.init 300 Fun.id in
+  Alcotest.(check (array int))
+    "map on explicit pool"
+    (Array.map succ input)
+    (Parallel.Pool.map_array ~pool succ input);
+  Parallel.Pool.shutdown pool;
+  Parallel.Pool.shutdown pool (* idempotent *)
+
+(* --- end-to-end determinism: 1 domain vs 4 ---------------------------- *)
+
+let case_cve () =
+  match Corpus.Cves.find "CVE-2018-9412" with
+  | Some c -> c
+  | None -> Alcotest.fail "case-study CVE missing"
+
+(* the permissive-classifier scanner fixture of test_patchecko: every
+   function passes the static stage, and the dynamic stage plus the
+   distance cutoff isolate the planted CVE *)
+let scanner_fixture () =
+  let c = case_cve () in
+  let entry =
+    Patchecko.Vulndb.make_entry ~cve_id:c.id ~description:c.description
+      ~shape:c.shape
+      ~vuln:(Corpus.Dataset.compile_cve c ~patched:false, 0)
+      ~patched:(Corpus.Dataset.compile_cve c ~patched:true, 0)
+  in
+  let db = Patchecko.Vulndb.create [ entry ] in
+  let clean = Corpus.Genlib.generate ~seed:5L ~index:1 ~nfuncs:10 in
+  let dirty =
+    Corpus.Genlib.with_cves
+      (Corpus.Genlib.generate ~seed:6L ~index:2 ~nfuncs:10)
+      [ (c, false) ]
+  in
+  let compile prog =
+    Loader.Image.strip
+      (Minic.Compiler.compile ~arch:Isa.Arch.Arm32 ~opt:Minic.Optlevel.O2 prog)
+  in
+  let fw =
+    {
+      Loader.Firmware.device = "testdev";
+      os_version = "1";
+      security_patch = "none";
+      images = [| compile clean; compile dirty |];
+    }
+  in
+  let rng = Util.Prng.create 2L in
+  let model =
+    Nn.Model.create rng ~input:(2 * Staticfeat.Names.count)
+      ~layers:(Nn.Model.paper_architecture ~input:(2 * Staticfeat.Names.count))
+  in
+  let dummy =
+    Nn.Data.make [ (Array.make (2 * Staticfeat.Names.count) 1.0, 1.0) ]
+  in
+  let classifier =
+    {
+      Patchecko.Static_stage.model;
+      normalizer = Nn.Data.fit_normalizer dummy;
+      threshold = 0.0;
+    }
+  in
+  (entry, db, fw, classifier)
+
+let dyn_config =
+  { Patchecko.Dynamic_stage.default_config with k_envs = 4; fuel = 100_000 }
+
+let scan_firmware_with ~fw ~db ~classifier domains =
+  with_domains domains (fun () ->
+      Staticfeat.Cache.clear ();
+      Patchecko.Scanner.scan_firmware ~dyn_config ~max_distance:10.0
+        ~classifier ~db fw)
+
+let static_scan_deterministic () =
+  let entry, _db, fw, classifier = scanner_fixture () in
+  let target = fw.Loader.Firmware.images.(1) in
+  let scan domains =
+    with_domains domains (fun () ->
+        Staticfeat.Cache.clear ();
+        Patchecko.Static_stage.scan classifier
+          ~reference:entry.Patchecko.Vulndb.vuln_static target)
+  in
+  let r1 = scan 1 in
+  let r4 = scan 4 in
+  Alcotest.(check (list int))
+    "candidates identical" r1.Patchecko.Static_stage.candidates
+    r4.Patchecko.Static_stage.candidates;
+  Alcotest.(check bool)
+    "scores byte-identical" true
+    (r1.Patchecko.Static_stage.scores = r4.Patchecko.Static_stage.scores)
+
+let scanner_deterministic () =
+  let _entry, db, fw, classifier = scanner_fixture () in
+  let f1 = scan_firmware_with ~fw ~db ~classifier 1 in
+  let f4 = scan_firmware_with ~fw ~db ~classifier 4 in
+  Alcotest.(check string)
+    "findings byte-identical"
+    (Patchecko.Scanner.findings_to_json f1)
+    (Patchecko.Scanner.findings_to_json f4);
+  Alcotest.(check bool) "non-empty" true (f1 <> [])
+
+let extraction_at_most_once () =
+  let entry, db, fw, classifier = scanner_fixture () in
+  Staticfeat.Cache.clear ();
+  Staticfeat.Extract.reset_extraction_count ();
+  let _ =
+    with_domains 4 (fun () ->
+        Patchecko.Scanner.scan_firmware ~dyn_config ~max_distance:10.0
+          ~classifier ~db fw)
+  in
+  let first_run = Staticfeat.Extract.extraction_count () in
+  (* upper bound: every function of every involved image exactly once —
+     the firmware's images plus the database's reference images *)
+  let bound =
+    Loader.Firmware.total_functions fw
+    + Loader.Image.function_count entry.Patchecko.Vulndb.vuln_image
+    + Loader.Image.function_count entry.Patchecko.Vulndb.patched_image
+  in
+  Alcotest.(check bool) "extracted something" true (first_run > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "at most once per function (%d <= %d)" first_run bound)
+    true (first_run <= bound);
+  (* a second scan over the warm cache extracts nothing at all *)
+  let _ =
+    with_domains 4 (fun () ->
+        Patchecko.Scanner.scan_firmware ~dyn_config ~max_distance:10.0
+          ~classifier ~db fw)
+  in
+  Alcotest.(check int)
+    "warm rescan extracts nothing" first_run
+    (Staticfeat.Extract.extraction_count ())
+
+let suite =
+  [
+    Alcotest.test_case "map-array" `Quick map_array_matches_sequential;
+    Alcotest.test_case "parallel-for" `Quick parallel_for_covers_all_indices;
+    Alcotest.test_case "map-reduce" `Quick map_reduce_sums;
+    Alcotest.test_case "exceptions" `Quick exceptions_propagate;
+    Alcotest.test_case "nested" `Quick nested_use_is_safe;
+    Alcotest.test_case "explicit-pool" `Quick explicit_pool;
+    Alcotest.test_case "static-scan-deterministic" `Quick
+      static_scan_deterministic;
+    Alcotest.test_case "scanner-deterministic" `Quick scanner_deterministic;
+    Alcotest.test_case "extraction-at-most-once" `Quick extraction_at_most_once;
+  ]

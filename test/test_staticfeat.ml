@@ -89,6 +89,40 @@ let size_matches_listing () =
     (float_of_int (Array.length listing.Isa.Disasm.instrs))
     (get img 0 "num_inst")
 
+let cache_matches_direct () =
+  let img = image_of src Isa.Arch.Arm64 Minic.Optlevel.O2 in
+  Staticfeat.Cache.clear ();
+  let n = Loader.Image.function_count img in
+  let direct = Array.init n (fun i -> Staticfeat.Extract.of_function img i) in
+  let cached = Staticfeat.Cache.features img in
+  Alcotest.(check int) "table length" n (Array.length cached);
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "function %d identical" i)
+        true (v = cached.(i)))
+    direct;
+  (* a hit serves the same table without re-extracting *)
+  Staticfeat.Extract.reset_extraction_count ();
+  let again = Staticfeat.Cache.features img in
+  Alcotest.(check bool) "same table" true (again == cached);
+  Alcotest.(check int) "no re-extraction" 0
+    (Staticfeat.Extract.extraction_count ());
+  Alcotest.(check bool) "single-function view" true
+    (Staticfeat.Cache.feature img 1 == cached.(1))
+
+let of_image_matches_of_function () =
+  (* parallel whole-image extraction equals the per-function loop *)
+  let img = image_of src Isa.Arch.X86 Minic.Optlevel.O1 in
+  let whole = Staticfeat.Extract.of_image img in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "function %d" i)
+        true
+        (v = Staticfeat.Extract.of_function img i))
+    whole
+
 (* Property: every feature is finite and non-negative except none. *)
 let features_finite =
   QCheck.Test.make ~name:"features-finite" ~count:20
@@ -116,5 +150,7 @@ let suite =
     Alcotest.test_case "fp-features" `Quick fp_features;
     Alcotest.test_case "o0-frame" `Quick o0_has_larger_frame;
     Alcotest.test_case "size-matches-listing" `Quick size_matches_listing;
+    Alcotest.test_case "cache-matches-direct" `Quick cache_matches_direct;
+    Alcotest.test_case "of-image-parallel" `Quick of_image_matches_of_function;
     QCheck_alcotest.to_alcotest features_finite;
   ]
