@@ -3,7 +3,7 @@
    With no arguments (or "all"): rebuild every table and figure of the
    paper's evaluation section and then run the per-artifact Bechamel
    micro-benchmarks.  Individual artifacts: fig7 fig8 tab3 tab4 tab5 tab6
-   tab7 tab8 speed ablate micro.
+   tab7 tab8 speed scanpar analysis baseline ablate micro.
 
    PATCHECKO_FAST=1 shrinks the corpus and training so the whole run
    finishes in seconds (used by CI); the default configuration matches
@@ -84,10 +84,10 @@ let scanpar () =
     (Util.Clock.since t0, findings)
   in
   let saved = Parallel.Pool.domain_count () in
-  let ndomains =
-    let r = Domain.recommended_domain_count () in
-    if r >= 2 then r else 4
-  in
+  (* at least 2 so the parallel path is exercised, but never far past the
+     host's core count: on a single-core container extra domains only add
+     scheduling contention (see EXPERIMENTS.md for the measured floor) *)
+  let ndomains = max 2 (Domain.recommended_domain_count ()) in
   let seconds_1, findings_1 = time_with 1 in
   let seconds_n, findings_n = time_with ndomains in
   Parallel.Pool.set_default_size saved;
@@ -116,6 +116,73 @@ let scanpar () =
     Format.eprintf
       "[patchecko] WARNING: findings differ between 1 and %d domains@."
       ndomains
+
+(* --- analysis: dataflow solver throughput + alarm discrimination ------- *)
+
+let analysis () =
+  (* solver throughput: the Boundcheck abstract interpreter (interval
+     lattice over the recovered CFG) on every function of both builds of
+     all 25 CVE pairs, compiled at the database configuration *)
+  let pairs =
+    List.map
+      (fun cve ->
+        ( Corpus.Dataset.compile_cve cve ~patched:false,
+          Corpus.Dataset.compile_cve cve ~patched:true ))
+      Corpus.Cves.all
+  in
+  let functions = ref 0 in
+  let t0 = Util.Clock.now () in
+  List.iter
+    (fun (v, p) ->
+      List.iter
+        (fun img ->
+          for i = 0 to Loader.Image.function_count img - 1 do
+            incr functions;
+            ignore (Analysis.Boundcheck.analyze img i)
+          done)
+        [ v; p ])
+    pairs;
+  let seconds = Util.Clock.since t0 in
+  let funcs_per_sec =
+    if seconds > 0.0 then float_of_int !functions /. seconds else 0.0
+  in
+  (* discrimination: does the CVE function's alarm signature separate the
+     vulnerable build from the patched one? *)
+  let discriminated = ref 0 and tied = ref 0 and inverted = ref 0 in
+  Format.fprintf ppf "%-16s %-18s %6s %7s@." "CVE" "family" "vuln" "patched";
+  List.iter2
+    (fun (cve : Corpus.Cves.t) (v, p) ->
+      let tv = Analysis.Boundcheck.total (Analysis.Boundcheck.signature v 0) in
+      let tp = Analysis.Boundcheck.total (Analysis.Boundcheck.signature p 0) in
+      let verdict =
+        if tv > tp then begin incr discriminated; "discriminated" end
+        else if tv < tp then begin incr inverted; "INVERTED" end
+        else begin incr tied; "tied" end
+      in
+      Format.fprintf ppf "%-16s %-18s %6d %7d  %s@." cve.Corpus.Cves.id
+        cve.Corpus.Cves.family tv tp verdict)
+    Corpus.Cves.all pairs;
+  let npairs = List.length pairs in
+  let precision =
+    (* of the pairs where the signal fires at all, how often does it point
+       the right way? *)
+    if !discriminated + !inverted = 0 then 1.0
+    else float_of_int !discriminated /. float_of_int (!discriminated + !inverted)
+  in
+  let recall = float_of_int !discriminated /. float_of_int npairs in
+  let summary =
+    Printf.sprintf
+      "{\"bench\": \"analysis\", \"functions\": %d, \"seconds\": %.4f, \
+       \"funcs_per_sec\": %.1f, \"pairs\": %d, \"discriminated\": %d, \
+       \"tied\": %d, \"inverted\": %d, \"precision\": %.3f, \"recall\": \
+       %.3f}"
+      !functions seconds funcs_per_sec npairs !discriminated !tied !inverted
+      precision recall
+  in
+  Format.fprintf ppf "%s@." summary;
+  let oc = open_out "BENCH_analysis.json" in
+  output_string oc (summary ^ "\n");
+  close_out oc
 
 (* --- bechamel micro-benchmarks: one Test.make per table/figure --------- *)
 
@@ -289,10 +356,12 @@ let all () =
   section "Processing time" speed;
   section "Baseline comparison" baselines;
   section "Parallel scan" scanpar;
+  section "Static memory-safety analysis" analysis;
   section "Ablations" ablate;
   section "Micro-benchmarks" micro
 
 let () =
+  Analysis.Sanitize.install ();
   let targets =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as rest) -> rest
@@ -311,6 +380,7 @@ let () =
       | "tab8" -> section "Table VIII" tab8
       | "speed" -> section "Processing time" speed
       | "scanpar" -> section "Parallel scan" scanpar
+      | "analysis" -> section "Static memory-safety analysis" analysis
       | "baseline" -> section "Baseline comparison" baselines
       | "simcheck" -> section "Vulnerable-vs-patched similarity" simcheck
       | "ablate" -> section "Ablations" ablate
@@ -318,7 +388,7 @@ let () =
       | other ->
         Format.eprintf
           "unknown target %S (use fig7 fig8 tab3 tab4 tab5 tab6 tab7 tab8 \
-           simcheck speed scanpar baseline ablate micro all)@."
+           simcheck speed scanpar analysis baseline ablate micro all)@."
           other;
         exit 2)
     targets

@@ -8,6 +8,7 @@
    gen-firmware  build a synthetic device firmware file
    train         train the similarity model and save it to a file
    scan          hybrid scan of a firmware file for one or all CVEs
+   analyze       static memory-safety alarm report for an image
    evaluate      train the model and print its quality summary *)
 
 open Cmdliner
@@ -329,6 +330,91 @@ let scan_cmd =
        ~doc:"Hybrid vulnerability + patch-presence scan of a firmware file.")
     Term.(const run $ firmware $ cve $ fast $ model_file $ max_distance $ json)
 
+(* --- analyze ---------------------------------------------------------------- *)
+
+let analyze_cmd =
+  let image =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"IMAGE.sff")
+  in
+  let fn =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fn" ] ~docv:"INDEX"
+          ~doc:"Only analyze this function (default: all).")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit a JSON report.") in
+  let run image fn json =
+    let img = Loader.Sff.read_image image in
+    let indices =
+      match fn with
+      | Some i -> [ i ]
+      | None -> List.init (Loader.Image.function_count img) Fun.id
+    in
+    let reports =
+      List.map (fun i -> (i, Analysis.Boundcheck.analyze img i)) indices
+    in
+    let name i =
+      match Loader.Image.function_name img i with
+      | Some n -> n
+      | None -> Printf.sprintf "fn%d" i
+    in
+    if json then begin
+      let b = Buffer.create 1024 in
+      Buffer.add_string b "[";
+      List.iteri
+        (fun k (i, (r : Analysis.Boundcheck.report)) ->
+          if k > 0 then Buffer.add_string b ",";
+          Buffer.add_string b
+            (Printf.sprintf
+               "\n  {\"function\": %d, \"name\": %S, \"signature\": [%s], \
+                \"alarms\": [%s]}"
+               i (name i)
+               (String.concat ", "
+                  (List.map string_of_int (Array.to_list r.counts)))
+               (String.concat ", "
+                  (List.map
+                     (fun (a : Analysis.Boundcheck.alarm) ->
+                       Printf.sprintf
+                         "{\"class\": %S, \"block\": %d, \"index\": %d, \
+                          \"detail\": %S}"
+                         (Analysis.Boundcheck.class_name a.cls)
+                         a.block a.index a.detail)
+                     r.alarms))))
+        reports;
+      Buffer.add_string b "\n]\n";
+      print_string (Buffer.contents b)
+    end
+    else begin
+      let flagged = ref 0 in
+      List.iter
+        (fun (i, (r : Analysis.Boundcheck.report)) ->
+          if r.alarms <> [] then begin
+            incr flagged;
+            Printf.printf "%4d %-32s %d alarm%s\n" i (name i)
+              (List.length r.alarms)
+              (if List.length r.alarms = 1 then "" else "s");
+            List.iter
+              (fun (a : Analysis.Boundcheck.alarm) ->
+                Printf.printf "       [%s] block %d, instr %d: %s\n"
+                  (Analysis.Boundcheck.class_name a.cls)
+                  a.block a.index a.detail)
+              r.alarms
+          end)
+        reports;
+      Printf.printf "%d of %d function%s flagged\n" !flagged
+        (List.length reports)
+        (if List.length reports = 1 then "" else "s")
+    end;
+    0
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the static memory-safety checker (interval abstract \
+          interpretation) over an image and report alarms.")
+    Term.(const run $ image $ fn $ json)
+
 (* --- evaluate --------------------------------------------------------------- *)
 
 let evaluate_cmd =
@@ -354,7 +440,9 @@ let main =
           vulnerabilities (DSN 2020 reproduction).")
     [
       compile_cmd; inspect_cmd; verify_cmd; run_cmd; trace_cmd;
-      gen_firmware_cmd; train_cmd; scan_cmd; evaluate_cmd;
+      gen_firmware_cmd; train_cmd; scan_cmd; analyze_cmd; evaluate_cmd;
     ]
 
-let () = exit (Cmd.eval' main)
+let () =
+  Analysis.Sanitize.install ();
+  exit (Cmd.eval' main)

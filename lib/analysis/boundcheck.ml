@@ -1,0 +1,638 @@
+type alarm_class = Oob_load | Oob_store | Div_zero | Bad_builtin
+
+let nclasses = 4
+
+let class_index = function
+  | Oob_load -> 0
+  | Oob_store -> 1
+  | Div_zero -> 2
+  | Bad_builtin -> 3
+
+let class_name = function
+  | Oob_load -> "oob-load"
+  | Oob_store -> "oob-store"
+  | Div_zero -> "div-zero"
+  | Bad_builtin -> "bad-builtin"
+
+type alarm = { cls : alarm_class; block : int; index : int; detail : string }
+
+type report = {
+  alarms : alarm list;
+  counts : int array;
+  blocks : int;
+  iterations : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Abstract values.
+
+   [Vfp itv] is an address [fp + o] for some [o] in [itv], where fp is
+   the frame pointer established by the prologue; the function's own
+   frame occupies [fp - frame_size, fp).  [Vint] carries a value range
+   plus a "known non-zero" bit so a [!= 0] guard is remembered even
+   when the range itself stays unbounded.
+
+   Each register/spill-slot entry also carries an optional value-number
+   tag: two locations with the same tag hold the same runtime value
+   (the tag is the instruction index of the copy that last linked
+   them), so a conditional-branch refinement of one register narrows
+   its copies too — compilers routinely compare one copy of a value
+   and index/divide with another. *)
+
+module OffMap = Map.Make (Int)
+
+type value =
+  | Vtop
+  | Vint of { itv : Interval.t; nz : bool }
+  | Vfp of Interval.t
+
+type tagged = { v : value; vid : int option }
+
+type cmp_operand = Creg of int | Cimm of int64
+
+type st = {
+  regs : tagged array;  (** one per machine register *)
+  frame : tagged OffMap.t;  (** word-sized spill slots, by fp offset *)
+  cmp : (int * cmp_operand) option;  (** operands of the live [Cmp] *)
+}
+
+type state = Unreachable | Reach of st
+
+let mk_int ?(nz = false) itv =
+  if Interval.equal itv Interval.top && not nz then Vtop
+  else Vint { itv; nz = nz || not (Interval.contains itv 0L) }
+
+let untagged v = { v; vid = None }
+
+let value_equal a b =
+  match (a, b) with
+  | Vtop, Vtop -> true
+  | Vint x, Vint y -> Interval.equal x.itv y.itv && x.nz = y.nz
+  | Vfp x, Vfp y -> Interval.equal x y
+  | (Vtop | Vint _ | Vfp _), _ -> false
+
+let value_merge f a b =
+  match (a, b) with
+  | Vtop, _ | _, Vtop -> Vtop
+  | Vint x, Vint y -> mk_int ~nz:(x.nz && y.nz) (f x.itv y.itv)
+  | Vfp x, Vfp y -> Vfp (f x y)
+  | Vint _, Vfp _ | Vfp _, Vint _ -> Vtop
+
+let tagged_equal a b = value_equal a.v b.v && a.vid = b.vid
+
+let tagged_merge f a b =
+  {
+    v = value_merge f a.v b.v;
+    vid = (match (a.vid, b.vid) with
+          | Some i, Some j when i = j -> Some i
+          | _ -> None);
+  }
+
+let cmp_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some (r, Creg s), Some (r', Creg s') -> r = r' && s = s'
+  | Some (r, Cimm i), Some (r', Cimm i') -> r = r' && Int64.equal i i'
+  | _ -> false
+
+let st_merge f a b =
+  {
+    regs =
+      Array.init (Array.length a.regs) (fun i ->
+          tagged_merge f a.regs.(i) b.regs.(i));
+    frame =
+      OffMap.merge
+        (fun _ l r ->
+          match (l, r) with
+          | Some u, Some v ->
+            let m = tagged_merge f u v in
+            if m.v = Vtop && m.vid = None then None else Some m
+          | _ -> None)
+        a.frame b.frame;
+    cmp = (if cmp_equal a.cmp b.cmp then a.cmp else None);
+  }
+
+module L = struct
+  type t = state
+
+  let bottom = Unreachable
+
+  let equal a b =
+    match (a, b) with
+    | Unreachable, Unreachable -> true
+    | Reach x, Reach y ->
+      Array.length x.regs = Array.length y.regs
+      && Array.for_all2 tagged_equal x.regs y.regs
+      && OffMap.equal tagged_equal x.frame y.frame
+      && cmp_equal x.cmp y.cmp
+    | (Unreachable | Reach _), _ -> false
+
+  let join a b =
+    match (a, b) with
+    | Unreachable, x | x, Unreachable -> x
+    | Reach x, Reach y -> Reach (st_merge Interval.join x y)
+
+  let widen a b =
+    match (a, b) with
+    | Unreachable, x | x, Unreachable -> x
+    | Reach x, Reach y -> Reach (st_merge Interval.widen x y)
+end
+
+module Solver = Dataflow.Make (L)
+
+(* ------------------------------------------------------------------ *)
+(* Transfer *)
+
+let width_bytes : Isa.Instr.width -> int = function W1 -> 1 | W8 -> 8
+
+let as_itv = function
+  | Vtop -> Some Interval.top
+  | Vint { itv; _ } -> Some itv
+  | Vfp _ -> None
+
+let may_be_zero = function
+  | Vtop -> true
+  | Vint { itv; nz } -> (not nz) && Interval.contains itv 0L
+  | Vfp _ -> false
+
+let set_reg st r t =
+  let regs = Array.copy st.regs in
+  regs.(r) <- t;
+  let cmp =
+    match st.cmp with
+    | Some (cr, _) when cr = r -> None
+    | Some (_, Creg o) when o = r -> None
+    | c -> c
+  in
+  { st with regs; cmp }
+
+let operand_value st (o : Isa.Instr.operand) =
+  match o with
+  | Reg r -> st.regs.(r).v
+  | Imm i -> mk_int (Interval.of_const i)
+
+(* Retire every tag [Some i] before instruction [i] issues it afresh:
+   stale copies from a previous loop iteration must not keep claiming
+   equality with the new value. *)
+let kill_vid st i =
+  let stale t = t.vid = Some i in
+  let regs =
+    if Array.exists stale st.regs then
+      Array.map (fun t -> if stale t then { t with vid = None } else t) st.regs
+    else st.regs
+  in
+  let frame =
+    if OffMap.exists (fun _ t -> stale t) st.frame then
+      OffMap.map (fun t -> if stale t then { t with vid = None } else t)
+        st.frame
+    else st.frame
+  in
+  if regs == st.regs && frame == st.frame then st else { st with regs; frame }
+
+(* Drop spill slots overlapping the byte window [lo, hi). *)
+let invalidate_frame frame lo hi =
+  OffMap.filter (fun k _ -> k + 8 <= lo || k >= hi) frame
+
+(* In-bounds iff [fp+lo, fp+hi+w) stays inside [fp-frame_size, fp). *)
+let fp_access_ok ~frame_size itv w =
+  match (itv.Interval.lo, itv.Interval.hi) with
+  | Interval.Fin l, Interval.Fin h ->
+    l >= Int64.of_int (-frame_size) && Int64.add h (Int64.of_int w) <= 0L
+  | _ -> false
+
+let checked_imports = [ "memcpy"; "memmove"; "memset"; "memcmp" ]
+
+let binop_itv (op : Isa.Instr.binop) a b =
+  match op with
+  | Add -> Interval.add a b
+  | Sub -> Interval.sub a b
+  | Mul -> Interval.mul a b
+  | Div -> Interval.div a b
+  | Rem -> Interval.rem a b
+  | Shl -> Interval.shift_left a b
+  | Shr -> Interval.shift_right a b
+  | And | Or | Xor -> Interval.top
+
+let clobber_range st lo hi =
+  let regs = Array.copy st.regs in
+  for r = lo to hi do
+    regs.(r) <- untagged Vtop
+  done;
+  regs
+
+let transfer_ins ~img ~frame_size ~record index st (ins : int Isa.Instr.t) =
+  match ins with
+  | Nop | Jmp _ | Jcc _ | Ret | Fcmp _ | Jtable _ -> st
+  | Mov (d, Reg s) ->
+    if d = s then st
+    else (
+      match st.regs.(s).vid with
+      | Some _ -> set_reg st d st.regs.(s)
+      | None ->
+        let st = kill_vid st index in
+        let src = { st.regs.(s) with vid = Some index } in
+        let st = set_reg st s src in
+        set_reg st d src)
+  | Mov (d, Imm i) -> set_reg st d (untagged (mk_int (Interval.of_const i)))
+  | Lea (d, addr) -> set_reg st d (untagged (mk_int (Interval.of_const addr)))
+  | Binop (op, d, a, o) ->
+    let va = st.regs.(a).v and vo = operand_value st o in
+    (match op with
+    | Div | Rem ->
+      if may_be_zero vo then
+        record Div_zero index
+          (Printf.sprintf "divisor %s may be zero"
+             (match o with
+             | Isa.Instr.Reg r -> Printf.sprintf "r%d" r
+             | Imm i -> Int64.to_string i))
+    | Add | Sub | Mul | And | Or | Xor | Shl | Shr -> ());
+    let result =
+      match (op, va, vo) with
+      | Isa.Instr.Add, Vfp p, Vint { itv; _ } -> Vfp (Interval.add p itv)
+      | Isa.Instr.Add, Vint { itv; _ }, Vfp p -> Vfp (Interval.add itv p)
+      | Isa.Instr.Sub, Vfp p, Vint { itv; _ } -> Vfp (Interval.sub p itv)
+      | Isa.Instr.Sub, Vfp p, Vfp q -> mk_int (Interval.sub p q)
+      | _ -> (
+        match (as_itv va, as_itv vo) with
+        | Some ia, Some ib -> mk_int (binop_itv op ia ib)
+        | _ -> Vtop)
+    in
+    set_reg st d (untagged result)
+  | Neg (d, a) ->
+    let v =
+      match as_itv st.regs.(a).v with
+      | Some ia -> mk_int (Interval.neg ia)
+      | None -> Vtop
+    in
+    set_reg st d (untagged v)
+  | Not (d, a) ->
+    let v =
+      match as_itv st.regs.(a).v with
+      | Some ia -> mk_int (Interval.lognot ia)
+      | None -> Vtop
+    in
+    set_reg st d (untagged v)
+  | Fbinop (_, d, _, _) | I2f (d, _) | F2i (d, _) ->
+    set_reg st d (untagged Vtop)
+  | Load (w, d, base, off) -> (
+    match st.regs.(base).v with
+    | Vfp p -> (
+      let acc = Interval.add p (Interval.of_const (Int64.of_int off)) in
+      let wb = width_bytes w in
+      let ok = fp_access_ok ~frame_size acc wb in
+      if not ok then
+        record Oob_load index
+          (Printf.sprintf "frame load at fp%s width %d outside [-%d, 0)"
+             (Interval.to_string acc) wb frame_size);
+      match (w, Interval.singleton acc) with
+      | Isa.Instr.W1, _ ->
+        set_reg st d (untagged (mk_int (Interval.make 0L 255L)))
+      | Isa.Instr.W8, Some o when ok -> (
+        let o = Int64.to_int o in
+        match OffMap.find_opt o st.frame with
+        | Some ({ vid = Some _; _ } as slot) -> set_reg st d slot
+        | Some { v; vid = None } ->
+          (* link the slot and the loaded register *)
+          let st = kill_vid st index in
+          let slot = { v; vid = Some index } in
+          let st = { st with frame = OffMap.add o slot st.frame } in
+          set_reg st d slot
+        | None ->
+          let st = kill_vid st index in
+          let slot = { v = Vtop; vid = Some index } in
+          let st = { st with frame = OffMap.add o slot st.frame } in
+          set_reg st d slot)
+      | Isa.Instr.W8, _ -> set_reg st d (untagged Vtop))
+    | Vtop | Vint _ ->
+      let v =
+        match w with
+        | Isa.Instr.W1 -> mk_int (Interval.make 0L 255L)
+        | Isa.Instr.W8 -> Vtop
+      in
+      set_reg st d (untagged v))
+  | Store (w, src, base, off) -> (
+    match st.regs.(base).v with
+    | Vfp p -> (
+      let acc = Interval.add p (Interval.of_const (Int64.of_int off)) in
+      let wb = width_bytes w in
+      if not (fp_access_ok ~frame_size acc wb) then
+        record Oob_store index
+          (Printf.sprintf "frame store at fp%s width %d outside [-%d, 0)"
+             (Interval.to_string acc) wb frame_size);
+      match Interval.singleton acc with
+      | Some o ->
+        let o = Int64.to_int o in
+        let frame = invalidate_frame st.frame o (o + wb) in
+        if w = Isa.Instr.W8 then (
+          match st.regs.(src).vid with
+          | Some _ ->
+            { st with frame = OffMap.add o st.regs.(src) frame }
+          | None ->
+            let st = kill_vid st index in
+            let t = { st.regs.(src) with vid = Some index } in
+            let st = set_reg st src t in
+            (* re-fetch: set_reg copied the array *)
+            let frame = invalidate_frame st.frame o (o + wb) in
+            { st with frame = OffMap.add o t frame })
+        else { st with frame }
+      | None -> { st with frame = OffMap.empty })
+    | Vtop | Vint _ ->
+      (* Writes through non-frame pointers cannot legally reach this
+         function's own frame window, so spill slots survive. *)
+      st)
+  | Cmp (r, o) ->
+    let cop = match o with Isa.Instr.Reg s -> Creg s | Imm i -> Cimm i in
+    { st with cmp = Some (r, cop) }
+  | Push r ->
+    if r = Isa.Reg.sp then st
+    else (
+      match st.regs.(Isa.Reg.sp).v with
+      | Vfp p ->
+        set_reg st Isa.Reg.sp
+          (untagged (Vfp (Interval.sub p (Interval.of_const 8L))))
+      | _ -> st)
+  | Pop r ->
+    let st =
+      match st.regs.(Isa.Reg.sp).v with
+      | Vfp p ->
+        set_reg st Isa.Reg.sp
+          (untagged (Vfp (Interval.add p (Interval.of_const 8L))))
+      | _ -> st
+    in
+    if r = Isa.Reg.sp then st else set_reg st r (untagged Vtop)
+  | Call idx ->
+    (match Loader.Image.call_target img idx with
+    | Some (Loader.Image.Import name) when List.mem name checked_imports -> (
+      let len = st.regs.(Isa.Reg.arg 2).v in
+      (match as_itv len with
+      | None ->
+        record Bad_builtin index
+          (Printf.sprintf "%s length is an address" name)
+      | Some itv ->
+        if Interval.may_be_negative itv || not (Interval.is_bounded_above itv)
+        then
+          record Bad_builtin index
+            (Printf.sprintf "%s length %s may be negative or unbounded" name
+               (Interval.to_string itv)));
+      match st.regs.(Isa.Reg.arg 0).v with
+      | Vfp p -> (
+        match as_itv len with
+        | Some { Interval.hi = Fin n; _ }
+          when fp_access_ok ~frame_size p (Int64.to_int (Int64.max 1L n)) ->
+          ()
+        | _ ->
+          record Bad_builtin index
+            (Printf.sprintf "%s destination fp%s may overflow the frame" name
+               (Interval.to_string p)))
+      | Vtop | Vint _ -> ())
+    | Some (Internal _) | Some (Import _) | None -> ());
+    (* caller-saved registers die; the frame survives unless its address
+       escaped through an argument register *)
+    let escapes =
+      List.exists
+        (fun i -> match st.regs.(i).v with Vfp _ -> true | _ -> false)
+        [ 0; 1; 2; 3; 4; 5 ]
+    in
+    {
+      regs = clobber_range st 0 13;
+      frame = (if escapes then OffMap.empty else st.frame);
+      cmp = None;
+    }
+  | Syscall _ ->
+    let escapes =
+      List.exists
+        (fun i -> match st.regs.(i).v with Vfp _ -> true | _ -> false)
+        [ 0; 1; 2 ]
+    in
+    {
+      regs = clobber_range st 0 5;
+      frame = (if escapes then OffMap.empty else st.frame);
+      cmp = None;
+    }
+
+let transfer_block ~img ~frame_size ~record (g : Cfg.Graph.t) b state =
+  match state with
+  | Unreachable -> Unreachable
+  | Reach st ->
+    let blk = g.Cfg.Graph.blocks.(b) in
+    let st = ref st in
+    for i = blk.Cfg.Block.first to blk.Cfg.Block.last do
+      st :=
+        transfer_ins ~img ~frame_size ~record i !st
+          g.Cfg.Graph.listing.Isa.Disasm.instrs.(i)
+    done;
+    Reach !st
+
+(* ------------------------------------------------------------------ *)
+(* Edge refinement: conditional branches narrow the compared values —
+   and all their tagged copies — on each outgoing edge; table jumps
+   bound the selector. *)
+
+let block_starting_at (g : Cfg.Graph.t) index =
+  let n = Array.length g.Cfg.Graph.blocks in
+  let rec find b =
+    if b >= n then None
+    else if g.Cfg.Graph.blocks.(b).Cfg.Block.first = index then Some b
+    else find (b + 1)
+  in
+  find 0
+
+exception Edge_dead
+
+(* Narrow one location to the assumption [value cond rhs]; copies of the
+   compared register hold the same runtime value, so the same fact
+   applies to each of them (their own abstract value, re-refined). *)
+let refine_value cond rhs t =
+  match t.v with
+  | Vfp _ -> t
+  | v -> (
+    match as_itv v with
+    | None -> t
+    | Some itv ->
+      let itv', _ = Interval.refine cond itv rhs in
+      if Interval.is_bot itv' then raise Edge_dead
+      else
+        let nz_before = match v with Vint { nz; _ } -> nz | _ -> false in
+        let explicit =
+          cond = Isa.Cond.Ne && Interval.equal rhs (Interval.of_const 0L)
+        in
+        { t with v = mk_int ~nz:(nz_before || explicit) itv' })
+
+let refine_class st vid cond rhs =
+  let matches t = match vid with Some i -> t.vid = Some i | None -> false in
+  let regs =
+    Array.map (fun t -> if matches t then refine_value cond rhs t else t)
+      st.regs
+  in
+  let frame =
+    OffMap.map (fun t -> if matches t then refine_value cond rhs t else t)
+      st.frame
+  in
+  { st with regs; frame }
+
+let apply_cond st cond r cop =
+  let vr = st.regs.(r).v in
+  let rhs_itv =
+    match cop with
+    | Cimm i -> Interval.of_const i
+    | Creg s -> (
+      match as_itv st.regs.(s).v with Some i -> i | None -> Interval.top)
+  in
+  match as_itv vr with
+  | None -> st  (* frame pointers are not refined *)
+  | Some _ ->
+    (* the compared register itself *)
+    let regs = Array.copy st.regs in
+    regs.(r) <- refine_value cond rhs_itv st.regs.(r);
+    let st = { st with regs } in
+    (* its copies *)
+    let st = refine_class st st.regs.(r).vid cond rhs_itv in
+    (* and the other side, with the swapped relation *)
+    (match cop with
+    | Cimm _ -> st
+    | Creg s -> (
+      let lhs_itv =
+        match as_itv st.regs.(r).v with Some i -> i | None -> Interval.top
+      in
+      let swapped : Isa.Cond.t =
+        match cond with
+        | Eq -> Eq
+        | Ne -> Ne
+        | Lt -> Gt
+        | Le -> Ge
+        | Gt -> Lt
+        | Ge -> Le
+      in
+      match as_itv st.regs.(s).v with
+      | None -> st
+      | Some _ ->
+        let regs = Array.copy st.regs in
+        regs.(s) <- refine_value swapped lhs_itv st.regs.(s);
+        let st = { st with regs } in
+        refine_class st st.regs.(s).vid swapped lhs_itv))
+
+let refine_edge (g : Cfg.Graph.t) ~src ~dst state =
+  match state with
+  | Unreachable -> Unreachable
+  | Reach st -> (
+    let blk = g.Cfg.Graph.blocks.(src) in
+    let listing = g.Cfg.Graph.listing in
+    match listing.Isa.Disasm.instrs.(blk.Cfg.Block.last) with
+    | Isa.Instr.Jcc (c, target) -> (
+      match st.cmp with
+      | None -> state
+      | Some (r, cop) -> (
+        let taken =
+          Option.bind (Isa.Disasm.index_of_offset listing target)
+            (block_starting_at g)
+        in
+        let fallthrough = block_starting_at g (blk.Cfg.Block.last + 1) in
+        if taken = fallthrough then state
+        else
+          let cond =
+            if taken = Some dst then Some c
+            else if fallthrough = Some dst then Some (Isa.Cond.negate c)
+            else None
+          in
+          match cond with
+          | None -> state
+          | Some cond -> (
+            try Reach (apply_cond st cond r cop)
+            with Edge_dead -> Unreachable)))
+    | Isa.Instr.Jtable (r, targets) -> (
+      let bound = Interval.make 0L (Int64.of_int (Array.length targets - 1)) in
+      match st.regs.(r).v with
+      | Vtop -> Reach (set_reg st r (untagged (mk_int bound)))
+      | Vint { itv; nz } ->
+        let m = Interval.meet itv bound in
+        if Interval.is_bot m then Unreachable
+        else Reach (set_reg st r { st.regs.(r) with v = mk_int ~nz m })
+      | Vfp _ -> state)
+    | _ -> state)
+
+(* ------------------------------------------------------------------ *)
+
+(* Frame size from the prologue: the first [sp := sp - imm] of block 0. *)
+let find_frame_size (g : Cfg.Graph.t) =
+  match Cfg.Graph.entry g with
+  | None -> 0
+  | Some blk ->
+    let instrs = g.Cfg.Graph.listing.Isa.Disasm.instrs in
+    let rec scan i =
+      if i > blk.Cfg.Block.last then 0
+      else
+        match instrs.(i) with
+        | Isa.Instr.Binop (Sub, r, r', Imm f)
+          when r = Isa.Reg.sp && r' = Isa.Reg.sp ->
+          Int64.to_int f
+        | _ -> scan (i + 1)
+    in
+    scan blk.Cfg.Block.first
+
+let initial_state () =
+  let regs = Array.make Isa.Reg.count (untagged Vtop) in
+  (* on entry sp sits one saved-fp slot above what the prologue will
+     establish as fp: [Push fp; Mov fp, sp] lands fp at entry_sp - 8 *)
+  regs.(Isa.Reg.sp) <- untagged (Vfp (Interval.of_const 8L));
+  Reach { regs; frame = OffMap.empty; cmp = None }
+
+let analyze img fidx =
+  let listing = Loader.Image.disassemble img fidx in
+  let noret idx =
+    match Loader.Image.call_target img idx with
+    | Some (Loader.Image.Import name) -> List.mem name Minic.Builtins.noret
+    | _ -> false
+  in
+  let g = Cfg.Graph.build ~is_noret_call:noret listing in
+  let nblocks = Cfg.Graph.block_count g in
+  if nblocks = 0 then
+    { alarms = []; counts = Array.make nclasses 0; blocks = 0; iterations = 0 }
+  else begin
+    let frame_size = find_frame_size g in
+    let silent _ _ _ = () in
+    let sol =
+      Solver.solve
+        {
+          Solver.graph = Dataflow.graph_of_cfg g;
+          direction = Dataflow.Forward;
+          init = initial_state ();
+          transfer = transfer_block ~img ~frame_size ~record:silent g;
+          refine = Some (refine_edge g);
+        }
+    in
+    (* replay reachable blocks on the fixpoint, collecting alarms *)
+    let alarms = ref [] in
+    let seen = Hashtbl.create 16 in
+    Array.iteri
+      (fun b input ->
+        let record cls index detail =
+          if not (Hashtbl.mem seen (cls, index)) then begin
+            Hashtbl.replace seen (cls, index) ();
+            alarms := { cls; block = b; index; detail } :: !alarms
+          end
+        in
+        ignore (transfer_block ~img ~frame_size ~record g b input))
+      sol.Solver.input;
+    let alarms =
+      List.sort (fun a b -> compare (a.index, a.cls) (b.index, b.cls)) !alarms
+    in
+    let counts = Array.make nclasses 0 in
+    List.iter
+      (fun a ->
+        let i = class_index a.cls in
+        counts.(i) <- counts.(i) + 1)
+      alarms;
+    { alarms; counts; blocks = nblocks; iterations = sol.Solver.iterations }
+  end
+
+let signature img fidx = (analyze img fidx).counts
+
+let total sig_ = Array.fold_left ( + ) 0 sig_
+
+let distance a b =
+  let acc = ref 0.0 in
+  for i = 0 to nclasses - 1 do
+    let x = float_of_int a.(i) and y = float_of_int b.(i) in
+    if x <> y then acc := !acc +. (abs_float (x -. y) /. Float.max x y)
+  done;
+  !acc /. float_of_int nclasses

@@ -1,0 +1,58 @@
+(** Signature-based memory-safety checker over recovered binary CFGs.
+
+    An abstract interpreter in the VulMatch/IoTSeeker mould: it runs an
+    interval analysis directly on disassembled functions — tracking
+    frame-pointer-relative addresses, value ranges and "known non-zero"
+    facts through registers and spill slots — and raises an alarm wherever
+    it cannot prove an access safe:
+
+    - {b OOB load/store}: a [Load]/[Store] whose base is a frame address
+      and whose access window may leave the function's own frame
+      ([fp - frame_size, fp)), as in an unclamped index into a stack
+      buffer;
+    - {b division by zero}: a [Div]/[Rem] whose divisor may be zero
+      (missing [== 0] guard);
+    - {b bad builtin call}: memcpy/memmove/memset/memcmp whose length may
+      be negative or has no upper bound, or whose frame-address
+      destination may overflow the frame.
+
+    The per-function alarm counts form a 4-component {e alarm signature}.
+    A patch that inserts the missing guard kills the corresponding alarm
+    (conditional-branch refinement proves the access safe), so the
+    signature separates vulnerable from patched builds of guard-style
+    CVEs — a purely static vulnerable/patched signal that needs no
+    emulation, used as a detection baseline and as an extra evidence
+    channel in the differential engine. *)
+
+type alarm_class = Oob_load | Oob_store | Div_zero | Bad_builtin
+
+val nclasses : int
+val class_index : alarm_class -> int
+val class_name : alarm_class -> string
+
+type alarm = {
+  cls : alarm_class;
+  block : int;  (** CFG block id *)
+  index : int;  (** instruction index within the listing *)
+  detail : string;
+}
+
+type report = {
+  alarms : alarm list;  (** deduplicated, in program order *)
+  counts : int array;  (** per-class totals, indexed by {!class_index} *)
+  blocks : int;
+  iterations : int;  (** solver node visits *)
+}
+
+val analyze : Loader.Image.t -> int -> report
+(** Disassemble and check function [i] of the image. *)
+
+val signature : Loader.Image.t -> int -> int array
+(** Just the per-class alarm counts of {!analyze}. *)
+
+val total : int array -> int
+(** Sum of a signature's components. *)
+
+val distance : int array -> int array -> float
+(** Mean per-class relative difference in [0, 1]; 0 for identical
+    signatures.  The ranking metric of the alarm-signature baseline. *)

@@ -1,0 +1,128 @@
+module IntMap = Map.Make (Int)
+
+type env = Unreachable | Env of int64 IntMap.t
+
+module L = struct
+  type t = env
+
+  let bottom = Unreachable
+
+  let equal a b =
+    match (a, b) with
+    | Unreachable, Unreachable -> true
+    | Env x, Env y -> IntMap.equal Int64.equal x y
+    | Unreachable, Env _ | Env _, Unreachable -> false
+
+  (* pointwise: only bindings present and equal on both sides survive *)
+  let join a b =
+    match (a, b) with
+    | Unreachable, x | x, Unreachable -> x
+    | Env x, Env y ->
+      Env
+        (IntMap.merge
+           (fun _ l r ->
+             match (l, r) with
+             | Some u, Some v when Int64.equal u v -> Some u
+             | _ -> None)
+           x y)
+
+  let widen = join
+end
+
+module Solver = Dataflow.Make (L)
+
+type t = { block_in : env array; block_out : env array; iterations : int }
+
+let eval_binop = Minic.Opt.eval_binop
+
+let transfer_ins env (ins : Minic.Ir.ins) =
+  let find v = IntMap.find_opt v env in
+  let operand (o : Minic.Ir.operand) =
+    match o with Oimm c -> Some c | Ovreg v -> find v
+  in
+  let set d v env = match v with Some c -> IntMap.add d c env | None -> IntMap.remove d env in
+  match ins with
+  | Imov (d, o) -> set d (operand o) env
+  | Ibin (op, d, a, o) ->
+    let v =
+      match (find a, operand o) with
+      | Some ca, Some cb -> eval_binop op ca cb
+      | _ -> None
+    in
+    set d v env
+  | Ifbin (op, d, a, b) ->
+    let v =
+      match (find a, find b) with
+      | Some ca, Some cb -> Some (Minic.Opt.eval_fbinop op ca cb)
+      | _ -> None
+    in
+    set d v env
+  | Ineg (d, a) -> set d (Option.map Int64.neg (find a)) env
+  | Inot (d, a) -> set d (Option.map Int64.lognot (find a)) env
+  | Ii2f (d, a) ->
+    set d (Option.map (fun c -> Int64.bits_of_float (Int64.to_float c)) (find a)) env
+  | If2i (d, a) ->
+    set d
+      (Option.map
+         (fun c ->
+           let fv = Int64.float_of_bits c in
+           if Float.is_nan fv then 0L else Int64.of_float fv)
+         (find a))
+      env
+  | Iload (_, d, _, _) | Ilea_slot (d, _) -> IntMap.remove d env
+  | Ilea_data (d, a) -> IntMap.add d a env
+  | Istore _ -> env
+  | Icall (dst, _, _) | Isyscall (dst, _, _) -> (
+    match dst with Some d -> IntMap.remove d env | None -> env)
+
+let analyze (f : Minic.Ir.fundef) =
+  let transfer b state =
+    match state with
+    | Unreachable -> Unreachable
+    | Env env ->
+      Env (List.fold_left transfer_ins env f.Minic.Ir.blocks.(b).body)
+  in
+  (* branch edges on a known constant condition make the dead arm
+     unreachable *)
+  let refine ~src ~dst state =
+    match state with
+    | Unreachable -> Unreachable
+    | Env env -> (
+      let value v = IntMap.find_opt v env in
+      match f.Minic.Ir.blocks.(src).term with
+      | Minic.Ir.Tbr (c, v, o, btrue, bfalse) when btrue <> bfalse -> (
+        let ov =
+          match o with Minic.Ir.Oimm x -> Some x | Ovreg w -> value w
+        in
+        match (value v, ov) with
+        | Some cv, Some co ->
+          let holds = Isa.Cond.holds c (Int64.compare cv co) in
+          let taken = if holds then btrue else bfalse in
+          if dst = taken then state else Unreachable
+        | _ -> state)
+      | _ -> state)
+  in
+  let g = Dataflow.graph_of_fundef f in
+  let sol =
+    Solver.solve
+      {
+        Solver.graph = g;
+        direction = Dataflow.Forward;
+        init = Env IntMap.empty;
+        transfer;
+        refine = Some refine;
+      }
+  in
+  { block_in = sol.Solver.input; block_out = sol.Solver.output;
+    iterations = sol.Solver.iterations }
+
+let constant_at_entry t block vreg =
+  match t.block_in.(block) with
+  | Unreachable -> None
+  | Env env -> IntMap.find_opt vreg env
+
+let count_constants t =
+  Array.fold_left
+    (fun acc e ->
+      match e with Unreachable -> acc | Env m -> acc + IntMap.cardinal m)
+    0 t.block_in

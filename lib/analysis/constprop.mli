@@ -1,0 +1,26 @@
+(** Flow-sensitive constant propagation over MinC IR (forward).
+
+    The per-block environment maps vregs to known [int64] constants;
+    absence means "not constant here".  Unlike the block-local
+    [Minic.Opt.fold_constants] rewriter, this domain reasons across
+    blocks and join points, so it also measures what the optimiser left
+    on the table. *)
+
+module IntMap : Map.S with type key = int
+
+type env = Unreachable | Env of int64 IntMap.t
+
+type t = {
+  block_in : env array;
+  block_out : env array;
+  iterations : int;
+}
+
+val analyze : Minic.Ir.fundef -> t
+
+val constant_at_entry : t -> int -> int -> int64 option
+(** [constant_at_entry t block vreg] *)
+
+val count_constants : t -> int
+(** Total constant bindings across all reachable block entries — a
+    coarse effectiveness metric used by reports and tests. *)

@@ -1,0 +1,169 @@
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val widen : t -> t -> t
+end
+
+type graph = {
+  nnodes : int;
+  succs : int -> int list;
+  preds : int -> int list;
+  entries : int list;
+}
+
+type direction = Forward | Backward
+
+let graph_of_fundef (f : Minic.Ir.fundef) =
+  let n = Array.length f.Minic.Ir.blocks in
+  let succs = Array.make n [] in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun i (blk : Minic.Ir.block) ->
+      let ss = Minic.Ir.successors blk.term in
+      succs.(i) <- ss;
+      List.iter (fun s -> if s >= 0 && s < n then preds.(s) <- i :: preds.(s)) ss)
+    f.Minic.Ir.blocks;
+  Array.iteri (fun i p -> preds.(i) <- List.rev p) preds;
+  {
+    nnodes = n;
+    succs = (fun i -> succs.(i));
+    preds = (fun i -> preds.(i));
+    entries = (if n > 0 then [ 0 ] else []);
+  }
+
+let graph_of_cfg (g : Cfg.Graph.t) =
+  let n = Array.length g.Cfg.Graph.blocks in
+  {
+    nnodes = n;
+    succs = (fun i -> g.Cfg.Graph.blocks.(i).Cfg.Block.succs);
+    preds = (fun i -> g.Cfg.Graph.blocks.(i).Cfg.Block.preds);
+    entries = (if n > 0 then [ 0 ] else []);
+  }
+
+let exit_nodes g =
+  let out = ref [] in
+  for i = g.nnodes - 1 downto 0 do
+    if g.succs i = [] then out := i :: !out
+  done;
+  !out
+
+let reverse g =
+  let entries =
+    match exit_nodes g with
+    | [] -> List.init g.nnodes Fun.id
+    | exits -> exits
+  in
+  { nnodes = g.nnodes; succs = g.preds; preds = g.succs; entries }
+
+(* Reverse postorder of the oriented graph; nodes unreachable from the
+   entries are appended afterwards so every node still gets a position. *)
+let rpo_order g =
+  let n = g.nnodes in
+  let visited = Array.make n false in
+  let acc = ref [] in
+  let rec visit i =
+    if not visited.(i) then begin
+      visited.(i) <- true;
+      List.iter (fun s -> if s >= 0 && s < n then visit s) (g.succs i);
+      acc := i :: !acc
+    end
+  in
+  List.iter visit g.entries;
+  for i = n - 1 downto 0 do
+    if not visited.(i) then acc := i :: !acc
+  done;
+  Array.of_list !acc
+
+module Make (L : LATTICE) = struct
+  type problem = {
+    graph : graph;
+    direction : direction;
+    init : L.t;
+    transfer : int -> L.t -> L.t;
+    refine : (src:int -> dst:int -> L.t -> L.t) option;
+  }
+
+  type solution = { input : L.t array; output : L.t array; iterations : int }
+
+  let solve ?(widen_delay = 3) ?max_visits p =
+    let g =
+      match p.direction with Forward -> p.graph | Backward -> reverse p.graph
+    in
+    let n = g.nnodes in
+    let max_visits =
+      match max_visits with Some m -> m | None -> 1000 * max 1 n
+    in
+    let input = Array.make n L.bottom in
+    let output = Array.make n L.bottom in
+    if n = 0 then { input; output; iterations = 0 }
+    else begin
+      let order = rpo_order g in
+      let pos = Array.make n 0 in
+      Array.iteri (fun k i -> pos.(i) <- k) order;
+      (* widening points: targets of retreating edges in the oriented graph *)
+      let widen_at = Array.make n false in
+      for i = 0 to n - 1 do
+        List.iter
+          (fun s -> if s >= 0 && s < n && pos.(s) <= pos.(i) then widen_at.(s) <- true)
+          (g.succs i)
+      done;
+      let is_entry = Array.make n false in
+      List.iter (fun e -> is_entry.(e) <- true) g.entries;
+      let visits = Array.make n 0 in
+      let total = ref 0 in
+      let in_work = Array.make n false in
+      (* worklist ordered by RPO position so inner loops stabilise before
+         the rest of the function is revisited *)
+      let module Q = Set.Make (struct
+        type t = int * int
+
+        let compare = compare
+      end) in
+      let work = ref Q.empty in
+      let push i =
+        if not in_work.(i) then begin
+          in_work.(i) <- true;
+          work := Q.add (pos.(i), i) !work
+        end
+      in
+      Array.iter push order;
+      let edge_value src dst v =
+        match p.refine with
+        | None -> v
+        | Some f -> f ~src ~dst v
+      in
+      while not (Q.is_empty !work) do
+        let _, node = Q.min_elt !work in
+        work := Q.remove (pos.(node), node) !work;
+        in_work.(node) <- false;
+        incr total;
+        if !total > max_visits then
+          failwith "Dataflow.solve: no fixpoint (widening too weak?)";
+        visits.(node) <- visits.(node) + 1;
+        let incoming =
+          List.fold_left
+            (fun acc pred -> L.join acc (edge_value pred node output.(pred)))
+            (if is_entry.(node) then p.init else L.bottom)
+            (g.preds node)
+        in
+        let incoming =
+          if widen_at.(node) && visits.(node) > widen_delay then
+            L.widen input.(node) incoming
+          else L.join input.(node) incoming
+        in
+        let first = visits.(node) = 1 in
+        if first || not (L.equal incoming input.(node)) then begin
+          input.(node) <- incoming;
+          let out = p.transfer node incoming in
+          if first || not (L.equal out output.(node)) then begin
+            output.(node) <- out;
+            List.iter (fun s -> if s >= 0 && s < n then push s) (g.succs node)
+          end
+        end
+      done;
+      { input; output; iterations = !total }
+    end
+end

@@ -1,0 +1,72 @@
+(** Generic worklist dataflow solver.
+
+    The solver is functorised over a join-semilattice with widening and is
+    direction-agnostic: a backward problem is solved by orienting the same
+    graph edges the other way round.  Widening is applied at the targets of
+    retreating edges (loop heads) once a node has been revisited more than
+    [widen_delay] times, so domains of infinite height (intervals) still
+    reach a fixpoint. *)
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  (** Identity of [join]; the state of unvisited/unreachable nodes. *)
+
+  val equal : t -> t -> bool
+
+  val join : t -> t -> t
+
+  val widen : t -> t -> t
+  (** [widen old next] must eventually stabilise any ascending chain;
+      lattices of finite height can use [join]. *)
+end
+
+type graph = {
+  nnodes : int;
+  succs : int -> int list;
+  preds : int -> int list;
+  entries : int list;  (** boundary nodes (exits for a backward problem) *)
+}
+
+type direction = Forward | Backward
+
+val graph_of_fundef : Minic.Ir.fundef -> graph
+(** MinC IR control-flow graph (entry = block 0). *)
+
+val graph_of_cfg : Cfg.Graph.t -> graph
+(** Recovered binary control-flow graph (entry = block 0). *)
+
+val exit_nodes : graph -> int list
+(** Nodes without successors — the boundary of a backward problem. *)
+
+val reverse : graph -> graph
+(** Swap successors and predecessors; [entries] becomes {!exit_nodes} of
+    the original graph (falling back to all nodes when none exist, so
+    infinite loops still converge). *)
+
+module Make (L : LATTICE) : sig
+  type problem = {
+    graph : graph;
+    direction : direction;
+    init : L.t;  (** state at the boundary nodes *)
+    transfer : int -> L.t -> L.t;
+    refine : (src:int -> dst:int -> L.t -> L.t) option;
+        (** Edge-sensitive narrowing applied to the value a node
+            propagates along one outgoing (oriented) edge — conditional
+            branch refinement.  [None] propagates unchanged. *)
+  }
+
+  type solution = {
+    input : L.t array;
+        (** Fixpoint state on entry to each node (exit for backward). *)
+    output : L.t array;  (** [transfer] applied to [input]. *)
+    iterations : int;  (** Node visits until the fixpoint — solver cost. *)
+  }
+
+  val solve : ?widen_delay:int -> ?max_visits:int -> problem -> solution
+  (** [widen_delay] (default 3) is the number of visits before widening
+      kicks in at loop heads; [max_visits] (default [1000 * nnodes]) is a
+      termination backstop — exceeding it raises [Failure], which a
+      correct widening operator makes unreachable. *)
+end

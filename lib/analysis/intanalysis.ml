@@ -1,0 +1,123 @@
+module IntMap = Map.Make (Int)
+
+type env = Unreachable | Env of Interval.t IntMap.t
+
+(* absent key = top; bot-valued bindings never enter the map *)
+let lookup env v =
+  match IntMap.find_opt v env with Some i -> i | None -> Interval.top
+
+let bind d i env =
+  if Interval.equal i Interval.top then IntMap.remove d env
+  else IntMap.add d i env
+
+module L = struct
+  type t = env
+
+  let bottom = Unreachable
+
+  let equal a b =
+    match (a, b) with
+    | Unreachable, Unreachable -> true
+    | Env x, Env y -> IntMap.equal Interval.equal x y
+    | Unreachable, Env _ | Env _, Unreachable -> false
+
+  let merge_with f a b =
+    match (a, b) with
+    | Unreachable, x | x, Unreachable -> x
+    | Env x, Env y ->
+      Env
+        (IntMap.merge
+           (fun _ l r ->
+             match (l, r) with
+             | Some u, Some v ->
+               let m = f u v in
+               if Interval.equal m Interval.top then None else Some m
+             | _ -> None)
+           x y)
+
+  let join = merge_with Interval.join
+  let widen = merge_with (fun old next -> Interval.widen old next)
+end
+
+module Solver = Dataflow.Make (L)
+
+type t = { block_in : env array; block_out : env array; iterations : int }
+
+let transfer_ins env (ins : Minic.Ir.ins) =
+  let operand (o : Minic.Ir.operand) =
+    match o with Oimm c -> Interval.of_const c | Ovreg v -> lookup env v
+  in
+  match ins with
+  | Imov (d, o) -> bind d (operand o) env
+  | Ibin (op, d, a, o) ->
+    let ia = lookup env a and ib = operand o in
+    let r =
+      match op with
+      | Isa.Instr.Add -> Interval.add ia ib
+      | Sub -> Interval.sub ia ib
+      | Mul -> Interval.mul ia ib
+      | Div -> Interval.div ia ib
+      | Rem -> Interval.rem ia ib
+      | Shl -> Interval.shift_left ia ib
+      | Shr -> Interval.shift_right ia ib
+      | And | Or | Xor -> Interval.top
+    in
+    bind d r env
+  | Ineg (d, a) -> bind d (Interval.neg (lookup env a)) env
+  | Inot (d, a) -> bind d (Interval.lognot (lookup env a)) env
+  | Ifbin (_, d, _, _) | Ii2f (d, _) | If2i (d, _)
+  | Iload (_, d, _, _) | Ilea_slot (d, _) | Ilea_data (d, _) ->
+    bind d Interval.top env
+  | Istore _ -> env
+  | Icall (dst, _, _) | Isyscall (dst, _, _) -> (
+    match dst with Some d -> bind d Interval.top env | None -> env)
+
+let analyze (f : Minic.Ir.fundef) =
+  let transfer b state =
+    match state with
+    | Unreachable -> Unreachable
+    | Env env ->
+      Env (List.fold_left transfer_ins env f.Minic.Ir.blocks.(b).body)
+  in
+  let refine ~src ~dst state =
+    match state with
+    | Unreachable -> Unreachable
+    | Env env -> (
+      match f.Minic.Ir.blocks.(src).term with
+      | Minic.Ir.Tbr (c, v, o, btrue, bfalse) when btrue <> bfalse ->
+        let cond = if dst = btrue then c else Isa.Cond.negate c in
+        let iv = lookup env v in
+        let io =
+          match o with
+          | Minic.Ir.Oimm x -> Interval.of_const x
+          | Ovreg w -> lookup env w
+        in
+        let iv', io' = Interval.refine cond iv io in
+        if Interval.is_bot iv' || Interval.is_bot io' then Unreachable
+        else begin
+          let env = bind v iv' env in
+          let env =
+            match o with Minic.Ir.Ovreg w -> bind w io' env | Oimm _ -> env
+          in
+          Env env
+        end
+      | _ -> state)
+  in
+  let g = Dataflow.graph_of_fundef f in
+  let sol =
+    Solver.solve
+      {
+        Solver.graph = g;
+        direction = Dataflow.Forward;
+        init = Env IntMap.empty;
+        transfer;
+        refine = Some refine;
+      }
+  in
+  { block_in = sol.Solver.input; block_out = sol.Solver.output;
+    iterations = sol.Solver.iterations }
+
+let interval_at_entry t block vreg =
+  match t.block_in.(block) with
+  | Unreachable -> Interval.bot
+  | Env env -> lookup env vreg

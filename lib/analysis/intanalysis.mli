@@ -1,0 +1,22 @@
+(** Interval analysis over MinC IR vregs (forward, with widening).
+
+    Environments map vregs to {!Interval.t}; absence means top (any
+    value).  Conditional branches narrow both compared operands on each
+    outgoing edge, so loop counters bounded by a constant-clamped limit
+    get finite ranges while unguarded ones widen to infinity. *)
+
+module IntMap : Map.S with type key = int
+
+type env = Unreachable | Env of Interval.t IntMap.t
+
+type t = {
+  block_in : env array;
+  block_out : env array;
+  iterations : int;
+}
+
+val analyze : Minic.Ir.fundef -> t
+
+val interval_at_entry : t -> int -> int -> Interval.t
+(** [interval_at_entry t block vreg]; top when unknown, bot when the
+    block is unreachable. *)

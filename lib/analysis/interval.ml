@@ -1,0 +1,206 @@
+type bound = NegInf | Fin of int64 | PosInf
+
+type t = { lo : bound; hi : bound }
+
+let bot = { lo = PosInf; hi = NegInf }
+let top = { lo = NegInf; hi = PosInf }
+let is_bot t = t == bot || t.lo = PosInf || t.hi = NegInf
+let of_const c = { lo = Fin c; hi = Fin c }
+
+let make lo hi =
+  if lo > hi then bot else { lo = Fin lo; hi = Fin hi }
+
+let bound_compare a b =
+  match (a, b) with
+  | NegInf, NegInf | PosInf, PosInf -> 0
+  | NegInf, _ -> -1
+  | _, NegInf -> 1
+  | PosInf, _ -> 1
+  | _, PosInf -> -1
+  | Fin x, Fin y -> Int64.compare x y
+
+let bmin a b = if bound_compare a b <= 0 then a else b
+let bmax a b = if bound_compare a b >= 0 then a else b
+
+let equal a b =
+  (is_bot a && is_bot b) || (a.lo = b.lo && a.hi = b.hi)
+
+let join a b =
+  if is_bot a then b
+  else if is_bot b then a
+  else { lo = bmin a.lo b.lo; hi = bmax a.hi b.hi }
+
+let meet a b =
+  if is_bot a || is_bot b then bot
+  else
+    let lo = bmax a.lo b.lo and hi = bmin a.hi b.hi in
+    if bound_compare lo hi > 0 then bot else { lo; hi }
+
+let widen old next =
+  if is_bot old then next
+  else if is_bot next then old
+  else
+    {
+      lo = (if bound_compare next.lo old.lo < 0 then NegInf else old.lo);
+      hi = (if bound_compare next.hi old.hi > 0 then PosInf else old.hi);
+    }
+
+let contains t v = not (is_bot t) && bound_compare t.lo (Fin v) <= 0
+                   && bound_compare (Fin v) t.hi <= 0
+
+let may_be_negative t = (not (is_bot t)) && bound_compare t.lo (Fin 0L) < 0
+let is_bounded_above t = match t.hi with Fin _ -> true | PosInf -> false | NegInf -> true
+
+let singleton t =
+  match (t.lo, t.hi) with
+  | Fin a, Fin b when Int64.equal a b -> Some a
+  | _ -> None
+
+(* saturating bound arithmetic: finite overflow escapes to infinity *)
+
+let badd a b =
+  match (a, b) with
+  | NegInf, PosInf | PosInf, NegInf -> invalid_arg "Interval.badd"
+  | NegInf, _ | _, NegInf -> NegInf
+  | PosInf, _ | _, PosInf -> PosInf
+  | Fin x, Fin y ->
+    let s = Int64.add x y in
+    (* overflow iff operands share a sign the sum does not *)
+    if x >= 0L && y >= 0L && s < 0L then PosInf
+    else if x < 0L && y < 0L && s >= 0L then NegInf
+    else Fin s
+
+let bneg = function NegInf -> PosInf | PosInf -> NegInf | Fin x ->
+  if Int64.equal x Int64.min_int then PosInf else Fin (Int64.neg x)
+
+let bmul a b =
+  let sign_of = function
+    | NegInf -> -1
+    | PosInf -> 1
+    | Fin x -> compare x 0L
+  in
+  match (a, b) with
+  | Fin x, Fin y ->
+    let p = Int64.mul x y in
+    if x <> 0L && (Int64.div p x <> y || (Int64.equal x (-1L) && Int64.equal y Int64.min_int))
+    then if sign_of a * sign_of b >= 0 then PosInf else NegInf
+    else Fin p
+  | _ ->
+    let s = sign_of a * sign_of b in
+    if s > 0 then PosInf else if s < 0 then NegInf else Fin 0L
+
+let add a b =
+  if is_bot a || is_bot b then bot
+  else { lo = badd a.lo b.lo; hi = badd a.hi b.hi }
+
+let neg a =
+  if is_bot a then bot else { lo = bneg a.hi; hi = bneg a.lo }
+
+let sub a b = add a (neg b)
+
+let lognot a = sub (of_const (-1L)) a
+
+let of_bound_list l =
+  List.fold_left (fun acc b -> { lo = bmin acc.lo b; hi = bmax acc.hi b })
+    bot l
+
+let mul a b =
+  if is_bot a || is_bot b then bot
+  else
+    of_bound_list
+      [ bmul a.lo b.lo; bmul a.lo b.hi; bmul a.hi b.lo; bmul a.hi b.hi ]
+
+(* Division/shift results are bounded by the operands' magnitudes; rather
+   than enumerate sign cases exactly, bound the magnitude of the result
+   conservatively by the dividend's. *)
+let magnitude_bound a =
+  match (a.lo, a.hi) with
+  | Fin lo, Fin hi -> Some (bmax (bneg (Fin lo)) (Fin hi))
+  | _ -> None
+
+let sym_of_magnitude = function
+  | Some (Fin m) -> { lo = bneg (Fin m); hi = Fin m }
+  | Some NegInf | Some PosInf | None -> top
+
+let div a b =
+  if is_bot a || is_bot b then bot
+  else sym_of_magnitude (magnitude_bound a)
+
+let rem a b =
+  if is_bot a || is_bot b then bot
+  else begin
+    (* |a rem b| < |b|, sign follows a *)
+    let mag =
+      match magnitude_bound b with
+      | Some (Fin m) when m > 0L -> Some (Fin (Int64.sub m 1L))
+      | _ -> None
+    in
+    let r = sym_of_magnitude mag in
+    (* a non-negative dividend keeps the remainder non-negative *)
+    if not (may_be_negative a) then meet r { lo = Fin 0L; hi = PosInf } else r
+  end
+
+let shift_left a b =
+  if is_bot a || is_bot b then bot
+  else
+    match (singleton b, a.lo, a.hi) with
+    | Some s, Fin lo, Fin hi when s >= 0L && s < 63L ->
+      let k = Int64.to_int s in
+      join (of_const (Int64.shift_left lo k)) (of_const (Int64.shift_left hi k))
+      |> fun r ->
+      (* recheck for overflow: shift may wrap *)
+      if Int64.shift_right (Int64.shift_left lo k) k = lo
+         && Int64.shift_right (Int64.shift_left hi k) k = hi
+      then r
+      else top
+    | _ -> top
+
+let shift_right a b =
+  if is_bot a || is_bot b then bot
+  else if not (may_be_negative a) then
+    (* logical shift of a non-negative value shrinks it *)
+    match a.hi with Fin hi -> { lo = Fin 0L; hi = Fin hi } | _ -> { lo = Fin 0L; hi = PosInf }
+  else top
+
+let bpred = function Fin x when x > Int64.min_int -> Fin (Int64.sub x 1L) | b -> b
+let bsucc = function Fin x when x < Int64.max_int -> Fin (Int64.add x 1L) | b -> b
+
+let refine (c : Isa.Cond.t) a b =
+  if is_bot a || is_bot b then (bot, bot)
+  else
+    match c with
+    | Eq -> let m = meet a b in (m, m)
+    | Ne ->
+      (* only singleton exclusion at the ends is representable *)
+      let shrink x y =
+        match singleton y with
+        | Some v ->
+          if x.lo = Fin v then { x with lo = bsucc x.lo }
+          else if x.hi = Fin v then { x with hi = bpred x.hi }
+          else x
+        | None -> x
+      in
+      let a' = shrink a b and b' = shrink b a in
+      ((if bound_compare a'.lo a'.hi > 0 then bot else a'),
+       if bound_compare b'.lo b'.hi > 0 then bot else b')
+    | Lt ->
+      ( meet a { lo = NegInf; hi = bpred b.hi },
+        meet b { lo = bsucc a.lo; hi = PosInf } )
+    | Le ->
+      (meet a { lo = NegInf; hi = b.hi }, meet b { lo = a.lo; hi = PosInf })
+    | Gt ->
+      ( meet a { lo = bsucc b.lo; hi = PosInf },
+        meet b { lo = NegInf; hi = bpred a.hi } )
+    | Ge ->
+      (meet a { lo = b.lo; hi = PosInf }, meet b { lo = NegInf; hi = a.hi })
+
+let bound_to_string = function
+  | NegInf -> "-inf"
+  | PosInf -> "+inf"
+  | Fin x -> Int64.to_string x
+
+let to_string t =
+  if is_bot t then "bot"
+  else Printf.sprintf "[%s, %s]" (bound_to_string t.lo) (bound_to_string t.hi)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,49 @@
+(** Integer intervals with infinities — the abstract value of the
+    interval domain and of the binary bound checker.
+
+    Arithmetic is conservative: bounds saturate to infinity rather than
+    modelling 64-bit wraparound, so every concrete result is contained in
+    the abstract one for the value ranges the corpus exercises. *)
+
+type bound = NegInf | Fin of int64 | PosInf
+
+type t = { lo : bound; hi : bound }
+(** Invariant: [lo <= hi]; the empty interval is represented by {!bot}. *)
+
+val bot : t
+val top : t
+val is_bot : t -> bool
+val of_const : int64 -> t
+val make : int64 -> int64 -> t
+
+val equal : t -> t -> bool
+val join : t -> t -> t
+val meet : t -> t -> t
+val widen : t -> t -> t
+(** [widen old next]: bounds that grew jump to infinity. *)
+
+val contains : t -> int64 -> bool
+val may_be_negative : t -> bool
+val is_bounded_above : t -> bool
+val singleton : t -> int64 option
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val lognot : t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val rem : t -> t -> t
+(** OCaml [Int64.rem] semantics: result sign follows the dividend and
+    magnitude stays below the divisor's. *)
+
+val shift_left : t -> t -> t
+val shift_right : t -> t -> t
+
+val refine : Isa.Cond.t -> t -> t -> t * t
+(** [refine c a b] narrows both operand intervals under the assumption
+    that [compare a b] satisfies [c] (signed comparison), as established
+    by a conditional branch. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

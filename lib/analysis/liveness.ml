@@ -1,0 +1,77 @@
+module IntSet = Set.Make (Int)
+
+module L = struct
+  type t = IntSet.t
+
+  let bottom = IntSet.empty
+  let equal = IntSet.equal
+  let join = IntSet.union
+  let widen = IntSet.union
+end
+
+module Solver = Dataflow.Make (L)
+
+type t = {
+  live_in : IntSet.t array;
+  live_out : IntSet.t array;
+  iterations : int;
+}
+
+(* live-in(b) = gen(b) ∪ (live-out(b) \ kill(b)), instruction by
+   instruction from the block's end *)
+let block_transfer (blk : Minic.Ir.block) out =
+  let after_term =
+    List.fold_left
+      (fun acc v -> IntSet.add v acc)
+      out
+      (Minic.Ir.term_uses blk.term)
+  in
+  List.fold_right
+    (fun ins acc ->
+      let acc =
+        List.fold_left (fun s d -> IntSet.remove d s) acc (Minic.Ir.defs ins)
+      in
+      List.fold_left (fun s u -> IntSet.add u s) acc (Minic.Ir.uses ins))
+    blk.body after_term
+
+let analyze (f : Minic.Ir.fundef) =
+  let g = Dataflow.graph_of_fundef f in
+  let sol =
+    Solver.solve
+      {
+        Solver.graph = g;
+        direction = Dataflow.Backward;
+        init = IntSet.empty;
+        transfer = (fun b out -> block_transfer f.Minic.Ir.blocks.(b) out);
+        refine = None;
+      }
+  in
+  (* for a backward problem the solver's input is the block's exit state *)
+  { live_in = sol.Solver.output; live_out = sol.Solver.input;
+    iterations = sol.Solver.iterations }
+
+let dead_stores (f : Minic.Ir.fundef) t =
+  let dead = ref [] in
+  Array.iteri
+    (fun b (blk : Minic.Ir.block) ->
+      let live =
+        ref
+          (List.fold_left
+             (fun acc v -> IntSet.add v acc)
+             t.live_out.(b)
+             (Minic.Ir.term_uses blk.term))
+      in
+      let body = Array.of_list blk.body in
+      for i = Array.length body - 1 downto 0 do
+        let ins = body.(i) in
+        let defs = Minic.Ir.defs ins in
+        if
+          (not (Minic.Ir.has_side_effect ins))
+          && defs <> []
+          && List.for_all (fun d -> not (IntSet.mem d !live)) defs
+        then dead := (b, i) :: !dead;
+        live := List.fold_left (fun s d -> IntSet.remove d s) !live defs;
+        live := List.fold_left (fun s u -> IntSet.add u s) !live (Minic.Ir.uses ins)
+      done)
+    f.Minic.Ir.blocks;
+  !dead

@@ -1,0 +1,15 @@
+(** Live-variable analysis over MinC IR (backward, may). *)
+
+module IntSet : Set.S with type elt = int
+
+type t = {
+  live_in : IntSet.t array;  (** vregs live on entry to each block *)
+  live_out : IntSet.t array;  (** vregs live on exit of each block *)
+  iterations : int;
+}
+
+val analyze : Minic.Ir.fundef -> t
+
+val dead_stores : Minic.Ir.fundef -> t -> (int * int) list
+(** [(block, position)] of pure instructions whose definition is dead
+    after the instruction — candidates the DCE pass should have removed. *)

@@ -1,0 +1,164 @@
+module IntSet = Set.Make (Int)
+
+module L = struct
+  type t = IntSet.t
+
+  let bottom = IntSet.empty
+  let equal = IntSet.equal
+  let join = IntSet.union
+  let widen = IntSet.union
+end
+
+module Solver = Dataflow.Make (L)
+
+type def = { id : int; vreg : int; block : int; pos : int }
+
+type t = {
+  defs : def array;
+  reach_in : IntSet.t array;
+  reach_out : IntSet.t array;
+  iterations : int;
+}
+
+let collect_defs (f : Minic.Ir.fundef) =
+  let defs = ref [] in
+  let n = ref 0 in
+  let add vreg block pos =
+    defs := { id = !n; vreg; block; pos } :: !defs;
+    incr n
+  in
+  List.iter (fun p -> add p (-1) (-1)) f.Minic.Ir.param_vregs;
+  Array.iteri
+    (fun b (blk : Minic.Ir.block) ->
+      List.iteri
+        (fun i ins -> List.iter (fun d -> add d b i) (Minic.Ir.defs ins))
+        blk.body)
+    f.Minic.Ir.blocks;
+  Array.of_list (List.rev !defs)
+
+let analyze (f : Minic.Ir.fundef) =
+  let defs = collect_defs f in
+  (* per-vreg def-id sets drive the kill sets *)
+  let by_vreg = Hashtbl.create 64 in
+  Array.iter
+    (fun d ->
+      let cur =
+        Option.value ~default:IntSet.empty (Hashtbl.find_opt by_vreg d.vreg)
+      in
+      Hashtbl.replace by_vreg d.vreg (IntSet.add d.id cur))
+    defs;
+  let defs_of_vreg v =
+    Option.value ~default:IntSet.empty (Hashtbl.find_opt by_vreg v)
+  in
+  let entry_state =
+    Array.fold_left
+      (fun acc d -> if d.block = -1 then IntSet.add d.id acc else acc)
+      IntSet.empty defs
+  in
+  (* def ids grouped per (block, pos) for the transfer *)
+  let at_site = Hashtbl.create 64 in
+  Array.iter
+    (fun d ->
+      if d.block >= 0 then begin
+        let key = (d.block, d.pos) in
+        let cur =
+          Option.value ~default:IntSet.empty (Hashtbl.find_opt at_site key)
+        in
+        Hashtbl.replace at_site key (IntSet.add d.id cur)
+      end)
+    defs;
+  let transfer b state =
+    let blk = f.Minic.Ir.blocks.(b) in
+    let _, out =
+      List.fold_left
+        (fun (i, acc) ins ->
+          let killed =
+            List.fold_left
+              (fun s v -> IntSet.union s (defs_of_vreg v))
+              IntSet.empty (Minic.Ir.defs ins)
+          in
+          let gen =
+            Option.value ~default:IntSet.empty
+              (Hashtbl.find_opt at_site (b, i))
+          in
+          (i + 1, IntSet.union gen (IntSet.diff acc killed)))
+        (0, state) blk.body
+    in
+    out
+  in
+  let g = Dataflow.graph_of_fundef f in
+  let sol =
+    Solver.solve
+      {
+        Solver.graph = g;
+        direction = Dataflow.Forward;
+        init = entry_state;
+        transfer;
+        refine = None;
+      }
+  in
+  { defs; reach_in = sol.Solver.input; reach_out = sol.Solver.output;
+    iterations = sol.Solver.iterations }
+
+let reachable_blocks (f : Minic.Ir.fundef) =
+  let n = Array.length f.Minic.Ir.blocks in
+  let seen = Array.make n false in
+  let rec visit i =
+    if i >= 0 && i < n && not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter visit (Minic.Ir.successors f.Minic.Ir.blocks.(i).term)
+    end
+  in
+  if n > 0 then visit 0;
+  seen
+
+let unreached_uses (f : Minic.Ir.fundef) t =
+  let reachable = reachable_blocks f in
+  let by_vreg = Hashtbl.create 64 in
+  Array.iter
+    (fun d ->
+      let cur =
+        Option.value ~default:IntSet.empty (Hashtbl.find_opt by_vreg d.vreg)
+      in
+      Hashtbl.replace by_vreg d.vreg (IntSet.add d.id cur))
+    t.defs;
+  let defs_of_vreg v =
+    Option.value ~default:IntSet.empty (Hashtbl.find_opt by_vreg v)
+  in
+  let bad = ref [] in
+  Array.iteri
+    (fun b (blk : Minic.Ir.block) ->
+      if reachable.(b) then begin
+        (* replay the block transfer, checking each use on the way *)
+        let live = ref t.reach_in.(b) in
+        List.iteri
+          (fun i ins ->
+            List.iter
+              (fun u ->
+                if IntSet.is_empty (IntSet.inter !live (defs_of_vreg u)) then
+                  bad := (b, i, u) :: !bad)
+              (Minic.Ir.uses ins);
+            let killed =
+              List.fold_left
+                (fun s v -> IntSet.union s (defs_of_vreg v))
+                IntSet.empty (Minic.Ir.defs ins)
+            in
+            let gen =
+              List.fold_left
+                (fun s v ->
+                  IntSet.union s
+                    (IntSet.filter
+                       (fun id -> t.defs.(id).block = b && t.defs.(id).pos = i)
+                       (defs_of_vreg v)))
+                IntSet.empty (Minic.Ir.defs ins)
+            in
+            live := IntSet.union gen (IntSet.diff !live killed))
+          blk.body;
+        List.iter
+          (fun u ->
+            if IntSet.is_empty (IntSet.inter !live (defs_of_vreg u)) then
+              bad := (b, List.length blk.body, u) :: !bad)
+          (Minic.Ir.term_uses blk.term)
+      end)
+    f.Minic.Ir.blocks;
+  List.rev !bad

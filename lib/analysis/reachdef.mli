@@ -1,0 +1,27 @@
+(** Reaching definitions over MinC IR (forward, may).
+
+    Definition sites are numbered densely: parameters first (position
+    [-1]), then instruction definitions in (block, position) order. *)
+
+module IntSet : Set.S with type elt = int
+
+type def = {
+  id : int;
+  vreg : int;
+  block : int;  (** [-1] for parameter definitions *)
+  pos : int;  (** instruction index within the block, [-1] for parameters *)
+}
+
+type t = {
+  defs : def array;  (** indexed by [id] *)
+  reach_in : IntSet.t array;  (** def ids reaching each block's entry *)
+  reach_out : IntSet.t array;
+  iterations : int;
+}
+
+val analyze : Minic.Ir.fundef -> t
+
+val unreached_uses : Minic.Ir.fundef -> t -> (int * int * int) list
+(** [(block, position, vreg)] for uses no definition reaches on any path
+    — reads of garbage, which a well-formed lowering never produces.
+    Uses in blocks unreachable from the entry are skipped. *)

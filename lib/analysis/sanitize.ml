@@ -1,0 +1,97 @@
+exception Ir_violation of string
+
+let violation ~stage (f : Minic.Ir.fundef) fmt =
+  Format.kasprintf
+    (fun s ->
+      raise (Ir_violation (Printf.sprintf "%s (after %s): %s" f.name stage s)))
+    fmt
+
+let check_structure ~stage (f : Minic.Ir.fundef) =
+  let fail fmt = violation ~stage f fmt in
+  let nblocks = Array.length f.blocks in
+  if nblocks = 0 then fail "function has no blocks";
+  if List.length f.param_vregs <> f.nparams then
+    fail "param_vregs has %d entries for %d parameters"
+      (List.length f.param_vregs) f.nparams;
+  let check_vreg what v =
+    if v < 0 || v >= f.nvregs then
+      fail "%s names vreg v%d outside [0, %d)" what v f.nvregs
+  in
+  List.iter (check_vreg "parameter list") f.param_vregs;
+  Array.iteri
+    (fun b (blk : Minic.Ir.block) ->
+      List.iteri
+        (fun i ins ->
+          let where = Printf.sprintf "B%d/%d" b i in
+          List.iter (check_vreg where) (Minic.Ir.defs ins);
+          List.iter (check_vreg where) (Minic.Ir.uses ins);
+          match ins with
+          | Minic.Ir.Ilea_slot (_, slot) ->
+            if slot < 0 || slot >= Array.length f.slot_sizes then
+              fail "%s takes the address of slot %d but only %d exist" where
+                slot
+                (Array.length f.slot_sizes)
+          | _ -> ())
+        blk.body;
+      List.iter
+        (check_vreg (Printf.sprintf "B%d terminator" b))
+        (Minic.Ir.term_uses blk.term);
+      List.iter
+        (fun s ->
+          if s < 0 || s >= nblocks then
+            fail "B%d terminator targets B%d but only %d blocks exist" b s
+              nblocks)
+        (Minic.Ir.successors blk.term))
+    f.blocks
+
+let check_defs ~stage (f : Minic.Ir.fundef) =
+  match Reachdef.unreached_uses f (Reachdef.analyze f) with
+  | [] -> ()
+  | (b, i, v) :: _ ->
+    violation ~stage f
+      "use of v%d at B%d/%d has no reaching definition (miscompiled or \
+       dead-code-eliminated def)"
+      v b i
+
+let check_calls ?resolve ~stage (f : Minic.Ir.fundef) =
+  let fail fmt = violation ~stage f fmt in
+  Array.iteri
+    (fun b (blk : Minic.Ir.block) ->
+      List.iter
+        (fun (ins : Minic.Ir.ins) ->
+          match ins with
+          | Icall (dst, Cimport name, args) -> (
+            match Minic.Builtins.runtime_import_signature name with
+            | None -> fail "B%d calls unknown import %s" b name
+            | Some { Minic.Builtins.args = decl; ret } ->
+              if List.length args <> List.length decl then
+                fail "B%d calls import %s with %d args (declared %d)" b name
+                  (List.length args) (List.length decl);
+              if dst <> None && ret = Minic.Ast.Tvoid then
+                fail "B%d binds the result of void import %s" b name)
+          | Icall (_, Cinternal name, args) -> (
+            match resolve with
+            | None -> ()
+            | Some resolve -> (
+              match resolve name with
+              | None -> ()
+              | Some callee ->
+                if List.length args <> callee.Minic.Ir.nparams then
+                  fail "B%d calls %s with %d args (takes %d)" b name
+                    (List.length args) callee.Minic.Ir.nparams))
+          | _ -> ())
+        blk.body)
+    f.blocks
+
+let check ?resolve ~stage (f : Minic.Ir.fundef) =
+  check_structure ~stage f;
+  check_calls ?resolve ~stage f;
+  check_defs ~stage f
+
+let enabled () =
+  match Sys.getenv_opt "PATCHECKO_CHECK_IR" with
+  | Some "1" -> true
+  | _ -> false
+
+let install () =
+  if enabled () then Minic.Opt.check_hook := fun ~stage f -> check ~stage f

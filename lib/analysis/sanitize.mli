@@ -1,0 +1,37 @@
+(** IR sanitizer: structural and semantic well-formedness checks run
+    after lowering and after every optimisation pass when the
+    [PATCHECKO_CHECK_IR] environment variable is set to [1].
+
+    Checks performed by {!check}:
+    - CFG well-formedness: every terminator successor indexes an
+      existing block;
+    - index ranges: every vreg (def, use, terminator use, param) is
+      [< nvregs], every [Ilea_slot] names an existing stack slot;
+    - def-before-use: reaching-definition analysis proves every use in
+      an entry-reachable block is dominated by at least one definition
+      (parameters count as definitions at entry);
+    - call consistency: import callees exist in {!Minic.Builtins} and
+      are invoked with the declared arity (and a result vreg only when
+      the import returns one); internal callees resolved through
+      [resolve] must match the callee's [nparams].
+
+    A violation raises {!Ir_violation} naming the function, the pass
+    that produced the broken IR, and the offending construct — turning
+    a silent miscompile into a loud failure at the pass boundary. *)
+
+exception Ir_violation of string
+
+val check :
+  ?resolve:(string -> Minic.Ir.fundef option) ->
+  stage:string ->
+  Minic.Ir.fundef ->
+  unit
+(** Raise {!Ir_violation} if the fundef is malformed.  [stage] is the
+    name of the pass that just ran (for the error message). *)
+
+val enabled : unit -> bool
+(** True when [PATCHECKO_CHECK_IR=1] in the environment. *)
+
+val install : unit -> unit
+(** Point {!Minic.Opt.check_hook} at {!check} when {!enabled}; no-op
+    otherwise.  Call once at program start (tests, bench, CLI). *)

@@ -1,6 +1,7 @@
 (** Baseline comparison (the related-work methods of §VI): where does the
-    true function rank under feature-kNN and CFG graph matching versus
-    PATCHECKO's learned static stage and full hybrid pipeline? *)
+    true function rank under feature-kNN, CFG graph matching, and a
+    VulMatch-style memory-safety alarm-signature match versus PATCHECKO's
+    learned static stage and full hybrid pipeline? *)
 
 val compare_detection : Format.formatter -> Context.t -> Grid.run list -> unit
 (** Per-CVE ranks on Android Things (unpatched CVEs, vulnerable

@@ -80,6 +80,7 @@ type global = { gname : string; gini : ginit }
 type program = { pname : string; globals : global list; funcs : func list }
 
 val ty_to_string : ty -> string
+val binop_to_string : binop -> string
 val pp_program : Format.formatter -> program -> unit
 (** Render back to concrete MinC syntax; [Parser.parse] of the output
     yields an equal AST. *)

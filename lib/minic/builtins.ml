@@ -25,6 +25,16 @@ let imports =
 
 let import_signature name = List.assoc_opt name imports
 
+(* Names that appear in image call tables but are not source-callable:
+   lowering rewrites both alloc_bytes and alloc_words (after scaling the
+   count to bytes) into calls to the runtime allocator. *)
+let runtime_imports = [ ("malloc", { args = [ Tint ]; ret = Tptr Byte }) ]
+
+let runtime_import_signature name =
+  match List.assoc_opt name runtime_imports with
+  | Some _ as s -> s
+  | None -> import_signature name
+
 let noret = [ "exit"; "abort"; "panic" ]
 
 let syscalls =

@@ -9,6 +9,11 @@ val imports : (string * signature) list
 
 val import_signature : string -> signature option
 
+val runtime_import_signature : string -> signature option
+(** Like {!import_signature} but also covering imports that only
+    lowering introduces (malloc, which alloc_bytes/alloc_words compile
+    to) — the full namespace of an image's call table. *)
+
 val noret : string list
 (** Imports that never return (exit, abort, panic). *)
 

@@ -64,6 +64,7 @@ let compile ~arch ~opt (prog : Ast.program) =
     try List.map (Lower.lower_function prog layout opts) prog.Ast.funcs
     with Lower.Unsupported msg -> fail "lowering: %s" msg
   in
+  List.iter (Opt.run_check "lower") fundefs;
   let by_name = Hashtbl.create 16 in
   List.iter (fun (f : Ir.fundef) -> Hashtbl.replace by_name f.name f) fundefs;
   let resolve name = Hashtbl.find_opt by_name name in

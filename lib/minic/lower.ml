@@ -274,7 +274,13 @@ and lower_cond ctx (e : Ast.expr) ~ktrue ~kfalse =
     switch_to ctx mid;
     lower_cond ctx b ~ktrue ~kfalse
   | Ebinop (op, a, b) when cmp_cond op <> None -> begin
-    let cond = match cmp_cond op with Some c -> c | None -> assert false in
+    let cond =
+      match cmp_cond op with
+      | Some c -> c
+      | None ->
+        fail "lower_cond: operator %s is not a comparison"
+          (Ast.binop_to_string op)
+    in
     let va, ta = lower_expr ctx a in
     match ta with
     | Tfloat ->

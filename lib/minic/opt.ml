@@ -1,3 +1,12 @@
+(* --- IR sanitizer hook -------------------------------------------------- *)
+
+(* Replaced by Analysis.Sanitize.install when PATCHECKO_CHECK_IR=1: every
+   pass boundary then gets a full well-formedness check. *)
+let check_hook : (stage:string -> Ir.fundef -> unit) ref =
+  ref (fun ~stage:_ _ -> ())
+
+let run_check stage f = !check_hook ~stage f
+
 (* --- constant folding + copy propagation (block-local) ---------------- *)
 
 type abstract = Const of int64 | Copy of Ir.vreg
@@ -753,17 +762,22 @@ let licm (f : Ir.fundef) =
   end
 
 let run (opts : Optlevel.options) ~resolve (f : Ir.fundef) =
-  inline_calls ~limit:opts.inline_limit ~resolve f;
+  let pass name apply =
+    apply f;
+    run_check name f
+  in
+  if opts.inline_limit > 0 then
+    pass "inline" (inline_calls ~limit:opts.inline_limit ~resolve);
   if opts.licm then begin
     (* clean copies first so invariants are visible, then hoist *)
-    if opts.fold then fold_constants f;
-    licm f
+    if opts.fold then pass "fold" fold_constants;
+    pass "licm" licm
   end;
   for _ = 1 to 2 do
-    if opts.fold then fold_constants f;
-    if opts.cse then cse f;
-    if opts.strength then strength_reduce f;
-    if opts.fold then fold_constants f;
-    if opts.dce then dce f;
-    if opts.simplify then simplify_cfg f
+    if opts.fold then pass "fold" fold_constants;
+    if opts.cse then pass "cse" cse;
+    if opts.strength then pass "strength" strength_reduce;
+    if opts.fold then pass "fold" fold_constants;
+    if opts.dce then pass "dce" dce;
+    if opts.simplify then pass "simplify" simplify_cfg
   done

@@ -5,6 +5,23 @@
     folding / copy propagation, CSE, strength reduction, dead-code
     elimination and CFG simplification. *)
 
+val eval_binop : Isa.Instr.binop -> int64 -> int64 -> int64 option
+(** Compile-time semantics of the integer binops ([None] for a trapping
+    division/remainder by zero); shared with the constant-propagation
+    domain of [Analysis] so both layers fold identically. *)
+
+val eval_fbinop : Isa.Instr.fbinop -> int64 -> int64 -> int64
+(** Float binop over IEEE-754 bit patterns. *)
+
+val check_hook : (stage:string -> Ir.fundef -> unit) ref
+(** Invoked after lowering and after every optimisation pass with the
+    pass name; a no-op until [Analysis.Sanitize.install] replaces it
+    (the IR sanitizer cannot live in this library — it is built on the
+    [Analysis] dataflow engine, which depends on this IR). *)
+
+val run_check : string -> Ir.fundef -> unit
+(** Apply the installed {!check_hook}. *)
+
 val fold_constants : Ir.fundef -> unit
 val strength_reduce : Ir.fundef -> unit
 val cse : Ir.fundef -> unit

@@ -194,7 +194,9 @@ and parse_var st =
       match elem_kw with
       | Lexer.Tkw "byte" -> Ast.Byte
       | Lexer.Tkw "word" -> Ast.Word
-      | _ -> assert false
+      | tok ->
+        fail st "expected element type 'byte' or 'word', got %s"
+          (Lexer.token_to_string tok)
     in
     match Lexer.peek st.lx with
     | Lexer.Tpunct "[" ->

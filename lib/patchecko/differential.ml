@@ -7,6 +7,8 @@ type evidence = {
   dynamic_to_patched : float option;
   signature_to_vuln : float;
   signature_to_patched : float;
+  alarm_to_vuln : float option;
+  alarm_to_patched : float option;
 }
 
 (* Per-feature relative difference so large-magnitude features (function
@@ -74,6 +76,21 @@ let gather ~vuln:(vimg, vidx) ~patched:(pimg, pidx) ~target:(timg, tidx)
     | Some (dv, dp) -> (Some dv, Some dp)
     | None -> (None, None)
   in
+  (* The memory-safety alarm channel only speaks when the two references
+     actually disagree: for guard-insertion patches the vulnerable build
+     alarms and the patched one does not, while for patches invisible to
+     the bound checker (constant tweaks, loop-bound off-by-ones) the
+     signatures coincide and the channel abstains rather than dilute the
+     other evidence. *)
+  let alarm_to_vuln, alarm_to_patched =
+    let av = Analysis.Boundcheck.signature vimg vidx in
+    let ap = Analysis.Boundcheck.signature pimg pidx in
+    if av = ap then (None, None)
+    else
+      let at = Analysis.Boundcheck.signature timg tidx in
+      ( Some (Analysis.Boundcheck.distance at av),
+        Some (Analysis.Boundcheck.distance at ap) )
+  in
   {
     static_to_vuln = static_distance st sv;
     static_to_patched = static_distance st sp;
@@ -81,6 +98,8 @@ let gather ~vuln:(vimg, vidx) ~patched:(pimg, pidx) ~target:(timg, tidx)
     dynamic_to_patched;
     signature_to_vuln = signature_distance (timg, tidx) (vimg, vidx);
     signature_to_patched = signature_distance (timg, tidx) (pimg, pidx);
+    alarm_to_vuln;
+    alarm_to_patched;
   }
 
 let decide e =
@@ -92,6 +111,9 @@ let decide e =
     ]
     @ (match (e.dynamic_to_vuln, e.dynamic_to_patched) with
       | Some dv, Some dp -> [ channel dv dp ]
+      | Some _, None | None, Some _ | None, None -> [])
+    @ (match (e.alarm_to_vuln, e.alarm_to_patched) with
+      | Some av, Some ap -> [ channel av ap ]
       | Some _, None | None, Some _ | None, None -> [])
   in
   (* each channel is the share of distance pointing away from the

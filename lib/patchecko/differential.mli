@@ -5,7 +5,9 @@
     distance, dynamic semantic similarity scores, and a differential
     signature built from CFG topology plus the set of library calls (the
     paper's j___aeabi_memmove evidence) — and decide which version the
-    target is. *)
+    target is.  A fourth, optional channel compares memory-safety alarm
+    signatures ({!Analysis.Boundcheck}) and only participates when the
+    two references disagree on their alarms. *)
 
 type verdict = Patched | Vulnerable
 
@@ -16,6 +18,10 @@ type evidence = {
   dynamic_to_patched : float option;
   signature_to_vuln : float;
   signature_to_patched : float;
+  alarm_to_vuln : float option;
+      (** alarm-signature distance; [None] when the vulnerable and patched
+          references produce identical alarm signatures (channel abstains) *)
+  alarm_to_patched : float option;
 }
 
 val static_distance : Util.Vec.t -> Util.Vec.t -> float

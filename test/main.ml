@@ -1,4 +1,7 @@
 let () =
+  (* honour PATCHECKO_CHECK_IR=1: the dune runtest matrix recompiles the
+     corpus with the sanitizer armed after every optimisation pass *)
+  Analysis.Sanitize.install ();
   Alcotest.run "patchecko"
     [
       ("util", Test_util.suite);
@@ -10,6 +13,7 @@ let () =
       ("dominators", Test_dominators.suite);
       ("minic", Test_minic.suite);
       ("opt", Test_opt.suite);
+      ("analysis", Test_analysis.suite);
       ("peephole", Test_peephole.suite);
       ("vm", Test_vm.suite);
       ("vm-details", Test_vm_details.suite);

@@ -1,0 +1,381 @@
+(* The dataflow engine: solver fixpoint properties (qcheck), one unit
+   test per abstract domain, the IR sanitizer against seeded miscompiles,
+   and the binary bound checker against the CVE corpus. *)
+
+module I = Analysis.Interval
+
+let mk_fundef ?(nparams = 0) ?(param_vregs = []) ~nvregs blocks =
+  {
+    Minic.Ir.name = "t";
+    nparams;
+    param_vregs;
+    nvregs;
+    blocks = Array.of_list blocks;
+    slot_sizes = [||];
+  }
+
+let block body term = { Minic.Ir.body; term }
+
+(* --- interval domain --------------------------------------------------- *)
+
+let interval_arith () =
+  let check name expect got = Alcotest.(check string) name expect (I.to_string got) in
+  check "add" "[3, 7]" (I.add (I.make 1L 2L) (I.make 2L 5L));
+  check "sub" "[-4, 0]" (I.sub (I.make 1L 2L) (I.make 2L 5L));
+  check "mul" "[-10, 15]" (I.mul (I.make (-2L) 3L) (I.make 1L 5L));
+  check "join" "[1, 5]" (I.join (I.make 1L 2L) (I.make 2L 5L));
+  check "meet" "[2, 2]" (I.meet (I.make 1L 2L) (I.make 2L 5L));
+  Alcotest.(check bool) "meet empty" true (I.is_bot (I.meet (I.make 1L 2L) (I.make 3L 5L)));
+  check "widen hi" "[1, +inf]" (I.widen (I.make 1L 2L) (I.make 1L 3L));
+  check "widen lo" "[-inf, 2]" (I.widen (I.make 1L 2L) (I.make 0L 2L));
+  Alcotest.(check bool) "rem nonneg" false
+    (I.may_be_negative (I.rem (I.make 0L 255L) (I.of_const 16L)));
+  Alcotest.(check bool) "rem bounded" true
+    (I.is_bounded_above (I.rem I.top (I.of_const 16L)))
+
+let interval_refine () =
+  let lt_a, lt_b = I.refine Isa.Cond.Lt (I.make 0L 100L) (I.make 0L 10L) in
+  Alcotest.(check string) "lt narrows a" "[0, 9]" (I.to_string lt_a);
+  Alcotest.(check string) "lt narrows b" "[1, 10]" (I.to_string lt_b);
+  let ne_a, _ = I.refine Isa.Cond.Ne (I.make 0L 15L) (I.of_const 0L) in
+  Alcotest.(check string) "ne excludes endpoint" "[1, 15]" (I.to_string ne_a);
+  let eq_a, eq_b = I.refine Isa.Cond.Eq (I.make 0L 15L) (I.make 10L 20L) in
+  Alcotest.(check string) "eq meets a" "[10, 15]" (I.to_string eq_a);
+  Alcotest.(check string) "eq meets b" "[10, 15]" (I.to_string eq_b);
+  let dead, _ = I.refine Isa.Cond.Gt (I.make 0L 5L) (I.of_const 9L) in
+  Alcotest.(check bool) "gt contradiction" true (I.is_bot dead)
+
+(* --- liveness ---------------------------------------------------------- *)
+
+let liveness_basic () =
+  (* v2 = v0 + v1; v3 = v2 + 1 (dead); ret v2 *)
+  let f =
+    mk_fundef ~nparams:2 ~param_vregs:[ 0; 1 ] ~nvregs:4
+      [
+        block
+          [ Minic.Ir.Ibin (Add, 2, 0, Ovreg 1); Minic.Ir.Ibin (Add, 3, 2, Oimm 1L) ]
+          (Minic.Ir.Tret (Some 2));
+      ]
+  in
+  let live = Analysis.Liveness.analyze f in
+  let module S = Analysis.Liveness.IntSet in
+  Alcotest.(check bool) "params live on entry" true
+    (S.mem 0 live.live_in.(0) && S.mem 1 live.live_in.(0));
+  Alcotest.(check bool) "dead temp not live" false (S.mem 3 live.live_in.(0));
+  Alcotest.(check (list (pair int int))) "dead store found" [ (0, 1) ]
+    (Analysis.Liveness.dead_stores f live)
+
+(* --- reaching definitions ---------------------------------------------- *)
+
+let reachdef_basic () =
+  let ok =
+    mk_fundef ~nparams:1 ~param_vregs:[ 0 ] ~nvregs:2
+      [
+        block [ Minic.Ir.Ibin (Add, 1, 0, Oimm 1L) ] (Minic.Ir.Tret (Some 1));
+      ]
+  in
+  Alcotest.(check int) "all uses reached" 0
+    (List.length (Analysis.Reachdef.unreached_uses ok (Analysis.Reachdef.analyze ok)));
+  let bad =
+    mk_fundef ~nparams:0 ~param_vregs:[] ~nvregs:2
+      [
+        block [ Minic.Ir.Ibin (Add, 1, 0, Oimm 1L) ] (Minic.Ir.Tret (Some 1));
+      ]
+  in
+  Alcotest.(check bool) "undefined use detected" true
+    (Analysis.Reachdef.unreached_uses bad (Analysis.Reachdef.analyze bad) <> [])
+
+(* --- constant propagation ---------------------------------------------- *)
+
+let constprop_basic () =
+  (* diamond: both arms assign v1 = 7 -> constant at the join;
+     v2 differs per arm -> not constant *)
+  let f =
+    mk_fundef ~nparams:1 ~param_vregs:[ 0 ] ~nvregs:3
+      [
+        block [] (Minic.Ir.Tbr (Isa.Cond.Gt, 0, Oimm 0L, 1, 2));
+        block
+          [ Minic.Ir.Imov (1, Oimm 7L); Minic.Ir.Imov (2, Oimm 1L) ]
+          (Minic.Ir.Tjmp 3);
+        block
+          [ Minic.Ir.Imov (1, Oimm 7L); Minic.Ir.Imov (2, Oimm 2L) ]
+          (Minic.Ir.Tjmp 3);
+        block [] (Minic.Ir.Tret (Some 1));
+      ]
+  in
+  let cp = Analysis.Constprop.analyze f in
+  Alcotest.(check (option int64)) "agreeing arms fold" (Some 7L)
+    (Analysis.Constprop.constant_at_entry cp 3 1);
+  Alcotest.(check (option int64)) "disagreeing arms do not" None
+    (Analysis.Constprop.constant_at_entry cp 3 2)
+
+(* --- interval analysis with branch refinement --------------------------- *)
+
+let intanalysis_guard () =
+  (* if v0 > 10 then v0 = 10; at the join v0 <= 10 *)
+  let f =
+    mk_fundef ~nparams:1 ~param_vregs:[ 0 ] ~nvregs:1
+      [
+        block [] (Minic.Ir.Tbr (Isa.Cond.Gt, 0, Oimm 10L, 1, 2));
+        block [ Minic.Ir.Imov (0, Oimm 10L) ] (Minic.Ir.Tjmp 2);
+        block [] (Minic.Ir.Tret (Some 0));
+      ]
+  in
+  let iv = Analysis.Intanalysis.analyze f in
+  let at_join = Analysis.Intanalysis.interval_at_entry iv 2 0 in
+  Alcotest.(check bool) "clamped above" true
+    (match at_join.I.hi with I.Fin h -> h <= 10L | _ -> false);
+  (* loop: v0 = 0; while v0 < 8 do v0 = v0 + 1; counter stays bounded *)
+  let loop =
+    mk_fundef ~nvregs:1
+      [
+        block [ Minic.Ir.Imov (0, Oimm 0L) ] (Minic.Ir.Tjmp 1);
+        block [] (Minic.Ir.Tbr (Isa.Cond.Lt, 0, Oimm 8L, 2, 3));
+        block [ Minic.Ir.Ibin (Add, 0, 0, Oimm 1L) ] (Minic.Ir.Tjmp 1);
+        block [] (Minic.Ir.Tret (Some 0));
+      ]
+  in
+  let iv = Analysis.Intanalysis.analyze loop in
+  let body = Analysis.Intanalysis.interval_at_entry iv 2 0 in
+  Alcotest.(check string) "loop body counter" "[0, 7]" (I.to_string body);
+  let exit_ = Analysis.Intanalysis.interval_at_entry iv 3 0 in
+  Alcotest.(check bool) "exit counter >= 8" true
+    (match exit_.I.lo with I.Fin l -> l >= 8L | _ -> false)
+
+(* --- solver properties (qcheck) ----------------------------------------- *)
+
+(* random directed graph: node 0 is the entry, arbitrary extra edges
+   including retreating ones *)
+let gen_graph =
+  QCheck.Gen.(
+    int_range 1 10 >>= fun n ->
+    let edge = pair (int_range 0 (n - 1)) (int_range 0 (n - 1)) in
+    list_size (int_range 0 (3 * n)) edge >>= fun edges ->
+    (* chain edges keep most nodes reachable *)
+    let chain = List.init (n - 1) (fun i -> (i, i + 1)) in
+    return (n, List.sort_uniq compare (chain @ edges)))
+
+let graph_of_edges (n, edges) =
+  let succs = Array.make n [] in
+  let preds = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      succs.(a) <- b :: succs.(a);
+      preds.(b) <- a :: preds.(b))
+    edges;
+  {
+    Analysis.Dataflow.nnodes = n;
+    succs = (fun i -> succs.(i));
+    preds = (fun i -> preds.(i));
+    entries = [ 0 ];
+  }
+
+module IntSet = Set.Make (Int)
+
+module SetL = struct
+  type t = IntSet.t
+
+  let bottom = IntSet.empty
+  let equal = IntSet.equal
+  let join = IntSet.union
+  let widen = IntSet.union
+end
+
+module SetSolver = Analysis.Dataflow.Make (SetL)
+
+let prop_fixpoint_stable =
+  QCheck.Test.make ~name:"solver-fixpoint-is-stable" ~count:100
+    (QCheck.make gen_graph) (fun spec ->
+      let g = graph_of_edges spec in
+      let transfer b s = IntSet.add b s in
+      let problem =
+        {
+          SetSolver.graph = g;
+          direction = Analysis.Dataflow.Forward;
+          init = IntSet.empty;
+          transfer;
+          refine = None;
+        }
+      in
+      let sol = SetSolver.solve problem in
+      (* re-applying one solver step to the solution changes nothing:
+         output = transfer(input) and input absorbs the joined
+         predecessor outputs *)
+      let ok = ref true in
+      for b = 0 to g.Analysis.Dataflow.nnodes - 1 do
+        if not (SetL.equal sol.SetSolver.output.(b) (transfer b sol.SetSolver.input.(b)))
+        then ok := false;
+        let incoming =
+          List.fold_left
+            (fun acc p -> SetL.join acc sol.SetSolver.output.(p))
+            (if b = 0 then IntSet.empty else SetL.bottom)
+            (g.Analysis.Dataflow.preds b)
+        in
+        if not (SetL.equal sol.SetSolver.input.(b)
+                  (SetL.join sol.SetSolver.input.(b) incoming))
+        then ok := false
+      done;
+      (* determinism: solving again gives the identical solution *)
+      let sol2 = SetSolver.solve problem in
+      for b = 0 to g.Analysis.Dataflow.nnodes - 1 do
+        if not (SetL.equal sol.SetSolver.input.(b) sol2.SetSolver.input.(b)) then
+          ok := false
+      done;
+      !ok)
+
+module ItvL = struct
+  type t = I.t
+
+  let bottom = I.bot
+  let equal = I.equal
+  let join = I.join
+  let widen = I.widen
+end
+
+module ItvSolver = Analysis.Dataflow.Make (ItvL)
+
+let prop_widening_terminates =
+  QCheck.Test.make ~name:"solver-widening-terminates" ~count:100
+    (QCheck.make gen_graph) (fun spec ->
+      let g = graph_of_edges spec in
+      (* an incrementing transfer would climb forever on any cycle
+         without widening *)
+      let transfer _ s = if I.is_bot s then s else I.add s (I.of_const 1L) in
+      let sol =
+        ItvSolver.solve
+          {
+            ItvSolver.graph = g;
+            direction = Analysis.Dataflow.Forward;
+            init = I.of_const 0L;
+            transfer;
+            refine = None;
+          }
+      in
+      sol.ItvSolver.iterations < 1000 * g.Analysis.Dataflow.nnodes)
+
+(* --- IR sanitizer -------------------------------------------------------- *)
+
+let with_check f =
+  let old = !Minic.Opt.check_hook in
+  Minic.Opt.check_hook := (fun ~stage fn -> Analysis.Sanitize.check ~stage fn);
+  Fun.protect ~finally:(fun () -> Minic.Opt.check_hook := old) f
+
+let sanitize_clean_corpus () =
+  (* the full optimisation pipeline at every level keeps the IR well
+     formed: the hook runs after lowering and after every pass *)
+  with_check (fun () ->
+      let prog = Corpus.Genlib.generate ~seed:0xDA7AL ~index:0 ~nfuncs:10 in
+      List.iter
+        (fun opt ->
+          ignore (Minic.Compiler.compile ~arch:Isa.Arch.Arm64 ~opt prog))
+        Minic.Optlevel.all)
+
+let expect_violation name f =
+  match f () with
+  | () -> Alcotest.failf "%s: sanitizer accepted broken IR" name
+  | exception Analysis.Sanitize.Ir_violation _ -> ()
+
+let sanitize_catches_dropped_def () =
+  (* seeded miscompile: an overeager "DCE" deletes the definition of a
+     vreg that is still used *)
+  let f =
+    mk_fundef ~nparams:2 ~param_vregs:[ 0; 1 ] ~nvregs:4
+      [
+        block
+          [ Minic.Ir.Ibin (Add, 2, 0, Ovreg 1); Minic.Ir.Ibin (Add, 3, 2, Oimm 1L) ]
+          (Minic.Ir.Tret (Some 3));
+      ]
+  in
+  Analysis.Sanitize.check ~stage:"baseline" f;
+  (* the injected bug *)
+  f.Minic.Ir.blocks.(0).body <- List.tl f.Minic.Ir.blocks.(0).body;
+  with_check (fun () ->
+      expect_violation "dropped def" (fun () -> Minic.Opt.run_check "seeded-dce" f))
+
+let sanitize_catches_bad_successor () =
+  let f =
+    mk_fundef ~nvregs:1
+      [ block [ Minic.Ir.Imov (0, Oimm 0L) ] (Minic.Ir.Tjmp 7) ]
+  in
+  expect_violation "bad successor" (fun () ->
+      Analysis.Sanitize.check ~stage:"seeded-simplify" f)
+
+let sanitize_catches_bad_arity () =
+  let f =
+    mk_fundef ~nparams:1 ~param_vregs:[ 0 ] ~nvregs:1
+      [
+        block
+          [ Minic.Ir.Icall (None, Cimport "memcpy", [ 0 ]) ]
+          (Minic.Ir.Tret None);
+      ]
+  in
+  expect_violation "import arity" (fun () ->
+      Analysis.Sanitize.check ~stage:"seeded-inline" f)
+
+(* --- binary bound checker ------------------------------------------------ *)
+
+let cve_exn id =
+  match Corpus.Cves.find id with
+  | Some c -> c
+  | None -> Alcotest.failf "unknown CVE %s" id
+
+let signatures cve =
+  let v = Corpus.Dataset.compile_cve cve ~patched:false in
+  let p = Corpus.Dataset.compile_cve cve ~patched:true in
+  (Analysis.Boundcheck.signature v 0, Analysis.Boundcheck.signature p 0)
+
+let boundcheck_missing_bounds () =
+  let sv, sp = signatures (cve_exn "CVE-2018-9451") in
+  Alcotest.(check bool) "vulnerable raises oob alarms" true
+    (sv.(Analysis.Boundcheck.class_index Analysis.Boundcheck.Oob_store) > 0);
+  Alcotest.(check int) "patched build is clean" 0 (Analysis.Boundcheck.total sp)
+
+let boundcheck_div_guard () =
+  let sv, sp = signatures (cve_exn "CVE-2018-9345") in
+  Alcotest.(check bool) "vulnerable raises div alarm" true
+    (sv.(Analysis.Boundcheck.class_index Analysis.Boundcheck.Div_zero) > 0);
+  Alcotest.(check int) "patched divisor proven nonzero" 0
+    (sp.(Analysis.Boundcheck.class_index Analysis.Boundcheck.Div_zero))
+
+let boundcheck_null_check () =
+  let sv, sp = signatures (cve_exn "CVE-2018-9420") in
+  Alcotest.(check bool) "vulnerable raises div alarm" true
+    (Analysis.Boundcheck.total sv > 0);
+  Alcotest.(check int) "patched guard kills it" 0 (Analysis.Boundcheck.total sp)
+
+let boundcheck_majority () =
+  (* the acceptance bar: strictly more alarms on the vulnerable build for
+     a majority of the 25 pairs, and never the other way round *)
+  let discriminated = ref 0 and inverted = ref 0 in
+  List.iter
+    (fun cve ->
+      let sv, sp = signatures cve in
+      let tv = Analysis.Boundcheck.total sv
+      and tp = Analysis.Boundcheck.total sp in
+      if tv > tp then incr discriminated else if tv < tp then incr inverted)
+    Corpus.Cves.all;
+  Alcotest.(check bool)
+    (Printf.sprintf "majority discriminated (%d/25)" !discriminated)
+    true
+    (!discriminated > 12);
+  Alcotest.(check int) "no pair inverted" 0 !inverted
+
+let suite =
+  [
+    ("interval-arith", `Quick, interval_arith);
+    ("interval-refine", `Quick, interval_refine);
+    ("liveness", `Quick, liveness_basic);
+    ("reachdef", `Quick, reachdef_basic);
+    ("constprop", `Quick, constprop_basic);
+    ("intanalysis-guard", `Quick, intanalysis_guard);
+    QCheck_alcotest.to_alcotest prop_fixpoint_stable;
+    QCheck_alcotest.to_alcotest prop_widening_terminates;
+    ("sanitize-clean-corpus", `Quick, sanitize_clean_corpus);
+    ("sanitize-catches-dropped-def", `Quick, sanitize_catches_dropped_def);
+    ("sanitize-catches-bad-successor", `Quick, sanitize_catches_bad_successor);
+    ("sanitize-catches-bad-arity", `Quick, sanitize_catches_bad_arity);
+    ("boundcheck-missing-bounds", `Quick, boundcheck_missing_bounds);
+    ("boundcheck-div-guard", `Quick, boundcheck_div_guard);
+    ("boundcheck-null-check", `Quick, boundcheck_null_check);
+    ("boundcheck-majority", `Quick, boundcheck_majority);
+  ]
