@@ -7,7 +7,11 @@
 
    PATCHECKO_FAST=1 shrinks the corpus and training so the whole run
    finishes in seconds (used by CI); the default configuration matches
-   EXPERIMENTS.md. *)
+   EXPERIMENTS.md.
+
+   "chaos" measures the fault-injection robustness run (E14): supervision
+   overhead with injection disarmed, then a 5%-everywhere armed scan whose
+   (findings, ledger) must be identical at 1 and N domains. *)
 
 let fast =
   match Sys.getenv_opt "PATCHECKO_FAST" with
@@ -79,7 +83,8 @@ let scanpar () =
     Staticfeat.Cache.clear ();
     let t0 = Util.Clock.now () in
     let findings =
-      Patchecko.Scanner.scan_firmware ~dyn_config ~classifier ~db fw
+      (Patchecko.Scanner.scan_firmware ~dyn_config ~classifier ~db fw)
+        .Patchecko.Scanner.findings
     in
     (Util.Clock.since t0, findings)
   in
@@ -115,6 +120,114 @@ let scanpar () =
   if not identical then
     Format.eprintf
       "[patchecko] WARNING: findings differ between 1 and %d domains@."
+      ndomains
+
+(* --- chaos: fault-injection robustness + supervision overhead ---------- *)
+
+let chaos () =
+  let ctx = Lazy.force ctx in
+  let dev =
+    match ctx.Evaluation.Context.devices with
+    | d :: _ -> d
+    | [] -> failwith "chaos: no devices"
+  in
+  let fw = dev.Evaluation.Context.firmware in
+  let classifier = ctx.Evaluation.Context.classifier in
+  let db = ctx.Evaluation.Context.db in
+  let dyn_config = ctx.Evaluation.Context.dyn_config in
+  let scan () =
+    Staticfeat.Cache.clear ();
+    Patchecko.Scanner.scan_firmware ~dyn_config ~classifier ~db fw
+  in
+  (* 1. supervision overhead, injection disarmed: the supervised grid vs
+     the plain PR-1 grid.  The two are interleaved and each timed as the
+     min of 3 runs (cold cache every run) so thermal/GC drift between
+     the measurement blocks cancels instead of biasing the ratio *)
+  Robust.Inject.disarm ();
+  let once f =
+    let t0 = Util.Clock.now () in
+    let r = f () in
+    (Util.Clock.since t0, r)
+  in
+  let plain () =
+    Staticfeat.Cache.clear ();
+    Patchecko.Scanner.scan_firmware_plain ~dyn_config ~classifier ~db fw
+  in
+  let seconds_plain = ref infinity
+  and seconds_sup = ref infinity
+  and plain_findings = ref []
+  and baseline = ref None in
+  for _ = 1 to 3 do
+    let sp, fp = once plain in
+    let ss, b = once scan in
+    if sp < !seconds_plain then seconds_plain := sp;
+    if ss < !seconds_sup then seconds_sup := ss;
+    plain_findings := fp;
+    baseline := Some b
+  done;
+  let seconds_plain = !seconds_plain
+  and seconds_sup = !seconds_sup
+  and plain_findings = !plain_findings
+  and baseline = Option.get !baseline in
+  let overhead =
+    if seconds_plain > 0.0 then (seconds_sup -. seconds_plain) /. seconds_plain
+    else 0.0
+  in
+  (* 2. armed at 5% on every site: the scan must complete, degrade
+     bounded, and be byte-identical across domain counts *)
+  let saved = Parallel.Pool.domain_count () in
+  let ndomains = max 2 (Domain.recommended_domain_count ()) in
+  Robust.Inject.arm "all:0.05:42";
+  Parallel.Pool.set_default_size 1;
+  let r1 = scan () in
+  Parallel.Pool.set_default_size ndomains;
+  let rn = scan () in
+  Parallel.Pool.set_default_size saved;
+  Robust.Inject.disarm ();
+  Staticfeat.Cache.clear ();
+  let identical =
+    Patchecko.Scanner.report_to_json r1 = Patchecko.Scanner.report_to_json rn
+  in
+  let retained =
+    let base = List.length baseline.Patchecko.Scanner.findings in
+    if base = 0 then 1.0
+    else
+      float_of_int (List.length r1.Patchecko.Scanner.findings)
+      /. float_of_int base
+  in
+  let count o =
+    List.length
+      (List.filter
+         (fun (r : Patchecko.Scanner.fault_record) -> r.outcome = o)
+         r1.Patchecko.Scanner.ledger)
+  in
+  let summary =
+    Printf.sprintf
+      "{\"bench\": \"chaos\", \"device\": \"%s\", \"cells\": %d, \
+       \"seconds_plain\": %.4f, \"seconds_supervised\": %.4f, \
+       \"overhead\": %.4f, \"plain_findings\": %d, \"findings_clean\": %d, \
+       \"findings_armed\": %d, \"retained\": %.3f, \"ledger\": %d, \
+       \"recovered\": %d, \"degraded\": %d, \"failed\": %d, \
+       \"failed_cells\": %d, \"domains\": %d, \"identical\": %b}"
+      fw.Loader.Firmware.device r1.Patchecko.Scanner.cells seconds_plain
+      seconds_sup overhead
+      (List.length plain_findings)
+      (List.length baseline.Patchecko.Scanner.findings)
+      (List.length r1.Patchecko.Scanner.findings)
+      retained
+      (List.length r1.Patchecko.Scanner.ledger)
+      (count Patchecko.Scanner.Recovered)
+      (count Patchecko.Scanner.Degraded)
+      (count Patchecko.Scanner.Failed)
+      r1.Patchecko.Scanner.failed_cells ndomains identical
+  in
+  Format.fprintf ppf "%s@." summary;
+  let oc = open_out "BENCH_chaos.json" in
+  output_string oc (summary ^ "\n");
+  close_out oc;
+  if not identical then
+    Format.eprintf
+      "[patchecko] WARNING: chaos reports differ between 1 and %d domains@."
       ndomains
 
 (* --- analysis: dataflow solver throughput + alarm discrimination ------- *)
@@ -356,6 +469,7 @@ let all () =
   section "Processing time" speed;
   section "Baseline comparison" baselines;
   section "Parallel scan" scanpar;
+  section "Chaos scan" chaos;
   section "Static memory-safety analysis" analysis;
   section "Ablations" ablate;
   section "Micro-benchmarks" micro
@@ -380,6 +494,7 @@ let () =
       | "tab8" -> section "Table VIII" tab8
       | "speed" -> section "Processing time" speed
       | "scanpar" -> section "Parallel scan" scanpar
+      | "chaos" -> section "Chaos scan" chaos
       | "analysis" -> section "Static memory-safety analysis" analysis
       | "baseline" -> section "Baseline comparison" baselines
       | "simcheck" -> section "Vulnerable-vs-patched similarity" simcheck

@@ -286,24 +286,47 @@ let scan_cmd =
              it to see weak matches.")
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON findings.") in
-  let run firmware cve fast model_file max_distance json =
-    let fw = Loader.Firmware.strip (Loader.Firmware.read firmware) in
-    let classifier =
-      match model_file with
-      | Some path ->
-        let model, normalizer = Nn.Serialize.read_classifier path in
-        {
-          Patchecko.Static_stage.model;
-          normalizer;
-          threshold = Patchecko.Static_stage.default_threshold;
-        }
-      | None ->
-        let classifier, _, _ =
-          Evaluation.Context.train_classifier ~fast ~progress:prerr_endline ()
-        in
-        classifier
+  let max_retries =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:
+            "Supervised retries per scan cell before it is recorded as \
+             failed in the fault ledger.")
+  in
+  let run firmware cve fast model_file max_distance json max_retries =
+    match Loader.Firmware.read_result firmware with
+    | Error fault ->
+      Printf.eprintf "error: cannot load %s: %s\n" firmware
+        (Robust.Fault.to_string fault);
+      3
+    | Ok fw ->
+    let fw = Loader.Firmware.strip fw in
+    (* the classifier and the vulnerability database are trusted fixtures
+       built from the repo's own corpus: chaos injection
+       (PATCHECKO_FAULTS) targets the scan of the firmware under test,
+       so it is suspended while they are constructed *)
+    let classifier, db =
+      Robust.Inject.suspend (fun () ->
+          let classifier =
+            match model_file with
+            | Some path ->
+              let model, normalizer = Nn.Serialize.read_classifier path in
+              {
+                Patchecko.Static_stage.model;
+                normalizer;
+                threshold = Patchecko.Static_stage.default_threshold;
+              }
+            | None ->
+              let classifier, _, _ =
+                Evaluation.Context.train_classifier ~fast
+                  ~progress:prerr_endline ()
+              in
+              classifier
+          in
+          (classifier, Evaluation.Context.build_db ()))
     in
-    let db = Evaluation.Context.build_db () in
     let db =
       match cve with
       | None -> db
@@ -314,21 +337,43 @@ let scan_cmd =
           Printf.eprintf "unknown CVE %s\n" id;
           exit 1)
     in
-    let findings =
-      Patchecko.Scanner.scan_firmware ~max_distance ~classifier ~db fw
+    let report =
+      Patchecko.Scanner.scan_firmware ~max_distance ~max_retries ~classifier
+        ~db fw
     in
-    if json then print_string (Patchecko.Scanner.findings_to_json findings)
-    else if findings = [] then print_endline "no findings"
-    else
-      List.iter
-        (fun f -> print_endline (Patchecko.Scanner.finding_to_string f))
-        findings;
-    0
+    if json then print_string (Patchecko.Scanner.report_to_json report)
+    else begin
+      (match report.Patchecko.Scanner.findings with
+      | [] -> print_endline "no findings"
+      | findings ->
+        List.iter
+          (fun f -> print_endline (Patchecko.Scanner.finding_to_string f))
+          findings);
+      match report.Patchecko.Scanner.ledger with
+      | [] -> ()
+      | ledger ->
+        Printf.eprintf "fault ledger (%d record%s, %d of %d cells failed):\n"
+          (List.length ledger)
+          (if List.length ledger = 1 then "" else "s")
+          report.Patchecko.Scanner.failed_cells report.Patchecko.Scanner.cells;
+        List.iter
+          (fun r ->
+            Printf.eprintf "  %s\n" (Patchecko.Scanner.fault_record_to_string r))
+          ledger
+    end;
+    (* degraded results are still results: fail only when nothing scanned *)
+    if
+      report.Patchecko.Scanner.cells > 0
+      && report.Patchecko.Scanner.failed_cells = report.Patchecko.Scanner.cells
+    then 2
+    else 0
   in
   Cmd.v
     (Cmd.info "scan"
        ~doc:"Hybrid vulnerability + patch-presence scan of a firmware file.")
-    Term.(const run $ firmware $ cve $ fast $ model_file $ max_distance $ json)
+    Term.(
+      const run $ firmware $ cve $ fast $ model_file $ max_distance $ json
+      $ max_retries)
 
 (* --- analyze ---------------------------------------------------------------- *)
 

@@ -79,3 +79,4 @@ let () =
     (fun f -> Printf.printf "  %s\n" (Patchecko.Scanner.finding_to_string f))
     (Patchecko.Scanner.scan_firmware ~classifier:ctx.Evaluation.Context.classifier
        ~db firmware)
+      .Patchecko.Scanner.findings

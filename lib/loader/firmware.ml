@@ -73,10 +73,25 @@ let of_bytes b =
   let os_version = get_str () in
   let security_patch = get_str () in
   let n = get_u32 () in
+  (* each image costs at least its 4-byte length prefix: cap the count
+     against the remaining bytes so a corrupted header cannot force a
+     huge allocation *)
+  if n * 4 > Bytes.length b - !pos then fail "implausible firmware image count";
   let images =
     Array.init n (fun _ -> Sff.image_of_bytes (Bytes.of_string (get_str ())))
   in
   { device; os_version; security_patch; images }
+
+let of_bytes_result b =
+  match of_bytes b with
+  | fw -> Ok fw
+  | exception Sff.Corrupt msg ->
+    Error (Robust.Fault.Malformed_image { site = "loader.decode"; detail = msg })
+  | exception Robust.Fault.Fault f -> Error f
+  | exception e ->
+    Error
+      (Robust.Fault.Malformed_image
+         { site = "loader.decode"; detail = Printexc.to_string e })
 
 let write path t =
   let oc = open_out_bin path in
@@ -96,3 +111,14 @@ let read path =
      raise e);
   close_in ic;
   of_bytes b
+
+let read_result path =
+  match read path with
+  | fw -> Ok fw
+  | exception Sff.Corrupt msg ->
+    Error (Robust.Fault.Malformed_image { site = "loader.decode"; detail = msg })
+  | exception Robust.Fault.Fault f -> Error f
+  | exception e ->
+    Error
+      (Robust.Fault.Malformed_image
+         { site = "loader.decode"; detail = Printexc.to_string e })

@@ -16,5 +16,12 @@ val to_bytes : t -> bytes
 val of_bytes : bytes -> t
 (** Raises {!Sff.Corrupt}. *)
 
+val of_bytes_result : bytes -> (t, Robust.Fault.t) result
+(** Fault-typed decode boundary: never raises. *)
+
 val write : string -> t -> unit
 val read : string -> t
+
+val read_result : string -> (t, Robust.Fault.t) result
+(** Fault-typed read: I/O and decode failures come back as
+    [Error (Malformed_image _)] instead of an exception. *)

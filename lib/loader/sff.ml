@@ -64,6 +64,18 @@ let get_bytes c =
   c.pos <- c.pos + len;
   b
 
+(* Element counts are attacker-controlled: cap them against the bytes
+   actually remaining (each element costs at least [min_bytes]) so a
+   corrupted count field fails cleanly instead of attempting a
+   multi-gigabyte allocation. *)
+let get_count c ~min_bytes ~what =
+  let n = get_u32 c in
+  let remaining = Bytes.length c.data - c.pos in
+  if n * min_bytes > remaining then
+    fail "implausible %s count %d at %d (%d bytes remain)" what n c.pos
+      remaining;
+  n
+
 (* --- image ----------------------------------------------------------- *)
 
 let arch_tag = function
@@ -104,9 +116,9 @@ let put_symtab buf (sym : Symtab.t) =
     sym.globals
 
 let get_symtab c : Symtab.t =
-  let nfun = get_u32 c in
+  let nfun = get_count c ~min_bytes:4 ~what:"symtab function" in
   let functions = Array.init nfun (fun _ -> get_str c) in
-  let nglob = get_u32 c in
+  let nglob = get_count c ~min_bytes:12 ~what:"symtab global" in
   let globals =
     Array.init nglob (fun _ ->
         let name = get_str c in
@@ -140,23 +152,33 @@ let image_to_bytes (img : Image.t) =
   Buffer.to_bytes buf
 
 let image_of_cursor c : Image.t =
+  if c.pos + 4 > Bytes.length c.data then fail "too short";
   let magic = Bytes.sub_string c.data c.pos 4 in
   if magic <> image_magic then fail "bad image magic %S" magic;
   c.pos <- c.pos + 4;
   let name = get_str c in
+  (* "loader.decode" injection site: a chaos run can make any image's
+     decode fault deterministically, keyed by its name *)
+  (match Robust.Inject.fire ~site:"loader.decode" ~key:name () with
+  | Some _ ->
+    raise
+      (Robust.Fault.Fault
+         (Robust.Fault.Decode_error
+            { site = "loader.decode"; detail = "injected decode fault in " ^ name }))
+  | None -> ());
   let arch = arch_of_tag (get_u8 c) in
   let data_base = get_u64 c in
   let data = get_bytes c in
-  let nstr = get_u32 c in
+  let nstr = get_count c ~min_bytes:12 ~what:"string range" in
   let strings =
     Array.init nstr (fun _ ->
         let addr = get_u64 c in
         let len = get_u32 c in
         (addr, len))
   in
-  let ncall = get_u32 c in
+  let ncall = get_count c ~min_bytes:5 ~what:"call" in
   let calls = Array.init ncall (fun _ -> get_call c) in
-  let nfun = get_u32 c in
+  let nfun = get_count c ~min_bytes:4 ~what:"function" in
   let functions = Array.init nfun (fun _ -> get_bytes c) in
   let symtab = match get_u8 c with 0 -> None | _ -> Some (get_symtab c) in
   { name; arch; functions; calls; data; data_base; strings; symtab }
@@ -164,6 +186,20 @@ let image_of_cursor c : Image.t =
 let image_of_bytes b =
   if Bytes.length b < 4 then fail "too short";
   image_of_cursor { data = b; pos = 0 }
+
+(* The fault-typed boundary: truncated/corrupted bytes (and any decoder
+   escape) come back as [Error (Malformed_image _)], never an exception;
+   injected decode faults keep their own constructor. *)
+let image_of_bytes_result b =
+  match image_of_bytes b with
+  | img -> Ok img
+  | exception Corrupt msg ->
+    Error (Robust.Fault.Malformed_image { site = "loader.decode"; detail = msg })
+  | exception Robust.Fault.Fault f -> Error f
+  | exception e ->
+    Error
+      (Robust.Fault.Malformed_image
+         { site = "loader.decode"; detail = Printexc.to_string e })
 
 let write_image path img =
   let oc = open_out_bin path in

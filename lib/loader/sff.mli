@@ -13,7 +13,15 @@ exception Corrupt of string
 
 val image_to_bytes : Image.t -> bytes
 val image_of_bytes : bytes -> Image.t
-(** Raises {!Corrupt}. *)
+(** Raises {!Corrupt}.  Element counts are validated against the bytes
+    remaining, so corrupted headers fail cleanly rather than allocating.
+    Hosts the ["loader.decode"] fault-injection site (keyed by image
+    name), which raises {!Robust.Fault.Fault} when armed. *)
+
+val image_of_bytes_result : bytes -> (Image.t, Robust.Fault.t) result
+(** Fault-typed decode boundary: never raises.  Truncated or corrupted
+    bytes yield [Error (Malformed_image _)]; injected faults keep their
+    own constructor. *)
 
 val write_image : string -> Image.t -> unit
 val read_image : string -> Image.t

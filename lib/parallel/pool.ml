@@ -198,6 +198,34 @@ let map_array ?pool ?chunk f arr =
     out
   end
 
+(* Like [map_array], but each item's outcome is captured as a [result]
+   instead of the first exception aborting the whole generation: one bad
+   input costs one cell, not the scan.  The "pool.worker" injection site
+   lives here, keyed by item index (context-free, so the draw only
+   depends on the item, never on scheduling). *)
+let map_array_result ?pool ?chunk f arr =
+  let item i x =
+    match
+      Robust.Inject.fire ~site:"pool.worker" ~key:(string_of_int i) ()
+    with
+    | Some _ ->
+      Error
+        (Robust.Fault.Worker_crash
+           {
+             site = "pool.worker";
+             detail = Printf.sprintf "injected worker crash on item %d" i;
+           })
+    | None -> (
+      try Ok (f x) with e -> Error (Robust.Fault.of_exn ~site:"pool.worker" e))
+  in
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (item 0 arr.(0)) in
+    parallel_for ?pool ?chunk (n - 1) (fun i -> out.(i + 1) <- item (i + 1) arr.(i + 1));
+    out
+  end
+
 let map_reduce ?pool ?chunk ~map ~reduce zero arr =
   let n = Array.length arr in
   if n = 0 then zero

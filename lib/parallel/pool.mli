@@ -43,6 +43,18 @@ val parallel_for : ?pool:t -> ?chunk:int -> int -> (int -> unit) -> unit
 val map_array : ?pool:t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map]; element order is preserved. *)
 
+val map_array_result :
+  ?pool:t ->
+  ?chunk:int ->
+  ('a -> 'b) ->
+  'a array ->
+  ('b, Robust.Fault.t) result array
+(** Fault-isolating [map_array]: each item's escaped exception is
+    captured as [Error] (classified by {!Robust.Fault.of_exn}) instead of
+    re-raised, so one bad item costs one cell rather than the whole run.
+    Also hosts the ["pool.worker"] injection site, keyed by item index.
+    Element order is preserved; never raises from the body. *)
+
 val map_reduce :
   ?pool:t ->
   ?chunk:int ->

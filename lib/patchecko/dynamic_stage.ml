@@ -11,6 +11,7 @@ type result = {
   envs : Vm.Env.t list;
   envs_used : int;
   validated : int list;
+  faulted : (int * Robust.Fault.t) list;
   ranking : int Similarity.Rank.entry list;
   reference_profile : Util.Vec.t list;
   profiles : (int * Util.Vec.t list) list;
@@ -25,7 +26,9 @@ let run ?(config = default_config) ~reference:(ref_img, ref_idx) ~shape ~target
     ~candidates () =
   let start = Util.Clock.now () in
   let rng = Util.Prng.create config.seed in
-  (* over-generate, then keep environments the reference survives *)
+  (* over-generate, then keep environments the reference survives.  A
+     host-level fault while running the *reference* poisons the whole
+     cell and propagates to the supervisor. *)
   let raw_envs = Fuzz.Envgen.environments rng shape (config.k_envs * 2) in
   let envs =
     let ok = Fuzz.Validate.filter_envs ~fuel:config.fuel ref_img ref_idx raw_envs in
@@ -35,12 +38,32 @@ let run ?(config = default_config) ~reference:(ref_img, ref_idx) ~shape ~target
     in
     take config.k_envs ok
   in
-  let report = Fuzz.Validate.run ~fuel:config.fuel target ~candidates envs in
+  (* per-candidate isolation: a host-level fault (chaos injection, or a
+     genuine runtime bug) while validating or profiling one candidate
+     drops that candidate only; the rest of the cell proceeds degraded
+     instead of losing every candidate to one bad execution *)
+  let faulted = ref [] in
+  let executions = ref 0 in
+  let survivors = ref [] in
+  List.iter
+    (fun fidx ->
+      match Fuzz.Validate.run ~fuel:config.fuel target ~candidates:[ fidx ] envs with
+      | report ->
+        executions := !executions + report.Fuzz.Validate.executions;
+        if report.Fuzz.Validate.survivors <> [] then survivors := fidx :: !survivors
+      | exception Robust.Fault.Fault f -> faulted := (fidx, f) :: !faulted)
+    candidates;
+  let validated = List.rev !survivors in
   let reference_profile = profile ~fuel:config.fuel ref_img ref_idx envs in
   let profiles =
-    List.map
-      (fun fidx -> (fidx, profile ~fuel:config.fuel target fidx envs))
-      report.Fuzz.Validate.survivors
+    List.filter_map
+      (fun fidx ->
+        match profile ~fuel:config.fuel target fidx envs with
+        | p -> Some (fidx, p)
+        | exception Robust.Fault.Fault f ->
+          faulted := (fidx, f) :: !faulted;
+          None)
+      validated
   in
   let ranking =
     Similarity.Rank.by_distance ~p:config.p ~reference:reference_profile profiles
@@ -48,10 +71,11 @@ let run ?(config = default_config) ~reference:(ref_img, ref_idx) ~shape ~target
   {
     envs;
     envs_used = List.length envs;
-    validated = report.Fuzz.Validate.survivors;
+    validated;
+    faulted = List.rev !faulted;
     ranking;
     reference_profile;
     profiles;
-    executions = report.Fuzz.Validate.executions;
+    executions = !executions;
     seconds = Util.Clock.since start;
   }

@@ -19,6 +19,12 @@ type result = {
   envs : Vm.Env.t list;  (** the shared environments actually used *)
   envs_used : int;
   validated : int list;  (** candidates surviving execution validation *)
+  faulted : (int * Robust.Fault.t) list;
+      (** candidates dropped by a host-level fault (chaos injection or a
+          runtime bug) during validation or profiling — per-candidate
+          isolation keeps the rest of the cell alive.  Faults while
+          running the {e reference} instead propagate as
+          {!Robust.Fault.Fault}. *)
   ranking : int Similarity.Rank.entry list;  (** ascending distance *)
   reference_profile : Util.Vec.t list;  (** per-env features of the CVE fn *)
   profiles : (int * Util.Vec.t list) list;  (** per-candidate profiles *)

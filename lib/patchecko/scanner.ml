@@ -8,6 +8,32 @@ type finding = {
   confidence : float;
 }
 
+(* --- fault ledger ----------------------------------------------------- *)
+
+type outcome = Recovered | Degraded | Failed
+
+let outcome_to_string = function
+  | Recovered -> "recovered"
+  | Degraded -> "degraded"
+  | Failed -> "failed"
+
+type fault_record = {
+  cve : string;  (* "-" for prefill records *)
+  target : string;
+  fault : Robust.Fault.t;
+  attempts : int;
+  outcome : outcome;
+}
+
+type report = {
+  findings : finding list;
+  ledger : fault_record list;
+  cells : int;
+  failed_cells : int;
+}
+
+(* --- one (CVE, image) cell -------------------------------------------- *)
+
 let scan_image ~dyn_config ~max_distance ~classifier (entry : Vulndb.entry)
     (image : Loader.Image.t) =
   let static =
@@ -15,16 +41,18 @@ let scan_image ~dyn_config ~max_distance ~classifier (entry : Vulndb.entry)
       ~reference:entry.Vulndb.vuln_static image
   in
   match static.Static_stage.candidates with
-  | [] -> None
+  | [] -> (None, [])
   | candidates -> (
     let dyn =
       Dynamic_stage.run ~config:dyn_config
         ~reference:(entry.Vulndb.vuln_image, entry.Vulndb.vuln_findex)
         ~shape:entry.Vulndb.shape ~target:image ~candidates ()
     in
+    let dropped = dyn.Dynamic_stage.faulted in
     match dyn.Dynamic_stage.ranking with
-    | [] -> None
-    | best :: _ when best.Similarity.Rank.distance > max_distance -> None
+    | [] -> (None, dropped)
+    | best :: _ when best.Similarity.Rank.distance > max_distance ->
+      (None, dropped)
     | best :: _ ->
       let evidence =
         Differential.gather
@@ -34,24 +62,143 @@ let scan_image ~dyn_config ~max_distance ~classifier (entry : Vulndb.entry)
           ()
       in
       let verdict, confidence = Differential.decide evidence in
-      Some
-        {
-          cve_id = entry.Vulndb.cve_id;
-          description = entry.Vulndb.description;
-          image = image.Loader.Image.name;
-          findex = best.Similarity.Rank.candidate;
-          distance = best.Similarity.Rank.distance;
-          verdict;
-          confidence;
-        })
+      ( Some
+          {
+            cve_id = entry.Vulndb.cve_id;
+            description = entry.Vulndb.description;
+            image = image.Loader.Image.name;
+            findex = best.Similarity.Rank.candidate;
+            distance = best.Similarity.Rank.distance;
+            verdict;
+            confidence;
+          },
+        dropped ))
+
+(* Supervised cell: bounded deterministic retry with escalation.  A
+   Fuel_exhausted fault retries with 4x fuel; an Extract_failure retries
+   after dropping the image's cache entry; permanent faults (malformed
+   image, poisoned cache) give up immediately. *)
+let scan_cell ~dyn_config ~max_distance ~classifier ~max_retries entry image =
+  let key =
+    entry.Vulndb.cve_id ^ "@" ^ image.Loader.Image.name
+  in
+  Robust.Supervisor.run ~max_retries ~key (fun esc ->
+      if esc.Robust.Supervisor.refresh_cache then Staticfeat.Cache.invalidate image;
+      let dyn_config =
+        if esc.Robust.Supervisor.fuel_factor = 1 then dyn_config
+        else
+          {
+            dyn_config with
+            Dynamic_stage.fuel =
+              dyn_config.Dynamic_stage.fuel * esc.Robust.Supervisor.fuel_factor;
+          }
+      in
+      scan_image ~dyn_config ~max_distance ~classifier entry image)
+
+(* --- whole-firmware scan ---------------------------------------------- *)
+
+(* Supervised cache prefill for one image.  Runs sequentially before the
+   parallel grid so that extraction faults resolve (to Ready or a
+   permanently Failed entry) in deterministic order — cells then only
+   ever observe a settled cache, which keeps the ledger identical
+   whatever the domain count. *)
+let prefill ~max_retries ledger img =
+  let key = "prefill@" ^ img.Loader.Image.name in
+  let o =
+    Robust.Supervisor.run ~max_retries ~key (fun esc ->
+        if esc.Robust.Supervisor.attempt > 1 then Staticfeat.Cache.invalidate img;
+        ignore (Staticfeat.Cache.features img))
+  in
+  let record outcome fault =
+    ledger :=
+      {
+        cve = "-";
+        target = img.Loader.Image.name;
+        fault;
+        attempts = o.Robust.Supervisor.attempts;
+        outcome;
+      }
+      :: !ledger
+  in
+  match o.Robust.Supervisor.result with
+  | Ok () -> List.iter (record Recovered) o.Robust.Supervisor.faults
+  | Error _ -> List.iter (record Failed) o.Robust.Supervisor.faults
 
 let scan_firmware ?(dyn_config = Dynamic_stage.default_config)
+    ?(max_distance = 50.0) ?(max_retries = 2) ~classifier ~db
+    (fw : Loader.Firmware.t) =
+  let images = fw.Loader.Firmware.images in
+  let entries = Vulndb.entries db in
+  (* settle the feature cache up front: the firmware images (scored by
+     the static stage) and the database reference images (read by the
+     differential stage).  Each extraction is itself parallel inside. *)
+  let ledger = ref [] in
+  Array.iter (prefill ~max_retries ledger) images;
+  List.iter
+    (fun (e : Vulndb.entry) ->
+      prefill ~max_retries ledger e.Vulndb.vuln_image;
+      prefill ~max_retries ledger e.Vulndb.patched_image)
+    entries;
+  (* fan the (CVE entry × image) grid out over the domain pool; every
+     cell is independently supervised, so one faulting cell degrades the
+     report instead of aborting the scan *)
+  let cells =
+    Array.concat
+      (List.map (fun entry -> Array.map (fun img -> (entry, img)) images) entries)
+  in
+  let outcomes =
+    Parallel.Pool.map_array_result ~chunk:1
+      (fun (entry, image) ->
+        scan_cell ~dyn_config ~max_distance ~classifier ~max_retries entry image)
+      cells
+  in
+  let findings = ref [] in
+  let failed_cells = ref 0 in
+  Array.iteri
+    (fun i out ->
+      let entry, image = cells.(i) in
+      let record ~attempts outcome fault =
+        ledger :=
+          {
+            cve = entry.Vulndb.cve_id;
+            target = image.Loader.Image.name;
+            fault;
+            attempts;
+            outcome;
+          }
+          :: !ledger
+      in
+      match out with
+      | Error f ->
+        (* the pool worker itself was lost: the cell is gone, unretried *)
+        incr failed_cells;
+        record ~attempts:1 Failed f
+      | Ok o -> (
+        let attempts = o.Robust.Supervisor.attempts in
+        match o.Robust.Supervisor.result with
+        | Ok (finding_opt, dropped) ->
+          (match finding_opt with
+          | Some f -> findings := f :: !findings
+          | None -> ());
+          List.iter (record ~attempts Recovered) o.Robust.Supervisor.faults;
+          List.iter (fun (_fidx, f) -> record ~attempts Degraded f) dropped
+        | Error _ ->
+          incr failed_cells;
+          List.iter (record ~attempts Failed) o.Robust.Supervisor.faults))
+    outcomes;
+  {
+    findings = List.rev !findings;
+    ledger = List.rev !ledger;
+    cells = Array.length cells;
+    failed_cells = !failed_cells;
+  }
+
+(* The unsupervised PR-1 grid, kept as the overhead baseline for the
+   chaos benchmark: no supervisor, no ledger, faults escape as
+   exceptions.  Only meaningful with injection disarmed. *)
+let scan_firmware_plain ?(dyn_config = Dynamic_stage.default_config)
     ?(max_distance = 50.0) ~classifier ~db (fw : Loader.Firmware.t) =
   let images = fw.Loader.Firmware.images in
-  (* fill the feature cache once per image up front (each extraction is
-     itself parallel), then fan the (CVE entry × image) grid out over
-     the domain pool; every cell is independent and deterministic, and
-     results are collected in (CVE, image) order *)
   Array.iter (fun img -> ignore (Staticfeat.Cache.features img)) images;
   let cells =
     Array.concat
@@ -61,7 +208,7 @@ let scan_firmware ?(dyn_config = Dynamic_stage.default_config)
   in
   Parallel.Pool.map_array ~chunk:1
     (fun (entry, image) ->
-      scan_image ~dyn_config ~max_distance ~classifier entry image)
+      fst (scan_image ~dyn_config ~max_distance ~classifier entry image))
     cells
   |> Array.to_list
   |> List.filter_map Fun.id
@@ -71,6 +218,11 @@ let finding_to_string f =
     f.image f.findex f.distance
     (Differential.verdict_to_string f.verdict)
     f.confidence
+
+let fault_record_to_string r =
+  Printf.sprintf "%-10s %-16s %-10s attempts %d  %s" (outcome_to_string r.outcome)
+    r.cve r.target r.attempts
+    (Robust.Fault.to_string r.fault)
 
 (* minimal JSON string escaping: the fields we emit are ASCII identifiers
    and free-text descriptions *)
@@ -107,3 +259,27 @@ let findings_to_json findings =
     findings;
   Buffer.add_string buf "\n]\n";
   Buffer.contents buf
+
+let ledger_to_json ledger =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  {\"cve\": \"%s\", \"image\": \"%s\", \"attempts\": %d, \
+            \"outcome\": \"%s\", \"fault\": %s}"
+           (json_escape r.cve) (json_escape r.target) r.attempts
+           (outcome_to_string r.outcome)
+           (Robust.Fault.to_json r.fault)))
+    ledger;
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
+let report_to_json r =
+  Printf.sprintf
+    "{\"cells\": %d, \"failed_cells\": %d,\n\"findings\": %s,\"ledger\": %s}\n"
+    r.cells r.failed_cells
+    (findings_to_json r.findings)
+    (ledger_to_json r.ledger)

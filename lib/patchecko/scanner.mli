@@ -5,7 +5,15 @@
     function with its differential verdict.  Matches whose dynamic
     distance exceeds [max_distance] are suppressed (weak matches are
     almost always the static stage's false positives surviving on
-    benign behaviour). *)
+    benign behaviour).
+
+    Each (CVE × image) cell runs under a {!Robust.Supervisor}: a
+    host-level fault (a corrupted image, an extraction failure, a chaos
+    injection) degrades the report and is recorded in the fault ledger
+    instead of aborting the whole scan.  Retries are bounded and
+    escalated — [Fuel_exhausted] retries at 4x fuel, [Extract_failure]
+    retries after invalidating the image's feature-cache entry,
+    permanent faults give up immediately. *)
 
 type finding = {
   cve_id : string;
@@ -17,19 +25,65 @@ type finding = {
   confidence : float;
 }
 
+type outcome =
+  | Recovered  (** the cell faulted but a retry succeeded *)
+  | Degraded  (** the cell succeeded but dropped faulting candidates *)
+  | Failed  (** the cell (or a prefill) gave up *)
+
+type fault_record = {
+  cve : string;  (** ["-"] for cache-prefill records *)
+  target : string;  (** image name *)
+  fault : Robust.Fault.t;
+  attempts : int;
+  outcome : outcome;
+}
+
+type report = {
+  findings : finding list;  (** in (CVE, image) order *)
+  ledger : fault_record list;
+      (** every fault observed, in deterministic order: prefill records
+          (firmware images then database reference images), then cell
+          records in grid order.  Empty on a fault-free scan. *)
+  cells : int;  (** grid size: entries × images *)
+  failed_cells : int;  (** cells that produced no result at all *)
+}
+
 val scan_firmware :
+  ?dyn_config:Dynamic_stage.config ->
+  ?max_distance:float ->
+  ?max_retries:int ->
+  classifier:Static_stage.classifier ->
+  db:Vulndb.t ->
+  Loader.Firmware.t ->
+  report
+(** [max_distance] defaults to 50; [max_retries] (per cell/prefill,
+    default 2) bounds supervised retries.  The (entry × image) grid is
+    scanned in parallel on the default domain pool after the per-image
+    static features are settled once, sequentially; findings AND ledger
+    are identical whatever the domain count, including under armed
+    fault injection. *)
+
+val scan_firmware_plain :
   ?dyn_config:Dynamic_stage.config ->
   ?max_distance:float ->
   classifier:Static_stage.classifier ->
   db:Vulndb.t ->
   Loader.Firmware.t ->
   finding list
-(** Findings in (CVE, image) order.  [max_distance] defaults to 50.
-    The (entry × image) grid is scanned in parallel on the default
-    domain pool after the per-image static features are cached once;
-    findings are identical whatever the domain count. *)
+(** The unsupervised grid (no supervisor, no ledger; faults escape as
+    exceptions).  Kept as the overhead baseline for the chaos benchmark;
+    only meaningful with injection disarmed. *)
 
 val finding_to_string : finding -> string
+val fault_record_to_string : fault_record -> string
+val outcome_to_string : outcome -> string
+
 val findings_to_json : finding list -> string
 (** Machine-readable report (a small hand-rolled JSON emitter — no
     external dependency). *)
+
+val ledger_to_json : fault_record list -> string
+
+val report_to_json : report -> string
+(** Findings, ledger and cell counts in one JSON object — the byte
+    string compared across domain counts by the chaos tests. *)

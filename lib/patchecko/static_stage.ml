@@ -23,6 +23,18 @@ let pair_score clf ~reference ~candidate =
 let score_batch = 32
 
 let scan ?features clf ~reference img =
+  (* "nn.score" injection site: a chaos run can make the whole static
+     scoring pass of a cell fault, keyed by the target image *)
+  (match Robust.Inject.fire ~site:"nn.score" ~key:img.Loader.Image.name () with
+  | Some _ ->
+    raise
+      (Robust.Fault.Fault
+         (Robust.Fault.Worker_crash
+            {
+              site = "nn.score";
+              detail = "injected scoring fault on " ^ img.Loader.Image.name;
+            }))
+  | None -> ());
   let start = Util.Clock.now () in
   let feats =
     match features with Some f -> f | None -> Staticfeat.Cache.features img

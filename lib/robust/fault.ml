@@ -1,0 +1,72 @@
+type t =
+  | Malformed_image of { site : string; detail : string }
+  | Decode_error of { site : string; detail : string }
+  | Extract_failure of { site : string; detail : string }
+  | Vm_trap of { site : string; detail : string }
+  | Fuel_exhausted of { site : string; detail : string }
+  | Worker_crash of { site : string; detail : string }
+  | Cache_poisoned of { site : string; detail : string }
+
+exception Fault of t
+
+let kind = function
+  | Malformed_image _ -> "malformed_image"
+  | Decode_error _ -> "decode_error"
+  | Extract_failure _ -> "extract_failure"
+  | Vm_trap _ -> "vm_trap"
+  | Fuel_exhausted _ -> "fuel_exhausted"
+  | Worker_crash _ -> "worker_crash"
+  | Cache_poisoned _ -> "cache_poisoned"
+
+let site = function
+  | Malformed_image { site; _ }
+  | Decode_error { site; _ }
+  | Extract_failure { site; _ }
+  | Vm_trap { site; _ }
+  | Fuel_exhausted { site; _ }
+  | Worker_crash { site; _ }
+  | Cache_poisoned { site; _ } ->
+    site
+
+let detail = function
+  | Malformed_image { detail; _ }
+  | Decode_error { detail; _ }
+  | Extract_failure { detail; _ }
+  | Vm_trap { detail; _ }
+  | Fuel_exhausted { detail; _ }
+  | Worker_crash { detail; _ }
+  | Cache_poisoned { detail; _ } ->
+    detail
+
+let to_string f = Printf.sprintf "%s@%s: %s" (kind f) (site f) (detail f)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 32 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json f =
+  Printf.sprintf "{\"kind\": \"%s\", \"site\": \"%s\", \"detail\": \"%s\"}"
+    (kind f) (site f)
+    (json_escape (detail f))
+
+(* Permanent faults describe the input itself (or a terminally poisoned
+   cache entry): retrying the same work item cannot succeed. *)
+let permanent = function
+  | Malformed_image _ | Decode_error _ | Cache_poisoned _ -> true
+  | Extract_failure _ | Vm_trap _ | Fuel_exhausted _ | Worker_crash _ -> false
+
+let of_exn ~site:s e =
+  match e with
+  | Fault f -> f
+  | e -> Worker_crash { site = s; detail = Printexc.to_string e }

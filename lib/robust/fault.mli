@@ -1,0 +1,48 @@
+(** Structured fault taxonomy for the scanning pipeline.
+
+    Every recoverable failure that can cross a pipeline boundary (loader
+    decode, feature extraction, NN scoring, pool workers, the VM) is
+    described by one of these constructors, carrying the [site] (the
+    instrumented boundary name, e.g. ["loader.decode"]) and a free-text
+    [detail].  Boundaries raise {!Fault} instead of ad-hoc [failwith];
+    the supervisor catches it, classifies it, and decides whether the
+    work item is retried, degraded, or abandoned. *)
+
+type t =
+  | Malformed_image of { site : string; detail : string }
+      (** input bytes are not a valid image/firmware (permanent) *)
+  | Decode_error of { site : string; detail : string }
+      (** decoder failed on otherwise plausible input *)
+  | Extract_failure of { site : string; detail : string }
+      (** static-feature extraction of an image failed *)
+  | Vm_trap of { site : string; detail : string }
+      (** a dynamic-stage execution wedged at the host level *)
+  | Fuel_exhausted of { site : string; detail : string }
+      (** a dynamic-stage execution ran out of fuel at the host level *)
+  | Worker_crash of { site : string; detail : string }
+      (** a pool worker / scan cell died with an unclassified exception *)
+  | Cache_poisoned of { site : string; detail : string }
+      (** a cache entry is terminally failed; readers fail fast (permanent) *)
+
+exception Fault of t
+(** The carrier: boundaries raise this, supervisors catch it. *)
+
+val kind : t -> string
+(** Stable snake_case tag of the constructor. *)
+
+val site : t -> string
+val detail : t -> string
+val to_string : t -> string
+val to_json : t -> string
+
+val permanent : t -> bool
+(** [true] when retrying the same work item cannot succeed
+    (malformed input, terminally poisoned cache). *)
+
+val of_exn : site:string -> exn -> t
+(** Classify an escaped exception at a boundary: {!Fault} payloads pass
+    through; anything else becomes [Worker_crash] with the printed
+    exception as detail. *)
+
+val json_escape : string -> string
+(** Minimal JSON string escaping (shared by the ledger emitters). *)

@@ -1,0 +1,110 @@
+(* Deterministic, seeded fault injection.
+
+   Armed by PATCHECKO_FAULTS="site:rate:seed,..." (or programmatically by
+   [arm]).  Each instrumented site asks [fire ~site ~key] whether this
+   particular draw faults.  The decision is a *pure hash* of
+   (seed, site, context, key) — there is no shared PRNG state drawn in
+   scheduling order — so the same spec and the same work produce the same
+   injected faults whatever the domain count, and chaos runs are
+   reproducible and diffable. *)
+
+let sites =
+  [ "loader.decode"; "staticfeat.extract"; "nn.score"; "pool.worker"; "vm.step" ]
+
+type spec = { site : string; rate : float; seed : int64 }
+
+let specs : spec list ref = ref []
+let specs_mutex = Mutex.create ()
+
+(* Context pushed by the supervisor around one attempt of one work item
+   (e.g. "CVE-2018-9412@libfoo#2"): draws made while computing that item
+   are keyed by it, so a retry re-draws and concurrent items never share
+   a decision.  Domain-local — pool workers carry their own. *)
+let context : string Domain.DLS.key = Domain.DLS.new_key (fun () -> "")
+let suspended : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let parse_spec s =
+  let fail () =
+    invalid_arg
+      (Printf.sprintf
+         "PATCHECKO_FAULTS: bad entry %S (want site:rate:seed with site one \
+          of %s or \"all\")"
+         s
+         (String.concat "/" sites))
+  in
+  match String.split_on_char ':' (String.trim s) with
+  | [ site; rate; seed ] -> (
+    let site = String.trim site in
+    if site <> "all" && not (List.mem site sites) then fail ();
+    match (float_of_string_opt (String.trim rate), Int64.of_string_opt (String.trim seed)) with
+    | Some rate, Some seed when rate >= 0.0 && rate <= 1.0 -> { site; rate; seed }
+    | _ -> fail ())
+  | _ -> fail ()
+
+let parse s =
+  String.split_on_char ',' s
+  |> List.filter (fun e -> String.trim e <> "")
+  |> List.map parse_spec
+
+let set_specs l =
+  Mutex.lock specs_mutex;
+  specs := l;
+  Mutex.unlock specs_mutex
+
+let arm s = set_specs (parse s)
+let disarm () = set_specs []
+let armed () = !specs <> []
+
+let () =
+  match Sys.getenv_opt "PATCHECKO_FAULTS" with
+  | None | Some "" -> ()
+  | Some s -> arm s
+
+let with_context ctx f =
+  let saved = Domain.DLS.get context in
+  Domain.DLS.set context ctx;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set context saved) f
+
+let suspend f =
+  let saved = Domain.DLS.get suspended in
+  Domain.DLS.set suspended true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set suspended saved) f
+
+(* splitmix64 finaliser (same mixer as Util.Prng, restated here so the
+   injection layer stays dependency-free and bit-stable). *)
+let mix64 z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let hash_string seed s =
+  let h = ref seed in
+  String.iter
+    (fun c ->
+      h :=
+        mix64
+          (Int64.add (Int64.mul !h 0x100000001B3L) (Int64.of_int (Char.code c))))
+    s;
+  mix64 !h
+
+let unit_float h =
+  Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
+
+let fire ?(use_context = true) ~site ~key () =
+  match !specs with
+  | [] -> None
+  | specs -> (
+    if Domain.DLS.get suspended then None
+    else
+      match
+        List.find_opt (fun sp -> sp.site = site || sp.site = "all") specs
+      with
+      | None -> None
+      | Some sp ->
+        let ctx = if use_context then Domain.DLS.get context else "" in
+        let h = hash_string sp.seed (site ^ "\x00" ^ ctx ^ "\x00" ^ key) in
+        if unit_float h < sp.rate then Some (mix64 h) else None)

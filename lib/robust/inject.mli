@@ -1,0 +1,41 @@
+(** Deterministic, seeded fault-injection harness.
+
+    Armed by the [PATCHECKO_FAULTS] environment variable (read once at
+    startup) or programmatically with {!arm}.  The spec is a
+    comma-separated list of [site:rate:seed] entries, e.g.
+    ["vm.step:0.05:42,staticfeat.extract:0.05:42"]; site ["all"] matches
+    every instrumented site.
+
+    A draw's outcome is a pure hash of (seed, site, supervisor context,
+    key) — no mutable PRNG stream — so the injected fault set depends
+    only on the work performed, never on domain count or scheduling:
+    chaos runs are reproducible and diffable. *)
+
+val sites : string list
+(** The instrumented site names: loader decode, static-feature
+    extraction, NN scoring, pool workers, the VM step loop. *)
+
+val arm : string -> unit
+(** Parse and install a spec.  Raises [Invalid_argument] on a malformed
+    entry.  Intended for tests/benchmarks; production arming goes through
+    [PATCHECKO_FAULTS]. *)
+
+val disarm : unit -> unit
+val armed : unit -> bool
+
+val with_context : string -> (unit -> 'a) -> 'a
+(** Run [f] with the domain-local injection context set (the supervisor
+    tags each attempt of each work item, e.g. ["CVE-X@img#2"], so draws
+    re-roll on retry and never collide across concurrent items). *)
+
+val suspend : (unit -> 'a) -> 'a
+(** Run [f] with injection disabled on this domain (used while building
+    fixtures/databases so chaos only hits the scan under test). *)
+
+val fire : ?use_context:bool -> site:string -> key:string -> unit -> int64 option
+(** [fire ~site ~key ()] is [Some h] (a deterministic 64-bit value the
+    caller may use to pick a fault flavour) when the site is armed and
+    this draw faults, [None] otherwise.  [~use_context:false] excludes
+    the supervisor context from the draw — used by sites whose work is
+    shared across items (the per-image extraction cache), where the
+    decision must not depend on which item happens to trigger it. *)

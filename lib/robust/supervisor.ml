@@ -1,0 +1,51 @@
+(* Supervised execution of one work item: bounded deterministic retry
+   with fault-directed escalation.
+
+   Each attempt runs under an injection context "<key>#<attempt>", so
+   injected draws re-roll on retry and the whole attempt sequence is a
+   pure function of (spec, key) — independent of domain count. *)
+
+type escalation = {
+  attempt : int;  (* 1-based *)
+  fuel_factor : int;
+  refresh_cache : bool;
+}
+
+let initial = { attempt = 1; fuel_factor = 1; refresh_cache = false }
+
+type 'a outcome = {
+  result : ('a, Fault.t) result;
+  attempts : int;
+  faults : Fault.t list;  (* chronological *)
+}
+
+let escalate esc (fault : Fault.t) =
+  match fault with
+  | Fault.Fuel_exhausted _ ->
+    (* a wedged/starved execution gets one generous re-run *)
+    { attempt = esc.attempt + 1; fuel_factor = esc.fuel_factor * 4;
+      refresh_cache = false }
+  | Fault.Extract_failure _ ->
+    (* extraction faults may live in the cache entry: retry bypasses it *)
+    { attempt = esc.attempt + 1; fuel_factor = esc.fuel_factor;
+      refresh_cache = true }
+  | Fault.Vm_trap _ | Fault.Worker_crash _ | Fault.Decode_error _ ->
+    { attempt = esc.attempt + 1; fuel_factor = esc.fuel_factor;
+      refresh_cache = false }
+  | Fault.Malformed_image _ | Fault.Cache_poisoned _ ->
+    (* permanent; never reached because [run] gives up first *)
+    { esc with attempt = esc.attempt + 1 }
+
+let run ?(max_retries = 2) ~key f =
+  let rec go esc faults =
+    let ctx = Printf.sprintf "%s#%d" key esc.attempt in
+    match Inject.with_context ctx (fun () -> f esc) with
+    | v -> { result = Ok v; attempts = esc.attempt; faults = List.rev faults }
+    | exception e ->
+      let fault = Fault.of_exn ~site:"supervisor" e in
+      let faults = fault :: faults in
+      if esc.attempt > max_retries || Fault.permanent fault then
+        { result = Error fault; attempts = esc.attempt; faults = List.rev faults }
+      else go (escalate esc fault) faults
+  in
+  go initial []

@@ -1,0 +1,30 @@
+(** Per-item supervision: bounded deterministic retry with escalation.
+
+    [run ~key f] executes [f] up to [1 + max_retries] times, converting
+    any escaped exception into a {!Fault.t} (see {!Fault.of_exn}).  The
+    retry is fault-directed: [Fuel_exhausted] re-runs with a 4× larger
+    fuel factor, [Extract_failure] re-runs with [refresh_cache] set (the
+    caller invalidates the item's cache entry), permanent faults
+    ({!Fault.permanent}) give up immediately.
+
+    Each attempt runs inside {!Inject.with_context} ["<key>#<attempt>"],
+    so injected faults re-roll per attempt and the attempt sequence is
+    deterministic whatever the domain count. *)
+
+type escalation = {
+  attempt : int;  (** 1-based attempt number *)
+  fuel_factor : int;  (** multiply dynamic-stage fuel by this *)
+  refresh_cache : bool;  (** invalidate the item's cache entry first *)
+}
+
+val initial : escalation
+
+type 'a outcome = {
+  result : ('a, Fault.t) result;  (** last attempt's result *)
+  attempts : int;  (** attempts actually made (>= 1) *)
+  faults : Fault.t list;  (** every observed fault, chronological *)
+}
+
+val run : ?max_retries:int -> key:string -> (escalation -> 'a) -> 'a outcome
+(** [max_retries] defaults to 2 (so at most 3 attempts).  Never raises:
+    the worst case is [{ result = Error _; _ }]. *)

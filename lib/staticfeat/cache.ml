@@ -9,7 +9,19 @@
    The [Pending] state lets concurrent scanners of the same image block
    until the first one finishes instead of extracting twice; the
    computing domain itself never blocks, so there is no deadlock even
-   when the computation happens on a pool worker. *)
+   when the computation happens on a pool worker.
+
+   Fault handling: if extraction raises (or the "staticfeat.extract"
+   injection site fires), the entry becomes [Failed] — waiters are
+   released immediately and later readers fail fast with
+   [Cache_poisoned] instead of wedging on a Pending entry or silently
+   re-extracting in racy order.  Recovery is explicit: [invalidate]
+   drops the entry so a supervised retry can re-extract.  Extraction
+   attempts are numbered per image name (monotonic until [clear]), and
+   the injection draw is keyed by (name, attempt) with the supervisor
+   context excluded — the decision must not depend on which scan cell
+   happens to trigger the extraction, or chaos runs would not be
+   reproducible across domain counts. *)
 
 module H = Hashtbl.Make (struct
   type t = Loader.Image.t
@@ -20,13 +32,42 @@ module H = Hashtbl.Make (struct
   let hash (img : Loader.Image.t) = Hashtbl.hash img
 end)
 
-type state = Ready of Util.Vec.t array | Pending
+type state =
+  | Ready of Util.Vec.t array
+  | Pending
+  | Failed of Robust.Fault.t
 
 let mutex = Mutex.create ()
 let filled = Condition.create ()
 let table : state H.t = H.create 64
+let attempts : (string, int) Hashtbl.t = Hashtbl.create 64
 let hit_count = Atomic.make 0
 let miss_count = Atomic.make 0
+
+let next_attempt name =
+  (* callers hold [mutex] *)
+  let n = (match Hashtbl.find_opt attempts name with Some n -> n | None -> 0) + 1 in
+  Hashtbl.replace attempts name n;
+  n
+
+let extract img attempt =
+  let name = img.Loader.Image.name in
+  match
+    Robust.Inject.fire ~use_context:false ~site:"staticfeat.extract"
+      ~key:(Printf.sprintf "%s#%d" name attempt)
+      ()
+  with
+  | Some _ ->
+    Error
+      (Robust.Fault.Extract_failure
+         {
+           site = "staticfeat.extract";
+           detail = Printf.sprintf "injected extraction fault on %s (attempt %d)" name attempt;
+         })
+  | None -> (
+    match Extract.of_image img with
+    | v -> Ok v
+    | exception e -> Error (Robust.Fault.of_exn ~site:"staticfeat.extract" e))
 
 let rec features img =
   Mutex.lock mutex;
@@ -35,34 +76,55 @@ let rec features img =
     Mutex.unlock mutex;
     Atomic.incr hit_count;
     v
+  | Some (Failed f) ->
+    Mutex.unlock mutex;
+    raise
+      (Robust.Fault.Fault
+         (Robust.Fault.Cache_poisoned
+            {
+              site = "staticfeat.extract";
+              detail =
+                Printf.sprintf "%s: %s" img.Loader.Image.name
+                  (Robust.Fault.to_string f);
+            }))
   | Some Pending ->
     Condition.wait filled mutex;
     Mutex.unlock mutex;
     features img
   | None ->
     H.replace table img Pending;
+    let attempt = next_attempt img.Loader.Image.name in
     Mutex.unlock mutex;
     Atomic.incr miss_count;
-    let v =
-      try Extract.of_image img
-      with e ->
-        Mutex.lock mutex;
-        H.remove table img;
-        Condition.broadcast filled;
-        Mutex.unlock mutex;
-        raise e
-    in
+    let outcome = extract img attempt in
     Mutex.lock mutex;
-    H.replace table img (Ready v);
+    (match outcome with
+    | Ok v -> H.replace table img (Ready v)
+    | Error f -> H.replace table img (Failed f));
     Condition.broadcast filled;
     Mutex.unlock mutex;
-    v
+    (match outcome with
+    | Ok v -> v
+    | Error f -> raise (Robust.Fault.Fault f))
+
+let features_result img =
+  match features img with
+  | v -> Ok v
+  | exception Robust.Fault.Fault f -> Error f
 
 let feature img i = (features img).(i)
+
+let invalidate img =
+  Mutex.lock mutex;
+  (match H.find_opt table img with
+  | Some Pending -> ()  (* an extraction is in flight; leave it alone *)
+  | Some (Ready _ | Failed _) | None -> H.remove table img);
+  Mutex.unlock mutex
 
 let clear () =
   Mutex.lock mutex;
   H.reset table;
+  Hashtbl.reset attempts;
   Mutex.unlock mutex
 
 let cached_images () =

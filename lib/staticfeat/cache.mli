@@ -6,20 +6,38 @@
     the static stage, the whole-firmware scanner, the vulnerability
     database and the kNN baseline.  Safe to use from pool domains.
 
+    Extraction failures (a raising extractor, or the
+    ["staticfeat.extract"] fault-injection site) poison the entry
+    instead of wedging waiters on a Pending slot: concurrent readers are
+    released immediately, and subsequent reads fail fast with
+    [Cache_poisoned] until {!invalidate} (or {!clear}) drops the entry
+    so a supervised retry can re-extract.
+
     The returned arrays are the cached values themselves: callers must
     not mutate them. *)
 
 val features : Loader.Image.t -> Util.Vec.t array
 (** Feature table of the image, index-aligned with its function table.
     Extracted (in parallel) on first request, served from the cache
-    afterwards. *)
+    afterwards.  Raises {!Robust.Fault.Fault} — [Extract_failure] (or a
+    wrapped extractor exception) on the attempt that failed,
+    [Cache_poisoned] on later reads of a failed entry. *)
+
+val features_result : Loader.Image.t -> (Util.Vec.t array, Robust.Fault.t) result
+(** Fault-typed variant of {!features}: never raises. *)
 
 val feature : Loader.Image.t -> int -> Util.Vec.t
 (** [feature img i] = [(features img).(i)]. *)
 
+val invalidate : Loader.Image.t -> unit
+(** Drop the image's cache entry (whether [Ready] or [Failed]) so the
+    next read re-extracts.  The per-image attempt counter is NOT reset,
+    so a deterministic fault-injection run draws a fresh decision on the
+    retry.  A [Pending] entry (extraction in flight) is left alone. *)
+
 val clear : unit -> unit
-(** Drop every cached image (for tests/benchmarks; call only while no
-    scan is running). *)
+(** Drop every cached image and reset attempt counters (for
+    tests/benchmarks; call only while no scan is running). *)
 
 val cached_images : unit -> int
 

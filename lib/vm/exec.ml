@@ -27,7 +27,35 @@ let run_machine m fidx =
     instructions = Trace.instructions_executed trace;
   }
 
-let run ?fuel img fidx env = run_machine (Machine.create ?fuel img env) fidx
+(* "vm.step" injection site: a chaos run can make any (image, function)
+   execution fault deterministically.  The hash parity picks the flavour
+   so a mixed run exercises both the fuel-escalation and plain-retry
+   supervisor paths. *)
+let inject_vm_fault img fidx =
+  (* [armed] check first: this runs on every execution, and the key
+     string must not be built when injection is off *)
+  if not (Robust.Inject.armed ()) then ()
+  else
+    match
+      Robust.Inject.fire ~site:"vm.step"
+        ~key:(Printf.sprintf "%s/f%d" img.Loader.Image.name fidx)
+        ()
+    with
+    | None -> ()
+    | Some h ->
+    let site = "vm.step" in
+    let detail =
+      Printf.sprintf "injected vm fault in %s/f%d" img.Loader.Image.name fidx
+    in
+    raise
+      (Robust.Fault.Fault
+         (if Int64.logand h 1L = 0L then
+            Robust.Fault.Fuel_exhausted { site; detail }
+          else Robust.Fault.Vm_trap { site; detail }))
+
+let run ?fuel img fidx env =
+  inject_vm_fault img fidx;
+  run_machine (Machine.create ?fuel img env) fidx
 
 let run_traced ?fuel ?(limit = 10_000) img fidx env =
   let lines = ref [] in

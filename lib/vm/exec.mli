@@ -16,7 +16,10 @@ type result = {
 
 val run : ?fuel:int -> Loader.Image.t -> int -> Env.t -> result
 (** [run img fidx env]: never raises on guest misbehaviour — traps become
-    [Crashed]. *)
+    [Crashed].  Hosts the ["vm.step"] fault-injection site (keyed by
+    image name and function index), which raises {!Robust.Fault.Fault}
+    ([Fuel_exhausted] or [Vm_trap]) when armed — a host-level chaos
+    event, distinct from guest misbehaviour. *)
 
 val run_traced :
   ?fuel:int -> ?limit:int -> Loader.Image.t -> int -> Env.t

@@ -154,8 +154,10 @@ let read_cstring t addr =
   Buffer.contents buf
 
 let read_stdin t n =
+  (* [n] is guest-controlled: clamp from both sides so a negative
+     request cannot reach [Bytes.sub] as a negative length *)
   let available = Bytes.length t.stdin - t.stdin_pos in
-  let take = min n (max available 0) in
+  let take = max 0 (min n available) in
   let out = Bytes.sub t.stdin t.stdin_pos take in
   t.stdin_pos <- t.stdin_pos + take;
   out
@@ -163,6 +165,11 @@ let read_stdin t n =
 let print_string t s = Buffer.add_string t.stdout_buf s
 
 let malloc t size =
+  (* guard before aligning: a size near max_int would overflow the
+     alignment arithmetic to a negative [aligned] and slip past the
+     heap-bound check below *)
+  if size < 0 || size > Region.heap_size then
+    raise (Trap (Import_error (Printf.sprintf "malloc: bad size %d" size)));
   let aligned = (max size 1 + 15) / 16 * 16 in
   if t.heap_next + aligned > Region.heap_size then
     raise (Trap (Import_error "out of heap"));
@@ -244,14 +251,19 @@ let syscall t n =
       data;
     t.regs.(Isa.Reg.ret) <- Int64.of_int (Bytes.length data)
   | 1 ->
-    (* write(fd, buf, n) *)
+    (* write(fd, buf, n); a negative guest length is an error return,
+       not a Buffer.create crash, and a huge one must not pre-allocate
+       (the per-byte reads trap on the first out-of-range address) *)
     let buf = reg 1 and len = Int64.to_int (reg 2) in
-    let b = Buffer.create len in
-    for i = 0 to len - 1 do
-      Buffer.add_char b (Char.chr (read_u8 t (Int64.add buf (Int64.of_int i))))
-    done;
-    Buffer.add_buffer t.stdout_buf b;
-    t.regs.(Isa.Reg.ret) <- Int64.of_int len
+    if len < 0 then t.regs.(Isa.Reg.ret) <- Int64.minus_one
+    else begin
+      let b = Buffer.create (min (max len 16) 65536) in
+      for i = 0 to len - 1 do
+        Buffer.add_char b (Char.chr (read_u8 t (Int64.add buf (Int64.of_int i))))
+      done;
+      Buffer.add_buffer t.stdout_buf b;
+      t.regs.(Isa.Reg.ret) <- Int64.of_int len
+    end
   | 2 -> t.regs.(Isa.Reg.ret) <- 1_600_000_000L  (* deterministic clock *)
   | 3 -> t.regs.(Isa.Reg.ret) <- 4242L
   | _ -> t.regs.(Isa.Reg.ret) <- Int64.minus_one

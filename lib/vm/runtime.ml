@@ -10,7 +10,13 @@ let set_ret m v = (Machine.regs m).(Isa.Reg.ret) <- v
 
 let copy_bytes m ~dst ~src n =
   (* memmove semantics: buffer through an OCaml array, so overlapping
-     ranges behave as if copied via a temporary *)
+     ranges behave as if copied via a temporary.  The guest controls
+     [n]: a negative or implausibly large count must trap, not blow up
+     [Array.init] with Invalid_argument / Out_of_memory on the host. *)
+  if n < 0 || n > 1 lsl 24 then
+    raise
+      (Machine.Trap
+         (Machine.Import_error (Printf.sprintf "memmove: bad length %d" n)));
   let tmp =
     Array.init n (fun i -> Machine.read_u8 m (Int64.add src (Int64.of_int i)))
   in

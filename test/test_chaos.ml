@@ -1,0 +1,271 @@
+(* Fault injection, supervision, and the chaos integration scan:
+   deterministic draws, bounded escalated retry, and byte-identical
+   (findings, ledger) reports across domain counts under armed faults. *)
+
+let with_armed spec f =
+  Robust.Inject.arm spec;
+  Fun.protect ~finally:Robust.Inject.disarm f
+
+(* --- Inject ----------------------------------------------------------- *)
+
+let spec_parsing () =
+  Alcotest.(check (list string))
+    "instrumented sites"
+    [ "loader.decode"; "staticfeat.extract"; "nn.score"; "pool.worker"; "vm.step" ]
+    Robust.Inject.sites;
+  with_armed "vm.step:0.5:7,all:0.01:3" (fun () ->
+      Alcotest.(check bool) "armed" true (Robust.Inject.armed ()));
+  Alcotest.(check bool) "disarmed" false (Robust.Inject.armed ());
+  let rejected spec =
+    match Robust.Inject.arm spec with
+    | () ->
+      Robust.Inject.disarm ();
+      Alcotest.failf "accepted malformed spec %S" spec
+    | exception Invalid_argument _ -> ()
+  in
+  rejected "bogus";
+  rejected "vm.step:2.0:1";
+  rejected "vm.step:0.5";
+  rejected "nosuchsite:0.5:1"
+
+let draws () =
+  Array.init 2000 (fun i ->
+      Robust.Inject.fire ~site:"vm.step" ~key:(string_of_int i) () <> None)
+
+let fire_deterministic () =
+  let a = with_armed "vm.step:0.5:42" draws in
+  let b = with_armed "vm.step:0.5:42" draws in
+  Alcotest.(check bool) "same spec, same draws" true (a = b);
+  let fired = Array.fold_left (fun n x -> if x then n + 1 else n) 0 a in
+  Alcotest.(check bool) "roughly half fire" true (fired > 800 && fired < 1200);
+  let c = with_armed "vm.step:0.5:43" draws in
+  Alcotest.(check bool) "different seed, different draws" true (a <> c);
+  let none = with_armed "nn.score:1.0:42" draws in
+  Alcotest.(check bool) "other site never fires" true
+    (Array.for_all not none);
+  let all = with_armed "all:1.0:42" draws in
+  Alcotest.(check bool) "rate 1 always fires" true (Array.for_all Fun.id all)
+
+let fire_parallel_matches_sequential () =
+  (* the draw is a pure hash: computing it on pool domains changes
+     nothing *)
+  with_armed "vm.step:0.5:42" (fun () ->
+      let seq = draws () in
+      Test_parallel.with_domains 4 (fun () ->
+          let par =
+            Parallel.Pool.map_array ~chunk:64
+              (fun i ->
+                Robust.Inject.fire ~site:"vm.step" ~key:(string_of_int i) ()
+                <> None)
+              (Array.init 2000 Fun.id)
+          in
+          Alcotest.(check bool) "parallel draws identical" true (par = seq)))
+
+let context_and_suspend () =
+  with_armed "vm.step:0.5:42" (fun () ->
+      let under ctx =
+        Robust.Inject.with_context ctx draws
+      in
+      Alcotest.(check bool) "context re-rolls draws" true
+        (under "cell#1" <> under "cell#2");
+      let no_ctx =
+        Robust.Inject.with_context "cell#1" (fun () ->
+            Array.init 2000 (fun i ->
+                Robust.Inject.fire ~use_context:false ~site:"vm.step"
+                  ~key:(string_of_int i) ()
+                <> None))
+      in
+      Alcotest.(check bool) "use_context:false ignores context" true
+        (no_ctx = draws ());
+      let suspended = Robust.Inject.suspend draws in
+      Alcotest.(check bool) "suspended never fires" true
+        (Array.for_all not suspended))
+
+(* --- Supervisor ------------------------------------------------------- *)
+
+let supervisor_retries_and_recovers () =
+  let o =
+    Robust.Supervisor.run ~key:"t" (fun esc ->
+        if esc.Robust.Supervisor.attempt < 2 then
+          raise
+            (Robust.Fault.Fault
+               (Robust.Fault.Vm_trap { site = "vm.step"; detail = "synthetic" }));
+        42)
+  in
+  Alcotest.(check bool) "recovered" true (o.Robust.Supervisor.result = Ok 42);
+  Alcotest.(check int) "two attempts" 2 o.Robust.Supervisor.attempts;
+  Alcotest.(check int) "one fault recorded" 1
+    (List.length o.Robust.Supervisor.faults)
+
+let supervisor_escalates () =
+  let seen = ref [] in
+  let o =
+    Robust.Supervisor.run ~key:"t" (fun esc ->
+        seen := (esc.Robust.Supervisor.fuel_factor,
+                 esc.Robust.Supervisor.refresh_cache) :: !seen;
+        raise
+          (Robust.Fault.Fault
+             (if esc.Robust.Supervisor.attempt = 1 then
+                Robust.Fault.Fuel_exhausted
+                  { site = "vm.step"; detail = "synthetic" }
+              else
+                Robust.Fault.Extract_failure
+                  { site = "staticfeat.extract"; detail = "synthetic" })))
+  in
+  (match o.Robust.Supervisor.result with
+  | Error (Robust.Fault.Extract_failure _) -> ()
+  | _ -> Alcotest.fail "expected the last fault");
+  Alcotest.(check int) "exhausts retries" 3 o.Robust.Supervisor.attempts;
+  Alcotest.(check (list (pair int bool)))
+    "fuel x4 after Fuel_exhausted, cache refresh after Extract_failure"
+    [ (1, false); (4, false); (4, true) ]
+    (List.rev !seen)
+
+let supervisor_permanent_gives_up () =
+  let calls = ref 0 in
+  let o =
+    Robust.Supervisor.run ~max_retries:5 ~key:"t" (fun _ ->
+        incr calls;
+        raise
+          (Robust.Fault.Fault
+             (Robust.Fault.Malformed_image
+                { site = "loader.decode"; detail = "synthetic" })))
+  in
+  Alcotest.(check int) "no retry on permanent fault" 1 !calls;
+  Alcotest.(check bool) "failed" true
+    (match o.Robust.Supervisor.result with Error _ -> true | Ok _ -> false)
+
+let supervisor_wraps_foreign_exceptions () =
+  let o =
+    Robust.Supervisor.run ~key:"t" (fun esc ->
+        if esc.Robust.Supervisor.attempt < 2 then failwith "zap";
+        "ok")
+  in
+  Alcotest.(check bool) "recovered" true (o.Robust.Supervisor.result = Ok "ok");
+  match o.Robust.Supervisor.faults with
+  | [ Robust.Fault.Worker_crash _ ] -> ()
+  | _ -> Alcotest.fail "expected one wrapped Worker_crash"
+
+(* --- pool map_array_result ------------------------------------------- *)
+
+let map_array_result_isolates () =
+  Test_parallel.with_domains 4 (fun () ->
+      let out =
+        Parallel.Pool.map_array_result ~chunk:1
+          (fun x -> if x = 3 then failwith "boom" else 2 * x)
+          (Array.init 8 Fun.id)
+      in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok v -> Alcotest.(check int) "value" (2 * i) v
+          | Error (Robust.Fault.Worker_crash _) when i = 3 -> ()
+          | Error f ->
+            Alcotest.failf "item %d: unexpected %s" i (Robust.Fault.to_string f))
+        out;
+      with_armed "pool.worker:1.0:1" (fun () ->
+          let out =
+            Parallel.Pool.map_array_result ~chunk:1 Fun.id (Array.init 6 Fun.id)
+          in
+          Alcotest.(check bool) "every worker injected" true
+            (Array.for_all (function Error _ -> true | Ok _ -> false) out)))
+
+(* --- the chaos integration scan --------------------------------------- *)
+
+(* fixture building must be invisible to the injector: chaos only hits
+   the scans under test *)
+let fixture () =
+  Robust.Inject.suspend (fun () ->
+      let _entry, db, fw, classifier = Test_parallel.scanner_fixture () in
+      (db, fw, classifier))
+
+let scan ~db ~fw ~classifier domains =
+  Test_parallel.with_domains domains (fun () ->
+      Staticfeat.Cache.clear ();
+      Patchecko.Scanner.scan_firmware ~dyn_config:Test_parallel.dyn_config
+        ~max_distance:10.0 ~classifier ~db fw)
+
+let chaos_scan_deterministic () =
+  let db, fw, classifier = fixture () in
+  let baseline = scan ~db ~fw ~classifier 1 in
+  Alcotest.(check (list string))
+    "fault-free scan has an empty ledger" []
+    (List.map Patchecko.Scanner.fault_record_to_string
+       baseline.Patchecko.Scanner.ledger);
+  (* pick the first seed whose 5%-everywhere run actually observes
+     faults (deterministic, so the chosen seed is stable) *)
+  let rec find_seed s =
+    if s > 12 then Alcotest.fail "no seed produced a non-empty ledger"
+    else
+      let spec = Printf.sprintf "all:0.05:%d" s in
+      let r = with_armed spec (fun () -> scan ~db ~fw ~classifier 1) in
+      if r.Patchecko.Scanner.ledger <> [] then (spec, r) else find_seed (s + 1)
+  in
+  let spec, r1 = find_seed 1 in
+  let r4 = with_armed spec (fun () -> scan ~db ~fw ~classifier 4) in
+  Alcotest.(check string)
+    "findings AND ledger byte-identical across domain counts"
+    (Patchecko.Scanner.report_to_json r1)
+    (Patchecko.Scanner.report_to_json r4);
+  (* degradation is bounded: the armed scan never invents findings *)
+  Alcotest.(check bool) "no invented findings" true
+    (List.for_all
+       (fun f -> List.mem f baseline.Patchecko.Scanner.findings)
+       r1.Patchecko.Scanner.findings);
+  Staticfeat.Cache.clear ()
+
+let all_cells_lost_still_completes () =
+  let db, fw, classifier = fixture () in
+  let r = with_armed "pool.worker:1.0:1" (fun () -> scan ~db ~fw ~classifier 4) in
+  Alcotest.(check int) "every cell failed" r.Patchecko.Scanner.cells
+    r.Patchecko.Scanner.failed_cells;
+  Alcotest.(check bool) "cells were attempted" true (r.Patchecko.Scanner.cells > 0);
+  Alcotest.(check (list string)) "no findings" []
+    (List.map Patchecko.Scanner.finding_to_string r.Patchecko.Scanner.findings);
+  Alcotest.(check bool) "every loss is in the ledger" true
+    (List.length r.Patchecko.Scanner.ledger >= r.Patchecko.Scanner.cells);
+  Staticfeat.Cache.clear ()
+
+let poisoned_cache_fails_fast_then_recovers () =
+  let db, fw, classifier = fixture () in
+  let r =
+    with_armed "staticfeat.extract:1.0:3" (fun () -> scan ~db ~fw ~classifier 4)
+  in
+  (* the prefill exhausts its retries, every cell fails fast on the
+     poisoned entries — but the scan still returns *)
+  Alcotest.(check int) "every cell failed" r.Patchecko.Scanner.cells
+    r.Patchecko.Scanner.failed_cells;
+  Alcotest.(check bool) "prefill failures ledgered" true
+    (List.exists
+       (fun (rec_ : Patchecko.Scanner.fault_record) -> rec_.cve = "-")
+       r.Patchecko.Scanner.ledger);
+  Alcotest.(check bool) "cells report the poisoned cache" true
+    (List.exists
+       (fun (rec_ : Patchecko.Scanner.fault_record) ->
+         match rec_.fault with
+         | Robust.Fault.Cache_poisoned _ -> true
+         | _ -> false)
+       r.Patchecko.Scanner.ledger);
+  (* disarm + clear: the same inputs scan cleanly again *)
+  let clean = scan ~db ~fw ~classifier 4 in
+  Alcotest.(check int) "no failed cells after recovery" 0
+    clean.Patchecko.Scanner.failed_cells;
+  Alcotest.(check bool) "findings are back" true
+    (clean.Patchecko.Scanner.findings <> []);
+  Staticfeat.Cache.clear ()
+
+let suite =
+  [
+    Alcotest.test_case "spec-parsing" `Quick spec_parsing;
+    Alcotest.test_case "fire-deterministic" `Quick fire_deterministic;
+    Alcotest.test_case "fire-parallel" `Quick fire_parallel_matches_sequential;
+    Alcotest.test_case "context-suspend" `Quick context_and_suspend;
+    Alcotest.test_case "supervisor-retry" `Quick supervisor_retries_and_recovers;
+    Alcotest.test_case "supervisor-escalation" `Quick supervisor_escalates;
+    Alcotest.test_case "supervisor-permanent" `Quick supervisor_permanent_gives_up;
+    Alcotest.test_case "supervisor-wraps" `Quick supervisor_wraps_foreign_exceptions;
+    Alcotest.test_case "map-array-result" `Quick map_array_result_isolates;
+    Alcotest.test_case "chaos-scan-deterministic" `Quick chaos_scan_deterministic;
+    Alcotest.test_case "all-cells-lost" `Quick all_cells_lost_still_completes;
+    Alcotest.test_case "poisoned-cache" `Quick poisoned_cache_fails_fast_then_recovers;
+  ]

@@ -107,6 +107,54 @@ let is_string_addr () =
   Alcotest.(check bool) "OOB is not string" false
     (Loader.Image.is_string_addr img 1L)
 
+let huge_count_rejected () =
+  (* magic, empty name, arch, data_base, empty data, then a string-range
+     count far beyond the bytes remaining: the reader must fail cleanly
+     instead of attempting the allocation *)
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf "SFF1";
+  Buffer.add_string buf "\x00\x00\x00\x00" (* name len 0 *);
+  Buffer.add_char buf '\x02' (* Arm32 *);
+  Buffer.add_string buf (String.make 8 '\x00') (* data_base *);
+  Buffer.add_string buf "\x00\x00\x00\x00" (* data len 0 *);
+  Buffer.add_string buf "\xff\xff\xff\x7f" (* nstr = 0x7fffffff *);
+  match Loader.Sff.image_of_bytes (Buffer.to_bytes buf) with
+  | exception Loader.Sff.Corrupt msg ->
+    Alcotest.(check bool)
+      ("count cap mentioned: " ^ msg)
+      true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "implausible element count accepted"
+
+let result_api () =
+  let good = Loader.Sff.image_to_bytes (sample_image ()) in
+  (match Loader.Sff.image_of_bytes_result good with
+  | Ok img ->
+    Alcotest.(check int) "functions" 3 (Loader.Image.function_count img)
+  | Error f -> Alcotest.failf "good image rejected: %s" (Robust.Fault.to_string f));
+  (match Loader.Sff.image_of_bytes_result (Bytes.of_string "garbage!") with
+  | Error (Robust.Fault.Malformed_image _) -> ()
+  | Error f -> Alcotest.failf "unexpected fault %s" (Robust.Fault.to_string f)
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  let fw =
+    {
+      Loader.Firmware.device = "resdev";
+      os_version = "1";
+      security_patch = "none";
+      images = [| sample_image () |];
+    }
+  in
+  (match Loader.Firmware.of_bytes_result (Loader.Firmware.to_bytes fw) with
+  | Ok back ->
+    Alcotest.(check string) "device" "resdev" back.Loader.Firmware.device
+  | Error f -> Alcotest.failf "good firmware rejected: %s" (Robust.Fault.to_string f));
+  (match Loader.Firmware.of_bytes_result (Bytes.of_string "SFW1oops") with
+  | Error (Robust.Fault.Malformed_image _) -> ()
+  | _ -> Alcotest.fail "corrupt firmware not typed");
+  match Loader.Firmware.read_result "/nonexistent/patchecko.sfw" with
+  | Error (Robust.Fault.Malformed_image _) -> ()
+  | _ -> Alcotest.fail "missing file not typed"
+
 let suite =
   [
     Alcotest.test_case "image-roundtrip" `Quick image_roundtrip;
@@ -117,6 +165,8 @@ let suite =
     Alcotest.test_case "export-closure" `Quick export_closure;
     Alcotest.test_case "export-leaf-only" `Quick export_leaf_only;
     Alcotest.test_case "is-string-addr" `Quick is_string_addr;
+    Alcotest.test_case "huge-count-rejected" `Quick huge_count_rejected;
+    Alcotest.test_case "result-api" `Quick result_api;
   ]
 
 (* Property: every compiled corpus library round-trips through SFF
@@ -137,4 +187,35 @@ let sff_roundtrip_property =
       Loader.Sff.image_to_bytes back = bytes
       && Loader.Verify.check back = [])
 
-let suite = suite @ [ QCheck_alcotest.to_alcotest sff_roundtrip_property ]
+(* Property: no corruption of a valid image or firmware escapes the
+   result-typed decode boundary as a raw exception — truncation and byte
+   flips either still decode or come back as [Error _]. *)
+let corruption_never_escapes_property =
+  let good_image = lazy (Loader.Sff.image_to_bytes (sample_image ())) in
+  let good_firmware =
+    lazy
+      (Loader.Firmware.to_bytes
+         {
+           Loader.Firmware.device = "propdev";
+           os_version = "1";
+           security_patch = "none";
+           images = [| sample_image () |];
+         })
+  in
+  QCheck.Test.make ~name:"corruption-never-escapes" ~count:120
+    QCheck.(quad (int_range 0 10_000) (int_range 0 10_000) (int_range 0 255) bool)
+    (fun (cut, at, v, firmware) ->
+      let good = Lazy.force (if firmware then good_firmware else good_image) in
+      let b = Bytes.sub good 0 (cut mod (Bytes.length good + 1)) in
+      if Bytes.length b > 0 then Bytes.set b (at mod Bytes.length b) (Char.chr v);
+      if firmware then
+        match Loader.Firmware.of_bytes_result b with Ok _ | Error _ -> true
+      else
+        match Loader.Sff.image_of_bytes_result b with Ok _ | Error _ -> true)
+
+let suite =
+  suite
+  @ [
+      QCheck_alcotest.to_alcotest sff_roundtrip_property;
+      QCheck_alcotest.to_alcotest corruption_never_escapes_property;
+    ]

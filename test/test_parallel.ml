@@ -146,8 +146,9 @@ let dyn_config =
 let scan_firmware_with ~fw ~db ~classifier domains =
   with_domains domains (fun () ->
       Staticfeat.Cache.clear ();
-      Patchecko.Scanner.scan_firmware ~dyn_config ~max_distance:10.0
-        ~classifier ~db fw)
+      (Patchecko.Scanner.scan_firmware ~dyn_config ~max_distance:10.0
+         ~classifier ~db fw)
+        .Patchecko.Scanner.findings)
 
 let static_scan_deterministic () =
   let entry, _db, fw, classifier = scanner_fixture () in

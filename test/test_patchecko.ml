@@ -206,9 +206,11 @@ let scanner_finds_planted_cve () =
     { Patchecko.Static_stage.model; normalizer = Nn.Data.fit_normalizer dummy;
       threshold = 0.0 }
   in
-  let findings =
+  let report =
     Patchecko.Scanner.scan_firmware ~max_distance:10.0 ~classifier ~db fw
   in
+  Alcotest.(check int) "no faults" 0 (List.length report.Patchecko.Scanner.ledger);
+  let findings = report.Patchecko.Scanner.findings in
   (match findings with
   | [ f ] ->
     Alcotest.(check string) "cve id" "CVE-2018-9412" f.Patchecko.Scanner.cve_id;

@@ -123,6 +123,78 @@ let of_image_matches_of_function () =
         (v = Staticfeat.Extract.of_function img i))
     whole
 
+let cache_failure_releases_and_recovers () =
+  (* a fresh image so no other suite's cache entry interferes *)
+  let img = image_of src Isa.Arch.Amd64 Minic.Optlevel.O3 in
+  Staticfeat.Cache.clear ();
+  Robust.Inject.arm "staticfeat.extract:1.0:9";
+  Fun.protect
+    ~finally:(fun () ->
+      Robust.Inject.disarm ();
+      Staticfeat.Cache.clear ())
+    (fun () ->
+      (* the failing attempt reports itself... *)
+      (match Staticfeat.Cache.features_result img with
+      | Error (Robust.Fault.Extract_failure _) -> ()
+      | Error f ->
+        Alcotest.failf "unexpected fault %s" (Robust.Fault.to_string f)
+      | Ok _ -> Alcotest.fail "armed extraction succeeded");
+      (* ...and poisons the entry: later reads fail fast instead of
+         wedging on Pending or silently re-extracting *)
+      (match Staticfeat.Cache.features_result img with
+      | Error (Robust.Fault.Cache_poisoned _) -> ()
+      | _ -> Alcotest.fail "expected a poisoned entry");
+      (* concurrent readers across pool domains are all released *)
+      Test_parallel.with_domains 4 (fun () ->
+          let outs =
+            Parallel.Pool.map_array ~chunk:1
+              (fun _ ->
+                match Staticfeat.Cache.features_result img with
+                | Error _ -> true
+                | Ok _ -> false)
+              (Array.init 8 Fun.id)
+          in
+          Alcotest.(check bool) "every reader fails cleanly" true
+            (Array.for_all Fun.id outs));
+      (* recovery is explicit: disarm + invalidate, the next read
+         re-extracts *)
+      Robust.Inject.disarm ();
+      Staticfeat.Cache.invalidate img;
+      match Staticfeat.Cache.features_result img with
+      | Ok v ->
+        Alcotest.(check int) "recovered table"
+          (Loader.Image.function_count img)
+          (Array.length v)
+      | Error f -> Alcotest.failf "recovery failed: %s" (Robust.Fault.to_string f))
+
+let cache_raising_extractor_poisons () =
+  (* a genuinely raising extractor (garbage function bytes make the
+     disassembler raise): the exception is wrapped into a fault, waiters
+     are released, and the entry fails fast afterwards *)
+  let base = image_of src Isa.Arch.Arm64 Minic.Optlevel.O1 in
+  let broken =
+    {
+      base with
+      Loader.Image.name = "broken-extractor";
+      functions = [| Bytes.of_string "\xff\xfe\xfd\xfc\xfb\xfa" |];
+      symtab = None;
+    }
+  in
+  Staticfeat.Cache.clear ();
+  (match Staticfeat.Cache.features_result broken with
+  | Error (Robust.Fault.Worker_crash _) -> ()
+  | Error f -> Alcotest.failf "unexpected fault %s" (Robust.Fault.to_string f)
+  | Ok _ -> Alcotest.fail "garbage function bytes extracted");
+  (match Staticfeat.Cache.features_result broken with
+  | Error (Robust.Fault.Cache_poisoned _) -> ()
+  | _ -> Alcotest.fail "expected a poisoned entry");
+  (* the raising path never wedged the lock: other images still work *)
+  let ok = image_of src Isa.Arch.Arm64 Minic.Optlevel.O1 in
+  (match Staticfeat.Cache.features_result ok with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "healthy image blocked: %s" (Robust.Fault.to_string f));
+  Staticfeat.Cache.clear ()
+
 (* Property: every feature is finite and non-negative except none. *)
 let features_finite =
   QCheck.Test.make ~name:"features-finite" ~count:20
@@ -152,5 +224,9 @@ let suite =
     Alcotest.test_case "size-matches-listing" `Quick size_matches_listing;
     Alcotest.test_case "cache-matches-direct" `Quick cache_matches_direct;
     Alcotest.test_case "of-image-parallel" `Quick of_image_matches_of_function;
+    Alcotest.test_case "cache-failure-recovery" `Quick
+      cache_failure_releases_and_recovers;
+    Alcotest.test_case "cache-raising-extractor" `Quick
+      cache_raising_extractor_poisons;
     QCheck_alcotest.to_alcotest features_finite;
   ]

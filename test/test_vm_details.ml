@@ -135,6 +135,81 @@ fn deref(p: word*): int { return p[0]; }
   | Vm.Exec.Crashed (Vm.Machine.Mem_fault 0L) -> ()
   | other -> Alcotest.failf "expected null fault, got %s" (Vm.Exec.outcome_to_string other)
 
+(* Guest-controlled sizes must trap or error-return, never escape as a
+   raw OCaml exception (Invalid_argument from Array.init/Bytes.sub,
+   overflow in the malloc alignment arithmetic). *)
+
+let guest_sizes_src =
+  {|
+lib gz;
+fn badmove(n: int): int {
+  var b: byte[16];
+  memmove(b, b, n);
+  return 7;
+}
+fn badwrite(n: int): int {
+  var b: byte[8];
+  return sys_write(1, b, n);
+}
+fn badread(n: int): int {
+  var b: byte[8];
+  return sys_read(0, b, n);
+}
+fn badalloc(n: int): int {
+  var p: byte* = alloc_bytes(n);
+  p[0] = 1;
+  return 1;
+}
+|}
+
+let run_guest fidx n =
+  let img = compile guest_sizes_src in
+  (Vm.Exec.run img fidx (Vm.Env.make [ Vm.Env.Vint n ])).Vm.Exec.outcome
+
+let memmove_bad_length_traps () =
+  (match run_guest 0 (-1L) with
+  | Vm.Exec.Crashed (Vm.Machine.Import_error _) -> ()
+  | other ->
+    Alcotest.failf "memmove(-1): expected import-error trap, got %s"
+      (Vm.Exec.outcome_to_string other));
+  (match run_guest 0 (Int64.of_int (1 lsl 30)) with
+  | Vm.Exec.Crashed (Vm.Machine.Import_error _) -> ()
+  | other ->
+    Alcotest.failf "memmove(2^30): expected import-error trap, got %s"
+      (Vm.Exec.outcome_to_string other));
+  (* a sane length still works *)
+  match run_guest 0 8L with
+  | Vm.Exec.Finished 7L -> ()
+  | other ->
+    Alcotest.failf "memmove(8) broken: %s" (Vm.Exec.outcome_to_string other)
+
+let syscall_bad_lengths_error () =
+  (* write with a negative length is an error return, not a crash *)
+  (match run_guest 1 (-5L) with
+  | Vm.Exec.Finished v -> Alcotest.(check int64) "write(-5) returns -1" (-1L) v
+  | other ->
+    Alcotest.failf "sys_write(-5): %s" (Vm.Exec.outcome_to_string other));
+  (* read with a negative length reads nothing *)
+  match run_guest 2 (-5L) with
+  | Vm.Exec.Finished 0L -> ()
+  | other -> Alcotest.failf "sys_read(-5): %s" (Vm.Exec.outcome_to_string other)
+
+let malloc_bad_size_traps () =
+  (match run_guest 3 (Int64.of_int max_int) with
+  | Vm.Exec.Crashed (Vm.Machine.Import_error _) -> ()
+  | other ->
+    Alcotest.failf "malloc(max_int): expected import-error trap, got %s"
+      (Vm.Exec.outcome_to_string other));
+  (match run_guest 3 (-1L) with
+  | Vm.Exec.Crashed (Vm.Machine.Import_error _) -> ()
+  | other ->
+    Alcotest.failf "malloc(-1): expected import-error trap, got %s"
+      (Vm.Exec.outcome_to_string other));
+  match run_guest 3 64L with
+  | Vm.Exec.Finished 1L -> ()
+  | other ->
+    Alcotest.failf "malloc(64) broken: %s" (Vm.Exec.outcome_to_string other)
+
 let suite =
   [
     Alcotest.test_case "mmio-region" `Quick mmio_region_counted;
@@ -144,4 +219,7 @@ let suite =
     Alcotest.test_case "deep-recursion" `Quick deep_recursion_trapped;
     Alcotest.test_case "traced-run" `Quick traced_run;
     Alcotest.test_case "null-fault" `Quick null_pointer_faults;
+    Alcotest.test_case "memmove-bad-length" `Quick memmove_bad_length_traps;
+    Alcotest.test_case "syscall-bad-lengths" `Quick syscall_bad_lengths_error;
+    Alcotest.test_case "malloc-bad-size" `Quick malloc_bad_size_traps;
   ]
