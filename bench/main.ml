@@ -11,7 +11,12 @@
 
    "chaos" measures the fault-injection robustness run (E14): supervision
    overhead with injection disarmed, then a 5%-everywhere armed scan whose
-   (findings, ledger) must be identical at 1 and N domains. *)
+   (findings, ledger) must be identical at 1 and N domains.
+
+   "obs" measures the observability overhead (E15): the same supervised
+   scan with tracing disabled (the shipping configuration, budget < 2%
+   over the pre-instrumentation chaos baseline), then with the ring and
+   JSONL sinks armed. *)
 
 let fast =
   match Sys.getenv_opt "PATCHECKO_FAST" with
@@ -229,6 +234,114 @@ let chaos () =
     Format.eprintf
       "[patchecko] WARNING: chaos reports differ between 1 and %d domains@."
       ndomains
+
+(* --- obs: tracing/metrics overhead (E15) -------------------------------- *)
+
+let obs () =
+  let ctx = Lazy.force ctx in
+  let dev =
+    match ctx.Evaluation.Context.devices with
+    | d :: _ -> d
+    | [] -> failwith "obs: no devices"
+  in
+  let fw = dev.Evaluation.Context.firmware in
+  let classifier = ctx.Evaluation.Context.classifier in
+  let db = ctx.Evaluation.Context.db in
+  let dyn_config = ctx.Evaluation.Context.dyn_config in
+  Robust.Inject.disarm ();
+  let scan () =
+    Staticfeat.Cache.clear ();
+    Patchecko.Scanner.scan_firmware ~dyn_config ~classifier ~db fw
+  in
+  let plain () =
+    Staticfeat.Cache.clear ();
+    Patchecko.Scanner.scan_firmware_plain ~dyn_config ~classifier ~db fw
+  in
+  let once f =
+    let t0 = Util.Clock.now () in
+    let r = f () in
+    (Util.Clock.since t0, r)
+  in
+  (* four variants of the same scan, interleaved and each taken as the
+     min of 5 so drift between measurement blocks cancels: the
+     unsupervised grid, the supervised scan with tracing disabled (the
+     shipping configuration), with the in-memory ring sink, and with
+     the JSONL file sink *)
+  let jsonl_path = Filename.temp_file "patchecko_bench" ".jsonl" in
+  let s_plain = ref infinity
+  and s_disabled = ref infinity
+  and s_ring = ref infinity
+  and s_jsonl = ref infinity
+  and ring_events = ref 0 in
+  for _ = 1 to 5 do
+    let tp, _ = once plain in
+    Obs.Trace.set_sink None;
+    let td, _ = once scan in
+    let (tr, _), events = Obs.Trace.with_ring (fun () -> once scan) in
+    Obs.Trace.set_sink (Some (Obs.Trace.jsonl_sink jsonl_path));
+    let tj, _ = once scan in
+    Obs.Trace.set_sink None;
+    if tp < !s_plain then s_plain := tp;
+    if td < !s_disabled then s_disabled := td;
+    if tr < !s_ring then s_ring := tr;
+    if tj < !s_jsonl then s_jsonl := tj;
+    ring_events := List.length events
+  done;
+  let jsonl_events = List.length (Obs.Trace.read_jsonl jsonl_path) in
+  Sys.remove jsonl_path;
+  let over base v = if base > 0.0 then (v -. base) /. base else 0.0 in
+  (* the PR-3 chaos bench timed the identical supervised scan before any
+     instrumentation existed; its committed number is the cross-PR
+     baseline for the disabled-tracing budget *)
+  let chaos_supervised =
+    match open_in "BENCH_chaos.json" with
+    | exception Sys_error _ -> None
+    | ic ->
+      let line = try input_line ic with End_of_file -> "" in
+      close_in ic;
+      let tag = "\"seconds_supervised\": " in
+      let rec find i =
+        if i + String.length tag > String.length line then None
+        else if String.sub line i (String.length tag) = tag then
+          Some (Scanf.sscanf (String.sub line (i + String.length tag)
+                                (String.length line - i - String.length tag))
+                  "%f" Fun.id)
+        else find (i + 1)
+      in
+      (try find 0 with Scanf.Scan_failure _ | Failure _ -> None)
+  in
+  let summary =
+    Printf.sprintf
+      "{\"bench\": \"obs\", \"device\": \"%s\", \"seconds_plain\": %.4f, \
+       \"seconds_disabled\": %.4f, \"seconds_ring\": %.4f, \
+       \"seconds_jsonl\": %.4f, \"overhead_disabled\": %.4f, \
+       \"overhead_ring\": %.4f, \"overhead_jsonl\": %.4f%s, \
+       \"events_per_scan\": %d, \"jsonl_events\": %d}"
+      fw.Loader.Firmware.device !s_plain !s_disabled !s_ring !s_jsonl
+      (over !s_plain !s_disabled)
+      (over !s_disabled !s_ring)
+      (over !s_disabled !s_jsonl)
+      (match chaos_supervised with
+      | Some base ->
+        Printf.sprintf ", \"chaos_supervised\": %.4f, \"overhead_vs_chaos\": %.4f"
+          base (over base !s_disabled)
+      | None -> "")
+      !ring_events jsonl_events
+  in
+  Format.fprintf ppf "%s@." summary;
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc (summary ^ "\n");
+  close_out oc;
+  let budget =
+    match chaos_supervised with
+    | Some base -> over base !s_disabled
+    | None -> over !s_plain !s_disabled
+  in
+  if budget > 0.02 then
+    Format.eprintf
+      "[patchecko] WARNING: disabled-tracing overhead %.1f%% exceeds the 2%% \
+       budget@."
+      (100.0 *. budget)
 
 (* --- analysis: dataflow solver throughput + alarm discrimination ------- *)
 
@@ -470,6 +583,7 @@ let all () =
   section "Baseline comparison" baselines;
   section "Parallel scan" scanpar;
   section "Chaos scan" chaos;
+  section "Observability overhead" obs;
   section "Static memory-safety analysis" analysis;
   section "Ablations" ablate;
   section "Micro-benchmarks" micro
@@ -495,6 +609,7 @@ let () =
       | "speed" -> section "Processing time" speed
       | "scanpar" -> section "Parallel scan" scanpar
       | "chaos" -> section "Chaos scan" chaos
+      | "obs" -> section "Observability overhead" obs
       | "analysis" -> section "Static memory-safety analysis" analysis
       | "baseline" -> section "Baseline comparison" baselines
       | "simcheck" -> section "Vulnerable-vs-patched similarity" simcheck
@@ -503,7 +618,8 @@ let () =
       | other ->
         Format.eprintf
           "unknown target %S (use fig7 fig8 tab3 tab4 tab5 tab6 tab7 tab8 \
-           simcheck speed scanpar analysis baseline ablate micro all)@."
+           simcheck speed scanpar chaos obs analysis baseline ablate micro \
+           all)@."
           other;
         exit 2)
     targets

@@ -8,6 +8,7 @@
    gen-firmware  build a synthetic device firmware file
    train         train the similarity model and save it to a file
    scan          hybrid scan of a firmware file for one or all CVEs
+   stats         per-span timing summary of a scan trace file
    analyze       static memory-safety alarm report for an image
    evaluate      train the model and print its quality summary *)
 
@@ -295,7 +296,28 @@ let scan_cmd =
             "Supervised retries per scan cell before it is recorded as \
              failed in the fault ledger.")
   in
-  let run firmware cve fast model_file max_distance json max_retries =
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a span trace of the scan as JSON lines (same format as \
+             the PATCHECKO_TRACE environment variable; read it back with \
+             the stats subcommand).")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print the pipeline metrics table to stderr after the scan.")
+  in
+  let run firmware cve fast model_file max_distance json max_retries trace_file
+      stats =
+    (match trace_file with
+    | Some path -> Obs.Trace.set_sink (Some (Obs.Trace.jsonl_sink path))
+    | None -> ());
+    Fun.protect ~finally:Obs.Trace.flush @@ fun () ->
     match Loader.Firmware.read_result firmware with
     | Error fault ->
       Printf.eprintf "error: cannot load %s: %s\n" firmware
@@ -361,6 +383,7 @@ let scan_cmd =
             Printf.eprintf "  %s\n" (Patchecko.Scanner.fault_record_to_string r))
           ledger
     end;
+    if stats then prerr_string (Obs.Metrics.render ());
     (* degraded results are still results: fail only when nothing scanned *)
     if
       report.Patchecko.Scanner.cells > 0
@@ -373,7 +396,62 @@ let scan_cmd =
        ~doc:"Hybrid vulnerability + patch-presence scan of a firmware file.")
     Term.(
       const run $ firmware $ cve $ fast $ model_file $ max_distance $ json
-      $ max_retries)
+      $ max_retries $ trace_file $ stats)
+
+(* --- stats ------------------------------------------------------------------ *)
+
+let stats_cmd =
+  let trace =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE.jsonl")
+  in
+  let run trace =
+    match Obs.Trace.read_jsonl trace with
+    | exception Obs.Trace.Parse_error msg ->
+      Printf.eprintf "error: %s: %s\n" trace msg;
+      1
+    | events ->
+      let violations = Obs.Trace.check events in
+      List.iter
+        (fun v ->
+          Printf.eprintf "warning: %s\n" (Obs.Trace.violation_to_string v))
+        violations;
+      (* aggregate per span name: count, total and mean self time *)
+      let tbl = Hashtbl.create 16 in
+      let rec visit (s : Obs.Trace.span) =
+        let count, total =
+          match Hashtbl.find_opt tbl s.Obs.Trace.name with
+          | Some (c, t) -> (c, t)
+          | None -> (0, 0)
+        in
+        Hashtbl.replace tbl s.Obs.Trace.name
+          (count + 1, total + s.Obs.Trace.dur_ns);
+        List.iter visit s.Obs.Trace.children
+      in
+      List.iter visit (Obs.Trace.completed events);
+      let rows =
+        Hashtbl.fold (fun name (c, t) acc -> (name, c, t) :: acc) tbl []
+        |> List.sort (fun (_, _, t1) (_, _, t2) -> compare t2 t1)
+      in
+      Printf.printf "%-24s %8s %12s %12s\n" "span" "count" "total ms"
+        "mean ms";
+      List.iter
+        (fun (name, count, total) ->
+          Printf.printf "%-24s %8d %12.3f %12.3f\n" name count
+            (float_of_int total /. 1e6)
+            (float_of_int total /. 1e6 /. float_of_int count))
+        rows;
+      Printf.printf "%d events, %d completed spans%s\n" (List.length events)
+        (List.fold_left (fun acc (_, c, _) -> acc + c) 0 rows)
+        (if violations = [] then ""
+         else Printf.sprintf ", %d violations" (List.length violations));
+      if violations = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Summarise a span trace written by scan --trace (or \
+          PATCHECKO_TRACE) as a per-span timing table.")
+    Term.(const run $ trace)
 
 (* --- analyze ---------------------------------------------------------------- *)
 
@@ -485,7 +563,8 @@ let main =
           vulnerabilities (DSN 2020 reproduction).")
     [
       compile_cmd; inspect_cmd; verify_cmd; run_cmd; trace_cmd;
-      gen_firmware_cmd; train_cmd; scan_cmd; analyze_cmd; evaluate_cmd;
+      gen_firmware_cmd; train_cmd; scan_cmd; stats_cmd; analyze_cmd;
+      evaluate_cmd;
     ]
 
 let () =

@@ -12,6 +12,15 @@ let target_image (dev : Context.device_eval) (truth : Corpus.Devices.truth) =
 
 let run_cve (ctx : Context.t) (dev : Context.device_eval)
     (truth : Corpus.Devices.truth) =
+  (* a root span for the same reason as the scanner's cells: the trace
+     shape must not depend on which domain the cell lands on *)
+  Obs.Trace.root_span ~name:"grid.cell"
+    ~attrs:(fun () ->
+      [
+        ("device", dev.Context.device.Corpus.Devices.device_name);
+        ("cve", truth.Corpus.Devices.cve.Corpus.Cves.id);
+      ])
+  @@ fun () ->
   let entry = Context.db_entry ctx truth.cve.Corpus.Cves.id in
   let target = target_image dev truth in
   let analyze reference_patched =
@@ -37,6 +46,10 @@ let run_device ?(progress = fun _ -> ()) ctx dev =
     dev.Context.truths
 
 let run_all ?progress ctx =
+  Obs.Trace.root_span ~name:"grid.run_all"
+    ~attrs:(fun () ->
+      [ ("devices", string_of_int (List.length ctx.Context.devices)) ])
+  @@ fun () ->
   (* pre-extract the features of every targeted image once (parallel
      within each image) so the parallel cells below only read the cache *)
   List.iter

@@ -1,0 +1,178 @@
+(* Process-wide counters, gauges and histograms.
+
+   Write paths are lock-free: a counter or histogram is an array of
+   [shards] atomic cells and every update touches only the cell indexed
+   by the calling domain's id (mod shards), so pool workers never
+   contend on a mutex or on one hot cache line.  Reads aggregate the
+   shards; since every shard total is a sum of the updates that landed
+   on it, the aggregate is independent of how work was scheduled across
+   domains — the golden-trace tests rely on that.
+
+   Metrics are registered by name in a global registry so call sites can
+   hold handles ([let c = Metrics.counter "x"] at module level) and the
+   CLI / tests can read everything back with [snapshot].  Registering
+   the same name twice returns the same metric. *)
+
+let shards = 64
+
+type counter = int Atomic.t array
+
+(* histograms bucket by bit-width: bucket i counts values v with
+   2^(i-1) <= v < 2^i (bucket 0 counts v <= 0).  Cheap, deterministic,
+   and wide enough for fuel counts. *)
+let buckets = 63
+
+type histogram = {
+  cells : int Atomic.t array array;  (* shard -> bucket counts *)
+  sums : int Atomic.t array;
+  counts : int Atomic.t array;
+}
+
+type gauge = int Atomic.t
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+
+let register name make cast =
+  Mutex.lock registry_mutex;
+  let m =
+    match Hashtbl.find_opt registry name with
+    | Some m -> m
+    | None ->
+      let m = make () in
+      Hashtbl.replace registry name m;
+      m
+  in
+  Mutex.unlock registry_mutex;
+  cast name m
+
+let counter name =
+  register name
+    (fun () -> Counter (Array.init shards (fun _ -> Atomic.make 0)))
+    (fun name -> function
+      | Counter c -> c
+      | _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is not a counter"))
+
+let gauge name =
+  register name
+    (fun () -> Gauge (Atomic.make 0))
+    (fun name -> function
+      | Gauge g -> g
+      | _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " is not a gauge"))
+
+let histogram name =
+  register name
+    (fun () ->
+      Histogram
+        {
+          cells = Array.init shards (fun _ -> Array.init buckets (fun _ -> Atomic.make 0));
+          sums = Array.init shards (fun _ -> Atomic.make 0);
+          counts = Array.init shards (fun _ -> Atomic.make 0);
+        })
+    (fun name -> function
+      | Histogram h -> h
+      | _ -> invalid_arg ("Metrics.histogram: " ^ name ^ " is not a histogram"))
+
+let shard () = (Domain.self () :> int) mod shards
+
+let add c n = ignore (Atomic.fetch_and_add c.(shard ()) n)
+let incr c = add c 1
+let set g v = Atomic.set g v
+
+let bucket_of v =
+  if v <= 0 then 0
+  else
+    let rec width acc v = if v = 0 then acc else width (acc + 1) (v lsr 1) in
+    min (buckets - 1) (width 0 v)
+
+let observe h v =
+  let s = shard () in
+  ignore (Atomic.fetch_and_add h.cells.(s).(bucket_of v) 1);
+  ignore (Atomic.fetch_and_add h.sums.(s) v);
+  ignore (Atomic.fetch_and_add h.counts.(s) 1)
+
+(* --- aggregation -------------------------------------------------------- *)
+
+let sum_shards a = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 a
+
+let counter_value c = sum_shards c
+let gauge_value g = Atomic.get g
+
+type histogram_summary = {
+  count : int;
+  sum : int;
+  by_bucket : (int * int) list;  (* (bucket upper bound, count), non-empty buckets *)
+}
+
+let histogram_summary h =
+  let by_bucket = ref [] in
+  for b = buckets - 1 downto 0 do
+    let n =
+      Array.fold_left (fun acc row -> acc + Atomic.get row.(b)) 0 h.cells
+    in
+    if n > 0 then
+      by_bucket := ((if b = 0 then 0 else 1 lsl b), n) :: !by_bucket
+  done;
+  { count = sum_shards h.counts; sum = sum_shards h.sums; by_bucket = !by_bucket }
+
+type value =
+  | Vcounter of int
+  | Vgauge of int
+  | Vhistogram of histogram_summary
+
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let entries = Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [] in
+  Mutex.unlock registry_mutex;
+  entries
+  |> List.map (fun (name, m) ->
+         ( name,
+           match m with
+           | Counter c -> Vcounter (counter_value c)
+           | Gauge g -> Vgauge (gauge_value g)
+           | Histogram h -> Vhistogram (histogram_summary h) ))
+  |> List.sort compare
+
+let find name = List.assoc_opt name (snapshot ())
+
+let get_counter name =
+  match find name with Some (Vcounter n) -> n | _ -> 0
+
+let reset () =
+  Mutex.lock registry_mutex;
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> Array.iter (fun cell -> Atomic.set cell 0) c
+      | Gauge g -> Atomic.set g 0
+      | Histogram h ->
+        Array.iter (Array.iter (fun cell -> Atomic.set cell 0)) h.cells;
+        Array.iter (fun cell -> Atomic.set cell 0) h.sums;
+        Array.iter (fun cell -> Atomic.set cell 0) h.counts)
+    registry;
+  Mutex.unlock registry_mutex
+
+(* --- rendering ---------------------------------------------------------- *)
+
+let value_to_string = function
+  | Vcounter n -> string_of_int n
+  | Vgauge n -> string_of_int n
+  | Vhistogram { count; sum; by_bucket } ->
+    Printf.sprintf "count %d, sum %d%s" count sum
+      (if by_bucket = [] then ""
+       else
+         ", " ^ String.concat " "
+           (List.map (fun (ub, n) -> Printf.sprintf "le%d:%d" ub n) by_bucket))
+
+let render () =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string b (Printf.sprintf "%-28s %s\n" name (value_to_string v)))
+    (snapshot ());
+  Buffer.contents b

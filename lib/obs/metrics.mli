@@ -1,0 +1,64 @@
+(** Process-wide counters, gauges and histograms with lock-free
+    per-domain shards.
+
+    Updates touch one atomic cell chosen by the calling domain's id, so
+    pool workers never contend; reads aggregate the shards, and because
+    each aggregate is a plain sum of updates, the result is independent
+    of how work was scheduled across domains.
+
+    Metrics are registered by name; requesting an existing name returns
+    the same underlying metric (requesting it as a different kind
+    raises [Invalid_argument]).  Hold the handle at module level —
+    registration takes a mutex, updates do not. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+val gauge : string -> gauge
+val histogram : string -> histogram
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set : gauge -> int -> unit
+
+val observe : histogram -> int -> unit
+(** Record one value: bucketed by bit width ([2^(i-1) <= v < 2^i];
+    values [<= 0] land in bucket 0), with exact running count and sum. *)
+
+(** {2 Reading} *)
+
+val counter_value : counter -> int
+val gauge_value : gauge -> int
+
+type histogram_summary = {
+  count : int;
+  sum : int;
+  by_bucket : (int * int) list;
+      (** (bucket upper bound, count) for non-empty buckets, ascending *)
+}
+
+val histogram_summary : histogram -> histogram_summary
+
+type value =
+  | Vcounter of int
+  | Vgauge of int
+  | Vhistogram of histogram_summary
+
+val snapshot : unit -> (string * value) list
+(** Every registered metric with its aggregated value, sorted by name. *)
+
+val value_to_string : value -> string
+
+val find : string -> value option
+
+val get_counter : string -> int
+(** The named counter's aggregate, or 0 if absent / not a counter. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (registration survives).  For tests and
+    benchmarks; call only while no scan is running. *)
+
+val render : unit -> string
+(** Human-readable one-line-per-metric table. *)

@@ -1,0 +1,468 @@
+(* Span-based structured tracing.
+
+   A span is a named, timed region of the pipeline opened by [with_span]
+   (child of the domain's innermost open span) or [root_span] (always a
+   root).  Parenting is per-domain: each domain keeps its own stack of
+   open spans, so spans emitted from pool workers interleave safely and
+   a parent link never crosses a domain.  The scanner deliberately opens
+   its per-cell spans with [root_span] — a cell must have the same shape
+   whether it runs on the caller's domain (1-domain pool) or a worker.
+
+   Events go to the installed sink.  With no sink installed (the
+   default) [with_span] is one atomic load plus the call to the body, so
+   instrumentation left in hot paths is effectively free; the attribute
+   thunk is never forced.  Sinks:
+   - ring buffer ([with_ring]) — bounded, in-memory, for tests;
+   - JSONL ([jsonl_sink], armed at startup by [PATCHECKO_TRACE=path]) —
+     one event object per line, read back by [read_jsonl]. *)
+
+type event =
+  | Start of {
+      id : int;
+      parent : int option;
+      name : string;
+      attrs : (string * string) list;
+      domain : int;
+      ts_ns : int;
+    }
+  | End of { id : int; domain : int; ts_ns : int }
+
+type sink = { emit : event -> unit; flush : unit -> unit }
+
+let enabled = Atomic.make false
+let sink : sink option ref = ref None
+let sink_mutex = Mutex.create ()
+
+let set_sink s =
+  Mutex.lock sink_mutex;
+  (match !sink with Some old -> old.flush () | None -> ());
+  sink := s;
+  Atomic.set enabled (s <> None);
+  Mutex.unlock sink_mutex
+
+let current_sink () = !sink
+let flush () = match !sink with Some s -> s.flush () | None -> ()
+let emit ev = match !sink with Some s -> s.emit ev | None -> ()
+
+(* --- span lifecycle ---------------------------------------------------- *)
+
+let next_id = Atomic.make 1
+
+(* innermost open span of the current domain, [0] meaning "none" *)
+let current : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let domain_id () = (Domain.self () :> int)
+
+let span_scope ~root ~name ~attrs f =
+  let id = Atomic.fetch_and_add next_id 1 in
+  let dom = domain_id () in
+  let saved = Domain.DLS.get current in
+  let parent = if root || saved = 0 then None else Some saved in
+  emit
+    (Start
+       {
+         id;
+         parent;
+         name;
+         attrs = (match attrs with Some a -> a () | None -> []);
+         domain = dom;
+         ts_ns = Util.Clock.elapsed_ns ();
+       });
+  Domain.DLS.set current id;
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.DLS.set current saved;
+      emit (End { id; domain = domain_id (); ts_ns = Util.Clock.elapsed_ns () }))
+    f
+
+let with_span ~name ?attrs f =
+  if not (Atomic.get enabled) then f ()
+  else span_scope ~root:false ~name ~attrs f
+
+let root_span ~name ?attrs f =
+  if not (Atomic.get enabled) then f ()
+  else span_scope ~root:true ~name ~attrs f
+
+(* --- ring-buffer sink -------------------------------------------------- *)
+
+let ring_sink ?(capacity = 65536) () =
+  let buf = Array.make (max 1 capacity) None in
+  let head = ref 0 in
+  let count = ref 0 in
+  let m = Mutex.create () in
+  let emit ev =
+    Mutex.lock m;
+    buf.((!head + !count) mod Array.length buf) <- Some ev;
+    if !count < Array.length buf then incr count
+    else head := (!head + 1) mod Array.length buf;
+    Mutex.unlock m
+  in
+  let events () =
+    Mutex.lock m;
+    let out =
+      List.init !count (fun i ->
+          match buf.((!head + i) mod Array.length buf) with
+          | Some ev -> ev
+          | None -> assert false)
+    in
+    Mutex.unlock m;
+    out
+  in
+  ({ emit; flush = ignore }, events)
+
+let with_ring ?capacity f =
+  let s, events = ring_sink ?capacity () in
+  let saved = !sink in
+  set_sink (Some s);
+  let v = Fun.protect ~finally:(fun () -> set_sink saved) f in
+  (v, events ())
+
+(* --- JSONL sink and reader --------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 32 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let event_to_json = function
+  | Start { id; parent; name; attrs; domain; ts_ns } ->
+    let attrs_json =
+      String.concat ","
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+           attrs)
+    in
+    Printf.sprintf
+      "{\"ev\":\"start\",\"id\":%d,\"parent\":%d,\"name\":\"%s\",\"domain\":%d,\"ts\":%d,\"attrs\":{%s}}"
+      id
+      (match parent with Some p -> p | None -> 0)
+      (json_escape name) domain ts_ns attrs_json
+  | End { id; domain; ts_ns } ->
+    Printf.sprintf "{\"ev\":\"end\",\"id\":%d,\"domain\":%d,\"ts\":%d}" id
+      domain ts_ns
+
+(* A minimal recursive-descent parser for exactly the object shape the
+   sink emits (flat fields, one nested string-to-string "attrs" map).
+   No external JSON dependency. *)
+exception Parse_error of string
+
+let event_of_json line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error msg) in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (line.[!pos] = ' ' || line.[!pos] = '\t') do
+      advance ()
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () = Some c then advance ()
+    else fail (Printf.sprintf "expected %c at %d" c !pos)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match line.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (if !pos >= n then fail "truncated escape"
+           else
+             match line.[!pos] with
+             | '"' -> Buffer.add_char buf '"'; advance ()
+             | '\\' -> Buffer.add_char buf '\\'; advance ()
+             | 'n' -> Buffer.add_char buf '\n'; advance ()
+             | 't' -> Buffer.add_char buf '\t'; advance ()
+             | 'u' ->
+               if !pos + 4 >= n then fail "truncated \\u escape";
+               let hex = String.sub line (!pos + 1) 4 in
+               (match int_of_string_opt ("0x" ^ hex) with
+               | Some code when code < 256 -> Buffer.add_char buf (Char.chr code)
+               | Some _ | None -> fail "bad \\u escape");
+               pos := !pos + 5
+             | c -> fail (Printf.sprintf "bad escape \\%c" c));
+          go ()
+        | c -> Buffer.add_char buf c; advance (); go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_int () =
+    skip_ws ();
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    while !pos < n && line.[!pos] >= '0' && line.[!pos] <= '9' do
+      advance ()
+    done;
+    match int_of_string_opt (String.sub line start (!pos - start)) with
+    | Some v -> v
+    | None -> fail (Printf.sprintf "expected integer at %d" start)
+  in
+  let parse_attrs () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then begin advance (); [] end
+    else begin
+      let out = ref [] in
+      let rec go () =
+        let k = parse_string () in
+        expect ':';
+        let v = parse_string () in
+        out := (k, v) :: !out;
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance (); skip_ws (); go ()
+        | Some '}' -> advance ()
+        | _ -> fail "expected , or } in attrs"
+      in
+      go ();
+      List.rev !out
+    end
+  in
+  (* fields, in any order *)
+  let ev = ref "" and id = ref 0 and parent = ref 0 and name = ref "" in
+  let domain = ref 0 and ts = ref 0 and attrs = ref [] in
+  expect '{';
+  skip_ws ();
+  if peek () <> Some '}' then begin
+    let rec field () =
+      let k = parse_string () in
+      expect ':';
+      (match k with
+      | "ev" -> ev := parse_string ()
+      | "id" -> id := parse_int ()
+      | "parent" -> parent := parse_int ()
+      | "name" -> name := parse_string ()
+      | "domain" -> domain := parse_int ()
+      | "ts" -> ts := parse_int ()
+      | "attrs" -> attrs := parse_attrs ()
+      | other -> fail ("unknown field " ^ other));
+      skip_ws ();
+      match peek () with
+      | Some ',' -> advance (); skip_ws (); field ()
+      | Some '}' -> advance ()
+      | _ -> fail "expected , or }"
+    in
+    field ()
+  end
+  else advance ();
+  match !ev with
+  | "start" ->
+    Start
+      {
+        id = !id;
+        parent = (if !parent = 0 then None else Some !parent);
+        name = !name;
+        attrs = !attrs;
+        domain = !domain;
+        ts_ns = !ts;
+      }
+  | "end" -> End { id = !id; domain = !domain; ts_ns = !ts }
+  | other -> fail ("unknown event type " ^ other)
+
+let event_of_json_opt line =
+  match event_of_json line with v -> Some v | exception Parse_error _ -> None
+
+let jsonl_sink path =
+  let oc = open_out path in
+  let m = Mutex.create () in
+  let emit ev =
+    Mutex.lock m;
+    output_string oc (event_to_json ev);
+    output_char oc '\n';
+    Mutex.unlock m
+  in
+  let flush () =
+    Mutex.lock m;
+    Stdlib.flush oc;
+    Mutex.unlock m
+  in
+  { emit; flush }
+
+let read_jsonl path =
+  let ic = open_in path in
+  let out = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then out := event_of_json line :: !out
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !out
+
+(* arm the JSONL sink from the environment, mirroring PATCHECKO_FAULTS *)
+let () =
+  match Sys.getenv_opt "PATCHECKO_TRACE" with
+  | None | Some "" -> ()
+  | Some path ->
+    set_sink (Some (jsonl_sink path));
+    at_exit flush
+
+(* --- span reconstruction ------------------------------------------------ *)
+
+type span = {
+  name : string;
+  attrs : (string * string) list;
+  domain : int;
+  path : string list;
+  start_ns : int;
+  dur_ns : int;
+  children : span list;
+}
+
+type violation =
+  | Unmatched_start of int
+  | Unmatched_end of int
+  | Cross_domain_parent of int
+  | Bad_interleave of int
+
+let violation_to_string = function
+  | Unmatched_start id -> Printf.sprintf "span %d started but never ended" id
+  | Unmatched_end id -> Printf.sprintf "end event for unknown span %d" id
+  | Cross_domain_parent id ->
+    Printf.sprintf "span %d has a parent on another domain" id
+  | Bad_interleave id ->
+    Printf.sprintf "span %d ended out of stack order on its domain" id
+
+(* Replay the event stream: per-domain stacks check LIFO nesting, parent
+   links must point at the opener's domain-local enclosing span. *)
+let check events =
+  let open_tbl = Hashtbl.create 64 in
+  (* id -> domain of Start *)
+  let stacks = Hashtbl.create 8 in
+  (* domain -> id list (innermost first) *)
+  let stack dom = match Hashtbl.find_opt stacks dom with Some s -> s | None -> [] in
+  let violations = ref [] in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Start { id; parent; domain; _ } ->
+        Hashtbl.replace open_tbl id domain;
+        (match parent with
+        | None -> ()
+        | Some p -> (
+          match stack domain with
+          | top :: _ when top = p -> ()
+          | _ ->
+            violations :=
+              (if Hashtbl.find_opt open_tbl p <> Some domain then
+                 Cross_domain_parent id
+               else Bad_interleave id)
+              :: !violations));
+        Hashtbl.replace stacks domain (id :: stack domain)
+      | End { id; domain; _ } -> (
+        match Hashtbl.find_opt open_tbl id with
+        | None -> violations := Unmatched_end id :: !violations
+        | Some _ -> (
+          Hashtbl.remove open_tbl id;
+          match stack domain with
+          | top :: rest when top = id -> Hashtbl.replace stacks domain rest
+          | _ ->
+            violations := Bad_interleave id :: !violations;
+            Hashtbl.replace stacks domain
+              (List.filter (fun x -> x <> id) (stack domain)))))
+    events;
+  Hashtbl.iter (fun id _ -> violations := Unmatched_start id :: !violations) open_tbl;
+  List.rev !violations
+
+type start_info = {
+  s_parent : int option;
+  s_name : string;
+  s_attrs : (string * string) list;
+  s_domain : int;
+  s_ts : int;
+}
+
+let completed events =
+  let starts = Hashtbl.create 64 in
+  let ends = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Start { id; parent; name; attrs; domain; ts_ns } ->
+        Hashtbl.replace starts id
+          { s_parent = parent; s_name = name; s_attrs = attrs;
+            s_domain = domain; s_ts = ts_ns };
+        order := id :: !order
+      | End { id; ts_ns; _ } -> Hashtbl.replace ends id ts_ns)
+    events;
+  let order = List.rev !order in
+  (* name path from the parent chain *)
+  let rec path_of id =
+    match Hashtbl.find_opt starts id with
+    | None -> []
+    | Some s -> (
+      match s.s_parent with
+      | None -> [ s.s_name ]
+      | Some p -> path_of p @ [ s.s_name ])
+  in
+  let children_of id =
+    List.filter_map
+      (fun cid ->
+        match Hashtbl.find_opt starts cid with
+        | Some c when c.s_parent = Some id -> Some cid
+        | _ -> None)
+      order
+  in
+  let rec build id =
+    match (Hashtbl.find_opt starts id, Hashtbl.find_opt ends id) with
+    | Some s, Some end_ns ->
+      Some
+        {
+          name = s.s_name;
+          attrs = s.s_attrs;
+          domain = s.s_domain;
+          path = path_of id;
+          start_ns = s.s_ts;
+          dur_ns = end_ns - s.s_ts;
+          children = List.filter_map build (children_of id);
+        }
+    | _ -> None
+  in
+  List.filter_map
+    (fun id ->
+      match Hashtbl.find_opt starts id with
+      | Some s when s.s_parent = None -> build id
+      | _ -> None)
+    order
+
+(* Timestamp/domain/id-free rendering: one line per span, sorted, so two
+   traces of the same logical work compare equal whatever the domain
+   count or scheduling.  Golden tests pin the exact output. *)
+let normalize spans =
+  let lines = ref [] in
+  let rec walk s =
+    let attrs =
+      match s.attrs with
+      | [] -> ""
+      | attrs ->
+        "{"
+        ^ String.concat ","
+            (List.map (fun (k, v) -> k ^ "=" ^ v)
+               (List.sort compare attrs))
+        ^ "}"
+    in
+    lines := (String.concat "/" s.path ^ attrs) :: !lines;
+    List.iter walk s.children
+  in
+  List.iter walk spans;
+  List.sort compare !lines

@@ -1,0 +1,99 @@
+(** Span-based structured tracing for the scan pipeline.
+
+    [with_span ~name f] times [f] as a span nested under the calling
+    domain's innermost open span; [root_span] forces a new root (the
+    scanner uses it for per-cell spans so a cell's subtree has the same
+    shape whether it runs on the caller's domain or a pool worker).
+    Parenting is strictly per-domain — a parent link never crosses a
+    domain — and timestamps come from {!Util.Clock.elapsed_ns}.
+
+    With no sink installed (the default) a span is one atomic load: the
+    attribute thunk is not forced and no event is built, so
+    instrumentation can stay in hot paths.  The JSONL sink is armed at
+    program start by [PATCHECKO_TRACE=path]; the ring sink backs the
+    golden-trace tests. *)
+
+type event =
+  | Start of {
+      id : int;  (** process-unique, > 0 *)
+      parent : int option;  (** same-domain enclosing span *)
+      name : string;
+      attrs : (string * string) list;
+      domain : int;
+      ts_ns : int;
+    }
+  | End of { id : int; domain : int; ts_ns : int }
+
+type sink = { emit : event -> unit; flush : unit -> unit }
+
+val set_sink : sink option -> unit
+(** Install (or with [None] remove) the global sink.  The previous sink
+    is flushed.  [None] disables tracing entirely. *)
+
+val current_sink : unit -> sink option
+(** The installed sink, if any (so callers can save/restore around a
+    temporary sink swap). *)
+
+val flush : unit -> unit
+
+val with_span : name:string -> ?attrs:(unit -> (string * string) list) -> (unit -> 'a) -> 'a
+(** Run the body inside a span.  [attrs] is only forced when a sink is
+    installed.  The [End] event is emitted even if the body raises. *)
+
+val root_span : name:string -> ?attrs:(unit -> (string * string) list) -> (unit -> 'a) -> 'a
+(** Like {!with_span} but never links to an enclosing span. *)
+
+val ring_sink : ?capacity:int -> unit -> sink * (unit -> event list)
+(** A bounded in-memory sink (default capacity 65536 events; oldest
+    events are overwritten).  The second component snapshots the events
+    currently held, oldest first. *)
+
+val with_ring : ?capacity:int -> (unit -> 'a) -> 'a * event list
+(** Install a fresh ring sink around the body and return the events it
+    captured.  Restores the previously installed sink afterwards. *)
+
+val jsonl_sink : string -> sink
+(** Append-to-file sink, one JSON event object per line. *)
+
+val read_jsonl : string -> event list
+(** Parse a file written by {!jsonl_sink}.  Raises {!Parse_error} on a
+    malformed line; blank lines are skipped. *)
+
+exception Parse_error of string
+
+val event_to_json : event -> string
+val event_of_json : string -> event
+val event_of_json_opt : string -> event option
+
+(** {2 Span reconstruction} *)
+
+type span = {
+  name : string;
+  attrs : (string * string) list;
+  domain : int;
+  path : string list;  (** names from the span's root down to itself *)
+  start_ns : int;
+  dur_ns : int;
+  children : span list;
+}
+
+type violation =
+  | Unmatched_start of int
+  | Unmatched_end of int
+  | Cross_domain_parent of int
+  | Bad_interleave of int
+
+val violation_to_string : violation -> string
+
+val check : event list -> violation list
+(** Replay the stream and report every well-formedness violation: a
+    correct trace (however many domains produced it) yields []. *)
+
+val completed : event list -> span list
+(** Root spans (with nested children) for which both events are present,
+    in start order. *)
+
+val normalize : span list -> string list
+(** Sorted, timestamp/domain/id-free one-line renderings
+    ("path/to/span{k=v,...}") of every span in the forest — equal for
+    two traces of the same logical work whatever the domain count. *)

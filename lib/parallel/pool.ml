@@ -73,10 +73,17 @@ let shutdown t =
     t.workers <- []
   end
 
+(* Observability: parallel generations dispatched, and the default pool
+   size.  [pool.jobs] is scheduling-dependent (a 1-domain pool never
+   dispatches), so cross-domain-count golden comparisons exclude it. *)
+let m_jobs = Obs.Metrics.counter "pool.jobs"
+let m_domains = Obs.Metrics.gauge "pool.domains"
+
 (* Publish [work] to every worker, run the caller's share, wait for all
    workers to finish the generation.  [work] must pull iterations from a
    shared counter and must not raise. *)
 let run_job t work =
+  Obs.Metrics.incr m_jobs;
   Mutex.lock t.mutex;
   t.generation <- t.generation + 1;
   t.job <- Some work;
@@ -125,6 +132,7 @@ let default () =
     | None ->
       let p = create !default_size in
       default_pool := Some p;
+      Obs.Metrics.set m_domains !default_size;
       p
   in
   Mutex.unlock default_mutex;
@@ -135,6 +143,7 @@ let set_default_size n =
   (match !default_pool with Some p -> shutdown p | None -> ());
   default_pool := None;
   default_size := max 1 n;
+  Obs.Metrics.set m_domains !default_size;
   Mutex.unlock default_mutex
 
 let () =

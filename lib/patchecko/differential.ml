@@ -66,8 +66,14 @@ let signature_distance (img_a, ia) (img_b, ib) =
   let shape = (rel ba bb +. rel ea eb +. rel ca cb) /. 3.0 in
   (multiset_jaccard imports_a imports_b +. shape) /. 2.0
 
+let m_gathers = Obs.Metrics.counter "differential.gathers"
+
 let gather ~vuln:(vimg, vidx) ~patched:(pimg, pidx) ~target:(timg, tidx)
     ?dynamic () =
+  Obs.Trace.with_span ~name:"stage.differential"
+    ~attrs:(fun () -> [ ("image", timg.Loader.Image.name) ])
+  @@ fun () ->
+  Obs.Metrics.incr m_gathers;
   let sv = Staticfeat.Cache.feature vimg vidx in
   let sp = Staticfeat.Cache.feature pimg pidx in
   let st = Staticfeat.Cache.feature timg tidx in

@@ -22,8 +22,21 @@ type result = {
 let profile ~fuel img fidx envs =
   List.map (fun env -> (Vm.Exec.run ~fuel img fidx env).Vm.Exec.features) envs
 
+let m_runs = Obs.Metrics.counter "dynamic.runs"
+let m_candidates_in = Obs.Metrics.counter "dynamic.candidates_in"
+let m_validated = Obs.Metrics.counter "dynamic.validated"
+let m_executions = Obs.Metrics.counter "dynamic.executions"
+let m_faulted = Obs.Metrics.counter "dynamic.faulted"
+
 let run ?(config = default_config) ~reference:(ref_img, ref_idx) ~shape ~target
     ~candidates () =
+  Obs.Trace.with_span ~name:"stage.dynamic"
+    ~attrs:(fun () ->
+      [
+        ("image", target.Loader.Image.name);
+        ("candidates", string_of_int (List.length candidates));
+      ])
+  @@ fun () ->
   let start = Util.Clock.now () in
   let rng = Util.Prng.create config.seed in
   (* over-generate, then keep environments the reference survives.  A
@@ -68,6 +81,11 @@ let run ?(config = default_config) ~reference:(ref_img, ref_idx) ~shape ~target
   let ranking =
     Similarity.Rank.by_distance ~p:config.p ~reference:reference_profile profiles
   in
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.add m_candidates_in (List.length candidates);
+  Obs.Metrics.add m_validated (List.length validated);
+  Obs.Metrics.add m_executions !executions;
+  Obs.Metrics.add m_faulted (List.length !faulted);
   {
     envs;
     envs_used = List.length envs;

@@ -82,6 +82,14 @@ let scan_cell ~dyn_config ~max_distance ~classifier ~max_retries entry image =
   let key =
     entry.Vulndb.cve_id ^ "@" ^ image.Loader.Image.name
   in
+  (* a cell span is deliberately a root: at 1 domain the cell runs on
+     the caller's domain inside the scan.firmware span, at N domains on
+     a worker — parenting it ambiently would make the trace shape depend
+     on the domain count (and cross-domain links are forbidden) *)
+  Obs.Trace.root_span ~name:"scan.cell"
+    ~attrs:(fun () ->
+      [ ("cve", entry.Vulndb.cve_id); ("image", image.Loader.Image.name) ])
+  @@ fun () ->
   Robust.Supervisor.run ~max_retries ~key (fun esc ->
       if esc.Robust.Supervisor.refresh_cache then Staticfeat.Cache.invalidate image;
       let dyn_config =
@@ -97,6 +105,10 @@ let scan_cell ~dyn_config ~max_distance ~classifier ~max_retries entry image =
 
 (* --- whole-firmware scan ---------------------------------------------- *)
 
+let m_cells = Obs.Metrics.counter "scan.cells"
+let m_failed_cells = Obs.Metrics.counter "scan.failed_cells"
+let m_findings = Obs.Metrics.counter "scan.findings"
+
 (* Supervised cache prefill for one image.  Runs sequentially before the
    parallel grid so that extraction faults resolve (to Ready or a
    permanently Failed entry) in deterministic order — cells then only
@@ -104,6 +116,9 @@ let scan_cell ~dyn_config ~max_distance ~classifier ~max_retries entry image =
    whatever the domain count. *)
 let prefill ~max_retries ledger img =
   let key = "prefill@" ^ img.Loader.Image.name in
+  Obs.Trace.with_span ~name:"scan.prefill"
+    ~attrs:(fun () -> [ ("image", img.Loader.Image.name) ])
+  @@ fun () ->
   let o =
     Robust.Supervisor.run ~max_retries ~key (fun esc ->
         if esc.Robust.Supervisor.attempt > 1 then Staticfeat.Cache.invalidate img;
@@ -127,6 +142,14 @@ let prefill ~max_retries ledger img =
 let scan_firmware ?(dyn_config = Dynamic_stage.default_config)
     ?(max_distance = 50.0) ?(max_retries = 2) ~classifier ~db
     (fw : Loader.Firmware.t) =
+  Obs.Trace.root_span ~name:"scan.firmware"
+    ~attrs:(fun () ->
+      [
+        ("device", fw.Loader.Firmware.device);
+        ("images", string_of_int (Array.length fw.Loader.Firmware.images));
+        ("cves", string_of_int (Vulndb.size db));
+      ])
+  @@ fun () ->
   let images = fw.Loader.Firmware.images in
   let entries = Vulndb.entries db in
   (* settle the feature cache up front: the firmware images (scored by
@@ -186,6 +209,9 @@ let scan_firmware ?(dyn_config = Dynamic_stage.default_config)
           incr failed_cells;
           List.iter (record ~attempts Failed) o.Robust.Supervisor.faults))
     outcomes;
+  Obs.Metrics.add m_cells (Array.length cells);
+  Obs.Metrics.add m_failed_cells !failed_cells;
+  Obs.Metrics.add m_findings (List.length !findings);
   {
     findings = List.rev !findings;
     ledger = List.rev !ledger;

@@ -22,6 +22,11 @@ let pair_score clf ~reference ~candidate =
    matrix, whatever the domain count. *)
 let score_batch = 32
 
+let m_scans = Obs.Metrics.counter "static.scans"
+let m_batch_rows = Obs.Metrics.histogram "static.batch_rows"
+let m_scores = Obs.Metrics.histogram "static.score_pct"
+let m_candidates = Obs.Metrics.counter "static.candidates"
+
 let scan ?features clf ~reference img =
   (* "nn.score" injection site: a chaos run can make the whole static
      scoring pass of a cell fault, keyed by the target image *)
@@ -35,25 +40,32 @@ let scan ?features clf ~reference img =
               detail = "injected scoring fault on " ^ img.Loader.Image.name;
             }))
   | None -> ());
-  let start = Util.Clock.now () in
-  let feats =
-    match features with Some f -> f | None -> Staticfeat.Cache.features img
-  in
-  let n = Array.length feats in
-  let scores = Array.make n 0.0 in
-  let nbatches = (n + score_batch - 1) / score_batch in
-  Parallel.Pool.parallel_for ~chunk:1 nbatches (fun b ->
-      let lo = b * score_batch in
-      let len = min score_batch (n - lo) in
-      let rows =
-        Array.init len (fun k ->
-            Nn.Data.normalize_vec clf.normalizer
-              (Util.Vec.concat reference feats.(lo + k)))
+  Obs.Trace.with_span ~name:"stage.static"
+    ~attrs:(fun () -> [ ("image", img.Loader.Image.name) ])
+    (fun () ->
+      let start = Util.Clock.now () in
+      let feats =
+        match features with Some f -> f | None -> Staticfeat.Cache.features img
       in
-      let batch_scores = Nn.Model.predict clf.model (Nn.Matrix.of_rows rows) in
-      Array.blit batch_scores 0 scores lo len);
-  let candidates = ref [] in
-  for i = n - 1 downto 0 do
-    if scores.(i) >= clf.threshold then candidates := i :: !candidates
-  done;
-  { candidates = !candidates; scores; seconds = Util.Clock.since start }
+      let n = Array.length feats in
+      let scores = Array.make n 0.0 in
+      let nbatches = (n + score_batch - 1) / score_batch in
+      Parallel.Pool.parallel_for ~chunk:1 nbatches (fun b ->
+          let lo = b * score_batch in
+          let len = min score_batch (n - lo) in
+          let rows =
+            Array.init len (fun k ->
+                Nn.Data.normalize_vec clf.normalizer
+                  (Util.Vec.concat reference feats.(lo + k)))
+          in
+          let batch_scores = Nn.Model.predict clf.model (Nn.Matrix.of_rows rows) in
+          Obs.Metrics.observe m_batch_rows len;
+          Array.blit batch_scores 0 scores lo len);
+      let candidates = ref [] in
+      for i = n - 1 downto 0 do
+        Obs.Metrics.observe m_scores (int_of_float (scores.(i) *. 100.0));
+        if scores.(i) >= clf.threshold then candidates := i :: !candidates
+      done;
+      Obs.Metrics.incr m_scans;
+      Obs.Metrics.add m_candidates (List.length !candidates);
+      { candidates = !candidates; scores; seconds = Util.Clock.since start })

@@ -36,16 +36,37 @@ let escalate esc (fault : Fault.t) =
     (* permanent; never reached because [run] gives up first *)
     { esc with attempt = esc.attempt + 1 }
 
+(* Every run/attempt/fault is also counted in the observability
+   registry: the scanner's ledger only surfaces faults that reach a
+   report, while these totals let a `stats` reader (or the regression
+   test) see retry pressure directly.  Faults are additionally counted
+   per class under "fault.<kind>". *)
+let m_runs = Obs.Metrics.counter "supervisor.runs"
+let m_attempts = Obs.Metrics.counter "supervisor.attempts"
+let m_retries = Obs.Metrics.counter "supervisor.retries"
+let m_faults = Obs.Metrics.counter "supervisor.faults"
+let m_gave_up = Obs.Metrics.counter "supervisor.gave_up"
+
+let count_fault fault =
+  Obs.Metrics.incr m_faults;
+  Obs.Metrics.incr (Obs.Metrics.counter ("fault." ^ Fault.kind fault))
+
 let run ?(max_retries = 2) ~key f =
+  Obs.Metrics.incr m_runs;
   let rec go esc faults =
+    Obs.Metrics.incr m_attempts;
+    if esc.attempt > 1 then Obs.Metrics.incr m_retries;
     let ctx = Printf.sprintf "%s#%d" key esc.attempt in
     match Inject.with_context ctx (fun () -> f esc) with
     | v -> { result = Ok v; attempts = esc.attempt; faults = List.rev faults }
     | exception e ->
       let fault = Fault.of_exn ~site:"supervisor" e in
+      count_fault fault;
       let faults = fault :: faults in
-      if esc.attempt > max_retries || Fault.permanent fault then
+      if esc.attempt > max_retries || Fault.permanent fault then begin
+        Obs.Metrics.incr m_gave_up;
         { result = Error fault; attempts = esc.attempt; faults = List.rev faults }
+      end
       else go (escalate esc fault) faults
   in
   go initial []

@@ -44,6 +44,12 @@ let attempts : (string, int) Hashtbl.t = Hashtbl.create 64
 let hit_count = Atomic.make 0
 let miss_count = Atomic.make 0
 
+(* the same counts, exported to the observability registry so a scan's
+   metric snapshot includes cache behaviour *)
+let m_hit = Obs.Metrics.counter "cache.hit"
+let m_miss = Obs.Metrics.counter "cache.miss"
+let m_invalidate = Obs.Metrics.counter "cache.invalidate"
+
 let next_attempt name =
   (* callers hold [mutex] *)
   let n = (match Hashtbl.find_opt attempts name with Some n -> n | None -> 0) + 1 in
@@ -75,6 +81,7 @@ let rec features img =
   | Some (Ready v) ->
     Mutex.unlock mutex;
     Atomic.incr hit_count;
+    Obs.Metrics.incr m_hit;
     v
   | Some (Failed f) ->
     Mutex.unlock mutex;
@@ -96,6 +103,7 @@ let rec features img =
     let attempt = next_attempt img.Loader.Image.name in
     Mutex.unlock mutex;
     Atomic.incr miss_count;
+    Obs.Metrics.incr m_miss;
     let outcome = extract img attempt in
     Mutex.lock mutex;
     (match outcome with
@@ -119,7 +127,8 @@ let invalidate img =
   (match H.find_opt table img with
   | Some Pending -> ()  (* an extraction is in flight; leave it alone *)
   | Some (Ready _ | Failed _) | None -> H.remove table img);
-  Mutex.unlock mutex
+  Mutex.unlock mutex;
+  Obs.Metrics.incr m_invalidate
 
 let clear () =
   Mutex.lock mutex;

@@ -5,3 +5,11 @@
 let now () = Unix.gettimeofday ()
 
 let since start = now () -. start
+
+(* Process-relative integer timestamps for trace events.  Anchoring at
+   module initialisation keeps the value well inside an OCaml int (63
+   bits of nanoseconds is ~292 years) and makes it round-trip exactly
+   through decimal JSON, which float epoch seconds would not. *)
+let anchor = now ()
+
+let elapsed_ns () = int_of_float ((now () -. anchor) *. 1e9)

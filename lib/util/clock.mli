@@ -9,3 +9,8 @@ val now : unit -> float
 
 val since : float -> float
 (** [since t0] is the elapsed wall-clock seconds from [t0 = now ()]. *)
+
+val elapsed_ns : unit -> int
+(** Wall-clock nanoseconds since this module was initialised.  An OCaml
+    [int], so it round-trips exactly through textual formats (trace
+    timestamps use this rather than float epoch seconds). *)

@@ -10,6 +10,14 @@ type result = {
   instructions : int;
 }
 
+(* Observability: executions, fuel actually consumed (instructions
+   retired, as a histogram so a stats reader sees the distribution), and
+   traps.  Counted per execution, not per step, so the cost is noise. *)
+let m_executions = Obs.Metrics.counter "vm.executions"
+let m_fuel = Obs.Metrics.histogram "vm.fuel_consumed"
+let m_traps = Obs.Metrics.counter "vm.traps"
+let m_step_limit = Obs.Metrics.counter "vm.traps.step_limit"
+
 let run_machine m fidx =
   let outcome =
     match Machine.call_function m ~handler:Runtime.dispatch fidx with
@@ -20,11 +28,20 @@ let run_machine m fidx =
       Crashed (Machine.Import_error ("invalid encoding: " ^ msg))
   in
   let trace = Machine.trace m in
+  let instructions = Trace.instructions_executed trace in
+  Obs.Metrics.incr m_executions;
+  Obs.Metrics.observe m_fuel instructions;
+  (match outcome with
+  | Crashed Machine.Step_limit ->
+    Obs.Metrics.incr m_traps;
+    Obs.Metrics.incr m_step_limit
+  | Crashed _ -> Obs.Metrics.incr m_traps
+  | Finished _ | Exited _ -> ());
   {
     outcome;
     features = Trace.features trace;
     stdout = Machine.stdout_contents m;
-    instructions = Trace.instructions_executed trace;
+    instructions;
   }
 
 (* "vm.step" injection site: a chaos run can make any (image, function)

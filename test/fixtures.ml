@@ -1,0 +1,71 @@
+(* Shared seeded fixtures for the integration suites.
+
+   The "planted CVE" scanner fixture (one clean generated library, one
+   carrying CVE-2018-9412, a permissive classifier so every function
+   passes the static stage) was duplicated across test_parallel,
+   test_chaos and test_patchecko; the parallel/chaos/obs suites all
+   build on it, so it lives here once.  Everything is seeded — two calls
+   build byte-identical inputs. *)
+
+let with_domains n f =
+  let saved = Parallel.Pool.domain_count () in
+  Parallel.Pool.set_default_size n;
+  Fun.protect ~finally:(fun () -> Parallel.Pool.set_default_size saved) f
+
+let case_cve () =
+  match Corpus.Cves.find "CVE-2018-9412" with
+  | Some c -> c
+  | None -> Alcotest.fail "case-study CVE missing"
+
+let db_entry () =
+  let c = case_cve () in
+  Patchecko.Vulndb.make_entry ~cve_id:c.id ~description:c.description
+    ~shape:c.shape
+    ~vuln:(Corpus.Dataset.compile_cve c ~patched:false, 0)
+    ~patched:(Corpus.Dataset.compile_cve c ~patched:true, 0)
+
+(* a permissive classifier: every function is a candidate; the dynamic
+   stage and the distance cutoff must isolate the real site *)
+let permissive_classifier ?(seed = 2L) () =
+  let rng = Util.Prng.create seed in
+  let model =
+    Nn.Model.create rng ~input:(2 * Staticfeat.Names.count)
+      ~layers:(Nn.Model.paper_architecture ~input:(2 * Staticfeat.Names.count))
+  in
+  let dummy =
+    Nn.Data.make [ (Array.make (2 * Staticfeat.Names.count) 1.0, 1.0) ]
+  in
+  {
+    Patchecko.Static_stage.model;
+    normalizer = Nn.Data.fit_normalizer dummy;
+    threshold = 0.0;
+  }
+
+let compile_stripped prog =
+  Loader.Image.strip
+    (Minic.Compiler.compile ~arch:Isa.Arch.Arm32 ~opt:Minic.Optlevel.O2 prog)
+
+(* firmware with two libraries: one clean, one carrying the CVE *)
+let scanner_firmware c =
+  let clean = Corpus.Genlib.generate ~seed:5L ~index:1 ~nfuncs:10 in
+  let dirty =
+    Corpus.Genlib.with_cves
+      (Corpus.Genlib.generate ~seed:6L ~index:2 ~nfuncs:10)
+      [ (c, false) ]
+  in
+  {
+    Loader.Firmware.device = "testdev";
+    os_version = "1";
+    security_patch = "none";
+    images = [| compile_stripped clean; compile_stripped dirty |];
+  }
+
+let scanner_fixture () =
+  let c = case_cve () in
+  let entry = db_entry () in
+  let db = Patchecko.Vulndb.create [ entry ] in
+  let fw = scanner_firmware c in
+  (entry, db, fw, permissive_classifier ())
+
+let dyn_config =
+  { Patchecko.Dynamic_stage.default_config with k_envs = 4; fuel = 100_000 }

@@ -7,6 +7,7 @@ let () =
       ("util", Test_util.suite);
       ("parallel", Test_parallel.suite);
       ("chaos", Test_chaos.suite);
+      ("obs", Test_obs.suite);
       ("isa", Test_isa.suite);
       ("asmparse", Test_asmparse.suite);
       ("loader", Test_loader.suite);

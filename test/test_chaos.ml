@@ -51,7 +51,7 @@ let fire_parallel_matches_sequential () =
      nothing *)
   with_armed "vm.step:0.5:42" (fun () ->
       let seq = draws () in
-      Test_parallel.with_domains 4 (fun () ->
+      Fixtures.with_domains 4 (fun () ->
           let par =
             Parallel.Pool.map_array ~chunk:64
               (fun i ->
@@ -149,7 +149,7 @@ let supervisor_wraps_foreign_exceptions () =
 (* --- pool map_array_result ------------------------------------------- *)
 
 let map_array_result_isolates () =
-  Test_parallel.with_domains 4 (fun () ->
+  Fixtures.with_domains 4 (fun () ->
       let out =
         Parallel.Pool.map_array_result ~chunk:1
           (fun x -> if x = 3 then failwith "boom" else 2 * x)
@@ -176,13 +176,13 @@ let map_array_result_isolates () =
    the scans under test *)
 let fixture () =
   Robust.Inject.suspend (fun () ->
-      let _entry, db, fw, classifier = Test_parallel.scanner_fixture () in
+      let _entry, db, fw, classifier = Fixtures.scanner_fixture () in
       (db, fw, classifier))
 
 let scan ~db ~fw ~classifier domains =
-  Test_parallel.with_domains domains (fun () ->
+  Fixtures.with_domains domains (fun () ->
       Staticfeat.Cache.clear ();
-      Patchecko.Scanner.scan_firmware ~dyn_config:Test_parallel.dyn_config
+      Patchecko.Scanner.scan_firmware ~dyn_config:Fixtures.dyn_config
         ~max_distance:10.0 ~classifier ~db fw)
 
 let chaos_scan_deterministic () =

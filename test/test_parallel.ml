@@ -1,9 +1,8 @@
-(* The domain pool, and end-to-end determinism across domain counts. *)
+(* The domain pool, and end-to-end determinism across domain counts.
+   The seeded scan fixture lives in Fixtures (shared with the chaos and
+   obs suites). *)
 
-let with_domains n f =
-  let saved = Parallel.Pool.domain_count () in
-  Parallel.Pool.set_default_size n;
-  Fun.protect ~finally:(fun () -> Parallel.Pool.set_default_size saved) f
+let with_domains = Fixtures.with_domains
 
 let map_array_matches_sequential () =
   let input = Array.init 1000 (fun i -> i - 500) in
@@ -88,60 +87,8 @@ let explicit_pool () =
 
 (* --- end-to-end determinism: 1 domain vs 4 ---------------------------- *)
 
-let case_cve () =
-  match Corpus.Cves.find "CVE-2018-9412" with
-  | Some c -> c
-  | None -> Alcotest.fail "case-study CVE missing"
-
-(* the permissive-classifier scanner fixture of test_patchecko: every
-   function passes the static stage, and the dynamic stage plus the
-   distance cutoff isolate the planted CVE *)
-let scanner_fixture () =
-  let c = case_cve () in
-  let entry =
-    Patchecko.Vulndb.make_entry ~cve_id:c.id ~description:c.description
-      ~shape:c.shape
-      ~vuln:(Corpus.Dataset.compile_cve c ~patched:false, 0)
-      ~patched:(Corpus.Dataset.compile_cve c ~patched:true, 0)
-  in
-  let db = Patchecko.Vulndb.create [ entry ] in
-  let clean = Corpus.Genlib.generate ~seed:5L ~index:1 ~nfuncs:10 in
-  let dirty =
-    Corpus.Genlib.with_cves
-      (Corpus.Genlib.generate ~seed:6L ~index:2 ~nfuncs:10)
-      [ (c, false) ]
-  in
-  let compile prog =
-    Loader.Image.strip
-      (Minic.Compiler.compile ~arch:Isa.Arch.Arm32 ~opt:Minic.Optlevel.O2 prog)
-  in
-  let fw =
-    {
-      Loader.Firmware.device = "testdev";
-      os_version = "1";
-      security_patch = "none";
-      images = [| compile clean; compile dirty |];
-    }
-  in
-  let rng = Util.Prng.create 2L in
-  let model =
-    Nn.Model.create rng ~input:(2 * Staticfeat.Names.count)
-      ~layers:(Nn.Model.paper_architecture ~input:(2 * Staticfeat.Names.count))
-  in
-  let dummy =
-    Nn.Data.make [ (Array.make (2 * Staticfeat.Names.count) 1.0, 1.0) ]
-  in
-  let classifier =
-    {
-      Patchecko.Static_stage.model;
-      normalizer = Nn.Data.fit_normalizer dummy;
-      threshold = 0.0;
-    }
-  in
-  (entry, db, fw, classifier)
-
-let dyn_config =
-  { Patchecko.Dynamic_stage.default_config with k_envs = 4; fuel = 100_000 }
+let scanner_fixture = Fixtures.scanner_fixture
+let dyn_config = Fixtures.dyn_config
 
 let scan_firmware_with ~fw ~db ~classifier domains =
   with_domains domains (fun () ->

@@ -1,16 +1,10 @@
-(* The PATCHECKO pipeline: vulndb, stages, differential engine. *)
+(* The PATCHECKO pipeline: vulndb, stages, differential engine.
+   The seeded fixtures (case CVE, database entry, planted-CVE firmware,
+   permissive classifier) are shared with the parallel/chaos/obs suites
+   via Fixtures. *)
 
-let case_cve () =
-  match Corpus.Cves.find "CVE-2018-9412" with
-  | Some c -> c
-  | None -> Alcotest.fail "case-study CVE missing"
-
-let db_entry () =
-  let c = case_cve () in
-  Patchecko.Vulndb.make_entry ~cve_id:c.id ~description:c.description
-    ~shape:c.shape
-    ~vuln:(Corpus.Dataset.compile_cve c ~patched:false, 0)
-    ~patched:(Corpus.Dataset.compile_cve c ~patched:true, 0)
+let case_cve = Fixtures.case_cve
+let db_entry = Fixtures.db_entry
 
 let vulndb_entry_features () =
   let e = db_entry () in
@@ -132,21 +126,7 @@ let static_stage_flags_reference_itself () =
      contains genuinely similar functions and scores are probabilities *)
   let c = case_cve () in
   let entry = db_entry () in
-  let rng = Util.Prng.create 13L in
-  let model =
-    Nn.Model.create rng ~input:(2 * Staticfeat.Names.count)
-      ~layers:(Nn.Model.paper_architecture ~input:(2 * Staticfeat.Names.count))
-  in
-  let data =
-    Nn.Data.make [ (Array.make (2 * Staticfeat.Names.count) 1.0, 1.0) ]
-  in
-  let classifier =
-    {
-      Patchecko.Static_stage.model;
-      normalizer = Nn.Data.fit_normalizer data;
-      threshold = 0.0;
-    }
-  in
+  let classifier = Fixtures.permissive_classifier ~seed:13L () in
   let target = Loader.Image.strip (Corpus.Dataset.compile_cve c ~patched:false) in
   let result =
     Patchecko.Static_stage.scan classifier
@@ -172,40 +152,7 @@ let suite =
   ]
 
 let scanner_finds_planted_cve () =
-  let c = case_cve () in
-  let entry = db_entry () in
-  let db = Patchecko.Vulndb.create [ entry ] in
-  (* firmware with two libraries: one clean, one carrying the CVE *)
-  let clean = Corpus.Genlib.generate ~seed:5L ~index:1 ~nfuncs:10 in
-  let dirty =
-    Corpus.Genlib.with_cves
-      (Corpus.Genlib.generate ~seed:6L ~index:2 ~nfuncs:10)
-      [ (c, false) ]
-  in
-  let compile prog =
-    Loader.Image.strip
-      (Minic.Compiler.compile ~arch:Isa.Arch.Arm32 ~opt:Minic.Optlevel.O2 prog)
-  in
-  let fw =
-    {
-      Loader.Firmware.device = "testdev";
-      os_version = "1";
-      security_patch = "none";
-      images = [| compile clean; compile dirty |];
-    }
-  in
-  (* a permissive classifier: every function is a candidate; the dynamic
-     stage and distance cutoff must isolate the real site *)
-  let rng = Util.Prng.create 2L in
-  let model =
-    Nn.Model.create rng ~input:(2 * Staticfeat.Names.count)
-      ~layers:(Nn.Model.paper_architecture ~input:(2 * Staticfeat.Names.count))
-  in
-  let dummy = Nn.Data.make [ (Array.make (2 * Staticfeat.Names.count) 1.0, 1.0) ] in
-  let classifier =
-    { Patchecko.Static_stage.model; normalizer = Nn.Data.fit_normalizer dummy;
-      threshold = 0.0 }
-  in
+  let _entry, db, fw, classifier = Fixtures.scanner_fixture () in
   let report =
     Patchecko.Scanner.scan_firmware ~max_distance:10.0 ~classifier ~db fw
   in
@@ -214,7 +161,8 @@ let scanner_finds_planted_cve () =
   (match findings with
   | [ f ] ->
     Alcotest.(check string) "cve id" "CVE-2018-9412" f.Patchecko.Scanner.cve_id;
-    Alcotest.(check string) "image" (compile dirty).Loader.Image.name
+    Alcotest.(check string) "image"
+      fw.Loader.Firmware.images.(1).Loader.Image.name
       f.Patchecko.Scanner.image;
     Alcotest.(check string) "verdict" "vulnerable"
       (Patchecko.Differential.verdict_to_string f.Patchecko.Scanner.verdict)
