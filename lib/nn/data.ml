@@ -65,6 +65,18 @@ let fit_normalizer t =
 let normalize_vec nz v =
   Array.mapi (fun j x -> (x -. nz.means.(j)) /. nz.stds.(j)) v
 
+(* Fused concat + normalize kernel: write [v], z-scored against the
+   normalizer's statistics starting at coordinate [offset], into [dst]
+   at [pos].  Normalization is per-coordinate affine, so normalizing the
+   two halves of a concatenated pair separately (reference at offset 0,
+   candidate at offset [length v]) is bit-identical to
+   [normalize_vec nz (Vec.concat a b)] — without materialising the
+   concatenation. *)
+let normalize_slice nz ~offset v dst ~pos =
+  for j = 0 to Array.length v - 1 do
+    dst.(pos + j) <- (v.(j) -. nz.means.(offset + j)) /. nz.stds.(offset + j)
+  done
+
 let normalize nz t = { t with features = Array.map (normalize_vec nz) t.features }
 
 let normalizer_stats nz = (nz.means, nz.stds)

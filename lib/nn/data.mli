@@ -21,6 +21,14 @@ type normalizer
 val fit_normalizer : t -> normalizer
 val normalize : normalizer -> t -> t
 val normalize_vec : normalizer -> Util.Vec.t -> Util.Vec.t
+
+val normalize_slice :
+  normalizer -> offset:int -> Util.Vec.t -> float array -> pos:int -> unit
+(** [normalize_slice nz ~offset v dst ~pos] writes [v] z-scored against
+    the normalizer coordinates starting at [offset] into [dst] at [pos]
+    — the fused write-into-buffer form of [normalize_vec nz
+    (Vec.concat ...)], bit-identical per coordinate, allocation-free. *)
+
 val normalizer_stats : normalizer -> Util.Vec.t * Util.Vec.t
 (** (means, standard deviations). *)
 

@@ -19,6 +19,22 @@ let forward t input =
   let out = Matrix.map (Activation.apply t.activation) pre in
   (out, { input; pre })
 
+(* Inference-only forward over caller-owned flat buffers: no cache, no
+   allocation.  The per-element float operations (accumulate, + bias,
+   activation) happen in the same order as {!forward}'s
+   matmul/add_row_vector/map composition, so the outputs are
+   bit-identical. *)
+let forward_into t ~rows ~src ~dst =
+  let k = t.weights.Matrix.rows and cols = t.weights.Matrix.cols in
+  Matrix.matmul_into ~m:rows ~k ~src t.weights ~dst;
+  for i = 0 to rows - 1 do
+    let base = i * cols in
+    for j = 0 to cols - 1 do
+      dst.(base + j) <-
+        Activation.apply t.activation (dst.(base + j) +. t.bias.(j))
+    done
+  done
+
 type gradients = { gw : Matrix.t; gb : Util.Vec.t; ginput : Matrix.t }
 
 let backward t cache dout =

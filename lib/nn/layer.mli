@@ -16,6 +16,12 @@ val create : Util.Prng.t -> inputs:int -> outputs:int -> Activation.t -> t
 val forward : t -> Matrix.t -> Matrix.t * cache
 (** Batch (n × in) to batch (n × out). *)
 
+val forward_into :
+  t -> rows:int -> src:float array -> dst:float array -> unit
+(** Inference-only {!forward} over caller-owned row-major flat buffers
+    ([src]: rows × in, [dst]: at least rows × out floats).  No cache, no
+    allocation; bit-identical outputs. *)
+
 type gradients = { gw : Matrix.t; gb : Util.Vec.t; ginput : Matrix.t }
 
 val backward : t -> cache -> Matrix.t -> gradients

@@ -43,6 +43,28 @@ let matmul a b =
   done;
   out
 
+(* Allocation-free matmul over caller-owned flat buffers: [dst], of at
+   least [m * b.cols] floats, receives [src] (row-major [m * k], with
+   [k = b.rows]) times [b].  Same loop nest, accumulation order and
+   zero-skip as {!matmul}, so the result is bit-identical to the
+   allocating path on the same inputs. *)
+let matmul_into ~m ~k ~src b ~dst =
+  if k <> b.rows then invalid_arg "Matrix.matmul_into: dimension mismatch";
+  let cols = b.cols in
+  Array.fill dst 0 (m * cols) 0.0;
+  for i = 0 to m - 1 do
+    for kk = 0 to k - 1 do
+      let aik = src.((i * k) + kk) in
+      if aik <> 0.0 then begin
+        let arow = i * cols in
+        let brow = kk * cols in
+        for j = 0 to cols - 1 do
+          dst.(arow + j) <- dst.(arow + j) +. (aik *. b.data.(brow + j))
+        done
+      end
+    done
+  done
+
 let matmul_transpose_a a b =
   (* (aᵀ b) : a is (n×r), result (r × b.cols); requires a.rows = b.rows *)
   if a.rows <> b.rows then invalid_arg "Matrix.matmul_transpose_a: mismatch";

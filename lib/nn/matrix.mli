@@ -14,6 +14,14 @@ val copy : t -> t
 val matmul : t -> t -> t
 (** [matmul a b] with [a.cols = b.rows]; raises otherwise. *)
 
+val matmul_into :
+  m:int -> k:int -> src:float array -> t -> dst:float array -> unit
+(** [matmul_into ~m ~k ~src b ~dst] writes [src × b] into [dst], where
+    [src] is a row-major [m × k] flat buffer ([k = b.rows]) and [dst]
+    holds at least [m * b.cols] floats.  No allocation; bit-identical to
+    {!matmul} on the same values (same loop nest and accumulation
+    order). *)
+
 val matmul_transpose_a : t -> t -> t
 (** aᵀ·b without materialising the transpose. *)
 

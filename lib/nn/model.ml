@@ -48,6 +48,33 @@ let predict t batch =
 let predict_one t v =
   (predict t (Matrix.of_rows [| v |])).(0)
 
+(* --- allocation-free inference over reused buffers -------------------- *)
+
+type scratch = { bufs : float array array; max_rows : int }
+
+let make_scratch t ~max_rows =
+  let bufs =
+    List.map
+      (fun s -> Array.make (max_rows * s.layer.Layer.weights.Matrix.cols) 0.0)
+      t.slots
+  in
+  { bufs = Array.of_list bufs; max_rows }
+
+let predict_into t scratch ~rows ~input ~dst ~pos =
+  if rows > scratch.max_rows then invalid_arg "Model.predict_into: batch too big";
+  (match List.rev t.slots with
+  | head :: _ when head.layer.Layer.weights.Matrix.cols = 1 -> ()
+  | _ -> invalid_arg "Model.predict_into: head layer must be 1-wide");
+  let cur = ref input in
+  List.iteri
+    (fun i slot ->
+      Layer.forward_into slot.layer ~rows ~src:!cur ~dst:scratch.bufs.(i);
+      cur := scratch.bufs.(i))
+    t.slots;
+  (* the head layer is 1-wide: its column is the per-row probability *)
+  let out = !cur in
+  Array.blit out 0 dst pos rows
+
 let train_batch t batch labels =
   let out, caches = forward_all t batch in
   let predictions = Array.init out.Matrix.rows (fun i -> Matrix.get out i 0) in

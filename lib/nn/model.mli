@@ -18,6 +18,27 @@ val predict : t -> Matrix.t -> Util.Vec.t
 
 val predict_one : t -> Util.Vec.t -> float
 
+type scratch
+(** Preallocated per-layer activation buffers for {!predict_into}.  A
+    scratch is tied to the model shape it was built from and a maximum
+    batch size; one per domain is the intended usage. *)
+
+val make_scratch : t -> max_rows:int -> scratch
+
+val predict_into :
+  t ->
+  scratch ->
+  rows:int ->
+  input:float array ->
+  dst:float array ->
+  pos:int ->
+  unit
+(** Allocation-free {!predict}: [input] is a row-major [rows × input]
+    flat buffer, the per-row probabilities are written to
+    [dst.(pos) .. dst.(pos + rows - 1)].  Bit-identical to {!predict} on
+    the same values; raises [Invalid_argument] if [rows] exceeds the
+    scratch capacity or the head layer is not 1-wide. *)
+
 val train_batch : t -> Matrix.t -> Util.Vec.t -> t * float
 (** One optimisation step on a mini-batch; returns the updated model and
     the batch loss.  The optimiser state is threaded inside [t]. *)

@@ -8,11 +8,23 @@ type t = {
   mutable active : int;
   mutable stop : bool;
   mutable workers : unit Domain.t list;
+  trap : exn option Atomic.t;
+      (** first exception that escaped a worker's job this generation *)
 }
 
 (* Set while a domain executes a pool job: parallel combinators invoked
    from inside one run sequentially instead of deadlocking on the pool. *)
 let in_job : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+(* Observability: parallel generations dispatched, the default pool
+   size, and exceptions that escaped a worker's job (jobs trap their
+   own exceptions, so a worker trap is always a combinator bug — it is
+   counted and re-raised to the caller, never swallowed).  [pool.jobs]
+   is scheduling-dependent (a 1-domain pool never dispatches), so
+   cross-domain-count golden comparisons exclude it. *)
+let m_jobs = Obs.Metrics.counter "pool.jobs"
+let m_domains = Obs.Metrics.gauge "pool.domains"
+let m_trap = Obs.Metrics.counter "pool.worker_trap"
 
 let worker t =
   let last = ref 0 in
@@ -31,9 +43,13 @@ let worker t =
       let job = match t.job with Some f -> f | None -> ignore in
       Mutex.unlock t.mutex;
       Domain.DLS.set in_job true;
-      (* jobs trap their own exceptions; this is a last-resort guard so a
-         worker never dies and leaves [active] unbalanced *)
-      (try job () with _ -> ());
+      (* last-resort guard so a worker never dies and leaves [active]
+         unbalanced; the escaped exception is recorded and re-raised in
+         the caller once the generation completes *)
+      (try job ()
+       with e ->
+         Obs.Metrics.incr m_trap;
+         ignore (Atomic.compare_and_set t.trap None (Some e)));
       Domain.DLS.set in_job false;
       Mutex.lock t.mutex;
       t.active <- t.active - 1;
@@ -55,6 +71,7 @@ let create n =
       active = 0;
       stop = false;
       workers = [];
+      trap = Atomic.make None;
     }
   in
   t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t));
@@ -73,21 +90,17 @@ let shutdown t =
     t.workers <- []
   end
 
-(* Observability: parallel generations dispatched, and the default pool
-   size.  [pool.jobs] is scheduling-dependent (a 1-domain pool never
-   dispatches), so cross-domain-count golden comparisons exclude it. *)
-let m_jobs = Obs.Metrics.counter "pool.jobs"
-let m_domains = Obs.Metrics.gauge "pool.domains"
-
 (* Publish [work] to every worker, run the caller's share, wait for all
    workers to finish the generation.  [work] must pull iterations from a
-   shared counter and must not raise. *)
+   shared cursor and must not raise; if it does anyway (on a worker),
+   the exception is re-raised here in the caller. *)
 let run_job t work =
   Obs.Metrics.incr m_jobs;
   Mutex.lock t.mutex;
   t.generation <- t.generation + 1;
   t.job <- Some work;
   t.active <- List.length t.workers;
+  Atomic.set t.trap None;
   Condition.broadcast t.work_cv;
   Mutex.unlock t.mutex;
   Domain.DLS.set in_job true;
@@ -100,7 +113,8 @@ let run_job t work =
       done;
       t.job <- None;
       Mutex.unlock t.mutex)
-    work
+    work;
+  match Atomic.exchange t.trap None with Some e -> raise e | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* default pool                                                        *)
@@ -164,32 +178,52 @@ let sequential_for n body =
     body i
   done
 
+(* Work distribution: domains claim index ranges from a shared atomic
+   cursor.  With an explicit [~chunk] the ranges have that fixed width
+   (callers that need a deterministic batch structure — e.g. the static
+   stage's per-batch metrics — rely on this); without one the width
+   adapts to the work remaining (guided self-scheduling: each claim
+   takes [remaining / (2 * domains)] indices, so early claims are large
+   and cheap to hand out while tail claims shrink to 1 and keep the
+   domains balanced).  Either way every index is claimed exactly once,
+   and results are written by index, so scheduling never shows in the
+   output. *)
 let parallel_for ?pool ?chunk n body =
   if n > 0 then begin
     let t = resolve pool in
     if t.size <= 1 || n = 1 || Domain.DLS.get in_job then sequential_for n body
     else begin
-      let chunk =
-        match chunk with Some c -> max 1 c | None -> default_chunk t n
-      in
-      let nchunks = (n + chunk - 1) / chunk in
+      let fixed = match chunk with Some c -> Some (max 1 c) | None -> None in
       let next = Atomic.make 0 in
       let error = Atomic.make None in
+      let rec claim () =
+        let cur = Atomic.get next in
+        if cur >= n then None
+        else begin
+          let remaining = n - cur in
+          let step =
+            match fixed with
+            | Some c -> min c remaining
+            | None -> max 1 (min remaining (remaining / (2 * t.size)))
+          in
+          if Atomic.compare_and_set next cur (cur + step) then
+            Some (cur, cur + step)
+          else claim ()
+        end
+      in
       let work () =
         let running = ref true in
         while !running do
-          let c = Atomic.fetch_and_add next 1 in
-          if c >= nchunks || Option.is_some (Atomic.get error) then
-            running := false
-          else begin
-            let lo = c * chunk in
-            let hi = min n (lo + chunk) in
-            try
-              for i = lo to hi - 1 do
-                body i
-              done
-            with e -> ignore (Atomic.compare_and_set error None (Some e))
-          end
+          if Option.is_some (Atomic.get error) then running := false
+          else
+            match claim () with
+            | None -> running := false
+            | Some (lo, hi) -> (
+              try
+                for i = lo to hi - 1 do
+                  body i
+                done
+              with e -> ignore (Atomic.compare_and_set error None (Some e)))
         done
       in
       run_job t work;

@@ -1,10 +1,19 @@
 (** Fixed-size domain pool for data-parallel loops.
 
     A pool owns [size - 1] worker domains (the calling domain is the
-    remaining participant).  Work is distributed by chunk from a shared
-    counter, but every combinator writes results by index, so the output
-    is identical whatever the domain count or scheduling — the whole
-    pipeline relies on this for reproducibility.
+    remaining participant).  Work is distributed as index ranges claimed
+    from a shared atomic cursor: a fixed width when the caller passes
+    [~chunk], guided self-scheduling otherwise (each claim takes
+    [remaining / (2 * domains)] indices, so early claims are large and
+    tail claims shrink to singletons, keeping the domains balanced
+    without a fixed granularity guess).  Every combinator writes results
+    by index, so the output is identical whatever the domain count or
+    scheduling — the whole pipeline relies on this for reproducibility.
+
+    Worker-side failures are never swallowed: a job that lets an
+    exception escape (a combinator bug — the combinators trap their own
+    body exceptions) is counted on the [pool.worker_trap] metric and the
+    exception is re-raised in the caller once the generation drains.
 
     The default pool is sized from the [PATCHECKO_DOMAINS] environment
     variable, falling back to [Domain.recommended_domain_count ()].  At
@@ -35,10 +44,12 @@ val default : unit -> t
 
 val parallel_for : ?pool:t -> ?chunk:int -> int -> (int -> unit) -> unit
 (** [parallel_for n body] runs [body i] for [0 <= i < n].  Iterations
-    are claimed in chunks ([chunk] indices at a time; a heuristic
-    granularity by default, [~chunk:1] for heavyweight bodies).  The
-    body must only write state disjoint per index.  The first exception
-    raised by any iteration is re-raised after all workers stop. *)
+    are claimed in index ranges from a shared cursor: fixed [chunk]
+    indices at a time when given ([~chunk:1] for heavyweight bodies, a
+    larger fixed width when the caller needs deterministic batch
+    boundaries), adaptively sized otherwise.  The body must only write
+    state disjoint per index.  The first exception raised by any
+    iteration is re-raised after all workers stop. *)
 
 val map_array : ?pool:t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map]; element order is preserved. *)

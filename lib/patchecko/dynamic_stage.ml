@@ -28,20 +28,23 @@ let m_validated = Obs.Metrics.counter "dynamic.validated"
 let m_executions = Obs.Metrics.counter "dynamic.executions"
 let m_faulted = Obs.Metrics.counter "dynamic.faulted"
 
-let run ?(config = default_config) ~reference:(ref_img, ref_idx) ~shape ~target
-    ~candidates () =
-  Obs.Trace.with_span ~name:"stage.dynamic"
-    ~attrs:(fun () ->
-      [
-        ("image", target.Loader.Image.name);
-        ("candidates", string_of_int (List.length candidates));
-      ])
-  @@ fun () ->
-  let start = Util.Clock.now () in
+(* The reference side of a cell — the surviving environments and the
+   reference function's profile over them — depends only on (config,
+   reference, shape), never on the target image.  Preparing it once per
+   database entry and passing it to [run] for each of the firmware's
+   images removes the dominant redundant VM work of a scan (the
+   reference used to be re-filtered and re-profiled for every cell of
+   its row).  [run ~ctx] is bit-identical to recomputing: environment
+   generation is a pure function of the seed and shape, and filtering /
+   profiling are pure functions of the reference and fuel. *)
+type ref_ctx = {
+  ctx_envs : Vm.Env.t list;
+  ctx_reference_profile : Util.Vec.t list;
+}
+
+let prepare_reference ?(config = default_config)
+    ~reference:(ref_img, ref_idx) ~shape () =
   let rng = Util.Prng.create config.seed in
-  (* over-generate, then keep environments the reference survives.  A
-     host-level fault while running the *reference* poisons the whole
-     cell and propagates to the supervisor. *)
   let raw_envs = Fuzz.Envgen.environments rng shape (config.k_envs * 2) in
   let envs =
     let ok = Fuzz.Validate.filter_envs ~fuel:config.fuel ref_img ref_idx raw_envs in
@@ -50,6 +53,32 @@ let run ?(config = default_config) ~reference:(ref_img, ref_idx) ~shape ~target
       | e :: rest -> if n = 0 then [] else e :: take (n - 1) rest
     in
     take config.k_envs ok
+  in
+  {
+    ctx_envs = envs;
+    ctx_reference_profile = profile ~fuel:config.fuel ref_img ref_idx envs;
+  }
+
+let run ?(config = default_config) ?ctx ~reference:(ref_img, ref_idx) ~shape
+    ~target ~candidates () =
+  Obs.Trace.with_span ~name:"stage.dynamic"
+    ~attrs:(fun () ->
+      [
+        ("image", target.Loader.Image.name);
+        ("candidates", string_of_int (List.length candidates));
+      ])
+  @@ fun () ->
+  let start = Util.Clock.now () in
+  (* over-generate, then keep environments the reference survives — or
+     reuse the per-entry context prepared once by the scanner.  A
+     host-level fault while running the *reference* poisons the whole
+     cell and propagates to the supervisor. *)
+  let envs, reference_profile =
+    match ctx with
+    | Some c -> (c.ctx_envs, c.ctx_reference_profile)
+    | None ->
+      let c = prepare_reference ~config ~reference:(ref_img, ref_idx) ~shape () in
+      (c.ctx_envs, c.ctx_reference_profile)
   in
   (* per-candidate isolation: a host-level fault (chaos injection, or a
      genuine runtime bug) while validating or profiling one candidate
@@ -67,7 +96,6 @@ let run ?(config = default_config) ~reference:(ref_img, ref_idx) ~shape ~target
       | exception Robust.Fault.Fault f -> faulted := (fidx, f) :: !faulted)
     candidates;
   let validated = List.rev !survivors in
-  let reference_profile = profile ~fuel:config.fuel ref_img ref_idx envs in
   let profiles =
     List.filter_map
       (fun fidx ->

@@ -32,11 +32,33 @@ type result = {
   seconds : float;
 }
 
+type ref_ctx
+(** The reference side of a cell — surviving environments plus the
+    reference function's profile over them.  It depends only on
+    (config, reference, shape), so the scanner prepares it once per
+    database entry and shares it across every image of the firmware
+    instead of re-executing the reference for each cell. *)
+
+val prepare_reference :
+  ?config:config ->
+  reference:Loader.Image.t * int ->
+  shape:Fuzz.Shape.t ->
+  unit ->
+  ref_ctx
+(** Generate and filter the environments and profile the reference.
+    Host-level faults propagate as {!Robust.Fault.Fault} (the caller
+    supervises).  [run ~ctx] with the result is bit-identical to [run]
+    recomputing under the same [config]. *)
+
 val run :
   ?config:config ->
+  ?ctx:ref_ctx ->
   reference:Loader.Image.t * int ->
   shape:Fuzz.Shape.t ->
   target:Loader.Image.t ->
   candidates:int list ->
   unit ->
   result
+(** [?ctx] supplies a prepared reference context; without it the
+    reference side is recomputed in place (identical results, more
+    reference executions). *)

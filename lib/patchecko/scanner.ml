@@ -74,11 +74,48 @@ let scan_image ~dyn_config ~max_distance ~classifier (entry : Vulndb.entry)
           },
         dropped ))
 
-(* Supervised cell: bounded deterministic retry with escalation.  A
-   Fuel_exhausted fault retries with 4x fuel; an Extract_failure retries
-   after dropping the image's cache entry; permanent faults (malformed
-   image, poisoned cache) give up immediately. *)
-let scan_cell ~dyn_config ~max_distance ~classifier ~max_retries entry image =
+(* The dynamic half of one cell, given the static candidates: validate,
+   rank, cut off by distance, gather differential evidence. *)
+let dynamic_image ~dyn_config ~ctx ~max_distance (entry : Vulndb.entry)
+    (image : Loader.Image.t) candidates =
+  let dyn =
+    Dynamic_stage.run ~config:dyn_config ?ctx
+      ~reference:(entry.Vulndb.vuln_image, entry.Vulndb.vuln_findex)
+      ~shape:entry.Vulndb.shape ~target:image ~candidates ()
+  in
+  let dropped = dyn.Dynamic_stage.faulted in
+  match dyn.Dynamic_stage.ranking with
+  | [] -> (None, dropped)
+  | best :: _ when best.Similarity.Rank.distance > max_distance ->
+    (None, dropped)
+  | best :: _ ->
+    let evidence =
+      Differential.gather
+        ~vuln:(entry.Vulndb.vuln_image, entry.Vulndb.vuln_findex)
+        ~patched:(entry.Vulndb.patched_image, entry.Vulndb.patched_findex)
+        ~target:(image, best.Similarity.Rank.candidate)
+        ()
+    in
+    let verdict, confidence = Differential.decide evidence in
+    ( Some
+        {
+          cve_id = entry.Vulndb.cve_id;
+          description = entry.Vulndb.description;
+          image = image.Loader.Image.name;
+          findex = best.Similarity.Rank.candidate;
+          distance = best.Similarity.Rank.distance;
+          verdict;
+          confidence;
+        },
+      dropped )
+
+(* Supervised dynamic cell: bounded deterministic retry with escalation.
+   A Fuel_exhausted fault retries with 4x fuel — and drops the shared
+   reference context, which was prepared at base fuel, so the escalated
+   attempt recomputes the reference side at the escalated fuel exactly
+   as the pre-amortization engine did.  Permanent faults give up
+   immediately. *)
+let dyn_cell ~dyn_config ~max_distance ~max_retries ~ctx entry image candidates =
   let key =
     entry.Vulndb.cve_id ^ "@" ^ image.Loader.Image.name
   in
@@ -91,17 +128,17 @@ let scan_cell ~dyn_config ~max_distance ~classifier ~max_retries entry image =
       [ ("cve", entry.Vulndb.cve_id); ("image", image.Loader.Image.name) ])
   @@ fun () ->
   Robust.Supervisor.run ~max_retries ~key (fun esc ->
-      if esc.Robust.Supervisor.refresh_cache then Staticfeat.Cache.invalidate image;
-      let dyn_config =
-        if esc.Robust.Supervisor.fuel_factor = 1 then dyn_config
+      let dyn_config, ctx =
+        if esc.Robust.Supervisor.fuel_factor = 1 then (dyn_config, ctx)
         else
-          {
-            dyn_config with
-            Dynamic_stage.fuel =
-              dyn_config.Dynamic_stage.fuel * esc.Robust.Supervisor.fuel_factor;
-          }
+          ( {
+              dyn_config with
+              Dynamic_stage.fuel =
+                dyn_config.Dynamic_stage.fuel * esc.Robust.Supervisor.fuel_factor;
+            },
+            None )
       in
-      scan_image ~dyn_config ~max_distance ~classifier entry image)
+      dynamic_image ~dyn_config ~ctx ~max_distance entry image candidates)
 
 (* --- whole-firmware scan ---------------------------------------------- *)
 
@@ -152,46 +189,137 @@ let scan_firmware ?(dyn_config = Dynamic_stage.default_config)
   @@ fun () ->
   let images = fw.Loader.Firmware.images in
   let entries = Vulndb.entries db in
-  (* settle the feature cache up front: the firmware images (scored by
-     the static stage) and the database reference images (read by the
-     differential stage).  Each extraction is itself parallel inside. *)
+  let entry_arr = Array.of_list entries in
+  let nimg = Array.length images in
   let ledger = ref [] in
+  let record ~cve ~target ~attempts outcome fault =
+    ledger := { cve; target; fault; attempts; outcome } :: !ledger
+  in
+  (* 1. settle the feature cache up front: the firmware images (scored
+     by the static stage) and the database reference images (read by the
+     differential stage).  Each extraction is itself parallel inside. *)
   Array.iter (prefill ~max_retries ledger) images;
   List.iter
     (fun (e : Vulndb.entry) ->
       prefill ~max_retries ledger e.Vulndb.vuln_image;
       prefill ~max_retries ledger e.Vulndb.patched_image)
     entries;
-  (* fan the (CVE entry × image) grid out over the domain pool; every
-     cell is independently supervised, so one faulting cell degrades the
-     report instead of aborting the scan *)
-  let cells =
-    Array.concat
-      (List.map (fun entry -> Array.map (fun img -> (entry, img)) images) entries)
+  (* 2. one reference context per database entry, prepared sequentially
+     under supervision: the entry's surviving environments and reference
+     profile are identical for every image of its row, so they are
+     computed once here instead of once per cell.  A permanently failing
+     preparation falls back to per-cell recomputation (ctx = None). *)
+  let ctx_arr =
+    Array.map
+      (fun (entry : Vulndb.entry) ->
+        let key = "refctx@" ^ entry.Vulndb.cve_id in
+        Obs.Trace.with_span ~name:"scan.refctx"
+          ~attrs:(fun () -> [ ("cve", entry.Vulndb.cve_id) ])
+        @@ fun () ->
+        let o =
+          Robust.Supervisor.run ~max_retries ~key (fun esc ->
+              let config =
+                if esc.Robust.Supervisor.fuel_factor = 1 then dyn_config
+                else
+                  {
+                    dyn_config with
+                    Dynamic_stage.fuel =
+                      dyn_config.Dynamic_stage.fuel
+                      * esc.Robust.Supervisor.fuel_factor;
+                  }
+              in
+              Dynamic_stage.prepare_reference ~config
+                ~reference:(entry.Vulndb.vuln_image, entry.Vulndb.vuln_findex)
+                ~shape:entry.Vulndb.shape ())
+        in
+        let rec_ outcome fault =
+          record ~cve:entry.Vulndb.cve_id
+            ~target:entry.Vulndb.vuln_image.Loader.Image.name
+            ~attempts:o.Robust.Supervisor.attempts outcome fault
+        in
+        match o.Robust.Supervisor.result with
+        | Ok ctx ->
+          List.iter (rec_ Recovered) o.Robust.Supervisor.faults;
+          Some ctx
+        | Error _ ->
+          List.iter (rec_ Failed) o.Robust.Supervisor.faults;
+          None)
+      entry_arr
   in
+  (* 3. the static stage, one batched pass per image over the whole
+     database: the image's normalized feature block is built once and
+     scored against every entry's reference row (the parallelism is
+     inside scan_many, at function-batch granularity).  A static failure
+     is image-level — it takes out the image's whole column, recorded
+     under the pseudo-CVE "*". *)
+  let references =
+    Array.map (fun (e : Vulndb.entry) -> e.Vulndb.vuln_static) entry_arr
+  in
+  let static_results =
+    Array.map
+      (fun img ->
+        let key = "static@" ^ img.Loader.Image.name in
+        let o =
+          Robust.Supervisor.run ~max_retries ~key (fun esc ->
+              if esc.Robust.Supervisor.refresh_cache then
+                Staticfeat.Cache.invalidate img;
+              Static_stage.scan_many classifier ~references img)
+        in
+        let rec_ outcome fault =
+          record ~cve:"*" ~target:img.Loader.Image.name
+            ~attempts:o.Robust.Supervisor.attempts outcome fault
+        in
+        match o.Robust.Supervisor.result with
+        | Ok results ->
+          List.iter (rec_ Recovered) o.Robust.Supervisor.faults;
+          Some (Array.map (fun r -> r.Static_stage.candidates) results)
+        | Error _ ->
+          List.iter (rec_ Failed) o.Robust.Supervisor.faults;
+          None)
+      images
+  in
+  (* 4. fan the dynamic half of the (CVE entry × image) grid out over
+     the domain pool — only cells with static candidates carry work;
+     every one is independently supervised, so one faulting cell
+     degrades the report instead of aborting the scan *)
+  let ncells = Array.length entry_arr * nimg in
+  let job_of_cell = Array.make ncells (-1) in
+  let jobs = ref [] in
+  let njobs = ref 0 in
+  for gi = 0 to ncells - 1 do
+    let e = gi / nimg and i = gi mod nimg in
+    match static_results.(i) with
+    | None -> job_of_cell.(gi) <- -1 (* static failure: the cell is lost *)
+    | Some cands ->
+      if cands.(e) = [] then job_of_cell.(gi) <- -2 (* nothing to validate *)
+      else begin
+        job_of_cell.(gi) <- !njobs;
+        incr njobs;
+        jobs := (e, i, cands.(e)) :: !jobs
+      end
+  done;
+  let job_arr = Array.of_list (List.rev !jobs) in
   let outcomes =
     Parallel.Pool.map_array_result ~chunk:1
-      (fun (entry, image) ->
-        scan_cell ~dyn_config ~max_distance ~classifier ~max_retries entry image)
-      cells
+      (fun (e, i, candidates) ->
+        dyn_cell ~dyn_config ~max_distance ~max_retries ~ctx:ctx_arr.(e)
+          entry_arr.(e) images.(i) candidates)
+      job_arr
   in
   let findings = ref [] in
   let failed_cells = ref 0 in
-  Array.iteri
-    (fun i out ->
-      let entry, image = cells.(i) in
-      let record ~attempts outcome fault =
-        ledger :=
-          {
-            cve = entry.Vulndb.cve_id;
-            target = image.Loader.Image.name;
-            fault;
-            attempts;
-            outcome;
-          }
-          :: !ledger
-      in
-      match out with
+  for gi = 0 to ncells - 1 do
+    let e = gi / nimg and i = gi mod nimg in
+    let entry = entry_arr.(e) and image = images.(i) in
+    let record ~attempts outcome fault =
+      record ~cve:entry.Vulndb.cve_id ~target:image.Loader.Image.name
+        ~attempts outcome fault
+    in
+    match job_of_cell.(gi) with
+    | -1 -> incr failed_cells
+    | -2 -> ()
+    | j -> (
+      match outcomes.(j) with
       | Error f ->
         (* the pool worker itself was lost: the cell is gone, unretried *)
         incr failed_cells;
@@ -208,14 +336,14 @@ let scan_firmware ?(dyn_config = Dynamic_stage.default_config)
         | Error _ ->
           incr failed_cells;
           List.iter (record ~attempts Failed) o.Robust.Supervisor.faults))
-    outcomes;
-  Obs.Metrics.add m_cells (Array.length cells);
+  done;
+  Obs.Metrics.add m_cells ncells;
   Obs.Metrics.add m_failed_cells !failed_cells;
   Obs.Metrics.add m_findings (List.length !findings);
   {
     findings = List.rev !findings;
     ledger = List.rev !ledger;
-    cells = Array.length cells;
+    cells = ncells;
     failed_cells = !failed_cells;
   }
 

@@ -31,7 +31,10 @@ type outcome =
   | Failed  (** the cell (or a prefill) gave up *)
 
 type fault_record = {
-  cve : string;  (** ["-"] for cache-prefill records *)
+  cve : string;
+      (** ["-"] for cache-prefill records, ["*"] for per-image static
+          batch records (an image-level static fault takes out the
+          image's whole column) *)
   target : string;  (** image name *)
   fault : Robust.Fault.t;
   attempts : int;
@@ -42,8 +45,10 @@ type report = {
   findings : finding list;  (** in (CVE, image) order *)
   ledger : fault_record list;
       (** every fault observed, in deterministic order: prefill records
-          (firmware images then database reference images), then cell
-          records in grid order.  Empty on a fault-free scan. *)
+          (firmware images then database reference images), then
+          per-entry reference-context records, then per-image static
+          records, then dynamic cell records in grid order.  Empty on a
+          fault-free scan. *)
   cells : int;  (** grid size: entries × images *)
   failed_cells : int;  (** cells that produced no result at all *)
 }
@@ -56,12 +61,16 @@ val scan_firmware :
   db:Vulndb.t ->
   Loader.Firmware.t ->
   report
-(** [max_distance] defaults to 50; [max_retries] (per cell/prefill,
-    default 2) bounds supervised retries.  The (entry × image) grid is
-    scanned in parallel on the default domain pool after the per-image
-    static features are settled once, sequentially; findings AND ledger
-    are identical whatever the domain count, including under armed
-    fault injection. *)
+(** [max_distance] defaults to 50; [max_retries] (per supervised unit,
+    default 2) bounds supervised retries.  The scan runs in four phases:
+    cache prefill, then one supervised reference-context preparation per
+    database entry (environments + reference profile, shared by every
+    cell of the entry's row), then one supervised batched static pass
+    per image against the whole database (the parallelism is inside the
+    batch kernel), then the dynamic half of the (entry × image) grid
+    fanned out over the default domain pool — only cells with static
+    candidates carry work.  Findings AND ledger are identical whatever
+    the domain count, including under armed fault injection. *)
 
 val scan_firmware_plain :
   ?dyn_config:Dynamic_stage.config ->
@@ -70,9 +79,11 @@ val scan_firmware_plain :
   db:Vulndb.t ->
   Loader.Firmware.t ->
   finding list
-(** The unsupervised grid (no supervisor, no ledger; faults escape as
-    exceptions).  Kept as the overhead baseline for the chaos benchmark;
-    only meaningful with injection disarmed. *)
+(** The original per-cell engine (no supervisor, no ledger, no
+    reference-context sharing or batched static pass; faults escape as
+    exceptions).  Kept as the before-rearchitecture baseline for the
+    scan and chaos benchmarks; only meaningful with injection
+    disarmed. *)
 
 val finding_to_string : finding -> string
 val fault_record_to_string : fault_record -> string

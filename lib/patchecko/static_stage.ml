@@ -19,7 +19,9 @@ let pair_score clf ~reference ~candidate =
 (* Rows are scored in fixed-size batches distributed over the domain
    pool.  The network's forward pass is row-independent, so batched
    scoring produces bit-identical probabilities to one whole-image
-   matrix, whatever the domain count. *)
+   matrix, whatever the domain count.  The batch boundaries are fixed
+   (not adaptive) so the per-batch metrics below are also independent of
+   scheduling. *)
 let score_batch = 32
 
 let m_scans = Obs.Metrics.counter "static.scans"
@@ -27,9 +29,45 @@ let m_batch_rows = Obs.Metrics.histogram "static.batch_rows"
 let m_scores = Obs.Metrics.histogram "static.score_pct"
 let m_candidates = Obs.Metrics.counter "static.candidates"
 
-let scan ?features clf ~reference img =
+(* Per-domain flat buffers for the batched kernel: one input matrix
+   (score_batch × pair width) and the model's per-layer activation
+   buffers, reused across batches, references and images — the hot loop
+   allocates nothing.  Rebuilt only when the classifier changes. *)
+type kernel_scratch = {
+  for_model : Nn.Model.t;  (* physical identity key *)
+  width : int;
+  input : float array;
+  mscratch : Nn.Model.scratch;
+}
+
+let scratch_key : kernel_scratch option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let kernel_scratch model ~width =
+  let slot = Domain.DLS.get scratch_key in
+  match !slot with
+  | Some s when s.for_model == model && s.width = width -> s
+  | _ ->
+    let s =
+      {
+        for_model = model;
+        width;
+        input = Array.make (score_batch * width) 0.0;
+        mscratch = Nn.Model.make_scratch model ~max_rows:score_batch;
+      }
+    in
+    slot := Some s;
+    s
+
+(* Score every function of the image against every reference vector in
+   one parallel pass.  The image's candidate halves are normalized into
+   a flat block once and then scored against each reference (the
+   references, being per-CVE, are the cheap side: one normalized row
+   each), so scanning an image against a whole database does the
+   per-function work once instead of once per CVE. *)
+let scan_many ?features clf ~references img =
   (* "nn.score" injection site: a chaos run can make the whole static
-     scoring pass of a cell fault, keyed by the target image *)
+     scoring pass of an image fault, keyed by the target image *)
   (match Robust.Inject.fire ~site:"nn.score" ~key:img.Loader.Image.name () with
   | Some _ ->
     raise
@@ -41,31 +79,66 @@ let scan ?features clf ~reference img =
             }))
   | None -> ());
   Obs.Trace.with_span ~name:"stage.static"
-    ~attrs:(fun () -> [ ("image", img.Loader.Image.name) ])
+    ~attrs:(fun () ->
+      [
+        ("image", img.Loader.Image.name);
+        ("references", string_of_int (Array.length references));
+      ])
     (fun () ->
       let start = Util.Clock.now () in
       let feats =
         match features with Some f -> f | None -> Staticfeat.Cache.features img
       in
       let n = Array.length feats in
-      let scores = Array.make n 0.0 in
+      let nrefs = Array.length references in
+      let pair_width =
+        Array.length (fst (Nn.Data.normalizer_stats clf.normalizer))
+      in
+      let fwidth = pair_width / 2 in
+      (* candidate halves, z-scored once into one flat block *)
+      let cand = Array.make (n * fwidth) 0.0 in
+      for i = 0 to n - 1 do
+        Nn.Data.normalize_slice clf.normalizer ~offset:fwidth feats.(i) cand
+          ~pos:(i * fwidth)
+      done;
+      let refs = Array.make (max 1 (nrefs * fwidth)) 0.0 in
+      Array.iteri
+        (fun r v ->
+          Nn.Data.normalize_slice clf.normalizer ~offset:0 v refs
+            ~pos:(r * fwidth))
+        references;
+      let scores = Array.init nrefs (fun _ -> Array.make n 0.0) in
       let nbatches = (n + score_batch - 1) / score_batch in
-      Parallel.Pool.parallel_for ~chunk:1 nbatches (fun b ->
+      (* unit of work: one (reference, batch-of-functions) tile *)
+      Parallel.Pool.parallel_for ~chunk:1 (nrefs * nbatches) (fun w ->
+          let r = w / nbatches in
+          let b = w mod nbatches in
           let lo = b * score_batch in
           let len = min score_batch (n - lo) in
-          let rows =
-            Array.init len (fun k ->
-                Nn.Data.normalize_vec clf.normalizer
-                  (Util.Vec.concat reference feats.(lo + k)))
-          in
-          let batch_scores = Nn.Model.predict clf.model (Nn.Matrix.of_rows rows) in
+          let s = kernel_scratch clf.model ~width:pair_width in
+          for k = 0 to len - 1 do
+            let row = k * pair_width in
+            Array.blit refs (r * fwidth) s.input row fwidth;
+            Array.blit cand ((lo + k) * fwidth) s.input (row + fwidth) fwidth
+          done;
+          Nn.Model.predict_into clf.model s.mscratch ~rows:len ~input:s.input
+            ~dst:scores.(r) ~pos:lo;
           Obs.Metrics.observe m_batch_rows len;
-          Array.blit batch_scores 0 scores lo len);
-      let candidates = ref [] in
-      for i = n - 1 downto 0 do
-        Obs.Metrics.observe m_scores (int_of_float (scores.(i) *. 100.0));
-        if scores.(i) >= clf.threshold then candidates := i :: !candidates
-      done;
+          for k = 0 to len - 1 do
+            Obs.Metrics.observe m_scores
+              (int_of_float (scores.(r).(lo + k) *. 100.0))
+          done);
+      let seconds = Util.Clock.since start in
       Obs.Metrics.incr m_scans;
-      Obs.Metrics.add m_candidates (List.length !candidates);
-      { candidates = !candidates; scores; seconds = Util.Clock.since start })
+      Array.map
+        (fun scores ->
+          let candidates = ref [] in
+          for i = n - 1 downto 0 do
+            if scores.(i) >= clf.threshold then candidates := i :: !candidates
+          done;
+          Obs.Metrics.add m_candidates (List.length !candidates);
+          { candidates = !candidates; scores; seconds })
+        scores)
+
+let scan ?features clf ~reference img =
+  (scan_many ?features clf ~references:[| reference |] img).(0)

@@ -18,18 +18,30 @@ type result = {
   seconds : float;  (** wall-clock seconds *)
 }
 
+val scan_many :
+  ?features:Util.Vec.t array ->
+  classifier ->
+  references:Util.Vec.t array ->
+  Loader.Image.t ->
+  result array
+(** Score every function of the image against each reference vector in
+    one batched parallel pass (one result per reference, index-aligned).
+    The image's features are z-scored into a flat buffer once and reused
+    for every reference, and the forward pass runs over preallocated
+    per-domain buffers — so scanning one image against a whole database
+    does the per-function work once, allocation-free in the hot loop.
+    [?features] supplies the image's (index-aligned) static features —
+    normally {!Staticfeat.Cache.features}, which is also the default.
+    Scores are bit-identical to {!pair_score} per pair, whatever the
+    domain count. *)
+
 val scan :
   ?features:Util.Vec.t array ->
   classifier ->
   reference:Util.Vec.t ->
   Loader.Image.t ->
   result
-(** Score every function of the image against the reference vector.
-    [?features] supplies the image's (index-aligned) static features —
-    normally {!Staticfeat.Cache.features}, which is also the default —
-    so repeated scans of one image against many CVE references never
-    re-extract.  Scoring is batched across the domain pool; candidates
-    and scores are identical whatever the domain count. *)
+(** [scan_many] with a single reference. *)
 
 val pair_score :
   classifier -> reference:Util.Vec.t -> candidate:Util.Vec.t -> float

@@ -72,7 +72,8 @@ let inject_vm_fault img fidx =
 
 let run ?fuel img fidx env =
   inject_vm_fault img fidx;
-  run_machine (Machine.create ?fuel img env) fidx
+  let m = Machine.create_pooled ?fuel img env in
+  Fun.protect ~finally:(fun () -> Machine.release m) (fun () -> run_machine m fidx)
 
 let run_traced ?fuel ?(limit = 10_000) img fidx env =
   let lines = ref [] in
@@ -87,8 +88,10 @@ let run_traced ?fuel ?(limit = 10_000) img fidx env =
         :: !lines
     end
   in
-  let m = Machine.create ?fuel ~on_instr img env in
-  let result = run_machine m fidx in
+  let m = Machine.create_pooled ?fuel ~on_instr img env in
+  let result =
+    Fun.protect ~finally:(fun () -> Machine.release m) (fun () -> run_machine m fidx)
+  in
   (result, List.rev !lines)
 
 let survives ?fuel img fidx env =

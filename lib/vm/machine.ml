@@ -27,6 +27,8 @@ type t = {
   listings : (int, Isa.Disasm.listing) Hashtbl.t;
   params : Isa.Encoding.params;
   on_instr : fidx:int -> pc:int -> int Isa.Instr.t -> unit;
+  seed : int64;  (* env seed — needed to restore the mmio window *)
+  pooled : bool;  (* regions borrow the domain's scratch buffers *)
 }
 
 let default_fuel = 1_000_000
@@ -39,32 +41,89 @@ let mmio_pattern seed i =
   in
   Int64.to_int (Int64.shift_right_logical v 56) land 0xff
 
-let create ?(fuel = default_fuel) ?(on_instr = fun ~fidx:_ ~pc:_ _ -> ())
-    (image : Loader.Image.t) (env : Env.t) =
-  (* lib region: copy of the image data section plus patches *)
-  let data = Bytes.copy image.data in
+(* --- per-domain machine scratch ---------------------------------------- *)
+
+(* One machine's worth of address space per domain, reused across
+   executions: a scan runs tens of thousands of short VM executions, and
+   allocating (and zeroing) ~1.3MB of fresh region buffers for each was
+   the dominant allocation of the whole pipeline — on a multi-domain
+   runtime those major-heap allocations also serialize the domains on
+   the collector.  Invariants while [free] (not in use):
+   - [heap]/[stack]/[anon] are all-zero,
+   - [lib] holds a pristine copy of [lib_img]'s data section,
+   - [mmio] holds the pattern for [mmio_seed] when [mmio_ok].
+   [release] re-establishes them by undoing exactly the dirty byte
+   ranges the execution touched. *)
+type scratch = {
+  mutable lib : bytes;
+  mutable lib_img : Loader.Image.t option;  (* physical identity *)
+  heap : bytes;
+  stack : bytes;
+  mmio : bytes;
+  mutable mmio_seed : int64;
+  mutable mmio_ok : bool;
+  mutable anon : bytes;
+  mutable in_use : bool;
+}
+
+let scratch_key : scratch Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        lib = Bytes.empty;
+        lib_img = None;
+        heap = Bytes.make Region.heap_size '\000';
+        stack = Bytes.make Region.stack_size '\000';
+        mmio = Bytes.make Region.mmio_size '\000';
+        mmio_seed = 0L;
+        mmio_ok = false;
+        anon = Bytes.make 16 '\000';
+        in_use = false;
+      })
+
+(* Disassembly listings are pure per (image, function), so they are
+   cached per domain across machines instead of per machine — a scan
+   re-executes the same handful of functions thousands of times.  The
+   cache is bounded by image count; images are keyed by physical
+   identity, so a reloaded image simply misses. *)
+let max_cached_images = 8
+
+let listings_key : (Loader.Image.t * (int, Isa.Disasm.listing) Hashtbl.t) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let listing_table (image : Loader.Image.t) =
+  let cache = Domain.DLS.get listings_key in
+  match List.find_opt (fun (img, _) -> img == image) !cache with
+  | Some (_, tbl) -> tbl
+  | None ->
+    let tbl = Hashtbl.create 16 in
+    let kept = List.filteri (fun i _ -> i < max_cached_images - 1) !cache in
+    cache := (image, tbl) :: kept;
+    tbl
+
+let build ~pooled ~lib_data ~heap_data ~stack_data ~mmio_data ~anon_data ~fuel
+    ~on_instr (image : Loader.Image.t) (env : Env.t) =
+  let lib_len = Bytes.length image.data in
+  let lib = Region.make ~kind:Rlib ~base:image.data_base ~data:lib_data ~len:lib_len in
   List.iter
     (fun (addr, patch) ->
       let off = Int64.to_int (Int64.sub addr image.data_base) in
-      if off < 0 || off + Bytes.length patch > Bytes.length data then
-        invalid_arg "Machine.create: global patch out of range";
-      Bytes.blit patch 0 data off (Bytes.length patch))
+      (* checked before [lib_data] was touched, see [create_with] *)
+      Bytes.blit patch 0 lib_data off (Bytes.length patch);
+      Region.touch lib off (Bytes.length patch))
     env.Env.global_patches;
-  let lib = { Region.kind = Rlib; base = image.data_base; data } in
   let heap =
-    { Region.kind = Rheap; base = Region.heap_base; data = Bytes.make Region.heap_size '\000' }
+    Region.make ~kind:Rheap ~base:Region.heap_base ~data:heap_data
+      ~len:Region.heap_size
   in
   let stack =
-    {
-      Region.kind = Rstack;
-      base = Int64.sub Region.stack_top (Int64.of_int Region.stack_size);
-      data = Bytes.make Region.stack_size '\000';
-    }
+    Region.make ~kind:Rstack
+      ~base:(Int64.sub Region.stack_top (Int64.of_int Region.stack_size))
+      ~data:stack_data ~len:Region.stack_size
   in
-  let mmio_data =
-    Bytes.init Region.mmio_size (fun i -> Char.chr (mmio_pattern env.Env.seed i))
+  let mmio =
+    Region.make ~kind:Rothers ~base:Region.mmio_base ~data:mmio_data
+      ~len:Region.mmio_size
   in
-  let mmio = { Region.kind = Rothers; base = Region.mmio_base; data = mmio_data } in
   (* anon region: concatenated argument buffers, 16-byte aligned slices *)
   let total_anon =
     List.fold_left
@@ -74,7 +133,10 @@ let create ?(fuel = default_fuel) ?(on_instr = fun ~fidx:_ ~pc:_ _ -> ())
         | Env.Vbuf b -> acc + ((Bytes.length b + 31) / 16 * 16))
       0 env.Env.args
   in
-  let anon_data = Bytes.make (max total_anon 16) '\000' in
+  let anon =
+    Region.make ~kind:Ranon ~base:Region.anon_base ~data:anon_data
+      ~len:(max total_anon 16)
+  in
   let regs = Array.make Isa.Reg.count 0L in
   regs.(Isa.Reg.sp) <- Region.stack_top;
   let off = ref 0 in
@@ -84,10 +146,10 @@ let create ?(fuel = default_fuel) ?(on_instr = fun ~fidx:_ ~pc:_ _ -> ())
       | Env.Vint n -> regs.(Isa.Reg.arg i) <- n
       | Env.Vbuf b ->
         Bytes.blit b 0 anon_data !off (Bytes.length b);
+        Region.touch anon !off (Bytes.length b);
         regs.(Isa.Reg.arg i) <- Int64.add Region.anon_base (Int64.of_int !off);
         off := !off + ((Bytes.length b + 31) / 16 * 16))
     env.Env.args;
-  let anon = { Region.kind = Ranon; base = Region.anon_base; data = anon_data } in
   {
     image;
     regs;
@@ -100,10 +162,95 @@ let create ?(fuel = default_fuel) ?(on_instr = fun ~fidx:_ ~pc:_ _ -> ())
     trace = Trace.create ();
     fuel;
     depth = 1;
-    listings = Hashtbl.create 16;
+    listings = listing_table image;
     params = Isa.Encoding.params_of_arch image.arch;
     on_instr;
+    seed = env.Env.seed;
+    pooled;
   }
+
+let check_patches (image : Loader.Image.t) (env : Env.t) =
+  List.iter
+    (fun (addr, patch) ->
+      let off = Int64.to_int (Int64.sub addr image.data_base) in
+      if off < 0 || off + Bytes.length patch > Bytes.length image.data then
+        invalid_arg "Machine.create: global patch out of range")
+    env.Env.global_patches
+
+let create ?(fuel = default_fuel) ?(on_instr = fun ~fidx:_ ~pc:_ _ -> ())
+    (image : Loader.Image.t) (env : Env.t) =
+  check_patches image env;
+  let total_anon =
+    List.fold_left
+      (fun acc v ->
+        match v with
+        | Env.Vint _ -> acc
+        | Env.Vbuf b -> acc + ((Bytes.length b + 31) / 16 * 16))
+      0 env.Env.args
+  in
+  build ~pooled:false ~lib_data:(Bytes.copy image.data)
+    ~heap_data:(Bytes.make Region.heap_size '\000')
+    ~stack_data:(Bytes.make Region.stack_size '\000')
+    ~mmio_data:
+      (Bytes.init Region.mmio_size (fun i ->
+           Char.chr (mmio_pattern env.Env.seed i)))
+    ~anon_data:(Bytes.make (max total_anon 16) '\000')
+    ~fuel ~on_instr image env
+
+let create_pooled ?(fuel = default_fuel)
+    ?(on_instr = fun ~fidx:_ ~pc:_ _ -> ()) (image : Loader.Image.t)
+    (env : Env.t) =
+  let s = Domain.DLS.get scratch_key in
+  if s.in_use then create ~fuel ~on_instr image env
+  else begin
+    check_patches image env;
+    let lib_len = Bytes.length image.data in
+    (match s.lib_img with
+    | Some img when img == image -> ()  (* scratch already pristine *)
+    | _ ->
+      if Bytes.length s.lib < lib_len then s.lib <- Bytes.create lib_len;
+      Bytes.blit image.data 0 s.lib 0 lib_len;
+      s.lib_img <- Some image);
+    if not (s.mmio_ok && s.mmio_seed = env.Env.seed) then begin
+      for i = 0 to Region.mmio_size - 1 do
+        Bytes.set s.mmio i (Char.chr (mmio_pattern env.Env.seed i))
+      done;
+      s.mmio_seed <- env.Env.seed;
+      s.mmio_ok <- true
+    end;
+    let total_anon =
+      List.fold_left
+        (fun acc v ->
+          match v with
+          | Env.Vint _ -> acc
+          | Env.Vbuf b -> acc + ((Bytes.length b + 31) / 16 * 16))
+        0 env.Env.args
+    in
+    if Bytes.length s.anon < max total_anon 16 then
+      s.anon <- Bytes.make (max total_anon 16) '\000';
+    s.in_use <- true;
+    build ~pooled:true ~lib_data:s.lib ~heap_data:s.heap ~stack_data:s.stack
+      ~mmio_data:s.mmio ~anon_data:s.anon ~fuel ~on_instr image env
+  end
+
+let release t =
+  if t.pooled then begin
+    let s = Domain.DLS.get scratch_key in
+    List.iter
+      (fun (r : Region.t) ->
+        match Region.dirty_span r with
+        | None -> ()
+        | Some (lo, hi) -> (
+          match r.Region.kind with
+          | Rheap | Rstack | Ranon -> Bytes.fill r.Region.data lo (hi - lo) '\000'
+          | Rlib -> Bytes.blit t.image.Loader.Image.data lo r.Region.data lo (hi - lo)
+          | Rothers ->
+            for i = lo to hi - 1 do
+              Bytes.set r.Region.data i (Char.chr (mmio_pattern t.seed i))
+            done))
+      t.regions;
+    s.in_use <- false
+  end
 
 let regs t = t.regs
 let trace t = t.trace
@@ -130,7 +277,9 @@ let read_u8 t addr =
 
 let write_u8 t addr v =
   let r = find_region t addr ~len:1 in
-  Bytes.set r.data (Region.offset r addr) (Char.chr (v land 0xff))
+  let off = Region.offset r addr in
+  Region.touch r off 1;
+  Bytes.set r.data off (Char.chr (v land 0xff))
 
 let read_u64 t addr =
   let r = find_region t addr ~len:8 in
@@ -138,7 +287,9 @@ let read_u64 t addr =
 
 let write_u64 t addr v =
   let r = find_region t addr ~len:8 in
-  Bytes.set_int64_le r.data (Region.offset r addr) v
+  let off = Region.offset r addr in
+  Region.touch r off 8;
+  Bytes.set_int64_le r.data off v
 
 let read_cstring t addr =
   let buf = Buffer.create 16 in
@@ -197,11 +348,15 @@ let store t width addr v =
   | W1 ->
     let r = find_region t addr ~len:1 in
     Trace.record_mem_access t.trace r.kind;
-    Bytes.set r.data (Region.offset r addr) (Char.chr (Int64.to_int v land 0xff))
+    let off = Region.offset r addr in
+    Region.touch r off 1;
+    Bytes.set r.data off (Char.chr (Int64.to_int v land 0xff))
   | W8 ->
     let r = find_region t addr ~len:8 in
     Trace.record_mem_access t.trace r.kind;
-    Bytes.set_int64_le r.data (Region.offset r addr) v
+    let off = Region.offset r addr in
+    Region.touch r off 8;
+    Bytes.set_int64_le r.data off v
 
 (* --- ALU ---------------------------------------------------------------- *)
 

@@ -34,6 +34,27 @@ val create :
     executed instruction (the gdb-style single-step hook the CLI's trace
     command uses). *)
 
+val create_pooled :
+  ?fuel:int ->
+  ?on_instr:(fidx:int -> pc:int -> int Isa.Instr.t -> unit) ->
+  Loader.Image.t ->
+  Env.t ->
+  t
+(** Like {!create}, but the region buffers are borrowed from a
+    per-domain scratch pool instead of freshly allocated — the machine
+    is observationally identical, and the caller MUST call {!release}
+    when the execution is done (and must not keep two pooled machines
+    alive at once on a domain; a nested [create_pooled] silently falls
+    back to fresh allocation).  A scan runs tens of thousands of short
+    executions, so reusing the ~1.3MB of region storage removes the
+    pipeline's dominant allocation — and with it the cross-domain GC
+    synchronization that made parallel scans slower than sequential. *)
+
+val release : t -> unit
+(** Return a pooled machine's buffers, restoring pristine content for
+    exactly the byte ranges the execution dirtied (O(bytes written)).
+    A no-op on machines from {!create}. *)
+
 val regs : t -> int64 array
 val trace : t -> Trace.t
 val stdout_contents : t -> string

@@ -4,6 +4,9 @@ type t = {
   kind : kind;
   base : int64;
   data : bytes;
+  len : int;
+  mutable dirty_lo : int;
+  mutable dirty_hi : int;
 }
 
 let lib_base = Loader.Image.data_base_default
@@ -15,10 +18,21 @@ let mmio_size = 4096
 let stack_top = 0x7000_0000L
 let stack_size = 1 lsl 18
 
+let make ~kind ~base ~data ~len =
+  if len > Bytes.length data then invalid_arg "Region.make: len > capacity";
+  { kind; base; data; len; dirty_lo = max_int; dirty_hi = 0 }
+
 let contains t addr =
-  addr >= t.base && addr < Int64.add t.base (Int64.of_int (Bytes.length t.data))
+  addr >= t.base && addr < Int64.add t.base (Int64.of_int t.len)
 
 let offset t addr = Int64.to_int (Int64.sub addr t.base)
+
+let touch t off len =
+  if off < t.dirty_lo then t.dirty_lo <- off;
+  if off + len > t.dirty_hi then t.dirty_hi <- off + len
+
+let dirty_span t =
+  if t.dirty_hi > t.dirty_lo then Some (t.dirty_lo, t.dirty_hi) else None
 
 let kind_to_string = function
   | Rlib -> "lib"

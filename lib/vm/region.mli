@@ -3,14 +3,23 @@
     The classification mirrors what the paper reads out of
     /proc/pid/maps: heap, stack, mapped library (our image data section),
     anonymous mappings (fuzzer-provided input buffers) and "others" (a
-    small MMIO-like window some device code pokes). *)
+    small MMIO-like window some device code pokes).
+
+    A region's [data] may be a pooled scratch buffer larger than the
+    region itself: [len] is the logical size used for bounds checks, and
+    the dirty range tracks which bytes were written so the machine pool
+    can restore pristine content in O(bytes touched) instead of
+    reallocating and re-zeroing whole buffers per execution. *)
 
 type kind = Rlib | Rheap | Rstack | Ranon | Rothers
 
 type t = {
   kind : kind;
   base : int64;
-  data : bytes;
+  data : bytes;  (** backing storage; capacity may exceed [len] *)
+  len : int;  (** logical size — guest accesses are bounded by this *)
+  mutable dirty_lo : int;
+  mutable dirty_hi : int;
 }
 
 val lib_base : int64  (** = {!Loader.Image.data_base_default} *)
@@ -23,6 +32,19 @@ val mmio_size : int
 val stack_top : int64
 val stack_size : int
 
+val make : kind:kind -> base:int64 -> data:bytes -> len:int -> t
+(** A clean region (empty dirty range) over [data].  Raises
+    [Invalid_argument] if [len] exceeds the capacity of [data]. *)
+
 val contains : t -> int64 -> bool
 val offset : t -> int64 -> int
+
+val touch : t -> int -> int -> unit
+(** [touch t off len] widens the dirty range to cover
+    [\[off, off+len)].  Every write into [data] must be recorded here
+    for pooled-buffer restoration to be sound. *)
+
+val dirty_span : t -> (int * int) option
+(** The written byte range [(lo, hi))], or [None] if untouched. *)
+
 val kind_to_string : kind -> string

@@ -2,14 +2,14 @@ type t = {
   mutable internal_calls : int;
   mutable depth_samples : int list;
   mutable instr_count : int;
-  unique : (int * int, int) Hashtbl.t;  (** (fidx, pc) -> executions *)
+  unique : (int, int) Hashtbl.t;  (** fidx*2^20+pc -> executions *)
   mutable call_count : int;
   mutable arith_count : int;
   mutable branch_count : int;
   mutable load_count : int;
   mutable store_count : int;
-  branch_freq : (int * int, int) Hashtbl.t;
-  arith_freq : (int * int, int) Hashtbl.t;
+  branch_freq : (int, int) Hashtbl.t;
+  arith_freq : (int, int) Hashtbl.t;
   mutable heap_access : int;
   mutable stack_access : int;
   mutable lib_access : int;
@@ -41,13 +41,16 @@ let create () =
     syscalls = 0;
   }
 
+(* int keys are immediate, so the per-instruction bump allocates
+   nothing (a tuple key + option box per retired instruction used to be
+   the interpreter's only steady-state allocation) *)
 let bump table key =
-  let v = match Hashtbl.find_opt table key with Some v -> v | None -> 0 in
+  let v = match Hashtbl.find table key with v -> v | exception Not_found -> 0 in
   Hashtbl.replace table key (v + 1)
 
 let record_instr t ~fidx ~pc ins =
   t.instr_count <- t.instr_count + 1;
-  let key = (fidx, pc) in
+  let key = (fidx lsl 20) lor pc in
   bump t.unique key;
   if Isa.Instr.is_call ins then t.call_count <- t.call_count + 1;
   if Isa.Instr.is_arith ins then begin

@@ -29,4 +29,5 @@ let () =
       ("patchecko", Test_patchecko.suite);
       ("compiler-diff", Test_compiler_diff.suite);
       ("evaluation", Test_evaluation.suite);
+      ("perf", Test_perf.suite);
     ]

@@ -129,31 +129,37 @@ let traced_scan domains =
       Staticfeat.Cache.clear ();
       (report, events, metrics))
 
-(* the pinned trace of the planted-CVE fixture: two cells (one per
-   image), each static -> dynamic; the differential stage only fires in
-   the cell whose dynamic ranking survives the distance cutoff; four
-   prefills (two firmware images + the entry's vuln/patched references,
-   both rendered from the same CVE corpus program) *)
+(* the pinned trace of the planted-CVE fixture: one reference context
+   prepared per entry and one batched static pass per image, both under
+   scan.firmware; then two dynamic cells (one per image) — the
+   differential stage only fires in the cell whose dynamic ranking
+   survives the distance cutoff; four prefills (two firmware images +
+   the entry's vuln/patched references, both rendered from the same CVE
+   corpus program) *)
 let golden_spans =
   [
     "scan.cell/stage.differential{image=lib02}";
     "scan.cell/stage.dynamic{candidates=10,image=lib02}";
     "scan.cell/stage.dynamic{candidates=8,image=lib01}";
-    "scan.cell/stage.static{image=lib01}";
-    "scan.cell/stage.static{image=lib02}";
     "scan.cell{cve=CVE-2018-9412,image=lib01}";
     "scan.cell{cve=CVE-2018-9412,image=lib02}";
     "scan.firmware/scan.prefill{image=cvedb_cve_CVE_2018_9412}";
     "scan.firmware/scan.prefill{image=cvedb_cve_CVE_2018_9412}";
     "scan.firmware/scan.prefill{image=lib01}";
     "scan.firmware/scan.prefill{image=lib02}";
+    "scan.firmware/scan.refctx{cve=CVE-2018-9412}";
+    "scan.firmware/stage.static{image=lib01,references=1}";
+    "scan.firmware/stage.static{image=lib02,references=1}";
     "scan.firmware{cves=1,device=testdev,images=2}";
   ]
 
 (* the pinned aggregate metrics of the same scan: 4 distinct images
    extracted (cache misses) and every later touch a hit; 2 cells, 1
-   finding; the dynamic stage executes 161 seeded VM runs of which one
-   traps (an execution the differential engine tolerates) *)
+   finding; 9 supervised units (4 prefills + 1 reference context + 2
+   static passes + 2 dynamic cells); the reference context is prepared
+   once and shared by both cells, so the VM executes 149 seeded runs
+   (the per-cell engine re-ran the reference side per image) of which
+   one traps (an execution the differential engine tolerates) *)
 let golden_metrics =
   [
     ("cache.hit", "5");
@@ -172,15 +178,15 @@ let golden_metrics =
     ("static.candidates", "18");
     ("static.scans", "2");
     ("static.score_pct", "count 18, sum 1800, le128:18");
-    ("supervisor.attempts", "6");
+    ("supervisor.attempts", "9");
     ("supervisor.faults", "0");
     ("supervisor.gave_up", "0");
     ("supervisor.retries", "0");
-    ("supervisor.runs", "6");
-    ("vm.executions", "161");
+    ("supervisor.runs", "9");
+    ("vm.executions", "149");
     ( "vm.fuel_consumed",
-      "count 161, sum 65354, le16:56 le32:8 le64:2 le128:28 le256:4 le512:22 \
-       le1024:14 le2048:23 le4096:4" );
+      "count 149, sum 61263, le16:56 le32:8 le64:1 le128:24 le256:4 le512:19 \
+       le1024:10 le2048:23 le4096:4" );
     ("vm.traps", "1");
     ("vm.traps.step_limit", "0");
   ]

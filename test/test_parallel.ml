@@ -85,6 +85,62 @@ let explicit_pool () =
   Parallel.Pool.shutdown pool;
   Parallel.Pool.shutdown pool (* idempotent *)
 
+(* --- properties: the adaptive chunk-claiming scheduler ------------------ *)
+
+(* every index runs exactly once, whatever n and the domain count — the
+   CAS claim loop must neither drop nor repeat a chunk *)
+let prop_parallel_for_exact_coverage =
+  QCheck.Test.make ~name:"parallel-for-every-index-exactly-once" ~count:40
+    QCheck.(pair (int_range 0 600) (int_range 1 4))
+    (fun (n, domains) ->
+      with_domains domains (fun () ->
+          let hits = Array.init n (fun _ -> Atomic.make 0) in
+          Parallel.Pool.parallel_for n (fun i -> Atomic.incr hits.(i));
+          Array.for_all (fun a -> Atomic.get a = 1) hits))
+
+(* a body exception surfaces to the caller from any index, and the pool
+   survives into the next generation *)
+let prop_parallel_for_exceptions =
+  QCheck.Test.make ~name:"parallel-for-exception-propagates" ~count:25
+    QCheck.(pair (int_range 1 400) (int_range 0 1000))
+    (fun (n, bad) ->
+      let bad = bad mod n in
+      with_domains 4 (fun () ->
+          let raised =
+            match
+              Parallel.Pool.parallel_for n (fun i ->
+                  if i = bad then failwith "prop-boom")
+            with
+            | () -> false
+            | exception Failure _ -> true
+          in
+          raised
+          && Parallel.Pool.map_array succ (Array.init 50 Fun.id)
+             = Array.init 50 succ))
+
+(* parallel_for issued from inside a pool worker falls back to inline
+   execution instead of deadlocking, and still covers every index *)
+let prop_nested_parallel_for =
+  QCheck.Test.make ~name:"nested-parallel-for-falls-back" ~count:20
+    QCheck.(int_range 1 60)
+    (fun n ->
+      with_domains 4 (fun () ->
+          let out = Array.make (8 * n) 0 in
+          ignore
+            (Parallel.Pool.map_array ~chunk:1
+               (fun j ->
+                 Parallel.Pool.parallel_for n (fun i ->
+                     out.((j * n) + i) <- j + i + 1);
+                 j)
+               (Array.init 8 Fun.id));
+          let ok = ref true in
+          for j = 0 to 7 do
+            for i = 0 to n - 1 do
+              if out.((j * n) + i) <> j + i + 1 then ok := false
+            done
+          done;
+          !ok))
+
 (* --- end-to-end determinism: 1 domain vs 4 ---------------------------- *)
 
 let scanner_fixture = Fixtures.scanner_fixture
@@ -107,23 +163,82 @@ let static_scan_deterministic () =
           ~reference:entry.Patchecko.Vulndb.vuln_static target)
   in
   let r1 = scan 1 in
-  let r4 = scan 4 in
-  Alcotest.(check (list int))
-    "candidates identical" r1.Patchecko.Static_stage.candidates
-    r4.Patchecko.Static_stage.candidates;
-  Alcotest.(check bool)
-    "scores byte-identical" true
-    (r1.Patchecko.Static_stage.scores = r4.Patchecko.Static_stage.scores)
+  List.iter
+    (fun d ->
+      let rd = scan d in
+      Alcotest.(check (list int))
+        (Printf.sprintf "candidates identical at %d domains" d)
+        r1.Patchecko.Static_stage.candidates rd.Patchecko.Static_stage.candidates;
+      Alcotest.(check bool)
+        (Printf.sprintf "scores byte-identical at %d domains" d)
+        true
+        (r1.Patchecko.Static_stage.scores = rd.Patchecko.Static_stage.scores))
+    [ 2; 4 ]
 
 let scanner_deterministic () =
   let _entry, db, fw, classifier = scanner_fixture () in
   let f1 = scan_firmware_with ~fw ~db ~classifier 1 in
-  let f4 = scan_firmware_with ~fw ~db ~classifier 4 in
-  Alcotest.(check string)
-    "findings byte-identical"
-    (Patchecko.Scanner.findings_to_json f1)
-    (Patchecko.Scanner.findings_to_json f4);
+  List.iter
+    (fun d ->
+      let fd = scan_firmware_with ~fw ~db ~classifier d in
+      Alcotest.(check string)
+        (Printf.sprintf "findings byte-identical at %d domains" d)
+        (Patchecko.Scanner.findings_to_json f1)
+        (Patchecko.Scanner.findings_to_json fd))
+    [ 2; 4 ];
   Alcotest.(check bool) "non-empty" true (f1 <> [])
+
+(* --- flat batched kernels: bit identity with the allocating path -------- *)
+
+let predict_into_matches_predict () =
+  let entry, _db, fw, classifier = scanner_fixture () in
+  let model = classifier.Patchecko.Static_stage.model in
+  let nz = classifier.Patchecko.Static_stage.normalizer in
+  let width = Array.length (fst (Nn.Data.normalizer_stats nz)) in
+  Staticfeat.Cache.clear ();
+  let feats = Staticfeat.Cache.features fw.Loader.Firmware.images.(0) in
+  let rows =
+    Array.map
+      (fun v ->
+        Nn.Data.normalize_vec nz
+          (Util.Vec.concat entry.Patchecko.Vulndb.vuln_static v))
+      feats
+  in
+  let n = Array.length rows in
+  let expected = Nn.Model.predict model (Nn.Matrix.of_rows rows) in
+  let input = Array.make (n * width) 0.0 in
+  Array.iteri (fun i row -> Array.blit row 0 input (i * width) width) rows;
+  let scratch = Nn.Model.make_scratch model ~max_rows:n in
+  let dst = Array.make n Float.nan in
+  Nn.Model.predict_into model scratch ~rows:n ~input ~dst ~pos:0;
+  Alcotest.(check bool) "probabilities bit-identical" true (expected = dst);
+  (* a second pass over the same scratch is still exact (buffer reuse
+     must not leak state across batches) *)
+  Nn.Model.predict_into model scratch ~rows:n ~input ~dst ~pos:0;
+  Alcotest.(check bool) "scratch reuse bit-identical" true (expected = dst);
+  Staticfeat.Cache.clear ()
+
+let scan_matches_pair_score () =
+  let entry, _db, fw, classifier = scanner_fixture () in
+  let target = fw.Loader.Firmware.images.(1) in
+  with_domains 4 (fun () ->
+      Staticfeat.Cache.clear ();
+      let r =
+        Patchecko.Static_stage.scan classifier
+          ~reference:entry.Patchecko.Vulndb.vuln_static target
+      in
+      let feats = Staticfeat.Cache.features target in
+      Array.iteri
+        (fun i s ->
+          let expected =
+            Patchecko.Static_stage.pair_score classifier
+              ~reference:entry.Patchecko.Vulndb.vuln_static
+              ~candidate:feats.(i)
+          in
+          if not (Float.equal s expected) then
+            Alcotest.failf "batched score %d differs from pair_score" i)
+        r.Patchecko.Static_stage.scores;
+      Staticfeat.Cache.clear ())
 
 let extraction_at_most_once () =
   let entry, db, fw, classifier = scanner_fixture () in
@@ -164,8 +279,14 @@ let suite =
     Alcotest.test_case "exceptions" `Quick exceptions_propagate;
     Alcotest.test_case "nested" `Quick nested_use_is_safe;
     Alcotest.test_case "explicit-pool" `Quick explicit_pool;
+    QCheck_alcotest.to_alcotest prop_parallel_for_exact_coverage;
+    QCheck_alcotest.to_alcotest prop_parallel_for_exceptions;
+    QCheck_alcotest.to_alcotest prop_nested_parallel_for;
     Alcotest.test_case "static-scan-deterministic" `Quick
       static_scan_deterministic;
     Alcotest.test_case "scanner-deterministic" `Quick scanner_deterministic;
+    Alcotest.test_case "predict-into-bit-identical" `Quick
+      predict_into_matches_predict;
+    Alcotest.test_case "scan-matches-pair-score" `Quick scan_matches_pair_score;
     Alcotest.test_case "extraction-at-most-once" `Quick extraction_at_most_once;
   ]

@@ -1,0 +1,39 @@
+(* Perf smoke: the parallel-scan tripwire.
+
+   Before the scan rearchitecture a 2-domain scan cost ~1.75x a 1-domain
+   scan on a single-core host (generation-barrier scheduling +
+   per-execution region allocation serializing the domains on the
+   collector).  This guard fails the suite if that class of regression
+   comes back: after a warmup run, the min-of-2 wall clock at 2 domains
+   must stay within 1.5x of the 1-domain time.  The margin is generous
+   against timing noise (the healthy ratio is ~1.1 on one core, ~1.0 or
+   below on real multicore) but well under the broken ratio. *)
+
+let scan_seconds ~db ~fw ~classifier domains =
+  Fixtures.with_domains domains (fun () ->
+      let run () =
+        Staticfeat.Cache.clear ();
+        let t0 = Util.Clock.now () in
+        for _ = 1 to 3 do
+          ignore
+            (Patchecko.Scanner.scan_firmware ~dyn_config:Fixtures.dyn_config
+               ~max_distance:10.0 ~classifier ~db fw)
+        done;
+        Util.Clock.since t0
+      in
+      ignore (run ());
+      min (run ()) (run ()))
+
+let parallel_tripwire () =
+  let _entry, db, fw, classifier = Fixtures.scanner_fixture () in
+  let t1 = scan_seconds ~db ~fw ~classifier 1 in
+  let t2 = scan_seconds ~db ~fw ~classifier 2 in
+  Staticfeat.Cache.clear ();
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "2-domain scan within 1.5x of 1-domain (t1=%.3fs t2=%.3fs ratio %.2f)"
+       t1 t2 (t2 /. t1))
+    true
+    (t2 <= 1.5 *. t1)
+
+let suite = [ Alcotest.test_case "parallel-tripwire" `Quick parallel_tripwire ]
