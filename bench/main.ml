@@ -517,6 +517,97 @@ let analysis () =
   output_string oc (summary ^ "\n");
   close_out oc
 
+(* --- struct: fingerprint encoder throughput + cross-arch rank quality -- *)
+
+let struct_bench () =
+  (* encoder throughput: the CFG-side structural encoder (dominator-tree
+     pruning + loop forest + interval reduction + Zhang-Shasha-ready
+     canonical tree) on every function of both builds of all 25 CVE
+     pairs at the database configuration *)
+  let pairs =
+    List.map
+      (fun cve ->
+        ( Corpus.Dataset.compile_cve cve ~patched:false,
+          Corpus.Dataset.compile_cve cve ~patched:true ))
+      Corpus.Cves.all
+  in
+  let functions = ref 0 in
+  let t0 = Util.Clock.now () in
+  List.iter
+    (fun (v, p) ->
+      List.iter
+        (fun img ->
+          for i = 0 to Loader.Image.function_count img - 1 do
+            incr functions;
+            ignore (Analysis.Struct_enc.of_binary img i)
+          done)
+        [ v; p ])
+    pairs;
+  let seconds = Util.Clock.since t0 in
+  let funcs_per_sec =
+    if seconds > 0.0 then float_of_int !functions /. seconds else 0.0
+  in
+  (* rank quality: is the AST-side fingerprint of the vulnerable source
+     closer to the vulnerable build than to the patched one, for every
+     architecture at every optimisation level?  This is the channel's
+     cross-representation matching power, the property the struct
+     baseline column depends on. *)
+  let npairs = List.length Corpus.Cves.all in
+  Format.fprintf ppf "%-8s %8s %6s %9s  (%d CVEs x %d arches)@." "opt"
+    "discrim" "tied" "inverted" npairs (List.length Isa.Arch.all);
+  let per_opt =
+    List.map
+      (fun opt ->
+        let discriminated = ref 0 and tied = ref 0 and inverted = ref 0 in
+        List.iter
+          (fun arch ->
+            List.iter
+              (fun (cve : Corpus.Cves.t) ->
+                let ast =
+                  Analysis.Struct_enc.of_func (Corpus.Cves.vulnerable_func cve)
+                in
+                let bv =
+                  Analysis.Struct_enc.of_binary
+                    (Corpus.Dataset.compile_cve ~arch ~opt cve ~patched:false)
+                    0
+                and bp =
+                  Analysis.Struct_enc.of_binary
+                    (Corpus.Dataset.compile_cve ~arch ~opt cve ~patched:true)
+                    0
+                in
+                let dv = Similarity.Structfp.distance ast bv
+                and dp = Similarity.Structfp.distance ast bp in
+                if dv < dp then incr discriminated
+                else if dv > dp then incr inverted
+                else incr tied)
+              Corpus.Cves.all)
+          Isa.Arch.all;
+        Format.fprintf ppf "%-8s %8d %6d %9d@."
+          (Minic.Optlevel.to_string opt)
+          !discriminated !tied !inverted;
+        (opt, !discriminated, !tied, !inverted))
+      Minic.Optlevel.all
+  in
+  let summary =
+    Printf.sprintf
+      "{\"bench\": \"struct\", \"functions\": %d, \"seconds\": %.4f, \
+       \"funcs_per_sec\": %.1f, \"per_opt\": [%s]}"
+      !functions seconds funcs_per_sec
+      (String.concat ", "
+         (List.map
+            (fun (opt, d, t, i) ->
+              Printf.sprintf
+                "{\"opt\": %S, \"discriminated\": %d, \"tied\": %d, \
+                 \"inverted\": %d}"
+                (Minic.Optlevel.to_string opt)
+                d t i)
+            per_opt))
+  in
+  Format.fprintf ppf "%s@." summary;
+  let oc = open_out "BENCH_struct.json" in
+  output_string oc (summary ^ "\n");
+  close_out oc
+
 (* --- bechamel micro-benchmarks: one Test.make per table/figure --------- *)
 
 let case_study_assets () =
@@ -692,6 +783,7 @@ let all () =
   section "Chaos scan" chaos;
   section "Observability overhead" obs;
   section "Static memory-safety analysis" analysis;
+  section "Structural fingerprints" struct_bench;
   section "Ablations" ablate;
   section "Micro-benchmarks" micro
 
@@ -718,6 +810,7 @@ let () =
       | "chaos" -> section "Chaos scan" chaos
       | "obs" -> section "Observability overhead" obs
       | "analysis" -> section "Static memory-safety analysis" analysis
+      | "struct" -> section "Structural fingerprints" struct_bench
       | "baseline" -> section "Baseline comparison" baselines
       | "simcheck" -> section "Vulnerable-vs-patched similarity" simcheck
       | "ablate" -> section "Ablations" ablate
@@ -725,8 +818,8 @@ let () =
       | other ->
         Format.eprintf
           "unknown target %S (use fig7 fig8 tab3 tab4 tab5 tab6 tab7 tab8 \
-           simcheck speed scanpar chaos obs analysis baseline ablate micro \
-           all)@."
+           simcheck speed scanpar chaos obs analysis struct baseline ablate \
+           micro all)@."
           other;
         exit 2)
     targets

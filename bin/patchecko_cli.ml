@@ -467,15 +467,50 @@ let analyze_cmd =
           ~doc:"Only analyze this function (default: all).")
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit a JSON report.") in
-  let run image fn json =
-    let img = Loader.Sff.read_image image in
+  let structural =
+    Arg.(
+      value & flag
+      & info [ "struct" ]
+          ~doc:
+            "Also report each function's structural fingerprint (canonical \
+             shape tree, operator profile summary).")
+  in
+  let run image fn json structural =
+    match
+      match Loader.Sff.read_image image with
+      | img -> Ok img
+      | exception Loader.Sff.Corrupt msg ->
+        Error
+          (Printf.sprintf "analyze: %s is not a valid SFF image: %s" image msg)
+      | exception Sys_error msg -> Error (Printf.sprintf "analyze: %s" msg)
+    with
+    | Error msg ->
+      prerr_endline msg;
+      2
+    | Ok img ->
+    let count = Loader.Image.function_count img in
+    match fn with
+    | Some i when i < 0 || i >= count ->
+      Printf.eprintf
+        "analyze: --fn %d is out of range: %s has %d function%s (valid \
+         indices 0..%d)\n"
+        i image count
+        (if count = 1 then "" else "s")
+        (count - 1);
+      2
+    | _ ->
     let indices =
       match fn with
       | Some i -> [ i ]
-      | None -> List.init (Loader.Image.function_count img) Fun.id
+      | None -> List.init count Fun.id
     in
     let reports =
       List.map (fun i -> (i, Analysis.Boundcheck.analyze img i)) indices
+    in
+    let fps =
+      if structural then
+        List.map (fun i -> (i, Analysis.Struct_enc.of_binary img i)) indices
+      else []
     in
     let name i =
       match Loader.Image.function_name img i with
@@ -491,7 +526,7 @@ let analyze_cmd =
           Buffer.add_string b
             (Printf.sprintf
                "\n  {\"function\": %d, \"name\": %S, \"signature\": [%s], \
-                \"alarms\": [%s]}"
+                \"alarms\": [%s]%s}"
                i (name i)
                (String.concat ", "
                   (List.map string_of_int (Array.to_list r.counts)))
@@ -503,7 +538,14 @@ let analyze_cmd =
                           \"detail\": %S}"
                          (Analysis.Boundcheck.class_name a.cls)
                          a.block a.index a.detail)
-                     r.alarms))))
+                     r.alarms))
+               (match List.assoc_opt i fps with
+               | None -> ""
+               | Some fp ->
+                 Printf.sprintf ", \"struct\": {\"summary\": %S, \"tree\": %S}"
+                   (Similarity.Structfp.summary fp)
+                   (Similarity.Structfp.tree_to_string
+                      (Similarity.Structfp.tree fp)))))
         reports;
       Buffer.add_string b "\n]\n";
       print_string (Buffer.contents b)
@@ -525,6 +567,14 @@ let analyze_cmd =
               r.alarms
           end)
         reports;
+      if structural then begin
+        Printf.printf "structural fingerprints:\n";
+        List.iter
+          (fun (i, fp) ->
+            Printf.printf "%4d %-32s %s\n" i (name i)
+              (Similarity.Structfp.summary fp))
+          fps
+      end;
       Printf.printf "%d of %d function%s flagged\n" !flagged
         (List.length reports)
         (if List.length reports = 1 then "" else "s")
@@ -535,8 +585,9 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:
          "Run the static memory-safety checker (interval abstract \
-          interpretation) over an image and report alarms.")
-    Term.(const run $ image $ fn $ json)
+          interpretation) over an image and report alarms; with \
+          $(b,--struct), also the structural-fingerprint encoder.")
+    Term.(const run $ image $ fn $ json $ structural)
 
 (* --- evaluate --------------------------------------------------------------- *)
 

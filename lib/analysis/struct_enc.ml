@@ -1,0 +1,387 @@
+(* Structural-fingerprint encoders: the same canonical encoding
+   ([Similarity.Structfp]) computed from two very different inputs.
+
+   AST side — a recursive fold over the MinC AST that mirrors what the
+   lowering pipeline does to control flow.  The skeleton uses
+   *dominance-style nesting*: statements after an if/while nest inside
+   the construct's node, because in the recovered binary the join/exit
+   block is dominated by the condition/loop header and therefore lands
+   inside its dominator subtree.  Short-circuit connectives add one
+   nested [cond] per extra leaf test, matching their lowering into a
+   chain of branch blocks; a comparison materialised as a value adds the
+   diamond [lower_bool_value] emits.
+
+   Binary side — the dominator tree of the recovered CFG pruned to
+   control nodes: natural-loop headers become [loop] nodes (the header's
+   own branch is the loop test, so it is swallowed), remaining
+   conditional-branch blocks become [cond], jump tables [multi], and
+   plain blocks pass their dominated subtrees through.
+
+   Both sides fill the same operator-class profile (bucketed by
+   loop-nesting depth) and the same scalar shape profile, so the
+   weighted distance in [Similarity.Structfp] is directly comparable
+   across the AST/CFG divide. *)
+
+module A = Minic.Ast
+module S = Similarity.Structfp
+
+(* operator classes *)
+let c_arith = 0
+let c_muldiv = 1
+let c_bitwise = 2
+let c_compare = 3
+let c_mem_read = 4
+let c_mem_write = 5
+let c_call = 6
+let c_other = 7
+let op_classes = 8
+let depth_buckets = 3
+let ops_length = op_classes * depth_buckets
+
+type acc = {
+  ops : float array;
+  mutable consts : int;
+  mutable cmag : float;  (* sum of log2 (1 + |const|) *)
+}
+
+let fresh_acc () = { ops = Array.make ops_length 0.0; consts = 0; cmag = 0.0 }
+
+let bump st cls depth =
+  let b = if depth >= depth_buckets then depth_buckets - 1 else depth in
+  let b = if b < 0 then 0 else b in
+  st.ops.((cls * depth_buckets) + b) <- st.ops.((cls * depth_buckets) + b) +. 1.0
+
+let const64 st v =
+  st.consts <- st.consts + 1;
+  st.cmag <- st.cmag +. (log (1.0 +. Int64.to_float (Int64.abs v)) /. log 2.0)
+
+let profile ~deriv ~segments ~tree st =
+  let cmean =
+    if st.consts = 0 then 0.0 else st.cmag /. float_of_int st.consts
+  in
+  [|
+    float_of_int (S.tree_size tree);
+    float_of_int (S.tree_height tree);
+    float_of_int (S.count_label S.loop_label tree);
+    float_of_int (S.count_label S.cond_label tree);
+    float_of_int (S.count_label S.multi_label tree);
+    float_of_int (S.label_nesting S.loop_label tree);
+    float_of_int (S.max_branching tree);
+    float_of_int deriv;
+    float_of_int segments;
+    float_of_int st.consts;
+    cmean;
+  |]
+
+(* --- AST side ----------------------------------------------------------- *)
+
+let int_class = function
+  | A.Badd | A.Bsub -> c_arith
+  | A.Bmul | A.Bdiv | A.Brem -> c_muldiv
+  | A.Bandb | A.Borb | A.Bxor | A.Bshl | A.Bshr -> c_bitwise
+  | A.Beq | A.Bne | A.Blt | A.Ble | A.Bgt | A.Bge | A.Bland | A.Blor ->
+    c_compare
+
+let is_bool_root = function
+  | A.Ebinop
+      ( (A.Beq | A.Bne | A.Blt | A.Ble | A.Bgt | A.Bge | A.Bland | A.Blor),
+        _,
+        _ ) ->
+    true
+  | A.Eint _ | A.Efloat _ | A.Estr _ | A.Evar _ | A.Eindex _ | A.Eaddr _
+  | A.Eunop _ | A.Ebinop _ | A.Ecall _ ->
+    false
+
+let rec chain n inner =
+  if n <= 0 then inner else [ S.node S.cond_label (chain (n - 1) inner) ]
+
+(* value context: ops, consts, and the skeleton nodes of any boolean
+   subexpression materialised as 0/1 *)
+let rec value st depth e : S.tree list =
+  match e with
+  | A.Eint v ->
+    const64 st v;
+    []
+  | A.Efloat _ | A.Estr _ | A.Evar _ -> []
+  | A.Eindex (b, i) ->
+    bump st c_mem_read depth;
+    bump st c_arith depth;
+    value st depth b @ value st depth i
+  | A.Eaddr (b, i) ->
+    bump st c_arith depth;
+    value st depth b @ value st depth i
+  | A.Eunop (A.Uneg, e) ->
+    bump st c_arith depth;
+    value st depth e
+  | A.Eunop (A.Ubnot, e) ->
+    bump st c_bitwise depth;
+    value st depth e
+  | A.Ebinop (_, _, _) when is_bool_root e ->
+    let tests, kids = cond st depth e in
+    (* lower_bool_value: one branch block per leaf test, each dominating
+       the rest of the diamond *)
+    chain tests kids
+  | A.Ebinop (op, a, b) ->
+    bump st (int_class op) depth;
+    value st depth a @ value st depth b
+  | A.Ecall (_, args) ->
+    bump st c_call depth;
+    List.concat_map (value st depth) args
+
+(* branch context: the number of leaf tests the condition lowers to (one
+   Cmp+Jcc each), plus skeleton nodes from operand evaluation *)
+and cond st depth e : int * S.tree list =
+  match e with
+  | A.Ebinop ((A.Bland | A.Blor), a, b) ->
+    let ta, ka = cond st depth a in
+    let tb, kb = cond st depth b in
+    (ta + tb, ka @ kb)
+  | A.Ebinop ((A.Beq | A.Bne | A.Blt | A.Ble | A.Bgt | A.Bge), a, b) ->
+    bump st c_compare depth;
+    (1, value st depth a @ value st depth b)
+  | A.Eint v ->
+    (* constant condition folds to an unconditional jump *)
+    const64 st v;
+    (0, [])
+  | A.Efloat _ | A.Estr _ | A.Evar _ | A.Eindex _ | A.Eaddr _ | A.Eunop _
+  | A.Ebinop _ | A.Ecall _ ->
+    (* truthiness test against zero *)
+    bump st c_compare depth;
+    (1, value st depth e)
+
+let rec stmts st depth = function
+  | [] -> []
+  | s :: rest -> (
+    match s with
+    | A.Sif (c, thens, elses) ->
+      let tests, ck = cond st depth c in
+      if tests = 0 then
+        ck @ stmts st depth thens @ stmts st depth elses @ stmts st depth rest
+      else
+        [
+          S.node S.cond_label
+            (chain (tests - 1) (stmts st depth thens)
+            @ ck @ stmts st depth elses @ stmts st depth rest);
+        ]
+    | A.Swhile (c, body) ->
+      (* the test re-runs every iteration; the header's own branch is
+         the loop node, extra leaf tests nest inside it *)
+      let tests, ck = cond st (depth + 1) c in
+      [
+        S.node S.loop_label
+          (chain
+             (max 0 (tests - 1))
+             (stmts st (depth + 1) body)
+          @ ck @ stmts st depth rest);
+      ]
+    | A.Sfor (_, start, bound, step, body) ->
+      let sk = value st depth start in
+      bump st c_compare (depth + 1);
+      let bk = value st (depth + 1) bound in
+      bump st c_arith (depth + 1);
+      let stk = value st (depth + 1) step in
+      sk
+      @ [
+          S.node S.loop_label
+            (stmts st (depth + 1) body @ bk @ stk @ stmts st depth rest);
+        ]
+    | A.Sswitch (e, cases, default) ->
+      let ek = value st depth e in
+      (* jump-table form: normalise (Sub), two range checks, dispatch *)
+      bump st c_arith depth;
+      bump st c_compare depth;
+      bump st c_compare depth;
+      let inner =
+        List.concat_map (fun (_, b) -> stmts st depth b) cases
+        @ stmts st depth default @ stmts st depth rest
+      in
+      ek
+      @ [
+          S.node S.cond_label
+            [ S.node S.cond_label [ S.node S.multi_label inner ] ];
+        ]
+    | A.Sindexset (b, i, e) ->
+      bump st c_mem_write depth;
+      bump st c_arith depth;
+      value st depth b @ value st depth i @ value st depth e
+      @ stmts st depth rest
+    | A.Sdecl (_, _, Some e) | A.Sassign (_, e) | A.Sexpr e ->
+      value st depth e @ stmts st depth rest
+    | A.Sreturn (Some e) -> value st depth e @ stmts st depth rest
+    | A.Sdecl (_, _, None) | A.Sarray _ | A.Sreturn None | A.Sbreak
+    | A.Scontinue ->
+      stmts st depth rest)
+
+(* op-bearing straight segments: maximal runs of simple statements that
+   contribute at least one counted operator — each run ends up as one
+   basic block's worth of straight code, so the binary-side equivalent
+   is the count of reachable blocks with a counted op *)
+let rec expr_has_op = function
+  | A.Eint _ | A.Efloat _ | A.Estr _ | A.Evar _ -> false
+  | A.Eindex _ | A.Eaddr _ | A.Eunop _ | A.Ebinop _ | A.Ecall _ -> true
+
+and segments_of stmts =
+  let total = ref 0 in
+  let has_op = ref false in
+  let close () =
+    if !has_op then incr total;
+    has_op := false
+  in
+  List.iter
+    (fun s ->
+      match s with
+      | A.Sif (c, thens, elses) ->
+        (* the test's compare closes the current block *)
+        (match c with A.Eint _ -> () | _ -> has_op := true);
+        close ();
+        total := !total + segments_of thens + segments_of elses
+      | A.Swhile (c, body) ->
+        close ();
+        (match c with A.Eint _ -> () | _ -> incr total);
+        total := !total + segments_of body
+      | A.Sfor (_, start, _, _, body) ->
+        if expr_has_op start then has_op := true;
+        close ();
+        (* head block (compare) and step block (increment) *)
+        total := !total + 2 + segments_of body
+      | A.Sswitch (e, cases, default) ->
+        ignore (expr_has_op e : bool);
+        has_op := true;  (* the normalising subtract + range checks *)
+        close ();
+        List.iter (fun (_, b) -> total := !total + segments_of b) cases;
+        total := !total + segments_of default
+      | A.Sreturn e ->
+        (match e with Some e when expr_has_op e -> has_op := true | _ -> ());
+        close ()
+      | A.Sbreak | A.Scontinue -> close ()
+      | A.Sindexset _ -> has_op := true
+      | A.Sdecl (_, _, Some e) | A.Sassign (_, e) | A.Sexpr e ->
+        if expr_has_op e then has_op := true
+      | A.Sdecl (_, _, None) | A.Sarray _ -> ())
+    stmts;
+  close ();
+  !total
+
+let of_func (f : A.func) =
+  let st = fresh_acc () in
+  let tree = S.node S.root_label (stmts st 0 f.A.body) in
+  let deriv =
+    (* single-block functions have derivation length 0; loop-free
+       control flow collapses in one step; each loop-nesting level costs
+       one more *)
+    if
+      S.count_label S.loop_label tree = 0
+      && S.count_label S.cond_label tree = 0
+      && S.count_label S.multi_label tree = 0
+    then 0
+    else S.label_nesting S.loop_label tree + 1
+  in
+  S.make ~ops:st.ops
+    ~skel:(profile ~deriv ~segments:(segments_of f.A.body) ~tree st)
+    ~tree
+
+(* --- binary side -------------------------------------------------------- *)
+
+let instr_class (ins : int Isa.Instr.t) =
+  match ins with
+  | Isa.Instr.Binop ((Isa.Instr.Add | Isa.Instr.Sub), _, _, _)
+  | Isa.Instr.Neg _ ->
+    Some c_arith
+  | Isa.Instr.Binop ((Isa.Instr.Mul | Isa.Instr.Div | Isa.Instr.Rem), _, _, _)
+    ->
+    Some c_muldiv
+  | Isa.Instr.Binop
+      ( ( Isa.Instr.And | Isa.Instr.Or | Isa.Instr.Xor | Isa.Instr.Shl
+        | Isa.Instr.Shr ),
+        _,
+        _,
+        _ )
+  | Isa.Instr.Not _ ->
+    Some c_bitwise
+  | Isa.Instr.Cmp _ | Isa.Instr.Fcmp _ -> Some c_compare
+  | Isa.Instr.Load _ -> Some c_mem_read
+  | Isa.Instr.Store _ -> Some c_mem_write
+  | Isa.Instr.Call _ -> Some c_call
+  | Isa.Instr.Fbinop _ | Isa.Instr.I2f _ | Isa.Instr.F2i _ -> Some c_other
+  | Isa.Instr.Nop | Isa.Instr.Mov _ | Isa.Instr.Lea _ | Isa.Instr.Jmp _
+  | Isa.Instr.Jcc _ | Isa.Instr.Jtable _ | Isa.Instr.Ret | Isa.Instr.Push _
+  | Isa.Instr.Pop _ | Isa.Instr.Syscall _ ->
+    None
+
+let instr_imm (ins : int Isa.Instr.t) =
+  match ins with
+  | Isa.Instr.Mov (_, Isa.Instr.Imm v)
+  | Isa.Instr.Binop (_, _, _, Isa.Instr.Imm v)
+  | Isa.Instr.Cmp (_, Isa.Instr.Imm v) ->
+    Some v
+  | Isa.Instr.Mov (_, Isa.Instr.Reg _)
+  | Isa.Instr.Binop (_, _, _, Isa.Instr.Reg _)
+  | Isa.Instr.Cmp (_, Isa.Instr.Reg _)
+  | Isa.Instr.Nop | Isa.Instr.Fbinop _ | Isa.Instr.Neg _ | Isa.Instr.Not _
+  | Isa.Instr.I2f _ | Isa.Instr.F2i _ | Isa.Instr.Load _ | Isa.Instr.Store _
+  | Isa.Instr.Lea _ | Isa.Instr.Fcmp _ | Isa.Instr.Jmp _ | Isa.Instr.Jcc _
+  | Isa.Instr.Jtable _ | Isa.Instr.Call _ | Isa.Instr.Ret | Isa.Instr.Push _
+  | Isa.Instr.Pop _ | Isa.Instr.Syscall _ ->
+    None
+
+let of_graph (g : Cfg.Graph.t) =
+  let st = fresh_acc () in
+  let dom = Cfg.Dominators.compute g in
+  let nest = Cfg.Loopnest.build g dom in
+  let instrs = g.Cfg.Graph.listing.Isa.Disasm.instrs in
+  let n = Cfg.Graph.block_count g in
+  (* operator profile and op-bearing blocks over the reachable region *)
+  let segments = ref 0 in
+  for b = 0 to n - 1 do
+    if Cfg.Dominators.reachable dom b then begin
+      let blk = g.Cfg.Graph.blocks.(b) in
+      let depth = Cfg.Loopnest.block_depth nest b in
+      let bearing = ref false in
+      for i = blk.Cfg.Block.first to blk.Cfg.Block.last do
+        (match instr_class instrs.(i) with
+        | Some cls ->
+          bump st cls depth;
+          bearing := true
+        | None -> ());
+        match instr_imm instrs.(i) with
+        | Some v -> const64 st v
+        | None -> ()
+      done;
+      if !bearing then incr segments
+    end
+  done;
+  (* skeleton: the dominator tree pruned to control nodes *)
+  let children = Array.make (max n 1) [] in
+  for b = n - 1 downto 1 do
+    match Cfg.Dominators.idom dom b with
+    | Some p -> children.(p) <- b :: children.(p)
+    | None -> ()
+  done;
+  let rec walk b =
+    let kids = List.concat_map walk children.(b) in
+    if Cfg.Loopnest.is_header nest b then [ S.node S.loop_label kids ]
+    else begin
+      let blk = g.Cfg.Graph.blocks.(b) in
+      match instrs.(blk.Cfg.Block.last) with
+      | Isa.Instr.Jcc _ -> [ S.node S.cond_label kids ]
+      | Isa.Instr.Jtable _ -> [ S.node S.multi_label kids ]
+      | Isa.Instr.Nop | Isa.Instr.Mov _ | Isa.Instr.Binop _
+      | Isa.Instr.Fbinop _ | Isa.Instr.Neg _ | Isa.Instr.Not _
+      | Isa.Instr.I2f _ | Isa.Instr.F2i _ | Isa.Instr.Load _
+      | Isa.Instr.Store _ | Isa.Instr.Lea _ | Isa.Instr.Cmp _
+      | Isa.Instr.Fcmp _ | Isa.Instr.Jmp _ | Isa.Instr.Call _
+      | Isa.Instr.Ret | Isa.Instr.Push _ | Isa.Instr.Pop _
+      | Isa.Instr.Syscall _ ->
+        kids
+    end
+  in
+  let tree = S.node S.root_label (if n > 0 then walk 0 else []) in
+  let iv = Cfg.Intervals.analyze g in
+  S.make ~ops:st.ops
+    ~skel:
+      (profile ~deriv:iv.Cfg.Intervals.derivation_length ~segments:!segments
+         ~tree st)
+    ~tree
+
+let of_binary img fidx =
+  of_graph (Cfg.Graph.build (Loader.Image.disassemble img fidx))

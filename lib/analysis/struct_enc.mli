@@ -1,0 +1,25 @@
+(** Structural-fingerprint encoders (see {!Similarity.Structfp} for the
+    representation and distance).
+
+    [of_func] folds a MinC AST into the canonical encoding using
+    dominance-style nesting (statements after a control construct nest
+    inside it, matching where the join block lands in the binary's
+    dominator tree); [of_binary] computes the same encoding from a
+    stripped binary via dominator-tree pruning, the loop-nesting forest
+    and interval derived-sequence reduction of the recovered CFG.  Both
+    are pure and total on well-formed inputs. *)
+
+val op_classes : int
+val depth_buckets : int
+val ops_length : int
+(** Layout of the operator profile: [op_classes] operator classes, each
+    bucketed by loop-nesting depth (0, 1, >= 2). *)
+
+val of_func : Minic.Ast.func -> Similarity.Structfp.t
+
+val of_graph : Cfg.Graph.t -> Similarity.Structfp.t
+(** Encoder over an already-recovered CFG (used by {!of_binary} and by
+    callers that hold a graph). *)
+
+val of_binary : Loader.Image.t -> int -> Similarity.Structfp.t
+(** Fingerprint of function [fidx] of a loaded image. *)

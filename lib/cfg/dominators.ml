@@ -57,6 +57,8 @@ let compute (g : Graph.t) =
   end;
   { idoms; order }
 
+let reachable t b = b >= 0 && b < Array.length t.order && t.order.(b) >= 0
+
 let idom t b =
   if b = 0 then None
   else if b < 0 || b >= Array.length t.idoms || t.idoms.(b) < 0 then None
@@ -75,12 +77,19 @@ type loop = {
 }
 
 let natural_loops (g : Graph.t) t =
+  (* only edges between blocks reachable from the entry can form natural
+     loops: dominance is undefined off the entry's reachable region, and
+     an unreachable block with a self edge would otherwise pass the
+     reflexive [dominates] check and fabricate a phantom loop *)
   let back_edges = ref [] in
   Array.iter
     (fun (b : Block.t) ->
-      List.iter
-        (fun s -> if dominates t s b.id then back_edges := (b.id, s) :: !back_edges)
-        b.succs)
+      if reachable t b.id then
+        List.iter
+          (fun s ->
+            if reachable t s && dominates t s b.id then
+              back_edges := (b.id, s) :: !back_edges)
+          b.succs)
     g.blocks;
   (* group back edges by header; the loop body is everything that reaches
      a latch without passing through the header *)
@@ -97,7 +106,8 @@ let natural_loops (g : Graph.t) t =
       let in_body = Hashtbl.create 8 in
       Hashtbl.replace in_body header ();
       let rec pull b =
-        if not (Hashtbl.mem in_body b) then begin
+        (* an unreachable block jumping into the loop is not part of it *)
+        if reachable t b && not (Hashtbl.mem in_body b) then begin
           Hashtbl.replace in_body b ();
           List.iter pull g.blocks.(b).Block.preds
         end

@@ -6,6 +6,12 @@
 type t
 
 val compute : Graph.t -> t
+
+val reachable : t -> int -> bool
+(** Is the block reachable from the entry?  Dominance, natural loops and
+    loop depths are only defined over the reachable region; out-of-range
+    ids are simply unreachable. *)
+
 val idom : t -> int -> int option
 (** Immediate dominator of a block ([None] for the entry block and
     unreachable blocks). *)
@@ -20,7 +26,9 @@ type loop = {
 }
 
 val natural_loops : Graph.t -> t -> loop list
-(** One entry per loop header, sorted by header id. *)
+(** One entry per loop header, sorted by header id.  Only edges between
+    blocks reachable from the entry are considered: a self-looping
+    unreachable block is dead code, not a loop. *)
 
 val loop_depth : Graph.t -> t -> int array
 (** Nesting depth per block (0 = not in any loop). *)

@@ -1,0 +1,143 @@
+(* Cocke-Allen interval analysis and the derived sequence.
+
+   An interval I(h) is the maximal single-entry region grown from a
+   header h by repeatedly absorbing nodes all of whose predecessors are
+   already inside.  Collapsing every interval to a node yields the
+   derived graph; iterating until the graph is a single node (or stops
+   shrinking — irreducibility) gives the derived sequence, whose length
+   is a classic structuredness measure: 1 for loop-free code, and one
+   extra derivation per loop-nesting level for reducible graphs.  The
+   structural-fingerprint encoder uses the length as an
+   architecture-independent shape component. *)
+
+type t = {
+  first_intervals : int list list;
+      (* first-level partition over reachable blocks, header first *)
+  derivation_length : int;
+  reducible : bool;
+}
+
+(* One partition round over [nodes] (sorted), with [preds] restricted to
+   the current graph.  Returns the headers in discovery order and the
+   node -> header assignment. *)
+let partition ~nodes ~preds ~entry =
+  let assigned : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let headers = ref [] in
+  let queue = Queue.create () in
+  let queued = Hashtbl.create 16 in
+  Queue.add entry queue;
+  Hashtbl.replace queued entry ();
+  while not (Queue.is_empty queue) do
+    let h = Queue.pop queue in
+    if not (Hashtbl.mem assigned h) then begin
+      headers := h :: !headers;
+      Hashtbl.replace assigned h h;
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun n ->
+            if n <> entry && not (Hashtbl.mem assigned n) then begin
+              let ps = preds n in
+              if
+                ps <> []
+                && List.for_all
+                     (fun p -> Hashtbl.find_opt assigned p = Some h)
+                     ps
+              then begin
+                Hashtbl.replace assigned n h;
+                changed := true
+              end
+            end)
+          nodes
+      done;
+      (* unabsorbed nodes now entered from a completed interval start
+         intervals of their own *)
+      List.iter
+        (fun n ->
+          if
+            (not (Hashtbl.mem assigned n))
+            && (not (Hashtbl.mem queued n))
+            && List.exists (fun p -> Hashtbl.mem assigned p) (preds n)
+          then begin
+            Queue.add n queue;
+            Hashtbl.replace queued n ()
+          end)
+        nodes
+    end
+  done;
+  (List.rev !headers, assigned)
+
+let analyze (g : Graph.t) =
+  let n = Graph.block_count g in
+  if n = 0 then { first_intervals = []; derivation_length = 0; reducible = true }
+  else begin
+    let reach = Array.make n false in
+    let rec visit b =
+      if not reach.(b) then begin
+        reach.(b) <- true;
+        List.iter visit g.blocks.(b).Block.succs
+      end
+    in
+    visit 0;
+    let nodes0 = List.filter (fun b -> reach.(b)) (List.init n Fun.id) in
+    let succs0 b =
+      List.sort_uniq compare
+        (List.filter (fun s -> reach.(s)) g.blocks.(b).Block.succs)
+    in
+    let first_intervals = ref [] in
+    let rec derive nodes succs steps =
+      if List.length nodes <= 1 then (steps, true)
+      else begin
+        let pred_tbl : (int, int) Hashtbl.t = Hashtbl.create 16 in
+        List.iter
+          (fun nd -> List.iter (fun s -> Hashtbl.add pred_tbl s nd) (succs nd))
+          nodes;
+        let preds nd = Hashtbl.find_all pred_tbl nd in
+        let headers, assigned = partition ~nodes ~preds ~entry:0 in
+        if steps = 0 then
+          first_intervals :=
+            List.map
+              (fun h ->
+                h
+                :: List.filter
+                     (fun nd -> nd <> h && Hashtbl.find_opt assigned nd = Some h)
+                     nodes)
+              headers;
+        if List.length headers = List.length nodes then (steps + 1, false)
+        else begin
+          let derived : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+          List.iter
+            (fun nd ->
+              match Hashtbl.find_opt assigned nd with
+              | None -> ()
+              | Some h ->
+                List.iter
+                  (fun s ->
+                    match Hashtbl.find_opt assigned s with
+                    | Some h' when h' <> h ->
+                      let cur =
+                        match Hashtbl.find_opt derived h with
+                        | Some l -> l
+                        | None -> []
+                      in
+                      if not (List.mem h' cur) then
+                        Hashtbl.replace derived h (h' :: cur)
+                    | Some _ | None -> ())
+                  (succs nd))
+            nodes;
+          let succs' h =
+            match Hashtbl.find_opt derived h with
+            | Some l -> List.sort compare l
+            | None -> []
+          in
+          derive (List.sort compare headers) succs' (steps + 1)
+        end
+      end
+    in
+    let derivation_length, reducible = derive nodes0 succs0 0 in
+    let first_intervals =
+      if !first_intervals = [] then [ nodes0 ] else !first_intervals
+    in
+    { first_intervals; derivation_length; reducible }
+  end

@@ -1,0 +1,17 @@
+(** Cocke-Allen interval partition and derived-sequence reduction.
+
+    Computed over the region reachable from the entry block.  The
+    derived-sequence length is 0 for a single-block function, 1 for
+    loop-free control flow, and grows by one per loop-nesting level on
+    reducible graphs; [reducible] is false when a derivation step stops
+    shrinking the graph before it reaches a single node. *)
+
+type t = {
+  first_intervals : int list list;
+      (** the first-level partition: each interval's blocks, header
+          first, in header discovery order *)
+  derivation_length : int;
+  reducible : bool;
+}
+
+val analyze : Graph.t -> t

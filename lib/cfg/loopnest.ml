@@ -1,0 +1,83 @@
+(* Loop-nesting forest over the natural loops of a CFG.
+
+   Natural loops of a reducible graph are either disjoint or properly
+   nested, so "smallest strictly larger loop containing my header" is a
+   well-defined parent; requiring the parent's body to be strictly
+   larger also keeps the parent relation acyclic on the irreducible
+   graphs the construction may still be handed. *)
+
+type t = {
+  loops : Dominators.loop array;
+  parent : int array;
+  depth : int array;
+  block_depth : int array;
+  is_header : bool array;
+  max_depth : int;
+}
+
+let build (g : Graph.t) (dom : Dominators.t) =
+  let loops = Array.of_list (Dominators.natural_loops g dom) in
+  let nl = Array.length loops in
+  let nb = Graph.block_count g in
+  let is_header = Array.make nb false in
+  Array.iter (fun (l : Dominators.loop) -> is_header.(l.header) <- true) loops;
+  let members =
+    Array.map
+      (fun (l : Dominators.loop) ->
+        let h = Hashtbl.create 8 in
+        List.iter (fun b -> Hashtbl.replace h b ()) l.body;
+        h)
+      loops
+  in
+  let size = Array.map Hashtbl.length members in
+  let parent = Array.make nl (-1) in
+  for i = 0 to nl - 1 do
+    for j = 0 to nl - 1 do
+      if
+        j <> i
+        && size.(j) > size.(i)
+        && Hashtbl.mem members.(j) loops.(i).Dominators.header
+        && (parent.(i) < 0 || size.(j) < size.(parent.(i)))
+      then parent.(i) <- j
+    done
+  done;
+  (* parent chains strictly grow the body, so this terminates *)
+  let depth = Array.make nl 0 in
+  let rec depth_of i =
+    if depth.(i) > 0 then depth.(i)
+    else begin
+      let d = match parent.(i) with -1 -> 1 | p -> 1 + depth_of p in
+      depth.(i) <- d;
+      d
+    end
+  in
+  for i = 0 to nl - 1 do
+    ignore (depth_of i : int)
+  done;
+  let block_depth = Array.make nb 0 in
+  Array.iteri
+    (fun i (l : Dominators.loop) ->
+      List.iter
+        (fun b -> if depth.(i) > block_depth.(b) then block_depth.(b) <- depth.(i))
+        l.body)
+    loops;
+  let max_depth = Array.fold_left max 0 depth in
+  { loops; parent; depth; block_depth; is_header; max_depth }
+
+let loop_count t = Array.length t.loops
+let max_depth t = t.max_depth
+let is_header t b = b >= 0 && b < Array.length t.is_header && t.is_header.(b)
+
+let block_depth t b =
+  if b >= 0 && b < Array.length t.block_depth then t.block_depth.(b) else 0
+
+let parent t i = if t.parent.(i) < 0 then None else Some t.parent.(i)
+let depth t i = t.depth.(i)
+let loop t i = t.loops.(i)
+
+let children t i =
+  let out = ref [] in
+  for j = Array.length t.parent - 1 downto 0 do
+    if t.parent.(j) = i then out := j :: !out
+  done;
+  !out

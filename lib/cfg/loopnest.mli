@@ -1,0 +1,25 @@
+(** Loop-nesting forest: the natural loops of a CFG organised by
+    containment.  Each loop's parent is the smallest strictly larger
+    loop containing its header ([None] for top-level loops); depths
+    start at 1 for top-level loops. *)
+
+type t
+
+val build : Graph.t -> Dominators.t -> t
+
+val loop_count : t -> int
+val loop : t -> int -> Dominators.loop
+val parent : t -> int -> int option
+val children : t -> int -> int list
+val depth : t -> int -> int
+(** Nesting depth of the loop (top-level = 1). *)
+
+val max_depth : t -> int
+(** Deepest nesting in the function (0 when loop-free). *)
+
+val is_header : t -> int -> bool
+(** Is the block a natural-loop header?  Out-of-range ids are not. *)
+
+val block_depth : t -> int -> int
+(** Nesting depth of the innermost loop containing the block (0 when
+    the block is in no loop, or out of range). *)

@@ -242,9 +242,13 @@ let db_build ppf (ctx : Context.t) ~opts ~cve_ids =
         List.iter
           (fun opt ->
             let entry =
-              Patchecko.Vulndb.make_entry ~cve_id ~description:"" ~shape:cve.shape
+              Patchecko.Vulndb.make_entry
+                ~source:
+                  (Corpus.Cves.vulnerable_func cve, Corpus.Cves.patched_func cve)
+                ~cve_id ~description:"" ~shape:cve.shape
                 ~vuln:(Corpus.Dataset.compile_cve ~opt cve ~patched:false, 0)
                 ~patched:(Corpus.Dataset.compile_cve ~opt cve ~patched:true, 0)
+                ()
             in
             let target =
               match

@@ -1,9 +1,9 @@
 let compare_detection ppf (ctx : Context.t) runs =
   Format.fprintf ppf
     "Baseline comparison: rank of the true function per method@.";
-  Format.fprintf ppf "%-16s %8s %8s %10s %8s %8s@." "CVE" "kNN" "graph"
-    "NN-static" "alarm" "hybrid";
-  let top1 = Array.make 5 0 and top3 = Array.make 5 0 in
+  Format.fprintf ppf "%-16s %8s %8s %10s %8s %8s %8s@." "CVE" "kNN" "graph"
+    "NN-static" "alarm" "struct" "hybrid";
+  let top1 = Array.make 6 0 and top3 = Array.make 6 0 in
   let n = ref 0 in
   let bump k rank =
     match rank with
@@ -82,25 +82,39 @@ let compare_detection ppf (ctx : Context.t) runs =
           |> List.stable_sort (fun (_, a) (_, b) -> compare a b)
           |> Baseline.Knn.rank_of truth.findex
         in
-        (* 5. full hybrid *)
+        (* 5. structural fingerprints: rank by Structfp distance of each
+           candidate's CFG-shape encoding to the vulnerable reference's
+           AST-side fingerprint (cross-representation matching). *)
+        let struct_rank =
+          let fps = Staticfeat.Cache.struct_fingerprints target in
+          List.init (Loader.Image.function_count target) (fun i ->
+              ( i,
+                Similarity.Structfp.distance
+                  entry.Patchecko.Vulndb.vuln_struct fps.(i) ))
+          |> List.stable_sort (fun (_, a) (_, b) -> compare a b)
+          |> Baseline.Knn.rank_of truth.findex
+        in
+        (* 6. full hybrid *)
         let hybrid_rank = r.Grid.vuln_report.Patchecko.Pipeline.true_rank in
         bump 0 knn_rank;
         bump 1 gm_rank;
         bump 2 nn_rank;
         bump 3 alarm_rank;
-        bump 4 hybrid_rank;
+        bump 4 struct_rank;
+        bump 5 hybrid_rank;
         let show = function Some k -> string_of_int k | None -> "-" in
-        Format.fprintf ppf "%-16s %8s %8s %10s %8s %8s@."
+        Format.fprintf ppf "%-16s %8s %8s %10s %8s %8s %8s@."
           truth.cve.Corpus.Cves.id (show knn_rank) (show gm_rank)
-          (show nn_rank) (show alarm_rank) (show hybrid_rank)
+          (show nn_rank) (show alarm_rank) (show struct_rank)
+          (show hybrid_rank)
       end)
     runs;
   if !n > 0 then begin
     let pct v = 100 * v / !n in
-    Format.fprintf ppf "top-1:           %7d%% %7d%% %9d%% %7d%% %7d%%@."
+    Format.fprintf ppf "top-1:           %7d%% %7d%% %9d%% %7d%% %7d%% %7d%%@."
       (pct top1.(0)) (pct top1.(1)) (pct top1.(2)) (pct top1.(3))
-      (pct top1.(4));
-    Format.fprintf ppf "top-3:           %7d%% %7d%% %9d%% %7d%% %7d%%@.@."
+      (pct top1.(4)) (pct top1.(5));
+    Format.fprintf ppf "top-3:           %7d%% %7d%% %9d%% %7d%% %7d%% %7d%%@.@."
       (pct top3.(0)) (pct top3.(1)) (pct top3.(2)) (pct top3.(3))
-      (pct top3.(4))
+      (pct top3.(4)) (pct top3.(5))
   end

@@ -21,8 +21,10 @@ let build_db () =
        (fun (c : Corpus.Cves.t) ->
          let vimg = Corpus.Dataset.compile_cve c ~patched:false in
          let pimg = Corpus.Dataset.compile_cve c ~patched:true in
-         Patchecko.Vulndb.make_entry ~cve_id:c.id ~description:c.description
-           ~shape:c.shape ~vuln:(vimg, 0) ~patched:(pimg, 0))
+         Patchecko.Vulndb.make_entry
+           ~source:(Corpus.Cves.vulnerable_func c, Corpus.Cves.patched_func c)
+           ~cve_id:c.id ~description:c.description ~shape:c.shape
+           ~vuln:(vimg, 0) ~patched:(pimg, 0) ())
        Corpus.Cves.all)
 
 let build_device ?(nlibs = 6) ?(nfuncs_base = 36) device =

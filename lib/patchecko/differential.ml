@@ -9,7 +9,17 @@ type evidence = {
   signature_to_patched : float;
   alarm_to_vuln : float option;
   alarm_to_patched : float option;
+  struct_to_vuln : float option;
+  struct_to_patched : float option;
 }
+
+(* Below this reference-pair distance the vulnerable and patched builds
+   are structurally indistinguishable (constant tweaks, off-by-one bound
+   changes): the structural channel abstains rather than emit noise.
+   Calibrated on the CVE corpus: int_clamp ≈ 0.002 and
+   missing_increment ≈ 0.003 sit under it, guard-insertion families
+   (null_check, div_guard, missing_bounds, …) sit at ≥ 0.03. *)
+let struct_abstain_threshold = 0.02
 
 (* Per-feature relative difference so large-magnitude features (function
    size) don't drown small ones (block-class counts). *)
@@ -69,7 +79,7 @@ let signature_distance (img_a, ia) (img_b, ib) =
 let m_gathers = Obs.Metrics.counter "differential.gathers"
 
 let gather ~vuln:(vimg, vidx) ~patched:(pimg, pidx) ~target:(timg, tidx)
-    ?dynamic () =
+    ?dynamic ?structs () =
   Obs.Trace.with_span ~name:"stage.differential"
     ~attrs:(fun () -> [ ("image", timg.Loader.Image.name) ])
   @@ fun () ->
@@ -97,6 +107,24 @@ let gather ~vuln:(vimg, vidx) ~patched:(pimg, pidx) ~target:(timg, tidx)
       ( Some (Analysis.Boundcheck.distance at av),
         Some (Analysis.Boundcheck.distance at ap) )
   in
+  (* Same abstention discipline for the structural channel: it only
+     speaks when the reference pair is structurally far enough apart
+     that the shape difference carries signal. *)
+  let struct_to_vuln, struct_to_patched =
+    let fv, fp =
+      match structs with
+      | Some (fv, fp) -> (fv, fp)
+      | None ->
+        ( Staticfeat.Cache.struct_fingerprint vimg vidx,
+          Staticfeat.Cache.struct_fingerprint pimg pidx )
+    in
+    if Similarity.Structfp.distance fv fp < struct_abstain_threshold then
+      (None, None)
+    else
+      let ft = Staticfeat.Cache.struct_fingerprint timg tidx in
+      ( Some (Similarity.Structfp.distance ft fv),
+        Some (Similarity.Structfp.distance ft fp) )
+  in
   {
     static_to_vuln = static_distance st sv;
     static_to_patched = static_distance st sp;
@@ -106,6 +134,8 @@ let gather ~vuln:(vimg, vidx) ~patched:(pimg, pidx) ~target:(timg, tidx)
     signature_to_patched = signature_distance (timg, tidx) (pimg, pidx);
     alarm_to_vuln;
     alarm_to_patched;
+    struct_to_vuln;
+    struct_to_patched;
   }
 
 let decide e =
@@ -120,6 +150,9 @@ let decide e =
       | Some _, None | None, Some _ | None, None -> [])
     @ (match (e.alarm_to_vuln, e.alarm_to_patched) with
       | Some av, Some ap -> [ channel av ap ]
+      | Some _, None | None, Some _ | None, None -> [])
+    @ (match (e.struct_to_vuln, e.struct_to_patched) with
+      | Some sv, Some sp -> [ channel sv sp ]
       | Some _, None | None, Some _ | None, None -> [])
   in
   (* each channel is the share of distance pointing away from the

@@ -7,7 +7,10 @@
     paper's j___aeabi_memmove evidence) — and decide which version the
     target is.  A fourth, optional channel compares memory-safety alarm
     signatures ({!Analysis.Boundcheck}) and only participates when the
-    two references disagree on their alarms. *)
+    two references disagree on their alarms.  A fifth, optional channel
+    compares structural fingerprints ({!Similarity.Structfp}) and only
+    participates when the reference pair is at least
+    {!struct_abstain_threshold} apart. *)
 
 type verdict = Patched | Vulnerable
 
@@ -22,7 +25,17 @@ type evidence = {
       (** alarm-signature distance; [None] when the vulnerable and patched
           references produce identical alarm signatures (channel abstains) *)
   alarm_to_patched : float option;
+  struct_to_vuln : float option;
+      (** structural-fingerprint distance; [None] when the vulnerable and
+          patched references are structurally closer than
+          {!struct_abstain_threshold} (channel abstains) *)
+  struct_to_patched : float option;
 }
+
+val struct_abstain_threshold : float
+(** Minimum structural distance between the two references for the
+    structural channel to speak (0.02: below it, source-invisible
+    patches such as constant clamps make the shapes coincide). *)
 
 val static_distance : Util.Vec.t -> Util.Vec.t -> float
 (** Scale-normalised per-feature distance of two 48-feature vectors. *)
@@ -39,10 +52,14 @@ val gather :
   patched:Loader.Image.t * int ->
   target:Loader.Image.t * int ->
   ?dynamic:(float * float) ->
+  ?structs:(Similarity.Structfp.t * Similarity.Structfp.t) ->
   unit ->
   evidence
 (** [dynamic] is (distance to vulnerable profile, distance to patched
-    profile) when the dynamic stage ran. *)
+    profile) when the dynamic stage ran.  [structs] is the (vulnerable,
+    patched) reference fingerprint pair — usually the persisted
+    {!Vulndb.entry} fields; when absent they are recovered from the
+    reference binaries via {!Staticfeat.Cache.struct_fingerprint}. *)
 
 val decide : evidence -> verdict * float
 (** Verdict plus a confidence in (0.5, 1\]: the margin between the two

@@ -107,7 +107,9 @@ let analyze ?(dyn_config = Dynamic_stage.default_config) ?ground_truth
         Differential.gather
           ~vuln:(db_entry.Vulndb.vuln_image, db_entry.Vulndb.vuln_findex)
           ~patched:(db_entry.Vulndb.patched_image, db_entry.Vulndb.patched_findex)
-          ~target:(target, fidx) ?dynamic:dyn_scores ()
+          ~target:(target, fidx) ?dynamic:dyn_scores
+          ~structs:(db_entry.Vulndb.vuln_struct, db_entry.Vulndb.patched_struct)
+          ()
       in
       Some (Differential.decide evidence)
     | None, _ | _, None -> None

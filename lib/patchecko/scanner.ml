@@ -59,6 +59,7 @@ let scan_image ~dyn_config ~max_distance ~classifier (entry : Vulndb.entry)
           ~vuln:(entry.Vulndb.vuln_image, entry.Vulndb.vuln_findex)
           ~patched:(entry.Vulndb.patched_image, entry.Vulndb.patched_findex)
           ~target:(image, best.Similarity.Rank.candidate)
+          ~structs:(entry.Vulndb.vuln_struct, entry.Vulndb.patched_struct)
           ()
       in
       let verdict, confidence = Differential.decide evidence in
@@ -94,6 +95,7 @@ let dynamic_image ~dyn_config ~ctx ~max_distance (entry : Vulndb.entry)
         ~vuln:(entry.Vulndb.vuln_image, entry.Vulndb.vuln_findex)
         ~patched:(entry.Vulndb.patched_image, entry.Vulndb.patched_findex)
         ~target:(image, best.Similarity.Rank.candidate)
+        ~structs:(entry.Vulndb.vuln_struct, entry.Vulndb.patched_struct)
         ()
     in
     let verdict, confidence = Differential.decide evidence in

@@ -7,6 +7,8 @@ type entry = {
   patched_findex : int;
   vuln_static : Util.Vec.t;
   patched_static : Util.Vec.t;
+  vuln_struct : Similarity.Structfp.t;
+  patched_struct : Similarity.Structfp.t;
   shape : Fuzz.Shape.t;
 }
 
@@ -17,8 +19,18 @@ let entries t = t
 let find t id = List.find_opt (fun e -> e.cve_id = id) t
 let size = List.length
 
-let make_entry ~cve_id ~description ~shape ~vuln:(vimg, vidx)
-    ~patched:(pimg, pidx) =
+let make_entry ?source ~cve_id ~description ~shape ~vuln:(vimg, vidx)
+    ~patched:(pimg, pidx) () =
+  (* with the MinC sources at hand the structural fingerprints come
+     straight from the AST (the paper's source-side channel); otherwise
+     fall back to re-deriving them from the reference binaries *)
+  let vuln_struct, patched_struct =
+    match source with
+    | Some (vf, pf) -> (Analysis.Struct_enc.of_func vf, Analysis.Struct_enc.of_func pf)
+    | None ->
+      ( Staticfeat.Cache.struct_fingerprint vimg vidx,
+        Staticfeat.Cache.struct_fingerprint pimg pidx )
+  in
   {
     cve_id;
     description;
@@ -28,6 +40,8 @@ let make_entry ~cve_id ~description ~shape ~vuln:(vimg, vidx)
     patched_findex = pidx;
     vuln_static = Staticfeat.Cache.feature vimg vidx;
     patched_static = Staticfeat.Cache.feature pimg pidx;
+    vuln_struct;
+    patched_struct;
     shape;
   }
 

@@ -12,6 +12,8 @@ type entry = {
   patched_findex : int;
   vuln_static : Util.Vec.t;
   patched_static : Util.Vec.t;
+  vuln_struct : Similarity.Structfp.t;
+  patched_struct : Similarity.Structfp.t;
   shape : Fuzz.Shape.t;
 }
 
@@ -23,13 +25,19 @@ val find : t -> string -> entry option
 val size : t -> int
 
 val make_entry :
+  ?source:Minic.Ast.func * Minic.Ast.func ->
   cve_id:string ->
   description:string ->
   shape:Fuzz.Shape.t ->
   vuln:Loader.Image.t * int ->
   patched:Loader.Image.t * int ->
+  unit ->
   entry
-(** Computes the static feature vectors from the images. *)
+(** Computes the static feature vectors from the images.  When
+    [?source] supplies the (vulnerable, patched) MinC ASTs, the
+    structural fingerprints are folded from the source trees
+    ({!Analysis.Struct_enc.of_func}); otherwise they are recovered from
+    the reference binaries via {!Staticfeat.Cache.struct_fingerprint}. *)
 
 val reference_static : entry -> patched:bool -> Util.Vec.t
 val reference_image : entry -> patched:bool -> Loader.Image.t * int

@@ -1,0 +1,219 @@
+(* Canonical structural fingerprints.
+
+   A fingerprint abstracts a function's *shape* — the nesting of its
+   control constructs, the mix of its operators by loop depth, and a
+   handful of scalar profile components — into one encoding that can be
+   produced from two very different inputs: a MinC AST (the
+   vulnerability database knows its own source) and a recovered binary
+   CFG (the stripped firmware side).  The two encoders live in
+   [Analysis.Struct_enc]; this module owns the representation and the
+   distance.
+
+   The skeleton tree keeps only control structure.  Children are stored
+   in a canonical order (a deterministic total order on trees), which
+   makes the encoding invariant under then/else branch swaps and — since
+   identifiers never appear in it — under alpha-renaming.  That mirrors
+   the binary side, where branch polarity is a codegen accident and
+   names are gone entirely. *)
+
+type tree = { label : int; children : tree list }
+
+(* Skeleton node labels.  [root] wraps a function body; [loop] is a
+   while/for on the AST side and a natural-loop header on the binary
+   side; [cond] is an if (or one short-circuit connective of a compound
+   condition) / a two-way branch block; [multi] is a switch / jump
+   table. *)
+let root_label = 0
+let loop_label = 1
+let cond_label = 2
+let multi_label = 3
+
+let rec compare_tree a b =
+  let c = compare a.label b.label in
+  if c <> 0 then c else compare_children a.children b.children
+
+and compare_children a b =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs, y :: ys ->
+    let c = compare_tree x y in
+    if c <> 0 then c else compare_children xs ys
+
+let node label children = { label; children = List.sort compare_tree children }
+
+let rec tree_size t =
+  List.fold_left (fun acc c -> acc + tree_size c) 1 t.children
+
+let rec tree_height t =
+  1 + List.fold_left (fun acc c -> max acc (tree_height c)) 0 t.children
+
+let rec count_label lbl t =
+  List.fold_left
+    (fun acc c -> acc + count_label lbl c)
+    (if t.label = lbl then 1 else 0)
+    t.children
+
+(* deepest chain of [lbl]-labelled nodes on any root-to-leaf path *)
+let rec label_nesting lbl t =
+  let below =
+    List.fold_left (fun acc c -> max acc (label_nesting lbl c)) 0 t.children
+  in
+  if t.label = lbl then below + 1 else below
+
+let rec max_branching t =
+  List.fold_left
+    (fun acc c -> max acc (max_branching c))
+    (List.length t.children)
+    t.children
+
+let rec tree_to_string t =
+  let name =
+    match t.label with
+    | 0 -> "root"
+    | 1 -> "loop"
+    | 2 -> "cond"
+    | 3 -> "multi"
+    | n -> string_of_int n
+  in
+  match t.children with
+  | [] -> name
+  | kids ->
+    Printf.sprintf "(%s %s)" name
+      (String.concat " " (List.map tree_to_string kids))
+
+(* --- Zhang-Shasha ordered tree edit distance --------------------------- *)
+
+(* Unit costs: insert 1, delete 1, relabel 1 (0 when labels match).
+   Skeleton trees are tiny (only control nodes survive the fold), so the
+   O(n^2 m^2) worst case is irrelevant in practice. *)
+
+type zs = {
+  lab : int array;  (* label per postorder index *)
+  lml : int array;  (* leftmost leaf descendant per postorder index *)
+  keyroots : int list;
+}
+
+let zs_of_tree t =
+  let labs = ref [] and lmls = ref [] in
+  let count = ref 0 in
+  let rec go t =
+    let first_lml =
+      List.fold_left
+        (fun acc c ->
+          let l = go c in
+          match acc with None -> Some l | Some _ -> acc)
+        None t.children
+    in
+    let idx = !count in
+    incr count;
+    let lml = match first_lml with None -> idx | Some l -> l in
+    labs := t.label :: !labs;
+    lmls := lml :: !lmls;
+    lml
+  in
+  ignore (go t : int);
+  let lab = Array.of_list (List.rev !labs) in
+  let lml = Array.of_list (List.rev !lmls) in
+  let n = Array.length lab in
+  (* keyroots: the highest-numbered node for each distinct leftmost leaf *)
+  let seen = Hashtbl.create 16 in
+  let keyroots = ref [] in
+  for i = n - 1 downto 0 do
+    if not (Hashtbl.mem seen lml.(i)) then begin
+      Hashtbl.replace seen lml.(i) ();
+      keyroots := i :: !keyroots
+    end
+  done;
+  { lab; lml; keyroots = !keyroots }
+
+let tree_edit_distance ta tb =
+  let a = zs_of_tree ta and b = zs_of_tree tb in
+  let n = Array.length a.lab and m = Array.length b.lab in
+  let td = Array.make_matrix n m 0 in
+  let relabel i j = if a.lab.(i) = b.lab.(j) then 0 else 1 in
+  let forest_dist i j =
+    (* forests a.lml.(i)..i and b.lml.(j)..j; fd is offset by the forest
+       starts, with index 0 standing for the empty forest *)
+    let la = a.lml.(i) and lb = b.lml.(j) in
+    let w = i - la + 2 and h = j - lb + 2 in
+    let fd = Array.make_matrix w h 0 in
+    for di = 1 to w - 1 do
+      fd.(di).(0) <- fd.(di - 1).(0) + 1
+    done;
+    for dj = 1 to h - 1 do
+      fd.(0).(dj) <- fd.(0).(dj - 1) + 1
+    done;
+    for di = 1 to w - 1 do
+      let ai = la + di - 1 in
+      for dj = 1 to h - 1 do
+        let bj = lb + dj - 1 in
+        if a.lml.(ai) = la && b.lml.(bj) = lb then begin
+          fd.(di).(dj) <-
+            min
+              (fd.(di - 1).(dj) + 1)
+              (min (fd.(di).(dj - 1) + 1) (fd.(di - 1).(dj - 1) + relabel ai bj));
+          td.(ai).(bj) <- fd.(di).(dj)
+        end
+        else
+          fd.(di).(dj) <-
+            min
+              (fd.(di - 1).(dj) + 1)
+              (min
+                 (fd.(di).(dj - 1) + 1)
+                 (fd.(a.lml.(ai) - la).(b.lml.(bj) - lb) + td.(ai).(bj)))
+      done
+    done
+  in
+  List.iter (fun i -> List.iter (fun j -> forest_dist i j) b.keyroots) a.keyroots;
+  td.(n - 1).(m - 1)
+
+(* --- the fingerprint ---------------------------------------------------- *)
+
+type t = { ops : float array; skel : float array; tree : tree }
+
+let skel_length = 11
+
+let make ~ops ~skel ~tree =
+  let total = Array.fold_left ( +. ) 0.0 ops in
+  let ops =
+    if total > 0.0 then Array.map (fun v -> v /. total) ops else Array.copy ops
+  in
+  if Array.length skel <> skel_length then
+    invalid_arg "Structfp.make: bad skeleton profile length";
+  { ops; skel; tree }
+
+let ops t = t.ops
+let skel t = t.skel
+let tree t = t.tree
+
+let rel a b = abs_float (a -. b) /. (1.0 +. abs_float a +. abs_float b)
+
+let distance fa fb =
+  if Array.length fa.ops <> Array.length fb.ops then
+    invalid_arg "Structfp.distance: operator profiles differ in length";
+  let d_ops =
+    (* both sides are normalised to sum 1, so half the L1 difference is
+       the total variation distance, in [0, 1] *)
+    let acc = ref 0.0 in
+    Array.iteri (fun i v -> acc := !acc +. abs_float (v -. fb.ops.(i))) fa.ops;
+    0.5 *. !acc
+  in
+  let d_skel =
+    let acc = ref 0.0 in
+    Array.iteri (fun i v -> acc := !acc +. rel v fb.skel.(i)) fa.skel;
+    !acc /. float_of_int skel_length
+  in
+  let d_tree =
+    float_of_int (tree_edit_distance fa.tree fb.tree)
+    /. float_of_int (tree_size fa.tree + tree_size fb.tree)
+  in
+  (0.35 *. d_ops) +. (0.30 *. d_skel) +. (0.35 *. d_tree)
+
+let summary t =
+  Printf.sprintf
+    "nodes=%.0f height=%.0f loops=%.0f conds=%.0f multi=%.0f nest=%.0f \
+     branch=%.0f deriv=%.0f segs=%.0f consts=%.0f cmag=%.2f"
+    t.skel.(0) t.skel.(1) t.skel.(2) t.skel.(3) t.skel.(4) t.skel.(5)
+    t.skel.(6) t.skel.(7) t.skel.(8) t.skel.(9) t.skel.(10)

@@ -1,0 +1,61 @@
+(** Canonical structural fingerprints: one comparable encoding of a
+    function's control shape computable from either a MinC AST or a
+    recovered binary CFG (see [Analysis.Struct_enc] for the encoders).
+
+    A fingerprint combines a skeleton tree of the control structure
+    (children canonically ordered, so then/else polarity and identifier
+    names cannot influence it), a loop-depth-bucketed operator-class
+    profile, and a small scalar shape profile.  The distance is a
+    weighted blend of total-variation distance on the operator profile,
+    per-component relative difference on the shape profile, and a
+    size-normalised Zhang-Shasha tree edit distance on the skeletons. *)
+
+type tree = { label : int; children : tree list }
+
+val root_label : int
+val loop_label : int
+val cond_label : int
+val multi_label : int
+
+val node : int -> tree list -> tree
+(** Build a node with its children in canonical order.  Encoders must
+    construct every node through this, or the canonical-order invariants
+    (and the distance's branch-swap invariance) are lost. *)
+
+val compare_tree : tree -> tree -> int
+(** The canonical total order on trees (label, then children
+    lexicographically). *)
+
+val tree_size : tree -> int
+val tree_height : tree -> int
+val count_label : int -> tree -> int
+val label_nesting : int -> tree -> int
+(** Deepest chain of nodes with the given label on any path. *)
+
+val max_branching : tree -> int
+val tree_to_string : tree -> string
+(** S-expression rendering, e.g. ["(root (cond loop))"]. *)
+
+val tree_edit_distance : tree -> tree -> int
+(** Zhang-Shasha ordered tree edit distance with unit costs. *)
+
+type t
+
+val skel_length : int
+(** Length every skeleton profile must have (currently 11). *)
+
+val make : ops:float array -> skel:float array -> tree:tree -> t
+(** Normalises [ops] to sum 1 (all-zero profiles stay zero).  Raises
+    [Invalid_argument] if [skel] is not of {!skel_length}. *)
+
+val ops : t -> float array
+val skel : t -> float array
+val tree : t -> tree
+
+val distance : t -> t -> float
+(** Symmetric, zero on identical fingerprints, and bounded by 1.
+    Raises [Invalid_argument] on operator profiles of different
+    lengths. *)
+
+val summary : t -> string
+(** One-line rendering of the shape profile for reports. *)

@@ -37,9 +37,18 @@ type state =
   | Pending
   | Failed of Robust.Fault.t
 
+(* the structural-fingerprint table mirrors the feature table: one
+   encoding pass per physical image, shared across every CVE reference
+   the image is compared against *)
+type sstate =
+  | Sready of Similarity.Structfp.t array
+  | Spending
+  | Sfailed of Robust.Fault.t
+
 let mutex = Mutex.create ()
 let filled = Condition.create ()
 let table : state H.t = H.create 64
+let stable : sstate H.t = H.create 64
 let attempts : (string, int) Hashtbl.t = Hashtbl.create 64
 let hit_count = Atomic.make 0
 let miss_count = Atomic.make 0
@@ -49,6 +58,8 @@ let miss_count = Atomic.make 0
 let m_hit = Obs.Metrics.counter "cache.hit"
 let m_miss = Obs.Metrics.counter "cache.miss"
 let m_invalidate = Obs.Metrics.counter "cache.invalidate"
+let m_shit = Obs.Metrics.counter "cache.struct.hit"
+let m_smiss = Obs.Metrics.counter "cache.struct.miss"
 
 let next_attempt name =
   (* callers hold [mutex] *)
@@ -122,17 +133,71 @@ let features_result img =
 
 let feature img i = (features img).(i)
 
+let encode_structs img =
+  Obs.Trace.with_span ~name:"structfp.image"
+    ~attrs:(fun () -> [ ("image", img.Loader.Image.name) ])
+  @@ fun () ->
+  Array.init (Loader.Image.function_count img) (fun i ->
+      Analysis.Struct_enc.of_binary img i)
+
+let rec struct_fingerprints img =
+  Mutex.lock mutex;
+  match H.find_opt stable img with
+  | Some (Sready v) ->
+    Mutex.unlock mutex;
+    Obs.Metrics.incr m_shit;
+    v
+  | Some (Sfailed f) ->
+    Mutex.unlock mutex;
+    raise
+      (Robust.Fault.Fault
+         (Robust.Fault.Cache_poisoned
+            {
+              site = "staticfeat.structfp";
+              detail =
+                Printf.sprintf "%s: %s" img.Loader.Image.name
+                  (Robust.Fault.to_string f);
+            }))
+  | Some Spending ->
+    Condition.wait filled mutex;
+    Mutex.unlock mutex;
+    struct_fingerprints img
+  | None ->
+    H.replace stable img Spending;
+    Mutex.unlock mutex;
+    Obs.Metrics.incr m_smiss;
+    let outcome =
+      match encode_structs img with
+      | v -> Ok v
+      | exception e -> Error (Robust.Fault.of_exn ~site:"staticfeat.structfp" e)
+    in
+    Mutex.lock mutex;
+    (match outcome with
+    | Ok v -> H.replace stable img (Sready v)
+    | Error f -> H.replace stable img (Sfailed f));
+    Condition.broadcast filled;
+    Mutex.unlock mutex;
+    (match outcome with
+    | Ok v -> v
+    | Error f -> raise (Robust.Fault.Fault f))
+
+let struct_fingerprint img i = (struct_fingerprints img).(i)
+
 let invalidate img =
   Mutex.lock mutex;
   (match H.find_opt table img with
   | Some Pending -> ()  (* an extraction is in flight; leave it alone *)
   | Some (Ready _ | Failed _) | None -> H.remove table img);
+  (match H.find_opt stable img with
+  | Some Spending -> ()
+  | Some (Sready _ | Sfailed _) | None -> H.remove stable img);
   Mutex.unlock mutex;
   Obs.Metrics.incr m_invalidate
 
 let clear () =
   Mutex.lock mutex;
   H.reset table;
+  H.reset stable;
   Hashtbl.reset attempts;
   Mutex.unlock mutex
 

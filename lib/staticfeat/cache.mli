@@ -29,6 +29,17 @@ val features_result : Loader.Image.t -> (Util.Vec.t array, Robust.Fault.t) resul
 val feature : Loader.Image.t -> int -> Util.Vec.t
 (** [feature img i] = [(features img).(i)]. *)
 
+val struct_fingerprints : Loader.Image.t -> Similarity.Structfp.t array
+(** Structural fingerprints ({!Analysis.Struct_enc.of_binary}) of every
+    function of the image, index-aligned with its function table and
+    memoised like {!features} (same Pending/Failed protocol, own
+    [cache.struct.hit]/[cache.struct.miss] metrics, one
+    ["structfp.image"] span per encoding pass).  A failing encoder
+    poisons the entry with site ["staticfeat.structfp"]. *)
+
+val struct_fingerprint : Loader.Image.t -> int -> Similarity.Structfp.t
+(** [struct_fingerprint img i] = [(struct_fingerprints img).(i)]. *)
+
 val invalidate : Loader.Image.t -> unit
 (** Drop the image's cache entry (whether [Ready] or [Failed]) so the
     next read re-extracts.  The per-image attempt counter is NOT reset,

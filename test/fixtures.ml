@@ -19,10 +19,12 @@ let case_cve () =
 
 let db_entry () =
   let c = case_cve () in
-  Patchecko.Vulndb.make_entry ~cve_id:c.id ~description:c.description
-    ~shape:c.shape
+  Patchecko.Vulndb.make_entry
+    ~source:(Corpus.Cves.vulnerable_func c, Corpus.Cves.patched_func c)
+    ~cve_id:c.id ~description:c.description ~shape:c.shape
     ~vuln:(Corpus.Dataset.compile_cve c ~patched:false, 0)
     ~patched:(Corpus.Dataset.compile_cve c ~patched:true, 0)
+    ()
 
 (* a permissive classifier: every function is a candidate; the dynamic
    stage and the distance cutoff must isolate the real site *)

@@ -13,6 +13,7 @@ let () =
       ("loader", Test_loader.suite);
       ("cfg", Test_cfg.suite);
       ("dominators", Test_dominators.suite);
+      ("struct", Test_struct.suite);
       ("minic", Test_minic.suite);
       ("opt", Test_opt.suite);
       ("analysis", Test_analysis.suite);

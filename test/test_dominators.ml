@@ -58,6 +58,40 @@ let natural_loop_found () =
     Alcotest.(check int) "entry depth 0" 0 depth.(0)
   | _ -> Alcotest.fail "expected exactly one loop"
 
+(* A block only reachable by falling out of nowhere: nothing jumps to
+   "dead", and it jumps back to itself.  Before the reachability guards
+   this self-loop pattern-matched as a natural loop (a node trivially
+   dominates itself), poisoning the loop forest with a phantom loop. *)
+let unreachable_items : Isa.Asm.item list =
+  [
+    Ins (Mov (0, Imm 1L));
+    Ins (Jmp "end");
+    Label "dead";
+    Ins (Binop (Add, 0, 0, Imm 1L));
+    Ins (Jmp "dead");
+    Label "end";
+    Ins Ret;
+  ]
+
+let unreachable_blocks () =
+  let g = graph_of unreachable_items in
+  let d = Cfg.Dominators.compute g in
+  (* blocks: 0 entry, 1 dead (self-loop), 2 end *)
+  Alcotest.(check bool) "entry reachable" true (Cfg.Dominators.reachable d 0);
+  Alcotest.(check bool) "exit reachable" true (Cfg.Dominators.reachable d 2);
+  Alcotest.(check bool) "dead block unreachable" false
+    (Cfg.Dominators.reachable d 1);
+  Alcotest.(check bool) "out-of-range not reachable" false
+    (Cfg.Dominators.reachable d 99);
+  Alcotest.(check (option int)) "dead block has no idom" None
+    (Cfg.Dominators.idom d 1);
+  Alcotest.(check (option int)) "exit reached straight from entry" (Some 0)
+    (Cfg.Dominators.idom d 2);
+  Alcotest.(check int) "unreachable self-loop is not a natural loop" 0
+    (List.length (Cfg.Dominators.natural_loops g d));
+  let depth = Cfg.Dominators.loop_depth g d in
+  Alcotest.(check int) "dead block loop depth 0" 0 depth.(1)
+
 let straight_line_no_loops () =
   let g = graph_of [ Ins (Mov (0, Imm 1L)); Ins Ret ] in
   let d = Cfg.Dominators.compute g in
@@ -87,6 +121,7 @@ let suite =
   [
     Alcotest.test_case "diamond-idoms" `Quick diamond_idoms;
     Alcotest.test_case "natural-loop" `Quick natural_loop_found;
+    Alcotest.test_case "unreachable-blocks" `Quick unreachable_blocks;
     Alcotest.test_case "straight-line" `Quick straight_line_no_loops;
     Alcotest.test_case "invariants-on-corpus" `Quick invariants_on_corpus;
   ]

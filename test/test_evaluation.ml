@@ -70,9 +70,55 @@ let final_verdict_prefers_better_match () =
     | a :: b :: _ -> [ a; b ]
     | l -> l)
 
+(* the six-column baseline table (struct included) and Table VIII, with
+   the structural differential channel enabled, must render byte-for-byte
+   identically whatever the domain count — the channel must not leak
+   scheduling nondeterminism into the report *)
+let baselines_and_tab8_stable_across_domains () =
+  let ctx = Lazy.force ctx in
+  let dev =
+    match
+      Evaluation.Context.device_by_name ctx
+        Corpus.Devices.android_things.Corpus.Devices.device_name
+    with
+    | Some d -> d
+    | None -> Alcotest.fail "android_things device missing"
+  in
+  let truths =
+    match
+      List.filter
+        (fun (t : Corpus.Devices.truth) -> not t.Corpus.Devices.patched)
+        dev.Evaluation.Context.truths
+    with
+    | a :: b :: _ -> [ a; b ]
+    | l -> l
+  in
+  let render () =
+    Staticfeat.Cache.clear ();
+    let runs = List.map (Evaluation.Grid.run_cve ctx dev) truths in
+    let buf = Buffer.create 4096 in
+    let ppf = Format.formatter_of_buffer buf in
+    Evaluation.Baselines.compare_detection ppf ctx runs;
+    Evaluation.Render.tab8 ppf runs;
+    Format.pp_print_flush ppf ();
+    Buffer.contents buf
+  in
+  let d1 = Fixtures.with_domains 1 render in
+  let d4 = Fixtures.with_domains 4 render in
+  Alcotest.(check string) "identical at 1 and 4 domains" d1 d4;
+  let has_sub sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "struct column present" true (has_sub "struct" d1);
+  Alcotest.(check bool) "six rank columns rendered" true (has_sub "hybrid" d1)
+
 let suite =
   [
     Alcotest.test_case "context-shapes" `Quick context_shapes;
     Alcotest.test_case "grid-and-renderers" `Quick grid_and_renderers;
     Alcotest.test_case "final-verdict" `Quick final_verdict_prefers_better_match;
+    Alcotest.test_case "baselines-tab8-domains" `Quick
+      baselines_and_tab8_stable_across_domains;
   ]

@@ -133,11 +133,14 @@ let traced_scan domains =
    prepared per entry and one batched static pass per image, both under
    scan.firmware; then two dynamic cells (one per image) — the
    differential stage only fires in the cell whose dynamic ranking
-   survives the distance cutoff; four prefills (two firmware images +
-   the entry's vuln/patched references, both rendered from the same CVE
-   corpus program) *)
+   survives the distance cutoff, and its structural channel encodes the
+   target image's fingerprints there (the reference pair is persisted on
+   the db entry); four prefills (two firmware images + the entry's
+   vuln/patched references, both rendered from the same CVE corpus
+   program) *)
 let golden_spans =
   [
+    "scan.cell/stage.differential/structfp.image{image=lib02}";
     "scan.cell/stage.differential{image=lib02}";
     "scan.cell/stage.dynamic{candidates=10,image=lib02}";
     "scan.cell/stage.dynamic{candidates=8,image=lib01}";
@@ -159,12 +162,16 @@ let golden_spans =
    static passes + 2 dynamic cells); the reference context is prepared
    once and shared by both cells, so the VM executes 149 seeded runs
    (the per-cell engine re-ran the reference side per image) of which
-   one traps (an execution the differential engine tolerates) *)
+   one traps (an execution the differential engine tolerates); the one
+   struct miss is the single firing differential stage encoding its
+   target image *)
 let golden_metrics =
   [
     ("cache.hit", "5");
     ("cache.invalidate", "0");
     ("cache.miss", "4");
+    ("cache.struct.hit", "0");
+    ("cache.struct.miss", "1");
     ("differential.gathers", "1");
     ("dynamic.candidates_in", "18");
     ("dynamic.executions", "69");

@@ -1,0 +1,258 @@
+(* Structural fingerprints: canonical-tree invariants, metric properties
+   of the distance, and the two encoders' invariance/totality guarantees
+   the baseline column and the differential channel rely on. *)
+
+module S = Similarity.Structfp
+module E = Analysis.Struct_enc
+module A = Minic.Ast
+
+(* --- random canonical trees ------------------------------------------- *)
+
+(* raw (uncanonicalised) trees, so the same shape can be rebuilt through
+   [S.node] with children presented in different orders *)
+type raw = R of int * raw list
+
+let gen_raw =
+  QCheck.Gen.(
+    sized_size (int_range 0 24) @@ fix (fun self n ->
+        if n <= 0 then map (fun l -> R (l, [])) (int_range 0 3)
+        else
+          int_range 0 3 >>= fun l ->
+          list_size (int_range 0 3) (self (n / 2)) >>= fun kids ->
+          return (R (l, kids))))
+
+let rec canon (R (l, ks)) = S.node l (List.map canon ks)
+let rec canon_rev (R (l, ks)) = S.node l (List.rev_map canon_rev ks)
+
+let prop_node_order_canonical =
+  QCheck.Test.make ~name:"node-canonicalises-child-order" ~count:200
+    (QCheck.make gen_raw) (fun raw ->
+      S.compare_tree (canon raw) (canon_rev raw) = 0)
+
+let gen_fp =
+  QCheck.Gen.(
+    gen_raw >>= fun raw ->
+    array_size (return E.ops_length) (float_bound_inclusive 10.0) >>= fun ops ->
+    array_size (return S.skel_length) (float_bound_inclusive 50.0) >>= fun skel ->
+    return (S.make ~ops ~skel ~tree:(canon raw)))
+
+let prop_distance_metric =
+  QCheck.Test.make ~name:"distance-symmetric-bounded-zero-on-self" ~count:200
+    (QCheck.make QCheck.Gen.(pair gen_fp gen_fp)) (fun (a, b) ->
+      let d = S.distance a b in
+      S.distance a a = 0.0 && S.distance b b = 0.0
+      && d = S.distance b a
+      && d >= 0.0 && d <= 1.0)
+
+let prop_ted_identity =
+  QCheck.Test.make ~name:"tree-edit-distance-zero-on-self" ~count:200
+    (QCheck.make gen_raw) (fun raw ->
+      let t = canon raw in
+      S.tree_edit_distance t t = 0)
+
+(* --- encoder invariances on the AST side ------------------------------ *)
+
+(* systematic alpha-renaming: every binder and variable use gets a fresh
+   suffix (call targets stay, they are interface, not names) *)
+let rec rename_expr tag e =
+  match e with
+  | A.Eint _ | A.Efloat _ | A.Estr _ -> e
+  | A.Evar v -> A.Evar (v ^ tag)
+  | A.Eindex (a, b) -> A.Eindex (rename_expr tag a, rename_expr tag b)
+  | A.Eaddr (a, b) -> A.Eaddr (rename_expr tag a, rename_expr tag b)
+  | A.Eunop (u, a) -> A.Eunop (u, rename_expr tag a)
+  | A.Ebinop (op, a, b) -> A.Ebinop (op, rename_expr tag a, rename_expr tag b)
+  | A.Ecall (f, args) -> A.Ecall (f, List.map (rename_expr tag) args)
+
+let rec rename_stmt tag s =
+  match s with
+  | A.Sdecl (n, t, e) -> A.Sdecl (n ^ tag, t, Option.map (rename_expr tag) e)
+  | A.Sarray (n, e, sz) -> A.Sarray (n ^ tag, e, sz)
+  | A.Sassign (n, e) -> A.Sassign (n ^ tag, rename_expr tag e)
+  | A.Sindexset (a, b, c) ->
+    A.Sindexset (rename_expr tag a, rename_expr tag b, rename_expr tag c)
+  | A.Sif (c, t, e) ->
+    A.Sif (rename_expr tag c, rename_stmts tag t, rename_stmts tag e)
+  | A.Swhile (c, b) -> A.Swhile (rename_expr tag c, rename_stmts tag b)
+  | A.Sfor (v, a, b, c, body) ->
+    A.Sfor
+      ( v ^ tag,
+        rename_expr tag a,
+        rename_expr tag b,
+        rename_expr tag c,
+        rename_stmts tag body )
+  | A.Sswitch (e, cases, default) ->
+    A.Sswitch
+      ( rename_expr tag e,
+        List.map (fun (k, b) -> (k, rename_stmts tag b)) cases,
+        rename_stmts tag default )
+  | A.Sreturn e -> A.Sreturn (Option.map (rename_expr tag) e)
+  | A.Sbreak | A.Scontinue -> s
+  | A.Sexpr e -> A.Sexpr (rename_expr tag e)
+
+and rename_stmts tag = List.map (rename_stmt tag)
+
+let rename_func tag (f : A.func) =
+  {
+    f with
+    A.fname = f.A.fname ^ tag;
+    params =
+      List.map
+        (fun (p : A.param) -> { A.pname = p.A.pname ^ tag; pty = p.A.pty })
+        f.A.params;
+    body = rename_stmts tag f.A.body;
+  }
+
+let identical a b =
+  S.distance a b = 0.0 && S.compare_tree (S.tree a) (S.tree b) = 0
+
+(* reordering statements permutes the floating-point accumulation of the
+   constant-magnitude profile, so the distance is only zero up to float
+   associativity; the canonical tree must still match exactly *)
+let near_identical a b =
+  S.distance a b < 1e-9 && S.compare_tree (S.tree a) (S.tree b) = 0
+
+let prop_alpha_renaming =
+  QCheck.Test.make ~name:"fingerprint-invariant-under-alpha-renaming" ~count:60
+    QCheck.(
+      triple
+        (int_range 0 (List.length Corpus.Cves.all - 1))
+        bool (int_range 0 9999))
+    (fun (i, patched, salt) ->
+      let cve = List.nth Corpus.Cves.all i in
+      let f =
+        if patched then Corpus.Cves.patched_func cve
+        else Corpus.Cves.vulnerable_func cve
+      in
+      let tag = Printf.sprintf "_r%d" salt in
+      identical (E.of_func f) (E.of_func (rename_func tag f)))
+
+(* a straight-line block of independent assignments (statement i touches
+   only variable i): any permutation preserves semantics, and the
+   fingerprint must not depend on the order *)
+let gen_straightline =
+  QCheck.Gen.(
+    list_size (int_range 1 8)
+      (pair (int_range (-64) 64) (int_range 0 2))
+    >>= fun specs ->
+    let stmts =
+      List.mapi
+        (fun i (k, shape) ->
+          let v = Printf.sprintf "x%d" i in
+          let base = A.Evar v and lit = A.Eint (Int64.of_int k) in
+          match shape with
+          | 0 -> A.Sassign (v, A.Ebinop (A.Badd, base, lit))
+          | 1 -> A.Sassign (v, A.Ebinop (A.Bmul, base, lit))
+          | _ -> A.Sassign (v, A.Ebinop (A.Bxor, base, lit)))
+        specs
+    in
+    shuffle_l stmts >>= fun shuffled -> return (stmts, shuffled))
+
+let func_of_body body =
+  {
+    A.fname = "f";
+    params = [ { A.pname = "a"; pty = A.Tint }; { A.pname = "b"; pty = A.Tint } ];
+    ret = A.Tint;
+    body;
+  }
+
+let prop_straightline_permutation =
+  QCheck.Test.make ~name:"fingerprint-invariant-under-independent-reorder"
+    ~count:200 (QCheck.make gen_straightline) (fun (stmts, shuffled) ->
+      let close l = l @ [ A.Sreturn (Some (A.Evar "a")) ] in
+      near_identical
+        (E.of_func (func_of_body (close stmts)))
+        (E.of_func (func_of_body (close shuffled))))
+
+(* swapping the branches of an if while negating its comparison keeps
+   the semantics; the canonical child order must absorb the swap *)
+let negate = function
+  | A.Blt -> A.Bge
+  | A.Bge -> A.Blt
+  | A.Ble -> A.Bgt
+  | A.Bgt -> A.Ble
+  | A.Beq -> A.Bne
+  | A.Bne -> A.Beq
+  | op -> op
+
+let prop_branch_swap =
+  QCheck.Test.make ~name:"fingerprint-invariant-under-then-else-swap"
+    ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         triple
+           (oneofl [ A.Blt; A.Ble; A.Bgt; A.Bge; A.Beq; A.Bne ])
+           gen_straightline gen_straightline))
+    (fun (op, (thens, _), (elses, _)) ->
+      let cond = A.Ebinop (op, A.Evar "a", A.Evar "b") in
+      let ncond = A.Ebinop (negate op, A.Evar "a", A.Evar "b") in
+      let tail = [ A.Sreturn (Some (A.Evar "a")) ] in
+      near_identical
+        (E.of_func (func_of_body (A.Sif (cond, thens, elses) :: tail)))
+        (E.of_func (func_of_body (A.Sif (ncond, elses, thens) :: tail))))
+
+(* --- totality over the corpus ----------------------------------------- *)
+
+(* both encoders succeed on every corpus function at every optimisation
+   level, and the cross-representation distance stays in bounds (this is
+   the test @struct-smoke re-runs with the IR sanitizer armed) *)
+let encoder_total_on_corpus () =
+  List.iter
+    (fun (cve : Corpus.Cves.t) ->
+      List.iter
+        (fun patched ->
+          let f =
+            if patched then Corpus.Cves.patched_func cve
+            else Corpus.Cves.vulnerable_func cve
+          in
+          let ast = E.of_func f in
+          Alcotest.(check bool)
+            (cve.Corpus.Cves.id ^ " ast self-distance") true
+            (S.distance ast ast = 0.0);
+          List.iter
+            (fun opt ->
+              let img = Corpus.Dataset.compile_cve ~opt cve ~patched in
+              for i = 0 to Loader.Image.function_count img - 1 do
+                let fp = E.of_binary img i in
+                let d = S.distance ast fp in
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s %s fn%d distance in [0,1]"
+                     cve.Corpus.Cves.id
+                     (Minic.Optlevel.to_string opt)
+                     i)
+                  true
+                  (d >= 0.0 && d <= 1.0)
+              done)
+            Minic.Optlevel.all)
+        [ false; true ])
+    Corpus.Cves.all
+
+(* ... and on generated library code, whose functions are bigger and
+   structurally messier than the CVE pairs *)
+let encoder_total_on_genlib () =
+  let prog = Corpus.Genlib.generate ~seed:0x57ABL ~index:3 ~nfuncs:10 in
+  List.iter
+    (fun fn ->
+      let ast = E.of_func fn in
+      Alcotest.(check bool) "genlib ast self-distance" true
+        (S.distance ast ast = 0.0))
+    prog.A.funcs;
+  List.iter
+    (fun opt ->
+      let img = Minic.Compiler.compile ~arch:Isa.Arch.Arm64 ~opt prog in
+      for i = 0 to Loader.Image.function_count img - 1 do
+        ignore (E.of_binary img i)
+      done)
+    Minic.Optlevel.all
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_node_order_canonical;
+    QCheck_alcotest.to_alcotest prop_distance_metric;
+    QCheck_alcotest.to_alcotest prop_ted_identity;
+    QCheck_alcotest.to_alcotest prop_alpha_renaming;
+    QCheck_alcotest.to_alcotest prop_straightline_permutation;
+    QCheck_alcotest.to_alcotest prop_branch_swap;
+    Alcotest.test_case "encoder-total-on-corpus" `Quick encoder_total_on_corpus;
+    Alcotest.test_case "encoder-total-on-genlib" `Quick encoder_total_on_genlib;
+  ]
