@@ -3,7 +3,7 @@
    With no arguments (or "all"): rebuild every table and figure of the
    paper's evaluation section and then run the per-artifact Bechamel
    micro-benchmarks.  Individual artifacts: fig7 fig8 tab3 tab4 tab5 tab6
-   tab7 tab8 speed scanpar analysis baseline ablate micro.
+   tab7 tab8 speed scanpar prune analysis baseline ablate micro.
 
    PATCHECKO_FAST=1 shrinks the corpus and training so the whole run
    finishes in seconds (used by CI); the default configuration matches
@@ -16,7 +16,12 @@
    "obs" measures the observability overhead (E15): the same supervised
    scan with tracing disabled (the shipping configuration, budget < 2%
    over the pre-instrumentation chaos baseline), then with the ring and
-   JSONL sinks armed. *)
+   JSONL sinks armed.
+
+   "prune" measures the inverted-index candidate pruning stage (E18):
+   pruned-vs-exhaustive parity on the seeded corpus, Table VIII under
+   pruning, and candidate-set reduction / end-to-end speedup on an
+   enlarged generated database. *)
 
 let fast =
   match Sys.getenv_opt "PATCHECKO_FAST" with
@@ -38,6 +43,31 @@ let section name f =
   Format.fprintf ppf "==== %s ====@." name;
   f ();
   Format.pp_print_flush ppf ()
+
+(* every scan-level bench (scanpar, chaos, obs, prune) consumes the same
+   assets: the first device's stripped firmware plus the context's
+   classifier, database and dynamic-stage configuration *)
+let scan_assets bench =
+  let ctx = Lazy.force ctx in
+  let dev =
+    match ctx.Evaluation.Context.devices with
+    | d :: _ -> d
+    | [] -> failwith (bench ^ ": no devices")
+  in
+  ( ctx,
+    dev.Evaluation.Context.firmware,
+    ctx.Evaluation.Context.classifier,
+    ctx.Evaluation.Context.db,
+    ctx.Evaluation.Context.dyn_config )
+
+(* both builds of all 25 CVE pairs at the database configuration — the
+   corpus the analysis and struct throughput benches sweep *)
+let compiled_pairs () =
+  List.map
+    (fun cve ->
+      ( Corpus.Dataset.compile_cve cve ~patched:false,
+        Corpus.Dataset.compile_cve cve ~patched:true ))
+    Corpus.Cves.all
 
 (* --- report sections --------------------------------------------------- *)
 
@@ -102,16 +132,7 @@ let json_field_float file field =
   with _ -> None
 
 let scanpar () =
-  let ctx = Lazy.force ctx in
-  let dev =
-    match ctx.Evaluation.Context.devices with
-    | d :: _ -> d
-    | [] -> failwith "scanpar: no devices"
-  in
-  let fw = dev.Evaluation.Context.firmware in
-  let classifier = ctx.Evaluation.Context.classifier in
-  let db = ctx.Evaluation.Context.db in
-  let dyn_config = ctx.Evaluation.Context.dyn_config in
+  let _ctx, fw, classifier, db, dyn_config = scan_assets "scanpar" in
   let scan_new () =
     (Patchecko.Scanner.scan_firmware ~dyn_config ~classifier ~db fw)
       .Patchecko.Scanner.findings
@@ -237,16 +258,7 @@ let scanpar () =
 (* --- chaos: fault-injection robustness + supervision overhead ---------- *)
 
 let chaos () =
-  let ctx = Lazy.force ctx in
-  let dev =
-    match ctx.Evaluation.Context.devices with
-    | d :: _ -> d
-    | [] -> failwith "chaos: no devices"
-  in
-  let fw = dev.Evaluation.Context.firmware in
-  let classifier = ctx.Evaluation.Context.classifier in
-  let db = ctx.Evaluation.Context.db in
-  let dyn_config = ctx.Evaluation.Context.dyn_config in
+  let _ctx, fw, classifier, db, dyn_config = scan_assets "chaos" in
   let scan () =
     Staticfeat.Cache.clear ();
     Patchecko.Scanner.scan_firmware ~dyn_config ~classifier ~db fw
@@ -345,16 +357,7 @@ let chaos () =
 (* --- obs: tracing/metrics overhead (E15) -------------------------------- *)
 
 let obs () =
-  let ctx = Lazy.force ctx in
-  let dev =
-    match ctx.Evaluation.Context.devices with
-    | d :: _ -> d
-    | [] -> failwith "obs: no devices"
-  in
-  let fw = dev.Evaluation.Context.firmware in
-  let classifier = ctx.Evaluation.Context.classifier in
-  let db = ctx.Evaluation.Context.db in
-  let dyn_config = ctx.Evaluation.Context.dyn_config in
+  let _ctx, fw, classifier, db, dyn_config = scan_assets "obs" in
   Robust.Inject.disarm ();
   let scan () =
     Staticfeat.Cache.clear ();
@@ -450,19 +453,189 @@ let obs () =
        budget@."
       (100.0 *. budget)
 
+(* --- prune: inverted-index candidate pruning (E18) ---------------------- *)
+
+let prune_bench () =
+  let ctx, fw, classifier, db, dyn_config = scan_assets "prune" in
+  Robust.Inject.disarm ();
+  (* 1. parity on the seeded corpus: the pruned scan must serialize to
+     exactly the exhaustive scan's bytes, on every device *)
+  let rows = Evaluation.Parity.run ~progress ctx in
+  Evaluation.Parity.render ppf rows;
+  let parity_identical = Evaluation.Parity.all_identical rows in
+  let seed_reduction =
+    match rows with
+    | [] -> 1.0
+    | _ ->
+      List.fold_left (fun a (r : Evaluation.Parity.row) -> a +. r.reduction)
+        0.0 rows
+      /. float_of_int (List.length rows)
+  in
+  (* 2. Table VIII under pruning: would the index have kept every
+     ground-truth cell the differential engine scores?  A pruned-away
+     truth cell counts as a miss whatever the verdict would have been. *)
+  let grid = Lazy.force runs in
+  let index = Patchecko.Vulndb.index db in
+  let entry_pos =
+    List.mapi
+      (fun i (e : Patchecko.Vulndb.entry) -> (e.Patchecko.Vulndb.cve_id, i))
+      (Patchecko.Vulndb.entries db)
+  in
+  let things = Corpus.Devices.android_things.Corpus.Devices.device_name in
+  let things_dev =
+    match Evaluation.Context.device_by_name ctx things with
+    | Some d -> d
+    | None -> failwith "prune: missing device"
+  in
+  let masks = Hashtbl.create 8 in
+  let mask_for image_name =
+    match Hashtbl.find_opt masks image_name with
+    | Some m -> m
+    | None ->
+      let img =
+        match
+          Loader.Firmware.find_image things_dev.Evaluation.Context.firmware
+            image_name
+        with
+        | Some img -> img
+        | None -> failwith ("prune: missing image " ^ image_name)
+      in
+      let m =
+        Signature.Index.candidate_mask index (Staticfeat.Cache.token_sets img)
+      in
+      Hashtbl.add masks image_name m;
+      m
+  in
+  let tab8_total = ref 0 and tab8_correct = ref 0 and kept_truth = ref 0 in
+  List.iter
+    (fun (r : Evaluation.Grid.run) ->
+      if r.Evaluation.Grid.device_name = things then begin
+        incr tab8_total;
+        let truth = r.Evaluation.Grid.truth in
+        let kept =
+          match
+            List.assoc_opt truth.Corpus.Devices.cve.Corpus.Cves.id entry_pos
+          with
+          | None -> true
+          | Some e -> (mask_for truth.Corpus.Devices.image_name).(e)
+        in
+        if kept then incr kept_truth;
+        let predicted =
+          if not kept then None
+          else
+            match Evaluation.Grid.final_verdict r with
+            | Some Patchecko.Differential.Patched -> Some true
+            | Some Patchecko.Differential.Vulnerable -> Some false
+            | None -> None
+        in
+        match predicted with
+        | Some p when p = truth.Corpus.Devices.patched -> incr tab8_correct
+        | Some _ | None -> ()
+      end)
+    grid;
+  (* 3. scale: an enlarged generated database — candidate-set reduction
+     of the index alone, then the end-to-end speedup of the pruned scan
+     (min of 2 cold-cache runs per mode, interleaving-free because each
+     mode re-extracts its own features) *)
+  progress "building enlarged database (25 seeded + 100 generated entries)";
+  let big_db =
+    Robust.Inject.suspend (fun () ->
+        Evaluation.Context.build_db
+          ~cves:
+            (Corpus.Cves.all
+            @ Corpus.Cves.synthetic ~structural:true ~count:100 ())
+          ())
+  in
+  let bindex = Patchecko.Vulndb.index big_db in
+  let nentries = Patchecko.Vulndb.size big_db in
+  let nimages = Array.length fw.Loader.Firmware.images in
+  Staticfeat.Cache.clear ();
+  let kept_cells =
+    Array.fold_left
+      (fun acc img ->
+        let mask =
+          Signature.Index.candidate_mask bindex
+            (Staticfeat.Cache.token_sets img)
+        in
+        Array.fold_left (fun a b -> if b then a + 1 else a) acc mask)
+      0 fw.Loader.Firmware.images
+  in
+  let cells = nentries * nimages in
+  let reduction =
+    if kept_cells = 0 then float_of_int cells
+    else float_of_int cells /. float_of_int kept_cells
+  in
+  let time ~prune =
+    let once () =
+      Staticfeat.Cache.clear ();
+      let t0 = Util.Clock.now () in
+      let r =
+        Patchecko.Scanner.scan_firmware ~dyn_config
+          ~max_distance:Patchecko.Scanner.prune_safe_distance ~classifier
+          ~db:big_db ~prune fw
+      in
+      (Util.Clock.since t0, r)
+    in
+    let t1, r1 = once () in
+    let t2, _ = once () in
+    (min t1 t2, r1)
+  in
+  let seconds_exhaustive, r_exhaustive = time ~prune:false in
+  let seconds_pruned, r_pruned = time ~prune:true in
+  Staticfeat.Cache.clear ();
+  let big_identical =
+    String.equal
+      (Patchecko.Scanner.report_to_json r_exhaustive)
+      (Patchecko.Scanner.report_to_json r_pruned)
+  in
+  let speedup =
+    if seconds_pruned > 0.0 then seconds_exhaustive /. seconds_pruned else 1.0
+  in
+  let row_json =
+    String.concat ", "
+      (List.map
+         (fun (r : Evaluation.Parity.row) ->
+           Printf.sprintf
+             "{\"device\": %S, \"cells\": %d, \"pruned\": %d, \"findings\": \
+              %d, \"reduction\": %.2f, \"identical\": %b}"
+             r.device r.cells r.pruned_cells r.findings r.reduction
+             r.identical)
+         rows)
+  in
+  let summary =
+    Printf.sprintf
+      "{\"bench\": \"prune\", \"parity\": [%s], \"parity_identical\": %b, \
+       \"seed_reduction\": %.2f, \"tab8_correct_pruned\": %d, \
+       \"tab8_total\": %d, \"truth_cells_kept\": %d, \"enlarged\": \
+       {\"entries\": %d, \"prunable\": %d, \"images\": %d, \"cells\": %d, \
+       \"kept\": %d, \"reduction\": %.2f, \"seconds_exhaustive\": %.4f, \
+       \"seconds_pruned\": %.4f, \"speedup\": %.3f, \"identical\": %b}}"
+      row_json parity_identical seed_reduction !tab8_correct !tab8_total
+      !kept_truth nentries
+      (Signature.Index.prunable_count bindex)
+      nimages cells kept_cells reduction seconds_exhaustive seconds_pruned
+      speedup big_identical
+  in
+  Format.fprintf ppf "%s@." summary;
+  let oc = open_out "BENCH_prune.json" in
+  output_string oc (summary ^ "\n");
+  close_out oc;
+  if not (parity_identical && big_identical) then
+    Format.eprintf
+      "[patchecko] WARNING: pruned scan diverges from the exhaustive oracle@.";
+  if reduction < 5.0 then
+    Format.eprintf
+      "[patchecko] WARNING: candidate-set reduction %.1fx below the 5x \
+       target@."
+      reduction
+
 (* --- analysis: dataflow solver throughput + alarm discrimination ------- *)
 
 let analysis () =
   (* solver throughput: the Boundcheck abstract interpreter (interval
      lattice over the recovered CFG) on every function of both builds of
      all 25 CVE pairs, compiled at the database configuration *)
-  let pairs =
-    List.map
-      (fun cve ->
-        ( Corpus.Dataset.compile_cve cve ~patched:false,
-          Corpus.Dataset.compile_cve cve ~patched:true ))
-      Corpus.Cves.all
-  in
+  let pairs = compiled_pairs () in
   let functions = ref 0 in
   let t0 = Util.Clock.now () in
   List.iter
@@ -524,13 +697,7 @@ let struct_bench () =
      pruning + loop forest + interval reduction + Zhang-Shasha-ready
      canonical tree) on every function of both builds of all 25 CVE
      pairs at the database configuration *)
-  let pairs =
-    List.map
-      (fun cve ->
-        ( Corpus.Dataset.compile_cve cve ~patched:false,
-          Corpus.Dataset.compile_cve cve ~patched:true ))
-      Corpus.Cves.all
-  in
+  let pairs = compiled_pairs () in
   let functions = ref 0 in
   let t0 = Util.Clock.now () in
   List.iter
@@ -782,6 +949,7 @@ let all () =
   section "Parallel scan" scanpar;
   section "Chaos scan" chaos;
   section "Observability overhead" obs;
+  section "Index pruning" prune_bench;
   section "Static memory-safety analysis" analysis;
   section "Structural fingerprints" struct_bench;
   section "Ablations" ablate;
@@ -809,6 +977,7 @@ let () =
       | "scanpar" -> section "Parallel scan" scanpar
       | "chaos" -> section "Chaos scan" chaos
       | "obs" -> section "Observability overhead" obs
+      | "prune" -> section "Index pruning" prune_bench
       | "analysis" -> section "Static memory-safety analysis" analysis
       | "struct" -> section "Structural fingerprints" struct_bench
       | "baseline" -> section "Baseline comparison" baselines
@@ -818,8 +987,8 @@ let () =
       | other ->
         Format.eprintf
           "unknown target %S (use fig7 fig8 tab3 tab4 tab5 tab6 tab7 tab8 \
-           simcheck speed scanpar chaos obs analysis struct baseline ablate \
-           micro all)@."
+           simcheck speed scanpar chaos obs prune analysis struct baseline \
+           ablate micro all)@."
           other;
         exit 2)
     targets

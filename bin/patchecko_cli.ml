@@ -9,6 +9,7 @@
    train         train the similarity model and save it to a file
    scan          hybrid scan of a firmware file for one or all CVEs
    stats         per-span timing summary of a scan trace file
+   db            vulnerability-database inspection (signature index stats)
    analyze       static memory-safety alarm report for an image
    evaluate      train the model and print its quality summary *)
 
@@ -280,11 +281,13 @@ let scan_cmd =
   let max_distance =
     Arg.(
       value
-      & opt float 50.0
+      & opt float Patchecko.Scanner.prune_safe_distance
       & info [ "max-distance" ] ~docv:"D"
           ~doc:
             "Only report matches whose dynamic distance is below this; raise \
-             it to see weak matches.")
+             it to see weak matches.  Raising it above the default \
+             (production) threshold also auto-disables candidate pruning, \
+             since the index is calibrated against that threshold.")
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON findings.") in
   let max_retries =
@@ -312,8 +315,18 @@ let scan_cmd =
       & info [ "stats" ]
           ~doc:"Print the pipeline metrics table to stderr after the scan.")
   in
+  let no_prune =
+    Arg.(
+      value & flag
+      & info [ "no-prune" ]
+          ~doc:
+            "Disable the inverted-index candidate pruning stage and score \
+             every (CVE, library) cell exhaustively.  The exhaustive scan is \
+             the correctness oracle: its findings must be byte-identical to \
+             the pruned scan's.")
+  in
   let run firmware cve fast model_file max_distance json max_retries trace_file
-      stats =
+      stats no_prune =
     (match trace_file with
     | Some path -> Obs.Trace.set_sink (Some (Obs.Trace.jsonl_sink path))
     | None -> ());
@@ -361,7 +374,7 @@ let scan_cmd =
     in
     let report =
       Patchecko.Scanner.scan_firmware ~max_distance ~max_retries ~classifier
-        ~db fw
+        ~db ~prune:(not no_prune) fw
     in
     if json then print_string (Patchecko.Scanner.report_to_json report)
     else begin
@@ -396,7 +409,7 @@ let scan_cmd =
        ~doc:"Hybrid vulnerability + patch-presence scan of a firmware file.")
     Term.(
       const run $ firmware $ cve $ fast $ model_file $ max_distance $ json
-      $ max_retries $ trace_file $ stats)
+      $ max_retries $ trace_file $ stats $ no_prune)
 
 (* --- stats ------------------------------------------------------------------ *)
 
@@ -407,8 +420,13 @@ let stats_cmd =
   let run trace =
     match Obs.Trace.read_jsonl trace with
     | exception Obs.Trace.Parse_error msg ->
-      Printf.eprintf "error: %s: %s\n" trace msg;
-      1
+      (* empty, truncated and garbage trace files all land here with a
+         message naming the file and offending line *)
+      Printf.eprintf "stats: %s is not a readable trace: %s\n" trace msg;
+      2
+    | exception Sys_error msg ->
+      Printf.eprintf "stats: %s\n" msg;
+      2
     | events ->
       let violations = Obs.Trace.check events in
       List.iter
@@ -452,6 +470,117 @@ let stats_cmd =
          "Summarise a span trace written by scan --trace (or \
           PATCHECKO_TRACE) as a per-span timing table.")
     Term.(const run $ trace)
+
+(* --- db --------------------------------------------------------------------- *)
+
+let db_index_cmd =
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit a JSON report.") in
+  let tokens =
+    Arg.(
+      value & flag
+      & info [ "tokens" ]
+          ~doc:"Also print each signature's token lists (text mode only).")
+  in
+  let synthetic =
+    Arg.(
+      value & opt int 0
+      & info [ "synthetic" ] ~docv:"N"
+          ~doc:
+            "Enlarge the database with $(docv) generated CVE entries before \
+             indexing (the scale configuration the prune bench measures).")
+  in
+  let run json tokens synthetic =
+    match
+      let cves =
+        Corpus.Cves.all
+        @ (if synthetic > 0 then Corpus.Cves.synthetic ~count:synthetic ()
+           else [])
+      in
+      (* trusted fixture construction, as in scan: chaos injection off *)
+      Robust.Inject.suspend (fun () -> Evaluation.Context.build_db ~cves ())
+    with
+    | exception Patchecko.Vulndb.Corrupt msg ->
+      Printf.eprintf "db index: corrupt database: %s\n" msg;
+      2
+    | db ->
+      let entries = Patchecko.Vulndb.entries db in
+      let index = Patchecko.Vulndb.index db in
+      if json then begin
+        let b = Buffer.create 4096 in
+        Buffer.add_string b "{\n  \"entries\": [";
+        List.iteri
+          (fun k (e : Patchecko.Vulndb.entry) ->
+            if k > 0 then Buffer.add_string b ",";
+            let s = e.Patchecko.Vulndb.signature in
+            Buffer.add_string b
+              (Printf.sprintf
+                 "\n    {\"cve\": %S, \"anchor\": %d, \"vuln_anchor\": %d, \
+                  \"patched_anchor\": %d, \"vuln_only\": %d, \
+                  \"patched_only\": %d, \"configs\": %d, \"prunable\": %b}"
+                 e.Patchecko.Vulndb.cve_id
+                 (List.length s.Signature.Diffsig.anchor)
+                 (List.length s.Signature.Diffsig.vuln_anchor)
+                 (List.length s.Signature.Diffsig.patched_anchor)
+                 (List.length s.Signature.Diffsig.vuln_only)
+                 (List.length s.Signature.Diffsig.patched_only)
+                 s.Signature.Diffsig.configs
+                 (Signature.Diffsig.prunable s)))
+          entries;
+        Buffer.add_string b
+          (Printf.sprintf
+             "\n  ],\n  \"index\": {\"entries\": %d, \"prunable\": %d, \
+              \"distinct_tokens\": %d, \"postings\": %d, \"mean_anchor\": \
+              %.2f}\n}\n"
+             (Signature.Index.entry_count index)
+             (Signature.Index.prunable_count index)
+             (Signature.Index.distinct_tokens index)
+             (Signature.Index.postings index)
+             (Signature.Index.mean_anchor index));
+        print_string (Buffer.contents b)
+      end
+      else begin
+        List.iter
+          (fun (e : Patchecko.Vulndb.entry) ->
+            Printf.printf "%-16s %s\n" e.Patchecko.Vulndb.cve_id
+              (Signature.Diffsig.summary e.Patchecko.Vulndb.signature);
+            if tokens then begin
+              let s = e.Patchecko.Vulndb.signature in
+              let dump label l =
+                if l <> [] then
+                  Printf.printf "    %-12s %s\n" label
+                    (String.concat ", "
+                       (List.map Signature.Token.to_string l))
+              in
+              dump "anchor" s.Signature.Diffsig.anchor;
+              dump "vuln_anchor" s.Signature.Diffsig.vuln_anchor;
+              dump "patched_anchor" s.Signature.Diffsig.patched_anchor;
+              dump "vuln_only" s.Signature.Diffsig.vuln_only;
+              dump "patched_only" s.Signature.Diffsig.patched_only
+            end)
+          entries;
+        Printf.printf
+          "index: %d entries (%d prunable), %d distinct anchor tokens, %d \
+           postings, mean anchor %.2f\n"
+          (Signature.Index.entry_count index)
+          (Signature.Index.prunable_count index)
+          (Signature.Index.distinct_tokens index)
+          (Signature.Index.postings index)
+          (Signature.Index.mean_anchor index)
+      end;
+      0
+  in
+  Cmd.v
+    (Cmd.info "index"
+       ~doc:
+         "Build the vulnerability database, print each CVE's diff-derived \
+          signature summary and the inverted candidate index's statistics.")
+    Term.(const run $ json $ tokens $ synthetic)
+
+let db_cmd =
+  Cmd.group
+    (Cmd.info "db"
+       ~doc:"Inspect the vulnerability database (Dataset II) and its index.")
+    [ db_index_cmd ]
 
 (* --- analyze ---------------------------------------------------------------- *)
 
@@ -614,7 +743,7 @@ let main =
           vulnerabilities (DSN 2020 reproduction).")
     [
       compile_cmd; inspect_cmd; verify_cmd; run_cmd; trace_cmd;
-      gen_firmware_cmd; train_cmd; scan_cmd; stats_cmd; analyze_cmd;
+      gen_firmware_cmd; train_cmd; scan_cmd; stats_cmd; db_cmd; analyze_cmd;
       evaluate_cmd;
     ]
 

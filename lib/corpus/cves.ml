@@ -9,6 +9,7 @@ type t = {
   seed : int64;
   shape : Fuzz.Shape.t;
   description : string;
+  pad : int;
 }
 
 let buf_shape : Fuzz.Shape.t = [ Abuf 48; Alen ]
@@ -297,15 +298,163 @@ let all =
         seed = Int64.of_int (0x5EED + (k * 7919));
         shape = shape_of_family family;
         description = description_of_family family;
+        pad = 0;
       })
     specs
 
 let find id = List.find_opt (fun c -> c.id = id) all
 
+(* Synthetic extra entries for scale experiments: cycle the patch
+   families with fresh seeds (a different base and multiplier than
+   [all], so no generated pair collides with a Table VI pair).  The
+   memmove case study is excluded — its import-call fingerprint is
+   library-specific, not seed-derived, so reseeded copies would be near
+   duplicates. *)
+let synthetic_families =
+  List.filter (fun (name, _) -> name <> "remove_unsync") families
+
+let synthetic ?(salt = 0) ?(structural = false) ~count () =
+  List.init count (fun k ->
+      let family, _ = List.nth synthetic_families (k mod List.length synthetic_families) in
+      {
+        id = Printf.sprintf "CVE-GEN-%04d" (salt + k);
+        family;
+        host_library = k mod 5;
+        fname = Printf.sprintf "cve_gen_%d" (salt + k);
+        seed = Int64.of_int (0x6EED + ((salt + k) * 6211));
+        shape = shape_of_family family;
+        description = description_of_family family;
+        pad = (if structural then 1 + salt + k else 0);
+      })
+
+(* Structural padding for scale-benchmark entries ([pad] > 0): a
+   rng-derived preprocessing prologue prepended to both sides of the
+   pair, its accumulator folded into every return value.  Real
+   vulnerability databases span many codebases, so most entries share no
+   control structure with any function of a given firmware; padding
+   models that — the padded skeleton (and its loop profile and runtime
+   behaviour) diverges from the bare family function, so the index can
+   prune the entry from images that only carry unrelated code.  Both
+   sides get the identical prologue, keeping the vuln/patched diff
+   exactly the family's minimal patch.  Loop bounds stay above the
+   compiler's unroll limit so the padded skeleton is stable across every
+   signature build configuration. *)
+let pad_prologue rng =
+  let cap = Util.Prng.choose rng [| 12; 16; 20; 24 |] in
+  let mult = Util.Prng.int_in rng 3 11 in
+  let bias = Util.Prng.int_in rng 1 97 in
+  let cell k = ((k *: i mult) +: i bias) %: i 251 in
+  let bump j e =
+    setidx (v "pad_buf") j ((idx (v "pad_buf") j +: e) %: i 251)
+  in
+  (* One padding pass per rng draw, from an alphabet of control
+     arrangements (flat loop, guarded loop, nested loops, branch over
+     loops, ...).  The skeleton fingerprint keeps only control nodes,
+     so what distinguishes one padded entry from another — and from
+     every firmware function — is this rng-derived arrangement
+     sequence, not the arithmetic inside it.  A sequence of flat loops
+     alone would collapse to the ubiquitous "k sequential loops"
+     skeleton that unrelated firmware functions also have, so the first
+     pass is always drawn from the nested/branching shapes.  Branch
+     conditions read the buffer rather than induction variables or
+     literals, so no configuration can fold a branch away and perturb
+     the skeleton. *)
+  let pass ~nested k =
+    let kv = Printf.sprintf "pad_k%d" k and jv = Printf.sprintf "pad_j%d" k in
+    match (if nested then 1 + Util.Prng.int rng 4 else Util.Prng.int rng 6) with
+    | 0 ->
+      (* flat mixing loop *)
+      [ for_ kv (i 0) (i cap) [ bump (v kv) (cell (v kv)) ] ]
+    | 1 ->
+      (* loop(cond): data-guarded bump *)
+      [
+        for_ kv (i 0) (i cap)
+          [
+            if_
+              ((idx (v "pad_buf") (v kv) %: i 2) =: i 1)
+              [ bump (v kv) (i 1) ];
+          ];
+      ]
+    | 2 ->
+      (* loop(loop): triangular smoothing *)
+      [
+        for_ kv (i 0) (i cap)
+          [
+            bump (v kv) (cell (v kv));
+            for_ jv (i 0) (v kv) [ bump (v jv) (i 1) ];
+          ];
+      ]
+    | 3 ->
+      (* loop(loop(cond)): nested guarded smoothing *)
+      [
+        for_ kv (i 0) (i cap)
+          [
+            for_ jv (i 0) (v kv)
+              [
+                if_
+                  ((idx (v "pad_buf") (v jv) %: i 3) =: i 0)
+                  [ bump (v jv) (i 2) ];
+              ];
+          ];
+      ]
+    | 4 ->
+      (* cond(loop, loop): data-dependent pass choice *)
+      [
+        ifelse
+          ((idx (v "pad_buf") (i 0) %: i 2) =: i 0)
+          [ for_ kv (i 0) (i cap) [ bump (v kv) (cell (v kv)) ] ]
+          [ for_ kv (i 0) (i cap) [ bump (v kv) (i 3) ] ];
+      ]
+    | _ ->
+      (* two sequential flat passes *)
+      [
+        for_ kv (i 0) (i cap) [ bump (v kv) (cell (v kv)) ];
+        for_ jv (i 0) (i cap) [ bump (v jv) (i 5) ];
+      ]
+  in
+  let npasses = Util.Prng.int_in rng 2 4 in
+  let rec passes k acc =
+    if k >= npasses then List.concat (List.rev acc)
+    else passes (k + 1) (pass ~nested:(k = 0) k :: acc)
+  in
+  [
+    letbuf "pad_buf" Byte cap;
+    let_ "pad_acc" Tint (i 0);
+    for_ "pad_k" (i 0) (i cap)
+      [ setidx (v "pad_buf") (v "pad_k") (cell (v "pad_k")) ];
+  ]
+  @ passes 0 []
+  @ [
+      for_ "pad_k" (i 0) (i cap)
+        [ set "pad_acc" (v "pad_acc" +: idx (v "pad_buf") (v "pad_k")) ];
+    ]
+
+let rec mix_return s =
+  match s with
+  | Sreturn (Some e) -> Sreturn (Some (e +: v "pad_acc"))
+  | Sif (c, a, b) -> Sif (c, List.map mix_return a, List.map mix_return b)
+  | Swhile (c, b) -> Swhile (c, List.map mix_return b)
+  | Sfor (x, e0, e1, e2, b) -> Sfor (x, e0, e1, e2, List.map mix_return b)
+  | Sswitch (e, cases, d) ->
+    Sswitch
+      ( e,
+        List.map (fun (k, b) -> (k, List.map mix_return b)) cases,
+        List.map mix_return d )
+  | Sreturn None | Sdecl _ | Sarray _ | Sassign _ | Sindexset _ | Sbreak
+  | Scontinue | Sexpr _ ->
+    s
+
 let func c ~patched =
   let maker = List.assoc c.family families in
   let rng = Util.Prng.create c.seed in
-  maker rng ~fname:c.fname ~patched
+  let f = maker rng ~fname:c.fname ~patched in
+  if c.pad = 0 then f
+  else
+    let prng =
+      Util.Prng.create
+        (Int64.logxor c.seed (Int64.of_int (0x9AD0000 + (c.pad * 131))))
+    in
+    { f with body = pad_prologue prng @ List.map mix_return f.body }
 
 let vulnerable_func c = func c ~patched:false
 let patched_func c = func c ~patched:true

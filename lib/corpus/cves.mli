@@ -18,12 +18,27 @@ type t = {
   seed : int64;  (** shared constants of the pair derive from this *)
   shape : Fuzz.Shape.t;
   description : string;
+  pad : int;
+      (** 0 for the Table VI corpus.  Non-zero selects a rng-derived
+          structural prologue prepended to both sides of the pair —
+          scale-benchmark entries standing in for CVEs from unrelated
+          codebases, whose control skeleton matches no function of the
+          scanned firmware. *)
 }
 
 val all : t list
 (** 25 entries, in the paper's Table VI order. *)
 
 val find : string -> t option
+
+(** [synthetic ~count ()] generates [count] extra entries (ids
+    [CVE-GEN-%04d], offset by [salt]) cycling the seed-derived patch
+    families with seeds disjoint from {!all} — used to enlarge the
+    vulnerability database for index scale benchmarks.  With
+    [~structural:true] each entry also gets a distinct rng-derived
+    structural prologue (see {!type-t.pad}), modelling database entries
+    from codebases the firmware does not contain. *)
+val synthetic : ?salt:int -> ?structural:bool -> count:int -> unit -> t list
 val vulnerable_func : t -> Minic.Ast.func
 val patched_func : t -> Minic.Ast.func
 val func : t -> patched:bool -> Minic.Ast.func

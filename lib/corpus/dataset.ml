@@ -91,6 +91,23 @@ let build_pairs config =
   Util.Prng.shuffle rng arr;
   Nn.Data.make (Array.to_list arr)
 
+(* Build configurations for diff-signature extraction: the whole
+   optimisation sweep at the database architecture plus every
+   architecture at O2 — both variance axes the anchor tokens must
+   survive (the device builds, Arm32/O2 and Arm64/Ofast, are covered).
+   The base (db_arch, db_opt) pair is excluded: signature extraction
+   always folds the reference build in by itself. *)
+let signature_configs =
+  List.filter_map
+    (fun opt ->
+      if opt = db_opt then None else Some (db_arch, opt))
+    Minic.Optlevel.all
+  @ List.filter_map
+      (fun arch ->
+        if arch = db_arch then None (* already in the opt sweep *)
+        else Some (arch, Minic.Optlevel.O2))
+      Isa.Arch.all
+
 let compile_cve ?(arch = db_arch) ?(opt = db_opt) (cve : Cves.t) ~patched =
   let prog =
     {
@@ -100,3 +117,8 @@ let compile_cve ?(arch = db_arch) ?(opt = db_opt) (cve : Cves.t) ~patched =
     }
   in
   Minic.Compiler.compile ~arch ~opt prog
+
+let signature_builds (cve : Cves.t) ~patched =
+  List.map
+    (fun (arch, opt) -> (compile_cve ~arch ~opt cve ~patched, 0))
+    signature_configs

@@ -34,3 +34,12 @@ val compile_cve :
   -> Loader.Image.t
 (** Single-CVE reference image (function 0 is the CVE function); keeps
     its symtab — the database legitimately knows its own functions. *)
+
+val signature_configs : (Isa.Arch.t * Minic.Optlevel.level) list
+(** Extra build configurations diff signatures are extracted over: the
+    optimisation sweep O0–Ofast at {!db_arch} plus every architecture at
+    O2, minus the ({!db_arch}, {!db_opt}) reference build itself. *)
+
+val signature_builds : Cves.t -> patched:bool -> (Loader.Image.t * int) list
+(** One {!compile_cve} image (function 0) per {!signature_configs}
+    entry, ready for {!Patchecko.Vulndb.make_entry}'s [?builds]. *)

@@ -15,17 +15,26 @@ type t = {
   dyn_config : Patchecko.Dynamic_stage.config;
 }
 
-let build_db () =
+let build_db ?(cves = Corpus.Cves.all) ?(signatures = true) () =
   Patchecko.Vulndb.create
     (List.map
        (fun (c : Corpus.Cves.t) ->
          let vimg = Corpus.Dataset.compile_cve c ~patched:false in
          let pimg = Corpus.Dataset.compile_cve c ~patched:true in
+         (* the extra signature builds make the diff signatures prunable
+            (>= 2 configurations per side); without them every entry
+            stays an always-kept candidate *)
+         let builds =
+           if signatures then
+             ( Corpus.Dataset.signature_builds c ~patched:false,
+               Corpus.Dataset.signature_builds c ~patched:true )
+           else ([], [])
+         in
          Patchecko.Vulndb.make_entry
            ~source:(Corpus.Cves.vulnerable_func c, Corpus.Cves.patched_func c)
-           ~cve_id:c.id ~description:c.description ~shape:c.shape
+           ~builds ~cve_id:c.id ~description:c.description ~shape:c.shape
            ~vuln:(vimg, 0) ~patched:(pimg, 0) ())
-       Corpus.Cves.all)
+       cves)
 
 let build_device ?(nlibs = 6) ?(nfuncs_base = 36) device =
   let named_firmware, truths =

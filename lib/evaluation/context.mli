@@ -42,8 +42,14 @@ val train_classifier :
     test AUC)).  Pair with {!Nn.Serialize.write_classifier} to ship a
     trained model. *)
 
-val build_db : unit -> Patchecko.Vulndb.t
-(** Just the 25-entry vulnerability database (Dataset II). *)
+val build_db :
+  ?cves:Corpus.Cves.t list -> ?signatures:bool -> unit -> Patchecko.Vulndb.t
+(** Just the vulnerability database (Dataset II) — by default the 25
+    Table VI entries with prunable diff signatures extracted over
+    {!Corpus.Dataset.signature_configs}.  [~cves] substitutes another
+    entry list (e.g. enlarged with {!Corpus.Cves.synthetic});
+    [~signatures:false] skips the extra signature builds, leaving every
+    entry unprunable (the pre-index behaviour). *)
 
 val function_name : device_eval -> image:string -> int -> string
 (** Ground-truth name from the named firmware ("fun_N" fallback). *)

@@ -1,0 +1,65 @@
+(* Pruned-vs-exhaustive parity: the index is an optimisation with a hard
+   correctness contract — on a fault-free corpus a pruned scan must
+   serialize to exactly the bytes of the exhaustive scan.  This grid
+   runs both scans per device and compares the JSON reports, which is
+   the same oracle the chaos suite uses across domain counts. *)
+
+type row = {
+  device : string;
+  cells : int;
+  pruned_cells : int;
+  findings : int;
+  identical : bool;
+  reduction : float;
+}
+
+let run_device ctx (dev : Context.device_eval) =
+  (* the production reporting threshold: pruning is calibrated against
+     it and auto-disables above it, so this is the configuration in
+     which the parity contract is meaningful (and the one the scan CLI
+     defaults to) *)
+  let scan ~prune =
+    Patchecko.Scanner.scan_firmware ~dyn_config:ctx.Context.dyn_config
+      ~max_distance:Patchecko.Scanner.prune_safe_distance
+      ~classifier:ctx.Context.classifier ~db:ctx.Context.db ~prune
+      dev.Context.firmware
+  in
+  let exhaustive = scan ~prune:false in
+  let pruned = scan ~prune:true in
+  let kept = pruned.Patchecko.Scanner.cells - pruned.Patchecko.Scanner.pruned_cells in
+  {
+    device = dev.Context.device.Corpus.Devices.device_name;
+    cells = pruned.Patchecko.Scanner.cells;
+    pruned_cells = pruned.Patchecko.Scanner.pruned_cells;
+    findings = List.length pruned.Patchecko.Scanner.findings;
+    identical =
+      String.equal
+        (Patchecko.Scanner.report_to_json exhaustive)
+        (Patchecko.Scanner.report_to_json pruned);
+    reduction =
+      (if kept = 0 then float_of_int pruned.Patchecko.Scanner.cells
+       else
+         float_of_int pruned.Patchecko.Scanner.cells /. float_of_int kept);
+  }
+
+let run ?(progress = fun _ -> ()) (ctx : Context.t) =
+  List.map
+    (fun dev ->
+      progress
+        (Printf.sprintf "parity scan (pruned + exhaustive): %s"
+           dev.Context.device.Corpus.Devices.device_name);
+      run_device ctx dev)
+    ctx.Context.devices
+
+let all_identical rows = List.for_all (fun r -> r.identical) rows
+
+let render ppf rows =
+  Format.fprintf ppf "Pruned-vs-exhaustive parity@.";
+  Format.fprintf ppf "%-16s %8s %8s %10s %10s %10s@." "device" "cells"
+    "pruned" "findings" "reduction" "identical";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-16s %8d %8d %10d %9.1fx %10s@." r.device r.cells
+        r.pruned_cells r.findings r.reduction
+        (if r.identical then "yes" else "NO"))
+    rows

@@ -1,0 +1,22 @@
+(** Pruned-vs-exhaustive parity grid.
+
+    For each device, run the whole-firmware scan twice — exhaustive
+    (the correctness oracle) and with index pruning — and compare the
+    serialized reports byte for byte.  The candidate index's no-false-
+    prune property plus the batched static kernel's bit-identical
+    per-pair scores make exact parity the expected outcome on a
+    fault-free corpus; any divergence is a bug, not noise. *)
+
+type row = {
+  device : string;
+  cells : int;  (** entries × images *)
+  pruned_cells : int;  (** cells the index skipped *)
+  findings : int;  (** findings of the pruned scan *)
+  identical : bool;  (** pruned report bytes = exhaustive report bytes *)
+  reduction : float;  (** cells / surviving cells (candidate-set reduction) *)
+}
+
+val run_device : Context.t -> Context.device_eval -> row
+val run : ?progress:(string -> unit) -> Context.t -> row list
+val all_identical : row list -> bool
+val render : Format.formatter -> row list -> unit

@@ -298,14 +298,28 @@ let jsonl_sink path =
 
 let read_jsonl path =
   let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
   let out = ref [] in
+  let lineno = ref 0 in
   (try
      while true do
        let line = input_line ic in
-       if String.trim line <> "" then out := event_of_json line :: !out
+       incr lineno;
+       if String.trim line <> "" then
+         match event_of_json line with
+         | ev -> out := ev :: !out
+         | exception Parse_error msg ->
+           (* a truncated write leaves a partial last line; a corrupt file
+              fails earlier — either way, say where *)
+           raise
+             (Parse_error (Printf.sprintf "%s, line %d: %s" path !lineno msg))
      done
    with End_of_file -> ());
-  close_in ic;
+  if !out = [] then
+    raise
+      (Parse_error
+         (Printf.sprintf "%s: no trace events (%s)" path
+            (if !lineno = 0 then "empty file" else "only blank lines")));
   List.rev !out
 
 (* arm the JSONL sink from the environment, mirroring PATCHECKO_FAULTS *)

@@ -57,7 +57,11 @@ val jsonl_sink : string -> sink
 
 val read_jsonl : string -> event list
 (** Parse a file written by {!jsonl_sink}.  Raises {!Parse_error} on a
-    malformed line; blank lines are skipped. *)
+    malformed line (the message names the file and line number — a
+    truncated final line from an interrupted run lands here) and on a
+    file containing no events at all (empty, or nothing but blank
+    lines); blank lines between events are skipped.  Raises [Sys_error]
+    when the file cannot be opened. *)
 
 exception Parse_error of string
 

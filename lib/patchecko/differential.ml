@@ -11,6 +11,8 @@ type evidence = {
   alarm_to_patched : float option;
   struct_to_vuln : float option;
   struct_to_patched : float option;
+  token_to_vuln : float option;
+  token_to_patched : float option;
 }
 
 (* Below this reference-pair distance the vulnerable and patched builds
@@ -78,8 +80,30 @@ let signature_distance (img_a, ia) (img_b, ib) =
 
 let m_gathers = Obs.Metrics.counter "differential.gathers"
 
+(* membership of a hash in a sorted hash set *)
+let mem_sorted set h =
+  let lo = ref 0 and hi = ref (Array.length set - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = Int.compare set.(mid) h in
+    if c = 0 then found := true
+    else if c < 0 then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let matched_fraction set hashes =
+  let n = Array.length hashes in
+  if n = 0 then 0.0
+  else begin
+    let hits = ref 0 in
+    Array.iter (fun h -> if mem_sorted set h then incr hits) hashes;
+    float_of_int !hits /. float_of_int n
+  end
+
 let gather ~vuln:(vimg, vidx) ~patched:(pimg, pidx) ~target:(timg, tidx)
-    ?dynamic ?structs () =
+    ?dynamic ?structs ?diffsig () =
   Obs.Trace.with_span ~name:"stage.differential"
     ~attrs:(fun () -> [ ("image", timg.Loader.Image.name) ])
   @@ fun () ->
@@ -125,6 +149,25 @@ let gather ~vuln:(vimg, vidx) ~patched:(pimg, pidx) ~target:(timg, tidx)
       ( Some (Similarity.Structfp.distance ft fv),
         Some (Similarity.Structfp.distance ft fp) )
   in
+  (* The signature-token channel reads the diff-derived token deltas: a
+     high fraction of vuln-only tokens in the target is evidence of the
+     unpatched version, and symmetrically for patched-only tokens.  It
+     abstains when the signature has no delta tokens at all, when the
+     target exhibits none of them (the deltas may simply not survive the
+     target's build configuration), and on ties. *)
+  let token_to_vuln, token_to_patched =
+    match diffsig with
+    | None -> (None, None)
+    | Some sg ->
+      let vh = Signature.Diffsig.vuln_only_hashes sg in
+      let ph = Signature.Diffsig.patched_only_hashes sg in
+      if Array.length vh = 0 && Array.length ph = 0 then (None, None)
+      else
+        let tset = Staticfeat.Cache.token_set timg tidx in
+        let fv = matched_fraction tset vh and fp = matched_fraction tset ph in
+        if fv = fp then (None, None)
+        else (Some (1.0 -. fv), Some (1.0 -. fp))
+  in
   {
     static_to_vuln = static_distance st sv;
     static_to_patched = static_distance st sp;
@@ -136,6 +179,8 @@ let gather ~vuln:(vimg, vidx) ~patched:(pimg, pidx) ~target:(timg, tidx)
     alarm_to_patched;
     struct_to_vuln;
     struct_to_patched;
+    token_to_vuln;
+    token_to_patched;
   }
 
 let decide e =
@@ -153,6 +198,9 @@ let decide e =
       | Some _, None | None, Some _ | None, None -> [])
     @ (match (e.struct_to_vuln, e.struct_to_patched) with
       | Some sv, Some sp -> [ channel sv sp ]
+      | Some _, None | None, Some _ | None, None -> [])
+    @ (match (e.token_to_vuln, e.token_to_patched) with
+      | Some tv, Some tp -> [ channel tv tp ]
       | Some _, None | None, Some _ | None, None -> [])
   in
   (* each channel is the share of distance pointing away from the

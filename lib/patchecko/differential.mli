@@ -10,7 +10,11 @@
     two references disagree on their alarms.  A fifth, optional channel
     compares structural fingerprints ({!Similarity.Structfp}) and only
     participates when the reference pair is at least
-    {!struct_abstain_threshold} apart. *)
+    {!struct_abstain_threshold} apart.  A sixth, optional channel reads
+    the diff-derived signature-token deltas ({!Signature.Diffsig}): the
+    fraction of vuln-only / patched-only tokens the target exhibits —
+    it abstains when the signature carries no delta tokens, when the
+    target matches neither side, and on ties. *)
 
 type verdict = Patched | Vulnerable
 
@@ -30,6 +34,12 @@ type evidence = {
           patched references are structurally closer than
           {!struct_abstain_threshold} (channel abstains) *)
   struct_to_patched : float option;
+  token_to_vuln : float option;
+      (** [1 - fraction of vuln-only signature tokens present in the
+          target]; [None] when the token channel abstains (no [?diffsig]
+          supplied, signature without delta tokens, zero matches on both
+          sides, or a tie) *)
+  token_to_patched : float option;
 }
 
 val struct_abstain_threshold : float
@@ -53,13 +63,20 @@ val gather :
   target:Loader.Image.t * int ->
   ?dynamic:(float * float) ->
   ?structs:(Similarity.Structfp.t * Similarity.Structfp.t) ->
+  ?diffsig:Signature.Diffsig.t ->
   unit ->
   evidence
 (** [dynamic] is (distance to vulnerable profile, distance to patched
     profile) when the dynamic stage ran.  [structs] is the (vulnerable,
     patched) reference fingerprint pair — usually the persisted
     {!Vulndb.entry} fields; when absent they are recovered from the
-    reference binaries via {!Staticfeat.Cache.struct_fingerprint}. *)
+    reference binaries via {!Staticfeat.Cache.struct_fingerprint}.
+    [diffsig] is the entry's persisted diff signature; when supplied the
+    token channel reads the target's cached token set
+    ({!Staticfeat.Cache.token_set}) against its delta-token hashes.
+    The evaluation pipeline ({!Pipeline.analyze}) passes it; the scanner
+    deliberately does not — its evidence (and hence its report bytes)
+    stays identical whether or not index pruning is enabled. *)
 
 val decide : evidence -> verdict * float
 (** Verdict plus a confidence in (0.5, 1\]: the margin between the two

@@ -109,7 +109,7 @@ let analyze ?(dyn_config = Dynamic_stage.default_config) ?ground_truth
           ~patched:(db_entry.Vulndb.patched_image, db_entry.Vulndb.patched_findex)
           ~target:(target, fidx) ?dynamic:dyn_scores
           ~structs:(db_entry.Vulndb.vuln_struct, db_entry.Vulndb.patched_struct)
-          ()
+          ~diffsig:db_entry.Vulndb.signature ()
       in
       Some (Differential.decide evidence)
     | None, _ | _, None -> None

@@ -30,6 +30,7 @@ type report = {
   ledger : fault_record list;
   cells : int;
   failed_cells : int;
+  pruned_cells : int;
 }
 
 (* --- one (CVE, image) cell -------------------------------------------- *)
@@ -147,6 +148,8 @@ let dyn_cell ~dyn_config ~max_distance ~max_retries ~ctx entry image candidates 
 let m_cells = Obs.Metrics.counter "scan.cells"
 let m_failed_cells = Obs.Metrics.counter "scan.failed_cells"
 let m_findings = Obs.Metrics.counter "scan.findings"
+let m_prune_kept = Obs.Metrics.counter "prune.cells_kept"
+let m_prune_pruned = Obs.Metrics.counter "prune.cells_pruned"
 
 (* Supervised cache prefill for one image.  Runs sequentially before the
    parallel grid so that extraction faults resolve (to Ready or a
@@ -178,9 +181,22 @@ let prefill ~max_retries ledger img =
   | Ok () -> List.iter (record Recovered) o.Robust.Supervisor.faults
   | Error _ -> List.iter (record Failed) o.Robust.Supervisor.faults
 
+(* The reporting threshold pruning is calibrated against.  On this
+   corpus, any function scoring below it against an entry's reference is
+   a structural match (same patch family: dynamic distance 0, or the
+   same function across build configurations: <= 2.6) and therefore
+   covers one of the entry's side anchors; the nearest structural
+   cross-family match sits at distance 4.0 and the nearest unrelated
+   library function at 5.8.  Above the threshold those cross matches
+   appear in the exhaustive report, so pruning — which would skip their
+   cells — is automatically disabled to keep the exhaustive path the
+   byte-exact oracle at every cutoff. *)
+let prune_safe_distance = 3.0
+
 let scan_firmware ?(dyn_config = Dynamic_stage.default_config)
-    ?(max_distance = 50.0) ?(max_retries = 2) ~classifier ~db
+    ?(max_distance = 50.0) ?(max_retries = 2) ?(prune = false) ~classifier ~db
     (fw : Loader.Firmware.t) =
+  let prune = prune && max_distance <= prune_safe_distance in
   Obs.Trace.root_span ~name:"scan.firmware"
     ~attrs:(fun () ->
       [
@@ -197,23 +213,80 @@ let scan_firmware ?(dyn_config = Dynamic_stage.default_config)
   let record ~cve ~target ~attempts outcome fault =
     ledger := { cve; target; fault; attempts; outcome } :: !ledger
   in
+  let nentries = Array.length entry_arr in
+  let ncells = nentries * nimg in
   (* 1. settle the feature cache up front: the firmware images (scored
      by the static stage) and the database reference images (read by the
      differential stage).  Each extraction is itself parallel inside. *)
   Array.iter (prefill ~max_retries ledger) images;
-  List.iter
-    (fun (e : Vulndb.entry) ->
-      prefill ~max_retries ledger e.Vulndb.vuln_image;
-      prefill ~max_retries ledger e.Vulndb.patched_image)
+  (* 1b. candidate pruning: join each image's cached signature-token
+     sets against the database's inverted anchor index.  A cell survives
+     when its entry is unprunable (single-build signature or empty
+     anchor) or some function of the image carries the entry's whole
+     anchor.  Pruning is an optimisation, never a correctness gate: a
+     permanently failing token extraction keeps the image's whole column
+     (recorded under the pseudo-CVE "~" as Degraded).  Runs sequentially
+     before the grid so the kept set — and hence everything downstream —
+     is identical whatever the domain count. *)
+  let keep =
+    if not prune then Array.make ncells true
+    else begin
+      let index = Vulndb.index db in
+      let keep = Array.make ncells false in
+      Array.iteri
+        (fun i img ->
+          let key = "prune@" ^ img.Loader.Image.name in
+          Obs.Trace.with_span ~name:"scan.prune"
+            ~attrs:(fun () -> [ ("image", img.Loader.Image.name) ])
+          @@ fun () ->
+          let o =
+            Robust.Supervisor.run ~max_retries ~key (fun esc ->
+                if esc.Robust.Supervisor.attempt > 1 then
+                  Staticfeat.Cache.invalidate img;
+                Signature.Index.candidate_mask index
+                  (Staticfeat.Cache.token_sets img))
+          in
+          let rec_ outcome fault =
+            record ~cve:"~" ~target:img.Loader.Image.name
+              ~attempts:o.Robust.Supervisor.attempts outcome fault
+          in
+          match o.Robust.Supervisor.result with
+          | Ok mask ->
+            List.iter (rec_ Recovered) o.Robust.Supervisor.faults;
+            Array.iteri
+              (fun e kept -> if kept then keep.((e * nimg) + i) <- true)
+              mask
+          | Error _ ->
+            List.iter (rec_ Degraded) o.Robust.Supervisor.faults;
+            for e = 0 to nentries - 1 do
+              keep.((e * nimg) + i) <- true
+            done)
+        images;
+      keep
+    end
+  in
+  let entry_kept e =
+    let rec go i = i < nimg && (keep.((e * nimg) + i) || go (i + 1)) in
+    go 0
+  in
+  List.iteri
+    (fun e (entry : Vulndb.entry) ->
+      if entry_kept e then begin
+        prefill ~max_retries ledger entry.Vulndb.vuln_image;
+        prefill ~max_retries ledger entry.Vulndb.patched_image
+      end)
     entries;
   (* 2. one reference context per database entry, prepared sequentially
      under supervision: the entry's surviving environments and reference
      profile are identical for every image of its row, so they are
      computed once here instead of once per cell.  A permanently failing
-     preparation falls back to per-cell recomputation (ctx = None). *)
+     preparation falls back to per-cell recomputation (ctx = None).
+     Entries with no surviving cell skip preparation entirely. *)
   let ctx_arr =
-    Array.map
-      (fun (entry : Vulndb.entry) ->
+    Array.mapi
+      (fun eidx (entry : Vulndb.entry) ->
+        if not (entry_kept eidx) then None
+        else
         let key = "refctx@" ^ entry.Vulndb.cve_id in
         Obs.Trace.with_span ~name:"scan.refctx"
           ~attrs:(fun () -> [ ("cve", entry.Vulndb.cve_id) ])
@@ -248,57 +321,77 @@ let scan_firmware ?(dyn_config = Dynamic_stage.default_config)
           None)
       entry_arr
   in
-  (* 3. the static stage, one batched pass per image over the whole
-     database: the image's normalized feature block is built once and
-     scored against every entry's reference row (the parallelism is
-     inside scan_many, at function-batch granularity).  A static failure
-     is image-level — it takes out the image's whole column, recorded
-     under the pseudo-CVE "*". *)
-  let references =
-    Array.map (fun (e : Vulndb.entry) -> e.Vulndb.vuln_static) entry_arr
-  in
+  (* 3. the static stage, one batched pass per image over the surviving
+     database rows: the image's normalized feature block is built once
+     and scored against every kept entry's reference row (the
+     parallelism is inside scan_many, at function-batch granularity).
+     Per-pair scores are bit-identical whatever the batch composition,
+     so scoring only the kept subset cannot change any surviving cell's
+     result.  A static failure is image-level — it takes out the image's
+     whole column, recorded under the pseudo-CVE "*". *)
   let static_results =
-    Array.map
-      (fun img ->
-        let key = "static@" ^ img.Loader.Image.name in
-        let o =
-          Robust.Supervisor.run ~max_retries ~key (fun esc ->
-              if esc.Robust.Supervisor.refresh_cache then
-                Staticfeat.Cache.invalidate img;
-              Static_stage.scan_many classifier ~references img)
+    Array.mapi
+      (fun i img ->
+        let kept_ids =
+          Array.of_list
+            (List.filter
+               (fun e -> keep.((e * nimg) + i))
+               (List.init nentries Fun.id))
         in
-        let rec_ outcome fault =
-          record ~cve:"*" ~target:img.Loader.Image.name
-            ~attempts:o.Robust.Supervisor.attempts outcome fault
-        in
-        match o.Robust.Supervisor.result with
-        | Ok results ->
-          List.iter (rec_ Recovered) o.Robust.Supervisor.faults;
-          Some (Array.map (fun r -> r.Static_stage.candidates) results)
-        | Error _ ->
-          List.iter (rec_ Failed) o.Robust.Supervisor.faults;
-          None)
+        if Array.length kept_ids = 0 then Some (Array.make nentries [])
+        else begin
+          let references =
+            Array.map (fun e -> entry_arr.(e).Vulndb.vuln_static) kept_ids
+          in
+          let key = "static@" ^ img.Loader.Image.name in
+          let o =
+            Robust.Supervisor.run ~max_retries ~key (fun esc ->
+                if esc.Robust.Supervisor.refresh_cache then
+                  Staticfeat.Cache.invalidate img;
+                Static_stage.scan_many classifier ~references img)
+          in
+          let rec_ outcome fault =
+            record ~cve:"*" ~target:img.Loader.Image.name
+              ~attempts:o.Robust.Supervisor.attempts outcome fault
+          in
+          match o.Robust.Supervisor.result with
+          | Ok results ->
+            List.iter (rec_ Recovered) o.Robust.Supervisor.faults;
+            let full = Array.make nentries [] in
+            Array.iteri
+              (fun k r -> full.(kept_ids.(k)) <- r.Static_stage.candidates)
+              results;
+            Some full
+          | Error _ ->
+            List.iter (rec_ Failed) o.Robust.Supervisor.faults;
+            None
+        end)
       images
   in
   (* 4. fan the dynamic half of the (CVE entry × image) grid out over
      the domain pool — only cells with static candidates carry work;
      every one is independently supervised, so one faulting cell
      degrades the report instead of aborting the scan *)
-  let ncells = Array.length entry_arr * nimg in
   let job_of_cell = Array.make ncells (-1) in
   let jobs = ref [] in
   let njobs = ref 0 in
+  let npruned = ref 0 in
   for gi = 0 to ncells - 1 do
     let e = gi / nimg and i = gi mod nimg in
-    match static_results.(i) with
-    | None -> job_of_cell.(gi) <- -1 (* static failure: the cell is lost *)
-    | Some cands ->
-      if cands.(e) = [] then job_of_cell.(gi) <- -2 (* nothing to validate *)
-      else begin
-        job_of_cell.(gi) <- !njobs;
-        incr njobs;
-        jobs := (e, i, cands.(e)) :: !jobs
-      end
+    if not keep.(gi) then begin
+      job_of_cell.(gi) <- -3 (* pruned away: no candidate can exist *);
+      incr npruned
+    end
+    else
+      match static_results.(i) with
+      | None -> job_of_cell.(gi) <- -1 (* static failure: the cell is lost *)
+      | Some cands ->
+        if cands.(e) = [] then job_of_cell.(gi) <- -2 (* nothing to validate *)
+        else begin
+          job_of_cell.(gi) <- !njobs;
+          incr njobs;
+          jobs := (e, i, cands.(e)) :: !jobs
+        end
   done;
   let job_arr = Array.of_list (List.rev !jobs) in
   let outcomes =
@@ -319,7 +412,7 @@ let scan_firmware ?(dyn_config = Dynamic_stage.default_config)
     in
     match job_of_cell.(gi) with
     | -1 -> incr failed_cells
-    | -2 -> ()
+    | -2 | -3 -> ()
     | j -> (
       match outcomes.(j) with
       | Error f ->
@@ -342,11 +435,16 @@ let scan_firmware ?(dyn_config = Dynamic_stage.default_config)
   Obs.Metrics.add m_cells ncells;
   Obs.Metrics.add m_failed_cells !failed_cells;
   Obs.Metrics.add m_findings (List.length !findings);
+  if prune then begin
+    Obs.Metrics.add m_prune_kept (ncells - !npruned);
+    Obs.Metrics.add m_prune_pruned !npruned
+  end;
   {
     findings = List.rev !findings;
     ledger = List.rev !ledger;
     cells = ncells;
     failed_cells = !failed_cells;
+    pruned_cells = !npruned;
   }
 
 (* The unsupervised PR-1 grid, kept as the overhead baseline for the

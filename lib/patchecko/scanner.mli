@@ -32,7 +32,9 @@ type outcome =
 
 type fault_record = {
   cve : string;
-      (** ["-"] for cache-prefill records, ["*"] for per-image static
+      (** ["-"] for cache-prefill records, ["~"] for per-image pruning
+          records (a permanently failing token extraction degrades to
+          keeping the image's whole column), ["*"] for per-image static
           batch records (an image-level static fault takes out the
           image's whole column) *)
   target : string;  (** image name *)
@@ -44,19 +46,37 @@ type fault_record = {
 type report = {
   findings : finding list;  (** in (CVE, image) order *)
   ledger : fault_record list;
-      (** every fault observed, in deterministic order: prefill records
-          (firmware images then database reference images), then
-          per-entry reference-context records, then per-image static
-          records, then dynamic cell records in grid order.  Empty on a
-          fault-free scan. *)
+      (** every fault observed, in deterministic order: firmware prefill
+          records, then (with pruning) per-image prune records, then
+          database reference prefill records, then per-entry
+          reference-context records, then per-image static records, then
+          dynamic cell records in grid order.  Empty on a fault-free
+          scan. *)
   cells : int;  (** grid size: entries × images *)
   failed_cells : int;  (** cells that produced no result at all *)
+  pruned_cells : int;
+      (** cells skipped by the candidate index (0 without [~prune]).
+          Deliberately absent from {!report_to_json}: on a fault-free
+          corpus a pruned and an exhaustive report serialize to the same
+          bytes, which is exactly the parity oracle the tests compare. *)
 }
+
+val prune_safe_distance : float
+(** The reporting threshold candidate pruning is calibrated against
+    (3.0).  Below it every reported match is structural — the same
+    function across build configurations, or a same-family sibling at
+    dynamic distance 0 — and covers one of its entry's side anchors; the
+    nearest structural cross-family match sits at 4.0 and the nearest
+    unrelated library function at 5.8.  {!scan_firmware} silently
+    disables [~prune] when [max_distance] exceeds this, because the
+    weak cross matches a looser cutoff admits live in cells the index
+    correctly skips. *)
 
 val scan_firmware :
   ?dyn_config:Dynamic_stage.config ->
   ?max_distance:float ->
   ?max_retries:int ->
+  ?prune:bool ->
   classifier:Static_stage.classifier ->
   db:Vulndb.t ->
   Loader.Firmware.t ->
@@ -66,11 +86,28 @@ val scan_firmware :
     cache prefill, then one supervised reference-context preparation per
     database entry (environments + reference profile, shared by every
     cell of the entry's row), then one supervised batched static pass
-    per image against the whole database (the parallelism is inside the
-    batch kernel), then the dynamic half of the (entry × image) grid
-    fanned out over the default domain pool — only cells with static
-    candidates carry work.  Findings AND ledger are identical whatever
-    the domain count, including under armed fault injection. *)
+    per image against the database (the parallelism is inside the batch
+    kernel), then the dynamic half of the (entry × image) grid fanned
+    out over the default domain pool — only cells with static candidates
+    carry work.  Findings AND ledger are identical whatever the domain
+    count, including under armed fault injection.
+
+    [prune] (default false — the exhaustive correctness oracle) inserts
+    a candidate-pruning phase after the firmware prefill: each image's
+    cached signature-token sets ({!Staticfeat.Cache.token_sets}) are
+    joined against the database's inverted anchor index
+    ({!Signature.Index}), and cells whose entry has no candidate
+    function in the image are skipped before any reference prefill,
+    reference-context preparation, NN scoring or VM execution — the
+    expensive stages run on O(candidates) cells instead of
+    O(entries × images).  The index never prunes an entry whose anchor
+    tokens all appear in some function (and unprunable entries are
+    always kept), and batched static scores are bit-identical whatever
+    the batch composition, so on a fault-free corpus the pruned report
+    serializes to exactly the same bytes as the exhaustive one.
+    Pruning only engages when [max_distance] is at most
+    {!prune_safe_distance}; above that the scan silently falls back to
+    the exhaustive path so weak-match exploration stays complete. *)
 
 val scan_firmware_plain :
   ?dyn_config:Dynamic_stage.config ->

@@ -10,17 +10,48 @@ type entry = {
   vuln_struct : Similarity.Structfp.t;
   patched_struct : Similarity.Structfp.t;
   shape : Fuzz.Shape.t;
+  signature : Signature.Diffsig.t;
 }
 
-type t = entry list
+type t = { entry_list : entry list; index : Signature.Index.t }
 
-let create entries = entries
-let entries t = t
-let find t id = List.find_opt (fun e -> e.cve_id = id) t
-let size = List.length
+exception Corrupt of string
 
-let make_entry ?source ~cve_id ~description ~shape ~vuln:(vimg, vidx)
-    ~patched:(pimg, pidx) () =
+let validate entries =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      if e.cve_id = "" then raise (Corrupt "entry with empty CVE id");
+      if Hashtbl.mem seen e.cve_id then
+        raise (Corrupt (Printf.sprintf "duplicate entry for %s" e.cve_id));
+      Hashtbl.add seen e.cve_id ();
+      let check what img idx =
+        if idx < 0 || idx >= Loader.Image.function_count img then
+          raise
+            (Corrupt
+               (Printf.sprintf "%s: %s function index %d out of range" e.cve_id
+                  what idx))
+      in
+      check "vulnerable" e.vuln_image e.vuln_findex;
+      check "patched" e.patched_image e.patched_findex)
+    entries
+
+let create entries =
+  validate entries;
+  {
+    entry_list = entries;
+    index =
+      Signature.Index.build
+        (Array.of_list (List.map (fun e -> e.signature) entries));
+  }
+
+let entries t = t.entry_list
+let index t = t.index
+let find t id = List.find_opt (fun e -> e.cve_id = id) t.entry_list
+let size t = List.length t.entry_list
+
+let make_entry ?source ?(builds = ([], [])) ~cve_id ~description ~shape
+    ~vuln:(vimg, vidx) ~patched:(pimg, pidx) () =
   (* with the MinC sources at hand the structural fingerprints come
      straight from the AST (the paper's source-side channel); otherwise
      fall back to re-deriving them from the reference binaries *)
@@ -30,6 +61,15 @@ let make_entry ?source ~cve_id ~description ~shape ~vuln:(vimg, vidx)
     | None ->
       ( Staticfeat.Cache.struct_fingerprint vimg vidx,
         Staticfeat.Cache.struct_fingerprint pimg pidx )
+  in
+  (* diff signature over every supplied build of each side; with only
+     the two reference builds the signature stays unprunable (configs=1)
+     — the index then always keeps the entry as a candidate *)
+  let extra_vuln, extra_patched = builds in
+  let signature =
+    Signature.Diffsig.extract
+      ~vuln:((vimg, vidx) :: extra_vuln)
+      ~patched:((pimg, pidx) :: extra_patched)
   in
   {
     cve_id;
@@ -43,6 +83,7 @@ let make_entry ?source ~cve_id ~description ~shape ~vuln:(vimg, vidx)
     vuln_struct;
     patched_struct;
     shape;
+    signature;
   }
 
 let reference_static e ~patched = if patched then e.patched_static else e.vuln_static

@@ -15,17 +15,34 @@ type entry = {
   vuln_struct : Similarity.Structfp.t;
   patched_struct : Similarity.Structfp.t;
   shape : Fuzz.Shape.t;
+  signature : Signature.Diffsig.t;
+      (** diff-derived signature over every supplied build configuration
+          (see {!make_entry}'s [?builds]) *)
 }
 
 type t
 
+exception Corrupt of string
+(** Raised by {!create} on an inconsistent entry list: empty or
+    duplicate CVE ids, or reference function indices outside their
+    image's function table. *)
+
 val create : entry list -> t
+(** Validates the entries (raises {!Corrupt}) and builds the inverted
+    candidate index ({!Signature.Index}) over their signatures. *)
+
 val entries : t -> entry list
+
+val index : t -> Signature.Index.t
+(** The anchor-token inverted index the scanner's pruning stage joins
+    candidate functions against. *)
+
 val find : t -> string -> entry option
 val size : t -> int
 
 val make_entry :
   ?source:Minic.Ast.func * Minic.Ast.func ->
+  ?builds:(Loader.Image.t * int) list * (Loader.Image.t * int) list ->
   cve_id:string ->
   description:string ->
   shape:Fuzz.Shape.t ->
@@ -37,7 +54,13 @@ val make_entry :
     [?source] supplies the (vulnerable, patched) MinC ASTs, the
     structural fingerprints are folded from the source trees
     ({!Analysis.Struct_enc.of_func}); otherwise they are recovered from
-    the reference binaries via {!Staticfeat.Cache.struct_fingerprint}. *)
+    the reference binaries via {!Staticfeat.Cache.struct_fingerprint}.
+
+    [?builds] supplies extra (vulnerable builds, patched builds) of the
+    same references at other (architecture, optimisation) configurations
+    for signature extraction ({!Signature.Diffsig.extract}); with no
+    extra builds the signature is extracted from the reference pair
+    alone and stays unprunable, so the entry is never pruned. *)
 
 val reference_static : entry -> patched:bool -> Util.Vec.t
 val reference_image : entry -> patched:bool -> Loader.Image.t * int

@@ -1,0 +1,105 @@
+type t = {
+  anchor : Token.t list;
+  vuln_anchor : Token.t list;
+  patched_anchor : Token.t list;
+  vuln_only : Token.t list;
+  patched_only : Token.t list;
+  configs : int;
+}
+
+(* sorted-list set algebra (all token lists are sorted + deduped) *)
+let rec inter2 a b =
+  match (a, b) with
+  | [], _ | _, [] -> []
+  | x :: xs, y :: ys ->
+    let c = Token.compare x y in
+    if c = 0 then x :: inter2 xs ys
+    else if c < 0 then inter2 xs b
+    else inter2 a ys
+
+let rec union2 a b =
+  match (a, b) with
+  | [], l | l, [] -> l
+  | x :: xs, y :: ys ->
+    let c = Token.compare x y in
+    if c = 0 then x :: union2 xs ys
+    else if c < 0 then x :: union2 xs b
+    else y :: union2 a ys
+
+let rec diff2 a b =
+  match (a, b) with
+  | [], _ -> []
+  | l, [] -> l
+  | x :: xs, y :: ys ->
+    let c = Token.compare x y in
+    if c = 0 then diff2 xs ys
+    else if c < 0 then x :: diff2 xs b
+    else diff2 a ys
+
+let inter_all = function
+  | [] -> []
+  | s :: rest -> List.fold_left inter2 s rest
+
+let union_all sets = List.fold_left union2 [] sets
+
+let make ?vuln_anchor ?patched_anchor ~anchor ~vuln_only ~patched_only ~configs
+    () =
+  let norm l = List.sort_uniq Token.compare l in
+  let anchor = norm anchor in
+  {
+    anchor;
+    vuln_anchor = (match vuln_anchor with Some l -> norm l | None -> anchor);
+    patched_anchor =
+      (match patched_anchor with Some l -> norm l | None -> anchor);
+    vuln_only = norm vuln_only;
+    patched_only = norm patched_only;
+    configs;
+  }
+
+let extract ~vuln ~patched =
+  if vuln = [] || patched = [] then
+    invalid_arg "Diffsig.extract: empty build list";
+  let sets builds = List.map (fun (img, i) -> Tokens.of_binary img i) builds in
+  let vsets = sets vuln and psets = sets patched in
+  (* the side anchors deliberately exclude immediates.  Two functions
+     that differ only in constants (same patch family, different seeds)
+     are indistinguishable to the scoring stages — the dynamic distance
+     between them is 0 on this corpus — so an immediate-bearing anchor
+     would prune cells the exhaustive scan still scores as matches and
+     break the byte-parity oracle.  Shape / loop / import / alarm tokens
+     are exactly the granularity the NN and dynamic stages can tell
+     apart; the immediates stay below as vuln_only/patched_only
+     differential evidence. *)
+  let structural = List.filter (function Token.Imm _ -> false | _ -> true) in
+  let vuln_anchor = structural (inter_all vsets) in
+  let patched_anchor = structural (inter_all psets) in
+  let vuln_only = diff2 (inter_all vsets) (union_all psets) in
+  let patched_only = diff2 (inter_all psets) (union_all vsets) in
+  {
+    anchor = inter2 vuln_anchor patched_anchor;
+    vuln_anchor;
+    patched_anchor;
+    vuln_only;
+    patched_only;
+    configs = min (List.length vuln) (List.length patched);
+  }
+
+let prunable t =
+  t.configs >= 2 && t.vuln_anchor <> [] && t.patched_anchor <> []
+
+let anchor_hashes t = Tokens.hash_set t.anchor
+let vuln_anchor_hashes t = Tokens.hash_set t.vuln_anchor
+let patched_anchor_hashes t = Tokens.hash_set t.patched_anchor
+let vuln_only_hashes t = Tokens.hash_set t.vuln_only
+let patched_only_hashes t = Tokens.hash_set t.patched_only
+
+let summary t =
+  Printf.sprintf
+    "anchor=%d/%d/%d vuln_only=%d patched_only=%d configs=%d %s"
+    (List.length t.anchor)
+    (List.length t.vuln_anchor)
+    (List.length t.patched_anchor)
+    (List.length t.vuln_only)
+    (List.length t.patched_only)
+    t.configs
+    (if prunable t then "prunable" else "unprunable")

@@ -1,0 +1,73 @@
+(** Diff-derived vulnerability signatures (the VulMatch idea).
+
+    For one vuln-DB entry, the vulnerable and patched reference
+    functions are compiled at several (architecture, optimisation)
+    configurations and their token sets are diffed:
+
+    - [vuln_anchor] / [patched_anchor] — tokens present in *every* build
+      of that side.  A function matching the entry resembles one of the
+      two sides, so "some function covers the vulnerable anchor or the
+      patched anchor" is the candidate test the inverted index
+      evaluates.  Immediates are excluded: two functions differing only
+      in constants (same patch family, different seeds) are
+      indistinguishable to the scoring stages — their dynamic distance
+      is 0 on this corpus — so an immediate-bearing anchor could prune a
+      cell the exhaustive scan scores as a match.  The anchors are
+      restricted to the shape/loop/import/alarm granularity the scorer
+      can tell apart.
+    - [anchor] — the intersection of the two side anchors: tokens that
+      locate the function whatever its patch state.  Kept for display
+      and for callers that want a single patch-state-independent locator;
+      note a patch that changes control flow removes the whole-function
+      shape hash from this shared set while both side anchors keep
+      theirs.
+    - [vuln_only] — tokens in every vulnerable build and no patched
+      build: evidence the scanned function is the unpatched version.
+      Unlike the anchors these do keep immediates (the clamp constant a
+      one-integer patch changes is the whole point).
+    - [patched_only] — the mirror image: evidence of the patch.
+
+    A signature is only [prunable] when it was extracted from at least
+    two configurations per side *and* both side anchors are non-empty: a
+    single-build signature has seen no compiler variance, so treating
+    its tokens as stable would over-prune — such entries are always kept
+    as candidates. *)
+
+type t = private {
+  anchor : Token.t list;
+  vuln_anchor : Token.t list;
+  patched_anchor : Token.t list;
+  vuln_only : Token.t list;
+  patched_only : Token.t list;
+  configs : int;  (** build configurations per side (the minimum) *)
+}
+
+val extract :
+  vuln:(Loader.Image.t * int) list ->
+  patched:(Loader.Image.t * int) list ->
+  t
+(** Raises [Invalid_argument] when either build list is empty. *)
+
+val make :
+  ?vuln_anchor:Token.t list ->
+  ?patched_anchor:Token.t list ->
+  anchor:Token.t list ->
+  vuln_only:Token.t list ->
+  patched_only:Token.t list ->
+  configs:int ->
+  unit ->
+  t
+(** Assemble a signature from explicit token lists (tests, tools); lists
+    are sorted and deduplicated.  The side anchors default to [anchor]. *)
+
+val prunable : t -> bool
+val anchor_hashes : t -> int array
+val vuln_anchor_hashes : t -> int array
+val patched_anchor_hashes : t -> int array
+val vuln_only_hashes : t -> int array
+val patched_only_hashes : t -> int array
+
+val summary : t -> string
+(** e.g. ["anchor=1/3/3 vuln_only=2 patched_only=1 configs=9 prunable"]
+    — shared/vulnerable/patched anchor sizes, then the differential
+    evidence counts. *)

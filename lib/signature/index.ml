@@ -1,0 +1,100 @@
+(* Inverted index over per-side anchors.  Each prunable entry posts two
+   pseudo-entries — side 2e is its vulnerable anchor, side 2e+1 its
+   patched anchor — and an entry is a candidate for an image when some
+   single function covers either side (a matching function resembles
+   one of the two reference builds, whichever patch state the firmware
+   shipped).  The subset test is a counting join; hash collisions can
+   only enlarge candidate sets, never shrink them. *)
+
+type t = {
+  n : int;
+  side_sizes : int array;  (* length 2n; 0 for unprunable entries *)
+  unprunable : int list;  (* sorted ids always kept as candidates *)
+  table : (int, int list) Hashtbl.t;  (* token hash -> side ids *)
+  npostings : int;
+}
+
+let vuln_side e = 2 * e
+let patched_side e = (2 * e) + 1
+
+let build sigs =
+  let n = Array.length sigs in
+  let side_sizes = Array.make (2 * n) 0 in
+  let table = Hashtbl.create (max 16 (n * 8)) in
+  let npostings = ref 0 in
+  let unprunable = ref [] in
+  let post side hashes =
+    side_sizes.(side) <- Array.length hashes;
+    Array.iter
+      (fun h ->
+        let prev = Option.value ~default:[] (Hashtbl.find_opt table h) in
+        Hashtbl.replace table h (side :: prev);
+        incr npostings)
+      hashes
+  in
+  for e = n - 1 downto 0 do
+    if Diffsig.prunable sigs.(e) then begin
+      post (vuln_side e) (Diffsig.vuln_anchor_hashes sigs.(e));
+      post (patched_side e) (Diffsig.patched_anchor_hashes sigs.(e))
+    end
+    else unprunable := e :: !unprunable
+  done;
+  {
+    n;
+    side_sizes;
+    unprunable = !unprunable;
+    table;
+    npostings = !npostings;
+  }
+
+let entry_count t = t.n
+let prunable_count t = t.n - List.length t.unprunable
+let distinct_tokens t = Hashtbl.length t.table
+let postings t = t.npostings
+let vuln_anchor_size t e = t.side_sizes.(vuln_side e)
+let patched_anchor_size t e = t.side_sizes.(patched_side e)
+
+let count_join t hashes counts =
+  Array.iter
+    (fun h ->
+      match Hashtbl.find_opt t.table h with
+      | Some sides -> List.iter (fun s -> counts.(s) <- counts.(s) + 1) sides
+      | None -> ())
+    hashes
+
+let side_covered t counts side =
+  t.side_sizes.(side) > 0 && counts.(side) = t.side_sizes.(side)
+
+let matches t hashes =
+  let counts = Array.make (max (2 * t.n) 1) 0 in
+  count_join t hashes counts;
+  let hits = ref [] in
+  for e = t.n - 1 downto 0 do
+    if side_covered t counts (vuln_side e) || side_covered t counts (patched_side e)
+    then hits := e :: !hits
+  done;
+  List.merge Int.compare t.unprunable !hits
+
+let candidate_mask t func_sets =
+  let mask = Array.make t.n false in
+  List.iter (fun e -> mask.(e) <- true) t.unprunable;
+  let counts = Array.make (max (2 * t.n) 1) 0 in
+  Array.iter
+    (fun hashes ->
+      Array.fill counts 0 (2 * t.n) 0;
+      count_join t hashes counts;
+      for e = 0 to t.n - 1 do
+        if
+          side_covered t counts (vuln_side e)
+          || side_covered t counts (patched_side e)
+        then mask.(e) <- true
+      done)
+    func_sets;
+  mask
+
+let mean_anchor t =
+  let prunable = prunable_count t in
+  if prunable = 0 then 0.0
+  else
+    float_of_int (Array.fold_left ( + ) 0 t.side_sizes)
+    /. float_of_int (2 * prunable)

@@ -1,0 +1,48 @@
+(** Inverted candidate index: anchor-token hash → posting list of
+    per-side entry ids, with a counting-join subset test.
+
+    A function (given as its sorted token-hash set) is a *candidate* for
+    entry [e] iff it covers one of [e]'s side anchors — every hash of
+    the vulnerable anchor occurs in the set, or every hash of the
+    patched anchor does.  A function matching the entry resembles one of
+    the two reference builds, so testing the sides separately keeps the
+    discrimination a patch-perturbed shared intersection would lose.
+    Entries whose signature is not {!Diffsig.prunable} are always
+    candidates — the index can narrow work, never lose it.  Hash
+    collisions only ever enlarge candidate sets (both sides hash with
+    {!Token.hash}), so the subset test is sound by construction. *)
+
+type t
+
+val build : Diffsig.t array -> t
+(** Entry ids are the array indices. *)
+
+val entry_count : t -> int
+val prunable_count : t -> int
+
+val distinct_tokens : t -> int
+(** Number of distinct anchor-token hashes indexed. *)
+
+val postings : t -> int
+(** Total posting-list length (sum over tokens of anchor sides listing
+    them). *)
+
+val vuln_anchor_size : t -> int -> int
+(** Vulnerable-side anchor size of entry [i]; [0] for unprunable
+    entries. *)
+
+val patched_anchor_size : t -> int -> int
+(** Patched-side anchor size of entry [i]; [0] for unprunable
+    entries. *)
+
+val matches : t -> int array -> int list
+(** Sorted entry ids the given sorted hash set is a candidate for
+    (unprunable entries always included). *)
+
+val candidate_mask : t -> int array array -> bool array
+(** Per-entry: does *any* of the given function hash sets match?  The
+    per-image test the scanner's pruning stage evaluates — one hash set
+    per function of the image. *)
+
+val mean_anchor : t -> float
+(** Mean side-anchor size over prunable entries (0 when none). *)

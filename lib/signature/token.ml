@@ -1,0 +1,57 @@
+type t =
+  | Imm of int64
+  | Import of string
+  | Shape of int
+  | Loops of int * int
+  | Alarm of string
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+(* 64-bit avalanche (splitmix64 finalizer): every token class gets its
+   own salt so [Imm 3] and [Shape 3] cannot collide structurally *)
+let mix64 x =
+  let open Int64 in
+  let x = mul (logxor x (shift_right_logical x 30)) 0xbf58476d1ce4e5b9L in
+  let x = mul (logxor x (shift_right_logical x 27)) 0x94d049bb133111ebL in
+  logxor x (shift_right_logical x 31)
+
+let finish salt v =
+  Int64.to_int (mix64 (Int64.logxor (Int64.of_int salt) v)) land max_int
+
+let string_hash s =
+  (* FNV-1a, 64-bit *)
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  !h
+
+let hash = function
+  | Imm v -> finish 0x51 v
+  | Import s -> finish 0x52 (string_hash s)
+  | Shape h -> finish 0x53 (Int64.of_int h)
+  | Loops (d, c) -> finish 0x54 (Int64.of_int ((d * 0x3ffff) + c))
+  | Alarm s -> finish 0x55 (string_hash s)
+
+let tree_hash tree =
+  (* children are already in canonical order (Structfp.node), so a plain
+     left fold is branch-swap invariant by construction *)
+  let rec go (t : Similarity.Structfp.tree) =
+    List.fold_left
+      (fun acc kid -> mix64 (Int64.add acc (Int64.of_int (go kid))))
+      (mix64 (Int64.of_int ((t.Similarity.Structfp.label * 2) + 1)))
+      t.Similarity.Structfp.children
+    |> Int64.to_int
+    |> ( land ) max_int
+  in
+  go tree
+
+let to_string = function
+  | Imm v -> Printf.sprintf "imm:%Ld" v
+  | Import s -> Printf.sprintf "import:%s" s
+  | Shape h -> Printf.sprintf "shape:%x" h
+  | Loops (d, c) -> Printf.sprintf "loops:%d@depth%d" c d
+  | Alarm s -> Printf.sprintf "alarm:%s" s

@@ -1,0 +1,35 @@
+(** Signature tokens — the alphabet of the diff-derived vulnerability
+    signatures.
+
+    A token is a small, position-independent fact about a binary
+    function that survives recompilation: a distinctive instruction
+    immediate, an imported callee, the hash of a canonical control-shape
+    subtree, a loop-nesting profile entry, or a static alarm class.
+    Token *sets* (not sequences) are compared, so instruction
+    scheduling, register allocation and block layout cannot perturb
+    them. *)
+
+type t =
+  | Imm of int64
+      (** a distinctive instruction immediate (|v| >= 2; 0 and +-1 are
+          ubiquitous and carry no signal) *)
+  | Import of string  (** name of an imported callee *)
+  | Shape of int
+      (** hash of a canonical control-skeleton subtree
+          ({!Similarity.Structfp.tree}, canonical child order) *)
+  | Loops of int * int  (** (nesting depth, number of loops at it) *)
+  | Alarm of string
+      (** a {!Analysis.Boundcheck} alarm class the function trips *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val hash : t -> int
+(** Deterministic (process-independent) non-negative hash.  Collisions
+    merely enlarge candidate sets — the index compares hashes on both
+    sides, so a collision can never cause a sound entry to be pruned. *)
+
+val tree_hash : Similarity.Structfp.tree -> int
+(** Deterministic structural hash of a canonical skeleton tree. *)
+
+val to_string : t -> string

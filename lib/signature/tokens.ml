@@ -1,0 +1,95 @@
+let min_shape_size = 3
+
+(* distinctive instruction immediates, mirroring
+   [Analysis.Struct_enc.instr_imm]: the operand positions where source
+   constants survive lowering *)
+let instr_imm (ins : int Isa.Instr.t) =
+  match ins with
+  | Isa.Instr.Mov (_, Isa.Instr.Imm v)
+  | Isa.Instr.Binop (_, _, _, Isa.Instr.Imm v)
+  | Isa.Instr.Cmp (_, Isa.Instr.Imm v) ->
+    if Int64.compare (Int64.abs v) 2L >= 0 then Some v else None
+  | Isa.Instr.Mov (_, Isa.Instr.Reg _)
+  | Isa.Instr.Binop (_, _, _, Isa.Instr.Reg _)
+  | Isa.Instr.Cmp (_, Isa.Instr.Reg _)
+  | Isa.Instr.Nop | Isa.Instr.Fbinop _ | Isa.Instr.Neg _ | Isa.Instr.Not _
+  | Isa.Instr.I2f _ | Isa.Instr.F2i _ | Isa.Instr.Load _ | Isa.Instr.Store _
+  | Isa.Instr.Lea _ | Isa.Instr.Fcmp _ | Isa.Instr.Jmp _ | Isa.Instr.Jcc _
+  | Isa.Instr.Jtable _ | Isa.Instr.Call _ | Isa.Instr.Ret | Isa.Instr.Push _
+  | Isa.Instr.Pop _ | Isa.Instr.Syscall _ ->
+    None
+
+let alarm_classes =
+  [
+    Analysis.Boundcheck.Oob_load;
+    Analysis.Boundcheck.Oob_store;
+    Analysis.Boundcheck.Div_zero;
+    Analysis.Boundcheck.Bad_builtin;
+  ]
+
+let of_binary ?tree img fidx =
+  let listing = Loader.Image.disassemble img fidx in
+  let instrs = listing.Isa.Disasm.instrs in
+  let acc = ref [] in
+  let add t = acc := t :: !acc in
+  (* immediates and import callees straight off the listing *)
+  Array.iter
+    (fun (ins : int Isa.Instr.t) ->
+      (match instr_imm ins with Some v -> add (Token.Imm v) | None -> ());
+      match ins with
+      | Isa.Instr.Call idx -> (
+        match Loader.Image.call_target img idx with
+        | Some (Loader.Image.Import name) -> add (Token.Import name)
+        | Some (Loader.Image.Internal _) | None -> ())
+      | Isa.Instr.Nop | Isa.Instr.Mov _ | Isa.Instr.Binop _
+      | Isa.Instr.Fbinop _ | Isa.Instr.Neg _ | Isa.Instr.Not _
+      | Isa.Instr.I2f _ | Isa.Instr.F2i _ | Isa.Instr.Load _
+      | Isa.Instr.Store _ | Isa.Instr.Lea _ | Isa.Instr.Cmp _
+      | Isa.Instr.Fcmp _ | Isa.Instr.Jmp _ | Isa.Instr.Jcc _
+      | Isa.Instr.Jtable _ | Isa.Instr.Ret | Isa.Instr.Push _
+      | Isa.Instr.Pop _ | Isa.Instr.Syscall _ ->
+        ())
+    instrs;
+  (* loop-nesting profile from the recovered CFG *)
+  let g = Cfg.Graph.build listing in
+  let dom = Cfg.Dominators.compute g in
+  let nest = Cfg.Loopnest.build g dom in
+  let nloops = Cfg.Loopnest.loop_count nest in
+  if nloops > 0 then begin
+    let per_depth = Hashtbl.create 4 in
+    for l = 0 to nloops - 1 do
+      let d = Cfg.Loopnest.depth nest l in
+      Hashtbl.replace per_depth d
+        (1 + Option.value ~default:0 (Hashtbl.find_opt per_depth d))
+    done;
+    Hashtbl.iter (fun d c -> add (Token.Loops (d, c))) per_depth
+  end;
+  (* canonical control-shape subtrees *)
+  let tree =
+    match tree with
+    | Some t -> t
+    | None -> Similarity.Structfp.tree (Analysis.Struct_enc.of_graph g)
+  in
+  (* the whole-function skeleton is always emitted, even below
+     [min_shape_size]: tiny functions (a lone clamp or guard) have no
+     subtree of 3+ nodes, and the full-tree hash is what lets the index
+     tell them apart from loop-bearing library code *)
+  let rec subtrees ~root (t : Similarity.Structfp.tree) =
+    if root || Similarity.Structfp.tree_size t >= min_shape_size then
+      add (Token.Shape (Token.tree_hash t));
+    List.iter (subtrees ~root:false) t.Similarity.Structfp.children
+  in
+  subtrees ~root:true tree;
+  (* static alarm classes *)
+  let alarms = Analysis.Boundcheck.signature img fidx in
+  List.iter
+    (fun cls ->
+      if alarms.(Analysis.Boundcheck.class_index cls) > 0 then
+        add (Token.Alarm (Analysis.Boundcheck.class_name cls)))
+    alarm_classes;
+  List.sort_uniq Token.compare !acc
+
+let hash_set tokens =
+  List.map Token.hash tokens
+  |> List.sort_uniq Int.compare
+  |> Array.of_list

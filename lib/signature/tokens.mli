@@ -1,0 +1,26 @@
+(** Token extraction — a binary function's signature-token set.
+
+    Reuses the pipeline's own recovery passes: the disassembler and CFG
+    ([Cfg.Dominators] / [Cfg.Loopnest] for the loop profile), the
+    canonical control-shape skeleton ([Analysis.Struct_enc], whose
+    subtrees become {!Token.Shape} hashes), and the static bound-check
+    facts ([Analysis.Boundcheck] alarm classes).  The result is a
+    deterministic, alpha-renaming-invariant token *set*. *)
+
+val min_shape_size : int
+(** Only canonical subtrees of at least this many nodes become
+    {!Token.Shape} tokens — one-node [cond]/[loop] leaves appear in
+    almost every function and would drown the index.  The whole-function
+    skeleton is the one exception: its hash is always emitted, so even a
+    tiny guard-only function carries a distinctive shape token. *)
+
+val of_binary :
+  ?tree:Similarity.Structfp.tree -> Loader.Image.t -> int -> Token.t list
+(** Sorted, duplicate-free token set of function [fidx].  [?tree]
+    supplies an already-computed canonical skeleton (e.g. from
+    [Staticfeat.Cache.struct_fingerprint]) so callers holding one avoid
+    re-encoding it. *)
+
+val hash_set : Token.t list -> int array
+(** Sorted, duplicate-free {!Token.hash} image of a token list — the
+    form the inverted index joins against. *)

@@ -188,7 +188,10 @@ let ops t = t.ops
 let skel t = t.skel
 let tree t = t.tree
 
-let rel a b = abs_float (a -. b) /. (1.0 +. abs_float a +. abs_float b)
+(* the magnitudes are summed before adding 1.0: [(1.0 +. |a|) +. |b|]
+   rounds differently from [(1.0 +. |b|) +. |a|], which would make the
+   distance asymmetric by an ulp *)
+let rel a b = abs_float (a -. b) /. (1.0 +. (abs_float a +. abs_float b))
 
 let distance fa fb =
   if Array.length fa.ops <> Array.length fb.ops then

@@ -45,11 +45,22 @@ type sstate =
   | Spending
   | Sfailed of Robust.Fault.t
 
+(* signature-token sets (the pruning stage's per-function hash sets)
+   live in a third table under the same protocol; their extraction has
+   its own injection site and attempt counter so chaos draws stay
+   independent of the feature table's *)
+type tstate =
+  | Tready of int array array
+  | Tpending
+  | Tfailed of Robust.Fault.t
+
 let mutex = Mutex.create ()
 let filled = Condition.create ()
 let table : state H.t = H.create 64
 let stable : sstate H.t = H.create 64
+let ttable : tstate H.t = H.create 64
 let attempts : (string, int) Hashtbl.t = Hashtbl.create 64
+let tattempts : (string, int) Hashtbl.t = Hashtbl.create 64
 let hit_count = Atomic.make 0
 let miss_count = Atomic.make 0
 
@@ -60,6 +71,8 @@ let m_miss = Obs.Metrics.counter "cache.miss"
 let m_invalidate = Obs.Metrics.counter "cache.invalidate"
 let m_shit = Obs.Metrics.counter "cache.struct.hit"
 let m_smiss = Obs.Metrics.counter "cache.struct.miss"
+let m_thit = Obs.Metrics.counter "cache.tokens.hit"
+let m_tmiss = Obs.Metrics.counter "cache.tokens.miss"
 
 let next_attempt name =
   (* callers hold [mutex] *)
@@ -183,6 +196,88 @@ let rec struct_fingerprints img =
 
 let struct_fingerprint img i = (struct_fingerprints img).(i)
 
+let encode_tokens img attempt =
+  let name = img.Loader.Image.name in
+  match
+    Robust.Inject.fire ~use_context:false ~site:"staticfeat.tokens"
+      ~key:(Printf.sprintf "%s#%d" name attempt)
+      ()
+  with
+  | Some _ ->
+    Error
+      (Robust.Fault.Extract_failure
+         {
+           site = "staticfeat.tokens";
+           detail =
+             Printf.sprintf "injected token-extraction fault on %s (attempt %d)"
+               name attempt;
+         })
+  | None -> (
+    match
+      Obs.Trace.with_span ~name:"signature.tokens"
+        ~attrs:(fun () -> [ ("image", name) ])
+      @@ fun () ->
+      (* reuse the cached skeletons: token extraction shares the
+         structural encoding pass with the differential channel *)
+      let fps = struct_fingerprints img in
+      Array.init (Loader.Image.function_count img) (fun i ->
+          Signature.Tokens.hash_set
+            (Signature.Tokens.of_binary
+               ~tree:(Similarity.Structfp.tree fps.(i))
+               img i))
+    with
+    | v -> Ok v
+    | exception Robust.Fault.Fault f -> Error f
+    | exception e -> Error (Robust.Fault.of_exn ~site:"staticfeat.tokens" e))
+
+let rec token_sets img =
+  Mutex.lock mutex;
+  match H.find_opt ttable img with
+  | Some (Tready v) ->
+    Mutex.unlock mutex;
+    Obs.Metrics.incr m_thit;
+    v
+  | Some (Tfailed f) ->
+    Mutex.unlock mutex;
+    raise
+      (Robust.Fault.Fault
+         (Robust.Fault.Cache_poisoned
+            {
+              site = "staticfeat.tokens";
+              detail =
+                Printf.sprintf "%s: %s" img.Loader.Image.name
+                  (Robust.Fault.to_string f);
+            }))
+  | Some Tpending ->
+    Condition.wait filled mutex;
+    Mutex.unlock mutex;
+    token_sets img
+  | None ->
+    H.replace ttable img Tpending;
+    let attempt =
+      let name = img.Loader.Image.name in
+      let n =
+        (match Hashtbl.find_opt tattempts name with Some n -> n | None -> 0)
+        + 1
+      in
+      Hashtbl.replace tattempts name n;
+      n
+    in
+    Mutex.unlock mutex;
+    Obs.Metrics.incr m_tmiss;
+    let outcome = encode_tokens img attempt in
+    Mutex.lock mutex;
+    (match outcome with
+    | Ok v -> H.replace ttable img (Tready v)
+    | Error f -> H.replace ttable img (Tfailed f));
+    Condition.broadcast filled;
+    Mutex.unlock mutex;
+    (match outcome with
+    | Ok v -> v
+    | Error f -> raise (Robust.Fault.Fault f))
+
+let token_set img i = (token_sets img).(i)
+
 let invalidate img =
   Mutex.lock mutex;
   (match H.find_opt table img with
@@ -191,6 +286,9 @@ let invalidate img =
   (match H.find_opt stable img with
   | Some Spending -> ()
   | Some (Sready _ | Sfailed _) | None -> H.remove stable img);
+  (match H.find_opt ttable img with
+  | Some Tpending -> ()
+  | Some (Tready _ | Tfailed _) | None -> H.remove ttable img);
   Mutex.unlock mutex;
   Obs.Metrics.incr m_invalidate
 
@@ -198,7 +296,9 @@ let clear () =
   Mutex.lock mutex;
   H.reset table;
   H.reset stable;
+  H.reset ttable;
   Hashtbl.reset attempts;
+  Hashtbl.reset tattempts;
   Mutex.unlock mutex
 
 let cached_images () =

@@ -40,6 +40,19 @@ val struct_fingerprints : Loader.Image.t -> Similarity.Structfp.t array
 val struct_fingerprint : Loader.Image.t -> int -> Similarity.Structfp.t
 (** [struct_fingerprint img i] = [(struct_fingerprints img).(i)]. *)
 
+val token_sets : Loader.Image.t -> int array array
+(** Signature-token hash sets ({!Signature.Tokens}) of every function of
+    the image, index-aligned with its function table — what the
+    scanner's pruning stage joins against the inverted candidate index.
+    Memoised like {!features} (same Pending/Failed protocol, own
+    [cache.tokens.hit]/[cache.tokens.miss] metrics and
+    ["staticfeat.tokens"] injection site, one ["signature.tokens"] span
+    per extraction pass).  Shares the structural encoding pass with
+    {!struct_fingerprints}. *)
+
+val token_set : Loader.Image.t -> int -> int array
+(** [token_set img i] = [(token_sets img).(i)]. *)
+
 val invalidate : Loader.Image.t -> unit
 (** Drop the image's cache entry (whether [Ready] or [Failed]) so the
     next read re-extracts.  The per-image attempt counter is NOT reset,

@@ -28,6 +28,7 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("corpus", Test_corpus.suite);
       ("patchecko", Test_patchecko.suite);
+      ("prune", Test_prune.suite);
       ("compiler-diff", Test_compiler_diff.suite);
       ("evaluation", Test_evaluation.suite);
       ("perf", Test_perf.suite);

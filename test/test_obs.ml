@@ -172,12 +172,16 @@ let golden_metrics =
     ("cache.miss", "4");
     ("cache.struct.hit", "0");
     ("cache.struct.miss", "1");
+    ("cache.tokens.hit", "0");
+    ("cache.tokens.miss", "0");
     ("differential.gathers", "1");
     ("dynamic.candidates_in", "18");
     ("dynamic.executions", "69");
     ("dynamic.faulted", "0");
     ("dynamic.runs", "2");
     ("dynamic.validated", "17");
+    ("prune.cells_kept", "0");
+    ("prune.cells_pruned", "0");
     ("scan.cells", "2");
     ("scan.failed_cells", "0");
     ("scan.findings", "1");
@@ -307,6 +311,53 @@ let env_jsonl_sink_round_trips () =
           (Obs.Trace.event_to_json (Obs.Trace.event_of_json json)))
       events
 
+(* a trace file with no events is an error, not an empty summary: the
+   reader must say which file and why (and, for a garbage line, where) *)
+let read_jsonl_rejects_bad_files () =
+  let with_file contents f =
+    let path = Filename.temp_file "patchecko_trace" ".jsonl" in
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+  in
+  let expect_error name contents fragments =
+    with_file contents (fun path ->
+        match Obs.Trace.read_jsonl path with
+        | events ->
+          Alcotest.failf "%s: parsed %d events from a bad file" name
+            (List.length events)
+        | exception Obs.Trace.Parse_error msg ->
+          List.iter
+            (fun frag ->
+              let present =
+                let fl = String.length frag and ml = String.length msg in
+                let rec at i =
+                  i + fl <= ml && (String.sub msg i fl = frag || at (i + 1))
+                in
+                at 0
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: %S mentions %S" name msg frag)
+                true present)
+            fragments)
+  in
+  expect_error "empty" "" [ "no trace events"; "empty file" ];
+  expect_error "blank-only" "\n  \n\n" [ "no trace events"; "blank lines" ];
+  expect_error "garbage" "not json at all\n" [ "line 1" ];
+  (* a truncated tail after a valid event still names the bad line *)
+  let line =
+    Obs.Trace.event_to_json
+      (Obs.Trace.Start
+         { id = 1; parent = None; name = "t"; attrs = []; domain = 0; ts_ns = 0 })
+  in
+  expect_error "truncated"
+    (line ^ "\n" ^ String.sub line 0 (String.length line / 2))
+    [ "line 2" ];
+  match Obs.Trace.read_jsonl "/nonexistent/trace.jsonl" with
+  | _ -> Alcotest.fail "missing file accepted"
+  | exception Sys_error _ -> ()
+
 (* --- properties (qcheck) ------------------------------------------------ *)
 
 (* random span programs: a tree of nested spans, the root's children
@@ -415,6 +466,8 @@ let suite =
       trace_deterministic_across_domains;
     Alcotest.test_case "supervisor-metrics" `Quick supervisor_metrics_under_faults;
     Alcotest.test_case "env-jsonl-sink" `Quick env_jsonl_sink_round_trips;
+    Alcotest.test_case "read-jsonl-rejects-bad-files" `Quick
+      read_jsonl_rejects_bad_files;
     QCheck_alcotest.to_alcotest prop_nesting_well_formed;
     QCheck_alcotest.to_alcotest prop_counter_order_independent;
     QCheck_alcotest.to_alcotest prop_histogram_order_independent;

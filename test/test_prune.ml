@@ -1,0 +1,299 @@
+(* Diff-derived signatures and the inverted candidate index.
+
+   The load-bearing property is *no false prune*: an entry may only be
+   skipped for an image when no function of that image carries all of
+   the entry's anchor tokens — so a pruned scan must serialize to
+   exactly the exhaustive scan's bytes.  The @prune-smoke alias runs
+   this suite at PATCHECKO_DOMAINS=1 and 4. *)
+
+module T = Signature.Token
+module D = Signature.Diffsig
+
+let imm n = T.Imm (Int64.of_int n)
+
+(* reference pair plus every signature build configuration — how the
+   evaluation context extracts a prunable production signature *)
+let all_builds c ~patched =
+  (Corpus.Dataset.compile_cve c ~patched, 0)
+  :: Corpus.Dataset.signature_builds c ~patched
+
+let cve id =
+  match Corpus.Cves.find id with
+  | Some c -> c
+  | None -> Alcotest.fail ("missing CVE " ^ id)
+
+(* --- Diffsig ------------------------------------------------------------ *)
+
+let test_diffsig_int_clamp () =
+  (* the one-integer patch: the clamp limit is 4096 vulnerable, 1024
+     patched, and both survive every build configuration — the cleanest
+     possible vuln_only / patched_only evidence.  The patch changes no
+     control flow, so even the shared anchor keeps the whole-function
+     shape hash; the immediates themselves must stay out of every anchor
+     (same-family siblings differing only in constants score dynamic
+     distance 0, so an immediate anchor would prune cells the exhaustive
+     scan still reports). *)
+  let c = cve "CVE-2018-9470" in
+  let s =
+    D.extract ~vuln:(all_builds c ~patched:false)
+      ~patched:(all_builds c ~patched:true)
+  in
+  Alcotest.(check bool) "prunable" true (D.prunable s);
+  Alcotest.(check bool) "shared anchor nonempty" true (s.D.anchor <> []);
+  Alcotest.(check int) "configs = base + extras" 9 s.D.configs;
+  let no_imms l =
+    List.for_all (function T.Imm _ -> false | _ -> true) l
+  in
+  Alcotest.(check bool) "no immediates in vuln anchor" true
+    (no_imms s.D.vuln_anchor);
+  Alcotest.(check bool) "no immediates in patched anchor" true
+    (no_imms s.D.patched_anchor);
+  Alcotest.(check bool)
+    "vulnerable constant is vuln_only" true
+    (List.mem (imm 4096) s.D.vuln_only);
+  Alcotest.(check bool)
+    "patched constant is patched_only" true
+    (List.mem (imm 1024) s.D.patched_only);
+  Alcotest.(check bool)
+    "sides are disjoint" true
+    (List.for_all (fun t -> not (List.mem t s.D.patched_only)) s.D.vuln_only)
+
+let test_diffsig_structural_patch () =
+  (* a patch that inserts a bounds check changes the control skeleton:
+     the whole-function shape hash differs per side, so it must appear
+     in both side anchors but not in the shared anchor *)
+  let c = cve "CVE-2018-9451" in
+  let s =
+    D.extract ~vuln:(all_builds c ~patched:false)
+      ~patched:(all_builds c ~patched:true)
+  in
+  Alcotest.(check bool) "prunable" true (D.prunable s);
+  Alcotest.(check bool) "side anchors differ" true
+    (s.D.vuln_anchor <> s.D.patched_anchor);
+  let shapes l =
+    List.filter (function T.Shape _ -> true | _ -> false) l
+  in
+  Alcotest.(check bool) "vuln side keeps shape tokens" true
+    (shapes s.D.vuln_anchor <> []);
+  Alcotest.(check bool) "patched side keeps shape tokens" true
+    (shapes s.D.patched_anchor <> []);
+  Alcotest.(check bool) "shared anchor is the side intersection" true
+    (List.for_all
+       (fun t -> List.mem t s.D.vuln_anchor && List.mem t s.D.patched_anchor)
+       s.D.anchor)
+
+let test_diffsig_single_build_unprunable () =
+  let c = cve "CVE-2018-9412" in
+  let v = Corpus.Dataset.compile_cve c ~patched:false in
+  let p = Corpus.Dataset.compile_cve c ~patched:true in
+  let s = D.extract ~vuln:[ (v, 0) ] ~patched:[ (p, 0) ] in
+  Alcotest.(check bool) "one config per side" true (s.D.configs = 1);
+  Alcotest.(check bool) "never prunable" false (D.prunable s);
+  Alcotest.check_raises "empty build list rejected"
+    (Invalid_argument "Diffsig.extract: empty build list") (fun () ->
+      ignore (D.extract ~vuln:[] ~patched:[ (p, 0) ]))
+
+(* --- Index -------------------------------------------------------------- *)
+
+let test_index_matches () =
+  let s0 =
+    D.make ~anchor:[ imm 100; imm 200 ] ~vuln_only:[ imm 4 ] ~patched_only:[]
+      ~configs:2 ()
+  and s1 =
+    D.make ~anchor:[ imm 300 ] ~vuln_only:[] ~patched_only:[] ~configs:1 ()
+  and s2 = D.make ~anchor:[] ~vuln_only:[] ~patched_only:[] ~configs:3 ()
+  and s3 =
+    (* a structural patch: the sides anchor on different shape tokens *)
+    D.make ~vuln_anchor:[ imm 400 ] ~patched_anchor:[ imm 500 ] ~anchor:[]
+      ~vuln_only:[] ~patched_only:[] ~configs:2 ()
+  in
+  let idx = Signature.Index.build [| s0; s1; s2; s3 |] in
+  Alcotest.(check int) "entries" 4 (Signature.Index.entry_count idx);
+  (* s1 has one config, s2 empty anchors: both unprunable *)
+  Alcotest.(check int) "prunable" 2 (Signature.Index.prunable_count idx);
+  Alcotest.(check int) "vuln anchor size" 2
+    (Signature.Index.vuln_anchor_size idx 0);
+  Alcotest.(check int) "patched anchor size" 2
+    (Signature.Index.patched_anchor_size idx 0);
+  Alcotest.(check int) "unprunable anchor size" 0
+    (Signature.Index.vuln_anchor_size idx 1);
+  Alcotest.(check (float 1e-9)) "mean anchor" 1.5
+    (Signature.Index.mean_anchor idx);
+  let m toks = Signature.Index.matches idx (Signature.Tokens.hash_set toks) in
+  Alcotest.(check (list int)) "all anchors present" [ 0; 1; 2 ]
+    (m [ imm 100; imm 200; imm 5 ]);
+  Alcotest.(check (list int)) "one anchor missing" [ 1; 2 ] (m [ imm 100 ]);
+  Alcotest.(check (list int)) "empty set keeps unprunable" [ 1; 2 ] (m []);
+  (* either side anchor suffices: a firmware function resembles one of
+     the two reference builds, never both at once *)
+  Alcotest.(check (list int)) "vulnerable side covers" [ 1; 2; 3 ]
+    (m [ imm 400 ]);
+  Alcotest.(check (list int)) "patched side covers" [ 1; 2; 3 ]
+    (m [ imm 500 ]);
+  (* per-image mask: a match needs one function with a whole side
+     anchor, not the anchor spread across two functions *)
+  let mask sets =
+    Signature.Index.candidate_mask idx
+      (Array.of_list (List.map Signature.Tokens.hash_set sets))
+  in
+  Alcotest.(check (array bool)) "anchor split across functions"
+    [| false; true; true; false |]
+    (mask [ [ imm 100 ]; [ imm 200 ] ]);
+  Alcotest.(check (array bool)) "anchor within one function"
+    [| true; true; true; false |]
+    (mask [ [ imm 100; imm 200 ]; [ imm 7 ] ]);
+  Alcotest.(check (array bool)) "side anchors from different functions"
+    [| false; true; true; true |]
+    (mask [ [ imm 400 ]; [ imm 500 ] ])
+
+(* --- scan parity -------------------------------------------------------- *)
+
+(* three entries with full multi-configuration signatures: the planted
+   case-study CVE plus two absent ones — the index must keep the planted
+   cell, and the report must not depend on what it pruned *)
+let prunable_db () =
+  let mk id =
+    let c = cve id in
+    Patchecko.Vulndb.make_entry
+      ~source:(Corpus.Cves.vulnerable_func c, Corpus.Cves.patched_func c)
+      ~builds:
+        ( Corpus.Dataset.signature_builds c ~patched:false,
+          Corpus.Dataset.signature_builds c ~patched:true )
+      ~cve_id:c.Corpus.Cves.id ~description:c.Corpus.Cves.description
+      ~shape:c.Corpus.Cves.shape
+      ~vuln:(Corpus.Dataset.compile_cve c ~patched:false, 0)
+      ~patched:(Corpus.Dataset.compile_cve c ~patched:true, 0)
+      ()
+  in
+  Patchecko.Vulndb.create
+    [ mk "CVE-2018-9412"; mk "CVE-2018-9470"; mk "CVE-2018-9345" ]
+
+let test_scan_parity () =
+  let db, fw, classifier =
+    Robust.Inject.suspend (fun () ->
+        let c = Fixtures.case_cve () in
+        (prunable_db (), Fixtures.scanner_firmware c,
+         Fixtures.permissive_classifier ()))
+  in
+  (* max_distance 1.0: the planted copy matches at distance 0.  The
+     permissive fixture classifier admits every function, and at a loose
+     cutoff the absent CVEs pick up coincidental weak matches (distance
+     4+) on generated functions that share none of their stable tokens —
+     matches that exist only in cells the index correctly prunes.  The
+     parity oracle is defined over the production cutoff, not over
+     admit-everything noise. *)
+  let scan ~prune =
+    Staticfeat.Cache.clear ();
+    Patchecko.Scanner.scan_firmware ~dyn_config:Fixtures.dyn_config
+      ~max_distance:1.0 ~classifier ~db ~prune fw
+  in
+  let exhaustive = scan ~prune:false in
+  let pruned = scan ~prune:true in
+  Staticfeat.Cache.clear ();
+  Alcotest.(check int) "exhaustive prunes nothing" 0
+    exhaustive.Patchecko.Scanner.pruned_cells;
+  Alcotest.(check bool) "pruned scan skips cells" true
+    (pruned.Patchecko.Scanner.pruned_cells > 0);
+  Alcotest.(check string) "byte-identical reports"
+    (Patchecko.Scanner.report_to_json exhaustive)
+    (Patchecko.Scanner.report_to_json pruned);
+  Alcotest.(check bool) "planted CVE still found" true
+    (List.exists
+       (fun (f : Patchecko.Scanner.finding) -> f.cve_id = "CVE-2018-9412")
+       pruned.Patchecko.Scanner.findings)
+
+(* --- properties (qcheck) ------------------------------------------------ *)
+
+let prop_extraction_deterministic =
+  QCheck.Test.make ~name:"token-extraction-deterministic" ~count:15
+    QCheck.(pair (int_range 0 (List.length Corpus.Cves.all - 1)) bool)
+    (fun (i, patched) ->
+      let c = List.nth Corpus.Cves.all i in
+      let a = Corpus.Dataset.compile_cve c ~patched in
+      let b = Corpus.Dataset.compile_cve c ~patched in
+      Signature.Tokens.of_binary a 0 = Signature.Tokens.of_binary b 0)
+
+let compile_func (f : Minic.Ast.func) =
+  Minic.Compiler.compile ~arch:Isa.Arch.Arm64 ~opt:Minic.Optlevel.O1
+    { Minic.Ast.pname = "sig_" ^ f.Minic.Ast.fname; globals = []; funcs = [ f ] }
+
+let prop_alpha_renaming =
+  QCheck.Test.make ~name:"tokens-invariant-under-alpha-renaming" ~count:15
+    QCheck.(
+      triple
+        (int_range 0 (List.length Corpus.Cves.all - 1))
+        bool (int_range 0 9999))
+    (fun (i, patched, salt) ->
+      let c = List.nth Corpus.Cves.all i in
+      let f = Corpus.Cves.func c ~patched in
+      let g = Test_struct.rename_func (Printf.sprintf "_r%d" salt) f in
+      Signature.Tokens.of_binary (compile_func f) 0
+      = Signature.Tokens.of_binary (compile_func g) 0)
+
+(* random signatures joined against random function token sets: whenever
+   every anchor token of an entry occurs in some function's set, the
+   mask must keep the entry (hashing both sides can collide entries
+   *into* the candidate set, never out of it) *)
+let gen_token =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> T.Imm (Int64.of_int (n + 2))) (int_bound 40);
+        map (fun n -> T.Loops ((1 + (n mod 3)), 1 + (n mod 5))) (int_bound 30);
+        map (fun n -> T.Shape n) (int_bound 60);
+        map
+          (fun i ->
+            T.Import (List.nth [ "memcpy"; "strlen"; "malloc" ] (i mod 3)))
+          (int_bound 20);
+      ])
+
+let gen_no_false_prune =
+  QCheck.Gen.(
+    pair
+      (list_size (int_range 1 10)
+         (pair (list_size (int_range 0 4) gen_token) (int_range 1 3)))
+      (list_size (int_range 1 6) (list_size (int_range 0 12) gen_token)))
+
+let prop_no_false_prune =
+  QCheck.Test.make ~name:"index-never-drops-a-covered-entry" ~count:200
+    (QCheck.make gen_no_false_prune)
+    (fun (sig_specs, funcs) ->
+      let sigs =
+        Array.of_list
+          (List.map
+             (fun (anchor, configs) ->
+               D.make ~anchor ~vuln_only:[] ~patched_only:[] ~configs ())
+             sig_specs)
+      in
+      let idx = Signature.Index.build sigs in
+      let mask =
+        Signature.Index.candidate_mask idx
+          (Array.of_list (List.map Signature.Tokens.hash_set funcs))
+      in
+      Array.for_all Fun.id
+        (Array.mapi
+           (fun e s ->
+             let covered =
+               List.exists
+                 (fun f ->
+                   List.for_all (fun t -> List.exists (T.equal t) f) s.D.anchor)
+                 funcs
+             in
+             (* covered or unprunable => kept; the index may also keep
+                more (collisions), which is fine *)
+             if covered || not (D.prunable s) then mask.(e) else true)
+           sigs))
+
+let suite =
+  [
+    Alcotest.test_case "diffsig-int-clamp" `Quick test_diffsig_int_clamp;
+    Alcotest.test_case "diffsig-structural-patch" `Quick
+      test_diffsig_structural_patch;
+    Alcotest.test_case "diffsig-single-build-unprunable" `Quick
+      test_diffsig_single_build_unprunable;
+    Alcotest.test_case "index-matches" `Quick test_index_matches;
+    Alcotest.test_case "scan-parity" `Quick test_scan_parity;
+    QCheck_alcotest.to_alcotest prop_extraction_deterministic;
+    QCheck_alcotest.to_alcotest prop_alpha_renaming;
+    QCheck_alcotest.to_alcotest prop_no_false_prune;
+  ]
